@@ -1,0 +1,139 @@
+// Command strata-bench regenerates the paper's evaluation figures.
+//
+//	strata-bench -fig all                 # everything, scaled-down default
+//	strata-bench -fig 5 -image 2000      # Figure 5 at full paper resolution
+//	strata-bench -fig 7 -layers 30       # Figure 7 with a 30-layer replay
+//
+// Output is textual (the rows behind each figure) plus PNG files for
+// Figure 4.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+
+	"strata/internal/bench"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "strata-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		fig     = flag.String("fig", "all", "figure to regenerate: 4, 5, 6, 7, all, or ablate")
+		imagePx = flag.Int("image", 1000, "OT image resolution in pixels (paper: 2000)")
+		layers  = flag.Int("layers", 40, "layers per repetition (paper: full 575-layer build)")
+		reps    = flag.Int("reps", 5, "repetitions per configuration (paper: 5)")
+		seed    = flag.Int64("seed", 2022, "simulation seed")
+		par     = flag.Int("par", 4, "pipeline stage parallelism")
+		outDir  = flag.String("out", "bench-out", "directory for Figure 4 images")
+		quiet   = flag.Bool("quiet", false, "suppress progress output")
+	)
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	cfg := bench.ExperimentConfig{
+		ImagePx:     *imagePx,
+		Layers:      *layers,
+		Reps:        *reps,
+		Seed:        *seed,
+		Parallelism: *par,
+	}
+	if !*quiet {
+		cfg.Verbose = os.Stderr
+	}
+
+	want := map[string]bool{}
+	for _, f := range strings.Split(*fig, ",") {
+		want[strings.TrimSpace(f)] = true
+	}
+	all := want["all"]
+
+	if all || want["4"] {
+		fmt.Println("=== Figure 4: OT image of a specimen and its thermal-energy clustering ===")
+		out, err := bench.RunFig4(ctx, cfg, *outDir)
+		if err != nil {
+			return fmt.Errorf("figure 4: %w", err)
+		}
+		fmt.Printf("specimen %d, layer %d: %d event cells in %d clusters\n",
+			out.SpecimenID, out.Layer, out.EventCells, out.ClusterCount)
+		fmt.Printf("wrote %s and %s\n\n", out.OTImagePNG, out.ClustersPNG)
+	}
+
+	if all || want["5"] {
+		fmt.Println("=== Figure 5: latency vs. cell size (QoS 3 s) ===")
+		res, err := bench.RunCellSizeExperiment(ctx, cfg, nil)
+		if err != nil {
+			return fmt.Errorf("figure 5: %w", err)
+		}
+		fmt.Println(bench.FormatCellSizeResults(res))
+		if err := writeCSV(*outDir, "fig5.csv", func(p string) error {
+			return bench.WriteCellSizeCSV(p, res)
+		}); err != nil {
+			return err
+		}
+	}
+
+	if all || want["6"] {
+		fmt.Println("=== Figure 6: latency vs. clustered layers L (QoS 3 s) ===")
+		res, err := bench.RunLayerWindowExperiment(ctx, cfg, nil)
+		if err != nil {
+			return fmt.Errorf("figure 6: %w", err)
+		}
+		fmt.Println(bench.FormatLayerWindowResults(res))
+		if err := writeCSV(*outDir, "fig6.csv", func(p string) error {
+			return bench.WriteLayerWindowCSV(p, res)
+		}); err != nil {
+			return err
+		}
+	}
+
+	if all || want["7"] {
+		fmt.Println("=== Figure 7: throughput/latency vs. offered OT images/s ===")
+		res, err := bench.RunThroughputExperiment(ctx, cfg, nil, nil)
+		if err != nil {
+			return fmt.Errorf("figure 7: %w", err)
+		}
+		fmt.Println(bench.FormatThroughputResults(res))
+		if err := writeCSV(*outDir, "fig7.csv", func(p string) error {
+			return bench.WriteThroughputCSV(p, res)
+		}); err != nil {
+			return err
+		}
+	}
+
+	if want["ablate"] || want["ablations"] {
+		fmt.Println("=== Ablations (design choices, DESIGN.md §5) ===")
+		rep, err := bench.RunAblations(ctx, cfg)
+		if err != nil {
+			return fmt.Errorf("ablations: %w", err)
+		}
+		fmt.Println(rep)
+	}
+	return nil
+}
+
+// writeCSV writes one figure's CSV under dir, creating it if needed.
+func writeCSV(dir, name string, write func(path string) error) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(dir, name)
+	if err := write(path); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n\n", path)
+	return nil
+}

@@ -1,0 +1,45 @@
+// Command strata-broker runs a standalone pub/sub broker over TCP — the
+// cross-process backbone of STRATA's Raw Data and Event connectors (the
+// role Kafka plays in the paper's prototype).
+//
+//	strata-broker -addr :4222
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"strata/internal/pubsub"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "strata-broker:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", ":4222", "listen address")
+	flag.Parse()
+
+	broker := pubsub.NewBroker()
+	srv, err := pubsub.Serve(broker, *addr)
+	if err != nil {
+		return err
+	}
+	log.Printf("strata-broker listening on %s", srv.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Printf("shutting down")
+	if err := srv.Close(); err != nil {
+		return err
+	}
+	return broker.Close()
+}

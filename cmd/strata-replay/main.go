@@ -1,0 +1,109 @@
+// Command strata-replay reprocesses a recorded OT dataset (see otgen)
+// through the paper's Algorithm 1 pipeline — the paper's third experiment:
+// historic data replayed as fast as possible (or at a target rate) while
+// checking the latency QoS.
+//
+//	otgen -out data/ -layers 40
+//	strata-replay -data data/ -cell 20 -L 10
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"strata/internal/amsim"
+	"strata/internal/bench"
+	"strata/internal/core"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "strata-replay:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		dataDir = flag.String("data", "dataset", "dataset directory written by otgen")
+		cell    = flag.Int("cell", 20, "cell edge in paper pixels (2000-px scale)")
+		l       = flag.Int("L", 10, "layers clustered together in correlateEvents")
+		par     = flag.Int("par", 4, "pipeline parallelism")
+		rate    = flag.Float64("rate", 0, "offered OT images/s (0 = as fast as possible)")
+		verbose = flag.Bool("v", false, "print every cluster report")
+	)
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	m, layers, err := amsim.LoadDataset(*dataDir)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "loaded %d layers of job %q (%dx%d px)\n",
+		len(layers), m.JobID, m.ImagePx, m.ImagePx)
+
+	storeDir, err := os.MkdirTemp("", "strata-replay-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(storeDir)
+
+	fw, err := core.New(core.WithStoreDir(storeDir), core.WithQueryBuffer(len(layers)+8))
+	if err != nil {
+		return err
+	}
+	defer fw.Close()
+
+	feed := &bench.ReplayFeed{Layers: layers}
+	if *rate > 0 {
+		feed.Interval = time.Duration(float64(time.Second) / *rate)
+	}
+	edgePx := *cell * m.ImagePx / amsim.DefaultImagePx
+	if edgePx < 1 {
+		edgePx = 1
+	}
+
+	var rec bench.LatencyRecorder
+	results, qosMisses := 0, 0
+	err = bench.BuildPipeline(fw, feed, m.LayerMM,
+		bench.PipelineParams{CellEdgePx: edgePx, L: *l, Parallelism: *par},
+		func(r bench.Result) error {
+			rec.Record(r.Latency)
+			results++
+			if r.Latency > bench.QoSThreshold {
+				qosMisses++
+			}
+			if *verbose && len(r.Clusters) > 0 {
+				fmt.Printf("layer %4d %s: %d events, %d clusters (latency %v)\n",
+					r.Layer, r.Specimen, r.Events, len(r.Clusters), r.Latency.Round(time.Millisecond))
+			}
+			return nil
+		})
+	if err != nil {
+		return err
+	}
+	// Calibration from the dataset's first layers (historical reference).
+	if err := bench.CalibrateFromLayers(fw, layers, 3); err != nil {
+		return err
+	}
+
+	start := time.Now()
+	if err := fw.Run(ctx); err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+
+	box := bench.ComputeBox(rec.Values())
+	fmt.Printf("\nreplayed %d layers in %v (%.1f images/s)\n",
+		len(layers), elapsed.Round(time.Millisecond), float64(len(layers))/elapsed.Seconds())
+	fmt.Printf("results: %d (QoS>3s misses: %d)\n", results, qosMisses)
+	fmt.Printf("latency: %v\n", box)
+	return nil
+}

@@ -1,0 +1,83 @@
+// Historical-replay: reprocess a finished build as fast as possible — the
+// paper's third experiment, estimating "how fast OT images from historic
+// data can be reprocessed".
+//
+// The example renders a build once, replays it through the Algorithm 1
+// pipeline with no pacing, and reports achieved images/s and cells/s plus
+// the latency distribution against the 3 s QoS.
+//
+//	go run ./examples/historical-replay [-layers 30] [-cell 20]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"strata/internal/amsim"
+	"strata/internal/bench"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	var (
+		layers  = flag.Int("layers", 30, "layers to reprocess")
+		imagePx = flag.Int("image", 500, "OT image resolution (paper: 2000)")
+		cell    = flag.Int("cell", 20, "cell edge in paper pixels")
+		l       = flag.Int("L", 10, "layers clustered together")
+		par     = flag.Int("par", 4, "pipeline parallelism")
+	)
+	flag.Parse()
+
+	layout := amsim.ScaledLayout(*imagePx)
+	job, err := amsim.NewJob("historic-build", layout, 7)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "rendering %d layers (%dx%d px)...\n", *layers, *imagePx, *imagePx)
+	replay, err := bench.Replay(job, *layers)
+	if err != nil {
+		return err
+	}
+
+	edge := *cell * *imagePx / amsim.DefaultImagePx
+	if edge < 1 {
+		edge = 1
+	}
+	storeDir, err := os.MkdirTemp("", "strata-replay-example-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(storeDir)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+	stats, err := bench.RunOnce(ctx, replay, layout.LayerMM,
+		bench.PipelineParams{CellEdgePx: edge, L: *l, Parallelism: *par},
+		bench.FeedMode{}, len(replay)+8, storeDir)
+	if err != nil {
+		return err
+	}
+
+	box := bench.ComputeBox(stats.Latencies)
+	misses := 0
+	for _, d := range stats.Latencies {
+		if d > bench.QoSThreshold {
+			misses++
+		}
+	}
+	fmt.Printf("reprocessed %d layers in %v\n", stats.Layers, stats.Elapsed.Round(time.Millisecond))
+	fmt.Printf("throughput: %.1f images/s, %.0f cells/s\n", stats.ImagesPerSec(), stats.CellsPerSec())
+	fmt.Printf("results:    %d specimen-layer reports (%d hot/cold cells)\n", stats.Results, stats.Events)
+	fmt.Printf("latency:    %v\n", box)
+	fmt.Printf("QoS(3s):    %d misses\n", misses)
+	return nil
+}

@@ -1,0 +1,202 @@
+// Thermal-monitor: the paper's full use-case (Figure 3 / Algorithm 1) on a
+// live simulated PBF-LB machine.
+//
+// A simulated EOS M290 prints the paper's 12-specimen build, emitting one
+// OT image per layer with a (time-scaled) recoat gap between layers. The
+// STRATA pipeline fuses images with printing parameters, partitions them
+// into specimens and cells, classifies each cell's thermal energy against a
+// calibrated reference, and DBSCAN-clusters the too-cold/too-hot portions
+// within and across layers. Cluster reports and their latency against the
+// 3-second QoS deadline are printed live.
+//
+//	go run ./examples/thermal-monitor [-layers 25] [-image 500]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"strata/internal/amsim"
+	"strata/internal/bench"
+	"strata/internal/core"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// machineFeed adapts a live amsim.Machine run to the pipeline's two
+// sources: the machine goroutine publishes layer data into a channel, and
+// both collectors consume per-layer tuples from fan-out copies.
+type machineFeed struct {
+	mmPerPixel float64
+	ot         chan core.EventTuple
+	pp         chan core.EventTuple
+}
+
+func (f *machineFeed) MMPerPixel() float64 { return f.mmPerPixel }
+
+func (f *machineFeed) OTCollector() core.CollectFunc {
+	return func(ctx context.Context, emit func(core.EventTuple) error) error {
+		return drain(ctx, f.ot, emit)
+	}
+}
+
+func (f *machineFeed) ParamsCollector() core.CollectFunc {
+	return func(ctx context.Context, emit func(core.EventTuple) error) error {
+		return drain(ctx, f.pp, emit)
+	}
+}
+
+func drain(ctx context.Context, ch <-chan core.EventTuple, emit func(core.EventTuple) error) error {
+	for {
+		select {
+		case t, ok := <-ch:
+			if !ok {
+				return nil
+			}
+			if err := emit(t); err != nil {
+				return err
+			}
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+func run() error {
+	var (
+		layers  = flag.Int("layers", 25, "layers to print")
+		imagePx = flag.Int("image", 500, "OT image resolution (paper: 2000)")
+		cell    = flag.Int("cell", 20, "cell edge in paper pixels")
+		l       = flag.Int("L", 10, "layers clustered together")
+		// The real machine needs ~1 min/layer; scale time so the demo
+		// finishes quickly while keeping a visible inter-layer gap.
+		layerTime = flag.Duration("layer-time", 300*time.Millisecond, "simulated melt time per layer")
+		recoat    = flag.Duration("recoat", 100*time.Millisecond, "simulated recoat gap")
+	)
+	flag.Parse()
+
+	layout := amsim.ScaledLayout(*imagePx)
+	job, err := amsim.NewJob("demo-build", layout, 42)
+	if err != nil {
+		return err
+	}
+	machine, err := amsim.NewMachine("eos-m290-sim", amsim.MachineConfig{
+		LayerTime: *layerTime,
+		RecoatGap: *recoat,
+	})
+	if err != nil {
+		return err
+	}
+
+	storeDir, err := os.MkdirTemp("", "strata-thermal-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(storeDir)
+	fw, err := core.New(core.WithStoreDir(storeDir), core.WithName("thermal-monitor"))
+	if err != nil {
+		return err
+	}
+	defer fw.Close()
+
+	// Historical calibration: the classification thresholds derive from a
+	// previous job's emission statistics.
+	calJob, err := amsim.NewJob("historical-build", layout, 41)
+	if err != nil {
+		return err
+	}
+	if err := bench.CalibrateReference(fw, calJob, 3); err != nil {
+		return err
+	}
+
+	feed := &machineFeed{
+		mmPerPixel: layout.MMPerPixel(),
+		ot:         make(chan core.EventTuple, 4),
+		pp:         make(chan core.EventTuple, 4),
+	}
+
+	edge := *cell * *imagePx / amsim.DefaultImagePx
+	if edge < 1 {
+		edge = 1
+	}
+	err = bench.BuildPipeline(fw, feed, layout.LayerMM,
+		bench.PipelineParams{CellEdgePx: edge, L: *l, Parallelism: 4},
+		func(r bench.Result) error {
+			qos := "OK"
+			if r.Latency > bench.QoSThreshold {
+				qos = "MISSED QoS"
+			}
+			if len(r.Clusters) == 0 {
+				return nil
+			}
+			fmt.Printf("layer %3d %s: %2d defect cluster(s) from %3d hot/cold cells  [latency %8v %s]\n",
+				r.Layer, r.Specimen, len(r.Clusters), r.Events,
+				r.Latency.Round(time.Millisecond), qos)
+			for _, c := range r.Clusters {
+				fmt.Printf("    cluster #%d: %d cells, %.1f mm², centre (%.1f, %.1f) mm\n",
+					c.ID, c.Size, c.Weight, c.Centroid.X, c.Centroid.Y)
+			}
+			return nil
+		})
+	if err != nil {
+		return err
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+
+	// The machine runs concurrently with the pipeline, feeding both
+	// collectors through the shared channels.
+	machineErr := make(chan error, 1)
+	go func() {
+		defer close(feed.ot)
+		defer close(feed.pp)
+		machineErr <- machine.Run(ctx, job, *layers, func(ld amsim.LayerData) error {
+			ts := time.UnixMicro(int64(ld.Layer) * 1_000_000)
+			now := time.Now()
+			pp := core.EventTuple{
+				TS: ts, Job: ld.JobID, Layer: ld.Layer, AvailableAt: now,
+				KV: map[string]any{
+					"power":       ld.Params.LaserPowerW,
+					"speed":       ld.Params.ScanSpeedMMS,
+					"hatch":       ld.Params.HatchMM,
+					"orientation": ld.Params.OrientationDeg,
+					"regions":     amsim.EncodeRegions(ld.Params.SpecimenRegions),
+				},
+			}
+			ot := core.EventTuple{
+				TS: ts, Job: ld.JobID, Layer: ld.Layer, AvailableAt: now,
+				KV: map[string]any{"ot": ld.Image},
+			}
+			select {
+			case feed.pp <- pp:
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+			select {
+			case feed.ot <- ot:
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+			fmt.Fprintf(os.Stderr, "machine: layer %d/%d complete\n", ld.Layer, *layers)
+			return nil
+		})
+	}()
+
+	if err := fw.Run(ctx); err != nil {
+		return err
+	}
+	if err := <-machineErr; err != nil {
+		return err
+	}
+	fmt.Println("build finished; pipeline drained")
+	return nil
+}

@@ -1,0 +1,3 @@
+module strata
+
+go 1.22

@@ -1,0 +1,37 @@
+package amsim
+
+import (
+	"fmt"
+	"testing"
+)
+
+func BenchmarkRenderLayer(b *testing.B) {
+	for _, px := range []int{500, 1000, 2000} {
+		b.Run(fmt.Sprintf("%dpx", px), func(b *testing.B) {
+			m, err := NewProcessModel(ScaledLayout(px), 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(px * px * 2))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = m.RenderLayer(i % m.Layout().NumLayers())
+			}
+		})
+	}
+}
+
+func BenchmarkEncodeRegions(b *testing.B) {
+	job, err := NewJob("b", ScaledLayout(2000), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	regions := job.ParamsForLayer(1).SpecimenRegions
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := EncodeRegions(regions)
+		if _, err := DecodeRegions(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

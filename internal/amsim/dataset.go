@@ -1,0 +1,121 @@
+package amsim
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"strata/internal/otimage"
+)
+
+// Manifest describes a recorded OT dataset on disk (job.json): the job's
+// identity, geometry, process parameters, and per-layer scan orientations.
+// Layer images live next to it as layer-%05d.pgm files.
+type Manifest struct {
+	JobID        string    `json:"job_id"`
+	ImagePx      int       `json:"image_px"`
+	MMPerPixel   float64   `json:"mm_per_pixel"`
+	LayerMM      float64   `json:"layer_mm"`
+	Layers       int       `json:"layers"`
+	Seed         int64     `json:"seed"`
+	LaserPowerW  float64   `json:"laser_power_w"`
+	ScanSpeedMMS float64   `json:"scan_speed_mm_s"`
+	HatchMM      float64   `json:"hatch_mm"`
+	Regions      string    `json:"regions"` // EncodeRegions form
+	Orientations []float64 `json:"orientations"`
+}
+
+func layerFileName(layer int) string { return fmt.Sprintf("layer-%05d.pgm", layer) }
+
+// SaveDataset renders the first n layers of job (0 = all) into dir as PGM
+// files plus a job.json manifest, calling progress (optional) per layer.
+func SaveDataset(dir string, job *Job, n int, seed int64, progress func(layer, total int)) (Manifest, error) {
+	if n <= 0 || n > job.NumLayers() {
+		n = job.NumLayers()
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return Manifest{}, fmt.Errorf("amsim: create dataset dir: %w", err)
+	}
+	m := Manifest{
+		JobID:        job.ID,
+		ImagePx:      job.Layout.ImagePx,
+		MMPerPixel:   job.Layout.MMPerPixel(),
+		LayerMM:      job.Layout.LayerMM,
+		Layers:       n,
+		Seed:         seed,
+		LaserPowerW:  job.LaserPowerW,
+		ScanSpeedMMS: job.ScanSpeedMMS,
+		HatchMM:      job.HatchMM,
+		Regions:      EncodeRegions(job.ParamsForLayer(1).SpecimenRegions),
+	}
+	for l := 1; l <= n; l++ {
+		im, err := job.RenderLayer(l)
+		if err != nil {
+			return Manifest{}, err
+		}
+		if err := im.SavePGM(filepath.Join(dir, layerFileName(l))); err != nil {
+			return Manifest{}, err
+		}
+		m.Orientations = append(m.Orientations, job.ParamsForLayer(l).OrientationDeg)
+		if progress != nil {
+			progress(l, n)
+		}
+	}
+	f, err := os.Create(filepath.Join(dir, "job.json"))
+	if err != nil {
+		return Manifest{}, fmt.Errorf("amsim: create manifest: %w", err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(m); err != nil {
+		f.Close()
+		return Manifest{}, fmt.Errorf("amsim: write manifest: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return Manifest{}, err
+	}
+	return m, nil
+}
+
+// LoadDataset reads a dataset written by SaveDataset.
+func LoadDataset(dir string) (Manifest, []LayerData, error) {
+	var m Manifest
+	raw, err := os.ReadFile(filepath.Join(dir, "job.json"))
+	if err != nil {
+		return m, nil, fmt.Errorf("amsim: read manifest: %w", err)
+	}
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return m, nil, fmt.Errorf("amsim: parse manifest: %w", err)
+	}
+	regions, err := DecodeRegions(m.Regions)
+	if err != nil {
+		return m, nil, err
+	}
+	layers := make([]LayerData, 0, m.Layers)
+	for l := 1; l <= m.Layers; l++ {
+		im, err := otimage.LoadPGM(filepath.Join(dir, layerFileName(l)))
+		if err != nil {
+			return m, nil, err
+		}
+		orientation := 0.0
+		if l-1 < len(m.Orientations) {
+			orientation = m.Orientations[l-1]
+		}
+		layers = append(layers, LayerData{
+			JobID: m.JobID,
+			Layer: l,
+			Image: im,
+			Params: PrintingParams{
+				JobID:           m.JobID,
+				Layer:           l,
+				LaserPowerW:     m.LaserPowerW,
+				ScanSpeedMMS:    m.ScanSpeedMMS,
+				HatchMM:         m.HatchMM,
+				OrientationDeg:  orientation,
+				SpecimenRegions: regions,
+			},
+		})
+	}
+	return m, layers, nil
+}

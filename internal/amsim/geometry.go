@@ -1,0 +1,174 @@
+// Package amsim simulates a Powder Bed Fusion - Laser Beam (PBF-LB) machine
+// with an in-situ Optical Tomography (OT) sensor, standing in for the
+// EOS M290 + sCMOS setup of the paper's evaluation (no public PBF-LB OT
+// traces exist). It reproduces the data characteristics the evaluation
+// depends on:
+//
+//   - one long-exposure OT image per layer (16-bit gray; at full scale
+//     2000×2000 px over a 250×250 mm plate);
+//   - a build of 12 specimens, each 25 (width) × 50 (length) × 23 (height)
+//     mm, with three embedded reference cylinders;
+//   - the build height divided into 23 stacks of 1 mm, each stack scanned at
+//     its own orientation angle to the gas flow;
+//   - orientation-dependent spatter/gas-flow interaction creating defect
+//     sites (too-low/too-high thermal energy) that persist across adjacent
+//     layers;
+//   - a ~3 s recoat gap between layers, during which the pipeline must
+//     deliver its verdict (the paper's QoS threshold).
+//
+// Everything is seeded and deterministic.
+package amsim
+
+import (
+	"fmt"
+
+	"strata/internal/otimage"
+)
+
+// Default physical geometry, from the paper's evaluation setup.
+const (
+	// DefaultPlateMM is the build plate edge (the OT camera's field of view).
+	DefaultPlateMM = 250.0
+	// DefaultImagePx is the full-resolution OT image edge.
+	DefaultImagePx = 2000
+	// DefaultSpecimenWidthMM × DefaultSpecimenLengthMM × DefaultSpecimenHeightMM
+	// is each specimen block's size.
+	DefaultSpecimenWidthMM  = 25.0
+	DefaultSpecimenLengthMM = 50.0
+	DefaultSpecimenHeightMM = 23.0
+	// DefaultStackHeightMM is the height of one constant-orientation stack.
+	DefaultStackHeightMM = 1.0
+	// DefaultLayerThicknessMM is the powder layer thickness (40 µm, the
+	// middle of the paper's 20-100 µm range).
+	DefaultLayerThicknessMM = 0.04
+	// DefaultSpecimens is the number of blocks in the build.
+	DefaultSpecimens = 12
+)
+
+// Cylinder is one of the vertical reference cylinders inside a specimen
+// (used in the real experiment for X-ray CT porosity measurement).
+type Cylinder struct {
+	// CenterXMM, CenterYMM are plate coordinates of the axis.
+	CenterXMM, CenterYMM float64
+	RadiusMM             float64
+}
+
+// Specimen is one printed block.
+type Specimen struct {
+	ID int
+	// OriginXMM, OriginYMM is the block's lower-left corner on the plate.
+	OriginXMM, OriginYMM float64
+	WidthMM, LengthMM    float64
+	HeightMM             float64
+	Cylinders            []Cylinder
+}
+
+// RegionPx returns the specimen's pixel rectangle at the given resolution.
+func (s Specimen) RegionPx(mmPerPixel float64) otimage.Rect {
+	return otimage.Rect{
+		X0: int(s.OriginXMM / mmPerPixel),
+		Y0: int(s.OriginYMM / mmPerPixel),
+		X1: int((s.OriginXMM + s.WidthMM) / mmPerPixel),
+		Y1: int((s.OriginYMM + s.LengthMM) / mmPerPixel),
+	}
+}
+
+// Layout describes a build: the plate, image resolution, and specimen
+// placement.
+type Layout struct {
+	PlateMM   float64
+	ImagePx   int
+	Specimens []Specimen
+	StackMM   float64
+	LayerMM   float64
+	HeightMM  float64
+}
+
+// MMPerPixel returns the physical pixel pitch.
+func (l Layout) MMPerPixel() float64 { return l.PlateMM / float64(l.ImagePx) }
+
+// NumLayers returns the total number of layers in the build.
+func (l Layout) NumLayers() int { return int(l.HeightMM/l.LayerMM + 0.5) }
+
+// LayersPerStack returns how many layers share one scan orientation.
+func (l Layout) LayersPerStack() int { return int(l.StackMM/l.LayerMM + 0.5) }
+
+// StackOf returns the stack index (0-based) of a layer (0-based).
+func (l Layout) StackOf(layer int) int {
+	lps := l.LayersPerStack()
+	if lps <= 0 {
+		return 0
+	}
+	return layer / lps
+}
+
+// ScanOrientationDeg returns the scan direction of a layer, measured from
+// the +x axis. Each stack rotates by 67°, the rotation increment commonly
+// used in PBF-LB to decorrelate consecutive stacks.
+func (l Layout) ScanOrientationDeg(layer int) float64 {
+	return float64(l.StackOf(layer) * 67 % 360)
+}
+
+// DefaultLayout builds the paper's geometry at full resolution: 12 specimens
+// in a 4×3 grid of 25×50 mm blocks on a 250 mm plate, 23 stacks of 1 mm.
+func DefaultLayout() Layout { return ScaledLayout(DefaultImagePx) }
+
+// ScaledLayout is DefaultLayout with a different OT image resolution (the
+// physical geometry is unchanged; only mm-per-pixel varies). Use small
+// resolutions in tests to keep pixel counts manageable.
+func ScaledLayout(imagePx int) Layout {
+	l := Layout{
+		PlateMM:  DefaultPlateMM,
+		ImagePx:  imagePx,
+		StackMM:  DefaultStackHeightMM,
+		LayerMM:  DefaultLayerThicknessMM,
+		HeightMM: DefaultSpecimenHeightMM,
+	}
+	// 4 columns × 3 rows of 25×50 mm blocks, centered in equal grid cells.
+	const cols, rows = 4, 3
+	cellW := DefaultPlateMM / cols
+	cellH := DefaultPlateMM / rows
+	id := 0
+	for row := 0; row < rows; row++ {
+		for col := 0; col < cols; col++ {
+			ox := float64(col)*cellW + (cellW-DefaultSpecimenWidthMM)/2
+			oy := float64(row)*cellH + (cellH-DefaultSpecimenLengthMM)/2
+			sp := Specimen{
+				ID:        id,
+				OriginXMM: ox,
+				OriginYMM: oy,
+				WidthMM:   DefaultSpecimenWidthMM,
+				LengthMM:  DefaultSpecimenLengthMM,
+				HeightMM:  DefaultSpecimenHeightMM,
+			}
+			// Three reference cylinders along the block's center line.
+			for c := 0; c < 3; c++ {
+				sp.Cylinders = append(sp.Cylinders, Cylinder{
+					CenterXMM: ox + DefaultSpecimenWidthMM/2,
+					CenterYMM: oy + DefaultSpecimenLengthMM*(0.25+0.25*float64(c)),
+					RadiusMM:  2,
+				})
+			}
+			l.Specimens = append(l.Specimens, sp)
+			id++
+		}
+	}
+	return l
+}
+
+// Validate checks the layout's internal consistency.
+func (l Layout) Validate() error {
+	if l.PlateMM <= 0 || l.ImagePx <= 0 {
+		return fmt.Errorf("amsim: bad plate/image geometry (%g mm, %d px)", l.PlateMM, l.ImagePx)
+	}
+	if l.LayerMM <= 0 || l.StackMM < l.LayerMM || l.HeightMM < l.StackMM {
+		return fmt.Errorf("amsim: bad layer geometry (layer %g, stack %g, height %g)", l.LayerMM, l.StackMM, l.HeightMM)
+	}
+	for _, s := range l.Specimens {
+		if s.OriginXMM < 0 || s.OriginYMM < 0 ||
+			s.OriginXMM+s.WidthMM > l.PlateMM || s.OriginYMM+s.LengthMM > l.PlateMM {
+			return fmt.Errorf("amsim: specimen %d exceeds the plate", s.ID)
+		}
+	}
+	return nil
+}

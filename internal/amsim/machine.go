@@ -1,0 +1,136 @@
+package amsim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"strata/internal/otimage"
+)
+
+// LayerData is what the machine emits when a layer completes: the OT image,
+// the layer's printing parameters, and the completion wall-clock time (the
+// moment from which the paper measures pipeline latency).
+type LayerData struct {
+	JobID       string
+	Layer       int // 1-based
+	Image       *otimage.Image
+	Params      PrintingParams
+	CompletedAt time.Time
+}
+
+// MachineConfig paces a machine run.
+type MachineConfig struct {
+	// LayerTime is how long melting one layer takes. Real layers take on
+	// the order of minutes; benchmarks shrink this.
+	LayerTime time.Duration
+	// RecoatGap is the pause between layers while the recoater spreads
+	// fresh powder — the paper's ~3 s window in which pipeline results
+	// must arrive for an online go/no-go decision.
+	RecoatGap time.Duration
+}
+
+// DefaultMachineConfig mirrors the paper's setup with a 3 s recoat gap and a
+// 1-minute layer time.
+func DefaultMachineConfig() MachineConfig {
+	return MachineConfig{LayerTime: time.Minute, RecoatGap: 3 * time.Second}
+}
+
+// Machine simulates one PBF-LB machine executing jobs.
+type Machine struct {
+	name string
+	cfg  MachineConfig
+}
+
+// NewMachine creates a machine. A zero-valued config runs every layer
+// back-to-back with no pacing (as-fast-as-possible replay).
+func NewMachine(name string, cfg MachineConfig) (*Machine, error) {
+	if name == "" {
+		return nil, fmt.Errorf("amsim: empty machine name")
+	}
+	if cfg.LayerTime < 0 || cfg.RecoatGap < 0 {
+		return nil, fmt.Errorf("amsim: negative durations in machine config")
+	}
+	return &Machine{name: name, cfg: cfg}, nil
+}
+
+// Name returns the machine's name.
+func (m *Machine) Name() string { return m.name }
+
+// ErrTerminated is returned by RunControlled when a control command stops
+// the job before its last layer.
+var ErrTerminated = errors.New("amsim: job terminated by control command")
+
+// ControlFunc is the machine's feedback-control hook, consulted during the
+// recoat gap after each completed layer — the window in which the paper's
+// envisioned data-driven QA decides to continue, re-adjust, or terminate.
+// stop=true ends the job; params (may be nil) adjusts the process, with
+// "energy_scale" mapping to the thermal model's energy-density factor.
+type ControlFunc func(completedLayer int) (stop bool, params map[string]float64)
+
+// Run prints the job, calling emit once per completed layer. maxLayers
+// bounds the run (0 = the whole build). Pacing follows the machine config;
+// ctx cancels the run between layers.
+func (m *Machine) Run(ctx context.Context, job *Job, maxLayers int, emit func(LayerData) error) error {
+	return m.RunControlled(ctx, job, maxLayers, emit, nil)
+}
+
+// RunControlled is Run with a feedback-control hook. It returns
+// ErrTerminated when ctl stops the job early.
+func (m *Machine) RunControlled(ctx context.Context, job *Job, maxLayers int, emit func(LayerData) error, ctl ControlFunc) error {
+	n := job.NumLayers()
+	if maxLayers > 0 && maxLayers < n {
+		n = maxLayers
+	}
+	for layer := 1; layer <= n; layer++ {
+		if m.cfg.LayerTime > 0 {
+			if err := sleepCtx(ctx, m.cfg.LayerTime); err != nil {
+				return err
+			}
+		}
+		img, err := job.RenderLayer(layer)
+		if err != nil {
+			return err
+		}
+		ld := LayerData{
+			JobID:       job.ID,
+			Layer:       layer,
+			Image:       img,
+			Params:      job.ParamsForLayer(layer),
+			CompletedAt: time.Now(),
+		}
+		if err := emit(ld); err != nil {
+			return err
+		}
+		if layer < n && m.cfg.RecoatGap > 0 {
+			if err := sleepCtx(ctx, m.cfg.RecoatGap); err != nil {
+				return err
+			}
+		}
+		if ctl != nil {
+			stop, params := ctl(layer)
+			if scale, ok := params["energy_scale"]; ok {
+				job.Model.SetEnergyScale(scale)
+			}
+			if stop {
+				return fmt.Errorf("%w (after layer %d)", ErrTerminated, layer)
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,44 @@
+package amsim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"strata/internal/otimage"
+)
+
+// EncodeRegions serializes a specimen→region map into the compact string
+// form carried in the printing-parameters tuple payload
+// ("id:x0,y0,x1,y1;..."), so the tuple stays within the connector codec's
+// value types. Entries are ordered by specimen ID for determinism.
+func EncodeRegions(regions map[int]otimage.Rect) string {
+	ids := make([]int, 0, len(regions))
+	for id := range regions {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	parts := make([]string, 0, len(ids))
+	for _, id := range ids {
+		r := regions[id]
+		parts = append(parts, fmt.Sprintf("%d:%d,%d,%d,%d", id, r.X0, r.Y0, r.X1, r.Y1))
+	}
+	return strings.Join(parts, ";")
+}
+
+// DecodeRegions parses the string produced by EncodeRegions.
+func DecodeRegions(s string) (map[int]otimage.Rect, error) {
+	out := make(map[int]otimage.Rect)
+	if s == "" {
+		return out, nil
+	}
+	for _, part := range strings.Split(s, ";") {
+		var id int
+		var r otimage.Rect
+		if _, err := fmt.Sscanf(part, "%d:%d,%d,%d,%d", &id, &r.X0, &r.Y0, &r.X1, &r.Y1); err != nil {
+			return nil, fmt.Errorf("amsim: bad region entry %q: %w", part, err)
+		}
+		out[id] = r
+	}
+	return out, nil
+}

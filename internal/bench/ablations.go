@@ -1,0 +1,170 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+	"time"
+
+	"strata/internal/cluster"
+)
+
+// AblationReport holds the outcome of the design-choice ablations DESIGN.md
+// calls out, in printable form.
+type AblationReport struct {
+	Parallelism []ParallelismPoint
+	DBSCANIndex []IndexPoint
+	VsKMeans    []AlgoPoint
+}
+
+// ParallelismPoint measures the pipeline at one stage-replication degree.
+type ParallelismPoint struct {
+	Parallelism int
+	CellsPerSec float64
+	ImagesPerS  float64
+	MeanLatency time.Duration
+}
+
+// IndexPoint compares a DBSCAN implementation at one input size.
+type IndexPoint struct {
+	Points  int
+	Variant string // "grid" or "naive"
+	PerCall time.Duration
+}
+
+// AlgoPoint compares clustering algorithms on the same workload.
+type AlgoPoint struct {
+	Algorithm string
+	PerCall   time.Duration
+	Clusters  int
+}
+
+// RunAblations executes the three ablations on a scaled-down workload and
+// returns the report.
+func RunAblations(ctx context.Context, cfg ExperimentConfig) (AblationReport, error) {
+	cfg = cfg.withDefaults()
+	var report AblationReport
+
+	// 1. Pipeline parallelism sweep.
+	replay, layerMM, err := replayBuffer(cfg)
+	if err != nil {
+		return report, err
+	}
+	edge := paperPxToLocal(10, cfg.ImagePx)
+	for _, par := range []int{1, 2, 4, 8} {
+		dir, err := os.MkdirTemp("", "strata-ablate-*")
+		if err != nil {
+			return report, err
+		}
+		stats, err := RunOnce(ctx, replay, layerMM,
+			PipelineParams{CellEdgePx: edge, L: 10, Parallelism: par},
+			FeedMode{}, len(replay)+8, dir)
+		os.RemoveAll(dir)
+		if err != nil {
+			return report, err
+		}
+		box := ComputeBox(stats.Latencies)
+		report.Parallelism = append(report.Parallelism, ParallelismPoint{
+			Parallelism: par,
+			CellsPerSec: stats.CellsPerSec(),
+			ImagesPerS:  stats.ImagesPerSec(),
+			MeanLatency: box.Mean,
+		})
+		cfg.logf("ablate parallelism=%d: %.0f cells/s", par, stats.CellsPerSec())
+	}
+
+	// 2. Grid-indexed vs naive DBSCAN.
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for _, n := range []int{500, 2000, 8000} {
+		pts := make([]cluster.Point, n)
+		for i := range pts {
+			pts[i] = cluster.Point{X: rng.Float64() * 100, Y: rng.Float64() * 100}
+		}
+		for _, variant := range []string{"grid", "naive"} {
+			reps := 5
+			if variant == "naive" && n >= 8000 {
+				reps = 1
+			}
+			start := time.Now()
+			for r := 0; r < reps; r++ {
+				var err error
+				if variant == "grid" {
+					_, err = cluster.DBSCAN(pts, 2, 4)
+				} else {
+					_, err = cluster.DBSCANNaive(pts, 2, 4)
+				}
+				if err != nil {
+					return report, err
+				}
+			}
+			report.DBSCANIndex = append(report.DBSCANIndex, IndexPoint{
+				Points:  n,
+				Variant: variant,
+				PerCall: time.Since(start) / time.Duration(reps),
+			})
+		}
+	}
+
+	// 3. DBSCAN vs k-means on a defect-like workload (5 dense columns plus
+	// background noise — the shape the use-case produces).
+	pts := make([]cluster.Point, 3000)
+	for i := range pts {
+		if i%5 == 0 {
+			pts[i] = cluster.Point{X: rng.Float64() * 100, Y: rng.Float64() * 100}
+		} else {
+			c := float64(i % 5)
+			pts[i] = cluster.Point{X: 15*c + rng.NormFloat64(), Y: 15*c + rng.NormFloat64()}
+		}
+	}
+	start := time.Now()
+	labels, err := cluster.DBSCAN(pts, 2.5, 4)
+	if err != nil {
+		return report, err
+	}
+	report.VsKMeans = append(report.VsKMeans, AlgoPoint{
+		Algorithm: "dbscan",
+		PerCall:   time.Since(start),
+		Clusters:  len(cluster.Summarize(pts, labels)),
+	})
+	start = time.Now()
+	cents, klabels, err := cluster.KMeans(pts, 5, 50, cfg.Seed)
+	if err != nil {
+		return report, err
+	}
+	report.VsKMeans = append(report.VsKMeans, AlgoPoint{
+		Algorithm: "kmeans-k5",
+		PerCall:   time.Since(start),
+		Clusters:  len(cents),
+	})
+	_ = klabels
+	return report, nil
+}
+
+// String renders the ablation report as aligned tables.
+func (r AblationReport) String() string {
+	var b strings.Builder
+	b.WriteString("pipeline parallelism (operator-fused branches):\n")
+	t1 := NewTable("parallelism", "k cells/s", "images/s", "mean latency")
+	for _, p := range r.Parallelism {
+		t1.AddRow(p.Parallelism, p.CellsPerSec/1000, p.ImagesPerS, p.MeanLatency)
+	}
+	b.WriteString(t1.String())
+
+	b.WriteString("\nDBSCAN range-query index (grid vs naive O(n²)):\n")
+	t2 := NewTable("points", "variant", "per call")
+	for _, p := range r.DBSCANIndex {
+		t2.AddRow(p.Points, p.Variant, p.PerCall)
+	}
+	b.WriteString(t2.String())
+
+	b.WriteString("\nclustering algorithm (paper prefers DBSCAN over k-means):\n")
+	t3 := NewTable("algorithm", "per call", "clusters found")
+	for _, p := range r.VsKMeans {
+		t3.AddRow(p.Algorithm, p.PerCall, p.Clusters)
+	}
+	b.WriteString(t3.String())
+	b.WriteString(fmt.Sprintf("\n(DBSCAN needs no cluster count a priori and marks noise; k-means forces k partitions.)\n"))
+	return b.String()
+}

@@ -1,0 +1,97 @@
+package bench
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"strconv"
+	"time"
+)
+
+// CSV export of the experiment results, one file per figure, ready for any
+// plotting tool. Columns carry seconds as floats.
+
+func secs(d time.Duration) string {
+	return strconv.FormatFloat(d.Seconds(), 'g', 8, 64)
+}
+
+func writeCSV(path string, header []string, rows [][]string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("bench: create %s: %w", path, err)
+	}
+	w := csv.NewWriter(f)
+	if err := w.Write(header); err != nil {
+		f.Close()
+		return err
+	}
+	if err := w.WriteAll(rows); err != nil {
+		f.Close()
+		return err
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// WriteCellSizeCSV exports Figure 5's rows.
+func WriteCellSizeCSV(path string, results []CellSizeResult) error {
+	rows := make([][]string, 0, len(results))
+	for _, r := range results {
+		rows = append(rows, []string{
+			strconv.Itoa(r.CellEdgePaperPx),
+			strconv.Itoa(r.CellEdgePx),
+			strconv.FormatFloat(r.CellAreaMM2, 'g', 6, 64),
+			strconv.FormatInt(r.CellsPerLayer, 10),
+			secs(r.Stats.Min), secs(r.Stats.P25), secs(r.Stats.Median),
+			secs(r.Stats.P75), secs(r.Stats.Max),
+			strconv.FormatBool(r.QoSMet),
+		})
+	}
+	return writeCSV(path, []string{
+		"cell_paper_px", "cell_px", "cell_area_mm2", "cells_per_layer",
+		"min_s", "p25_s", "median_s", "p75_s", "max_s", "qos_met",
+	}, rows)
+}
+
+// WriteLayerWindowCSV exports Figure 6's rows.
+func WriteLayerWindowCSV(path string, results []LayerWindowResult) error {
+	rows := make([][]string, 0, len(results))
+	for _, r := range results {
+		rows = append(rows, []string{
+			strconv.Itoa(r.L),
+			strconv.FormatFloat(r.DepthMM, 'g', 6, 64),
+			secs(r.Stats.Min), secs(r.Stats.P25), secs(r.Stats.Median),
+			secs(r.Stats.P75), secs(r.Stats.Max),
+			strconv.FormatBool(r.QoSMet),
+		})
+	}
+	return writeCSV(path, []string{
+		"L_layers", "depth_mm", "min_s", "p25_s", "median_s", "p75_s", "max_s", "qos_met",
+	}, rows)
+}
+
+// WriteThroughputCSV exports Figure 7's rows (both cell-size series in one
+// file, keyed by the first column).
+func WriteThroughputCSV(path string, points map[int][]ThroughputPoint) error {
+	var rows [][]string
+	for _, edge := range sortedKeys(points) {
+		for _, p := range points[edge] {
+			rows = append(rows, []string{
+				strconv.Itoa(edge),
+				strconv.FormatFloat(p.OfferedImgPerS, 'g', 6, 64),
+				strconv.FormatFloat(p.AchievedImgPerS, 'g', 6, 64),
+				strconv.FormatFloat(p.KCellsPerS, 'g', 6, 64),
+				secs(p.MeanLatency),
+				secs(p.P95Latency),
+			})
+		}
+	}
+	return writeCSV(path, []string{
+		"cell_paper_px", "offered_img_per_s", "achieved_img_per_s",
+		"k_cells_per_s", "mean_latency_s", "p95_latency_s",
+	}, rows)
+}

@@ -1,0 +1,50 @@
+package bench
+
+import (
+	"sync"
+	"time"
+)
+
+// layerGate implements closed-loop pacing: the feed awaits a layer's full
+// result count before releasing the next layer. A generous timeout guards
+// against a layer producing fewer results than expected (mis-configured
+// feeds), so a run degrades to time-paced instead of deadlocking.
+type layerGate struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	expected int
+	counts   map[int]int
+}
+
+// gateTimeout bounds how long the gate waits for one layer's results.
+const gateTimeout = 30 * time.Second
+
+func newLayerGate(expected int) *layerGate {
+	g := &layerGate{expected: expected, counts: make(map[int]int)}
+	g.cond = sync.NewCond(&g.mu)
+	return g
+}
+
+// done records one delivered result for layer.
+func (g *layerGate) done(layer int) {
+	g.mu.Lock()
+	g.counts[layer]++
+	g.mu.Unlock()
+	g.cond.Broadcast()
+}
+
+// await blocks until layer has produced its expected results (or the
+// timeout elapses).
+func (g *layerGate) await(layer int) {
+	if g.expected <= 0 {
+		return
+	}
+	deadline := time.Now().Add(gateTimeout)
+	timer := time.AfterFunc(gateTimeout, func() { g.cond.Broadcast() })
+	defer timer.Stop()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for g.counts[layer] < g.expected && time.Now().Before(deadline) {
+		g.cond.Wait()
+	}
+}

@@ -1,0 +1,89 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// LatencyRecorder collects per-result latencies; safe for concurrent use.
+type LatencyRecorder struct {
+	mu   sync.Mutex
+	vals []time.Duration
+}
+
+// Record appends one observation.
+func (r *LatencyRecorder) Record(d time.Duration) {
+	r.mu.Lock()
+	r.vals = append(r.vals, d)
+	r.mu.Unlock()
+}
+
+// Values returns a copy of all observations.
+func (r *LatencyRecorder) Values() []time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]time.Duration(nil), r.vals...)
+}
+
+// Len returns the number of observations.
+func (r *LatencyRecorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.vals)
+}
+
+// Reset discards all observations.
+func (r *LatencyRecorder) Reset() {
+	r.mu.Lock()
+	r.vals = r.vals[:0]
+	r.mu.Unlock()
+}
+
+// BoxStats are the five-number summary (plus mean/p95/count) behind one
+// boxplot of Figures 5 and 6.
+type BoxStats struct {
+	N      int
+	Min    time.Duration
+	P25    time.Duration
+	Median time.Duration
+	P75    time.Duration
+	P95    time.Duration
+	Max    time.Duration
+	Mean   time.Duration
+}
+
+// ComputeBox summarizes a latency sample. A zero BoxStats is returned for
+// an empty sample.
+func ComputeBox(vals []time.Duration) BoxStats {
+	if len(vals) == 0 {
+		return BoxStats{}
+	}
+	sorted := append([]time.Duration(nil), vals...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	pct := func(p float64) time.Duration {
+		idx := int(p / 100 * float64(len(sorted)-1))
+		return sorted[idx]
+	}
+	var sum time.Duration
+	for _, v := range sorted {
+		sum += v
+	}
+	return BoxStats{
+		N:      len(sorted),
+		Min:    sorted[0],
+		P25:    pct(25),
+		Median: pct(50),
+		P75:    pct(75),
+		P95:    pct(95),
+		Max:    sorted[len(sorted)-1],
+		Mean:   sum / time.Duration(len(sorted)),
+	}
+}
+
+// String renders the summary on one line.
+func (b BoxStats) String() string {
+	return fmt.Sprintf("n=%d min=%v p25=%v med=%v p75=%v p95=%v max=%v mean=%v",
+		b.N, b.Min, b.P25, b.Median, b.P75, b.P95, b.Max, b.Mean)
+}

@@ -1,0 +1,87 @@
+package bench
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"strata/internal/cluster"
+)
+
+// encodeSummaries packs cluster summaries into the []byte payload format of
+// the result tuples (so results survive the connector codec).
+func encodeSummaries(sums []cluster.Summary) []byte {
+	buf := make([]byte, 0, 8+len(sums)*11*8)
+	buf = binary.AppendUvarint(buf, uint64(len(sums)))
+	f := func(v float64) {
+		var tmp [8]byte
+		binary.LittleEndian.PutUint64(tmp[:], math.Float64bits(v))
+		buf = append(buf, tmp[:]...)
+	}
+	for _, s := range sums {
+		buf = binary.AppendUvarint(buf, uint64(s.ID))
+		buf = binary.AppendUvarint(buf, uint64(s.Size))
+		f(s.Weight)
+		f(s.Centroid.X)
+		f(s.Centroid.Y)
+		f(s.Centroid.Z)
+		f(s.MinX)
+		f(s.MinY)
+		f(s.MinZ)
+		f(s.MaxX)
+		f(s.MaxY)
+		f(s.MaxZ)
+	}
+	return buf
+}
+
+// decodeSummaries unpacks encodeSummaries output.
+func decodeSummaries(data []byte) ([]cluster.Summary, error) {
+	n, off := binary.Uvarint(data)
+	if off <= 0 {
+		return nil, fmt.Errorf("bench: bad summaries header")
+	}
+	pos := off
+	readF := func() (float64, error) {
+		if pos+8 > len(data) {
+			return 0, fmt.Errorf("bench: truncated summaries")
+		}
+		v := math.Float64frombits(binary.LittleEndian.Uint64(data[pos:]))
+		pos += 8
+		return v, nil
+	}
+	readU := func() (uint64, error) {
+		v, n := binary.Uvarint(data[pos:])
+		if n <= 0 {
+			return 0, fmt.Errorf("bench: truncated summaries")
+		}
+		pos += n
+		return v, nil
+	}
+	out := make([]cluster.Summary, 0, n)
+	for i := uint64(0); i < n; i++ {
+		var s cluster.Summary
+		id, err := readU()
+		if err != nil {
+			return nil, err
+		}
+		s.ID = int(id)
+		size, err := readU()
+		if err != nil {
+			return nil, err
+		}
+		s.Size = int(size)
+		for _, dst := range []*float64{
+			&s.Weight, &s.Centroid.X, &s.Centroid.Y, &s.Centroid.Z,
+			&s.MinX, &s.MinY, &s.MinZ, &s.MaxX, &s.MaxY, &s.MaxZ,
+		} {
+			v, err := readF()
+			if err != nil {
+				return nil, err
+			}
+			*dst = v
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}

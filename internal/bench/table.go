@@ -1,0 +1,145 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// Table renders aligned text tables for the experiment reports.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// AddRow appends one row; values are stringified with %v.
+func (t *Table) AddRow(values ...any) {
+	row := make([]string, len(values))
+	for i, v := range values {
+		switch x := v.(type) {
+		case time.Duration:
+			row[i] = fmtDuration(x)
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", x)
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// fmtDuration renders a duration with millisecond precision.
+func fmtDuration(d time.Duration) string {
+	return d.Round(100 * time.Microsecond).String()
+}
+
+// WriteTo renders the table. It never fails on short writes mid-table; the
+// first write error is returned.
+func (t *Table) WriteTo(w io.Writer) (int64, error) {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var total int64
+	writeRow := func(cells []string) error {
+		var b strings.Builder
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			if pad := widths[i] - len(cell); pad > 0 && i < len(cells)-1 {
+				b.WriteString(strings.Repeat(" ", pad))
+			}
+		}
+		b.WriteByte('\n')
+		n, err := io.WriteString(w, b.String())
+		total += int64(n)
+		return err
+	}
+	if err := writeRow(t.header); err != nil {
+		return total, err
+	}
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	if err := writeRow(sep); err != nil {
+		return total, err
+	}
+	for _, row := range t.rows {
+		if err := writeRow(row); err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.WriteTo(&b) //nolint:errcheck // strings.Builder cannot fail
+	return b.String()
+}
+
+// FormatCellSizeResults renders the Figure 5 report.
+func FormatCellSizeResults(results []CellSizeResult) string {
+	tb := NewTable("cell(paper px)", "cell(px)", "area mm²", "cells/layer", "min", "p25", "median", "p75", "max", "QoS<3s")
+	for _, r := range results {
+		tb.AddRow(r.CellEdgePaperPx, r.CellEdgePx, r.CellAreaMM2, r.CellsPerLayer,
+			r.Stats.Min, r.Stats.P25, r.Stats.Median, r.Stats.P75, r.Stats.Max, r.QoSMet)
+	}
+	return tb.String()
+}
+
+// FormatLayerWindowResults renders the Figure 6 report.
+func FormatLayerWindowResults(results []LayerWindowResult) string {
+	tb := NewTable("L(layers)", "depth mm", "min", "p25", "median", "p75", "max", "QoS<3s")
+	for _, r := range results {
+		tb.AddRow(r.L, r.DepthMM, r.Stats.Min, r.Stats.P25, r.Stats.Median, r.Stats.P75, r.Stats.Max, r.QoSMet)
+	}
+	return tb.String()
+}
+
+// FormatThroughputResults renders the Figure 7 report.
+func FormatThroughputResults(points map[int][]ThroughputPoint) string {
+	var b strings.Builder
+	for _, edge := range sortedKeys(points) {
+		fmt.Fprintf(&b, "cell size %dx%d (paper px):\n", edge, edge)
+		tb := NewTable("offered img/s", "achieved img/s", "k cells/s", "mean latency", "p95 latency")
+		for _, p := range points[edge] {
+			tb.AddRow(p.OfferedImgPerS, p.AchievedImgPerS, p.KCellsPerS, p.MeanLatency, p.P95Latency)
+		}
+		b.WriteString(tb.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func sortedKeys(m map[int][]ThroughputPoint) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for i := 0; i < len(keys); i++ {
+		for j := i + 1; j < len(keys); j++ {
+			if keys[j] > keys[i] {
+				keys[i], keys[j] = keys[j], keys[i]
+			}
+		}
+	}
+	return keys
+}

@@ -1,0 +1,121 @@
+package cluster
+
+import "fmt"
+
+// DBSCAN labels points with cluster IDs (0..k-1) or Noise, following Ester
+// et al. (KDD-96): a point with at least minPts neighbours within eps
+// (itself included) is a core point; clusters are the transitive closure of
+// core points' neighbourhoods; non-core points reachable from a core point
+// join its cluster as border points; everything else is noise.
+//
+// Range queries use a uniform grid with edge eps, so the expected complexity
+// is O(n · k) for k points per neighbourhood rather than O(n²).
+func DBSCAN(points []Point, eps float64, minPts int) ([]int, error) {
+	if eps <= 0 {
+		return nil, fmt.Errorf("cluster: eps must be positive, got %g", eps)
+	}
+	if minPts < 1 {
+		return nil, fmt.Errorf("cluster: minPts must be >= 1, got %d", minPts)
+	}
+	labels := make([]int, len(points))
+	for i := range labels {
+		labels[i] = Noise
+	}
+	if len(points) == 0 {
+		return labels, nil
+	}
+	g := newGrid(points, eps)
+
+	visited := make([]bool, len(points))
+	var scratch []int
+	nextID := 0
+	for i := range points {
+		if visited[i] {
+			continue
+		}
+		visited[i] = true
+		scratch = g.neighbors(i, scratch[:0])
+		if len(scratch) < minPts {
+			continue // noise (may later become a border point)
+		}
+		// Start a new cluster and expand it breadth-first.
+		id := nextID
+		nextID++
+		labels[i] = id
+		queue := append([]int(nil), scratch...)
+		for len(queue) > 0 {
+			j := queue[0]
+			queue = queue[1:]
+			if labels[j] == Noise {
+				labels[j] = id // border or core point
+			}
+			if visited[j] {
+				continue
+			}
+			visited[j] = true
+			scratch = g.neighbors(j, scratch[:0])
+			if len(scratch) >= minPts {
+				// j is a core point: its neighbourhood joins.
+				queue = append(queue, scratch...)
+			}
+		}
+	}
+	return labels, nil
+}
+
+// DBSCANNaive is the textbook O(n²) variant (linear-scan range queries).
+// It exists as the correctness reference for property tests and as the
+// baseline of the grid-index ablation benchmark.
+func DBSCANNaive(points []Point, eps float64, minPts int) ([]int, error) {
+	if eps <= 0 {
+		return nil, fmt.Errorf("cluster: eps must be positive, got %g", eps)
+	}
+	if minPts < 1 {
+		return nil, fmt.Errorf("cluster: minPts must be >= 1, got %d", minPts)
+	}
+	labels := make([]int, len(points))
+	for i := range labels {
+		labels[i] = Noise
+	}
+	eps2 := eps * eps
+	neighbors := func(i int) []int {
+		var out []int
+		for j := range points {
+			if dist2(points[i], points[j]) <= eps2 {
+				out = append(out, j)
+			}
+		}
+		return out
+	}
+	visited := make([]bool, len(points))
+	nextID := 0
+	for i := range points {
+		if visited[i] {
+			continue
+		}
+		visited[i] = true
+		nb := neighbors(i)
+		if len(nb) < minPts {
+			continue
+		}
+		id := nextID
+		nextID++
+		labels[i] = id
+		queue := nb
+		for len(queue) > 0 {
+			j := queue[0]
+			queue = queue[1:]
+			if labels[j] == Noise {
+				labels[j] = id
+			}
+			if visited[j] {
+				continue
+			}
+			visited[j] = true
+			if nb := neighbors(j); len(nb) >= minPts {
+				queue = append(queue, nb...)
+			}
+		}
+	}
+	return labels, nil
+}

@@ -1,0 +1,52 @@
+package cluster
+
+import "math"
+
+// grid is a uniform spatial hash with cell edge = eps: all neighbours of a
+// point within eps lie in its own or the 26 adjacent grid cells, which turns
+// DBSCAN's range queries from O(n) scans into O(k) bucket probes.
+type grid struct {
+	eps   float64
+	cells map[gridKey][]int // point indices
+	pts   []Point
+}
+
+type gridKey struct{ x, y, z int32 }
+
+func newGrid(pts []Point, eps float64) *grid {
+	g := &grid{eps: eps, cells: make(map[gridKey][]int, len(pts)), pts: pts}
+	for i, p := range pts {
+		k := g.keyOf(p)
+		g.cells[k] = append(g.cells[k], i)
+	}
+	return g
+}
+
+func (g *grid) keyOf(p Point) gridKey {
+	return gridKey{
+		x: int32(math.Floor(p.X / g.eps)),
+		y: int32(math.Floor(p.Y / g.eps)),
+		z: int32(math.Floor(p.Z / g.eps)),
+	}
+}
+
+// neighbors appends to dst the indices of all points within eps of pts[i]
+// (including i itself) and returns the extended slice.
+func (g *grid) neighbors(i int, dst []int) []int {
+	p := g.pts[i]
+	k := g.keyOf(p)
+	eps2 := g.eps * g.eps
+	for dz := int32(-1); dz <= 1; dz++ {
+		for dy := int32(-1); dy <= 1; dy++ {
+			for dx := int32(-1); dx <= 1; dx++ {
+				bucket := g.cells[gridKey{x: k.x + dx, y: k.y + dy, z: k.z + dz}]
+				for _, j := range bucket {
+					if dist2(p, g.pts[j]) <= eps2 {
+						dst = append(dst, j)
+					}
+				}
+			}
+		}
+	}
+	return dst
+}

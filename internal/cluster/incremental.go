@@ -1,0 +1,105 @@
+package cluster
+
+import "fmt"
+
+// LayerWindow keeps the event points of the most recent L layers of one
+// specimen and clusters them together, implementing the paper's
+// correlateEvents semantics: "aggregate the events of a layer with the
+// events of the previous L layers, supporting both intra- and inter-layer
+// analysis". Clusters can therefore span up to L layers vertically.
+//
+// LayerWindow is not safe for concurrent use; STRATA runs one instance per
+// (job, specimen) inside a single operator.
+type LayerWindow struct {
+	l      int
+	layers []layerPoints // ordered by layer, ascending
+}
+
+type layerPoints struct {
+	layer  int
+	points []Point
+}
+
+// NewLayerWindow creates a window spanning l layers (l >= 1).
+func NewLayerWindow(l int) (*LayerWindow, error) {
+	if l < 1 {
+		return nil, fmt.Errorf("cluster: layer window must span >= 1 layers, got %d", l)
+	}
+	return &LayerWindow{l: l}, nil
+}
+
+// L returns the window span in layers.
+func (w *LayerWindow) L() int { return w.l }
+
+// AddLayer inserts the event points of one layer (points may be empty) and
+// evicts layers older than layer-L+1. Layers must be added in ascending
+// order; re-adding the current layer appends to it.
+func (w *LayerWindow) AddLayer(layer int, points []Point) error {
+	if n := len(w.layers); n > 0 {
+		last := w.layers[n-1].layer
+		switch {
+		case layer < last:
+			return fmt.Errorf("cluster: layer %d added after layer %d", layer, last)
+		case layer == last:
+			w.layers[n-1].points = append(w.layers[n-1].points, points...)
+			return nil
+		}
+	}
+	w.layers = append(w.layers, layerPoints{layer: layer, points: append([]Point(nil), points...)})
+	// Evict layers that fell out of the window [layer-L+1, layer].
+	lo := layer - w.l + 1
+	cut := 0
+	for cut < len(w.layers) && w.layers[cut].layer < lo {
+		cut++
+	}
+	if cut > 0 {
+		w.layers = append(w.layers[:0], w.layers[cut:]...)
+	}
+	return nil
+}
+
+// Points returns all points currently in the window, oldest layer first.
+// The returned slice is freshly allocated.
+func (w *LayerWindow) Points() []Point {
+	n := 0
+	for _, lp := range w.layers {
+		n += len(lp.points)
+	}
+	out := make([]Point, 0, n)
+	for _, lp := range w.layers {
+		out = append(out, lp.points...)
+	}
+	return out
+}
+
+// Size returns the number of points in the window.
+func (w *LayerWindow) Size() int {
+	n := 0
+	for _, lp := range w.layers {
+		n += len(lp.points)
+	}
+	return n
+}
+
+// Cluster runs DBSCAN over the whole window and returns the per-cluster
+// summaries (see Summarize). minWeight filters out clusters whose summed
+// weight is below the threshold — the paper reports defect clusters only
+// "when bigger than a certain volume".
+func (w *LayerWindow) Cluster(eps float64, minPts int, minWeight float64) ([]Summary, error) {
+	pts := w.Points()
+	labels, err := DBSCAN(pts, eps, minPts)
+	if err != nil {
+		return nil, err
+	}
+	all := Summarize(pts, labels)
+	if minWeight <= 0 {
+		return all, nil
+	}
+	out := all[:0]
+	for _, s := range all {
+		if s.Weight >= minWeight {
+			out = append(out, s)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,119 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// KMeans runs Lloyd's algorithm with k-means++ seeding. It is the baseline
+// the paper contrasts DBSCAN against (earlier pore-classification work used
+// k-means; DBSCAN is preferred because the cluster count is unknown and
+// shapes are arbitrary). Returns the final centroids and a label per point.
+func KMeans(points []Point, k, maxIter int, seed int64) ([]Point, []int, error) {
+	if k < 1 {
+		return nil, nil, fmt.Errorf("cluster: k must be >= 1, got %d", k)
+	}
+	if len(points) == 0 {
+		return nil, make([]int, 0), nil
+	}
+	if k > len(points) {
+		k = len(points)
+	}
+	if maxIter < 1 {
+		maxIter = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	centroids := seedPlusPlus(points, k, rng)
+	labels := make([]int, len(points))
+
+	for iter := 0; iter < maxIter; iter++ {
+		changed := false
+		for i, p := range points {
+			best, bestD := 0, math.Inf(1)
+			for c, ct := range centroids {
+				if d := dist2(p, ct); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if labels[i] != best {
+				labels[i] = best
+				changed = true
+			}
+		}
+		// Recompute centroids; empty clusters keep their position.
+		sums := make([]Point, k)
+		counts := make([]int, k)
+		for i, p := range points {
+			c := labels[i]
+			sums[c].X += p.X
+			sums[c].Y += p.Y
+			sums[c].Z += p.Z
+			counts[c]++
+		}
+		for c := range centroids {
+			if counts[c] == 0 {
+				continue
+			}
+			centroids[c] = Point{
+				X: sums[c].X / float64(counts[c]),
+				Y: sums[c].Y / float64(counts[c]),
+				Z: sums[c].Z / float64(counts[c]),
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return centroids, labels, nil
+}
+
+// seedPlusPlus picks k initial centroids with the k-means++ scheme: the
+// first uniformly, each next with probability proportional to the squared
+// distance from the nearest centroid chosen so far.
+func seedPlusPlus(points []Point, k int, rng *rand.Rand) []Point {
+	centroids := make([]Point, 0, k)
+	centroids = append(centroids, points[rng.Intn(len(points))])
+	d2 := make([]float64, len(points))
+	for len(centroids) < k {
+		total := 0.0
+		last := centroids[len(centroids)-1]
+		for i, p := range points {
+			d := dist2(p, last)
+			if len(centroids) == 1 || d < d2[i] {
+				d2[i] = d
+			}
+			total += d2[i]
+		}
+		if total == 0 {
+			// All remaining points coincide with centroids; duplicate one.
+			centroids = append(centroids, points[rng.Intn(len(points))])
+			continue
+		}
+		target := rng.Float64() * total
+		acc := 0.0
+		pick := len(points) - 1
+		for i := range points {
+			acc += d2[i]
+			if acc >= target {
+				pick = i
+				break
+			}
+		}
+		centroids = append(centroids, points[pick])
+	}
+	return centroids
+}
+
+// Inertia returns the sum of squared distances from each point to its
+// assigned centroid — the quantity k-means minimizes, useful to compare
+// clusterings in the DBSCAN-vs-k-means ablation.
+func Inertia(points []Point, centroids []Point, labels []int) float64 {
+	total := 0.0
+	for i, p := range points {
+		if labels[i] >= 0 && labels[i] < len(centroids) {
+			total += dist2(p, centroids[labels[i]])
+		}
+	}
+	return total
+}

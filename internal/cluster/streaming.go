@@ -1,0 +1,210 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+)
+
+// StreamingDBSCAN maintains a DBSCAN clustering over a sliding multiset of
+// points with incremental insertion and removal — the stream-oriented
+// alternative (in the spirit of the pi-Lisco line of work the paper cites)
+// to re-running DBSCAN over the whole L-layer window at every layer.
+//
+// The expensive geometric part (eps range queries) is incremental: each
+// point's neighbour list is built once on insertion against the current
+// grid and patched on removals. Labels are then recomputed as connected
+// components over the cached core-point adjacency — a pure graph traversal
+// with no further geometry — whenever Labels or Summaries is called after
+// updates. Deletion-induced cluster splits are therefore handled exactly.
+//
+// Not safe for concurrent use.
+type StreamingDBSCAN struct {
+	eps    float64
+	minPts int
+
+	nextID int
+	pts    map[int]Point
+	// neighbors caches, per live point, the ids within eps (excluding
+	// itself). Symmetric by construction.
+	neighbors map[int][]int
+	cells     map[gridKey][]int
+	dirty     bool
+	labels    map[int]int
+}
+
+// NewStreamingDBSCAN creates an empty incremental clustering.
+func NewStreamingDBSCAN(eps float64, minPts int) (*StreamingDBSCAN, error) {
+	if eps <= 0 {
+		return nil, fmt.Errorf("cluster: eps must be positive, got %g", eps)
+	}
+	if minPts < 1 {
+		return nil, fmt.Errorf("cluster: minPts must be >= 1, got %d", minPts)
+	}
+	return &StreamingDBSCAN{
+		eps:       eps,
+		minPts:    minPts,
+		pts:       make(map[int]Point),
+		neighbors: make(map[int][]int),
+		cells:     make(map[gridKey][]int),
+	}, nil
+}
+
+// Len returns the number of live points.
+func (s *StreamingDBSCAN) Len() int { return len(s.pts) }
+
+func (s *StreamingDBSCAN) keyOf(p Point) gridKey {
+	return gridKey{
+		x: int32(math.Floor(p.X / s.eps)),
+		y: int32(math.Floor(p.Y / s.eps)),
+		z: int32(math.Floor(p.Z / s.eps)),
+	}
+}
+
+// Insert adds a point and returns its handle for later Remove.
+func (s *StreamingDBSCAN) Insert(p Point) int {
+	id := s.nextID
+	s.nextID++
+	eps2 := s.eps * s.eps
+	k := s.keyOf(p)
+	var nbrs []int
+	for dz := int32(-1); dz <= 1; dz++ {
+		for dy := int32(-1); dy <= 1; dy++ {
+			for dx := int32(-1); dx <= 1; dx++ {
+				for _, j := range s.cells[gridKey{x: k.x + dx, y: k.y + dy, z: k.z + dz}] {
+					if dist2(p, s.pts[j]) <= eps2 {
+						nbrs = append(nbrs, j)
+						s.neighbors[j] = append(s.neighbors[j], id)
+					}
+				}
+			}
+		}
+	}
+	s.pts[id] = p
+	s.neighbors[id] = nbrs
+	s.cells[k] = append(s.cells[k], id)
+	s.dirty = true
+	return id
+}
+
+// Remove evicts a previously inserted point. Removing an unknown id is a
+// no-op.
+func (s *StreamingDBSCAN) Remove(id int) {
+	p, ok := s.pts[id]
+	if !ok {
+		return
+	}
+	for _, j := range s.neighbors[id] {
+		s.neighbors[j] = removeID(s.neighbors[j], id)
+	}
+	delete(s.neighbors, id)
+	delete(s.pts, id)
+	k := s.keyOf(p)
+	s.cells[k] = removeID(s.cells[k], id)
+	if len(s.cells[k]) == 0 {
+		delete(s.cells, k)
+	}
+	s.dirty = true
+}
+
+func removeID(ids []int, id int) []int {
+	for i, v := range ids {
+		if v == id {
+			ids[i] = ids[len(ids)-1]
+			return ids[:len(ids)-1]
+		}
+	}
+	return ids
+}
+
+// isCore reports whether id is a core point (neighbourhood of at least
+// minPts, itself included).
+func (s *StreamingDBSCAN) isCore(id int) bool {
+	return len(s.neighbors[id])+1 >= s.minPts
+}
+
+// recluster recomputes labels as connected components of the core-point
+// graph, attaching border points to the first adjacent core cluster.
+func (s *StreamingDBSCAN) recluster() {
+	s.labels = make(map[int]int, len(s.pts))
+	for id := range s.pts {
+		s.labels[id] = Noise
+	}
+	next := 0
+	// Deterministic iteration: ids ascending.
+	ids := make([]int, 0, len(s.pts))
+	for id := range s.pts {
+		ids = append(ids, id)
+	}
+	sortInts(ids)
+	for _, id := range ids {
+		if s.labels[id] != Noise || !s.isCore(id) {
+			continue
+		}
+		cl := next
+		next++
+		s.labels[id] = cl
+		queue := []int{id}
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			for _, nb := range s.neighbors[cur] {
+				if s.labels[nb] == Noise {
+					s.labels[nb] = cl
+					if s.isCore(nb) {
+						queue = append(queue, nb)
+					}
+				}
+			}
+		}
+	}
+	s.dirty = false
+}
+
+func sortInts(a []int) {
+	// Insertion sort is fine at the scales the window holds; avoids an
+	// import for one call site.
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+// Label returns the current cluster label of a live point (Noise for noise
+// or unknown ids).
+func (s *StreamingDBSCAN) Label(id int) int {
+	if s.dirty {
+		s.recluster()
+	}
+	l, ok := s.labels[id]
+	if !ok {
+		return Noise
+	}
+	return l
+}
+
+// Snapshot returns the live points and their labels in id order — directly
+// comparable with batch DBSCAN over the same multiset.
+func (s *StreamingDBSCAN) Snapshot() ([]Point, []int) {
+	if s.dirty {
+		s.recluster()
+	}
+	ids := make([]int, 0, len(s.pts))
+	for id := range s.pts {
+		ids = append(ids, id)
+	}
+	sortInts(ids)
+	pts := make([]Point, len(ids))
+	labels := make([]int, len(ids))
+	for i, id := range ids {
+		pts[i] = s.pts[id]
+		labels[i] = s.labels[id]
+	}
+	return pts, labels
+}
+
+// Summaries returns the per-cluster aggregates of the current state.
+func (s *StreamingDBSCAN) Summaries() []Summary {
+	pts, labels := s.Snapshot()
+	return Summarize(pts, labels)
+}

@@ -1,0 +1,213 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestStreamingDBSCANConstructorValidation(t *testing.T) {
+	if _, err := NewStreamingDBSCAN(0, 3); err == nil {
+		t.Fatal("eps=0 should error")
+	}
+	if _, err := NewStreamingDBSCAN(1, 0); err == nil {
+		t.Fatal("minPts=0 should error")
+	}
+}
+
+func TestStreamingDBSCANInsertMatchesBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	s, err := NewStreamingDBSCAN(1.5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pts []Point
+	for i := 0; i < 200; i++ {
+		p := Point{X: rng.Float64() * 30, Y: rng.Float64() * 30}
+		pts = append(pts, p)
+		s.Insert(p)
+	}
+	gotPts, gotLabels := s.Snapshot()
+	if len(gotPts) != len(pts) {
+		t.Fatalf("snapshot has %d points, want %d", len(gotPts), len(pts))
+	}
+	wantLabels, err := DBSCANNaive(gotPts, 1.5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare cluster structure up to renaming, noting border ambiguity is
+	// absent: both derive borders from core adjacency.
+	if !coreStructureEqual(gotPts, gotLabels, wantLabels, 1.5, 4) {
+		t.Fatal("incremental labels disagree with batch DBSCAN")
+	}
+}
+
+// coreStructureEqual verifies: identical core points, identical
+// core-to-cluster partition (up to renaming), and identical noise set for
+// core points; border points must land in a cluster adjacent to them.
+func coreStructureEqual(pts []Point, a, b []int, eps float64, minPts int) bool {
+	eps2 := eps * eps
+	isCore := make([]bool, len(pts))
+	for i := range pts {
+		n := 0
+		for j := range pts {
+			if dist2(pts[i], pts[j]) <= eps2 {
+				n++
+			}
+		}
+		isCore[i] = n >= minPts
+	}
+	// Core points: clusterings must be equivalent up to renaming.
+	fwd := map[int]int{}
+	rev := map[int]int{}
+	for i := range pts {
+		if !isCore[i] {
+			// Non-core: both must agree on noise vs clustered.
+			if (a[i] == Noise) != (b[i] == Noise) {
+				return false
+			}
+			continue
+		}
+		if a[i] == Noise || b[i] == Noise {
+			return false
+		}
+		if m, ok := fwd[a[i]]; ok && m != b[i] {
+			return false
+		}
+		if m, ok := rev[b[i]]; ok && m != a[i] {
+			return false
+		}
+		fwd[a[i]] = b[i]
+		rev[b[i]] = a[i]
+	}
+	return true
+}
+
+func TestStreamingDBSCANRemoveSplitsCluster(t *testing.T) {
+	// A dumbbell: two dense blobs connected by a thin core bridge. While
+	// the bridge lives, one cluster; removing it must split into two.
+	s, err := NewStreamingDBSCAN(1.2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var left, right []int
+	for i := 0; i < 10; i++ {
+		left = append(left, s.Insert(Point{X: float64(i%3) * 0.5, Y: float64(i/3) * 0.5}))
+		right = append(right, s.Insert(Point{X: 10 + float64(i%3)*0.5, Y: float64(i/3) * 0.5}))
+	}
+	var bridge []int
+	for x := 1.5; x < 10; x += 1.0 {
+		bridge = append(bridge, s.Insert(Point{X: x, Y: 0}))
+	}
+	if s.Label(left[0]) != s.Label(right[0]) {
+		t.Fatal("bridge should connect the blobs into one cluster")
+	}
+	for _, id := range bridge {
+		s.Remove(id)
+	}
+	if s.Label(left[0]) == s.Label(right[0]) {
+		t.Fatal("removing the bridge must split the cluster")
+	}
+	if s.Label(left[0]) == Noise || s.Label(right[0]) == Noise {
+		t.Fatal("blobs must remain clusters after the split")
+	}
+}
+
+func TestStreamingDBSCANRemoveUnknownIsNoop(t *testing.T) {
+	s, err := NewStreamingDBSCAN(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Insert(Point{})
+	s.Remove(999)
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", s.Len())
+	}
+}
+
+func TestStreamingDBSCANSlidingWindowMatchesBatch(t *testing.T) {
+	// Slide a 5-layer window over 20 layers of synthetic events; at every
+	// step the incremental labels must match a fresh batch DBSCAN on the
+	// same points.
+	rng := rand.New(rand.NewSource(8))
+	s, err := NewStreamingDBSCAN(1.0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const window = 5
+	type layerIDs struct{ ids []int }
+	var history []layerIDs
+	for layer := 0; layer < 20; layer++ {
+		var ids []int
+		n := 5 + rng.Intn(20)
+		for i := 0; i < n; i++ {
+			p := Point{
+				X: rng.Float64() * 15,
+				Y: rng.Float64() * 15,
+				Z: float64(layer) * 0.2,
+			}
+			ids = append(ids, s.Insert(p))
+		}
+		history = append(history, layerIDs{ids: ids})
+		if len(history) > window {
+			for _, id := range history[0].ids {
+				s.Remove(id)
+			}
+			history = history[1:]
+		}
+		pts, labels := s.Snapshot()
+		want, err := DBSCAN(pts, 1.0, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !coreStructureEqual(pts, labels, want, 1.0, 3) {
+			t.Fatalf("layer %d: incremental clustering diverged from batch", layer)
+		}
+	}
+}
+
+func TestStreamingDBSCANSummaries(t *testing.T) {
+	s, err := NewStreamingDBSCAN(1.5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		s.Insert(Point{X: float64(i) * 0.5, Weight: 1})
+	}
+	sums := s.Summaries()
+	if len(sums) != 1 || sums[0].Size != 4 || sums[0].Weight != 4 {
+		t.Fatalf("summaries = %+v", sums)
+	}
+}
+
+// TestStreamingDBSCANPropertyRandomOps drives random insert/remove
+// sequences and compares against batch DBSCAN after every few operations.
+func TestStreamingDBSCANPropertyRandomOps(t *testing.T) {
+	prop := func(seed int64, ops uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s, err := NewStreamingDBSCAN(1.5, 3)
+		if err != nil {
+			return false
+		}
+		var live []int
+		for op := 0; op < int(ops%120)+10; op++ {
+			if len(live) > 0 && rng.Intn(3) == 0 {
+				i := rng.Intn(len(live))
+				s.Remove(live[i])
+				live = append(live[:i], live[i+1:]...)
+			} else {
+				id := s.Insert(Point{X: rng.Float64() * 12, Y: rng.Float64() * 12})
+				live = append(live, id)
+			}
+		}
+		pts, labels := s.Snapshot()
+		want, err := DBSCAN(pts, 1.5, 3)
+		if err != nil {
+			return false
+		}
+		return coreStructureEqual(pts, labels, want, 1.5, 3)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,492 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"time"
+
+	"strata/internal/stream"
+)
+
+// CollectFunc produces the raw tuples of a data-specific collector (e.g. an
+// OT image collector). It must emit tuples in non-decreasing event-time
+// order and return nil when the job's data is exhausted. The wrapper fills
+// in AvailableAt (when unset) with the wall-clock arrival time.
+type CollectFunc func(ctx context.Context, emit func(EventTuple) error) error
+
+// PartitionFunc is the user function F of the partition method: it splits
+// one input tuple into tuples for independently-analyzable parts, setting
+// Specimen and Portion (and any payload) on each emitted tuple. The wrapper
+// copies TS, Job, Layer, and AvailableAt from the input, per Table 1.
+type PartitionFunc func(t EventTuple, emit func(EventTuple) error) error
+
+// DetectFunc is the user function F of the detectEvent method: it turns one
+// input tuple into zero or more event tuples.
+type DetectFunc func(t EventTuple, emit func(EventTuple) error) error
+
+// CorrelateWindow is the unit handed to a CorrelateFunc: every event tuple
+// of one (job, specimen) across the window's layers (Layer-L, Layer],
+// oldest layer first — the paper's intra- plus inter-layer aggregation.
+type CorrelateWindow struct {
+	Job      string
+	Specimen string
+	// Layer is the layer whose completion triggered this window.
+	Layer int
+	// L is the window span in layers.
+	L int
+	// Events are the buffered detectEvent outputs, grouped by ascending
+	// layer, arrival order within a layer.
+	Events []EventTuple
+	// AvailableAt is when the most recent data contributing to the window
+	// became available (the latency reference for results).
+	AvailableAt time.Time
+}
+
+// CorrelateFunc is the user function F of the correlateEvents method.
+type CorrelateFunc func(w CorrelateWindow, emit func(EventTuple) error) error
+
+// StageOption tunes one API stage.
+type StageOption func(*stageConfig)
+
+type stageConfig struct {
+	parallelism int
+}
+
+// WithParallelism runs the stage as n parallel replicas, hash-partitioned
+// on (job, specimen) so each specimen's tuples stay ordered on one branch —
+// the paper's "disjoint layer portions analyzed in a pipelined/parallel
+// fashion".
+func WithParallelism(n int) StageOption {
+	return func(c *stageConfig) {
+		if n > 0 {
+			c.parallelism = n
+		}
+	}
+}
+
+func applyStageOpts(opts []StageOption) stageConfig {
+	cfg := stageConfig{parallelism: 1}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return cfg
+}
+
+// specimenHash routes tuples of one (job, specimen) to one shuffle branch.
+func specimenHash(t EventTuple) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(t.Job))
+	h.Write([]byte{0})
+	h.Write([]byte(t.Specimen))
+	return h.Sum64()
+}
+
+// AddSource deploys a collector as a Source of the Raw Data Collector
+// module (Table 1's addSource). The resulting stream carries one tuple per
+// layer with ⟨τ, job, layer, [k:v...]⟩.
+func (fw *Framework) AddSource(name string, collect CollectFunc) *StreamRef {
+	if collect == nil {
+		fw.recordErr(fmt.Errorf("%w: AddSource %q: nil collector", ErrBadPipeline, name))
+		collect = func(context.Context, func(EventTuple) error) error { return nil }
+	}
+	s := stream.AddSource(fw.query, name, func(ctx context.Context, emit stream.Emit[EventTuple]) error {
+		return collect(ctx, func(t EventTuple) error {
+			if t.AvailableAt.IsZero() {
+				t.AvailableAt = time.Now()
+			}
+			if t.Specimen == "" {
+				t.Specimen = DefaultSpecimen
+			}
+			if t.Portion == "" {
+				t.Portion = DefaultPortion
+			}
+			return emit(t)
+		})
+	})
+	out := fw.tapRaw(name, s)
+	return &StreamRef{name: name, kind: kindSource, layerGranular: true, s: out}
+}
+
+// FuseOption customizes Fuse.
+type FuseOption func(*fuseConfig)
+
+type fuseConfig struct {
+	ws       time.Duration
+	windowed bool
+	groupBy  []string
+}
+
+// FuseWindow makes fuse match tuples whose event times differ by at most ws
+// (the paper's WS parameter; without it, only same-τ tuples fuse). The
+// paper's WA parameter tunes window advance in the underlying SPE; with
+// this engine's join semantics the time-distance predicate |τ1−τ2| ≤ WS
+// fully determines the result, so WA is implicit.
+func FuseWindow(ws time.Duration) FuseOption {
+	return func(c *fuseConfig) {
+		c.windowed = true
+		c.ws = ws
+	}
+}
+
+// FuseGroupBy adds payload keys to the (job, layer) group-by of fuse: only
+// tuples whose values under these keys are equal (as formatted strings) are
+// fused.
+func FuseGroupBy(keys ...string) FuseOption {
+	return func(c *fuseConfig) { c.groupBy = append(c.groupBy, keys...) }
+}
+
+// Fuse joins two streams on (job, layer) — plus equal event time when no
+// window is given — concatenating the payloads of matching tuples (Table
+// 1's fuse). Inputs must come from AddSource or Fuse. Per the paper, keys
+// are assumed unique across the fused tuples; on a clash the second
+// stream's value wins.
+func (fw *Framework) Fuse(name string, in1, in2 *StreamRef, opts ...FuseOption) *StreamRef {
+	cfg := fuseConfig{}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	out := &StreamRef{name: name, kind: kindFuse, layerGranular: true}
+	if in1 == nil || in2 == nil {
+		fw.recordErr(fmt.Errorf("%w: Fuse %q: nil input", ErrBadPipeline, name))
+		return out
+	}
+	if (in1.kind != kindSource && in1.kind != kindFuse) || (in2.kind != kindSource && in2.kind != kindFuse) {
+		fw.recordErr(fmt.Errorf("%w: Fuse %q: inputs must come from AddSource or Fuse", ErrBadPipeline, name))
+		return out
+	}
+	var ws int64 // microseconds
+	sameTau := !cfg.windowed
+	if cfg.windowed {
+		ws = cfg.ws.Microseconds()
+	}
+	key := func(t EventTuple) string {
+		k := fmt.Sprintf("%s\x00%d", t.Job, t.Layer)
+		for _, g := range cfg.groupBy {
+			k += fmt.Sprintf("\x00%v", t.KV[g])
+		}
+		return k
+	}
+	joined := stream.Join(fw.query, name, in1.singleStream(fw, name+".l"), in2.singleStream(fw, name+".r"), ws, key, key,
+		func(l, r EventTuple) (EventTuple, bool) {
+			if sameTau && !l.TS.Equal(r.TS) {
+				return EventTuple{}, false
+			}
+			kv := make(map[string]any, len(l.KV)+len(r.KV))
+			for k, v := range l.KV {
+				kv[k] = v
+			}
+			for k, v := range r.KV {
+				kv[k] = v
+			}
+			return EventTuple{
+				TS:          maxTime(l.TS, r.TS),
+				Job:         l.Job,
+				Layer:       l.Layer,
+				Specimen:    DefaultSpecimen,
+				Portion:     DefaultPortion,
+				KV:          kv,
+				AvailableAt: maxTime(l.AvailableAt, r.AvailableAt),
+			}, true
+		})
+	out.s = joined
+	return out
+}
+
+// Partition splits each input tuple into independently-processable parts
+// (Table 1's partition). F sets Specimen and Portion on its outputs; the
+// wrapper copies the input's τ, job, layer and availability metadata. When
+// the input stream is layer-granular, the stage also emits the end-of-layer
+// markers CorrelateEvents relies on.
+func (fw *Framework) Partition(name string, in *StreamRef, f PartitionFunc, opts ...StageOption) *StreamRef {
+	out := &StreamRef{name: name, kind: kindPartition}
+	if in == nil || f == nil {
+		fw.recordErr(fmt.Errorf("%w: Partition %q: nil input or function", ErrBadPipeline, name))
+		return out
+	}
+	if in.kind != kindSource && in.kind != kindFuse && in.kind != kindPartition {
+		fw.recordErr(fmt.Errorf("%w: Partition %q: input must come from AddSource, Fuse, or Partition", ErrBadPipeline, name))
+		return out
+	}
+	out.branches, out.s = fw.subLayerStage(name, in, opts, func(t EventTuple, emit func(EventTuple) error) error {
+		return f(t, func(o EventTuple) error {
+			o.TS = t.TS
+			o.Job = t.Job
+			o.Layer = t.Layer
+			o.AvailableAt = t.AvailableAt
+			if o.Specimen == "" {
+				o.Specimen = DefaultSpecimen
+			}
+			if o.Portion == "" {
+				o.Portion = DefaultPortion
+			}
+			return emit(o)
+		})
+	})
+	return out
+}
+
+// DetectEvent applies an event-detection function to each tuple (Table 1's
+// detectEvent), producing zero or more event tuples. Thresholds and other
+// at-rest inputs are read via the framework's Store/Get inside F.
+func (fw *Framework) DetectEvent(name string, in *StreamRef, f DetectFunc, opts ...StageOption) *StreamRef {
+	out := &StreamRef{name: name, kind: kindDetect}
+	if in == nil || f == nil {
+		fw.recordErr(fmt.Errorf("%w: DetectEvent %q: nil input or function", ErrBadPipeline, name))
+		return out
+	}
+	if in.kind == kindCorrelate {
+		fw.recordErr(fmt.Errorf("%w: DetectEvent %q: input must come from AddSource, Fuse, or Partition", ErrBadPipeline, name))
+		return out
+	}
+	branches, single := fw.subLayerStage(name, in, opts, func(t EventTuple, emit func(EventTuple) error) error {
+		return f(t, func(o EventTuple) error {
+			if o.TS.IsZero() {
+				o.TS = t.TS
+			}
+			if o.Job == "" {
+				o.Job = t.Job
+			}
+			if o.Layer == 0 {
+				o.Layer = t.Layer
+			}
+			if o.Specimen == "" {
+				o.Specimen = t.Specimen
+			}
+			if o.Portion == "" {
+				o.Portion = t.Portion
+			}
+			if o.AvailableAt.IsZero() {
+				o.AvailableAt = t.AvailableAt
+			}
+			return emit(o)
+		})
+	})
+	out.branches, out.s = fw.tapEventsAll(name, branches, single)
+	return out
+}
+
+// subLayerStage wraps a user stage: markers pass through, the user function
+// runs on data tuples, and — when the input is still layer-granular — the
+// wrapper emits one end-of-layer marker per distinct output specimen (plus
+// the default specimen) after each input tuple.
+//
+// Parallel stages keep their output split into per-branch streams: because
+// every STRATA stage hashes on the same (job, specimen) key, a downstream
+// stage with the same parallelism reuses the branches directly instead of
+// re-merging and re-shuffling — the operator-fusion optimization that keeps
+// per-tuple channel hops constant regardless of pipeline depth.
+func (fw *Framework) subLayerStage(
+	name string,
+	in *StreamRef,
+	opts []StageOption,
+	fn func(t EventTuple, emit func(EventTuple) error) error,
+) ([]*stream.Stream[EventTuple], *stream.Stream[EventTuple]) {
+	cfg := applyStageOpts(opts)
+	emitMarkers := in.layerGranular
+	wrapper := func(t EventTuple, emit stream.Emit[EventTuple]) error {
+		if t.isMarker() {
+			return emit(t)
+		}
+		var specimens []string
+		seen := map[string]bool{}
+		err := fn(t, func(o EventTuple) error {
+			if emitMarkers && !seen[o.Specimen] {
+				seen[o.Specimen] = true
+				specimens = append(specimens, o.Specimen)
+			}
+			return emit(o)
+		})
+		if err != nil {
+			return err
+		}
+		if emitMarkers {
+			// A layer with no outputs still needs closing for the
+			// default specimen (the detect-without-partition case);
+			// when real specimens were emitted, their markers cover
+			// every event downstream can carry.
+			if len(specimens) == 0 {
+				specimens = append(specimens, DefaultSpecimen)
+			}
+			for _, sp := range specimens {
+				if err := emit(newMarker(t, sp)); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	if cfg.parallelism <= 1 {
+		return nil, stream.FlatMap(fw.query, name, in.singleStream(fw, name), wrapper)
+	}
+	branches := in.branchStreams(fw, name, cfg.parallelism)
+	outs := make([]*stream.Stream[EventTuple], len(branches))
+	for i, b := range branches {
+		outs[i] = stream.FlatMap(fw.query, fmt.Sprintf("%s.%d", name, i), b, wrapper)
+	}
+	return outs, nil
+}
+
+// CorrelateEvents aggregates detectEvent outputs per (job, specimen) across
+// the most recent L layers (Table 1's correlateEvents): each time a layer
+// completes for a specimen, F receives every buffered event of layers
+// (layer-L, layer] and emits result tuples for the expert.
+func (fw *Framework) CorrelateEvents(name string, in *StreamRef, l int, f CorrelateFunc, opts ...StageOption) *StreamRef {
+	out := &StreamRef{name: name, kind: kindCorrelate}
+	if in == nil || f == nil {
+		fw.recordErr(fmt.Errorf("%w: CorrelateEvents %q: nil input or function", ErrBadPipeline, name))
+		return out
+	}
+	if in.kind != kindDetect {
+		fw.recordErr(fmt.Errorf("%w: CorrelateEvents %q: input must come from DetectEvent", ErrBadPipeline, name))
+		return out
+	}
+	if l < 1 {
+		fw.recordErr(fmt.Errorf("%w: CorrelateEvents %q: L must be >= 1, got %d", ErrBadPipeline, name, l))
+		return out
+	}
+	cfg := applyStageOpts(opts)
+
+	buildOp := func(branch int, s *stream.Stream[EventTuple]) *stream.Stream[EventTuple] {
+		state := newCorrelateState(l, f)
+		opName := name
+		if branch >= 0 {
+			opName = fmt.Sprintf("%s.%d", name, branch)
+		}
+		return stream.Process(fw.query, opName, s, state.ingest, state.finish)
+	}
+
+	if cfg.parallelism > 1 {
+		branches := in.branchStreams(fw, name, cfg.parallelism)
+		outs := make([]*stream.Stream[EventTuple], len(branches))
+		for i, b := range branches {
+			outs[i] = buildOp(i, b)
+		}
+		out.branches, out.s = fw.tapResultsAll(name, outs, nil)
+	} else {
+		result := buildOp(-1, in.singleStream(fw, name))
+		out.branches, out.s = fw.tapResultsAll(name, nil, result)
+	}
+	return out
+}
+
+// correlateState is the per-operator-instance state of CorrelateEvents.
+type correlateState struct {
+	l int
+	f CorrelateFunc
+	// perKey buffers events per (job, specimen).
+	perKey map[string]*specimenBuffer
+}
+
+type specimenBuffer struct {
+	job      string
+	specimen string
+	// layers maps layer number → its buffered events.
+	layers     map[int][]EventTuple
+	lastClosed int
+}
+
+func newCorrelateState(l int, f CorrelateFunc) *correlateState {
+	return &correlateState{l: l, f: f, perKey: make(map[string]*specimenBuffer)}
+}
+
+func (cs *correlateState) buffer(t EventTuple) *specimenBuffer {
+	k := t.Job + "\x00" + t.Specimen
+	b, ok := cs.perKey[k]
+	if !ok {
+		b = &specimenBuffer{job: t.Job, specimen: t.Specimen, layers: make(map[int][]EventTuple)}
+		cs.perKey[k] = b
+	}
+	return b
+}
+
+func (cs *correlateState) ingest(t EventTuple, emit stream.Emit[EventTuple]) error {
+	b := cs.buffer(t)
+	if !t.isMarker() {
+		b.layers[t.Layer] = append(b.layers[t.Layer], t)
+		return nil
+	}
+	if t.Layer <= b.lastClosed {
+		return nil // duplicate marker (e.g. two partition stages)
+	}
+	return cs.closeLayer(b, t.Layer, t.TS, t.AvailableAt, emit)
+}
+
+// closeLayer runs F over the window ending at layer and evicts layers that
+// fell out of every future window.
+func (cs *correlateState) closeLayer(b *specimenBuffer, layer int, ts time.Time, avail time.Time, emit stream.Emit[EventTuple]) error {
+	b.lastClosed = layer
+	w := CorrelateWindow{
+		Job:         b.job,
+		Specimen:    b.specimen,
+		Layer:       layer,
+		L:           cs.l,
+		AvailableAt: avail,
+	}
+	for l := layer - cs.l + 1; l <= layer; l++ {
+		evs := b.layers[l]
+		w.Events = append(w.Events, evs...)
+		for _, e := range evs {
+			if e.AvailableAt.After(w.AvailableAt) {
+				w.AvailableAt = e.AvailableAt
+			}
+		}
+	}
+	// Evict layers below the next window's reach.
+	for l := range b.layers {
+		if l <= layer-cs.l+1 {
+			delete(b.layers, l)
+		}
+	}
+	err := cs.f(w, func(o EventTuple) error {
+		if o.TS.IsZero() {
+			o.TS = ts
+		}
+		o.Job = b.job
+		o.Specimen = b.specimen
+		if o.Layer == 0 {
+			o.Layer = layer
+		}
+		o.Portion = DefaultPortion
+		if o.AvailableAt.IsZero() {
+			o.AvailableAt = w.AvailableAt
+		}
+		return emit(o)
+	})
+	return err
+}
+
+// finish closes, per specimen, any layer that buffered events but whose
+// marker never arrived (defensive: with well-formed pipelines markers
+// always follow their layer's events).
+func (cs *correlateState) finish(emit stream.Emit[EventTuple]) error {
+	for _, b := range cs.perKey {
+		maxLayer := 0
+		for l := range b.layers {
+			if l > maxLayer {
+				maxLayer = l
+			}
+		}
+		if maxLayer > b.lastClosed {
+			if err := cs.closeLayer(b, maxLayer, time.Time{}, time.Time{}, emit); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Deliver attaches an expert-facing sink to a stream: fn runs for every
+// result tuple (markers are filtered out).
+func (fw *Framework) Deliver(name string, in *StreamRef, fn func(EventTuple) error) {
+	if in == nil || fn == nil {
+		fw.recordErr(fmt.Errorf("%w: Deliver %q: nil input or function", ErrBadPipeline, name))
+		return
+	}
+	stream.AddSink(fw.query, name, in.singleStream(fw, name), func(t EventTuple) error {
+		if t.isMarker() {
+			return nil
+		}
+		return fn(t)
+	})
+}

@@ -1,0 +1,263 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"time"
+
+	"strata/internal/otimage"
+)
+
+// Binary codec for EventTuples crossing the pub/sub connectors. Layout
+// (little endian):
+//
+//	magic       uint32
+//	ts          int64 (unix micro)
+//	availableAt int64 (unix micro; 0 = unset)
+//	layer       int64
+//	job, specimen, portion: uvarint length + bytes each
+//	kvCount     uvarint, then per entry:
+//	    key     uvarint length + bytes
+//	    type    byte (valString..valImage)
+//	    value   type-specific
+const tupleMagic uint32 = 0x53545450 // "STTP"
+
+// KV value type tags.
+const (
+	valString byte = 1
+	valBool   byte = 2
+	valInt    byte = 3
+	valFloat  byte = 4
+	valBytes  byte = 5
+	valImage  byte = 6
+)
+
+// ErrUnsupportedValue is wrapped into EncodeTuple errors for KV values
+// outside the codec's type set.
+var ErrUnsupportedValue = fmt.Errorf("strata: unsupported KV value type")
+
+// EncodeTuple serializes t for transport through a connector.
+func EncodeTuple(t EventTuple) ([]byte, error) {
+	buf := make([]byte, 0, 64)
+	var tmp [8]byte
+	binary.LittleEndian.PutUint32(tmp[:4], tupleMagic)
+	buf = append(buf, tmp[:4]...)
+	binary.LittleEndian.PutUint64(tmp[:], uint64(t.TS.UnixMicro()))
+	buf = append(buf, tmp[:]...)
+	avail := int64(0)
+	if !t.AvailableAt.IsZero() {
+		avail = t.AvailableAt.UnixMicro()
+	}
+	binary.LittleEndian.PutUint64(tmp[:], uint64(avail))
+	buf = append(buf, tmp[:]...)
+	binary.LittleEndian.PutUint64(tmp[:], uint64(t.Layer))
+	buf = append(buf, tmp[:]...)
+	for _, s := range []string{t.Job, t.Specimen, t.Portion} {
+		buf = binary.AppendUvarint(buf, uint64(len(s)))
+		buf = append(buf, s...)
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(t.KV)))
+	for k, v := range t.KV {
+		buf = binary.AppendUvarint(buf, uint64(len(k)))
+		buf = append(buf, k...)
+		var err error
+		buf, err = appendValue(buf, v)
+		if err != nil {
+			return nil, fmt.Errorf("key %q: %w", k, err)
+		}
+	}
+	return buf, nil
+}
+
+func appendValue(buf []byte, v any) ([]byte, error) {
+	var tmp [8]byte
+	switch x := v.(type) {
+	case string:
+		buf = append(buf, valString)
+		buf = binary.AppendUvarint(buf, uint64(len(x)))
+		return append(buf, x...), nil
+	case bool:
+		buf = append(buf, valBool)
+		if x {
+			return append(buf, 1), nil
+		}
+		return append(buf, 0), nil
+	case int64:
+		buf = append(buf, valInt)
+		binary.LittleEndian.PutUint64(tmp[:], uint64(x))
+		return append(buf, tmp[:]...), nil
+	case int:
+		buf = append(buf, valInt)
+		binary.LittleEndian.PutUint64(tmp[:], uint64(int64(x)))
+		return append(buf, tmp[:]...), nil
+	case float64:
+		buf = append(buf, valFloat)
+		binary.LittleEndian.PutUint64(tmp[:], math.Float64bits(x))
+		return append(buf, tmp[:]...), nil
+	case []byte:
+		buf = append(buf, valBytes)
+		buf = binary.AppendUvarint(buf, uint64(len(x)))
+		return append(buf, x...), nil
+	case *otimage.Image:
+		data := x.Marshal()
+		buf = append(buf, valImage)
+		buf = binary.AppendUvarint(buf, uint64(len(data)))
+		return append(buf, data...), nil
+	default:
+		return nil, fmt.Errorf("%w: %T", ErrUnsupportedValue, v)
+	}
+}
+
+type decoder struct {
+	b   []byte
+	pos int
+}
+
+func (d *decoder) u32() (uint32, error) {
+	if d.pos+4 > len(d.b) {
+		return 0, fmt.Errorf("strata: truncated tuple")
+	}
+	v := binary.LittleEndian.Uint32(d.b[d.pos:])
+	d.pos += 4
+	return v, nil
+}
+
+func (d *decoder) u64() (uint64, error) {
+	if d.pos+8 > len(d.b) {
+		return 0, fmt.Errorf("strata: truncated tuple")
+	}
+	v := binary.LittleEndian.Uint64(d.b[d.pos:])
+	d.pos += 8
+	return v, nil
+}
+
+func (d *decoder) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(d.b[d.pos:])
+	if n <= 0 {
+		return 0, fmt.Errorf("strata: bad varint in tuple")
+	}
+	d.pos += n
+	return v, nil
+}
+
+func (d *decoder) bytes(n uint64) ([]byte, error) {
+	if n > uint64(len(d.b)-d.pos) {
+		return nil, fmt.Errorf("strata: truncated tuple payload")
+	}
+	v := d.b[d.pos : d.pos+int(n)]
+	d.pos += int(n)
+	return v, nil
+}
+
+func (d *decoder) str() (string, error) {
+	n, err := d.uvarint()
+	if err != nil {
+		return "", err
+	}
+	b, err := d.bytes(n)
+	return string(b), err
+}
+
+// DecodeTuple parses a tuple produced by EncodeTuple.
+func DecodeTuple(data []byte) (EventTuple, error) {
+	d := decoder{b: data}
+	var t EventTuple
+	magic, err := d.u32()
+	if err != nil {
+		return t, err
+	}
+	if magic != tupleMagic {
+		return t, fmt.Errorf("strata: bad tuple magic %#x", magic)
+	}
+	ts, err := d.u64()
+	if err != nil {
+		return t, err
+	}
+	t.TS = time.UnixMicro(int64(ts))
+	avail, err := d.u64()
+	if err != nil {
+		return t, err
+	}
+	if int64(avail) != 0 {
+		t.AvailableAt = time.UnixMicro(int64(avail))
+	}
+	layer, err := d.u64()
+	if err != nil {
+		return t, err
+	}
+	t.Layer = int(int64(layer))
+	if t.Job, err = d.str(); err != nil {
+		return t, err
+	}
+	if t.Specimen, err = d.str(); err != nil {
+		return t, err
+	}
+	if t.Portion, err = d.str(); err != nil {
+		return t, err
+	}
+	n, err := d.uvarint()
+	if err != nil {
+		return t, err
+	}
+	if n > 0 {
+		t.KV = make(map[string]any, n)
+	}
+	for i := uint64(0); i < n; i++ {
+		key, err := d.str()
+		if err != nil {
+			return t, err
+		}
+		val, err := d.value()
+		if err != nil {
+			return t, fmt.Errorf("key %q: %w", key, err)
+		}
+		t.KV[key] = val
+	}
+	return t, nil
+}
+
+func (d *decoder) value() (any, error) {
+	tag, err := d.bytes(1)
+	if err != nil {
+		return nil, err
+	}
+	switch tag[0] {
+	case valString:
+		return d.str()
+	case valBool:
+		b, err := d.bytes(1)
+		if err != nil {
+			return nil, err
+		}
+		return b[0] != 0, nil
+	case valInt:
+		v, err := d.u64()
+		return int64(v), err
+	case valFloat:
+		v, err := d.u64()
+		return math.Float64frombits(v), err
+	case valBytes:
+		n, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		b, err := d.bytes(n)
+		if err != nil {
+			return nil, err
+		}
+		return append([]byte(nil), b...), nil
+	case valImage:
+		n, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		b, err := d.bytes(n)
+		if err != nil {
+			return nil, err
+		}
+		return otimage.Unmarshal(b)
+	default:
+		return nil, fmt.Errorf("strata: unknown value tag %d", tag[0])
+	}
+}

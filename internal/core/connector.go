@@ -1,0 +1,242 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"strata/internal/pubsub"
+	"strata/internal/stream"
+)
+
+// Connector subjects: when a broker is attached, module boundaries publish
+// their tuples under these hierarchies so other pipelines, processes, or
+// experts can tap them — the role of the paper's Raw Data Connector and
+// Event Connector (Kafka in the prototype).
+const (
+	// RawSubjectPrefix carries collector output: strata.raw.<stream>.<job>.
+	RawSubjectPrefix = "strata.raw"
+	// EventSubjectPrefix carries detectEvent output: strata.events.<stream>.<job>.
+	EventSubjectPrefix = "strata.events"
+	// ResultSubjectPrefix carries correlateEvents output: strata.results.<stream>.<job>.
+	ResultSubjectPrefix = "strata.results"
+)
+
+// RawSubject returns the connector subject of a raw stream's job data.
+func RawSubject(streamName, job string) string {
+	return fmt.Sprintf("%s.%s.%s", RawSubjectPrefix, streamName, job)
+}
+
+// EventSubject returns the connector subject of a detect stream's job data.
+func EventSubject(streamName, job string) string {
+	return fmt.Sprintf("%s.%s.%s", EventSubjectPrefix, streamName, job)
+}
+
+// ResultSubject returns the connector subject of a correlate stream's job
+// data.
+func ResultSubject(streamName, job string) string {
+	return fmt.Sprintf("%s.%s.%s", ResultSubjectPrefix, streamName, job)
+}
+
+// tapRaw publishes source tuples on the raw-data connector, when a broker
+// is attached.
+func (fw *Framework) tapRaw(name string, s *stream.Stream[EventTuple]) *stream.Stream[EventTuple] {
+	return fw.tap(name, "raw-connector."+name, s, RawSubject)
+}
+
+// tapEventsAll publishes detect outputs on the event connector, preserving
+// the branch/single shape of the stage output.
+func (fw *Framework) tapEventsAll(name string, branches []*stream.Stream[EventTuple], single *stream.Stream[EventTuple]) ([]*stream.Stream[EventTuple], *stream.Stream[EventTuple]) {
+	return fw.tapAll(name, "event-connector."+name, branches, single, EventSubject)
+}
+
+// tapResultsAll publishes correlate outputs on the result connector,
+// preserving the branch/single shape of the stage output.
+func (fw *Framework) tapResultsAll(name string, branches []*stream.Stream[EventTuple], single *stream.Stream[EventTuple]) ([]*stream.Stream[EventTuple], *stream.Stream[EventTuple]) {
+	return fw.tapAll(name, "result-connector."+name, branches, single, ResultSubject)
+}
+
+func (fw *Framework) tapAll(
+	streamName, opName string,
+	branches []*stream.Stream[EventTuple],
+	single *stream.Stream[EventTuple],
+	subject func(streamName, job string) string,
+) ([]*stream.Stream[EventTuple], *stream.Stream[EventTuple]) {
+	if fw.broker == nil {
+		return branches, single
+	}
+	if single != nil {
+		return nil, fw.tap(streamName, opName, single, subject)
+	}
+	out := make([]*stream.Stream[EventTuple], len(branches))
+	for i, b := range branches {
+		out[i] = fw.tap(streamName, fmt.Sprintf("%s.%d", opName, i), b, subject)
+	}
+	return out, nil
+}
+
+func (fw *Framework) tap(
+	streamName, opName string,
+	s *stream.Stream[EventTuple],
+	subject func(streamName, job string) string,
+) *stream.Stream[EventTuple] {
+	if fw.broker == nil {
+		return s
+	}
+	broker := fw.broker
+	return stream.FlatMap(fw.query, opName, s, func(t EventTuple, emit stream.Emit[EventTuple]) error {
+		if !t.isMarker() {
+			data, err := EncodeTuple(t)
+			if err != nil {
+				return fmt.Errorf("connector %s: %w", opName, err)
+			}
+			if err := broker.Publish(subject(streamName, t.Job), data); err != nil {
+				return fmt.Errorf("connector %s: %w", opName, err)
+			}
+		}
+		return emit(t)
+	})
+}
+
+// AddReplaySource deploys a source that first replays the encoded tuples
+// recorded under subject in store (from offset 0, in order) and then — when
+// liveAfter is true — continues with live broker traffic on the same
+// subject. Together with pubsub.Record on the raw connector, this is how an
+// event-detection pipeline deployed mid-build reprocesses every earlier
+// layer before following the build live: the paper's "continuously
+// deployed, run, and decommissioned" detection methods without data loss.
+//
+// Replayed tuples keep their original event times (windows behave as if
+// live) but get a fresh AvailableAt: latency is measured against when this
+// pipeline could first see the data.
+func (fw *Framework) AddReplaySource(name string, store *pubsub.LogStore, subject string, liveAfter bool) *StreamRef {
+	out := &StreamRef{name: name, kind: kindSource, layerGranular: true}
+	if store == nil {
+		fw.recordErr(fmt.Errorf("%w: AddReplaySource %q: nil store", ErrBadPipeline, name))
+		return out
+	}
+	if liveAfter && fw.broker == nil {
+		fw.recordErr(fmt.Errorf("%w: AddReplaySource %q: liveAfter requires a broker", ErrBadPipeline, name))
+		return out
+	}
+	broker := fw.broker
+	out.s = stream.AddSource(fw.query, name, func(ctx context.Context, emit stream.Emit[EventTuple]) error {
+		// Subscribe BEFORE reading the log so no message falls between
+		// replay and live (duplicates are possible instead; recorded
+		// offsets put them at the subscription buffer's head and the
+		// batch read below covers everything older).
+		var sub *pubsub.Subscription
+		if liveAfter {
+			var err error
+			sub, err = broker.Subscribe(subject, pubsub.WithSubBuffer(1024))
+			if err != nil {
+				return err
+			}
+			defer sub.Unsubscribe()
+		}
+		emitTuple := func(data []byte) error {
+			t, err := DecodeTuple(data)
+			if err != nil {
+				return fmt.Errorf("replay source %q: %w", name, err)
+			}
+			t.AvailableAt = time.Now()
+			if t.Specimen == "" {
+				t.Specimen = DefaultSpecimen
+			}
+			if t.Portion == "" {
+				t.Portion = DefaultPortion
+			}
+			return emit(t)
+		}
+		const batch = 256
+		offset := uint64(0)
+		for {
+			msgs, err := store.Read(subject, offset, batch)
+			if err != nil {
+				return err
+			}
+			if len(msgs) == 0 {
+				break
+			}
+			for _, m := range msgs {
+				if err := emitTuple(m.Data); err != nil {
+					return err
+				}
+			}
+			offset = msgs[len(msgs)-1].Offset + 1
+		}
+		if !liveAfter {
+			return nil
+		}
+		for {
+			select {
+			case msg, ok := <-sub.C:
+				if !ok {
+					return nil
+				}
+				if err := emitTuple(msg.Data); err != nil {
+					return err
+				}
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+	})
+	return out
+}
+
+// AddBrokerSource deploys a source that consumes encoded tuples from the
+// attached broker (pattern supports pub/sub wildcards, e.g.
+// "strata.raw.ot.>"). It is how a second STRATA deployment — possibly in
+// another process via the TCP server — taps a machine's raw data: the
+// pub/sub fan-out is what lets "distinct pipelines from one or more users
+// overlap" without re-reading the machine.
+//
+// The source runs until ctx is cancelled or, when stopAfter > 0, after that
+// many tuples. AvailableAt is restamped on arrival: for latency accounting,
+// data becomes "available" to this pipeline when the connector delivers it.
+func (fw *Framework) AddBrokerSource(name, pattern string, stopAfter int, subOpts ...pubsub.SubOption) *StreamRef {
+	out := &StreamRef{name: name, kind: kindSource, layerGranular: true}
+	if fw.broker == nil {
+		fw.recordErr(fmt.Errorf("%w: AddBrokerSource %q: no broker attached", ErrBadPipeline, name))
+		return out
+	}
+	broker := fw.broker
+	out.s = stream.AddSource(fw.query, name, func(ctx context.Context, emit stream.Emit[EventTuple]) error {
+		sub, err := broker.Subscribe(pattern, subOpts...)
+		if err != nil {
+			return err
+		}
+		defer sub.Unsubscribe()
+		seen := 0
+		for {
+			select {
+			case msg, ok := <-sub.C:
+				if !ok {
+					return nil
+				}
+				t, err := DecodeTuple(msg.Data)
+				if err != nil {
+					return fmt.Errorf("broker source %q: %w", name, err)
+				}
+				t.AvailableAt = time.Now()
+				if t.Specimen == "" {
+					t.Specimen = DefaultSpecimen
+				}
+				if t.Portion == "" {
+					t.Portion = DefaultPortion
+				}
+				if err := emit(t); err != nil {
+					return err
+				}
+				seen++
+				if stopAfter > 0 && seen >= stopAfter {
+					return nil
+				}
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+	})
+	return out
+}

@@ -1,0 +1,198 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+
+	"strata/internal/pubsub"
+)
+
+// The control module closes the paper's envisioned feedback loop (Figure
+// 1B): pipeline results drive continue / re-adjust / terminate decisions
+// that travel back to the PBF-LB machine over the pub/sub broker.
+
+// Action is the machine-facing verdict of a control rule.
+type Action int
+
+// Control actions, in escalating order.
+const (
+	ActionContinue Action = iota + 1
+	ActionAdjust
+	ActionTerminate
+)
+
+// String returns the action's wire name.
+func (a Action) String() string {
+	switch a {
+	case ActionContinue:
+		return "continue"
+	case ActionAdjust:
+		return "adjust"
+	case ActionTerminate:
+		return "terminate"
+	default:
+		return fmt.Sprintf("action(%d)", int(a))
+	}
+}
+
+// Command is one control decision sent to a machine.
+type Command struct {
+	Job    string             `json:"job"`
+	Layer  int                `json:"layer"`
+	Action Action             `json:"action"`
+	Params map[string]float64 `json:"params,omitempty"`
+	Reason string             `json:"reason,omitempty"`
+}
+
+// EncodeCommand serializes a command for the control subject.
+func EncodeCommand(c Command) ([]byte, error) { return json.Marshal(c) }
+
+// DecodeCommand parses EncodeCommand output.
+func DecodeCommand(data []byte) (Command, error) {
+	var c Command
+	if err := json.Unmarshal(data, &c); err != nil {
+		return c, fmt.Errorf("strata: decode command: %w", err)
+	}
+	return c, nil
+}
+
+// ControlSubject returns the subject a job's machine listens on.
+func ControlSubject(job string) string { return "strata.control." + job }
+
+// RuleFunc inspects one result tuple and, when intervention is needed,
+// returns the command to issue (ok=false means continue silently).
+type RuleFunc func(t EventTuple) (cmd Command, ok bool)
+
+// AttachController consumes a result stream and publishes the commands its
+// rule produces on the job's control subject, awaiting the machine's
+// acknowledgement (ackTimeout). Commands that time out abort the pipeline —
+// an unacknowledged terminate is a safety violation worth failing loudly
+// for. onAck (optional) observes every acknowledged command.
+//
+// The controller is a Deliver-style terminal stage; use Share when the same
+// stream also feeds an expert-facing sink.
+func (fw *Framework) AttachController(name string, in *StreamRef, rule RuleFunc, ackTimeout time.Duration, onAck func(Command, []byte)) {
+	if in == nil || rule == nil {
+		fw.recordErr(fmt.Errorf("%w: AttachController %q: nil input or rule", ErrBadPipeline, name))
+		return
+	}
+	if fw.broker == nil {
+		fw.recordErr(fmt.Errorf("%w: AttachController %q: no broker attached", ErrBadPipeline, name))
+		return
+	}
+	broker := fw.broker
+	fw.Deliver(name, in, func(t EventTuple) error {
+		cmd, ok := rule(t)
+		if !ok {
+			return nil
+		}
+		if cmd.Job == "" {
+			cmd.Job = t.Job
+		}
+		if cmd.Layer == 0 {
+			cmd.Layer = t.Layer
+		}
+		data, err := EncodeCommand(cmd)
+		if err != nil {
+			return err
+		}
+		resp, err := broker.Request(ControlSubject(cmd.Job), data, ackTimeout)
+		if err != nil {
+			return fmt.Errorf("strata: control command %v for job %s not acknowledged: %w",
+				cmd.Action, cmd.Job, err)
+		}
+		if onAck != nil {
+			onAck(cmd, resp.Data)
+		}
+		return nil
+	})
+}
+
+// MachinePort is the machine-side endpoint of the control loop: it
+// subscribes to a job's control subject, tracks the latest adjustment and
+// whether termination was ordered, and acknowledges every command. Poll it
+// from the machine's layer loop (see amsim.ControlFunc).
+type MachinePort struct {
+	sub *pubsub.Subscription
+
+	mu         sync.Mutex
+	terminated bool
+	params     map[string]float64
+	commands   []Command
+	closed     bool
+}
+
+// ListenMachinePort attaches a machine port for job on the broker.
+func ListenMachinePort(broker *pubsub.Broker, job string) (*MachinePort, error) {
+	sub, err := broker.Subscribe(ControlSubject(job))
+	if err != nil {
+		return nil, err
+	}
+	p := &MachinePort{sub: sub, params: make(map[string]float64)}
+	go func() {
+		for msg := range sub.C {
+			cmd, err := DecodeCommand(msg.Data)
+			ackData := []byte("ack")
+			if err != nil {
+				ackData = []byte("error: " + err.Error())
+			} else {
+				p.apply(cmd)
+			}
+			if msg.Reply != "" {
+				// Best-effort ack; the requester handles timeouts.
+				_ = broker.Publish(msg.Reply, ackData)
+			}
+		}
+	}()
+	return p, nil
+}
+
+func (p *MachinePort) apply(cmd Command) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.commands = append(p.commands, cmd)
+	switch cmd.Action {
+	case ActionTerminate:
+		p.terminated = true
+	case ActionAdjust:
+		for k, v := range cmd.Params {
+			p.params[k] = v
+		}
+	}
+}
+
+// Terminated reports whether a terminate command has arrived.
+func (p *MachinePort) Terminated() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.terminated
+}
+
+// Param returns the latest adjusted value for key (ok=false if never set).
+func (p *MachinePort) Param(key string) (float64, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	v, ok := p.params[key]
+	return v, ok
+}
+
+// Commands returns a copy of every command received so far.
+func (p *MachinePort) Commands() []Command {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]Command(nil), p.commands...)
+}
+
+// Close detaches the port from the broker.
+func (p *MachinePort) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	p.mu.Unlock()
+	p.sub.Unsubscribe()
+}

@@ -1,0 +1,204 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"strata/internal/pubsub"
+)
+
+func TestCommandCodec(t *testing.T) {
+	in := Command{
+		Job:    "j1",
+		Layer:  7,
+		Action: ActionAdjust,
+		Params: map[string]float64{"energy_scale": 0.9},
+		Reason: "too many very_warm clusters",
+	}
+	data, err := EncodeCommand(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodeCommand(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Job != in.Job || out.Layer != in.Layer || out.Action != in.Action ||
+		out.Params["energy_scale"] != 0.9 || out.Reason != in.Reason {
+		t.Fatalf("round trip = %+v", out)
+	}
+	if _, err := DecodeCommand([]byte("{not json")); err == nil {
+		t.Fatal("DecodeCommand should reject garbage")
+	}
+}
+
+func TestActionString(t *testing.T) {
+	cases := map[Action]string{
+		ActionContinue:  "continue",
+		ActionAdjust:    "adjust",
+		ActionTerminate: "terminate",
+		Action(42):      "action(42)",
+	}
+	for a, want := range cases {
+		if got := a.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", a, got, want)
+		}
+	}
+}
+
+func TestShareDuplicatesStream(t *testing.T) {
+	fw := newTestFramework(t)
+	src := fw.AddSource("s", layersSource("j", 5, nil))
+	parts := fw.Share(src, 3)
+	if len(parts) != 3 {
+		t.Fatalf("Share returned %d refs", len(parts))
+	}
+	var counts [3]int
+	for i, p := range parts {
+		i := i
+		fw.Deliver(fmt.Sprintf("out%d", i), p, func(EventTuple) error {
+			counts[i]++
+			return nil
+		})
+	}
+	if err := runFW(t, fw); err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range counts {
+		if c != 5 {
+			t.Fatalf("consumer %d got %d tuples, want 5", i, c)
+		}
+	}
+}
+
+func TestShareOfOneReturnsInput(t *testing.T) {
+	fw := newTestFramework(t)
+	src := fw.AddSource("s", layersSource("j", 1, nil))
+	parts := fw.Share(src, 1)
+	if len(parts) != 1 || parts[0] != src {
+		t.Fatal("Share(_, 1) should return the input unchanged")
+	}
+	fw.Deliver("out", parts[0], func(EventTuple) error { return nil })
+	if err := runFW(t, fw); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShareValidation(t *testing.T) {
+	fw := newTestFramework(t)
+	if out := fw.Share(nil, 2); out != nil {
+		t.Fatal("Share(nil) should return nil")
+	}
+	if err := fw.Err(); !errors.Is(err, ErrBadPipeline) {
+		t.Fatalf("Err() = %v", err)
+	}
+}
+
+func TestSharedStreamKeepsKindForDownstream(t *testing.T) {
+	// A shared detect stream must still be accepted by CorrelateEvents.
+	fw := newTestFramework(t)
+	src := fw.AddSource("s", layersSource("j", 4, nil))
+	det := fw.DetectEvent("d", src, func(t EventTuple, emit func(EventTuple) error) error {
+		return emit(EventTuple{})
+	})
+	parts := fw.Share(det, 2)
+	cor := fw.CorrelateEvents("c", parts[0], 2, func(w CorrelateWindow, emit func(EventTuple) error) error {
+		return emit(EventTuple{KV: map[string]any{"n": int64(len(w.Events))}})
+	})
+	results := 0
+	fw.Deliver("expert", cor, func(EventTuple) error { results++; return nil })
+	events := 0
+	fw.Deliver("raw-events", parts[1], func(EventTuple) error { events++; return nil })
+	if err := runFW(t, fw); err != nil {
+		t.Fatal(err)
+	}
+	if results != 4 || events != 4 {
+		t.Fatalf("results=%d events=%d, want 4/4", results, events)
+	}
+}
+
+func TestControllerIssuesAcknowledgedCommands(t *testing.T) {
+	broker := pubsub.NewBroker()
+	defer broker.Close()
+
+	port, err := ListenMachinePort(broker, "jobC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer port.Close()
+
+	fw := newTestFramework(t, WithBroker(broker))
+	src := fw.AddSource("s", layersSource("jobC", 6, func(l int) map[string]any {
+		return map[string]any{"severity": float64(l)}
+	}))
+	det := fw.DetectEvent("d", src, func(t EventTuple, emit func(EventTuple) error) error {
+		return emit(t)
+	})
+	var acks []Command
+	var mu sync.Mutex
+	fw.AttachController("ctl", det, func(t EventTuple) (Command, bool) {
+		sev, _ := t.GetFloat("severity")
+		switch {
+		case sev >= 6:
+			return Command{Action: ActionTerminate, Reason: "critical"}, true
+		case sev >= 4:
+			return Command{Action: ActionAdjust, Params: map[string]float64{"energy_scale": 0.9}}, true
+		default:
+			return Command{}, false
+		}
+	}, 5*time.Second, func(c Command, resp []byte) {
+		mu.Lock()
+		acks = append(acks, c)
+		mu.Unlock()
+		if string(resp) != "ack" {
+			t.Errorf("ack payload = %q", resp)
+		}
+	})
+	if err := runFW(t, fw); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(acks) != 3 { // layers 4, 5 adjust; 6 terminate
+		t.Fatalf("acknowledged %d commands, want 3: %+v", len(acks), acks)
+	}
+	if !port.Terminated() {
+		t.Fatal("machine port did not record termination")
+	}
+	if v, ok := port.Param("energy_scale"); !ok || v != 0.9 {
+		t.Fatalf("energy_scale = %v,%v", v, ok)
+	}
+	if got := len(port.Commands()); got != 3 {
+		t.Fatalf("port recorded %d commands, want 3", got)
+	}
+}
+
+func TestControllerUnacknowledgedCommandFailsPipeline(t *testing.T) {
+	broker := pubsub.NewBroker()
+	defer broker.Close()
+	// No machine port listening: the request must time out and abort.
+	fw := newTestFramework(t, WithBroker(broker))
+	src := fw.AddSource("s", layersSource("jobX", 1, nil))
+	det := fw.DetectEvent("d", src, func(t EventTuple, emit func(EventTuple) error) error {
+		return emit(t)
+	})
+	fw.AttachController("ctl", det, func(t EventTuple) (Command, bool) {
+		return Command{Action: ActionTerminate}, true
+	}, 50*time.Millisecond, nil)
+	err := runFW(t, fw)
+	if !errors.Is(err, pubsub.ErrNoResponder) {
+		t.Fatalf("Run() = %v, want wrapped ErrNoResponder", err)
+	}
+}
+
+func TestControllerRequiresBroker(t *testing.T) {
+	fw := newTestFramework(t)
+	src := fw.AddSource("s", layersSource("j", 1, nil))
+	fw.AttachController("ctl", src, func(EventTuple) (Command, bool) { return Command{}, false }, time.Second, nil)
+	if err := fw.Err(); !errors.Is(err, ErrBadPipeline) {
+		t.Fatalf("Err() = %v", err)
+	}
+}

@@ -1,0 +1,185 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"strata/internal/kvstore"
+	"strata/internal/pubsub"
+)
+
+// Manager owns a shared key-value store and broker and runs independently
+// deployable pipelines on top of them. It realizes the paper's design goal
+// that "multiple event detection methods can be continuously deployed, run
+// (potentially in parallel), and decommissioned": each Deploy creates a
+// fresh Framework (one SPE query) wired to the shared substrates, and
+// Decommission cancels just that pipeline.
+type Manager struct {
+	store  *kvstore.DB
+	broker *pubsub.Broker
+
+	mu        sync.Mutex
+	closed    bool
+	pipelines map[string]*Pipeline
+}
+
+// Pipeline is one deployed query with its own lifecycle.
+type Pipeline struct {
+	name   string
+	fw     *Framework
+	cancel context.CancelFunc
+	done   chan struct{}
+
+	mu  sync.Mutex
+	err error
+}
+
+// ErrPipelineExists is returned by Deploy for duplicate names.
+var ErrPipelineExists = errors.New("strata: pipeline already deployed")
+
+// ErrPipelineUnknown is returned by Decommission for unknown names.
+var ErrPipelineUnknown = errors.New("strata: unknown pipeline")
+
+// NewManager opens the shared store in storeDir and uses broker (required)
+// for all pipelines' connectors.
+func NewManager(storeDir string, broker *pubsub.Broker) (*Manager, error) {
+	if broker == nil {
+		return nil, fmt.Errorf("strata: manager requires a broker")
+	}
+	db, err := kvstore.Open(storeDir)
+	if err != nil {
+		return nil, err
+	}
+	return &Manager{store: db, broker: broker, pipelines: make(map[string]*Pipeline)}, nil
+}
+
+// Store exposes the shared key-value store (e.g. for calibration before
+// deploying pipelines).
+func (m *Manager) Store() *kvstore.DB { return m.store }
+
+// Deploy builds and starts a pipeline: build receives a Framework wired to
+// the shared store and broker, composes the query with the STRATA API, and
+// returns. The pipeline then runs until its sources are exhausted or it is
+// decommissioned.
+func (m *Manager) Deploy(name string, build func(fw *Framework) error) (*Pipeline, error) {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil, kvstore.ErrClosed
+	}
+	if _, dup := m.pipelines[name]; dup {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("%w: %q", ErrPipelineExists, name)
+	}
+	m.mu.Unlock()
+
+	fw, err := New(WithStore(m.store), WithBroker(m.broker), WithName(name))
+	if err != nil {
+		return nil, err
+	}
+	if err := build(fw); err != nil {
+		return nil, fmt.Errorf("strata: build pipeline %q: %w", name, err)
+	}
+	if err := fw.Err(); err != nil {
+		return nil, fmt.Errorf("strata: pipeline %q mis-composed: %w", name, err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	p := &Pipeline{name: name, fw: fw, cancel: cancel, done: make(chan struct{})}
+
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		cancel()
+		return nil, kvstore.ErrClosed
+	}
+	m.pipelines[name] = p
+	m.mu.Unlock()
+
+	go func() {
+		defer close(p.done)
+		err := fw.Run(ctx)
+		if errors.Is(err, context.Canceled) {
+			err = nil // decommissioned
+		}
+		p.mu.Lock()
+		p.err = err
+		p.mu.Unlock()
+		m.mu.Lock()
+		delete(m.pipelines, name)
+		m.mu.Unlock()
+	}()
+	return p, nil
+}
+
+// Name returns the pipeline's name.
+func (p *Pipeline) Name() string { return p.name }
+
+// Framework returns the pipeline's framework (metrics, store access).
+func (p *Pipeline) Framework() *Framework { return p.fw }
+
+// Wait blocks until the pipeline ends and returns its error (nil when it
+// drained normally or was decommissioned).
+func (p *Pipeline) Wait() error {
+	<-p.done
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.err
+}
+
+// Done reports without blocking whether the pipeline has ended.
+func (p *Pipeline) Done() bool {
+	select {
+	case <-p.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// Decommission stops the named pipeline and waits for it to wind down.
+func (m *Manager) Decommission(name string) error {
+	m.mu.Lock()
+	p, ok := m.pipelines[name]
+	m.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrPipelineUnknown, name)
+	}
+	p.cancel()
+	return p.Wait()
+}
+
+// List returns the names of the currently running pipelines.
+func (m *Manager) List() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.pipelines))
+	for name := range m.pipelines {
+		out = append(out, name)
+	}
+	return out
+}
+
+// Close decommissions every pipeline and closes the shared store (the
+// broker stays with its owner).
+func (m *Manager) Close() error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return kvstore.ErrClosed
+	}
+	m.closed = true
+	ps := make([]*Pipeline, 0, len(m.pipelines))
+	for _, p := range m.pipelines {
+		ps = append(ps, p)
+	}
+	m.mu.Unlock()
+
+	for _, p := range ps {
+		p.cancel()
+		<-p.done
+	}
+	return m.store.Close()
+}

@@ -1,0 +1,39 @@
+package core
+
+import (
+	"fmt"
+
+	"strata/internal/stream"
+)
+
+// Share duplicates a stream into n handles so several downstream consumers
+// (another detect stage, a Deliver sink, a Controller) can process the same
+// tuples — the paper's "parts of a given data pipeline can be shared by
+// different experts and/or across jobs". Each returned ref has the same
+// kind and layer-granularity as the input; the input ref itself must not be
+// used afterwards (streams are single-consumer).
+func (fw *Framework) Share(in *StreamRef, n int) []*StreamRef {
+	if in == nil {
+		fw.recordErr(fmt.Errorf("%w: Share: nil input", ErrBadPipeline))
+		return nil
+	}
+	if n < 1 {
+		fw.recordErr(fmt.Errorf("%w: Share %q: n must be >= 1, got %d", ErrBadPipeline, in.name, n))
+		return nil
+	}
+	if n == 1 {
+		return []*StreamRef{in}
+	}
+	name := in.name + ".share"
+	copies := stream.Fanout(fw.query, name, in.singleStream(fw, name), n)
+	out := make([]*StreamRef, n)
+	for i, c := range copies {
+		out[i] = &StreamRef{
+			name:          fmt.Sprintf("%s.%d", in.name, i),
+			kind:          in.kind,
+			layerGranular: in.layerGranular,
+			s:             c,
+		}
+	}
+	return out
+}

@@ -1,0 +1,152 @@
+// Package core implements STRATA, the paper's contribution: a framework for
+// data-driven in-situ monitoring of PBF-LB additive-manufacturing processes.
+//
+// STRATA exposes the API of the paper's Table 1 — Store/Get, AddSource,
+// Fuse, Partition, DetectEvent, CorrelateEvents — and compiles each call
+// into native operators of the underlying stream processing engine
+// (internal/stream), so pipelines inherit parallel execution and the engine
+// stays replaceable. Data at module boundaries can additionally be published
+// on a pub/sub broker (internal/pubsub), mirroring the paper's
+// Kafka-connected Raw Data / Event connectors, and data-at-rest lives in an
+// embedded key-value store (internal/kvstore) standing in for RocksDB.
+//
+// Pipeline topology and guarantees:
+//
+//   - Each stream carries EventTuples with the paper's schema
+//     ⟨τ, job, layer[, specimen, portion], [k:v, ...]⟩.
+//   - Sources emit one tuple per completed layer, timestamp-ordered.
+//   - Partition materializes the specimen/portion metadata; the first
+//     partition (or detect) stage after a layer-granular stream also emits
+//     internal end-of-layer markers, which CorrelateEvents uses to know a
+//     layer is complete for a specimen without waiting for the next layer.
+//   - Parallel stages hash on (job, specimen), so all tuples of one
+//     specimen traverse one branch in order — the condition under which
+//     markers stay behind the events they terminate.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"strata/internal/otimage"
+)
+
+// Default metadata values for tuples that have not been partitioned yet
+// (the paper: "STRATA assumes each tuple produced by a Source or method
+// fuse is to be processed as a whole, and sets default values").
+const (
+	DefaultSpecimen = "_all"
+	DefaultPortion  = "_whole"
+
+	// markerPortion marks internal end-of-layer punctuation tuples. They
+	// never reach user functions or Deliver sinks.
+	markerPortion = "_strata_layer_marker"
+)
+
+// EventTuple is STRATA's tuple: event-time and AM metadata plus a free-form
+// key/value payload, written ⟨τ, job, layer, specimen, portion, [k:v,...]⟩
+// in the paper.
+type EventTuple struct {
+	// TS is the event time τ (for raw tuples: the moment the layer's data
+	// became available at the machine).
+	TS time.Time
+	// Job identifies the printing job.
+	Job string
+	// Layer is the 1-based layer number the data refers to.
+	Layer int
+	// Specimen and Portion identify the disjoint part of the layer this
+	// tuple refers to (set by Partition; defaults before that).
+	Specimen string
+	Portion  string
+	// KV is the payload. Values are one of: string, bool, int64, float64,
+	// []byte, *otimage.Image (the types the connector codec supports).
+	KV map[string]any
+
+	// AvailableAt is when all source data contributing to this tuple had
+	// reached STRATA — the reference point of the paper's latency metric.
+	// Operators propagate the maximum across fused inputs.
+	AvailableAt time.Time
+}
+
+// EventTime implements stream.Timestamped (microseconds).
+func (t EventTuple) EventTime() int64 { return t.TS.UnixMicro() }
+
+// isMarker reports whether the tuple is internal end-of-layer punctuation.
+func (t EventTuple) isMarker() bool { return t.Portion == markerPortion }
+
+// newMarker builds the punctuation tuple closing (job, layer, specimen).
+func newMarker(from EventTuple, specimen string) EventTuple {
+	return EventTuple{
+		TS:          from.TS,
+		Job:         from.Job,
+		Layer:       from.Layer,
+		Specimen:    specimen,
+		Portion:     markerPortion,
+		AvailableAt: from.AvailableAt,
+	}
+}
+
+// WithKV returns a shallow copy of t with key set to value in a copied KV
+// map (the original tuple's map is never mutated — tuples are shared across
+// fan-outs).
+func (t EventTuple) WithKV(key string, value any) EventTuple {
+	kv := make(map[string]any, len(t.KV)+1)
+	for k, v := range t.KV {
+		kv[k] = v
+	}
+	kv[key] = value
+	t.KV = kv
+	return t
+}
+
+// String returns a compact, human-readable rendering.
+func (t EventTuple) String() string {
+	return fmt.Sprintf("⟨%s job=%s layer=%d spec=%s portion=%s |kv|=%d⟩",
+		t.TS.Format("15:04:05.000"), t.Job, t.Layer, t.Specimen, t.Portion, len(t.KV))
+}
+
+// Typed KV accessors. Each returns the zero value and false when the key is
+// absent or has a different type.
+
+// GetString returns the string payload value under key.
+func (t EventTuple) GetString(key string) (string, bool) {
+	v, ok := t.KV[key].(string)
+	return v, ok
+}
+
+// GetInt returns the int64 payload value under key.
+func (t EventTuple) GetInt(key string) (int64, bool) {
+	v, ok := t.KV[key].(int64)
+	return v, ok
+}
+
+// GetFloat returns the float64 payload value under key.
+func (t EventTuple) GetFloat(key string) (float64, bool) {
+	v, ok := t.KV[key].(float64)
+	return v, ok
+}
+
+// GetBool returns the bool payload value under key.
+func (t EventTuple) GetBool(key string) (bool, bool) {
+	v, ok := t.KV[key].(bool)
+	return v, ok
+}
+
+// GetBytes returns the []byte payload value under key.
+func (t EventTuple) GetBytes(key string) ([]byte, bool) {
+	v, ok := t.KV[key].([]byte)
+	return v, ok
+}
+
+// GetImage returns the *otimage.Image payload value under key.
+func (t EventTuple) GetImage(key string) (*otimage.Image, bool) {
+	v, ok := t.KV[key].(*otimage.Image)
+	return v, ok
+}
+
+func maxTime(a, b time.Time) time.Time {
+	if a.After(b) {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,360 @@
+package kvstore
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+const (
+	walFileName   = "wal.log"
+	sstFilePrefix = "sst-"
+	sstFileSuffix = ".sst"
+)
+
+// Options tune a DB. Use the With* functional options with Open.
+type options struct {
+	memtableBytes       int
+	compactionThreshold int
+	syncWrites          bool
+	bloomFP             float64
+	seed                int64
+}
+
+// Option customizes Open.
+type Option func(*options)
+
+// WithMemtableBytes sets the approximate memtable size that triggers a flush
+// to an SSTable. Default 4 MiB.
+func WithMemtableBytes(n int) Option {
+	return func(o *options) {
+		if n > 0 {
+			o.memtableBytes = n
+		}
+	}
+}
+
+// WithCompactionThreshold sets how many SSTables may accumulate before they
+// are merged into one. Default 8.
+func WithCompactionThreshold(n int) Option {
+	return func(o *options) {
+		if n > 1 {
+			o.compactionThreshold = n
+		}
+	}
+}
+
+// WithSyncWrites makes every WAL append fsync before returning. Durable but
+// slow; off by default (the paper's workload tolerates at-most-once loss of
+// the last instants on power failure, like RocksDB's default).
+func WithSyncWrites(sync bool) Option {
+	return func(o *options) { o.syncWrites = sync }
+}
+
+// WithBloomFalsePositiveRate sets the target bloom filter false positive
+// rate for new SSTables. Default 0.01.
+func WithBloomFalsePositiveRate(fp float64) Option {
+	return func(o *options) {
+		if fp > 0 && fp < 1 {
+			o.bloomFP = fp
+		}
+	}
+}
+
+// DB is an embedded LSM key-value store. All methods are safe for concurrent
+// use.
+type DB struct {
+	dir  string
+	opts options
+
+	mu      sync.RWMutex
+	closed  bool
+	mem     *memtable
+	wal     *wal
+	tables  []*sstable // oldest first; lookups scan newest first
+	nextNum uint64
+
+	flushes     uint64
+	compactions uint64
+}
+
+// Stats is a point-in-time summary of the store's state.
+type Stats struct {
+	MemtableBytes   int
+	MemtableEntries int
+	SSTables        int
+	Flushes         uint64
+	Compactions     uint64
+}
+
+// Open opens (creating if necessary) the store in dir.
+func Open(dir string, optFns ...Option) (*DB, error) {
+	opts := options{
+		memtableBytes:       4 << 20,
+		compactionThreshold: 8,
+		bloomFP:             0.01,
+		seed:                1,
+	}
+	for _, f := range optFns {
+		f(&opts)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("kvstore: create dir: %w", err)
+	}
+
+	db := &DB{dir: dir, opts: opts, mem: newMemtable(opts.seed)}
+
+	// Load existing SSTables in file-number order (oldest first).
+	names, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("kvstore: read dir: %w", err)
+	}
+	var nums []uint64
+	for _, de := range names {
+		name := de.Name()
+		if !strings.HasPrefix(name, sstFilePrefix) || !strings.HasSuffix(name, sstFileSuffix) {
+			continue
+		}
+		var num uint64
+		if _, err := fmt.Sscanf(name, sstFilePrefix+"%d"+sstFileSuffix, &num); err != nil {
+			continue
+		}
+		nums = append(nums, num)
+	}
+	sort.Slice(nums, func(i, j int) bool { return nums[i] < nums[j] })
+	for _, num := range nums {
+		t, err := openSSTable(db.sstPath(num), num)
+		if err != nil {
+			db.closeTables()
+			return nil, err
+		}
+		db.tables = append(db.tables, t)
+		if num >= db.nextNum {
+			db.nextNum = num + 1
+		}
+	}
+
+	// Replay the WAL into a fresh memtable (crash recovery).
+	walPath := filepath.Join(dir, walFileName)
+	if err := replayWAL(walPath, func(kind byte, key, value []byte) {
+		k := append([]byte(nil), key...)
+		v := append([]byte(nil), value...)
+		db.mem.put(k, v, kind == walDelete)
+	}); err != nil {
+		db.closeTables()
+		return nil, err
+	}
+
+	w, err := openWAL(walPath, opts.syncWrites)
+	if err != nil {
+		db.closeTables()
+		return nil, err
+	}
+	db.wal = w
+	return db, nil
+}
+
+func (db *DB) sstPath(num uint64) string {
+	return filepath.Join(db.dir, fmt.Sprintf("%s%08d%s", sstFilePrefix, num, sstFileSuffix))
+}
+
+func (db *DB) closeTables() {
+	for _, t := range db.tables {
+		t.close()
+	}
+	db.tables = nil
+}
+
+// Put stores value under key. Both slices are copied.
+func (db *DB) Put(key, value []byte) error {
+	if len(key) == 0 {
+		return ErrEmptyKey
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	if err := db.wal.append(walPut, key, value); err != nil {
+		return err
+	}
+	k := append([]byte(nil), key...)
+	v := append([]byte(nil), value...)
+	db.mem.put(k, v, false)
+	return db.maybeFlushLocked()
+}
+
+// Delete removes key. Deleting an absent key is not an error.
+func (db *DB) Delete(key []byte) error {
+	if len(key) == 0 {
+		return ErrEmptyKey
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	if err := db.wal.append(walDelete, key, nil); err != nil {
+		return err
+	}
+	k := append([]byte(nil), key...)
+	db.mem.put(k, nil, true)
+	return db.maybeFlushLocked()
+}
+
+// Get returns a copy of the value stored under key, or ErrNotFound.
+func (db *DB) Get(key []byte) ([]byte, error) {
+	if len(key) == 0 {
+		return nil, ErrEmptyKey
+	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.closed {
+		return nil, ErrClosed
+	}
+	if v, tomb, found := db.mem.get(key); found {
+		if tomb {
+			return nil, ErrNotFound
+		}
+		return append([]byte(nil), v...), nil
+	}
+	for i := len(db.tables) - 1; i >= 0; i-- {
+		v, tomb, found, err := db.tables[i].get(key)
+		if err != nil {
+			return nil, err
+		}
+		if found {
+			if tomb {
+				return nil, ErrNotFound
+			}
+			return v, nil
+		}
+	}
+	return nil, ErrNotFound
+}
+
+// Has reports whether key exists.
+func (db *DB) Has(key []byte) (bool, error) {
+	_, err := db.Get(key)
+	if err == nil {
+		return true, nil
+	}
+	if err == ErrNotFound {
+		return false, nil
+	}
+	return false, err
+}
+
+// Flush forces the memtable to disk as an SSTable.
+func (db *DB) Flush() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	return db.flushLocked()
+}
+
+// Compact merges all SSTables into one, dropping shadowed entries and
+// tombstones.
+func (db *DB) Compact() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	return db.compactLocked()
+}
+
+// Stats returns a snapshot of the store's state.
+func (db *DB) Stats() Stats {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return Stats{
+		MemtableBytes:   db.mem.size,
+		MemtableEntries: db.mem.count,
+		SSTables:        len(db.tables),
+		Flushes:         db.flushes,
+		Compactions:     db.compactions,
+	}
+}
+
+// Close flushes the memtable and releases all file handles. The DB must not
+// be used afterwards.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	var firstErr error
+	if db.mem.count > 0 {
+		if err := db.flushLocked(); err != nil {
+			firstErr = err
+		}
+	}
+	if err := db.wal.close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	for _, t := range db.tables {
+		if err := t.close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	db.tables = nil
+	db.closed = true
+	return firstErr
+}
+
+func (db *DB) maybeFlushLocked() error {
+	if db.mem.size < db.opts.memtableBytes {
+		return nil
+	}
+	if err := db.flushLocked(); err != nil {
+		return err
+	}
+	if len(db.tables) > db.opts.compactionThreshold {
+		return db.compactLocked()
+	}
+	return nil
+}
+
+// flushLocked writes the memtable to a new SSTable, resets the memtable, and
+// truncates the WAL. Caller holds db.mu.
+func (db *DB) flushLocked() error {
+	entries := db.mem.all()
+	if len(entries) == 0 {
+		return nil
+	}
+	num := db.nextNum
+	path := db.sstPath(num)
+	if _, err := writeSSTable(path, entries, db.opts.bloomFP); err != nil {
+		return err
+	}
+	t, err := openSSTable(path, num)
+	if err != nil {
+		return err
+	}
+	db.nextNum++
+	db.tables = append(db.tables, t)
+	db.mem = newMemtable(db.opts.seed + int64(num) + 1)
+
+	// The flushed entries are durable in the SSTable; start a fresh WAL.
+	if err := db.wal.close(); err != nil {
+		return err
+	}
+	walPath := filepath.Join(db.dir, walFileName)
+	if err := os.Remove(walPath); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("kvstore: remove wal: %w", err)
+	}
+	w, err := openWAL(walPath, db.opts.syncWrites)
+	if err != nil {
+		return err
+	}
+	db.wal = w
+	db.flushes++
+	return nil
+}

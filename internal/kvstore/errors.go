@@ -1,0 +1,27 @@
+// Package kvstore implements an embedded, persistent key-value store in the
+// spirit of RocksDB (which the STRATA paper uses for its key-value store
+// module): a write-ahead log for durability, an in-memory skiplist memtable,
+// immutable sorted-string tables (SSTables) with bloom filters and sparse
+// indexes on disk, and size-tiered compaction.
+//
+// The store offers Put/Get/Delete plus ordered iteration, is safe for
+// concurrent use, and recovers its state from the WAL and SSTables on Open.
+package kvstore
+
+import "errors"
+
+var (
+	// ErrNotFound is returned by Get when the key does not exist (or was
+	// deleted).
+	ErrNotFound = errors.New("kvstore: key not found")
+
+	// ErrClosed is returned by every operation on a closed DB.
+	ErrClosed = errors.New("kvstore: database closed")
+
+	// ErrEmptyKey is returned when a key of length zero is used.
+	ErrEmptyKey = errors.New("kvstore: empty key")
+
+	// ErrCorrupt is returned when a WAL record or SSTable fails its
+	// integrity checks.
+	ErrCorrupt = errors.New("kvstore: corrupt data")
+)

@@ -1,0 +1,117 @@
+package kvstore
+
+import "bytes"
+
+// cmpKeys is bytes.Compare, named for readability at call sites.
+func cmpKeys(a, b []byte) int { return bytes.Compare(a, b) }
+
+// mergeSource adapts the memtable and SSTable iterators to a common shape
+// for the k-way scan merge. Higher priority shadows lower on equal keys.
+type mergeSource struct {
+	valid    func() bool
+	entry    func() entry
+	advance  func() error
+	priority int
+}
+
+// Scan calls fn for every live key in [start, end) in ascending key order
+// (end == nil means "to the last key"). Deleted and shadowed versions are
+// skipped. Iteration stops early when fn returns false.
+//
+// Scan holds the store's read lock for its whole duration; writers block
+// until it finishes.
+func (db *DB) Scan(start, end []byte, fn func(key, value []byte) bool) error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.closed {
+		return ErrClosed
+	}
+
+	sources := make([]*mergeSource, 0, len(db.tables)+1)
+	// Memtable: highest priority (newest data).
+	mit := db.mem.seek(start)
+	sources = append(sources, &mergeSource{
+		valid:    mit.valid,
+		entry:    mit.entry,
+		advance:  func() error { mit.next(); return nil },
+		priority: len(db.tables),
+	})
+	for i, t := range db.tables {
+		it, err := t.seek(start)
+		if err != nil {
+			return err
+		}
+		sources = append(sources, &mergeSource{
+			valid:    it.valid,
+			entry:    it.entry,
+			advance:  it.advance,
+			priority: i,
+		})
+	}
+
+	for {
+		// Find the smallest key; among equal keys the highest priority
+		// wins and the shadowed sources advance past the key.
+		var best *mergeSource
+		for _, s := range sources {
+			if !s.valid() {
+				continue
+			}
+			if end != nil && cmpKeys(s.entry().key, end) >= 0 {
+				continue
+			}
+			if best == nil {
+				best = s
+				continue
+			}
+			switch cmpKeys(s.entry().key, best.entry().key) {
+			case -1:
+				best = s
+			case 0:
+				if s.priority > best.priority {
+					best = s
+				}
+			}
+		}
+		if best == nil {
+			return nil
+		}
+		e := best.entry()
+		key := e.key
+		// Advance every source holding this key (the winner and all
+		// shadowed versions).
+		for _, s := range sources {
+			for s.valid() && cmpKeys(s.entry().key, key) == 0 {
+				if err := s.advance(); err != nil {
+					return err
+				}
+			}
+		}
+		if e.tombstone {
+			continue
+		}
+		if !fn(append([]byte(nil), key...), append([]byte(nil), e.value...)) {
+			return nil
+		}
+	}
+}
+
+// ScanPrefix calls fn for every live key beginning with prefix, in ascending
+// order.
+func (db *DB) ScanPrefix(prefix []byte, fn func(key, value []byte) bool) error {
+	end := prefixEnd(prefix)
+	return db.Scan(prefix, end, fn)
+}
+
+// prefixEnd returns the smallest key greater than every key with the given
+// prefix, or nil when no such bound exists (prefix is all 0xFF).
+func prefixEnd(prefix []byte) []byte {
+	end := append([]byte(nil), prefix...)
+	for i := len(end) - 1; i >= 0; i-- {
+		if end[i] < 0xFF {
+			end[i]++
+			return end[:i+1]
+		}
+	}
+	return nil
+}

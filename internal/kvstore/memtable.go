@@ -1,0 +1,135 @@
+package kvstore
+
+import (
+	"bytes"
+	"math/rand"
+)
+
+const (
+	skiplistMaxLevel = 16
+	// skiplistP is the probability of promoting a node one level up,
+	// expressed as a threshold over [0, 4): promotion chance 1/4.
+	skiplistPDenom = 4
+)
+
+// memtable is an in-memory, sorted write buffer backed by a skiplist.
+// Deletions are recorded as tombstones so they shadow older SSTable entries
+// until compaction discards them. memtable is not safe for concurrent use;
+// the DB serializes access.
+type memtable struct {
+	head  *skipNode
+	level int
+	rng   *rand.Rand
+	size  int // approximate payload bytes (keys + values + overhead)
+	count int
+}
+
+type skipNode struct {
+	key       []byte
+	value     []byte
+	tombstone bool
+	next      []*skipNode
+}
+
+func newMemtable(seed int64) *memtable {
+	return &memtable{
+		head:  &skipNode{next: make([]*skipNode, skiplistMaxLevel)},
+		level: 1,
+		rng:   rand.New(rand.NewSource(seed)),
+	}
+}
+
+func (m *memtable) randomLevel() int {
+	lvl := 1
+	for lvl < skiplistMaxLevel && m.rng.Intn(skiplistPDenom) == 0 {
+		lvl++
+	}
+	return lvl
+}
+
+// put inserts or overwrites key. A tombstone put records a deletion.
+func (m *memtable) put(key, value []byte, tombstone bool) {
+	var update [skiplistMaxLevel]*skipNode
+	x := m.head
+	for i := m.level - 1; i >= 0; i-- {
+		for x.next[i] != nil && bytes.Compare(x.next[i].key, key) < 0 {
+			x = x.next[i]
+		}
+		update[i] = x
+	}
+	x = x.next[0]
+	if x != nil && bytes.Equal(x.key, key) {
+		m.size += len(value) - len(x.value)
+		x.value = value
+		x.tombstone = tombstone
+		return
+	}
+	lvl := m.randomLevel()
+	if lvl > m.level {
+		for i := m.level; i < lvl; i++ {
+			update[i] = m.head
+		}
+		m.level = lvl
+	}
+	n := &skipNode{key: key, value: value, tombstone: tombstone, next: make([]*skipNode, lvl)}
+	for i := 0; i < lvl; i++ {
+		n.next[i] = update[i].next[i]
+		update[i].next[i] = n
+	}
+	m.size += len(key) + len(value) + 32
+	m.count++
+}
+
+// get returns the value for key. found=false means the memtable holds no
+// entry; found=true with tombstone=true means the key was deleted here.
+func (m *memtable) get(key []byte) (value []byte, tombstone, found bool) {
+	x := m.head
+	for i := m.level - 1; i >= 0; i-- {
+		for x.next[i] != nil && bytes.Compare(x.next[i].key, key) < 0 {
+			x = x.next[i]
+		}
+	}
+	x = x.next[0]
+	if x != nil && bytes.Equal(x.key, key) {
+		return x.value, x.tombstone, true
+	}
+	return nil, false, false
+}
+
+// entry is one key/value pair (or tombstone) surfaced by iterators and used
+// by the SSTable writer.
+type entry struct {
+	key       []byte
+	value     []byte
+	tombstone bool
+}
+
+// all returns every entry in key order, including tombstones.
+func (m *memtable) all() []entry {
+	out := make([]entry, 0, m.count)
+	for x := m.head.next[0]; x != nil; x = x.next[0] {
+		out = append(out, entry{key: x.key, value: x.value, tombstone: x.tombstone})
+	}
+	return out
+}
+
+// iterator walks the memtable in key order starting at the first key ≥ start.
+type memIterator struct {
+	node *skipNode
+}
+
+func (m *memtable) seek(start []byte) *memIterator {
+	x := m.head
+	for i := m.level - 1; i >= 0; i-- {
+		for x.next[i] != nil && bytes.Compare(x.next[i].key, start) < 0 {
+			x = x.next[i]
+		}
+	}
+	return &memIterator{node: x.next[0]}
+}
+
+func (it *memIterator) valid() bool { return it.node != nil }
+func (it *memIterator) next()       { it.node = it.node.next[0] }
+func (it *memIterator) entry() entry {
+	return entry{key: it.node.key, value: it.node.value, tombstone: it.node.tombstone}
+}

@@ -1,0 +1,323 @@
+package kvstore
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// SSTable file layout (little endian):
+//
+//	magic            uint64
+//	data section:    entries, each
+//	                   keyLen  uvarint
+//	                   valTag  uvarint  (valueLen<<1 | tombstoneBit)
+//	                   key     bytes
+//	                   value   bytes
+//	index section:   count uvarint, then per sampled entry
+//	                   keyLen uvarint, key bytes, dataOffset uvarint
+//	bloom section:   marshaled bloom filter
+//	footer (40 B):   indexOff, indexLen, bloomOff, bloomLen uint64; magic uint64
+//
+// Entries are sorted by key and unique. The index samples every
+// sstIndexInterval-th entry (always including the first), so a point lookup
+// binary-searches the in-memory index and scans at most one interval of the
+// data section.
+const (
+	sstMagic         uint64 = 0x5354524154414b56 // "STRATAKV"
+	sstIndexInterval        = 16
+	sstFooterSize           = 40
+)
+
+type indexEntry struct {
+	key    []byte
+	offset int64
+}
+
+// writeSSTable writes entries (sorted by key, unique) to path and returns the
+// number of entries written.
+func writeSSTable(path string, entries []entry, bloomFP float64) (int, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return 0, fmt.Errorf("create sstable: %w", err)
+	}
+	w := bufio.NewWriterSize(f, 1<<16)
+
+	var hdr [8]byte
+	binary.LittleEndian.PutUint64(hdr[:], sstMagic)
+	if _, err := w.Write(hdr[:]); err != nil {
+		f.Close()
+		return 0, fmt.Errorf("write sstable header: %w", err)
+	}
+
+	bloom := newBloomFilter(len(entries), bloomFP)
+	index := make([]indexEntry, 0, len(entries)/sstIndexInterval+1)
+	offset := int64(8)
+	var scratch [2 * binary.MaxVarintLen64]byte
+	for i, e := range entries {
+		if i%sstIndexInterval == 0 {
+			index = append(index, indexEntry{key: append([]byte(nil), e.key...), offset: offset})
+		}
+		bloom.add(e.key)
+		n := binary.PutUvarint(scratch[:], uint64(len(e.key)))
+		tag := uint64(len(e.value)) << 1
+		if e.tombstone {
+			tag |= 1
+		}
+		n += binary.PutUvarint(scratch[n:], tag)
+		if _, err := w.Write(scratch[:n]); err != nil {
+			f.Close()
+			return 0, fmt.Errorf("write sstable entry: %w", err)
+		}
+		if _, err := w.Write(e.key); err != nil {
+			f.Close()
+			return 0, fmt.Errorf("write sstable entry: %w", err)
+		}
+		if _, err := w.Write(e.value); err != nil {
+			f.Close()
+			return 0, fmt.Errorf("write sstable entry: %w", err)
+		}
+		offset += int64(n + len(e.key) + len(e.value))
+	}
+
+	indexOff := offset
+	var buf bytes.Buffer
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], uint64(len(index)))
+	buf.Write(tmp[:n])
+	for _, ie := range index {
+		n = binary.PutUvarint(tmp[:], uint64(len(ie.key)))
+		buf.Write(tmp[:n])
+		buf.Write(ie.key)
+		n = binary.PutUvarint(tmp[:], uint64(ie.offset))
+		buf.Write(tmp[:n])
+	}
+	indexLen := int64(buf.Len())
+	if _, err := w.Write(buf.Bytes()); err != nil {
+		f.Close()
+		return 0, fmt.Errorf("write sstable index: %w", err)
+	}
+
+	bloomBytes := bloom.marshal()
+	bloomOff := indexOff + indexLen
+	if _, err := w.Write(bloomBytes); err != nil {
+		f.Close()
+		return 0, fmt.Errorf("write sstable bloom: %w", err)
+	}
+
+	var footer [sstFooterSize]byte
+	binary.LittleEndian.PutUint64(footer[0:8], uint64(indexOff))
+	binary.LittleEndian.PutUint64(footer[8:16], uint64(indexLen))
+	binary.LittleEndian.PutUint64(footer[16:24], uint64(bloomOff))
+	binary.LittleEndian.PutUint64(footer[24:32], uint64(len(bloomBytes)))
+	binary.LittleEndian.PutUint64(footer[32:40], sstMagic)
+	if _, err := w.Write(footer[:]); err != nil {
+		f.Close()
+		return 0, fmt.Errorf("write sstable footer: %w", err)
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return 0, fmt.Errorf("flush sstable: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return 0, fmt.Errorf("sync sstable: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return 0, fmt.Errorf("close sstable: %w", err)
+	}
+	return len(entries), nil
+}
+
+// sstable is an open, immutable on-disk table. Reads are safe for concurrent
+// use (ReadAt on the underlying file).
+type sstable struct {
+	path    string
+	f       *os.File
+	index   []indexEntry
+	bloom   *bloomFilter
+	dataEnd int64 // offset where the data section ends (== indexOff)
+	num     uint64
+}
+
+func openSSTable(path string, num uint64) (*sstable, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("open sstable: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("stat sstable: %w", err)
+	}
+	if st.Size() < 8+sstFooterSize {
+		f.Close()
+		return nil, fmt.Errorf("%w: sstable %s too small", ErrCorrupt, path)
+	}
+	var footer [sstFooterSize]byte
+	if _, err := f.ReadAt(footer[:], st.Size()-sstFooterSize); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("read sstable footer: %w", err)
+	}
+	if binary.LittleEndian.Uint64(footer[32:40]) != sstMagic {
+		f.Close()
+		return nil, fmt.Errorf("%w: sstable %s bad magic", ErrCorrupt, path)
+	}
+	indexOff := int64(binary.LittleEndian.Uint64(footer[0:8]))
+	indexLen := int64(binary.LittleEndian.Uint64(footer[8:16]))
+	bloomOff := int64(binary.LittleEndian.Uint64(footer[16:24]))
+	bloomLen := int64(binary.LittleEndian.Uint64(footer[24:32]))
+	if indexOff < 8 || indexOff+indexLen > st.Size() || bloomOff+bloomLen > st.Size() {
+		f.Close()
+		return nil, fmt.Errorf("%w: sstable %s bad section bounds", ErrCorrupt, path)
+	}
+
+	idxBytes := make([]byte, indexLen)
+	if _, err := f.ReadAt(idxBytes, indexOff); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("read sstable index: %w", err)
+	}
+	index, err := parseIndex(idxBytes)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("sstable %s: %w", path, err)
+	}
+
+	bloomBytes := make([]byte, bloomLen)
+	if _, err := f.ReadAt(bloomBytes, bloomOff); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("read sstable bloom: %w", err)
+	}
+	bloom, err := unmarshalBloom(bloomBytes)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("sstable %s bloom: %w", path, err)
+	}
+
+	return &sstable{path: path, f: f, index: index, bloom: bloom, dataEnd: indexOff, num: num}, nil
+}
+
+func parseIndex(b []byte) ([]indexEntry, error) {
+	count, n := binary.Uvarint(b)
+	if n <= 0 {
+		return nil, fmt.Errorf("%w: bad index count", ErrCorrupt)
+	}
+	b = b[n:]
+	out := make([]indexEntry, 0, count)
+	for i := uint64(0); i < count; i++ {
+		klen, n := binary.Uvarint(b)
+		if n <= 0 || int(klen)+n > len(b) {
+			return nil, fmt.Errorf("%w: bad index key", ErrCorrupt)
+		}
+		key := append([]byte(nil), b[n:n+int(klen)]...)
+		b = b[n+int(klen):]
+		off, n := binary.Uvarint(b)
+		if n <= 0 {
+			return nil, fmt.Errorf("%w: bad index offset", ErrCorrupt)
+		}
+		b = b[n:]
+		out = append(out, indexEntry{key: key, offset: int64(off)})
+	}
+	return out, nil
+}
+
+func (t *sstable) close() error { return t.f.Close() }
+
+// get performs a point lookup. found=false means key is not in this table;
+// found=true surfaces the value or tombstone.
+func (t *sstable) get(key []byte) (value []byte, tombstone, found bool, err error) {
+	if !t.bloom.mayContain(key) {
+		return nil, false, false, nil
+	}
+	it, err := t.seek(key)
+	if err != nil {
+		return nil, false, false, err
+	}
+	if !it.valid() {
+		return nil, false, false, nil
+	}
+	e := it.entry()
+	if !bytes.Equal(e.key, key) {
+		return nil, false, false, nil
+	}
+	return e.value, e.tombstone, true, nil
+}
+
+// seek returns an iterator positioned at the first entry with key ≥ target.
+func (t *sstable) seek(target []byte) (*sstIterator, error) {
+	// Binary search: the last index entry with key ≤ target.
+	i := sort.Search(len(t.index), func(i int) bool {
+		return bytes.Compare(t.index[i].key, target) > 0
+	}) - 1
+	start := int64(8)
+	if i >= 0 {
+		start = t.index[i].offset
+	}
+	it := &sstIterator{
+		t: t,
+		r: bufio.NewReaderSize(io.NewSectionReader(t.f, start, t.dataEnd-start), 1<<15),
+	}
+	if err := it.advance(); err != nil {
+		return nil, err
+	}
+	for it.valid() && bytes.Compare(it.cur.key, target) < 0 {
+		if err := it.advance(); err != nil {
+			return nil, err
+		}
+	}
+	return it, nil
+}
+
+// first returns an iterator positioned at the table's first entry.
+func (t *sstable) first() (*sstIterator, error) {
+	it := &sstIterator{
+		t: t,
+		r: bufio.NewReaderSize(io.NewSectionReader(t.f, 8, t.dataEnd-8), 1<<15),
+	}
+	if err := it.advance(); err != nil {
+		return nil, err
+	}
+	return it, nil
+}
+
+// sstIterator streams the data section of one table in key order.
+type sstIterator struct {
+	t    *sstable
+	r    *bufio.Reader
+	cur  entry
+	done bool
+}
+
+func (it *sstIterator) valid() bool  { return !it.done }
+func (it *sstIterator) entry() entry { return it.cur }
+
+// advance reads the next entry, setting done at end of the data section.
+func (it *sstIterator) advance() error {
+	klen, err := binary.ReadUvarint(it.r)
+	if err != nil {
+		if err == io.EOF {
+			it.done = true
+			return nil
+		}
+		return fmt.Errorf("sstable iterate: %w", err)
+	}
+	tag, err := binary.ReadUvarint(it.r)
+	if err != nil {
+		return fmt.Errorf("%w: truncated sstable entry", ErrCorrupt)
+	}
+	key := make([]byte, klen)
+	if _, err := io.ReadFull(it.r, key); err != nil {
+		return fmt.Errorf("%w: truncated sstable key", ErrCorrupt)
+	}
+	vlen := tag >> 1
+	value := make([]byte, vlen)
+	if _, err := io.ReadFull(it.r, value); err != nil {
+		return fmt.Errorf("%w: truncated sstable value", ErrCorrupt)
+	}
+	it.cur = entry{key: key, value: value, tombstone: tag&1 == 1}
+	return nil
+}

@@ -1,0 +1,142 @@
+package kvstore
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// WAL record layout (little endian):
+//
+//	crc32(payload)  uint32
+//	payloadLen      uint32
+//	payload:
+//	    kind     byte (walPut | walDelete)
+//	    keyLen   uvarint
+//	    key      bytes
+//	    value    bytes (remainder; absent for walDelete)
+//
+// A torn final record (partial write during a crash) is tolerated and
+// truncated at replay; a CRC mismatch anywhere else is reported as
+// ErrCorrupt.
+const (
+	walPut    byte = 1
+	walDelete byte = 2
+	// walBatch wraps an atomic group of operations (see Batch.marshal);
+	// its key is empty and its value is the encoded batch body.
+	walBatch byte = 3
+)
+
+type wal struct {
+	f    *os.File
+	w    *bufio.Writer
+	sync bool
+	len  int64
+}
+
+func openWAL(path string, syncWrites bool) (*wal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("open wal: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("stat wal: %w", err)
+	}
+	return &wal{f: f, w: bufio.NewWriter(f), sync: syncWrites, len: st.Size()}, nil
+}
+
+func (w *wal) append(kind byte, key, value []byte) error {
+	payload := make([]byte, 0, 1+binary.MaxVarintLen64+len(key)+len(value))
+	payload = append(payload, kind)
+	payload = binary.AppendUvarint(payload, uint64(len(key)))
+	payload = append(payload, key...)
+	payload = append(payload, value...)
+
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], crc32.ChecksumIEEE(payload))
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(len(payload)))
+	if _, err := w.w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("wal write: %w", err)
+	}
+	if _, err := w.w.Write(payload); err != nil {
+		return fmt.Errorf("wal write: %w", err)
+	}
+	if err := w.w.Flush(); err != nil {
+		return fmt.Errorf("wal flush: %w", err)
+	}
+	if w.sync {
+		if err := w.f.Sync(); err != nil {
+			return fmt.Errorf("wal sync: %w", err)
+		}
+	}
+	w.len += int64(8 + len(payload))
+	return nil
+}
+
+func (w *wal) close() error {
+	if err := w.w.Flush(); err != nil {
+		w.f.Close()
+		return fmt.Errorf("wal flush: %w", err)
+	}
+	return w.f.Close()
+}
+
+// replayWAL feeds every intact record of the WAL at path into apply, in log
+// order. A truncated trailing record is ignored (crash during the last
+// write); any other integrity violation returns ErrCorrupt.
+func replayWAL(path string, apply func(kind byte, key, value []byte)) error {
+	f, err := os.Open(path)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil
+		}
+		return fmt.Errorf("open wal for replay: %w", err)
+	}
+	defer f.Close()
+
+	r := bufio.NewReader(f)
+	for {
+		var hdr [8]byte
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				return nil // clean end or torn header
+			}
+			return fmt.Errorf("wal replay: %w", err)
+		}
+		wantCRC := binary.LittleEndian.Uint32(hdr[0:4])
+		plen := binary.LittleEndian.Uint32(hdr[4:8])
+		payload := make([]byte, plen)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				return nil // torn record at tail
+			}
+			return fmt.Errorf("wal replay: %w", err)
+		}
+		if crc32.ChecksumIEEE(payload) != wantCRC {
+			return fmt.Errorf("%w: wal crc mismatch", ErrCorrupt)
+		}
+		if len(payload) < 1 {
+			return fmt.Errorf("%w: empty wal payload", ErrCorrupt)
+		}
+		kind := payload[0]
+		keyLen, n := binary.Uvarint(payload[1:])
+		if n <= 0 || 1+n+int(keyLen) > len(payload) {
+			return fmt.Errorf("%w: bad wal key length", ErrCorrupt)
+		}
+		key := payload[1+n : 1+n+int(keyLen)]
+		value := payload[1+n+int(keyLen):]
+		if kind == walBatch {
+			if err := decodeBatch(value, apply); err != nil {
+				return err
+			}
+			continue
+		}
+		apply(kind, key, value)
+	}
+}

@@ -1,0 +1,89 @@
+package otimage
+
+import (
+	"bytes"
+	"testing"
+)
+
+func benchImage(edge int) *Image {
+	im := New(edge, edge, 0.125)
+	for i := range im.Pix {
+		im.Pix[i] = uint16(i * 2654435761)
+	}
+	return im
+}
+
+func BenchmarkSplitCells(b *testing.B) {
+	im := benchImage(2000) // full paper resolution
+	region := Rect{X0: 0, Y0: 0, X1: 2000, Y1: 2000}
+	for _, edge := range []int{40, 20, 10, 2} {
+		b.Run(sizeName(edge), func(b *testing.B) {
+			cells := 0
+			for i := 0; i < b.N; i++ {
+				cs, err := im.SplitCells(region, edge)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cells = len(cs)
+			}
+			b.ReportMetric(float64(cells*b.N)/b.Elapsed().Seconds(), "cells/s")
+		})
+	}
+}
+
+func sizeName(edge int) string {
+	return string(rune('0'+edge/10%10)) + string(rune('0'+edge%10)) + "px"
+}
+
+func BenchmarkMarshal(b *testing.B) {
+	im := benchImage(2000)
+	b.SetBytes(int64(im.Bytes()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = im.Marshal()
+	}
+}
+
+func BenchmarkUnmarshal(b *testing.B) {
+	data := benchImage(2000).Marshal()
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Unmarshal(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPGMWrite(b *testing.B) {
+	im := benchImage(2000)
+	b.SetBytes(int64(im.Bytes()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := im.WritePGM(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSubImage(b *testing.B) {
+	im := benchImage(2000)
+	r := Rect{X0: 100, Y0: 100, X1: 300, Y1: 500} // one specimen
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := im.SubImage(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPercentile(b *testing.B) {
+	im := benchImage(1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := im.Percentile(95); !ok {
+			b.Fatal("no pixels")
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package otimage
+
+// Connected-component labeling: an alternative event-detection primitive to
+// the cell grid — it extracts the exact pixel regions whose intensity
+// breaches a threshold, rather than quantizing to cells. Used for precise
+// defect outlines once the cheap cell pass has flagged a region.
+
+// Blob is one 4-connected component of threshold-breaching pixels.
+type Blob struct {
+	// Bounds is the tight bounding rectangle.
+	Bounds Rect
+	// Pixels is the component size in pixels.
+	Pixels int
+	// CentroidX, CentroidY are the mean pixel coordinates.
+	CentroidX, CentroidY float64
+	// MeanIntensity averages the member pixels.
+	MeanIntensity float64
+}
+
+// AreaMM2 returns the blob's physical area.
+func (b Blob) AreaMM2(mmPerPixel float64) float64 {
+	return float64(b.Pixels) * mmPerPixel * mmPerPixel
+}
+
+// FindBlobs labels the 4-connected components of pixels within region for
+// which keep returns true, discarding components smaller than minPixels.
+// Blobs are returned in scan order of their first pixel.
+func (im *Image) FindBlobs(region Rect, keep func(v uint16) bool, minPixels int) []Blob {
+	region = region.Intersect(Rect{X0: 0, Y0: 0, X1: im.Width, Y1: im.Height})
+	if region.Empty() || keep == nil {
+		return nil
+	}
+	w := region.W()
+	h := region.H()
+	// visited marks region-local pixels already assigned to a component.
+	visited := make([]bool, w*h)
+	local := func(x, y int) int { return (y-region.Y0)*w + (x - region.X0) }
+
+	var blobs []Blob
+	var stack [][2]int
+	for y := region.Y0; y < region.Y1; y++ {
+		for x := region.X0; x < region.X1; x++ {
+			if visited[local(x, y)] || !keep(im.Pix[y*im.Width+x]) {
+				continue
+			}
+			// Flood fill a new component.
+			b := Blob{Bounds: Rect{X0: x, Y0: y, X1: x + 1, Y1: y + 1}}
+			var sumX, sumY, sumV float64
+			stack = append(stack[:0], [2]int{x, y})
+			visited[local(x, y)] = true
+			for len(stack) > 0 {
+				p := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				px, py := p[0], p[1]
+				v := im.Pix[py*im.Width+px]
+				b.Pixels++
+				sumX += float64(px)
+				sumY += float64(py)
+				sumV += float64(v)
+				if px < b.Bounds.X0 {
+					b.Bounds.X0 = px
+				}
+				if py < b.Bounds.Y0 {
+					b.Bounds.Y0 = py
+				}
+				if px+1 > b.Bounds.X1 {
+					b.Bounds.X1 = px + 1
+				}
+				if py+1 > b.Bounds.Y1 {
+					b.Bounds.Y1 = py + 1
+				}
+				for _, d := range [4][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}} {
+					nx, ny := px+d[0], py+d[1]
+					if !region.Contains(nx, ny) || visited[local(nx, ny)] {
+						continue
+					}
+					if !keep(im.Pix[ny*im.Width+nx]) {
+						continue
+					}
+					visited[local(nx, ny)] = true
+					stack = append(stack, [2]int{nx, ny})
+				}
+			}
+			if b.Pixels >= minPixels {
+				b.CentroidX = sumX / float64(b.Pixels)
+				b.CentroidY = sumY / float64(b.Pixels)
+				b.MeanIntensity = sumV / float64(b.Pixels)
+				blobs = append(blobs, b)
+			}
+		}
+	}
+	return blobs
+}
+
+// Below returns a keep-predicate selecting printed pixels (non-zero) darker
+// than the threshold — the lack-of-fusion detector's shape.
+func Below(threshold uint16) func(uint16) bool {
+	return func(v uint16) bool { return v != 0 && v < threshold }
+}
+
+// Above returns a keep-predicate selecting pixels brighter than the
+// threshold — the overheating detector's shape.
+func Above(threshold uint16) func(uint16) bool {
+	return func(v uint16) bool { return v > threshold }
+}

@@ -1,0 +1,126 @@
+package otimage
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFindBlobsTwoComponents(t *testing.T) {
+	im := New(10, 10, 0.5)
+	for i := range im.Pix {
+		im.Pix[i] = 1000 // printed background
+	}
+	// Dark square 2x2 at (1,1) and dark L at (6..8, 6).
+	for _, p := range [][2]int{{1, 1}, {2, 1}, {1, 2}, {2, 2}, {6, 6}, {7, 6}, {8, 6}, {8, 7}} {
+		im.Set(p[0], p[1], 100)
+	}
+	blobs := im.FindBlobs(Rect{X0: 0, Y0: 0, X1: 10, Y1: 10}, Below(500), 1)
+	if len(blobs) != 2 {
+		t.Fatalf("got %d blobs, want 2", len(blobs))
+	}
+	sq := blobs[0]
+	if sq.Pixels != 4 || sq.Bounds != (Rect{X0: 1, Y0: 1, X1: 3, Y1: 3}) {
+		t.Fatalf("square blob = %+v", sq)
+	}
+	if sq.CentroidX != 1.5 || sq.CentroidY != 1.5 {
+		t.Fatalf("square centroid = (%g, %g)", sq.CentroidX, sq.CentroidY)
+	}
+	if sq.MeanIntensity != 100 {
+		t.Fatalf("square mean = %g", sq.MeanIntensity)
+	}
+	if sq.AreaMM2(0.5) != 1.0 {
+		t.Fatalf("square area = %g mm²", sq.AreaMM2(0.5))
+	}
+	l := blobs[1]
+	if l.Pixels != 4 || l.Bounds != (Rect{X0: 6, Y0: 6, X1: 9, Y1: 8}) {
+		t.Fatalf("L blob = %+v", l)
+	}
+}
+
+func TestFindBlobsMinPixelsFilters(t *testing.T) {
+	im := New(5, 5, 1)
+	for i := range im.Pix {
+		im.Pix[i] = 1000
+	}
+	im.Set(0, 0, 1) // isolated dark pixel
+	im.Set(3, 3, 1)
+	im.Set(3, 4, 1) // 2-pixel component
+	all := im.FindBlobs(Rect{X0: 0, Y0: 0, X1: 5, Y1: 5}, Below(500), 1)
+	if len(all) != 2 {
+		t.Fatalf("minPixels=1: %d blobs", len(all))
+	}
+	big := im.FindBlobs(Rect{X0: 0, Y0: 0, X1: 5, Y1: 5}, Below(500), 2)
+	if len(big) != 1 || big[0].Pixels != 2 {
+		t.Fatalf("minPixels=2: %+v", big)
+	}
+}
+
+func TestFindBlobsDiagonalNotConnected(t *testing.T) {
+	im := New(4, 4, 1)
+	for i := range im.Pix {
+		im.Pix[i] = 1000
+	}
+	im.Set(0, 0, 1)
+	im.Set(1, 1, 1) // diagonal neighbour: separate under 4-connectivity
+	blobs := im.FindBlobs(Rect{X0: 0, Y0: 0, X1: 4, Y1: 4}, Below(500), 1)
+	if len(blobs) != 2 {
+		t.Fatalf("diagonal pixels merged: %d blobs", len(blobs))
+	}
+}
+
+func TestFindBlobsPredicatesAndBounds(t *testing.T) {
+	im := New(4, 1, 1)
+	im.Pix = []uint16{0, 100, 40000, 65535}
+	// Below ignores unprinted zeros.
+	if blobs := im.FindBlobs(Rect{X0: 0, Y0: 0, X1: 4, Y1: 1}, Below(500), 1); len(blobs) != 1 || blobs[0].Pixels != 1 {
+		t.Fatalf("Below: %+v", blobs)
+	}
+	if blobs := im.FindBlobs(Rect{X0: 0, Y0: 0, X1: 4, Y1: 1}, Above(30000), 1); len(blobs) != 1 || blobs[0].Pixels != 2 {
+		t.Fatalf("Above: %+v", blobs)
+	}
+	// Empty region and nil predicate are safe.
+	if blobs := im.FindBlobs(Rect{}, Below(1), 1); blobs != nil {
+		t.Fatal("empty region should yield nil")
+	}
+	if blobs := im.FindBlobs(Rect{X0: 0, Y0: 0, X1: 4, Y1: 1}, nil, 1); blobs != nil {
+		t.Fatal("nil predicate should yield nil")
+	}
+	// Region clipped to image bounds.
+	if blobs := im.FindBlobs(Rect{X0: -5, Y0: -5, X1: 50, Y1: 50}, Above(30000), 1); len(blobs) != 1 {
+		t.Fatalf("clipped region: %+v", blobs)
+	}
+}
+
+// TestFindBlobsPropertyPartition: on random binary images, the blobs (with
+// minPixels=1) partition exactly the set of kept pixels, with disjoint
+// pixel counts summing to the total.
+func TestFindBlobsPropertyPartition(t *testing.T) {
+	prop := func(seed int64, w8, h8 uint8) bool {
+		w, h := int(w8%30)+1, int(h8%30)+1
+		rng := rand.New(rand.NewSource(seed))
+		im := New(w, h, 1)
+		kept := 0
+		for i := range im.Pix {
+			if rng.Intn(3) == 0 {
+				im.Pix[i] = 10 // dark (kept by Below)
+				kept++
+			} else {
+				im.Pix[i] = 1000
+			}
+		}
+		blobs := im.FindBlobs(Rect{X0: 0, Y0: 0, X1: w, Y1: h}, Below(500), 1)
+		total := 0
+		for _, b := range blobs {
+			total += b.Pixels
+			// Bounds must contain the centroid.
+			if b.CentroidX < float64(b.Bounds.X0-1) || b.CentroidX > float64(b.Bounds.X1) {
+				return false
+			}
+		}
+		return total == kept
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

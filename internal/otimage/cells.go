@@ -1,0 +1,90 @@
+package otimage
+
+// Cell is one square tile of an OT image, the unit the use-case pipeline
+// classifies (the paper sweeps cell edges from 40×40 down to 2×2 pixels).
+type Cell struct {
+	// Col and Row index the cell within its region's cell grid.
+	Col, Row int
+	// Region is the cell's pixel rectangle in the ORIGINAL image's
+	// coordinates, so events can be located on the build plate.
+	Region Rect
+	// Mean, Min and Max summarize the cell's intensities.
+	Mean float64
+	Min  uint16
+	Max  uint16
+}
+
+// CenterMM returns the cell centre in millimetres on the build plate.
+func (c Cell) CenterMM(mmPerPixel float64) (x, y float64) {
+	cx := float64(c.Region.X0+c.Region.X1) / 2
+	cy := float64(c.Region.Y0+c.Region.Y1) / 2
+	return cx * mmPerPixel, cy * mmPerPixel
+}
+
+// SplitCells tiles region (in im's coordinates) into edge×edge-pixel cells
+// and computes each cell's intensity statistics. Cells at the right/bottom
+// border may be smaller when edge does not divide the region evenly. The
+// returned cells are ordered row-major.
+func (im *Image) SplitCells(region Rect, edge int) ([]Cell, error) {
+	if edge <= 0 {
+		return nil, ErrBounds
+	}
+	region = region.Intersect(Rect{X0: 0, Y0: 0, X1: im.Width, Y1: im.Height})
+	if region.Empty() {
+		return nil, nil
+	}
+	cols := (region.W() + edge - 1) / edge
+	rows := (region.H() + edge - 1) / edge
+	cells := make([]Cell, 0, cols*rows)
+	for row := 0; row < rows; row++ {
+		for col := 0; col < cols; col++ {
+			r := Rect{
+				X0: region.X0 + col*edge,
+				Y0: region.Y0 + row*edge,
+				X1: min(region.X0+(col+1)*edge, region.X1),
+				Y1: min(region.Y0+(row+1)*edge, region.Y1),
+			}
+			c := Cell{Col: col, Row: row, Region: r, Min: ^uint16(0)}
+			var sum uint64
+			for y := r.Y0; y < r.Y1; y++ {
+				base := y * im.Width
+				for x := r.X0; x < r.X1; x++ {
+					v := im.Pix[base+x]
+					sum += uint64(v)
+					if v < c.Min {
+						c.Min = v
+					}
+					if v > c.Max {
+						c.Max = v
+					}
+				}
+			}
+			n := r.W() * r.H()
+			c.Mean = float64(sum) / float64(n)
+			cells = append(cells, c)
+		}
+	}
+	return cells, nil
+}
+
+// MaskedMean returns the mean intensity of the pixels in region whose value
+// is non-zero (zero pixels are unprinted plate background in OT images).
+// ok is false when the region holds no printed pixels.
+func (im *Image) MaskedMean(region Rect) (mean float64, ok bool) {
+	region = region.Intersect(Rect{X0: 0, Y0: 0, X1: im.Width, Y1: im.Height})
+	var sum uint64
+	var n int
+	for y := region.Y0; y < region.Y1; y++ {
+		base := y * im.Width
+		for x := region.X0; x < region.X1; x++ {
+			if v := im.Pix[base+x]; v != 0 {
+				sum += uint64(v)
+				n++
+			}
+		}
+	}
+	if n == 0 {
+		return 0, false
+	}
+	return float64(sum) / float64(n), true
+}

@@ -1,0 +1,53 @@
+package otimage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Binary codec: the compact wire form used to ship OT images through the
+// pub/sub connectors.
+//
+//	magic      uint32 ("OTIM")
+//	width      uint32
+//	height     uint32
+//	mmPerPixel float64 bits
+//	pixels     width*height uint16, row-major, little endian
+const codecMagic uint32 = 0x4f54494d // "OTIM"
+
+// Marshal encodes the image with the binary codec.
+func (im *Image) Marshal() []byte {
+	out := make([]byte, 20+len(im.Pix)*2)
+	binary.LittleEndian.PutUint32(out[0:4], codecMagic)
+	binary.LittleEndian.PutUint32(out[4:8], uint32(im.Width))
+	binary.LittleEndian.PutUint32(out[8:12], uint32(im.Height))
+	binary.LittleEndian.PutUint64(out[12:20], math.Float64bits(im.MMPerPixel))
+	for i, v := range im.Pix {
+		binary.LittleEndian.PutUint16(out[20+2*i:], v)
+	}
+	return out
+}
+
+// Unmarshal decodes an image produced by Marshal.
+func Unmarshal(data []byte) (*Image, error) {
+	if len(data) < 20 {
+		return nil, fmt.Errorf("otimage: truncated header (%d bytes)", len(data))
+	}
+	if binary.LittleEndian.Uint32(data[0:4]) != codecMagic {
+		return nil, fmt.Errorf("otimage: bad magic")
+	}
+	w := int(binary.LittleEndian.Uint32(data[4:8]))
+	h := int(binary.LittleEndian.Uint32(data[8:12]))
+	if w <= 0 || h <= 0 || w > 1<<16 || h > 1<<16 {
+		return nil, fmt.Errorf("otimage: implausible dimensions %dx%d", w, h)
+	}
+	if len(data) != 20+w*h*2 {
+		return nil, fmt.Errorf("otimage: size mismatch: header says %dx%d, payload %d bytes", w, h, len(data)-20)
+	}
+	im := New(w, h, math.Float64frombits(binary.LittleEndian.Uint64(data[12:20])))
+	for i := range im.Pix {
+		im.Pix[i] = binary.LittleEndian.Uint16(data[20+2*i:])
+	}
+	return im, nil
+}

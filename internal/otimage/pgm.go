@@ -1,0 +1,124 @@
+package otimage
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+)
+
+// WritePGM writes the image as a binary 16-bit PGM (P5), the portable
+// grayscale format most scientific imaging tools read directly.
+func (im *Image) WritePGM(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	// The mm-per-pixel scale rides along in a comment so SavePGM/LoadPGM
+	// round-trips the physical calibration.
+	if _, err := fmt.Fprintf(bw, "P5\n# mmPerPixel=%g\n%d %d\n65535\n", im.MMPerPixel, im.Width, im.Height); err != nil {
+		return fmt.Errorf("otimage: write pgm header: %w", err)
+	}
+	buf := make([]byte, 2*im.Width)
+	for y := 0; y < im.Height; y++ {
+		row := im.Pix[y*im.Width : (y+1)*im.Width]
+		for x, v := range row {
+			buf[2*x] = byte(v >> 8) // PGM is big endian
+			buf[2*x+1] = byte(v)
+		}
+		if _, err := bw.Write(buf); err != nil {
+			return fmt.Errorf("otimage: write pgm row: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadPGM parses a binary 16-bit PGM produced by WritePGM (or any P5 file
+// with maxval 65535).
+func ReadPGM(r io.Reader) (*Image, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var mmPerPixel float64
+
+	readToken := func() (string, error) {
+		tok := make([]byte, 0, 16)
+		for {
+			b, err := br.ReadByte()
+			if err != nil {
+				return "", err
+			}
+			switch {
+			case b == '#':
+				// Comment to end of line; scan it for calibration.
+				line, err := br.ReadString('\n')
+				if err != nil && err != io.EOF {
+					return "", err
+				}
+				var mm float64
+				if _, err := fmt.Sscanf(line, " mmPerPixel=%g", &mm); err == nil {
+					mmPerPixel = mm
+				}
+			case b == ' ' || b == '\t' || b == '\n' || b == '\r':
+				if len(tok) > 0 {
+					return string(tok), nil
+				}
+			default:
+				tok = append(tok, b)
+			}
+		}
+	}
+
+	magic, err := readToken()
+	if err != nil {
+		return nil, fmt.Errorf("otimage: read pgm: %w", err)
+	}
+	if magic != "P5" {
+		return nil, fmt.Errorf("otimage: not a P5 PGM (magic %q)", magic)
+	}
+	var w, h, maxval int
+	for _, dst := range []*int{&w, &h, &maxval} {
+		tok, err := readToken()
+		if err != nil {
+			return nil, fmt.Errorf("otimage: read pgm header: %w", err)
+		}
+		if _, err := fmt.Sscanf(tok, "%d", dst); err != nil {
+			return nil, fmt.Errorf("otimage: bad pgm header token %q: %w", tok, err)
+		}
+	}
+	if maxval != 65535 {
+		return nil, fmt.Errorf("otimage: unsupported pgm maxval %d (want 65535)", maxval)
+	}
+	if w <= 0 || h <= 0 || w > 1<<16 || h > 1<<16 {
+		return nil, fmt.Errorf("otimage: implausible pgm dimensions %dx%d", w, h)
+	}
+	im := New(w, h, mmPerPixel)
+	buf := make([]byte, 2*w)
+	for y := 0; y < h; y++ {
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, fmt.Errorf("otimage: read pgm pixels: %w", err)
+		}
+		for x := 0; x < w; x++ {
+			im.Pix[y*w+x] = uint16(buf[2*x])<<8 | uint16(buf[2*x+1])
+		}
+	}
+	return im, nil
+}
+
+// SavePGM writes the image to path.
+func (im *Image) SavePGM(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("otimage: create %s: %w", path, err)
+	}
+	if err := im.WritePGM(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadPGM reads an image from path.
+func LoadPGM(path string) (*Image, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("otimage: open %s: %w", path, err)
+	}
+	defer f.Close()
+	return ReadPGM(f)
+}

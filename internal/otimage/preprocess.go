@@ -1,0 +1,125 @@
+package otimage
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrCalibration is returned for unusable flat-field references.
+var ErrCalibration = errors.New("otimage: bad calibration input")
+
+// FlatField is a per-pixel gain map correcting the optical system's
+// non-uniform response (vignetting, sensor fixed-pattern variation). Real
+// OT setups calibrate it from uniform-exposure reference frames; applying
+// it normalizes every pixel to the field's mean response, so downstream
+// thresholds compare like with like across the plate.
+type FlatField struct {
+	Width, Height int
+	// gain[i] multiplies pixel i; 1.0 = already at mean response.
+	gain []float64
+}
+
+// ComputeFlatField averages the reference frames (all the same size) and
+// derives the gain map = mean(field) / field(x, y). Pixels with zero
+// response across every reference get gain 0 (dead pixels stay dead rather
+// than exploding to +inf).
+func ComputeFlatField(refs []*Image) (*FlatField, error) {
+	if len(refs) == 0 {
+		return nil, fmt.Errorf("%w: no reference frames", ErrCalibration)
+	}
+	w, h := refs[0].Width, refs[0].Height
+	field := make([]float64, w*h)
+	for _, r := range refs {
+		if r.Width != w || r.Height != h {
+			return nil, fmt.Errorf("%w: reference size %dx%d differs from %dx%d",
+				ErrCalibration, r.Width, r.Height, w, h)
+		}
+		for i, v := range r.Pix {
+			field[i] += float64(v)
+		}
+	}
+	var sum float64
+	var n int
+	for i := range field {
+		field[i] /= float64(len(refs))
+		if field[i] > 0 {
+			sum += field[i]
+			n++
+		}
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("%w: references are fully dark", ErrCalibration)
+	}
+	mean := sum / float64(n)
+	gain := make([]float64, w*h)
+	for i, f := range field {
+		if f > 0 {
+			gain[i] = mean / f
+		}
+	}
+	return &FlatField{Width: w, Height: h, gain: gain}, nil
+}
+
+// Apply returns a corrected copy of im (values clamped to uint16 range).
+func (ff *FlatField) Apply(im *Image) (*Image, error) {
+	if im.Width != ff.Width || im.Height != ff.Height {
+		return nil, fmt.Errorf("%w: image %dx%d vs flat field %dx%d",
+			ErrBounds, im.Width, im.Height, ff.Width, ff.Height)
+	}
+	out := New(im.Width, im.Height, im.MMPerPixel)
+	for i, v := range im.Pix {
+		c := float64(v) * ff.gain[i]
+		if c > 65535 {
+			c = 65535
+		}
+		out.Pix[i] = uint16(c)
+	}
+	return out, nil
+}
+
+// Gain returns the correction factor at (x, y) (0 outside bounds).
+func (ff *FlatField) Gain(x, y int) float64 {
+	if x < 0 || y < 0 || x >= ff.Width || y >= ff.Height {
+		return 0
+	}
+	return ff.gain[y*ff.Width+x]
+}
+
+// Downsample returns the image reduced by an integer factor using box
+// averaging — the cheap multi-resolution step for coarse first-pass
+// monitoring before zooming into suspicious regions.
+func (im *Image) Downsample(factor int) (*Image, error) {
+	if factor < 1 {
+		return nil, fmt.Errorf("%w: factor %d", ErrBounds, factor)
+	}
+	if factor == 1 {
+		return im.Clone(), nil
+	}
+	w := (im.Width + factor - 1) / factor
+	h := (im.Height + factor - 1) / factor
+	out := New(w, h, im.MMPerPixel*float64(factor))
+	for oy := 0; oy < h; oy++ {
+		for ox := 0; ox < w; ox++ {
+			var sum, n uint64
+			for dy := 0; dy < factor; dy++ {
+				y := oy*factor + dy
+				if y >= im.Height {
+					break
+				}
+				base := y * im.Width
+				for dx := 0; dx < factor; dx++ {
+					x := ox*factor + dx
+					if x >= im.Width {
+						break
+					}
+					sum += uint64(im.Pix[base+x])
+					n++
+				}
+			}
+			if n > 0 {
+				out.Pix[oy*w+ox] = uint16(sum / n)
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,167 @@
+package otimage
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// vignettedFlat builds a synthetic uniform field with radial fall-off.
+func vignettedFlat(w, h int, level float64, strength float64) *Image {
+	im := New(w, h, 1)
+	cx, cy := float64(w)/2, float64(h)/2
+	maxR2 := cx*cx + cy*cy
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			dx, dy := float64(x)-cx, float64(y)-cy
+			v := level * (1 - strength*(dx*dx+dy*dy)/maxR2)
+			im.Pix[y*w+x] = uint16(v)
+		}
+	}
+	return im
+}
+
+func TestComputeFlatFieldValidation(t *testing.T) {
+	if _, err := ComputeFlatField(nil); !errors.Is(err, ErrCalibration) {
+		t.Fatalf("no refs: %v", err)
+	}
+	refs := []*Image{New(4, 4, 1), New(5, 4, 1)}
+	if _, err := ComputeFlatField(refs); !errors.Is(err, ErrCalibration) {
+		t.Fatalf("mismatched sizes: %v", err)
+	}
+	if _, err := ComputeFlatField([]*Image{New(4, 4, 1)}); !errors.Is(err, ErrCalibration) {
+		t.Fatalf("dark refs: %v", err)
+	}
+}
+
+func TestFlatFieldCorrectsVignetting(t *testing.T) {
+	const w, h = 64, 64
+	// Calibrate on uniform fields with 30% corner fall-off.
+	refs := []*Image{
+		vignettedFlat(w, h, 20000, 0.3),
+		vignettedFlat(w, h, 20000, 0.3),
+	}
+	ff, err := ComputeFlatField(refs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Correct a vignetted "measurement" of a different level.
+	meas := vignettedFlat(w, h, 30000, 0.3)
+	corrected, err := ff.Apply(meas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// After correction the field must be nearly uniform: the corner and
+	// center values should agree within 2%.
+	center := float64(corrected.At(w/2, h/2))
+	corner := float64(corrected.At(1, 1))
+	if math.Abs(center-corner)/center > 0.02 {
+		t.Fatalf("correction failed: center=%g corner=%g", center, corner)
+	}
+	// Before correction they differ by ~30% at the extreme corner.
+	rawCenter := float64(meas.At(w/2, h/2))
+	rawCorner := float64(meas.At(1, 1))
+	if math.Abs(rawCenter-rawCorner)/rawCenter < 0.2 {
+		t.Fatalf("test field not vignetted enough: %g vs %g", rawCenter, rawCorner)
+	}
+}
+
+func TestFlatFieldDeadPixelStaysDark(t *testing.T) {
+	ref := New(4, 4, 1)
+	for i := range ref.Pix {
+		ref.Pix[i] = 1000
+	}
+	ref.Set(2, 2, 0) // dead pixel in the calibration
+	ff, err := ComputeFlatField([]*Image{ref})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := ff.Gain(2, 2); g != 0 {
+		t.Fatalf("dead pixel gain = %g, want 0", g)
+	}
+	if g := ff.Gain(-1, 0); g != 0 {
+		t.Fatal("out-of-bounds gain should be 0")
+	}
+	im := New(4, 4, 1)
+	im.Set(2, 2, 5000)
+	out, err := ff.Apply(im)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.At(2, 2) != 0 {
+		t.Fatal("dead pixel must stay dark after correction")
+	}
+}
+
+func TestFlatFieldApplySizeMismatch(t *testing.T) {
+	ref := New(4, 4, 1)
+	for i := range ref.Pix {
+		ref.Pix[i] = 100
+	}
+	ff, err := ComputeFlatField([]*Image{ref})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ff.Apply(New(5, 5, 1)); !errors.Is(err, ErrBounds) {
+		t.Fatalf("size mismatch: %v", err)
+	}
+}
+
+func TestFlatFieldClampsOverflow(t *testing.T) {
+	// Gain > 1 on a near-max pixel must clamp, not wrap.
+	ref := New(2, 1, 1)
+	ref.Pix[0] = 100
+	ref.Pix[1] = 200 // mean 150 → gain[0] = 1.5
+	ff, err := ComputeFlatField([]*Image{ref})
+	if err != nil {
+		t.Fatal(err)
+	}
+	im := New(2, 1, 1)
+	im.Pix[0] = 60000
+	out, err := ff.Apply(im)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Pix[0] != 65535 {
+		t.Fatalf("overflow not clamped: %d", out.Pix[0])
+	}
+}
+
+func TestDownsample(t *testing.T) {
+	im := New(4, 4, 0.5)
+	for i := range im.Pix {
+		im.Pix[i] = uint16(i * 100)
+	}
+	out, err := im.Downsample(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Width != 2 || out.Height != 2 {
+		t.Fatalf("dims %dx%d", out.Width, out.Height)
+	}
+	if out.MMPerPixel != 1.0 {
+		t.Fatalf("MMPerPixel = %g, want 1.0", out.MMPerPixel)
+	}
+	// Top-left box: pixels 0,100,400,500 → mean 250.
+	if out.At(0, 0) != 250 {
+		t.Fatalf("box mean = %d, want 250", out.At(0, 0))
+	}
+	// Factor 1 returns an independent clone.
+	cp, err := im.Downsample(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp.Set(0, 0, 9)
+	if im.At(0, 0) == 9 {
+		t.Fatal("Downsample(1) shares storage")
+	}
+	if _, err := im.Downsample(0); !errors.Is(err, ErrBounds) {
+		t.Fatalf("factor 0: %v", err)
+	}
+	// Ragged size: 5x5 / 2 → 3x3.
+	rag := New(5, 5, 1)
+	out2, err := rag.Downsample(2)
+	if err != nil || out2.Width != 3 || out2.Height != 3 {
+		t.Fatalf("ragged downsample: %v %v", out2, err)
+	}
+}

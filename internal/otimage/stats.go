@@ -1,0 +1,50 @@
+package otimage
+
+import "sort"
+
+// Histogram counts pixel intensities into the given number of equal-width
+// bins over [0, 65535].
+func (im *Image) Histogram(bins int) []int {
+	if bins <= 0 {
+		return nil
+	}
+	out := make([]int, bins)
+	width := 65536 / bins
+	if 65536%bins != 0 {
+		width++
+	}
+	for _, v := range im.Pix {
+		out[int(v)/width]++
+	}
+	return out
+}
+
+// Percentile returns the p-th percentile (0..100) of the NON-ZERO pixel
+// intensities — zero pixels are unprinted background in OT images. ok is
+// false when the image has no printed pixels.
+func (im *Image) Percentile(p float64) (val uint16, ok bool) {
+	if p < 0 {
+		p = 0
+	}
+	if p > 100 {
+		p = 100
+	}
+	vals := make([]uint16, 0, len(im.Pix)/4)
+	for _, v := range im.Pix {
+		if v != 0 {
+			vals = append(vals, v)
+		}
+	}
+	if len(vals) == 0 {
+		return 0, false
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	idx := int(p / 100 * float64(len(vals)-1))
+	return vals[idx], true
+}
+
+// MeanNonZero returns the mean of the non-zero pixels; ok is false for a
+// fully dark image.
+func (im *Image) MeanNonZero() (mean float64, ok bool) {
+	return im.MaskedMean(Rect{X0: 0, Y0: 0, X1: im.Width, Y1: im.Height})
+}

@@ -1,0 +1,148 @@
+package pubsub
+
+import (
+	"testing"
+	"time"
+)
+
+func BenchmarkBrokerPublishOneSubscriber(b *testing.B) {
+	br := NewBroker()
+	defer br.Close()
+	sub, err := br.Subscribe("bench", WithSubBuffer(1024))
+	if err != nil {
+		b.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for range sub.C {
+		}
+	}()
+	data := make([]byte, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := br.Publish("bench", data); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	sub.Unsubscribe()
+	<-done
+}
+
+func BenchmarkBrokerPublishFanOut8(b *testing.B) {
+	br := NewBroker()
+	defer br.Close()
+	var subs []*Subscription
+	for i := 0; i < 8; i++ {
+		sub, err := br.Subscribe("bench", WithSubBuffer(1024), WithOverflow(DropOldest))
+		if err != nil {
+			b.Fatal(err)
+		}
+		subs = append(subs, sub)
+	}
+	data := make([]byte, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := br.Publish("bench", data); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	for _, s := range subs {
+		s.Unsubscribe()
+	}
+}
+
+func BenchmarkBrokerWildcardMatch(b *testing.B) {
+	cases := []struct{ pattern, subject string }{
+		{"a.b.c", "a.b.c"},
+		{"a.*.c", "a.b.c"},
+		{"a.>", "a.b.c.d.e"},
+	}
+	for _, c := range cases {
+		b.Run(c.pattern, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if !Match(c.pattern, c.subject) {
+					b.Fatal("no match")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkTCPRoundTrip(b *testing.B) {
+	br := NewBroker()
+	defer br.Close()
+	srv, err := Serve(br, "127.0.0.1:0", WithServerLogf(func(string, ...any) {}))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+
+	subC, err := Dial(srv.Addr())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer subC.Close()
+	sub, err := subC.Subscribe("bench", WithSubBuffer(1024))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := subC.Ping(5 * time.Second); err != nil {
+		b.Fatal(err)
+	}
+	pubC, err := Dial(srv.Addr())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer pubC.Close()
+
+	data := make([]byte, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := pubC.Publish("bench", data); err != nil {
+			b.Fatal(err)
+		}
+		<-sub.C
+	}
+}
+
+func BenchmarkTCPLargeImagePayload(b *testing.B) {
+	br := NewBroker()
+	defer br.Close()
+	srv, err := Serve(br, "127.0.0.1:0", WithServerLogf(func(string, ...any) {}))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+
+	subC, err := Dial(srv.Addr())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer subC.Close()
+	sub, err := subC.Subscribe("img", WithSubBuffer(4))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := subC.Ping(5 * time.Second); err != nil {
+		b.Fatal(err)
+	}
+	pubC, err := Dial(srv.Addr())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer pubC.Close()
+
+	// A full-resolution OT image payload (8 MiB).
+	data := make([]byte, 8<<20)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := pubC.Publish("img", data); err != nil {
+			b.Fatal(err)
+		}
+		<-sub.C
+	}
+}

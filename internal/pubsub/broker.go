@@ -1,0 +1,331 @@
+package pubsub
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Message is one published datum. Data is shared between subscribers and
+// must be treated as read-only by consumers.
+type Message struct {
+	Subject string
+	Data    []byte
+	// Reply, when non-empty, is the subject a responder should publish
+	// its answer on (set by Request; see Broker.Respond).
+	Reply string
+	// Seq is the broker-assigned publish sequence number (1-based),
+	// totally ordered across all subjects of one broker.
+	Seq uint64
+}
+
+// OverflowPolicy selects what a full subscription buffer does with new
+// messages.
+type OverflowPolicy int
+
+const (
+	// Block makes Publish wait until the subscriber drains (back-pressure,
+	// the default). This couples publisher progress to the slowest
+	// blocking subscriber, like a bounded in-process queue.
+	Block OverflowPolicy = iota + 1
+	// DropOldest evicts the oldest buffered message to admit the new one.
+	DropOldest
+	// DropNewest discards the incoming message.
+	DropNewest
+)
+
+// SubOption customizes a subscription.
+type SubOption func(*subConfig)
+
+type subConfig struct {
+	buffer int
+	policy OverflowPolicy
+	queue  string
+}
+
+// WithSubBuffer sets the subscription's buffer capacity (default 256).
+func WithSubBuffer(n int) SubOption {
+	return func(c *subConfig) {
+		if n > 0 {
+			c.buffer = n
+		}
+	}
+}
+
+// WithOverflow sets the subscription's overflow policy (default Block).
+func WithOverflow(p OverflowPolicy) SubOption {
+	return func(c *subConfig) { c.policy = p }
+}
+
+// WithQueue places the subscription in the named queue group: each message
+// matching the group's pattern is delivered to exactly one member,
+// round-robin. This is how several workers share a topic's load.
+func WithQueue(name string) SubOption {
+	return func(c *subConfig) { c.queue = name }
+}
+
+// Subscription receives the messages matching its pattern. Read from C;
+// call Unsubscribe to stop (C is then closed after in-flight deliveries).
+type Subscription struct {
+	C <-chan Message
+
+	pattern string
+	queue   string
+	policy  OverflowPolicy
+	ch      chan Message
+	broker  *Broker
+	id      uint64
+
+	mu     sync.Mutex
+	closed bool
+
+	dropped atomic.Uint64
+}
+
+// Pattern returns the subscription's pattern.
+func (s *Subscription) Pattern() string { return s.pattern }
+
+// Dropped returns how many messages this subscription discarded due to its
+// overflow policy.
+func (s *Subscription) Dropped() uint64 { return s.dropped.Load() }
+
+// Unsubscribe detaches the subscription from the broker and closes C.
+// Unsubscribing twice is a no-op.
+func (s *Subscription) Unsubscribe() {
+	s.broker.removeSub(s)
+}
+
+// deliver places msg in the subscription buffer according to the overflow
+// policy. It returns false only for Block policy when the subscription
+// closed while blocked.
+func (s *Subscription) deliver(msg Message) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	switch s.policy {
+	case DropOldest:
+		for {
+			select {
+			case s.ch <- msg:
+				return true
+			default:
+				select {
+				case <-s.ch:
+					s.dropped.Add(1)
+				default:
+				}
+			}
+		}
+	case DropNewest:
+		select {
+		case s.ch <- msg:
+			return true
+		default:
+			s.dropped.Add(1)
+			return true
+		}
+	default: // Block
+		// Hold the lock while blocked: Unsubscribe during a blocked
+		// deliver would otherwise close the channel mid-send. The
+		// trade-off is that Unsubscribe waits for the send; consumers
+		// using Block are expected to drain.
+		s.ch <- msg
+		return true
+	}
+}
+
+// Stats summarizes a broker's activity.
+type Stats struct {
+	Published     uint64
+	Delivered     uint64
+	Subscriptions int
+}
+
+// Broker routes published messages to matching subscriptions. The zero
+// value is not usable; create one with NewBroker. Safe for concurrent use.
+type Broker struct {
+	mu     sync.RWMutex
+	closed bool
+	subs   map[uint64]*Subscription
+	queues map[string]*queueGroup // key: queue name + "\x00" + pattern
+	nextID uint64
+	seq    atomic.Uint64
+
+	published atomic.Uint64
+	delivered atomic.Uint64
+}
+
+// queueGroup tracks the members of one (queue, pattern) pair and the
+// round-robin cursor.
+type queueGroup struct {
+	members []*Subscription
+	next    int
+}
+
+// NewBroker creates an empty broker.
+func NewBroker() *Broker {
+	return &Broker{
+		subs:   make(map[uint64]*Subscription),
+		queues: make(map[string]*queueGroup),
+	}
+}
+
+// Subscribe registers interest in pattern and returns the subscription.
+func (b *Broker) Subscribe(pattern string, opts ...SubOption) (*Subscription, error) {
+	if err := ValidatePattern(pattern); err != nil {
+		return nil, err
+	}
+	cfg := subConfig{buffer: 256, policy: Block}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return nil, ErrClosed
+	}
+	b.nextID++
+	ch := make(chan Message, cfg.buffer)
+	sub := &Subscription{
+		C:       ch,
+		ch:      ch,
+		pattern: pattern,
+		queue:   cfg.queue,
+		policy:  cfg.policy,
+		broker:  b,
+		id:      b.nextID,
+	}
+	b.subs[sub.id] = sub
+	if cfg.queue != "" {
+		key := queueKey(cfg.queue, pattern)
+		g, ok := b.queues[key]
+		if !ok {
+			g = &queueGroup{}
+			b.queues[key] = g
+		}
+		g.members = append(g.members, sub)
+	}
+	return sub, nil
+}
+
+func queueKey(queue, pattern string) string { return queue + "\x00" + pattern }
+
+func (b *Broker) removeSub(s *Subscription) {
+	b.mu.Lock()
+	if _, ok := b.subs[s.id]; !ok {
+		b.mu.Unlock()
+		return
+	}
+	delete(b.subs, s.id)
+	if s.queue != "" {
+		key := queueKey(s.queue, s.pattern)
+		if g, ok := b.queues[key]; ok {
+			for i, m := range g.members {
+				if m == s {
+					g.members = append(g.members[:i], g.members[i+1:]...)
+					break
+				}
+			}
+			if len(g.members) == 0 {
+				delete(b.queues, key)
+			}
+		}
+	}
+	b.mu.Unlock()
+
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.ch)
+	}
+	s.mu.Unlock()
+}
+
+// Publish delivers data to every subscription whose pattern matches subject
+// (and to one member per matching queue group). Data is not copied; treat it
+// as immutable after publishing.
+func (b *Broker) Publish(subject string, data []byte) error {
+	return b.PublishRequest(subject, "", data)
+}
+
+// PublishRequest is Publish with a reply subject attached to the delivered
+// messages (the request half of request/reply).
+func (b *Broker) PublishRequest(subject, reply string, data []byte) error {
+	if err := ValidateSubject(subject); err != nil {
+		return err
+	}
+	b.mu.RLock()
+	if b.closed {
+		b.mu.RUnlock()
+		return ErrClosed
+	}
+	// Collect targets under the read lock, deliver after releasing it
+	// (Block-policy deliveries may park for a while).
+	var targets []*Subscription
+	for _, s := range b.subs {
+		if s.queue == "" && Match(s.pattern, subject) {
+			targets = append(targets, s)
+		}
+	}
+	b.mu.RUnlock()
+
+	// Queue groups need the write lock briefly for the round-robin cursor.
+	b.mu.Lock()
+	for _, g := range b.queues {
+		if len(g.members) == 0 || !Match(g.members[0].pattern, subject) {
+			continue
+		}
+		g.next = (g.next + 1) % len(g.members)
+		targets = append(targets, g.members[g.next])
+	}
+	b.mu.Unlock()
+
+	msg := Message{Subject: subject, Data: data, Reply: reply, Seq: b.seq.Add(1)}
+	b.published.Add(1)
+	for _, s := range targets {
+		if s.deliver(msg) {
+			b.delivered.Add(1)
+		}
+	}
+	return nil
+}
+
+// Stats returns a snapshot of the broker's counters.
+func (b *Broker) Stats() Stats {
+	b.mu.RLock()
+	n := len(b.subs)
+	b.mu.RUnlock()
+	return Stats{
+		Published:     b.published.Load(),
+		Delivered:     b.delivered.Load(),
+		Subscriptions: n,
+	}
+}
+
+// Close unsubscribes everything and marks the broker closed.
+func (b *Broker) Close() error {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return ErrClosed
+	}
+	b.closed = true
+	subs := make([]*Subscription, 0, len(b.subs))
+	for _, s := range b.subs {
+		subs = append(subs, s)
+	}
+	b.subs = make(map[uint64]*Subscription)
+	b.queues = make(map[string]*queueGroup)
+	b.mu.Unlock()
+
+	for _, s := range subs {
+		s.mu.Lock()
+		if !s.closed {
+			s.closed = true
+			close(s.ch)
+		}
+		s.mu.Unlock()
+	}
+	return nil
+}

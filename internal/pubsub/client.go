@@ -1,0 +1,307 @@
+package pubsub
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// Conn is a client connection to a pubsub Server. Safe for concurrent use.
+type Conn struct {
+	conn net.Conn
+
+	writeMu sync.Mutex
+	w       *bufio.Writer
+
+	mu      sync.Mutex
+	closed  bool
+	subs    map[uint64]*ClientSub
+	nextSID uint64
+	pongCh  chan struct{}
+	readErr error
+	done    chan struct{}
+}
+
+// ClientSub is a client-side subscription. Read messages from C; C closes
+// when the subscription or connection ends.
+type ClientSub struct {
+	C <-chan Message
+
+	ch   chan Message
+	conn *Conn
+	sid  uint64
+
+	// Shutdown protocol: quit unblocks an in-flight delivery, then dead is
+	// set and ch closed under sendMu so the dispatcher can never send on a
+	// closed channel.
+	quit   chan struct{}
+	sendMu sync.Mutex
+	dead   bool
+	once   sync.Once
+}
+
+// shutdown closes the subscription's channels exactly once, aborting any
+// delivery blocked on a full buffer first.
+func (s *ClientSub) shutdown() {
+	s.once.Do(func() {
+		close(s.quit)
+		s.sendMu.Lock()
+		s.dead = true
+		close(s.ch)
+		s.sendMu.Unlock()
+	})
+}
+
+// deliver hands msg to the consumer, giving up if the subscription shuts
+// down while the buffer is full.
+func (s *ClientSub) deliver(msg Message) {
+	s.sendMu.Lock()
+	defer s.sendMu.Unlock()
+	if s.dead {
+		return
+	}
+	select {
+	case s.ch <- msg:
+	case <-s.quit:
+	}
+}
+
+// Unsubscribe stops the subscription. Safe to call twice.
+func (s *ClientSub) Unsubscribe() error {
+	s.conn.mu.Lock()
+	_, active := s.conn.subs[s.sid]
+	delete(s.conn.subs, s.sid)
+	connClosed := s.conn.closed
+	s.conn.mu.Unlock()
+	s.shutdown()
+	if !active || connClosed {
+		return nil
+	}
+	return s.conn.send(opUnsub, u64(s.sid))
+}
+
+// Dial connects to a pubsub server at addr.
+func Dial(addr string) (*Conn, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("pubsub: dial: %w", err)
+	}
+	c := &Conn{
+		conn:   nc,
+		w:      bufio.NewWriterSize(nc, 1<<16),
+		subs:   make(map[uint64]*ClientSub),
+		pongCh: make(chan struct{}, 1),
+		done:   make(chan struct{}),
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+func (c *Conn) send(op byte, payload ...[]byte) error {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	return writeFrame(c.w, op, payload...)
+}
+
+// Publish sends data under subject. The data slice is written out before
+// Publish returns and may be reused by the caller afterwards.
+func (c *Conn) Publish(subject string, data []byte) error {
+	return c.PublishRequest(subject, "", data)
+}
+
+// PublishRequest is Publish with a reply subject attached (the request half
+// of request/reply).
+func (c *Conn) PublishRequest(subject, reply string, data []byte) error {
+	if err := ValidateSubject(subject); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClosed
+	}
+	c.mu.Unlock()
+	return c.send(opPub,
+		u16(len(subject)), []byte(subject),
+		u16(len(reply)), []byte(reply),
+		data)
+}
+
+// Subscribe registers a subscription on the server. Only WithSubBuffer and
+// WithQueue options apply client-side (overflow is governed by TCP
+// back-pressure: if the client does not drain, the server's forwarding
+// goroutine blocks on the socket).
+func (c *Conn) Subscribe(pattern string, opts ...SubOption) (*ClientSub, error) {
+	if err := ValidatePattern(pattern); err != nil {
+		return nil, err
+	}
+	cfg := subConfig{buffer: 256}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
+	c.nextSID++
+	sid := c.nextSID
+	ch := make(chan Message, cfg.buffer)
+	sub := &ClientSub{C: ch, ch: ch, conn: c, sid: sid, quit: make(chan struct{})}
+	c.subs[sid] = sub
+	c.mu.Unlock()
+
+	err := c.send(opSub,
+		u64(sid),
+		u16(len(pattern)), []byte(pattern),
+		u16(len(cfg.queue)), []byte(cfg.queue))
+	if err != nil {
+		c.mu.Lock()
+		delete(c.subs, sid)
+		c.mu.Unlock()
+		return nil, err
+	}
+	return sub, nil
+}
+
+// Ping round-trips a ping frame, confirming the connection and that all
+// previously sent frames were consumed by the server's read loop.
+func (c *Conn) Ping(timeout time.Duration) error {
+	if err := c.send(opPing); err != nil {
+		return err
+	}
+	select {
+	case <-c.pongCh:
+		return nil
+	case <-c.done:
+		return c.err()
+	case <-time.After(timeout):
+		return fmt.Errorf("pubsub: ping timeout after %v", timeout)
+	}
+}
+
+func (c *Conn) err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.readErr != nil {
+		return c.readErr
+	}
+	return ErrClosed
+}
+
+// Close tears down the connection and every subscription.
+func (c *Conn) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClosed
+	}
+	c.closed = true
+	subs := make([]*ClientSub, 0, len(c.subs))
+	for _, s := range c.subs {
+		subs = append(subs, s)
+	}
+	c.subs = make(map[uint64]*ClientSub)
+	c.mu.Unlock()
+	for _, s := range subs {
+		s.shutdown()
+	}
+	err := c.conn.Close()
+	<-c.done // wait for readLoop exit
+	return err
+}
+
+// readLoop dispatches inbound frames until the connection drops.
+func (c *Conn) readLoop() {
+	defer close(c.done)
+	r := bufio.NewReaderSize(c.conn, 1<<16)
+	for {
+		op, payload, err := readFrame(r)
+		if err != nil {
+			c.teardown(err)
+			return
+		}
+		switch op {
+		case opMsg:
+			cur := cursor{b: payload}
+			sid, err := cur.u64()
+			if err != nil {
+				c.teardown(err)
+				return
+			}
+			seq, err := cur.u64()
+			if err != nil {
+				c.teardown(err)
+				return
+			}
+			slen, err := cur.u16()
+			if err != nil {
+				c.teardown(err)
+				return
+			}
+			subj, err := cur.bytes(slen)
+			if err != nil {
+				c.teardown(err)
+				return
+			}
+			rlen, err := cur.u16()
+			if err != nil {
+				c.teardown(err)
+				return
+			}
+			reply, err := cur.bytes(rlen)
+			if err != nil {
+				c.teardown(err)
+				return
+			}
+			data := append([]byte(nil), cur.rest()...)
+			c.mu.Lock()
+			sub := c.subs[sid]
+			c.mu.Unlock()
+			if sub != nil {
+				// Blocking send: back-pressure propagates to the
+				// server through the unread socket.
+				sub.deliver(Message{Subject: string(subj), Reply: string(reply), Data: data, Seq: seq})
+			}
+		case opPong:
+			select {
+			case c.pongCh <- struct{}{}:
+			default:
+			}
+		case opErr:
+			c.teardown(fmt.Errorf("pubsub: server error: %s", payload))
+			return
+		default:
+			c.teardown(fmt.Errorf("pubsub: unknown op %d from server", op))
+			return
+		}
+	}
+}
+
+// teardown records the first read error and closes all subscription
+// channels so consumers unblock.
+func (c *Conn) teardown(err error) {
+	c.mu.Lock()
+	if c.readErr == nil && !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+		c.readErr = err
+	}
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	subs := make([]*ClientSub, 0, len(c.subs))
+	for _, s := range c.subs {
+		subs = append(subs, s)
+	}
+	c.subs = make(map[uint64]*ClientSub)
+	c.mu.Unlock()
+	for _, s := range subs {
+		s.shutdown()
+	}
+	c.conn.Close()
+}

@@ -1,0 +1,332 @@
+package pubsub
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// LogStore persists published messages per subject in append-only files, so
+// consumers can replay a topic from any offset — the retention/offset model
+// Kafka brings to the paper's connectors. A core broker alone is
+// at-most-once and fan-out only; recording the raw-data connector into a
+// LogStore lets an event-detection pipeline deployed mid-build (or after
+// it) reprocess every layer.
+//
+// One file per subject; record layout (little endian):
+//
+//	crc32(data) uint32 | len uint32 | data
+//
+// Offsets are record ordinals (0-based), not byte positions. Safe for
+// concurrent use.
+type LogStore struct {
+	dir string
+
+	mu     sync.Mutex
+	closed bool
+	topics map[string]*topicLog
+}
+
+// StoredMessage is one replayed record.
+type StoredMessage struct {
+	Subject string
+	Offset  uint64
+	Data    []byte
+}
+
+// ErrLogCorrupt reports a CRC or framing violation in a topic file.
+var ErrLogCorrupt = errors.New("pubsub: corrupt topic log")
+
+type topicLog struct {
+	mu      sync.Mutex
+	f       *os.File
+	w       *bufio.Writer
+	offsets []int64 // byte position of each record
+	size    int64
+}
+
+// OpenLogStore opens (creating if needed) a log store rooted at dir,
+// loading the offset index of every existing topic file.
+func OpenLogStore(dir string) (*LogStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("pubsub: create log dir: %w", err)
+	}
+	ls := &LogStore{dir: dir, topics: make(map[string]*topicLog)}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("pubsub: read log dir: %w", err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasSuffix(name, ".log") {
+			continue
+		}
+		subject := fileToSubject(strings.TrimSuffix(name, ".log"))
+		if _, err := ls.openTopic(subject); err != nil {
+			ls.Close()
+			return nil, err
+		}
+	}
+	return ls, nil
+}
+
+// subjectToFile encodes a subject as a filename: '_' escapes itself ("_u")
+// and the '.' separators ("_d"), so decoding is a single unambiguous scan.
+func subjectToFile(subject string) string {
+	var b strings.Builder
+	for i := 0; i < len(subject); i++ {
+		switch subject[i] {
+		case '_':
+			b.WriteString("_u")
+		case '.':
+			b.WriteString("_d")
+		default:
+			b.WriteByte(subject[i])
+		}
+	}
+	return b.String()
+}
+
+func fileToSubject(name string) string {
+	var b strings.Builder
+	for i := 0; i < len(name); i++ {
+		if name[i] == '_' && i+1 < len(name) {
+			switch name[i+1] {
+			case 'u':
+				b.WriteByte('_')
+				i++
+				continue
+			case 'd':
+				b.WriteByte('.')
+				i++
+				continue
+			}
+		}
+		b.WriteByte(name[i])
+	}
+	return b.String()
+}
+
+// openTopic loads or creates a topic file and its offset index. Caller
+// holds no locks; the store lock is taken here.
+func (ls *LogStore) openTopic(subject string) (*topicLog, error) {
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	if ls.closed {
+		return nil, ErrClosed
+	}
+	if t, ok := ls.topics[subject]; ok {
+		return t, nil
+	}
+	path := filepath.Join(ls.dir, subjectToFile(subject)+".log")
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("pubsub: open topic log: %w", err)
+	}
+	t := &topicLog{f: f, w: bufio.NewWriter(f)}
+	// Build the offset index by scanning the file.
+	r := bufio.NewReader(io.NewSectionReader(f, 0, 1<<62))
+	pos := int64(0)
+	for {
+		var hdr [8]byte
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			break // EOF or torn tail: truncate there
+		}
+		n := binary.LittleEndian.Uint32(hdr[4:8])
+		if n > maxFrameSize {
+			f.Close()
+			return nil, fmt.Errorf("%w: record size %d in %s", ErrLogCorrupt, n, path)
+		}
+		if _, err := r.Discard(int(n)); err != nil {
+			break // torn record
+		}
+		t.offsets = append(t.offsets, pos)
+		pos += int64(8 + n)
+	}
+	t.size = pos
+	if err := f.Truncate(pos); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("pubsub: truncate torn topic log: %w", err)
+	}
+	if _, err := f.Seek(pos, io.SeekStart); err != nil {
+		f.Close()
+		return nil, err
+	}
+	ls.topics[subject] = t
+	return t, nil
+}
+
+// Append stores data under subject and returns its offset.
+func (ls *LogStore) Append(subject string, data []byte) (uint64, error) {
+	if err := ValidateSubject(subject); err != nil {
+		return 0, err
+	}
+	t, err := ls.openTopic(subject)
+	if err != nil {
+		return 0, err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], crc32.ChecksumIEEE(data))
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(len(data)))
+	if _, err := t.w.Write(hdr[:]); err != nil {
+		return 0, err
+	}
+	if _, err := t.w.Write(data); err != nil {
+		return 0, err
+	}
+	if err := t.w.Flush(); err != nil {
+		return 0, err
+	}
+	off := uint64(len(t.offsets))
+	t.offsets = append(t.offsets, t.size)
+	t.size += int64(8 + len(data))
+	return off, nil
+}
+
+// Len returns the number of records stored under subject (0 for unknown
+// subjects).
+func (ls *LogStore) Len(subject string) uint64 {
+	ls.mu.Lock()
+	t, ok := ls.topics[subject]
+	ls.mu.Unlock()
+	if !ok {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return uint64(len(t.offsets))
+}
+
+// Subjects lists the topics with at least one record.
+func (ls *LogStore) Subjects() []string {
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	out := make([]string, 0, len(ls.topics))
+	for s, t := range ls.topics {
+		t.mu.Lock()
+		n := len(t.offsets)
+		t.mu.Unlock()
+		if n > 0 {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Read returns up to max records of subject starting at offset from.
+// max <= 0 means "all remaining".
+func (ls *LogStore) Read(subject string, from uint64, max int) ([]StoredMessage, error) {
+	ls.mu.Lock()
+	t, ok := ls.topics[subject]
+	closed := ls.closed
+	ls.mu.Unlock()
+	if closed {
+		return nil, ErrClosed
+	}
+	if !ok {
+		return nil, nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if from >= uint64(len(t.offsets)) {
+		return nil, nil
+	}
+	end := len(t.offsets)
+	if max > 0 && int(from)+max < end {
+		end = int(from) + max
+	}
+	var out []StoredMessage
+	for i := int(from); i < end; i++ {
+		pos := t.offsets[i]
+		var hdr [8]byte
+		if _, err := t.f.ReadAt(hdr[:], pos); err != nil {
+			return nil, fmt.Errorf("pubsub: read topic log: %w", err)
+		}
+		wantCRC := binary.LittleEndian.Uint32(hdr[0:4])
+		n := binary.LittleEndian.Uint32(hdr[4:8])
+		data := make([]byte, n)
+		if _, err := t.f.ReadAt(data, pos+8); err != nil {
+			return nil, fmt.Errorf("pubsub: read topic log: %w", err)
+		}
+		if crc32.ChecksumIEEE(data) != wantCRC {
+			return nil, fmt.Errorf("%w: offset %d of %s", ErrLogCorrupt, i, subject)
+		}
+		out = append(out, StoredMessage{Subject: subject, Offset: uint64(i), Data: data})
+	}
+	return out, nil
+}
+
+// Close releases every topic file.
+func (ls *LogStore) Close() error {
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	if ls.closed {
+		return ErrClosed
+	}
+	ls.closed = true
+	var firstErr error
+	for _, t := range ls.topics {
+		t.mu.Lock()
+		if err := t.w.Flush(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		if err := t.f.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		t.mu.Unlock()
+	}
+	ls.topics = nil
+	return firstErr
+}
+
+// Recorder copies every broker message matching a pattern into a LogStore.
+type Recorder struct {
+	sub  *Subscription
+	done chan struct{}
+
+	mu  sync.Mutex
+	err error
+}
+
+// Record subscribes to pattern on broker and appends every delivered
+// message to store until Stop is called. Recording uses a Block
+// subscription: the broker's publishers see back-pressure rather than loss
+// while the disk keeps up.
+func Record(broker *Broker, pattern string, store *LogStore) (*Recorder, error) {
+	sub, err := broker.Subscribe(pattern, WithSubBuffer(1024))
+	if err != nil {
+		return nil, err
+	}
+	r := &Recorder{sub: sub, done: make(chan struct{})}
+	go func() {
+		defer close(r.done)
+		for msg := range sub.C {
+			if _, err := store.Append(msg.Subject, msg.Data); err != nil {
+				r.mu.Lock()
+				r.err = err
+				r.mu.Unlock()
+				return
+			}
+		}
+	}()
+	return r, nil
+}
+
+// Stop detaches the recorder and waits for the pending appends; it returns
+// the first append error, if any.
+func (r *Recorder) Stop() error {
+	r.sub.Unsubscribe()
+	<-r.done
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.err
+}

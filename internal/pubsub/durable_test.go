@@ -1,0 +1,236 @@
+package pubsub
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func openTestLog(t *testing.T) *LogStore {
+	t.Helper()
+	ls, err := OpenLogStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ls.Close() })
+	return ls
+}
+
+func TestLogStoreAppendRead(t *testing.T) {
+	ls := openTestLog(t)
+	for i := 0; i < 10; i++ {
+		off, err := ls.Append("raw.ot", []byte(fmt.Sprintf("layer-%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if off != uint64(i) {
+			t.Fatalf("offset = %d, want %d", off, i)
+		}
+	}
+	if n := ls.Len("raw.ot"); n != 10 {
+		t.Fatalf("Len = %d", n)
+	}
+	msgs, err := ls.Read("raw.ot", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 10 || string(msgs[3].Data) != "layer-3" || msgs[3].Offset != 3 {
+		t.Fatalf("msgs = %+v", msgs)
+	}
+	// Partial reads.
+	tail, err := ls.Read("raw.ot", 7, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tail) != 2 || string(tail[0].Data) != "layer-7" {
+		t.Fatalf("tail = %+v", tail)
+	}
+	// Past the end / unknown subject.
+	if msgs, err := ls.Read("raw.ot", 100, 0); err != nil || msgs != nil {
+		t.Fatalf("past end: %v %v", msgs, err)
+	}
+	if msgs, err := ls.Read("nope", 0, 0); err != nil || msgs != nil {
+		t.Fatalf("unknown subject: %v %v", msgs, err)
+	}
+}
+
+func TestLogStoreSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	ls, err := OpenLogStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := ls.Append("a.b", []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := ls.Append("other_topic.x", []byte("z")); err != nil {
+		t.Fatal(err)
+	}
+	if err := ls.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	ls2, err := OpenLogStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ls2.Close()
+	if n := ls2.Len("a.b"); n != 5 {
+		t.Fatalf("Len after reopen = %d", n)
+	}
+	if n := ls2.Len("other_topic.x"); n != 1 {
+		t.Fatalf("underscore subject lost: %d", n)
+	}
+	// Appends continue at the right offset.
+	off, err := ls2.Append("a.b", []byte{9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off != 5 {
+		t.Fatalf("offset after reopen = %d, want 5", off)
+	}
+	msgs, err := ls2.Read("a.b", 4, 2)
+	if err != nil || len(msgs) != 2 || msgs[1].Data[0] != 9 {
+		t.Fatalf("read after reopen: %+v, %v", msgs, err)
+	}
+	if got := len(ls2.Subjects()); got != 2 {
+		t.Fatalf("Subjects = %d, want 2", got)
+	}
+}
+
+func TestLogStoreTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	ls, err := OpenLogStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ls.Append("t", []byte("whole")); err != nil {
+		t.Fatal(err)
+	}
+	if err := ls.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash mid-append: garbage header promising more bytes.
+	path := filepath.Join(dir, subjectToFile("t")+".log")
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte{1, 2, 3, 4, 50, 0, 0, 0, 1, 2})
+	f.Close()
+
+	ls2, err := OpenLogStore(dir)
+	if err != nil {
+		t.Fatalf("reopen with torn tail: %v", err)
+	}
+	defer ls2.Close()
+	if n := ls2.Len("t"); n != 1 {
+		t.Fatalf("Len = %d, want 1 (torn record dropped)", n)
+	}
+	// The torn bytes must be gone so new appends stay well-formed.
+	if _, err := ls2.Append("t", []byte("next")); err != nil {
+		t.Fatal(err)
+	}
+	msgs, err := ls2.Read("t", 0, 0)
+	if err != nil || len(msgs) != 2 || string(msgs[1].Data) != "next" {
+		t.Fatalf("after torn-tail recovery: %+v %v", msgs, err)
+	}
+}
+
+func TestLogStoreDetectsCorruptRecord(t *testing.T) {
+	dir := t.TempDir()
+	ls, err := OpenLogStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ls.Append("c", []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	ls.Close()
+	path := filepath.Join(dir, subjectToFile("c")+".log")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[9] ^= 0xFF // flip a payload byte
+	os.WriteFile(path, data, 0o644)
+
+	ls2, err := OpenLogStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ls2.Close()
+	if _, err := ls2.Read("c", 0, 0); !errors.Is(err, ErrLogCorrupt) {
+		t.Fatalf("Read = %v, want ErrLogCorrupt", err)
+	}
+}
+
+func TestSubjectFileNameRoundTrip(t *testing.T) {
+	for _, s := range []string{"a", "a.b.c", "with_underscore.x", "a__b.c_-d"} {
+		if got := fileToSubject(subjectToFile(s)); got != s {
+			t.Errorf("round trip %q → %q", s, got)
+		}
+	}
+}
+
+func TestRecorderCapturesBrokerTraffic(t *testing.T) {
+	b := NewBroker()
+	defer b.Close()
+	ls := openTestLog(t)
+	rec, err := Record(b, "strata.raw.>", ls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if err := b.Publish("strata.raw.ot.j1", []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.Publish("strata.events.x", []byte("not recorded")); err != nil {
+		t.Fatal(err)
+	}
+	// Wait for the recorder to drain.
+	deadline := time.Now().Add(5 * time.Second)
+	for ls.Len("strata.raw.ot.j1") < 20 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if err := rec.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if n := ls.Len("strata.raw.ot.j1"); n != 20 {
+		t.Fatalf("recorded %d messages, want 20", n)
+	}
+	if n := ls.Len("strata.events.x"); n != 0 {
+		t.Fatalf("recorded non-matching subject (%d)", n)
+	}
+	msgs, err := ls.Read("strata.raw.ot.j1", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, m := range msgs {
+		if m.Data[0] != byte(i) {
+			t.Fatalf("record %d out of order", i)
+		}
+	}
+}
+
+func TestLogStoreClosedOps(t *testing.T) {
+	ls, err := OpenLogStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ls.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ls.Append("x", nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Append after close = %v", err)
+	}
+	if err := ls.Close(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("double close = %v", err)
+	}
+}

@@ -1,0 +1,266 @@
+package pubsub
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync"
+)
+
+// Server exposes a Broker over TCP using the wire protocol in wire.go.
+// Remote clients (see Dial) publish into and subscribe from the same broker
+// as in-process users, so a pipeline can span machines — the role Kafka
+// plays in the paper's prototype.
+type Server struct {
+	broker *Broker
+	ln     net.Listener
+	logf   func(format string, args ...any)
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup
+}
+
+// ServerOption customizes a Server.
+type ServerOption func(*Server)
+
+// WithServerLogf sets the server's diagnostic logger (default log.Printf;
+// pass a no-op to silence).
+func WithServerLogf(logf func(format string, args ...any)) ServerOption {
+	return func(s *Server) {
+		if logf != nil {
+			s.logf = logf
+		}
+	}
+}
+
+// Serve starts a TCP listener on addr ("host:port"; ":0" picks a free port)
+// bridging remote clients to broker. Close the returned server to stop.
+func Serve(broker *Broker, addr string, opts ...ServerOption) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("pubsub: listen: %w", err)
+	}
+	s := &Server{
+		broker: broker,
+		ln:     ln,
+		logf:   log.Printf,
+		conns:  make(map[net.Conn]struct{}),
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listener's address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener and disconnects every client.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+
+	err := s.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+// serveConn handles one client: a read loop decoding frames, plus one
+// forwarding goroutine per subscription pumping broker messages back out.
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+
+	var (
+		writeMu sync.Mutex
+		w       = bufio.NewWriterSize(conn, 1<<16)
+		subsMu  sync.Mutex
+		subs    = make(map[uint64]*Subscription)
+		fwdWG   sync.WaitGroup
+	)
+	defer func() {
+		subsMu.Lock()
+		for _, sub := range subs {
+			sub.Unsubscribe()
+		}
+		subs = nil
+		subsMu.Unlock()
+		fwdWG.Wait()
+	}()
+
+	send := func(op byte, payload ...[]byte) error {
+		writeMu.Lock()
+		defer writeMu.Unlock()
+		return writeFrame(w, op, payload...)
+	}
+	sendErr := func(err error) {
+		if e := send(opErr, []byte(err.Error())); e != nil {
+			s.logf("pubsub server: send error frame: %v", e)
+		}
+	}
+
+	r := bufio.NewReaderSize(conn, 1<<16)
+	for {
+		op, payload, err := readFrame(r)
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				s.logf("pubsub server: read: %v", err)
+			}
+			return
+		}
+		switch op {
+		case opPub:
+			c := cursor{b: payload}
+			slen, err := c.u16()
+			if err != nil {
+				sendErr(err)
+				return
+			}
+			subj, err := c.bytes(slen)
+			if err != nil {
+				sendErr(err)
+				return
+			}
+			rlen, err := c.u16()
+			if err != nil {
+				sendErr(err)
+				return
+			}
+			reply, err := c.bytes(rlen)
+			if err != nil {
+				sendErr(err)
+				return
+			}
+			// Copy the data: the broker shares it with N subscribers
+			// beyond this frame's lifetime.
+			data := append([]byte(nil), c.rest()...)
+			if err := s.broker.PublishRequest(string(subj), string(reply), data); err != nil {
+				sendErr(err)
+			}
+		case opSub:
+			c := cursor{b: payload}
+			sid, err := c.u64()
+			if err != nil {
+				sendErr(err)
+				return
+			}
+			plen, err := c.u16()
+			if err != nil {
+				sendErr(err)
+				return
+			}
+			pat, err := c.bytes(plen)
+			if err != nil {
+				sendErr(err)
+				return
+			}
+			qlen, err := c.u16()
+			if err != nil {
+				sendErr(err)
+				return
+			}
+			queue, err := c.bytes(qlen)
+			if err != nil {
+				sendErr(err)
+				return
+			}
+			opts := []SubOption{}
+			if len(queue) > 0 {
+				opts = append(opts, WithQueue(string(queue)))
+			}
+			sub, err := s.broker.Subscribe(string(pat), opts...)
+			if err != nil {
+				sendErr(err)
+				continue
+			}
+			subsMu.Lock()
+			if subs == nil { // connection tearing down
+				subsMu.Unlock()
+				sub.Unsubscribe()
+				return
+			}
+			subs[sid] = sub
+			subsMu.Unlock()
+			fwdWG.Add(1)
+			go func(sid uint64, sub *Subscription) {
+				defer fwdWG.Done()
+				for msg := range sub.C {
+					err := send(opMsg,
+						u64(sid), u64(msg.Seq),
+						u16(len(msg.Subject)), []byte(msg.Subject),
+						u16(len(msg.Reply)), []byte(msg.Reply),
+						msg.Data)
+					if err != nil {
+						sub.Unsubscribe()
+						return
+					}
+				}
+			}(sid, sub)
+		case opUnsub:
+			c := cursor{b: payload}
+			sid, err := c.u64()
+			if err != nil {
+				sendErr(err)
+				return
+			}
+			subsMu.Lock()
+			sub := subs[sid]
+			delete(subs, sid)
+			subsMu.Unlock()
+			if sub != nil {
+				sub.Unsubscribe()
+			}
+		case opPing:
+			if err := send(opPong); err != nil {
+				return
+			}
+		default:
+			sendErr(fmt.Errorf("pubsub: unknown op %d", op))
+			return
+		}
+	}
+}

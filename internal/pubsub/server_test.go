@@ -1,0 +1,281 @@
+package pubsub
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// startTestServer runs a broker + TCP server on a loopback port.
+func startTestServer(t *testing.T) (*Broker, *Server) {
+	t.Helper()
+	b := NewBroker()
+	srv, err := Serve(b, "127.0.0.1:0", WithServerLogf(t.Logf))
+	if err != nil {
+		t.Fatalf("Serve() error = %v", err)
+	}
+	t.Cleanup(func() {
+		srv.Close()
+		b.Close()
+	})
+	return b, srv
+}
+
+func dialTest(t *testing.T, srv *Server) *Conn {
+	t.Helper()
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatalf("Dial() error = %v", err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestTCPPublishToLocalSubscriber(t *testing.T) {
+	b, srv := startTestServer(t)
+	local, err := b.Subscribe("remote.>")
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := dialTest(t, srv)
+	if err := client.Publish("remote.data", []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	m := recvOne(t, local.C)
+	if m.Subject != "remote.data" || string(m.Data) != "hello" {
+		t.Fatalf("got %+v", m)
+	}
+}
+
+func TestTCPSubscribeReceivesLocalPublish(t *testing.T) {
+	b, srv := startTestServer(t)
+	client := dialTest(t, srv)
+	sub, err := client.Subscribe("feed.*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ping to make sure the SUB frame was processed before publishing.
+	if err := client.Ping(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Publish("feed.a", []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	m := recvOne(t, sub.C)
+	if m.Subject != "feed.a" || string(m.Data) != "payload" {
+		t.Fatalf("got %+v", m)
+	}
+}
+
+func TestTCPClientToClient(t *testing.T) {
+	_, srv := startTestServer(t)
+	pubC := dialTest(t, srv)
+	subC := dialTest(t, srv)
+	sub, err := subC.Subscribe("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := subC.Ping(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if err := pubC.Publish("x", []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		m := recvOne(t, sub.C)
+		if m.Data[0] != byte(i) {
+			t.Fatalf("message %d out of order: %d", i, m.Data[0])
+		}
+	}
+}
+
+func TestTCPLargePayload(t *testing.T) {
+	_, srv := startTestServer(t)
+	pubC := dialTest(t, srv)
+	subC := dialTest(t, srv)
+	sub, err := subC.Subscribe("big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := subC.Ping(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// An 8 MiB payload, the size of a full-resolution OT image.
+	big := make([]byte, 8<<20)
+	for i := range big {
+		big[i] = byte(i * 31)
+	}
+	if err := pubC.Publish("big", big); err != nil {
+		t.Fatal(err)
+	}
+	m := recvOne(t, sub.C)
+	if !bytes.Equal(m.Data, big) {
+		t.Fatal("large payload corrupted in transit")
+	}
+}
+
+func TestTCPUnsubscribeStopsDelivery(t *testing.T) {
+	b, srv := startTestServer(t)
+	client := dialTest(t, srv)
+	sub, err := client.Subscribe("u")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Ping(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := sub.Unsubscribe(); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Ping(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Publish("u", []byte("m")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m, ok := <-sub.C:
+		if ok {
+			t.Fatalf("received %+v after unsubscribe", m)
+		}
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+func TestTCPQueueGroupAcrossClients(t *testing.T) {
+	_, srv := startTestServer(t)
+	pubC := dialTest(t, srv)
+	var subs []*ClientSub
+	for i := 0; i < 3; i++ {
+		c := dialTest(t, srv)
+		s, err := c.Subscribe("jobs", WithQueue("workers"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Ping(5 * time.Second); err != nil {
+			t.Fatal(err)
+		}
+		subs = append(subs, s)
+	}
+	const n = 30
+	for i := 0; i < n; i++ {
+		if err := pubC.Publish("jobs", []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Every message goes to exactly one member.
+	deadline := time.After(5 * time.Second)
+	counts := make([]int, len(subs))
+	for total := 0; total < n; {
+		progressed := false
+		for i, s := range subs {
+			select {
+			case <-s.C:
+				counts[i]++
+				total++
+				progressed = true
+			default:
+			}
+		}
+		if !progressed {
+			select {
+			case <-deadline:
+				t.Fatalf("timed out: counts=%v", counts)
+			case <-time.After(5 * time.Millisecond):
+			}
+		}
+	}
+	for i, c := range counts {
+		if c == 0 {
+			t.Errorf("member %d received nothing; counts=%v", i, counts)
+		}
+	}
+}
+
+func TestTCPServerCloseDisconnectsClients(t *testing.T) {
+	b := NewBroker()
+	srv, err := Serve(b, "127.0.0.1:0", WithServerLogf(t.Logf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := client.Subscribe("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Ping(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case _, ok := <-sub.C:
+		if ok {
+			t.Fatal("expected closed channel after server shutdown")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("subscription did not close after server shutdown")
+	}
+	b.Close()
+}
+
+func TestTCPBadSubjectReportedViaErrFrame(t *testing.T) {
+	_, srv := startTestServer(t)
+	client := dialTest(t, srv)
+	// Wildcards are invalid in publish subjects; the server answers with
+	// an error frame, which surfaces on the next client operation.
+	if err := client.Publish("a.*", []byte("x")); !errors.Is(err, ErrBadSubject) {
+		t.Fatalf("Publish(bad subject) = %v, want client-side ErrBadSubject", err)
+	}
+}
+
+func TestTCPConcurrentClients(t *testing.T) {
+	b, srv := startTestServer(t)
+	collector, err := b.Subscribe("c.>", WithSubBuffer(100000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const clients, each = 6, 300
+	var wg sync.WaitGroup
+	for p := 0; p < clients; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			c, err := Dial(srv.Addr())
+			if err != nil {
+				t.Errorf("Dial error = %v", err)
+				return
+			}
+			defer c.Close()
+			for i := 0; i < each; i++ {
+				if err := c.Publish(fmt.Sprintf("c.p%d", p), []byte("m")); err != nil {
+					t.Errorf("Publish error = %v", err)
+					return
+				}
+			}
+			if err := c.Ping(10 * time.Second); err != nil {
+				t.Errorf("Ping error = %v", err)
+			}
+		}(p)
+	}
+	wg.Wait()
+	got := 0
+	timeout := time.After(10 * time.Second)
+	for got < clients*each {
+		select {
+		case <-collector.C:
+			got++
+		case <-timeout:
+			t.Fatalf("received %d, want %d", got, clients*each)
+		}
+	}
+}

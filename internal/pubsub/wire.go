@@ -1,0 +1,126 @@
+package pubsub
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Wire protocol: length-prefixed binary frames over TCP.
+//
+//	frameLen uint32 (length of op + payload)
+//	op       byte
+//	payload  op-specific (all integers little endian)
+//
+//	opPub:   subjLen uint16, subject, replyLen uint16, reply, data...
+//	opSub:   sid uint64, patLen uint16, pattern, queueLen uint16, queue
+//	opUnsub: sid uint64
+//	opMsg:   sid uint64, seq uint64, subjLen uint16, subject, replyLen uint16, reply, data...
+//	opPing/opPong: empty
+//	opErr:   utf-8 message
+const (
+	opPub   byte = 1
+	opSub   byte = 2
+	opUnsub byte = 3
+	opMsg   byte = 4
+	opPing  byte = 5
+	opPong  byte = 6
+	opErr   byte = 7
+)
+
+// maxFrameSize bounds a frame to 64 MiB: comfortably above a full-resolution
+// 2000×2000 16-bit OT image (8 MiB) plus headers, but small enough to reject
+// garbage lengths from a corrupted stream.
+const maxFrameSize = 64 << 20
+
+// writeFrame writes one frame. The caller serializes access to w.
+func writeFrame(w *bufio.Writer, op byte, payload ...[]byte) error {
+	total := 1
+	for _, p := range payload {
+		total += len(p)
+	}
+	if total > maxFrameSize {
+		return fmt.Errorf("pubsub: frame too large (%d bytes)", total)
+	}
+	var hdr [5]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(total))
+	hdr[4] = op
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	for _, p := range payload {
+		if _, err := w.Write(p); err != nil {
+			return err
+		}
+	}
+	return w.Flush()
+}
+
+// readFrame reads one frame, returning its op and payload.
+func readFrame(r *bufio.Reader) (byte, []byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n < 1 || n > maxFrameSize {
+		return 0, nil, fmt.Errorf("pubsub: bad frame length %d", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return 0, nil, err
+	}
+	return buf[0], buf[1:], nil
+}
+
+func u16(v int) []byte {
+	var b [2]byte
+	binary.LittleEndian.PutUint16(b[:], uint16(v))
+	return b[:]
+}
+
+func u64(v uint64) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	return b[:]
+}
+
+// cursor is a tiny helper for decoding frame payloads with bounds checks.
+type cursor struct {
+	b   []byte
+	pos int
+}
+
+func (c *cursor) u16() (int, error) {
+	if c.pos+2 > len(c.b) {
+		return 0, io.ErrUnexpectedEOF
+	}
+	v := binary.LittleEndian.Uint16(c.b[c.pos:])
+	c.pos += 2
+	return int(v), nil
+}
+
+func (c *cursor) u64() (uint64, error) {
+	if c.pos+8 > len(c.b) {
+		return 0, io.ErrUnexpectedEOF
+	}
+	v := binary.LittleEndian.Uint64(c.b[c.pos:])
+	c.pos += 8
+	return v, nil
+}
+
+func (c *cursor) bytes(n int) ([]byte, error) {
+	if n < 0 || c.pos+n > len(c.b) {
+		return nil, io.ErrUnexpectedEOF
+	}
+	v := c.b[c.pos : c.pos+n]
+	c.pos += n
+	return v, nil
+}
+
+func (c *cursor) rest() []byte {
+	v := c.b[c.pos:]
+	c.pos = len(c.b)
+	return v
+}

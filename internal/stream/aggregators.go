@@ -1,0 +1,91 @@
+package stream
+
+// Incremental aggregators: pre-built AggregateFuncs for the common
+// reductions (count, sum, min, max, mean) every SPE ships natively. Each
+// produces one At-wrapped value per closed window, stamped with the
+// window's end time.
+
+// Numeric covers the value types the built-in reductions accept.
+type Numeric interface {
+	~int | ~int8 | ~int16 | ~int32 | ~int64 |
+		~uint | ~uint8 | ~uint16 | ~uint32 | ~uint64 |
+		~float32 | ~float64
+}
+
+// WindowValue is the output shape of the built-in reductions: the group-by
+// key, the window bounds, and the reduced value.
+type WindowValue[K comparable, V any] struct {
+	Key   K
+	Start int64
+	End   int64
+	Value V
+}
+
+// EventTime implements Timestamped: a window's result carries its end time.
+func (w WindowValue[K, V]) EventTime() int64 { return w.End }
+
+// Count returns an AggregateFunc producing each window's tuple count.
+func Count[K comparable, In any]() AggregateFunc[K, In, WindowValue[K, int]] {
+	return func(w Window[K, In], emit Emit[WindowValue[K, int]]) error {
+		return emit(WindowValue[K, int]{Key: w.Key, Start: w.Start, End: w.End, Value: len(w.Tuples)})
+	}
+}
+
+// Sum returns an AggregateFunc producing the sum of f over each window.
+func Sum[K comparable, In any, V Numeric](f func(In) V) AggregateFunc[K, In, WindowValue[K, V]] {
+	return func(w Window[K, In], emit Emit[WindowValue[K, V]]) error {
+		var sum V
+		for _, t := range w.Tuples {
+			sum += f(t)
+		}
+		return emit(WindowValue[K, V]{Key: w.Key, Start: w.Start, End: w.End, Value: sum})
+	}
+}
+
+// Min returns an AggregateFunc producing the minimum of f over each window.
+func Min[K comparable, In any, V Numeric](f func(In) V) AggregateFunc[K, In, WindowValue[K, V]] {
+	return func(w Window[K, In], emit Emit[WindowValue[K, V]]) error {
+		if len(w.Tuples) == 0 {
+			return nil
+		}
+		best := f(w.Tuples[0])
+		for _, t := range w.Tuples[1:] {
+			if v := f(t); v < best {
+				best = v
+			}
+		}
+		return emit(WindowValue[K, V]{Key: w.Key, Start: w.Start, End: w.End, Value: best})
+	}
+}
+
+// Max returns an AggregateFunc producing the maximum of f over each window.
+func Max[K comparable, In any, V Numeric](f func(In) V) AggregateFunc[K, In, WindowValue[K, V]] {
+	return func(w Window[K, In], emit Emit[WindowValue[K, V]]) error {
+		if len(w.Tuples) == 0 {
+			return nil
+		}
+		best := f(w.Tuples[0])
+		for _, t := range w.Tuples[1:] {
+			if v := f(t); v > best {
+				best = v
+			}
+		}
+		return emit(WindowValue[K, V]{Key: w.Key, Start: w.Start, End: w.End, Value: best})
+	}
+}
+
+// Mean returns an AggregateFunc producing the arithmetic mean of f over
+// each window.
+func Mean[K comparable, In any](f func(In) float64) AggregateFunc[K, In, WindowValue[K, float64]] {
+	return func(w Window[K, In], emit Emit[WindowValue[K, float64]]) error {
+		if len(w.Tuples) == 0 {
+			return nil
+		}
+		var sum float64
+		for _, t := range w.Tuples {
+			sum += f(t)
+		}
+		mean := sum / float64(len(w.Tuples))
+		return emit(WindowValue[K, float64]{Key: w.Key, Start: w.Start, End: w.End, Value: mean})
+	}
+}

@@ -1,0 +1,115 @@
+package stream
+
+import (
+	"context"
+	"fmt"
+	"testing"
+)
+
+// benchSource emits n zero-cost tuples.
+func benchSource(n int) SourceFunc[At[int]] {
+	return func(ctx context.Context, emit Emit[At[int]]) error {
+		for i := 0; i < n; i++ {
+			if err := emit(At[int]{TS: int64(i), Val: i}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+func BenchmarkMapThroughput(b *testing.B) {
+	const tuples = 100000
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := NewQuery("bench", WithQueryBuffer(1024))
+		src := AddSource(q, "src", benchSource(tuples))
+		m := Map(q, "map", src, func(v At[int]) (At[int], error) {
+			v.Val *= 2
+			return v, nil
+		})
+		AddSink(q, "sink", m, Discard[At[int]]())
+		if err := q.Run(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N*tuples)/b.Elapsed().Seconds(), "tuples/s")
+}
+
+func BenchmarkPipelineDepth(b *testing.B) {
+	// Cost per added stateless stage (channel hop + goroutine).
+	const tuples = 50000
+	for _, depth := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("depth%d", depth), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				q := NewQuery("bench", WithQueryBuffer(1024))
+				cur := AddSource(q, "src", benchSource(tuples))
+				for d := 0; d < depth; d++ {
+					cur = Map(q, fmt.Sprintf("map%d", d), cur, func(v At[int]) (At[int], error) {
+						return v, nil
+					})
+				}
+				AddSink(q, "sink", cur, Discard[At[int]]())
+				if err := q.Run(context.Background()); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.N*tuples)/b.Elapsed().Seconds(), "tuples/s")
+		})
+	}
+}
+
+func BenchmarkAggregateTumbling(b *testing.B) {
+	const tuples = 100000
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := NewQuery("bench", WithQueryBuffer(1024))
+		src := AddSource(q, "src", benchSource(tuples))
+		agg := Aggregate(q, "agg", src, Tumbling(100),
+			func(v At[int]) int { return v.Val % 16 },
+			Count[int, At[int]]())
+		AddSink(q, "sink", agg, Discard[WindowValue[int, int]]())
+		if err := q.Run(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N*tuples)/b.Elapsed().Seconds(), "tuples/s")
+}
+
+func BenchmarkJoinMatched(b *testing.B) {
+	const tuples = 20000
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := NewQuery("bench", WithQueryBuffer(1024))
+		l := AddSource(q, "l", benchSource(tuples))
+		r := AddSource(q, "r", benchSource(tuples))
+		key := func(v At[int]) int { return v.Val }
+		j := Join(q, "join", l, r, 0, key, key,
+			func(lv, rv At[int]) (At[int], bool) { return lv, true })
+		AddSink(q, "sink", j, Discard[At[int]]())
+		if err := q.Run(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N*tuples)/b.Elapsed().Seconds(), "pairs/s")
+}
+
+func BenchmarkShuffleMerge(b *testing.B) {
+	const tuples = 100000
+	for _, par := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("par%d", par), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				q := NewQuery("bench", WithQueryBuffer(1024))
+				src := AddSource(q, "src", benchSource(tuples))
+				out := ParallelFlatMap(q, "work", src, par,
+					func(v At[int]) uint64 { return uint64(v.Val) },
+					func(v At[int], emit Emit[At[int]]) error { return emit(v) })
+				AddSink(q, "sink", out, Discard[At[int]]())
+				if err := q.Run(context.Background()); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.N*tuples)/b.Elapsed().Seconds(), "tuples/s")
+		})
+	}
+}

@@ -1,0 +1,130 @@
+package stream
+
+import (
+	"context"
+	"fmt"
+)
+
+// CountWindow is the unit handed to a CountAggregateFunc: exactly Size
+// consecutive tuples of one group-by key, by arrival order. Seq is the
+// 0-based index (within the key's substream) of the window's first tuple.
+type CountWindow[K comparable, In any] struct {
+	Key    K
+	Seq    int64
+	Tuples []In
+}
+
+// CountAggregateFunc turns one full count window into zero or more outputs.
+type CountAggregateFunc[K comparable, In, Out any] func(w CountWindow[K, In], emit Emit[Out]) error
+
+// CountAggregate registers a keyed, count-based windowed operator: per key,
+// windows cover tuples [l*advance, l*advance+size) by arrival index, and a
+// window is emitted the moment its size-th tuple arrives. Incomplete
+// windows at end-of-stream are discarded (they never reached their count).
+//
+// Count windows complement the time-based Aggregate: they are the natural
+// fit for "every N layers" or "last N events" logic where event-time gaps
+// are irregular.
+func CountAggregate[In any, K comparable, Out any](
+	q *Query,
+	name string,
+	in *Stream[In],
+	size, advance int,
+	key KeyFunc[In, K],
+	agg CountAggregateFunc[K, In, Out],
+	opts ...OpOption,
+) *Stream[Out] {
+	o := applyOpts(opts)
+	out := newStream[Out](q, name, o.buffer)
+	in.claim(q, name)
+	if key == nil || agg == nil {
+		q.recordErr(ErrNilUDF)
+		return out
+	}
+	if size <= 0 || advance <= 0 {
+		q.recordErr(fmt.Errorf("%w (count size=%d advance=%d)", ErrBadWindow, size, advance))
+		return out
+	}
+	q.addOperator(&countAggOp[In, K, Out]{
+		name: name, in: in.ch, out: out.ch,
+		size: size, advance: advance,
+		key: key, agg: agg,
+		state: make(map[K]*countKeyState[In]),
+		stats: q.metrics.Op(name),
+	})
+	return out
+}
+
+type countKeyState[In any] struct {
+	seen int64
+	// open windows in start order; each accumulates until len == size.
+	open []openCountWin[In]
+}
+
+type openCountWin[In any] struct {
+	start  int64
+	tuples []In
+}
+
+type countAggOp[In any, K comparable, Out any] struct {
+	name          string
+	in            chan In
+	out           chan Out
+	size, advance int
+	key           KeyFunc[In, K]
+	agg           CountAggregateFunc[K, In, Out]
+	state         map[K]*countKeyState[In]
+	stats         *OpStats
+}
+
+func (c *countAggOp[In, K, Out]) opName() string { return c.name }
+
+func (c *countAggOp[In, K, Out]) run(ctx context.Context) error {
+	defer close(c.out)
+	emitFn := func(v Out) error {
+		if err := emit(ctx, c.out, v); err != nil {
+			return err
+		}
+		c.stats.addOut(1)
+		return nil
+	}
+	for {
+		select {
+		case v, ok := <-c.in:
+			if !ok {
+				return nil // incomplete windows are discarded
+			}
+			c.stats.addIn(1)
+			k := c.key(v)
+			st, ok := c.state[k]
+			if !ok {
+				st = &countKeyState[In]{}
+				c.state[k] = st
+			}
+			idx := st.seen
+			st.seen++
+			// A new window opens at every multiple of advance.
+			if idx%int64(c.advance) == 0 {
+				st.open = append(st.open, openCountWin[In]{start: idx})
+			}
+			// The tuple joins every open window that still spans it.
+			kept := st.open[:0]
+			for _, w := range st.open {
+				if idx >= w.start && idx < w.start+int64(c.size) {
+					w.tuples = append(w.tuples, v)
+				}
+				if len(w.tuples) == c.size {
+					err := c.agg(CountWindow[K, In]{Key: k, Seq: w.start, Tuples: w.tuples}, emitFn)
+					if err != nil {
+						return err
+					}
+					continue // window complete: drop it
+				}
+				kept = append(kept, w)
+			}
+			st.open = kept
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package stream
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Dot renders the query's operator topology in Graphviz DOT form — one node
+// per operator, one edge per stream — for debugging and documentation
+// (pipe through `dot -Tsvg`).
+func (q *Query) Dot() string {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", q.name)
+	b.WriteString("  rankdir=LR;\n  node [shape=box, fontsize=10];\n")
+	names := make([]string, 0, len(q.opNames))
+	for name := range q.opNames {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(&b, "  %q;\n", name)
+	}
+	edges := make([]string, 0, len(q.streams))
+	for producer, consumer := range q.streams {
+		if consumer == "" {
+			continue
+		}
+		// A stream's producer is named after the operator that emits it
+		// (with a ".N" suffix for multi-output operators); attribute the
+		// edge to the base operator when the exact name is not a node.
+		from := producer
+		if _, ok := q.opNames[from]; !ok {
+			if i := strings.LastIndex(from, "."); i > 0 {
+				if _, ok := q.opNames[from[:i]]; ok {
+					from = from[:i]
+				}
+			}
+		}
+		edges = append(edges, fmt.Sprintf("  %q -> %q [label=%q, fontsize=9];\n", from, consumer, producer))
+	}
+	sort.Strings(edges)
+	for _, e := range edges {
+		b.WriteString(e)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,230 @@
+package stream
+
+import (
+	"context"
+	"fmt"
+)
+
+// JoinFunc combines one left and one right tuple. Returning ok=false rejects
+// the pair (it is how join predicates beyond the key and time-distance
+// constraints are expressed).
+type JoinFunc[L, R, Out any] func(l L, r R) (Out, bool)
+
+// purgeInterval bounds how many ingested tuples may pass between full sweeps
+// of the join buffers, so stale keys cannot pin memory indefinitely.
+const purgeInterval = 1024
+
+// Join registers a two-input stateful operator matching the paper's Join
+// definition: it produces join(l, r) for every pair with equal group-by keys
+// satisfying |l.τ − r.τ| ≤ ws (and the predicate encoded in join's ok
+// result). Each input must be timestamp-ordered; the two inputs may
+// interleave arbitrarily, as the operator buffers both sides and purges by
+// the event-time horizon min(maxL, maxR) − ws.
+func Join[L Timestamped, R Timestamped, K comparable, Out any](
+	q *Query,
+	name string,
+	left *Stream[L],
+	right *Stream[R],
+	ws int64,
+	keyL KeyFunc[L, K],
+	keyR KeyFunc[R, K],
+	join JoinFunc[L, R, Out],
+	opts ...OpOption,
+) *Stream[Out] {
+	o := applyOpts(opts)
+	out := newStream[Out](q, name, o.buffer)
+	left.claim(q, name)
+	right.claim(q, name)
+	if keyL == nil || keyR == nil || join == nil {
+		q.recordErr(ErrNilUDF)
+		return out
+	}
+	if ws < 0 {
+		q.recordErr(fmt.Errorf("%w (ws=%d)", ErrBadWindow, ws))
+		return out
+	}
+	q.addOperator(&joinOp[L, R, K, Out]{
+		name:  name,
+		left:  left.ch,
+		right: right.ch,
+		out:   out.ch,
+		ws:    ws,
+		keyL:  keyL,
+		keyR:  keyR,
+		join:  join,
+		stats: q.metrics.Op(name),
+		lbuf:  make(map[K][]L),
+		rbuf:  make(map[K][]R),
+	})
+	return out
+}
+
+type joinOp[L Timestamped, R Timestamped, K comparable, Out any] struct {
+	name  string
+	left  chan L
+	right chan R
+	out   chan Out
+	ws    int64
+	keyL  KeyFunc[L, K]
+	keyR  KeyFunc[R, K]
+	join  JoinFunc[L, R, Out]
+	stats *OpStats
+
+	lbuf             map[K][]L
+	rbuf             map[K][]R
+	maxL, maxR       int64
+	sawL, sawR       bool
+	lClosed, rClosed bool
+	sincePurge       int
+}
+
+func (j *joinOp[L, R, K, Out]) opName() string { return j.name }
+
+func (j *joinOp[L, R, K, Out]) run(ctx context.Context) error {
+	defer close(j.out)
+	emitFn := func(v Out) error {
+		if err := emit(ctx, j.out, v); err != nil {
+			return err
+		}
+		j.stats.addOut(1)
+		return nil
+	}
+	lch, rch := j.left, j.right
+	for lch != nil || rch != nil {
+		select {
+		case l, ok := <-lch:
+			if !ok {
+				lch = nil
+				j.lClosed = true
+				// No further left tuples: the right buffer can
+				// never be matched again.
+				j.rbuf = make(map[K][]R)
+				continue
+			}
+			j.stats.addIn(1)
+			if err := j.ingestLeft(l, emitFn); err != nil {
+				return err
+			}
+		case r, ok := <-rch:
+			if !ok {
+				rch = nil
+				j.rClosed = true
+				j.lbuf = make(map[K][]L)
+				continue
+			}
+			j.stats.addIn(1)
+			if err := j.ingestRight(r, emitFn); err != nil {
+				return err
+			}
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	return nil
+}
+
+func (j *joinOp[L, R, K, Out]) ingestLeft(l L, emitFn Emit[Out]) error {
+	ts := l.EventTime()
+	if !j.sawL || ts > j.maxL {
+		j.maxL = ts
+		j.sawL = true
+	}
+	k := j.keyL(l)
+	for _, r := range j.rbuf[k] {
+		if absDiff(ts, r.EventTime()) > j.ws {
+			continue
+		}
+		if out, ok := j.join(l, r); ok {
+			if err := emitFn(out); err != nil {
+				return err
+			}
+		}
+	}
+	if !j.rClosed {
+		j.lbuf[k] = append(j.lbuf[k], l)
+	}
+	j.maybePurge()
+	return nil
+}
+
+func (j *joinOp[L, R, K, Out]) ingestRight(r R, emitFn Emit[Out]) error {
+	ts := r.EventTime()
+	if !j.sawR || ts > j.maxR {
+		j.maxR = ts
+		j.sawR = true
+	}
+	k := j.keyR(r)
+	for _, l := range j.lbuf[k] {
+		if absDiff(l.EventTime(), ts) > j.ws {
+			continue
+		}
+		if out, ok := j.join(l, r); ok {
+			if err := emitFn(out); err != nil {
+				return err
+			}
+		}
+	}
+	if !j.lClosed {
+		j.rbuf[k] = append(j.rbuf[k], r)
+	}
+	j.maybePurge()
+	return nil
+}
+
+// maybePurge sweeps the buffers every purgeInterval ingests, dropping tuples
+// that can no longer match anything from the other side.
+func (j *joinOp[L, R, K, Out]) maybePurge() {
+	j.sincePurge++
+	if j.sincePurge < purgeInterval {
+		return
+	}
+	j.sincePurge = 0
+	// A buffered left tuple can still match a future right tuple only if
+	// l.ts ≥ maxR − ws (future right event times are ≥ maxR), and vice
+	// versa.
+	if j.sawR {
+		horizon := j.maxR - j.ws
+		for k, buf := range j.lbuf {
+			buf = dropBefore(buf, horizon)
+			if len(buf) == 0 {
+				delete(j.lbuf, k)
+			} else {
+				j.lbuf[k] = buf
+			}
+		}
+	}
+	if j.sawL {
+		horizon := j.maxL - j.ws
+		for k, buf := range j.rbuf {
+			buf = dropBefore(buf, horizon)
+			if len(buf) == 0 {
+				delete(j.rbuf, k)
+			} else {
+				j.rbuf[k] = buf
+			}
+		}
+	}
+}
+
+// dropBefore removes the (timestamp-ordered) prefix of buf with event time
+// below horizon, returning a slice backed by fresh storage when anything was
+// dropped so the old backing array can be collected.
+func dropBefore[T Timestamped](buf []T, horizon int64) []T {
+	i := 0
+	for i < len(buf) && buf[i].EventTime() < horizon {
+		i++
+	}
+	if i == 0 {
+		return buf
+	}
+	kept := make([]T, len(buf)-i)
+	copy(kept, buf[i:])
+	return kept
+}
+
+func absDiff(a, b int64) int64 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}

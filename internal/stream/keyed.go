@@ -1,0 +1,105 @@
+package stream
+
+import "context"
+
+// KeyedProcessFunc handles one tuple with access to its key's private
+// state. The returned state replaces the stored one; returning the zero
+// value with keep=false drops the key's state entirely.
+type KeyedProcessFunc[K comparable, S any, In, Out any] func(key K, state S, in In, emit Emit[Out]) (newState S, keep bool, err error)
+
+// KeyedEndFunc runs once per live key at end-of-stream, letting the
+// operator flush per-key state.
+type KeyedEndFunc[K comparable, S any, Out any] func(key K, state S, emit Emit[Out]) error
+
+// KeyedProcess registers a per-key stateful operator: the engine partitions
+// state by key(in) and hands each tuple its key's state. It is the typed,
+// key-scoped variant of Process — useful for per-specimen accumulators,
+// deduplication, or custom pattern detection that the window model does not
+// express.
+func KeyedProcess[K comparable, S any, In, Out any](
+	q *Query,
+	name string,
+	in *Stream[In],
+	key KeyFunc[In, K],
+	fn KeyedProcessFunc[K, S, In, Out],
+	onEnd KeyedEndFunc[K, S, Out],
+	opts ...OpOption,
+) *Stream[Out] {
+	o := applyOpts(opts)
+	out := newStream[Out](q, name, o.buffer)
+	in.claim(q, name)
+	if key == nil || fn == nil {
+		q.recordErr(ErrNilUDF)
+		return out
+	}
+	q.addOperator(&keyedOp[K, S, In, Out]{
+		name: name, in: in.ch, out: out.ch,
+		key: key, fn: fn, onEnd: onEnd,
+		state: make(map[K]S),
+		stats: q.metrics.Op(name),
+	})
+	return out
+}
+
+type keyedOp[K comparable, S any, In, Out any] struct {
+	name  string
+	in    chan In
+	out   chan Out
+	key   KeyFunc[In, K]
+	fn    KeyedProcessFunc[K, S, In, Out]
+	onEnd KeyedEndFunc[K, S, Out]
+	state map[K]S
+	order []K // key insertion order, for deterministic end-of-stream flush
+	stats *OpStats
+}
+
+func (k *keyedOp[K, S, In, Out]) opName() string { return k.name }
+
+func (k *keyedOp[K, S, In, Out]) run(ctx context.Context) error {
+	defer close(k.out)
+	emitFn := func(v Out) error {
+		if err := emit(ctx, k.out, v); err != nil {
+			return err
+		}
+		k.stats.addOut(1)
+		return nil
+	}
+	for {
+		select {
+		case v, ok := <-k.in:
+			if !ok {
+				if k.onEnd == nil {
+					return nil
+				}
+				for _, key := range k.order {
+					st, live := k.state[key]
+					if !live {
+						continue
+					}
+					if err := k.onEnd(key, st, emitFn); err != nil {
+						return err
+					}
+				}
+				return nil
+			}
+			k.stats.addIn(1)
+			key := k.key(v)
+			st, existed := k.state[key]
+			newSt, keep, err := k.fn(key, st, v, emitFn)
+			if err != nil {
+				return err
+			}
+			switch {
+			case keep:
+				if !existed {
+					k.order = append(k.order, key)
+				}
+				k.state[key] = newSt
+			case existed:
+				delete(k.state, key)
+			}
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}

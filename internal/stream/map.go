@@ -1,0 +1,99 @@
+package stream
+
+import "context"
+
+// MapFunc transforms one input tuple into exactly one output tuple.
+type MapFunc[In, Out any] func(In) (Out, error)
+
+// FlatMapFunc transforms one input tuple into zero or more output tuples by
+// calling emit once per output. It must not retain emit after returning.
+type FlatMapFunc[In, Out any] func(in In, emit Emit[Out]) error
+
+// FilterFunc decides whether a tuple is forwarded (true) or dropped (false).
+type FilterFunc[T any] func(T) (bool, error)
+
+// Map registers a one-to-one stateless operator.
+func Map[In, Out any](q *Query, name string, in *Stream[In], fn MapFunc[In, Out], opts ...OpOption) *Stream[Out] {
+	if fn == nil {
+		q.recordErr(ErrNilUDF)
+		return newStream[Out](q, name, 0)
+	}
+	return FlatMap(q, name, in, func(v In, emit Emit[Out]) error {
+		out, err := fn(v)
+		if err != nil {
+			return err
+		}
+		return emit(out)
+	}, opts...)
+}
+
+// Filter registers a stateless operator that forwards only tuples for which
+// fn returns true.
+func Filter[T any](q *Query, name string, in *Stream[T], fn FilterFunc[T], opts ...OpOption) *Stream[T] {
+	if fn == nil {
+		q.recordErr(ErrNilUDF)
+		return newStream[T](q, name, 0)
+	}
+	return FlatMap(q, name, in, func(v T, emit Emit[T]) error {
+		keep, err := fn(v)
+		if err != nil {
+			return err
+		}
+		if !keep {
+			return nil
+		}
+		return emit(v)
+	}, opts...)
+}
+
+// FlatMap registers a one-to-many stateless operator. It is the most general
+// stateless shape; Map and Filter are implemented on top of it.
+func FlatMap[In, Out any](q *Query, name string, in *Stream[In], fn FlatMapFunc[In, Out], opts ...OpOption) *Stream[Out] {
+	o := applyOpts(opts)
+	out := newStream[Out](q, name, o.buffer)
+	in.claim(q, name)
+	if fn == nil {
+		q.recordErr(ErrNilUDF)
+		return out
+	}
+	stats := q.metrics.Op(name)
+	q.addOperator(&flatMapOp[In, Out]{
+		name: name, in: in.ch, out: out.ch, fn: fn, stats: stats,
+	})
+	return out
+}
+
+type flatMapOp[In, Out any] struct {
+	name  string
+	in    chan In
+	out   chan Out
+	fn    FlatMapFunc[In, Out]
+	stats *OpStats
+}
+
+func (m *flatMapOp[In, Out]) opName() string { return m.name }
+
+func (m *flatMapOp[In, Out]) run(ctx context.Context) error {
+	defer close(m.out)
+	emitFn := func(v Out) error {
+		if err := emit(ctx, m.out, v); err != nil {
+			return err
+		}
+		m.stats.addOut(1)
+		return nil
+	}
+	for {
+		select {
+		case v, ok := <-m.in:
+			if !ok {
+				return nil
+			}
+			m.stats.addIn(1)
+			if err := m.fn(v, emitFn); err != nil {
+				return err
+			}
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}

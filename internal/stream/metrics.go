@@ -1,0 +1,77 @@
+package stream
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// OpStats holds the live counters of one operator. All fields are safe for
+// concurrent use.
+type OpStats struct {
+	in  atomic.Int64
+	out atomic.Int64
+}
+
+// In returns the number of tuples the operator has consumed.
+func (s *OpStats) In() int64 { return s.in.Load() }
+
+// Out returns the number of tuples the operator has produced.
+func (s *OpStats) Out() int64 { return s.out.Load() }
+
+func (s *OpStats) addIn(n int64)  { s.in.Add(n) }
+func (s *OpStats) addOut(n int64) { s.out.Add(n) }
+
+// StatsSnapshot is a point-in-time copy of one operator's counters.
+type StatsSnapshot struct {
+	Name string
+	In   int64
+	Out  int64
+}
+
+// Registry tracks per-operator counters for a query. The zero value is ready
+// to use.
+type Registry struct {
+	mu  sync.Mutex
+	ops map[string]*OpStats
+}
+
+// Op returns the stats handle for the named operator, creating it on first
+// use.
+func (r *Registry) Op(name string) *OpStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.ops == nil {
+		r.ops = make(map[string]*OpStats)
+	}
+	s, ok := r.ops[name]
+	if !ok {
+		s = &OpStats{}
+		r.ops[name] = s
+	}
+	return s
+}
+
+// Snapshot returns a copy of all operator counters, sorted by operator name.
+func (r *Registry) Snapshot() []StatsSnapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]StatsSnapshot, 0, len(r.ops))
+	for name, s := range r.ops {
+		out = append(out, StatsSnapshot{Name: name, In: s.In(), Out: s.Out()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// String renders the registry as an aligned, human-readable table.
+func (r *Registry) String() string {
+	snap := r.Snapshot()
+	var b strings.Builder
+	for _, s := range snap {
+		fmt.Fprintf(&b, "%-32s in=%-10d out=%d\n", s.Name, s.In, s.Out)
+	}
+	return b.String()
+}

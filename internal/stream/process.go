@@ -1,0 +1,73 @@
+package stream
+
+import "context"
+
+// EndFunc runs once when a Process operator's input is exhausted, letting
+// stateful operators flush buffered results before the stream closes.
+type EndFunc[Out any] func(emit Emit[Out]) error
+
+// Process registers a stateful one-to-many operator: fn runs per tuple (and
+// may keep state in its closure — the engine runs each operator in a single
+// goroutine, so no locking is needed), and onEnd (optional) runs once at
+// end-of-stream. It is the building block for custom stateful logic that
+// does not fit the Aggregate/Join window model, such as STRATA's
+// correlateEvents layer tracking.
+func Process[In, Out any](
+	q *Query,
+	name string,
+	in *Stream[In],
+	fn FlatMapFunc[In, Out],
+	onEnd EndFunc[Out],
+	opts ...OpOption,
+) *Stream[Out] {
+	o := applyOpts(opts)
+	out := newStream[Out](q, name, o.buffer)
+	in.claim(q, name)
+	if fn == nil {
+		q.recordErr(ErrNilUDF)
+		return out
+	}
+	q.addOperator(&processOp[In, Out]{
+		name: name, in: in.ch, out: out.ch, fn: fn, onEnd: onEnd, stats: q.metrics.Op(name),
+	})
+	return out
+}
+
+type processOp[In, Out any] struct {
+	name  string
+	in    chan In
+	out   chan Out
+	fn    FlatMapFunc[In, Out]
+	onEnd EndFunc[Out]
+	stats *OpStats
+}
+
+func (p *processOp[In, Out]) opName() string { return p.name }
+
+func (p *processOp[In, Out]) run(ctx context.Context) error {
+	defer close(p.out)
+	emitFn := func(v Out) error {
+		if err := emit(ctx, p.out, v); err != nil {
+			return err
+		}
+		p.stats.addOut(1)
+		return nil
+	}
+	for {
+		select {
+		case v, ok := <-p.in:
+			if !ok {
+				if p.onEnd != nil {
+					return p.onEnd(emitFn)
+				}
+				return nil
+			}
+			p.stats.addIn(1)
+			if err := p.fn(v, emitFn); err != nil {
+				return err
+			}
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}

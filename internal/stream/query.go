@@ -1,0 +1,201 @@
+package stream
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+// operator is the runnable unit of a query. Each builder function wraps the
+// user logic in an operator; Run starts one goroutine per operator.
+type operator interface {
+	opName() string
+	// run processes tuples until its inputs are exhausted or ctx is
+	// cancelled. Implementations must close their output channels before
+	// returning so downstream operators observe end-of-stream.
+	run(ctx context.Context) error
+}
+
+// Query is a DAG of operators connected by streams. Build it with the
+// package-level builder functions, then execute it with Run. A Query is not
+// safe for concurrent building, and must not be mutated once Run has been
+// called.
+type Query struct {
+	name       string
+	bufferSize int
+
+	mu       sync.Mutex
+	running  bool
+	finished bool
+	buildErr error
+	ops      []operator
+	opNames  map[string]struct{}
+	// streams tracks, per producing operator, the consuming operator (""
+	// while unconsumed). Run fails on dangling streams to catch mis-wired
+	// DAGs; Dot renders the topology.
+	streams map[string]string
+
+	metrics Registry
+}
+
+// QueryOption customizes a Query at construction time.
+type QueryOption func(*Query)
+
+// WithQueryBuffer sets the default channel capacity for all streams in the
+// query. See WithBuffer for a per-operator override.
+func WithQueryBuffer(n int) QueryOption {
+	return func(q *Query) {
+		if n > 0 {
+			q.bufferSize = n
+		}
+	}
+}
+
+// NewQuery creates an empty query with the given name.
+func NewQuery(name string, opts ...QueryOption) *Query {
+	q := &Query{
+		name:       name,
+		bufferSize: DefaultBufferSize,
+		opNames:    make(map[string]struct{}),
+		streams:    make(map[string]string),
+	}
+	for _, o := range opts {
+		o(q)
+	}
+	return q
+}
+
+// Name returns the query's name.
+func (q *Query) Name() string { return q.name }
+
+// Metrics returns the query's operator-counter registry.
+func (q *Query) Metrics() *Registry { return &q.metrics }
+
+// Err returns the first error recorded while building the query, if any.
+// Run returns the same error, so checking Err explicitly is optional.
+func (q *Query) Err() error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.buildErr
+}
+
+func (q *Query) recordErr(err error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.buildErr == nil {
+		q.buildErr = err
+	}
+}
+
+func (q *Query) streamCreated(name string) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.streams[name] = ""
+}
+
+func (q *Query) streamConsumed(name, consumer string) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.streams[name] = consumer
+}
+
+// addOperator registers op, enforcing unique names and rejecting changes to a
+// running query.
+func (q *Query) addOperator(op operator) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.running {
+		if q.buildErr == nil {
+			q.buildErr = ErrQueryRunning
+		}
+		return
+	}
+	if _, dup := q.opNames[op.opName()]; dup {
+		if q.buildErr == nil {
+			q.buildErr = fmt.Errorf("%w: %q", ErrDuplicateName, op.opName())
+		}
+		return
+	}
+	q.opNames[op.opName()] = struct{}{}
+	q.ops = append(q.ops, op)
+}
+
+// Run executes the query until every source is exhausted and all tuples have
+// drained through the sinks, or until ctx is cancelled, or an operator
+// returns an error. It returns the first error encountered (nil on a clean
+// drain; ctx.Err() on cancellation).
+func (q *Query) Run(ctx context.Context) error {
+	q.mu.Lock()
+	if q.buildErr != nil {
+		err := q.buildErr
+		q.mu.Unlock()
+		return err
+	}
+	if q.running {
+		q.mu.Unlock()
+		return ErrQueryRunning
+	}
+	if q.finished {
+		q.mu.Unlock()
+		return ErrQueryFinished
+	}
+	if len(q.ops) == 0 {
+		q.mu.Unlock()
+		return ErrNoOperators
+	}
+	for name, consumer := range q.streams {
+		if consumer == "" {
+			q.mu.Unlock()
+			return fmt.Errorf("%w: %q", ErrDanglingStream, name)
+		}
+	}
+	q.running = true
+	ops := make([]operator, len(q.ops))
+	copy(ops, q.ops)
+	q.mu.Unlock()
+
+	defer func() {
+		q.mu.Lock()
+		q.running = false
+		q.finished = true
+		q.mu.Unlock()
+	}()
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	for _, op := range ops {
+		wg.Add(1)
+		go func(op operator) {
+			defer wg.Done()
+			if err := op.run(ctx); err != nil {
+				errOnce.Do(func() {
+					firstErr = fmt.Errorf("operator %q: %w", op.opName(), err)
+					cancel()
+				})
+			}
+		}(op)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	return nil
+}
+
+// emit sends v on ch unless ctx is done first. It is the single send path all
+// operators use, so cancellation is honoured even when downstream channels
+// are full.
+func emit[T any](ctx context.Context, ch chan<- T, v T) error {
+	select {
+	case ch <- v:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

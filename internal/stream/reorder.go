@@ -1,0 +1,108 @@
+package stream
+
+import (
+	"container/heap"
+	"context"
+	"fmt"
+)
+
+// Reorder registers a slack-based sorting buffer: tuples are held until the
+// observed maximum event time exceeds their own by at least slack, then
+// released in event-time order. It restores per-stream timestamp order
+// after an arrival-order Merge, bounding the disorder it can correct by
+// slack (tuples later than that are emitted immediately, flagged on the
+// operator's counters as in>out until end-of-stream flush).
+func Reorder[T Timestamped](q *Query, name string, in *Stream[T], slack int64, opts ...OpOption) *Stream[T] {
+	o := applyOpts(opts)
+	out := newStream[T](q, name, o.buffer)
+	in.claim(q, name)
+	if slack < 0 {
+		q.recordErr(fmt.Errorf("%w (slack=%d)", ErrBadWindow, slack))
+		return out
+	}
+	q.addOperator(&reorderOp[T]{
+		name: name, in: in.ch, out: out.ch, slack: slack, stats: q.metrics.Op(name),
+	})
+	return out
+}
+
+type reorderOp[T Timestamped] struct {
+	name  string
+	in    chan T
+	out   chan T
+	slack int64
+	stats *OpStats
+
+	buf     tsHeap[T]
+	nextSeq int64
+	maxTS   int64
+	sawAny  bool
+}
+
+func (r *reorderOp[T]) opName() string { return r.name }
+
+func (r *reorderOp[T]) run(ctx context.Context) error {
+	defer close(r.out)
+	emitFn := func(v T) error {
+		if err := emit(ctx, r.out, v); err != nil {
+			return err
+		}
+		r.stats.addOut(1)
+		return nil
+	}
+	for {
+		select {
+		case v, ok := <-r.in:
+			if !ok {
+				// Flush everything in order.
+				for r.buf.Len() > 0 {
+					if err := emitFn(heap.Pop(&r.buf).(tsItem[T]).val); err != nil {
+						return err
+					}
+				}
+				return nil
+			}
+			r.stats.addIn(1)
+			ts := v.EventTime()
+			if !r.sawAny || ts > r.maxTS {
+				r.maxTS = ts
+				r.sawAny = true
+			}
+			heap.Push(&r.buf, tsItem[T]{val: v, ts: ts, seq: r.nextSeq})
+			r.nextSeq++
+			// Release tuples that can no longer be preceded.
+			for r.buf.Len() > 0 && r.buf[0].ts+r.slack <= r.maxTS {
+				if err := emitFn(heap.Pop(&r.buf).(tsItem[T]).val); err != nil {
+					return err
+				}
+			}
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+type tsItem[T any] struct {
+	val T
+	ts  int64
+	seq int64
+}
+
+type tsHeap[T any] []tsItem[T]
+
+func (h tsHeap[T]) Len() int { return len(h) }
+func (h tsHeap[T]) Less(i, j int) bool {
+	if h[i].ts != h[j].ts {
+		return h[i].ts < h[j].ts
+	}
+	return h[i].seq < h[j].seq
+}
+func (h tsHeap[T]) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *tsHeap[T]) Push(x any)   { *h = append(*h, x.(tsItem[T])) }
+func (h *tsHeap[T]) Pop() (popped any) {
+	old := *h
+	n := len(old)
+	popped = old[n-1]
+	*h = old[:n-1]
+	return popped
+}

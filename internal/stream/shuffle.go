@@ -1,0 +1,321 @@
+package stream
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+// HashFunc assigns a tuple to a shuffle partition. Equal hashes land on the
+// same branch, so state that must stay together (e.g. all portions of one
+// specimen) should hash on the corresponding key.
+type HashFunc[T any] func(T) uint64
+
+// Shuffle registers a 1→n splitter that routes each tuple to branch
+// hash(t) % n. Each returned stream preserves the input's timestamp order
+// (it is a subsequence of an ordered stream).
+func Shuffle[T any](q *Query, name string, in *Stream[T], n int, hash HashFunc[T], opts ...OpOption) []*Stream[T] {
+	o := applyOpts(opts)
+	outs := make([]*Stream[T], n)
+	chs := make([]chan T, n)
+	for i := range outs {
+		outs[i] = newStream[T](q, fmt.Sprintf("%s.%d", name, i), o.buffer)
+		chs[i] = outs[i].ch
+	}
+	in.claim(q, name)
+	if hash == nil {
+		q.recordErr(ErrNilUDF)
+		return outs
+	}
+	if n <= 0 {
+		q.recordErr(fmt.Errorf("stream: shuffle %q: branch count must be positive, got %d", name, n))
+		return outs
+	}
+	q.addOperator(&shuffleOp[T]{name: name, in: in.ch, outs: chs, hash: hash, stats: q.metrics.Op(name)})
+	return outs
+}
+
+type shuffleOp[T any] struct {
+	name  string
+	in    chan T
+	outs  []chan T
+	hash  HashFunc[T]
+	stats *OpStats
+}
+
+func (s *shuffleOp[T]) opName() string { return s.name }
+
+func (s *shuffleOp[T]) run(ctx context.Context) error {
+	defer func() {
+		for _, ch := range s.outs {
+			close(ch)
+		}
+	}()
+	n := uint64(len(s.outs))
+	for {
+		select {
+		case v, ok := <-s.in:
+			if !ok {
+				return nil
+			}
+			s.stats.addIn(1)
+			if err := emit(ctx, s.outs[s.hash(v)%n], v); err != nil {
+				return err
+			}
+			s.stats.addOut(1)
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// Fanout registers a 1→n duplicator: every input tuple is sent to all n
+// output streams. It is how one stream feeds several downstream operators
+// (streams are otherwise single-consumer).
+func Fanout[T any](q *Query, name string, in *Stream[T], n int, opts ...OpOption) []*Stream[T] {
+	o := applyOpts(opts)
+	outs := make([]*Stream[T], n)
+	chs := make([]chan T, n)
+	for i := range outs {
+		outs[i] = newStream[T](q, fmt.Sprintf("%s.%d", name, i), o.buffer)
+		chs[i] = outs[i].ch
+	}
+	in.claim(q, name)
+	if n <= 0 {
+		q.recordErr(fmt.Errorf("stream: fanout %q: branch count must be positive, got %d", name, n))
+		return outs
+	}
+	q.addOperator(&fanoutOp[T]{name: name, in: in.ch, outs: chs, stats: q.metrics.Op(name)})
+	return outs
+}
+
+type fanoutOp[T any] struct {
+	name  string
+	in    chan T
+	outs  []chan T
+	stats *OpStats
+}
+
+func (f *fanoutOp[T]) opName() string { return f.name }
+
+func (f *fanoutOp[T]) run(ctx context.Context) error {
+	defer func() {
+		for _, ch := range f.outs {
+			close(ch)
+		}
+	}()
+	for {
+		select {
+		case v, ok := <-f.in:
+			if !ok {
+				return nil
+			}
+			f.stats.addIn(1)
+			for _, ch := range f.outs {
+				if err := emit(ctx, ch, v); err != nil {
+					return err
+				}
+				f.stats.addOut(1)
+			}
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// Merge registers an n→1 union that forwards tuples in arrival order. The
+// output's event times are NOT globally ordered across branches; feed it to
+// an Aggregate with a Slack allowance, or use OrderedMerge when global order
+// is required.
+func Merge[T any](q *Query, name string, ins []*Stream[T], opts ...OpOption) *Stream[T] {
+	o := applyOpts(opts)
+	out := newStream[T](q, name, o.buffer)
+	chs := make([]chan T, len(ins))
+	for i, in := range ins {
+		in.claim(q, name)
+		chs[i] = in.ch
+	}
+	if len(ins) == 0 {
+		q.recordErr(fmt.Errorf("stream: merge %q: needs at least one input", name))
+		return out
+	}
+	q.addOperator(&mergeOp[T]{name: name, ins: chs, out: out.ch, stats: q.metrics.Op(name)})
+	return out
+}
+
+type mergeOp[T any] struct {
+	name  string
+	ins   []chan T
+	out   chan T
+	stats *OpStats
+}
+
+func (m *mergeOp[T]) opName() string { return m.name }
+
+func (m *mergeOp[T]) run(ctx context.Context) error {
+	defer close(m.out)
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	for _, in := range m.ins {
+		wg.Add(1)
+		go func(in chan T) {
+			defer wg.Done()
+			for {
+				select {
+				case v, ok := <-in:
+					if !ok {
+						return
+					}
+					m.stats.addIn(1)
+					if err := emit(ctx, m.out, v); err != nil {
+						errOnce.Do(func() { firstErr = err })
+						return
+					}
+					m.stats.addOut(1)
+				case <-ctx.Done():
+					errOnce.Do(func() { firstErr = ctx.Err() })
+					return
+				}
+			}
+		}(in)
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// OrderedMerge registers an n→1 union that emits tuples in global event-time
+// order (a k-way merge of ordered branches). It must hold one pending tuple
+// per open branch before it can emit, so a branch that stays empty while its
+// siblings fill their channel buffers stalls the merge; with heavily skewed
+// branch loads prefer Merge plus an Aggregate Slack downstream.
+func OrderedMerge[T Timestamped](q *Query, name string, ins []*Stream[T], opts ...OpOption) *Stream[T] {
+	o := applyOpts(opts)
+	out := newStream[T](q, name, o.buffer)
+	chs := make([]chan T, len(ins))
+	for i, in := range ins {
+		in.claim(q, name)
+		chs[i] = in.ch
+	}
+	if len(ins) == 0 {
+		q.recordErr(fmt.Errorf("stream: ordered merge %q: needs at least one input", name))
+		return out
+	}
+	q.addOperator(&orderedMergeOp[T]{name: name, ins: chs, out: out.ch, stats: q.metrics.Op(name)})
+	return out
+}
+
+type orderedMergeOp[T Timestamped] struct {
+	name  string
+	ins   []chan T
+	out   chan T
+	stats *OpStats
+}
+
+func (m *orderedMergeOp[T]) opName() string { return m.name }
+
+func (m *orderedMergeOp[T]) run(ctx context.Context) error {
+	defer close(m.out)
+	type head struct {
+		val  T
+		full bool
+		open bool
+	}
+	heads := make([]head, len(m.ins))
+	for i := range heads {
+		heads[i].open = true
+	}
+	for {
+		// Fill the head slot of every open branch. Blocking on each in
+		// turn is fine: we cannot emit anything until all heads are
+		// known.
+		openAny := false
+		for i := range heads {
+			if !heads[i].open || heads[i].full {
+				openAny = openAny || heads[i].open
+				continue
+			}
+			select {
+			case v, ok := <-m.ins[i]:
+				if !ok {
+					heads[i].open = false
+					continue
+				}
+				m.stats.addIn(1)
+				heads[i].val = v
+				heads[i].full = true
+				openAny = true
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+		if !openAny {
+			// All branches closed; drain remaining heads in order.
+			break
+		}
+		// Emit the smallest head.
+		min := -1
+		for i := range heads {
+			if !heads[i].full {
+				continue
+			}
+			if min < 0 || heads[i].val.EventTime() < heads[min].val.EventTime() {
+				min = i
+			}
+		}
+		if min < 0 {
+			break
+		}
+		if err := emit(ctx, m.out, heads[min].val); err != nil {
+			return err
+		}
+		m.stats.addOut(1)
+		heads[min].full = false
+	}
+	// Drain leftovers (branches that closed while holding a head).
+	for {
+		min := -1
+		for i := range heads {
+			if !heads[i].full {
+				continue
+			}
+			if min < 0 || heads[i].val.EventTime() < heads[min].val.EventTime() {
+				min = i
+			}
+		}
+		if min < 0 {
+			return nil
+		}
+		if err := emit(ctx, m.out, heads[min].val); err != nil {
+			return err
+		}
+		m.stats.addOut(1)
+		heads[min].full = false
+	}
+}
+
+// ParallelFlatMap is a convenience combinator: Shuffle into n branches, run
+// fn on each branch, and Merge the results in arrival order. Tuples with
+// equal hashes are processed by the same branch in input order, matching the
+// paper's "disjoint layer portions may be analyzed in parallel" model.
+func ParallelFlatMap[In, Out any](
+	q *Query,
+	name string,
+	in *Stream[In],
+	n int,
+	hash HashFunc[In],
+	fn FlatMapFunc[In, Out],
+	opts ...OpOption,
+) *Stream[Out] {
+	if n <= 1 {
+		return FlatMap(q, name, in, fn, opts...)
+	}
+	branches := Shuffle(q, name+".shuffle", in, n, hash, opts...)
+	outs := make([]*Stream[Out], n)
+	for i, b := range branches {
+		outs[i] = FlatMap(q, fmt.Sprintf("%s.%d", name, i), b, fn, opts...)
+	}
+	return Merge(q, name+".merge", outs, opts...)
+}

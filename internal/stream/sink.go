@@ -1,0 +1,70 @@
+package stream
+
+import "context"
+
+// SinkFunc consumes the tuples that reach the end of a pipeline. Returning
+// an error aborts the whole query with that error.
+type SinkFunc[T any] func(T) error
+
+// AddSink registers a sink operator that consumes stream in.
+func AddSink[T any](q *Query, name string, in *Stream[T], fn SinkFunc[T]) {
+	in.claim(q, name)
+	if fn == nil {
+		q.recordErr(ErrNilUDF)
+		return
+	}
+	stats := q.metrics.Op(name)
+	q.addOperator(&sinkOp[T]{name: name, in: in.ch, fn: fn, stats: stats})
+}
+
+type sinkOp[T any] struct {
+	name  string
+	in    chan T
+	fn    SinkFunc[T]
+	stats *OpStats
+}
+
+func (s *sinkOp[T]) opName() string { return s.name }
+
+func (s *sinkOp[T]) run(ctx context.Context) error {
+	for {
+		select {
+		case v, ok := <-s.in:
+			if !ok {
+				return nil
+			}
+			s.stats.addIn(1)
+			if err := s.fn(v); err != nil {
+				return err
+			}
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// ToSlice returns a SinkFunc that appends every tuple to *dst, plus nothing
+// else. It is intended for tests and small collections; the slice grows
+// unboundedly. Not safe for use from multiple sinks concurrently.
+func ToSlice[T any](dst *[]T) SinkFunc[T] {
+	return func(v T) error {
+		*dst = append(*dst, v)
+		return nil
+	}
+}
+
+// ToChan returns a SinkFunc that forwards every tuple to ch, blocking when
+// ch is full. The caller owns ch and decides when to close it (after
+// Query.Run returns).
+func ToChan[T any](ch chan<- T) SinkFunc[T] {
+	return func(v T) error {
+		ch <- v
+		return nil
+	}
+}
+
+// Discard returns a SinkFunc that drops every tuple. Useful in benchmarks
+// where only operator metrics matter.
+func Discard[T any]() SinkFunc[T] {
+	return func(T) error { return nil }
+}

@@ -1,0 +1,92 @@
+package stream
+
+import (
+	"context"
+	"errors"
+)
+
+// Emit is the callback a SourceFunc uses to inject tuples into its output
+// stream. It blocks when downstream back-pressure applies and returns a
+// non-nil error when the query is shutting down, at which point the source
+// should return promptly.
+type Emit[T any] func(T) error
+
+// SourceFunc produces the tuples of a stream. It should emit tuples in
+// non-decreasing event-time order (the contract windowed operators rely on)
+// and return nil when the stream is exhausted. Returning an error aborts the
+// whole query with that error.
+type SourceFunc[T any] func(ctx context.Context, emit Emit[T]) error
+
+// AddSource registers a source operator on q and returns its output stream.
+func AddSource[T any](q *Query, name string, fn SourceFunc[T], opts ...OpOption) *Stream[T] {
+	o := applyOpts(opts)
+	out := newStream[T](q, name, o.buffer)
+	if fn == nil {
+		q.recordErr(ErrNilUDF)
+		return out
+	}
+	stats := q.metrics.Op(name)
+	q.addOperator(&sourceOp[T]{name: name, fn: fn, out: out.ch, stats: stats})
+	return out
+}
+
+type sourceOp[T any] struct {
+	name  string
+	fn    SourceFunc[T]
+	out   chan T
+	stats *OpStats
+}
+
+func (s *sourceOp[T]) opName() string { return s.name }
+
+func (s *sourceOp[T]) run(ctx context.Context) error {
+	defer close(s.out)
+	err := s.fn(ctx, func(v T) error {
+		if err := emit(ctx, s.out, v); err != nil {
+			return err
+		}
+		s.stats.addOut(1)
+		return nil
+	})
+	// A source interrupted by shutdown is not a query failure: the
+	// cancellation cause is reported by Run's context, and treating it as
+	// an operator error would mask the real first error.
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return nil
+	}
+	return err
+}
+
+// FromSlice builds a SourceFunc that replays the given tuples in order. The
+// slice is not copied; callers must not mutate it while the query runs.
+func FromSlice[T any](items []T) SourceFunc[T] {
+	return func(ctx context.Context, emit Emit[T]) error {
+		for _, it := range items {
+			if err := emit(it); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// FromChan builds a SourceFunc that drains the given channel until it is
+// closed. Ownership of the channel stays with the caller, which makes this
+// the natural bridge from pub/sub subscriptions into a query.
+func FromChan[T any](ch <-chan T) SourceFunc[T] {
+	return func(ctx context.Context, emit Emit[T]) error {
+		for {
+			select {
+			case v, ok := <-ch:
+				if !ok {
+					return nil
+				}
+				if err := emit(v); err != nil {
+					return err
+				}
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package stream
+
+// DefaultBufferSize is the channel capacity used for streams unless
+// overridden with WithBuffer. Bounded channels are the engine's
+// back-pressure mechanism: a slow consumer eventually blocks its producers.
+const DefaultBufferSize = 256
+
+// Stream is a typed, single-producer/single-consumer edge of the query DAG.
+// Streams are created by builder functions (AddSource, Map, ...) and consumed
+// by exactly one downstream operator; use Fanout to duplicate a stream for
+// several consumers.
+type Stream[T any] struct {
+	name string
+	q    *Query
+	ch   chan T
+	// consumed marks that a downstream operator already reads this stream.
+	consumed bool
+	producer string
+}
+
+// Name returns the stream's name (the producing operator's name).
+func (s *Stream[T]) Name() string { return s.name }
+
+// claim marks the stream as consumed by operator op, recording a build error
+// on double consumption or cross-query use.
+func (s *Stream[T]) claim(q *Query, op string) {
+	if s.q != q {
+		q.recordErr(ErrCrossQuery)
+		return
+	}
+	if s.consumed {
+		q.recordErr(ErrStreamConsumed)
+		return
+	}
+	s.consumed = true
+	q.streamConsumed(s.name, op)
+}
+
+// newStream registers a stream produced by operator producer on query q.
+func newStream[T any](q *Query, producer string, buf int) *Stream[T] {
+	if buf <= 0 {
+		buf = q.bufferSize
+	}
+	s := &Stream[T]{name: producer, q: q, ch: make(chan T, buf), producer: producer}
+	q.streamCreated(producer)
+	return s
+}
+
+// opOptions holds per-operator tuning knobs.
+type opOptions struct {
+	buffer int
+}
+
+// OpOption customizes a single operator created by a builder function.
+type OpOption func(*opOptions)
+
+// WithBuffer overrides the output channel capacity of the operator being
+// built. n must be positive; non-positive values fall back to the query
+// default.
+func WithBuffer(n int) OpOption {
+	return func(o *opOptions) { o.buffer = n }
+}
+
+func applyOpts(opts []OpOption) opOptions {
+	var o opOptions
+	for _, f := range opts {
+		f(&o)
+	}
+	return o
+}

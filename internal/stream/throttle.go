@@ -1,0 +1,98 @@
+package stream
+
+import (
+	"context"
+	"fmt"
+	"time"
+)
+
+// Throttle registers a rate limiter: at most `rate` tuples per second pass
+// downstream; excess tuples wait (back-pressure propagates upstream through
+// the bounded channels). A token-bucket with capacity `burst` (≥1) absorbs
+// short spikes. Throttle operates in wall-clock time — it shapes live
+// load, e.g. protecting an expert-facing sink during historic replays.
+func Throttle[T any](q *Query, name string, in *Stream[T], rate float64, burst int, opts ...OpOption) *Stream[T] {
+	o := applyOpts(opts)
+	out := newStream[T](q, name, o.buffer)
+	in.claim(q, name)
+	if rate <= 0 {
+		q.recordErr(fmt.Errorf("stream: throttle %q: rate must be positive, got %g", name, rate))
+		return out
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	q.addOperator(&throttleOp[T]{
+		name: name, in: in.ch, out: out.ch,
+		interval: time.Duration(float64(time.Second) / rate),
+		burst:    burst,
+		stats:    q.metrics.Op(name),
+	})
+	return out
+}
+
+type throttleOp[T any] struct {
+	name     string
+	in       chan T
+	out      chan T
+	interval time.Duration
+	burst    int
+	stats    *OpStats
+}
+
+func (t *throttleOp[T]) opName() string { return t.name }
+
+func (t *throttleOp[T]) run(ctx context.Context) error {
+	defer close(t.out)
+	tokens := float64(t.burst)
+	last := time.Now()
+	for {
+		select {
+		case v, ok := <-t.in:
+			if !ok {
+				return nil
+			}
+			t.stats.addIn(1)
+			// Refill.
+			now := time.Now()
+			tokens += float64(now.Sub(last)) / float64(t.interval)
+			last = now
+			if max := float64(t.burst); tokens > max {
+				tokens = max
+			}
+			if tokens < 1 {
+				wait := time.Duration((1 - tokens) * float64(t.interval))
+				timer := time.NewTimer(wait)
+				select {
+				case <-timer.C:
+				case <-ctx.Done():
+					timer.Stop()
+					return ctx.Err()
+				}
+				now = time.Now()
+				tokens += float64(now.Sub(last)) / float64(t.interval)
+				last = now
+			}
+			tokens--
+			if err := emit(ctx, t.out, v); err != nil {
+				return err
+			}
+			t.stats.addOut(1)
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// RoundRobin registers a 1→n splitter that deals tuples to branches in
+// rotation — stateless load balancing for operators that need no key
+// affinity (contrast with Shuffle, which preserves per-key ordering).
+func RoundRobin[T any](q *Query, name string, in *Stream[T], n int, opts ...OpOption) []*Stream[T] {
+	i := 0
+	return Shuffle(q, name, in, n, func(T) uint64 {
+		// Shuffle runs the hash in its single goroutine, so the closure
+		// counter is race-free.
+		i++
+		return uint64(i)
+	}, opts...)
+}

@@ -1,0 +1,37 @@
+// Package stream implements a lightweight stream processing engine (SPE) in
+// the style of Liebre: typed streams connected by bounded channels, a small
+// set of native operators (Map, Filter, FlatMap, Aggregate, Join), explicit
+// sources and sinks, and hash-shuffle parallelism.
+//
+// The engine follows the event-time model the STRATA paper assumes: each
+// stream carries tuples whose event timestamps are non-decreasing, windowed
+// operators flush state when the observed event time passes a window's end,
+// and two-input operators (Join) buffer both sides so they tolerate arbitrary
+// interleaving of their inputs without watermark machinery.
+//
+// A query is assembled with the package-level builder functions (AddSource,
+// Map, Filter, Aggregate, ...) against a Query value, and executed with
+// Query.Run. All operators run as goroutines connected by bounded channels,
+// which provides natural back-pressure end to end.
+package stream
+
+// Timestamped is the contract every tuple type flowing through windowed
+// operators must satisfy. EventTime returns the tuple's event time in
+// microseconds. The origin is up to the application (wall-clock epoch or a
+// job-relative zero); the engine only compares and subtracts event times.
+type Timestamped interface {
+	EventTime() int64
+}
+
+// At is a minimal Timestamped carrier that wraps an arbitrary value with an
+// event time. It is convenient for tests and for lifting values that do not
+// themselves carry time into windowed operators.
+type At[T any] struct {
+	TS  int64
+	Val T
+}
+
+// EventTime implements Timestamped.
+func (a At[T]) EventTime() int64 { return a.TS }
+
+var _ Timestamped = At[int]{}

@@ -1,0 +1,21 @@
+GO ?= go
+
+.PHONY: ci vet build test race bench
+
+## ci: the full gate — vet, build, and the test suite under the race detector.
+ci: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...

@@ -25,10 +25,16 @@ func main() {
 
 func run() error {
 	addr := flag.String("addr", ":4222", "listen address")
+	idleTimeout := flag.Duration("idle-timeout", 0,
+		"reap connections silent for this long (0 disables); clients reconnecting with heartbeats shorter than this are unaffected")
 	flag.Parse()
 
+	var opts []pubsub.ServerOption
+	if *idleTimeout > 0 {
+		opts = append(opts, pubsub.WithIdleTimeout(*idleTimeout))
+	}
 	broker := pubsub.NewBroker()
-	srv, err := pubsub.Serve(broker, *addr)
+	srv, err := pubsub.Serve(broker, *addr, opts...)
 	if err != nil {
 		return err
 	}

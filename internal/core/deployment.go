@@ -4,7 +4,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
+	"time"
 
 	"strata/internal/kvstore"
 	"strata/internal/pubsub"
@@ -16,24 +18,133 @@ import (
 // (potentially in parallel), and decommissioned": each Deploy creates a
 // fresh Framework (one SPE query) wired to the shared substrates, and
 // Decommission cancels just that pipeline.
+//
+// Pipelines are supervised: a failed pipeline can be restarted automatically
+// (WithRestartPolicy), and terminal pipelines stay queryable through
+// Status/Failed instead of vanishing, so an operator can tell a
+// decommissioned pipeline from a crashed one hours into a build.
 type Manager struct {
 	store  *kvstore.DB
 	broker *pubsub.Broker
 
 	mu        sync.Mutex
 	closed    bool
-	pipelines map[string]*Pipeline
+	pipelines map[string]*Pipeline // live (running or restarting)
+	terminal  map[string]*Pipeline // completed / decommissioned / failed
+}
+
+// PipelineStatus describes where a pipeline is in its lifecycle.
+type PipelineStatus int
+
+const (
+	// StatusRunning: the pipeline's query is executing.
+	StatusRunning PipelineStatus = iota + 1
+	// StatusRestarting: the pipeline failed and the manager is waiting out
+	// the restart backoff before rebuilding it.
+	StatusRestarting
+	// StatusCompleted: every source drained and the query ended cleanly.
+	StatusCompleted
+	// StatusDecommissioned: the pipeline was cancelled on purpose.
+	StatusDecommissioned
+	// StatusFailed: the pipeline ended with an error (restart budget
+	// exhausted, or RestartNever).
+	StatusFailed
+)
+
+// String returns the lowercase human-readable status name.
+func (s PipelineStatus) String() string {
+	switch s {
+	case StatusRunning:
+		return "running"
+	case StatusRestarting:
+		return "restarting"
+	case StatusCompleted:
+		return "completed"
+	case StatusDecommissioned:
+		return "decommissioned"
+	case StatusFailed:
+		return "failed"
+	default:
+		return fmt.Sprintf("status(%d)", int(s))
+	}
+}
+
+// Terminal reports whether the status is an end state.
+func (s PipelineStatus) Terminal() bool {
+	return s == StatusCompleted || s == StatusDecommissioned || s == StatusFailed
+}
+
+// RestartPolicy selects what the manager does when a pipeline's query ends
+// with an error.
+type RestartPolicy int
+
+const (
+	// RestartNever marks the pipeline failed on its first error (default).
+	RestartNever RestartPolicy = iota
+	// RestartOnFailure rebuilds and reruns the pipeline after an error, up
+	// to the configured attempt budget, waiting out a backoff between
+	// attempts. A clean drain or a decommission is never restarted.
+	RestartOnFailure
+)
+
+// deployConfig holds per-pipeline supervision knobs.
+type deployConfig struct {
+	policy      RestartPolicy
+	maxRestarts int
+	backoff     time.Duration
+}
+
+// DeployOption customizes one Deploy call.
+type DeployOption func(*deployConfig)
+
+// WithRestartPolicy sets the pipeline's restart policy (default
+// RestartNever).
+func WithRestartPolicy(p RestartPolicy) DeployOption {
+	return func(c *deployConfig) { c.policy = p }
+}
+
+// WithMaxRestarts bounds how many times a RestartOnFailure pipeline is
+// restarted (default 3). Exceeding it marks the pipeline failed with the
+// last error.
+func WithMaxRestarts(n int) DeployOption {
+	return func(c *deployConfig) {
+		if n >= 0 {
+			c.maxRestarts = n
+		}
+	}
+}
+
+// WithRestartBackoff sets the wait between a failure and the rebuild
+// (default 100ms). The wait doubles per consecutive restart.
+func WithRestartBackoff(d time.Duration) DeployOption {
+	return func(c *deployConfig) {
+		if d > 0 {
+			c.backoff = d
+		}
+	}
 }
 
 // Pipeline is one deployed query with its own lifecycle.
 type Pipeline struct {
 	name   string
-	fw     *Framework
+	build  func(fw *Framework) error
 	cancel context.CancelFunc
 	done   chan struct{}
 
-	mu  sync.Mutex
-	err error
+	mu       sync.Mutex
+	fw       *Framework // current incarnation (replaced on restart)
+	status   PipelineStatus
+	err      error
+	restarts int
+}
+
+// PipelineInfo is a point-in-time summary of one pipeline, as reported by
+// List, Status, and Failed.
+type PipelineInfo struct {
+	Name     string
+	Status   PipelineStatus
+	Restarts int
+	Err      error
 }
 
 // ErrPipelineExists is returned by Deploy for duplicate names.
@@ -52,18 +163,45 @@ func NewManager(storeDir string, broker *pubsub.Broker) (*Manager, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Manager{store: db, broker: broker, pipelines: make(map[string]*Pipeline)}, nil
+	return &Manager{
+		store:     db,
+		broker:    broker,
+		pipelines: make(map[string]*Pipeline),
+		terminal:  make(map[string]*Pipeline),
+	}, nil
 }
 
 // Store exposes the shared key-value store (e.g. for calibration before
 // deploying pipelines).
 func (m *Manager) Store() *kvstore.DB { return m.store }
 
+// buildFramework constructs and composes one incarnation of a pipeline.
+func (m *Manager) buildFramework(name string, build func(fw *Framework) error) (*Framework, error) {
+	fw, err := New(WithStore(m.store), WithBroker(m.broker), WithName(name))
+	if err != nil {
+		return nil, err
+	}
+	if err := build(fw); err != nil {
+		return nil, fmt.Errorf("strata: build pipeline %q: %w", name, err)
+	}
+	if err := fw.Err(); err != nil {
+		return nil, fmt.Errorf("strata: pipeline %q mis-composed: %w", name, err)
+	}
+	return fw, nil
+}
+
 // Deploy builds and starts a pipeline: build receives a Framework wired to
 // the shared store and broker, composes the query with the STRATA API, and
 // returns. The pipeline then runs until its sources are exhausted or it is
-// decommissioned.
-func (m *Manager) Deploy(name string, build func(fw *Framework) error) (*Pipeline, error) {
+// decommissioned; with WithRestartPolicy(RestartOnFailure) the manager
+// rebuilds and reruns it after failures (build must therefore be
+// re-invocable: it is called once per incarnation).
+func (m *Manager) Deploy(name string, build func(fw *Framework) error, opts ...DeployOption) (*Pipeline, error) {
+	cfg := deployConfig{policy: RestartNever, maxRestarts: 3, backoff: 100 * time.Millisecond}
+	for _, o := range opts {
+		o(&cfg)
+	}
+
 	m.mu.Lock()
 	if m.closed {
 		m.mu.Unlock()
@@ -75,19 +213,20 @@ func (m *Manager) Deploy(name string, build func(fw *Framework) error) (*Pipelin
 	}
 	m.mu.Unlock()
 
-	fw, err := New(WithStore(m.store), WithBroker(m.broker), WithName(name))
+	fw, err := m.buildFramework(name, build)
 	if err != nil {
 		return nil, err
 	}
-	if err := build(fw); err != nil {
-		return nil, fmt.Errorf("strata: build pipeline %q: %w", name, err)
-	}
-	if err := fw.Err(); err != nil {
-		return nil, fmt.Errorf("strata: pipeline %q mis-composed: %w", name, err)
-	}
 
 	ctx, cancel := context.WithCancel(context.Background())
-	p := &Pipeline{name: name, fw: fw, cancel: cancel, done: make(chan struct{})}
+	p := &Pipeline{
+		name:   name,
+		build:  build,
+		fw:     fw,
+		cancel: cancel,
+		done:   make(chan struct{}),
+		status: StatusRunning,
+	}
 
 	m.mu.Lock()
 	if m.closed {
@@ -95,39 +234,152 @@ func (m *Manager) Deploy(name string, build func(fw *Framework) error) (*Pipelin
 		cancel()
 		return nil, kvstore.ErrClosed
 	}
+	if _, dup := m.pipelines[name]; dup {
+		m.mu.Unlock()
+		cancel()
+		return nil, fmt.Errorf("%w: %q", ErrPipelineExists, name)
+	}
 	m.pipelines[name] = p
+	// A redeploy under a name with a terminal record supersedes it.
+	delete(m.terminal, name)
 	m.mu.Unlock()
 
-	go func() {
-		defer close(p.done)
-		err := fw.Run(ctx)
-		if errors.Is(err, context.Canceled) {
-			err = nil // decommissioned
-		}
-		p.mu.Lock()
-		p.err = err
-		p.mu.Unlock()
-		m.mu.Lock()
-		delete(m.pipelines, name)
-		m.mu.Unlock()
-	}()
+	go m.supervise(ctx, p, cfg)
 	return p, nil
+}
+
+// supervise runs the pipeline to a terminal state, applying the restart
+// policy, then moves it from the live registry to the terminal one.
+func (m *Manager) supervise(ctx context.Context, p *Pipeline, cfg deployConfig) {
+	defer close(p.done)
+	for {
+		p.mu.Lock()
+		fw := p.fw
+		p.mu.Unlock()
+
+		err := fw.Run(ctx)
+		switch {
+		case errors.Is(err, context.Canceled):
+			p.setTerminal(StatusDecommissioned, nil)
+		case err == nil:
+			p.setTerminal(StatusCompleted, nil)
+		case cfg.policy == RestartOnFailure && p.restartCount() < cfg.maxRestarts:
+			n := p.beginRestart(err)
+			select {
+			case <-time.After(restartWait(cfg.backoff, n)):
+			case <-ctx.Done():
+				p.setTerminal(StatusDecommissioned, nil)
+				m.retire(p)
+				return
+			}
+			next, buildErr := m.buildFramework(p.name, p.build)
+			if buildErr != nil {
+				// The rebuild itself failed; surface both errors.
+				p.setTerminal(StatusFailed, fmt.Errorf("restart after %w; rebuild: %v", err, buildErr))
+				m.retire(p)
+				return
+			}
+			p.mu.Lock()
+			p.fw = next
+			p.status = StatusRunning
+			p.mu.Unlock()
+			continue
+		default:
+			p.setTerminal(StatusFailed, err)
+		}
+		m.retire(p)
+		return
+	}
+}
+
+// maxRestartBackoff caps the doubling restart backoff so a long-lived flaky
+// pipeline retries at a bounded cadence instead of effectively never.
+const maxRestartBackoff = time.Minute
+
+// restartWait returns the backoff before restart attempt n (1-based): base
+// doubled per consecutive restart, capped.
+func restartWait(base time.Duration, n int) time.Duration {
+	wait := base
+	for i := 1; i < n; i++ {
+		wait *= 2
+		if wait >= maxRestartBackoff {
+			return maxRestartBackoff
+		}
+	}
+	return wait
+}
+
+// retire moves p from the live registry to the terminal one.
+func (m *Manager) retire(p *Pipeline) {
+	m.mu.Lock()
+	if m.pipelines[p.name] == p {
+		delete(m.pipelines, p.name)
+		m.terminal[p.name] = p
+	}
+	m.mu.Unlock()
+}
+
+func (p *Pipeline) setTerminal(s PipelineStatus, err error) {
+	p.mu.Lock()
+	p.status = s
+	p.err = err
+	p.mu.Unlock()
+}
+
+func (p *Pipeline) restartCount() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.restarts
+}
+
+// beginRestart records a failure that will be retried and returns the new
+// attempt number (1-based).
+func (p *Pipeline) beginRestart(err error) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.restarts++
+	p.status = StatusRestarting
+	p.err = err // last failure, visible while restarting
+	return p.restarts
 }
 
 // Name returns the pipeline's name.
 func (p *Pipeline) Name() string { return p.name }
 
-// Framework returns the pipeline's framework (metrics, store access).
-func (p *Pipeline) Framework() *Framework { return p.fw }
+// Framework returns the pipeline's current framework (metrics, store
+// access). After a restart this is the newest incarnation.
+func (p *Pipeline) Framework() *Framework {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.fw
+}
 
-// Wait blocks until the pipeline ends and returns its error (nil when it
-// drained normally or was decommissioned).
+// Wait blocks until the pipeline reaches a terminal state and returns its
+// error (nil when it drained normally or was decommissioned).
 func (p *Pipeline) Wait() error {
 	<-p.done
+	return p.Err()
+}
+
+// Err returns the pipeline's terminal error without blocking: nil while it
+// is running, completed, or decommissioned; the last failure otherwise. It
+// keeps working after the manager has retired the pipeline — crashed
+// pipelines are diagnosable, not gone.
+func (p *Pipeline) Err() error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.err
 }
+
+// Status returns the pipeline's current lifecycle state.
+func (p *Pipeline) Status() PipelineStatus {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.status
+}
+
+// Restarts returns how many times the pipeline has been restarted.
+func (p *Pipeline) Restarts() int { return p.restartCount() }
 
 // Done reports without blocking whether the pipeline has ended.
 func (p *Pipeline) Done() bool {
@@ -137,6 +389,13 @@ func (p *Pipeline) Done() bool {
 	default:
 		return false
 	}
+}
+
+// info snapshots the pipeline for reporting.
+func (p *Pipeline) info() PipelineInfo {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return PipelineInfo{Name: p.name, Status: p.status, Restarts: p.restarts, Err: p.err}
 }
 
 // Decommission stops the named pipeline and waits for it to wind down.
@@ -151,14 +410,55 @@ func (m *Manager) Decommission(name string) error {
 	return p.Wait()
 }
 
-// List returns the names of the currently running pipelines.
-func (m *Manager) List() []string {
+// List summarizes the currently deployed (running or restarting) pipelines,
+// sorted by name. Terminal pipelines are reachable through Status and
+// Failed.
+func (m *Manager) List() []PipelineInfo {
 	m.mu.Lock()
-	defer m.mu.Unlock()
-	out := make([]string, 0, len(m.pipelines))
-	for name := range m.pipelines {
-		out = append(out, name)
+	ps := make([]*Pipeline, 0, len(m.pipelines))
+	for _, p := range m.pipelines {
+		ps = append(ps, p)
 	}
+	m.mu.Unlock()
+	out := make([]PipelineInfo, 0, len(ps))
+	for _, p := range ps {
+		out = append(out, p.info())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Status reports the named pipeline, live or terminal, so a crashed
+// pipeline is distinguishable from a decommissioned one after the fact.
+func (m *Manager) Status(name string) (PipelineInfo, error) {
+	m.mu.Lock()
+	p, ok := m.pipelines[name]
+	if !ok {
+		p, ok = m.terminal[name]
+	}
+	m.mu.Unlock()
+	if !ok {
+		return PipelineInfo{}, fmt.Errorf("%w: %q", ErrPipelineUnknown, name)
+	}
+	return p.info(), nil
+}
+
+// Failed returns the terminal pipelines that ended in failure, sorted by
+// name.
+func (m *Manager) Failed() []PipelineInfo {
+	m.mu.Lock()
+	ps := make([]*Pipeline, 0, len(m.terminal))
+	for _, p := range m.terminal {
+		ps = append(ps, p)
+	}
+	m.mu.Unlock()
+	out := make([]PipelineInfo, 0, len(ps))
+	for _, p := range ps {
+		if in := p.info(); in.Status == StatusFailed {
+			out = append(out, in)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
 }
 

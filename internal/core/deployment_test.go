@@ -88,8 +88,8 @@ func TestManagerDecommission(t *testing.T) {
 		t.Fatal(err)
 	}
 	<-started
-	if names := m.List(); len(names) != 1 || names[0] != "endless" {
-		t.Fatalf("List() = %v", names)
+	if infos := m.List(); len(infos) != 1 || infos[0].Name != "endless" || infos[0].Status != StatusRunning {
+		t.Fatalf("List() = %v", infos)
 	}
 	if err := m.Decommission("endless"); err != nil {
 		t.Fatalf("Decommission() = %v", err)

@@ -1,0 +1,214 @@
+// Package faultinject provides net.Conn and net.Listener wrappers whose
+// failure behaviour can be toggled at runtime: connections can be severed,
+// reads delayed, inbound bytes silently discarded (corrupting a framed
+// stream), or traffic blackholed (the link stays up but passes nothing, the
+// failure mode heartbeats exist to detect).
+//
+// An Injector owns the knobs and tracks every wrapped connection; Proxy
+// composes them into a TCP relay that sits between a client and a real
+// server, which is how the integration tests break a pubsub link mid-stream
+// without touching either endpoint.
+//
+// The package is test infrastructure: deterministic, command-driven faults
+// rather than random ones, so tests assert exact recovery behaviour.
+package faultinject
+
+import (
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Injector holds the fault knobs shared by a set of wrapped connections.
+// All methods are safe for concurrent use. The zero value is not usable;
+// create one with New.
+type Injector struct {
+	mu        sync.Mutex
+	delay     time.Duration
+	dropBytes int64
+	conns     map[*Conn]struct{}
+}
+
+// New creates an Injector with no faults armed.
+func New() *Injector {
+	return &Injector{conns: make(map[*Conn]struct{})}
+}
+
+// SetDelay makes every subsequent Read on every wrapped connection sleep d
+// before reading (0 disables). It models a slow or congested link.
+func (i *Injector) SetDelay(d time.Duration) {
+	i.mu.Lock()
+	i.delay = d
+	i.mu.Unlock()
+}
+
+// DropBytes arms the injector to silently discard the next n inbound bytes
+// across all wrapped connections. On a length-prefixed protocol this
+// desynchronizes framing, so the reader observes a corrupt stream — the
+// "bytes lost in transit" fault.
+func (i *Injector) DropBytes(n int) {
+	i.mu.Lock()
+	i.dropBytes += int64(n)
+	i.mu.Unlock()
+}
+
+// Sever immediately closes every currently tracked connection, as if the
+// link was cut. Connections wrapped afterwards are unaffected, so a client
+// that redials gets a healthy link.
+func (i *Injector) Sever() {
+	i.mu.Lock()
+	conns := make([]*Conn, 0, len(i.conns))
+	for c := range i.conns {
+		conns = append(conns, c)
+	}
+	i.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+// Blackhole marks every currently tracked connection as a black hole: writes
+// succeed but go nowhere, reads block until the connection is closed. Unlike
+// Sever, the peer sees no error — only liveness probes (heartbeats) can tell
+// the link is dead. Connections wrapped afterwards behave normally.
+func (i *Injector) Blackhole() {
+	i.mu.Lock()
+	conns := make([]*Conn, 0, len(i.conns))
+	for c := range i.conns {
+		conns = append(conns, c)
+	}
+	i.mu.Unlock()
+	for _, c := range conns {
+		c.blackhole.Store(true)
+	}
+}
+
+// Active returns how many wrapped connections are currently open.
+func (i *Injector) Active() int {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return len(i.conns)
+}
+
+// Conn wraps c so its traffic is subject to the injector's faults.
+func (i *Injector) Conn(c net.Conn) *Conn {
+	fc := &Conn{Conn: c, inj: i, closed: make(chan struct{})}
+	i.mu.Lock()
+	i.conns[fc] = struct{}{}
+	i.mu.Unlock()
+	return fc
+}
+
+// Listener wraps ln so every accepted connection is subject to the
+// injector's faults.
+func (i *Injector) Listener(ln net.Listener) net.Listener {
+	return &Listener{Listener: ln, inj: i}
+}
+
+// takeDrop consumes up to n bytes of the drop budget, returning how many of
+// the next n inbound bytes should be discarded.
+func (i *Injector) takeDrop(n int) int {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if i.dropBytes <= 0 {
+		return 0
+	}
+	take := int64(n)
+	if take > i.dropBytes {
+		take = i.dropBytes
+	}
+	i.dropBytes -= take
+	return int(take)
+}
+
+func (i *Injector) currentDelay() time.Duration {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.delay
+}
+
+func (i *Injector) forget(c *Conn) {
+	i.mu.Lock()
+	delete(i.conns, c)
+	i.mu.Unlock()
+}
+
+// Conn is a net.Conn whose reads and writes pass through an Injector.
+type Conn struct {
+	net.Conn
+	inj *Injector
+
+	blackhole atomic.Bool
+	closeOnce sync.Once
+	closed    chan struct{}
+}
+
+// Read applies the injector's delay, blackhole, and byte-drop faults before
+// delegating to the underlying connection.
+func (c *Conn) Read(p []byte) (int, error) {
+	if d := c.inj.currentDelay(); d > 0 {
+		select {
+		case <-time.After(d):
+		case <-c.closed:
+			return 0, net.ErrClosed
+		}
+	}
+	if c.blackhole.Load() {
+		<-c.closed
+		return 0, net.ErrClosed
+	}
+	for {
+		n, err := c.Conn.Read(p)
+		if n > 0 {
+			if drop := c.inj.takeDrop(n); drop > 0 {
+				n = copy(p, p[drop:n])
+				if n == 0 && err == nil {
+					continue // whole read discarded; try again
+				}
+			}
+		}
+		return n, err
+	}
+}
+
+// Write swallows data while the connection is blackholed and passes it
+// through otherwise.
+func (c *Conn) Write(p []byte) (int, error) {
+	if c.blackhole.Load() {
+		select {
+		case <-c.closed:
+			return 0, net.ErrClosed
+		default:
+			return len(p), nil
+		}
+	}
+	return c.Conn.Write(p)
+}
+
+// Close closes the underlying connection and unblocks blackholed readers.
+func (c *Conn) Close() error {
+	var err error
+	c.closeOnce.Do(func() {
+		close(c.closed)
+		c.inj.forget(c)
+		err = c.Conn.Close()
+	})
+	return err
+}
+
+// Listener is a net.Listener whose accepted connections are wrapped by an
+// Injector.
+type Listener struct {
+	net.Listener
+	inj *Injector
+}
+
+// Accept waits for the next connection and wraps it.
+func (l *Listener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return l.inj.Conn(c), nil
+}

@@ -1,0 +1,107 @@
+package faultinject
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// Proxy is a TCP relay between a local listener and a target address, with
+// an Injector armed on the client-facing side. Point a client at Addr()
+// instead of the real server and the test can sever, delay, blackhole, or
+// corrupt the link on command while both endpoints stay healthy.
+type Proxy struct {
+	ln     net.Listener
+	target string
+	inj    *Injector
+
+	mu     sync.Mutex
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewProxy starts a proxy relaying to target, listening on a fresh loopback
+// port. Close it when done.
+func NewProxy(target string) (*Proxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("faultinject: listen: %w", err)
+	}
+	p := &Proxy{ln: ln, target: target, inj: New()}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr returns the proxy's listen address — what the client should dial.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// Injector returns the fault knobs governing the client side of the relay.
+func (p *Proxy) Injector() *Injector { return p.inj }
+
+// Sever cuts every live relayed connection. Clients that redial the proxy
+// get a fresh, healthy link.
+func (p *Proxy) Sever() { p.inj.Sever() }
+
+// Close stops accepting, severs all live links, and waits for the relay
+// goroutines to drain.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return net.ErrClosed
+	}
+	p.closed = true
+	p.mu.Unlock()
+	err := p.ln.Close()
+	p.inj.Sever()
+	p.wg.Wait()
+	return err
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			conn.Close()
+			return
+		}
+		p.wg.Add(1)
+		p.mu.Unlock()
+		go p.relay(p.inj.Conn(conn))
+	}
+}
+
+// relay pipes bytes both ways between the (fault-wrapped) client conn and a
+// fresh connection to the target, closing both when either side fails.
+func (p *Proxy) relay(client *Conn) {
+	defer p.wg.Done()
+	defer client.Close()
+	backend, err := net.Dial("tcp", p.target)
+	if err != nil {
+		return
+	}
+	defer backend.Close()
+	done := make(chan struct{}, 2)
+	go func() {
+		io.Copy(backend, client)
+		backend.Close()
+		client.Close()
+		done <- struct{}{}
+	}()
+	go func() {
+		io.Copy(client, backend)
+		backend.Close()
+		client.Close()
+		done <- struct{}{}
+	}()
+	<-done
+	<-done
+}

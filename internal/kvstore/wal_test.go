@@ -1,0 +1,145 @@
+package kvstore
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// walSize returns the current size of dir's WAL file.
+func walSize(t *testing.T, dir string) int64 {
+	t.Helper()
+	st, err := os.Stat(filepath.Join(dir, walFileName))
+	if err != nil {
+		t.Fatalf("stat wal: %v", err)
+	}
+	return st.Size()
+}
+
+// crashDB writes the given puts with synced WAL appends and then abandons
+// the handle WITHOUT Close (Close would flush the memtable and delete the
+// WAL — the opposite of a crash). It returns the WAL size after each put.
+func crashDB(t *testing.T, dir string, puts [][2]string) []int64 {
+	t.Helper()
+	db, err := Open(dir, WithSyncWrites(true))
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	sizes := make([]int64, 0, len(puts))
+	for _, kv := range puts {
+		if err := db.Put([]byte(kv[0]), []byte(kv[1])); err != nil {
+			t.Fatalf("Put(%q): %v", kv[0], err)
+		}
+		sizes = append(sizes, walSize(t, dir))
+	}
+	// db deliberately leaks: the process "crashed" here.
+	return sizes
+}
+
+// TestWALRecoversAfterTornTail: a crash mid-append leaves a partial final
+// record; reopening must recover every fully-synced write, silently discard
+// the torn one, and accept new writes.
+func TestWALRecoversAfterTornTail(t *testing.T) {
+	dir := t.TempDir()
+	sizes := crashDB(t, dir, [][2]string{
+		{"cal/threshold", "42"},
+		{"cal/window", "17"},
+		{"cal/torn", "this record will be half-written"},
+	})
+
+	// Cut into the middle of the third record's payload: torn tail.
+	cut := sizes[1] + (sizes[2]-sizes[1])/2
+	if err := os.Truncate(filepath.Join(dir, walFileName), cut); err != nil {
+		t.Fatalf("truncate: %v", err)
+	}
+
+	db, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open after torn tail: %v", err)
+	}
+	defer db.Close()
+
+	for k, want := range map[string]string{"cal/threshold": "42", "cal/window": "17"} {
+		got, err := db.Get([]byte(k))
+		if err != nil || string(got) != want {
+			t.Fatalf("Get(%q) = %q, %v; want %q", k, got, err, want)
+		}
+	}
+	if _, err := db.Get([]byte("cal/torn")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("torn record resurfaced: Get = %v, want ErrNotFound", err)
+	}
+
+	// The recovered store keeps working and stays durable across a clean
+	// close/reopen cycle.
+	if err := db.Put([]byte("cal/after"), []byte("ok")); err != nil {
+		t.Fatalf("Put after recovery: %v", err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	db2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer db2.Close()
+	if got, err := db2.Get([]byte("cal/after")); err != nil || string(got) != "ok" {
+		t.Fatalf("Get(cal/after) = %q, %v", got, err)
+	}
+	if got, err := db2.Get([]byte("cal/threshold")); err != nil || string(got) != "42" {
+		t.Fatalf("Get(cal/threshold) = %q, %v", got, err)
+	}
+}
+
+// TestWALRecoversAfterTornHeader: the crash can also land inside the 8-byte
+// record header; that partial header must be discarded too.
+func TestWALRecoversAfterTornHeader(t *testing.T) {
+	dir := t.TempDir()
+	sizes := crashDB(t, dir, [][2]string{
+		{"a", "1"},
+		{"b", "2"},
+	})
+
+	// Keep record one plus 5 bytes: a torn header for record two.
+	if err := os.Truncate(filepath.Join(dir, walFileName), sizes[0]+5); err != nil {
+		t.Fatalf("truncate: %v", err)
+	}
+
+	db, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open after torn header: %v", err)
+	}
+	defer db.Close()
+	if got, err := db.Get([]byte("a")); err != nil || string(got) != "1" {
+		t.Fatalf("Get(a) = %q, %v", got, err)
+	}
+	if _, err := db.Get([]byte("b")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get(b) = %v, want ErrNotFound", err)
+	}
+}
+
+// TestWALCorruptionMidLogIsAnError: only a TORN TAIL is forgivable. A CRC
+// mismatch in the middle of the log means silent data damage and must fail
+// the open loudly instead of dropping records.
+func TestWALCorruptionMidLogIsAnError(t *testing.T) {
+	dir := t.TempDir()
+	crashDB(t, dir, [][2]string{
+		{"a", "1"},
+		{"b", "2"},
+	})
+
+	path := filepath.Join(dir, walFileName)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a payload byte of the FIRST record (offset 8 is its kind byte).
+	data[9] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := Open(dir); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Open with mid-log corruption = %v, want ErrCorrupt", err)
+	}
+}

@@ -104,7 +104,27 @@ func Dial(addr string) (*Conn, error) {
 func (c *Conn) send(op byte, payload ...[]byte) error {
 	c.writeMu.Lock()
 	defer c.writeMu.Unlock()
-	return writeFrame(c.w, op, payload...)
+	// Check closed under c.mu before touching the writer: teardown closes
+	// the underlying conn, and racing a write against that close would
+	// surface as a confusing network error instead of ErrClosed.
+	c.mu.Lock()
+	closed := c.closed
+	c.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	if err := writeFrame(c.w, op, payload...); err != nil {
+		// The conn may have been torn down mid-write; normalize that to
+		// ErrClosed so callers see one error for "connection gone".
+		c.mu.Lock()
+		closed := c.closed
+		c.mu.Unlock()
+		if closed {
+			return ErrClosed
+		}
+		return err
+	}
+	return nil
 }
 
 // Publish sends data under subject. The data slice is written out before

@@ -1,0 +1,696 @@
+package pubsub
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+var (
+	// ErrDisconnected is returned by operations that need a live link
+	// (e.g. Ping) while a ReconnectConn is between connections.
+	ErrDisconnected = errors.New("pubsub: disconnected")
+
+	// ErrPendingOverflow is returned by Publish on a disconnected
+	// ReconnectConn whose pending buffer is full under the DropNewest
+	// policy.
+	ErrPendingOverflow = errors.New("pubsub: pending-publish buffer full")
+
+	// ErrReconnectExhausted reports that a ReconnectConn gave up after its
+	// configured number of reconnect attempts and closed itself.
+	ErrReconnectExhausted = errors.New("pubsub: reconnect attempts exhausted")
+)
+
+// reconnectConfig holds the tuning knobs of a ReconnectConn.
+type reconnectConfig struct {
+	minBackoff    time.Duration
+	maxBackoff    time.Duration
+	maxReconnects int // consecutive failed dials per outage; 0 = unlimited
+	pendingLimit  int
+	pendingPolicy OverflowPolicy
+	heartbeat     time.Duration
+	pingTimeout   time.Duration
+
+	onConnected    func()
+	onDisconnected func(error)
+	onReconnected  func()
+	onClosed       func()
+}
+
+// ReconnectOption customizes DialReconnect.
+type ReconnectOption func(*reconnectConfig)
+
+// WithReconnectWait sets the backoff range between redial attempts: waits
+// start near min, double per consecutive failure, and are capped at max,
+// with jitter so a fleet of clients does not reconnect in lockstep.
+// Defaults: 50ms to 2s.
+func WithReconnectWait(min, max time.Duration) ReconnectOption {
+	return func(c *reconnectConfig) {
+		if min > 0 {
+			c.minBackoff = min
+		}
+		if max >= c.minBackoff {
+			c.maxBackoff = max
+		}
+	}
+}
+
+// WithMaxReconnects bounds the consecutive failed redials tolerated during
+// one outage; when exceeded the ReconnectConn closes itself (subscriptions
+// end, Publish returns ErrClosed). 0, the default, retries forever.
+func WithMaxReconnects(n int) ReconnectOption {
+	return func(c *reconnectConfig) { c.maxReconnects = n }
+}
+
+// WithPendingLimit caps how many publishes are buffered while disconnected
+// (default 1024). What happens beyond the cap is set by WithPendingOverflow.
+func WithPendingLimit(n int) ReconnectOption {
+	return func(c *reconnectConfig) {
+		if n > 0 {
+			c.pendingLimit = n
+		}
+	}
+}
+
+// WithPendingOverflow sets the full-buffer policy for publishes while
+// disconnected: Block (default) parks Publish until the buffer drains or
+// the conn closes; DropOldest evicts the oldest buffered publish;
+// DropNewest rejects the new publish with ErrPendingOverflow.
+func WithPendingOverflow(p OverflowPolicy) ReconnectOption {
+	return func(c *reconnectConfig) { c.pendingPolicy = p }
+}
+
+// WithHeartbeat sets the liveness probe: every interval the client pings the
+// server and treats a pong missing for timeout as a dead link, forcing a
+// reconnect. It is how half-open TCP connections (peer gone, no FIN) are
+// detected. Defaults: 30s interval, 5s timeout; interval <= 0 disables.
+func WithHeartbeat(interval, timeout time.Duration) ReconnectOption {
+	return func(c *reconnectConfig) {
+		c.heartbeat = interval
+		if timeout > 0 {
+			c.pingTimeout = timeout
+		}
+	}
+}
+
+// WithConnectedHandler registers a callback fired once when the initial
+// connection is established.
+func WithConnectedHandler(fn func()) ReconnectOption {
+	return func(c *reconnectConfig) { c.onConnected = fn }
+}
+
+// WithDisconnectedHandler registers a callback fired when the link drops,
+// with the error that killed it.
+func WithDisconnectedHandler(fn func(error)) ReconnectOption {
+	return func(c *reconnectConfig) { c.onDisconnected = fn }
+}
+
+// WithReconnectedHandler registers a callback fired after every successful
+// reconnect, once subscriptions are restored and buffered publishes flushed.
+func WithReconnectedHandler(fn func()) ReconnectOption {
+	return func(c *reconnectConfig) { c.onReconnected = fn }
+}
+
+// WithClosedHandler registers a callback fired when the conn is closed for
+// good (explicit Close or reconnect budget exhausted).
+func WithClosedHandler(fn func()) ReconnectOption {
+	return func(c *reconnectConfig) { c.onClosed = fn }
+}
+
+// pendingPub is one publish buffered while disconnected. Data is an owned
+// copy: the caller may reuse its slice after Publish returns.
+type pendingPub struct {
+	subject string
+	reply   string
+	data    []byte
+}
+
+// ReconnectConn is a self-healing client connection to a pubsub Server. It
+// wraps Conn with automatic redial (exponential backoff plus jitter),
+// re-subscription of every active subscription after a reconnect, a bounded
+// buffer for publishes issued while disconnected, optional heartbeat-based
+// liveness, and connection-state callbacks. It is the client a pipeline that
+// must survive an hours-long PBF-LB build should use. Safe for concurrent
+// use.
+type ReconnectConn struct {
+	addr string
+	cfg  reconnectConfig
+
+	mu         sync.Mutex
+	notFull    *sync.Cond // pending buffer drained / state changed
+	conn       *Conn      // nil while disconnected
+	closed     bool
+	subs       map[uint64]*ReconnectSub
+	nextID     uint64
+	pending    []pendingPub
+	reconnects uint64
+	dropped    uint64
+	hbErr      error // heartbeat failure to report on the next disconnect
+	lastErr    error // why the conn closed, when it closed itself
+
+	quit chan struct{} // closed by Close / self-close
+	done chan struct{} // closed when the supervisor exits
+}
+
+// ReconnectSub is a durable subscription on a ReconnectConn: its channel C
+// stays open across reconnects (the underlying server-side subscription is
+// re-established on every new link). Messages published while the link is
+// down are not delivered — the broker has no per-subscriber persistence —
+// but the subscription itself survives.
+type ReconnectSub struct {
+	C <-chan Message
+
+	ch      chan Message
+	rc      *ReconnectConn
+	id      uint64
+	pattern string
+	opts    []SubOption
+
+	inner *ClientSub // current link's subscription; guarded by rc.mu
+
+	// Same shutdown protocol as ClientSub: quit aborts a blocked delivery,
+	// then dead is set and ch closed under sendMu.
+	quit   chan struct{}
+	sendMu sync.Mutex
+	dead   bool
+	once   sync.Once
+}
+
+func (s *ReconnectSub) shutdown() {
+	s.once.Do(func() {
+		close(s.quit)
+		s.sendMu.Lock()
+		s.dead = true
+		close(s.ch)
+		s.sendMu.Unlock()
+	})
+}
+
+func (s *ReconnectSub) deliver(msg Message) {
+	s.sendMu.Lock()
+	defer s.sendMu.Unlock()
+	if s.dead {
+		return
+	}
+	select {
+	case s.ch <- msg:
+	case <-s.quit:
+	}
+}
+
+// Pattern returns the subscription's pattern.
+func (s *ReconnectSub) Pattern() string { return s.pattern }
+
+// Unsubscribe permanently ends the subscription (it is not restored on
+// future reconnects) and closes C. Safe to call twice.
+func (s *ReconnectSub) Unsubscribe() error {
+	rc := s.rc
+	rc.mu.Lock()
+	_, active := rc.subs[s.id]
+	delete(rc.subs, s.id)
+	inner := s.inner
+	s.inner = nil
+	rc.mu.Unlock()
+	s.shutdown()
+	if !active || inner == nil {
+		return nil
+	}
+	err := inner.Unsubscribe()
+	if errors.Is(err, ErrClosed) {
+		return nil // link died underneath us; server side is gone anyway
+	}
+	return err
+}
+
+// DialReconnect connects to a pubsub server at addr and keeps the
+// connection alive: if the link drops, it redials with backoff, restores
+// every subscription, and flushes publishes buffered meanwhile. The initial
+// dial is synchronous and its failure is returned directly.
+func DialReconnect(addr string, opts ...ReconnectOption) (*ReconnectConn, error) {
+	cfg := reconnectConfig{
+		minBackoff:    50 * time.Millisecond,
+		maxBackoff:    2 * time.Second,
+		pendingLimit:  1024,
+		pendingPolicy: Block,
+		heartbeat:     30 * time.Second,
+		pingTimeout:   5 * time.Second,
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	conn, err := Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	rc := &ReconnectConn{
+		addr: addr,
+		cfg:  cfg,
+		conn: conn,
+		subs: make(map[uint64]*ReconnectSub),
+		quit: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	rc.notFull = sync.NewCond(&rc.mu)
+	if cfg.onConnected != nil {
+		cfg.onConnected()
+	}
+	go rc.supervise(conn)
+	return rc, nil
+}
+
+// IsConnected reports whether a live link currently exists.
+func (rc *ReconnectConn) IsConnected() bool {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return rc.conn != nil && !rc.closed
+}
+
+// Reconnects returns how many times the conn has successfully reconnected.
+func (rc *ReconnectConn) Reconnects() uint64 {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return rc.reconnects
+}
+
+// PendingDropped returns how many buffered publishes were discarded by the
+// overflow policy.
+func (rc *ReconnectConn) PendingDropped() uint64 {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return rc.dropped
+}
+
+// Pending returns how many publishes are currently buffered awaiting a
+// reconnect.
+func (rc *ReconnectConn) Pending() int {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return len(rc.pending)
+}
+
+// Err returns why the conn closed itself (e.g. ErrReconnectExhausted), or
+// nil while it is alive or after an explicit Close.
+func (rc *ReconnectConn) Err() error {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return rc.lastErr
+}
+
+// Publish sends data under subject, buffering it if the link is currently
+// down (see WithPendingLimit / WithPendingOverflow). The data slice may be
+// reused by the caller after Publish returns.
+func (rc *ReconnectConn) Publish(subject string, data []byte) error {
+	return rc.PublishRequest(subject, "", data)
+}
+
+// PublishRequest is Publish with a reply subject attached.
+func (rc *ReconnectConn) PublishRequest(subject, reply string, data []byte) error {
+	if err := ValidateSubject(subject); err != nil {
+		return err
+	}
+	if total := 1 + 2 + len(subject) + 2 + len(reply) + len(data); total > maxFrameSize {
+		// Reject oversized publishes before buffering: a poison message in
+		// the pending buffer would wedge every future flush.
+		return fmt.Errorf("pubsub: frame too large (%d bytes)", total)
+	}
+	rc.mu.Lock()
+	for {
+		if rc.closed {
+			rc.mu.Unlock()
+			return ErrClosed
+		}
+		if conn := rc.conn; conn != nil {
+			rc.mu.Unlock()
+			if err := conn.PublishRequest(subject, reply, data); err == nil {
+				return nil
+			}
+			// The link died mid-publish. Fall through to buffering so the
+			// message rides out the outage instead of being lost.
+			rc.mu.Lock()
+			if rc.conn == conn {
+				// The supervisor has not detached the dead conn yet; do it
+				// here so this loop cannot spin on a corpse.
+				rc.conn = nil
+			}
+			continue
+		}
+		// Disconnected: buffer a copy (the caller may reuse data).
+		if len(rc.pending) < rc.cfg.pendingLimit {
+			rc.pending = append(rc.pending, pendingPub{subject: subject, reply: reply, data: append([]byte(nil), data...)})
+			rc.mu.Unlock()
+			return nil
+		}
+		switch rc.cfg.pendingPolicy {
+		case DropOldest:
+			copy(rc.pending, rc.pending[1:])
+			rc.pending[len(rc.pending)-1] = pendingPub{subject: subject, reply: reply, data: append([]byte(nil), data...)}
+			rc.dropped++
+			rc.mu.Unlock()
+			return nil
+		case DropNewest:
+			rc.dropped++
+			rc.mu.Unlock()
+			return ErrPendingOverflow
+		default: // Block
+			rc.notFull.Wait()
+		}
+	}
+}
+
+// Subscribe registers a durable subscription: it is established on the
+// current link (or on the next one, if currently disconnected) and
+// re-established automatically after every reconnect.
+func (rc *ReconnectConn) Subscribe(pattern string, opts ...SubOption) (*ReconnectSub, error) {
+	if err := ValidatePattern(pattern); err != nil {
+		return nil, err
+	}
+	cfg := subConfig{buffer: 256}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	rc.mu.Lock()
+	if rc.closed {
+		rc.mu.Unlock()
+		return nil, ErrClosed
+	}
+	rc.nextID++
+	id := rc.nextID
+	ch := make(chan Message, cfg.buffer)
+	s := &ReconnectSub{
+		C: ch, ch: ch, rc: rc, id: id,
+		pattern: pattern, opts: opts,
+		quit: make(chan struct{}),
+	}
+	rc.subs[id] = s
+	conn := rc.conn
+	rc.mu.Unlock()
+
+	if conn != nil {
+		rc.attach(conn, s)
+	}
+	// While disconnected the subscription stays registered with inner ==
+	// nil; restore() attaches it when the next link comes up.
+	return s, nil
+}
+
+// attach establishes s on conn, wiring a forwarder from the link-scoped
+// inner subscription into s's durable channel. A failure leaves s
+// unattached (inner == nil) for the next restore to pick up.
+func (rc *ReconnectConn) attach(conn *Conn, s *ReconnectSub) bool {
+	inner, err := conn.Subscribe(s.pattern, s.opts...)
+	if err != nil {
+		return false
+	}
+	rc.mu.Lock()
+	_, active := rc.subs[s.id]
+	if !active || rc.conn != conn || s.inner != nil {
+		rc.mu.Unlock()
+		inner.Unsubscribe()
+		return !active // unsubscribed concurrently: nothing left to do
+	}
+	s.inner = inner
+	rc.mu.Unlock()
+	go func() {
+		for msg := range inner.C {
+			s.deliver(msg)
+		}
+	}()
+	return true
+}
+
+// Ping round-trips a ping on the current link.
+func (rc *ReconnectConn) Ping(timeout time.Duration) error {
+	rc.mu.Lock()
+	conn := rc.conn
+	closed := rc.closed
+	rc.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	if conn == nil {
+		return ErrDisconnected
+	}
+	return conn.Ping(timeout)
+}
+
+// Close permanently tears down the conn: the supervisor stops, every
+// subscription channel closes, and buffered publishes are discarded.
+func (rc *ReconnectConn) Close() error {
+	rc.mu.Lock()
+	if rc.closed {
+		rc.mu.Unlock()
+		return ErrClosed
+	}
+	rc.closed = true
+	conn := rc.conn
+	rc.conn = nil
+	subs := make([]*ReconnectSub, 0, len(rc.subs))
+	for _, s := range rc.subs {
+		subs = append(subs, s)
+	}
+	rc.subs = make(map[uint64]*ReconnectSub)
+	rc.pending = nil
+	rc.notFull.Broadcast()
+	rc.mu.Unlock()
+
+	close(rc.quit)
+	if conn != nil {
+		conn.Close()
+	}
+	for _, s := range subs {
+		s.shutdown()
+	}
+	<-rc.done
+	if rc.cfg.onClosed != nil {
+		rc.cfg.onClosed()
+	}
+	return nil
+}
+
+// supervise owns the connection lifecycle: wait for the live link to drop,
+// then redial-with-backoff, restore subscriptions, flush pending publishes,
+// and go back to waiting. It exits when the conn closes (explicitly or by
+// exhausting its reconnect budget).
+func (rc *ReconnectConn) supervise(conn *Conn) {
+	defer close(rc.done)
+	for {
+		rc.startHeartbeat(conn)
+		select {
+		case <-conn.done: // link dropped
+		case <-rc.quit: // Close()
+			return
+		}
+		err := conn.err()
+		conn.Close() // release resources; already torn down, best-effort
+
+		rc.mu.Lock()
+		if rc.closed {
+			rc.mu.Unlock()
+			return
+		}
+		if rc.hbErr != nil {
+			err = rc.hbErr
+			rc.hbErr = nil
+		}
+		rc.conn = nil
+		for _, s := range rc.subs {
+			s.inner = nil // link-scoped subscriptions died with the conn
+		}
+		rc.mu.Unlock()
+		if rc.cfg.onDisconnected != nil {
+			rc.cfg.onDisconnected(err)
+		}
+
+		next, ok := rc.redial()
+		if !ok {
+			return
+		}
+		conn = next
+		rc.mu.Lock()
+		rc.reconnects++
+		rc.mu.Unlock()
+		if rc.cfg.onReconnected != nil {
+			rc.cfg.onReconnected()
+		}
+	}
+}
+
+// redial dials with exponential backoff and jitter until a link is up and
+// fully restored, the attempt budget runs out (the conn then closes itself
+// with ErrReconnectExhausted), or the conn is closed.
+func (rc *ReconnectConn) redial() (*Conn, bool) {
+	for attempt := 0; ; attempt++ {
+		if rc.cfg.maxReconnects > 0 && attempt >= rc.cfg.maxReconnects {
+			rc.selfClose(fmt.Errorf("%w (after %d attempts)", ErrReconnectExhausted, attempt))
+			return nil, false
+		}
+		select {
+		case <-time.After(rc.backoff(attempt)):
+		case <-rc.quit:
+			return nil, false
+		}
+		conn, err := Dial(rc.addr)
+		if err != nil {
+			continue
+		}
+		switch err := rc.restore(conn); {
+		case err == nil:
+			return conn, true
+		case errors.Is(err, ErrClosed):
+			conn.Close()
+			return nil, false
+		default:
+			// The fresh link died during restore; count it as a failed
+			// attempt and keep dialing.
+			conn.Close()
+		}
+	}
+}
+
+// restore re-establishes every registered subscription on conn and flushes
+// the pending-publish buffer, then installs conn as the live link. It loops
+// until no unattached subscriptions and no pending publishes remain, so
+// Subscribe/Publish calls racing the restore are not stranded.
+func (rc *ReconnectConn) restore(conn *Conn) error {
+	for {
+		rc.mu.Lock()
+		if rc.closed {
+			rc.mu.Unlock()
+			return ErrClosed
+		}
+		var todo []*ReconnectSub
+		for _, s := range rc.subs {
+			if s.inner == nil {
+				todo = append(todo, s)
+			}
+		}
+		if len(todo) == 0 && len(rc.pending) == 0 {
+			rc.conn = conn
+			rc.notFull.Broadcast()
+			rc.mu.Unlock()
+			return nil
+		}
+		batch := rc.pending
+		rc.pending = nil
+		rc.mu.Unlock()
+
+		for _, s := range todo {
+			inner, err := conn.Subscribe(s.pattern, s.opts...)
+			if err != nil {
+				rc.requeue(batch, 0)
+				return err
+			}
+			rc.mu.Lock()
+			_, active := rc.subs[s.id]
+			if !active {
+				rc.mu.Unlock()
+				inner.Unsubscribe()
+				continue
+			}
+			s.inner = inner
+			rc.mu.Unlock()
+			go func() {
+				for msg := range inner.C {
+					s.deliver(msg)
+				}
+			}()
+		}
+		for i, pb := range batch {
+			if err := conn.PublishRequest(pb.subject, pb.reply, pb.data); err != nil {
+				rc.requeue(batch, i)
+				return err
+			}
+		}
+	}
+}
+
+// requeue puts the unflushed tail of batch back at the front of the pending
+// buffer, preserving publish order for the next restore.
+func (rc *ReconnectConn) requeue(batch []pendingPub, from int) {
+	if from >= len(batch) {
+		return
+	}
+	rc.mu.Lock()
+	merged := make([]pendingPub, 0, len(batch)-from+len(rc.pending))
+	merged = append(merged, batch[from:]...)
+	merged = append(merged, rc.pending...)
+	rc.pending = merged
+	rc.mu.Unlock()
+}
+
+// selfClose shuts the conn down from inside the supervisor (reconnect
+// budget exhausted), recording why in Err.
+func (rc *ReconnectConn) selfClose(err error) {
+	rc.mu.Lock()
+	if rc.closed {
+		rc.mu.Unlock()
+		return
+	}
+	rc.closed = true
+	rc.lastErr = err
+	subs := make([]*ReconnectSub, 0, len(rc.subs))
+	for _, s := range rc.subs {
+		subs = append(subs, s)
+	}
+	rc.subs = make(map[uint64]*ReconnectSub)
+	rc.pending = nil
+	rc.notFull.Broadcast()
+	rc.mu.Unlock()
+	for _, s := range subs {
+		s.shutdown()
+	}
+	if rc.cfg.onClosed != nil {
+		rc.cfg.onClosed()
+	}
+}
+
+// startHeartbeat probes conn's liveness every cfg.heartbeat: a ping whose
+// pong does not arrive within cfg.pingTimeout closes the link, which the
+// supervisor observes as a disconnect and repairs. Detects half-open
+// connections that TCP alone would keep "established" for hours.
+func (rc *ReconnectConn) startHeartbeat(conn *Conn) {
+	if rc.cfg.heartbeat <= 0 {
+		return
+	}
+	go func() {
+		t := time.NewTicker(rc.cfg.heartbeat)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				if err := conn.Ping(rc.cfg.pingTimeout); err != nil {
+					rc.mu.Lock()
+					if rc.hbErr == nil {
+						rc.hbErr = fmt.Errorf("pubsub: heartbeat failed: %w", err)
+					}
+					rc.mu.Unlock()
+					conn.Close()
+					return
+				}
+			case <-conn.done:
+				return
+			case <-rc.quit:
+				return
+			}
+		}
+	}()
+}
+
+// backoff returns the wait before redial attempt n: exponential from
+// minBackoff, capped at maxBackoff, with jitter over the upper half of the
+// interval so independent clients spread out.
+func (rc *ReconnectConn) backoff(attempt int) time.Duration {
+	d := rc.cfg.maxBackoff
+	if attempt < 30 {
+		if exp := rc.cfg.minBackoff << uint(attempt); exp < d {
+			d = exp
+		}
+	}
+	if d <= 1 {
+		return d
+	}
+	half := int64(d / 2)
+	return time.Duration(half + rand.Int63n(half+1))
+}

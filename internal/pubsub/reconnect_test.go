@@ -1,0 +1,351 @@
+package pubsub
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"strata/internal/faultinject"
+)
+
+// reconnectHarness wires broker → TCP server → fault-injection proxy →
+// ReconnectConn, with state-change notifications exposed as channels.
+type reconnectHarness struct {
+	broker       *Broker
+	srv          *Server
+	proxy        *faultinject.Proxy
+	rc           *ReconnectConn
+	connected    chan struct{}
+	disconnected chan error
+	reconnected  chan struct{}
+	closed       chan struct{}
+}
+
+func newReconnectHarness(t *testing.T, opts ...ReconnectOption) *reconnectHarness {
+	t.Helper()
+	h := &reconnectHarness{
+		connected:    make(chan struct{}, 4),
+		disconnected: make(chan error, 4),
+		reconnected:  make(chan struct{}, 4),
+		closed:       make(chan struct{}, 4),
+	}
+	h.broker = NewBroker()
+	srv, err := Serve(h.broker, "127.0.0.1:0", WithServerLogf(func(string, ...any) {}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.srv = srv
+	proxy, err := faultinject.NewProxy(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.proxy = proxy
+	all := append([]ReconnectOption{
+		WithReconnectWait(5*time.Millisecond, 50*time.Millisecond),
+		WithConnectedHandler(func() { h.connected <- struct{}{} }),
+		WithDisconnectedHandler(func(err error) { h.disconnected <- err }),
+		WithReconnectedHandler(func() { h.reconnected <- struct{}{} }),
+		WithClosedHandler(func() { h.closed <- struct{}{} }),
+	}, opts...)
+	rc, err := DialReconnect(proxy.Addr(), all...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.rc = rc
+	t.Cleanup(func() {
+		rc.Close()
+		proxy.Close()
+		srv.Close()
+		h.broker.Close()
+	})
+	return h
+}
+
+func waitSignal[T any](t *testing.T, ch <-chan T, what string) T {
+	t.Helper()
+	select {
+	case v := <-ch:
+		return v
+	case <-time.After(5 * time.Second):
+		t.Fatalf("timed out waiting for %s", what)
+		panic("unreachable")
+	}
+}
+
+func recvN(t *testing.T, ch <-chan Message, n int, what string) []Message {
+	t.Helper()
+	out := make([]Message, 0, n)
+	for len(out) < n {
+		select {
+		case m := <-ch:
+			out = append(out, m)
+		case <-time.After(5 * time.Second):
+			t.Fatalf("%s: got %d of %d messages", what, len(out), n)
+		}
+	}
+	return out
+}
+
+// TestReconnectRestoresSubscriptionsAndFlushesPending is the headline
+// fault-injection scenario: the broker link is severed mid-stream; the
+// client reconnects with backoff, restores its subscription, and flushes
+// every publish buffered during the outage. Nothing acknowledged before the
+// cut is lost, and no goroutines leak.
+func TestReconnectRestoresSubscriptionsAndFlushesPending(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	h := newReconnectHarness(t)
+
+	sub, err := h.rc.Subscribe("bld.>")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Round-trip a ping so the SUB frame is server-side before publishing.
+	if err := h.rc.Ping(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < 5; i++ {
+		if err := h.rc.Publish("bld.layer", []byte(fmt.Sprintf("pre-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pre := recvN(t, sub.C, 5, "pre-disconnect messages")
+	for i, m := range pre {
+		if want := fmt.Sprintf("pre-%d", i); string(m.Data) != want {
+			t.Fatalf("pre message %d = %q, want %q", i, m.Data, want)
+		}
+	}
+
+	// Cut the link mid-stream and wait until the client has noticed — only
+	// then publish, so every message below must ride the pending buffer.
+	h.proxy.Sever()
+	waitSignal(t, h.disconnected, "disconnect notification")
+	for i := 0; i < 5; i++ {
+		if err := h.rc.Publish("bld.layer", []byte(fmt.Sprintf("post-%d", i))); err != nil {
+			t.Fatalf("publish while disconnected: %v", err)
+		}
+	}
+
+	waitSignal(t, h.reconnected, "reconnect notification")
+	post := recvN(t, sub.C, 5, "post-reconnect messages")
+	for i, m := range post {
+		if want := fmt.Sprintf("post-%d", i); string(m.Data) != want {
+			t.Fatalf("post message %d = %q, want %q (flush must preserve order)", i, m.Data, want)
+		}
+	}
+
+	if got := h.rc.Reconnects(); got != 1 {
+		t.Fatalf("Reconnects() = %d, want 1", got)
+	}
+	if got := h.rc.PendingDropped(); got != 0 {
+		t.Fatalf("PendingDropped() = %d, want 0", got)
+	}
+
+	// Tear everything down and verify all goroutines (supervisor,
+	// heartbeat, forwarders, server loops, proxy relays) wind up.
+	if err := h.rc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	waitSignal(t, h.closed, "closed notification")
+	h.proxy.Close()
+	h.srv.Close()
+	h.broker.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > baseline+1 {
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutine leak: %d running, baseline %d\n%s",
+				runtime.NumGoroutine(), baseline, buf[:n])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestReconnectHeartbeatDetectsBlackhole exercises the failure mode
+// heartbeats exist for: the link stays established but passes no traffic.
+// The ping timeout must declare it dead and trigger a reconnect.
+func TestReconnectHeartbeatDetectsBlackhole(t *testing.T) {
+	h := newReconnectHarness(t, WithHeartbeat(20*time.Millisecond, 100*time.Millisecond))
+
+	sub, err := h.rc.Subscribe("hb.>")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.rc.Ping(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	h.proxy.Injector().Blackhole()
+	err = waitSignal(t, h.disconnected, "heartbeat-driven disconnect")
+	if err == nil {
+		t.Fatal("disconnect handler should receive the heartbeat error")
+	}
+	waitSignal(t, h.reconnected, "reconnect after blackhole")
+
+	// The restored subscription still works end-to-end.
+	if err := h.rc.Publish("hb.check", []byte("alive")); err != nil {
+		t.Fatal(err)
+	}
+	m := recvN(t, sub.C, 1, "post-blackhole message")[0]
+	if string(m.Data) != "alive" {
+		t.Fatalf("got %q, want %q", m.Data, "alive")
+	}
+}
+
+// TestReconnectSurvivesCorruptStream drops bytes on the wire so the framed
+// protocol desynchronizes; both ends abandon the connection and the client
+// transparently re-establishes it.
+func TestReconnectSurvivesCorruptStream(t *testing.T) {
+	// Heartbeats matter here: depending on which bytes vanish, the server
+	// can end up blocked mid-frame waiting for data that never arrives, and
+	// only a missed pong reveals the link is wedged.
+	h := newReconnectHarness(t, WithHeartbeat(20*time.Millisecond, 100*time.Millisecond))
+
+	sub, err := h.rc.Subscribe("c.>")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.rc.Ping(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// Swallow part of the next frame: its length prefix now lies.
+	h.proxy.Injector().DropBytes(3)
+	h.rc.Publish("c.x", []byte("mangled in transit"))
+
+	waitSignal(t, h.disconnected, "disconnect after corruption")
+	waitSignal(t, h.reconnected, "reconnect after corruption")
+
+	if err := h.rc.Publish("c.x", []byte("clean")); err != nil {
+		t.Fatal(err)
+	}
+	m := recvN(t, sub.C, 1, "post-corruption message")[0]
+	if string(m.Data) != "clean" {
+		t.Fatalf("got %q, want %q", m.Data, "clean")
+	}
+}
+
+// TestReconnectGivesUpAfterMaxReconnects verifies the bounded-retry path:
+// when the server is gone for good, the conn closes itself, reports
+// ErrReconnectExhausted, and ends its subscriptions.
+func TestReconnectGivesUpAfterMaxReconnects(t *testing.T) {
+	h := newReconnectHarness(t, WithMaxReconnects(3))
+	sub, err := h.rc.Subscribe("gone.>")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Take the whole proxy down: redials now fail outright.
+	h.proxy.Close()
+
+	waitSignal(t, h.disconnected, "disconnect")
+	waitSignal(t, h.closed, "self-close after exhausting reconnects")
+
+	if err := h.rc.Err(); !errors.Is(err, ErrReconnectExhausted) {
+		t.Fatalf("Err() = %v, want ErrReconnectExhausted", err)
+	}
+	if err := h.rc.Publish("gone.x", nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Publish after self-close = %v, want ErrClosed", err)
+	}
+	select {
+	case _, ok := <-sub.C:
+		if ok {
+			t.Fatal("unexpected message on dead subscription")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("subscription channel should be closed after self-close")
+	}
+}
+
+// TestReconnectPendingOverflowPolicies pins down the explicit overflow
+// behaviour of the pending-publish buffer.
+func TestReconnectPendingOverflowPolicies(t *testing.T) {
+	t.Run("DropNewest", func(t *testing.T) {
+		h := newReconnectHarness(t, WithPendingLimit(2), WithPendingOverflow(DropNewest))
+		h.proxy.Close() // no reconnect possible: publishes stay buffered
+		waitSignal(t, h.disconnected, "disconnect")
+
+		if err := h.rc.Publish("p.x", []byte("a")); err != nil {
+			t.Fatal(err)
+		}
+		if err := h.rc.Publish("p.x", []byte("b")); err != nil {
+			t.Fatal(err)
+		}
+		if err := h.rc.Publish("p.x", []byte("c")); !errors.Is(err, ErrPendingOverflow) {
+			t.Fatalf("third publish = %v, want ErrPendingOverflow", err)
+		}
+		if got := h.rc.Pending(); got != 2 {
+			t.Fatalf("Pending() = %d, want 2", got)
+		}
+		if got := h.rc.PendingDropped(); got != 1 {
+			t.Fatalf("PendingDropped() = %d, want 1", got)
+		}
+	})
+	t.Run("DropOldest", func(t *testing.T) {
+		h := newReconnectHarness(t, WithPendingLimit(2), WithPendingOverflow(DropOldest))
+		h.proxy.Close()
+		waitSignal(t, h.disconnected, "disconnect")
+
+		for _, payload := range []string{"a", "b", "c"} {
+			if err := h.rc.Publish("p.x", []byte(payload)); err != nil {
+				t.Fatalf("publish %q: %v", payload, err)
+			}
+		}
+		if got := h.rc.Pending(); got != 2 {
+			t.Fatalf("Pending() = %d, want 2", got)
+		}
+		if got := h.rc.PendingDropped(); got != 1 {
+			t.Fatalf("PendingDropped() = %d, want 1", got)
+		}
+	})
+}
+
+// TestServerReapsIdleConnections covers the server half of liveness: a
+// client that sends nothing (not even pings) is disconnected after the idle
+// timeout, while a heartbeating client stays up indefinitely.
+func TestServerReapsIdleConnections(t *testing.T) {
+	b := NewBroker()
+	defer b.Close()
+	srv, err := Serve(b, "127.0.0.1:0",
+		WithServerLogf(func(string, ...any) {}),
+		WithIdleTimeout(60*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// Silent client: reaped.
+	silent, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer silent.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if err := silent.Ping(100 * time.Millisecond); err != nil {
+			break // server cut us off
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("idle connection was never reaped")
+		}
+		// Pinging resets the idle clock, so back off beyond the timeout.
+		time.Sleep(150 * time.Millisecond)
+	}
+
+	// Heartbeating client: survives many idle windows.
+	rc, err := DialReconnect(srv.Addr(), WithHeartbeat(20*time.Millisecond, 500*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	time.Sleep(300 * time.Millisecond) // 5× the idle timeout
+	if !rc.IsConnected() {
+		t.Fatal("heartbeating client should stay connected")
+	}
+	if got := rc.Reconnects(); got != 0 {
+		t.Fatalf("heartbeating client reconnected %d times, want 0", got)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"log"
 	"net"
 	"sync"
+	"time"
 )
 
 // Server exposes a Broker over TCP using the wire protocol in wire.go.
@@ -15,9 +16,10 @@ import (
 // as in-process users, so a pipeline can span machines — the role Kafka
 // plays in the paper's prototype.
 type Server struct {
-	broker *Broker
-	ln     net.Listener
-	logf   func(format string, args ...any)
+	broker      *Broker
+	ln          net.Listener
+	logf        func(format string, args ...any)
+	idleTimeout time.Duration
 
 	mu     sync.Mutex
 	closed bool
@@ -34,6 +36,19 @@ func WithServerLogf(logf func(format string, args ...any)) ServerOption {
 	return func(s *Server) {
 		if logf != nil {
 			s.logf = logf
+		}
+	}
+}
+
+// WithIdleTimeout makes the server reap connections that send no frame
+// (including pings) for d. Paired with client heartbeats it bounds how long
+// a dead peer can pin server-side subscriptions and forwarding goroutines;
+// set it to a few multiples of the clients' heartbeat interval. 0 (the
+// default) disables reaping.
+func WithIdleTimeout(d time.Duration) ServerOption {
+	return func(s *Server) {
+		if d > 0 {
+			s.idleTimeout = d
 		}
 	}
 }
@@ -145,9 +160,14 @@ func (s *Server) serveConn(conn net.Conn) {
 
 	r := bufio.NewReaderSize(conn, 1<<16)
 	for {
+		if s.idleTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(s.idleTimeout))
+		}
 		op, payload, err := readFrame(r)
 		if err != nil {
-			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				s.logf("pubsub server: reaping idle connection %v (no frame in %v)", conn.RemoteAddr(), s.idleTimeout)
+			} else if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
 				s.logf("pubsub server: read: %v", err)
 			}
 			return

@@ -111,7 +111,8 @@ type aggregateOp[In Timestamped, K comparable, Out any] struct {
 
 func (a *aggregateOp[In, K, Out]) opName() string { return a.name }
 
-func (a *aggregateOp[In, K, Out]) run(ctx context.Context) error {
+func (a *aggregateOp[In, K, Out]) run(ctx context.Context) (err error) {
+	defer recoverPanic(&err)
 	defer close(a.out)
 	emitFn := func(v Out) error {
 		if err := emit(ctx, a.out, v); err != nil {

@@ -79,7 +79,8 @@ type countAggOp[In any, K comparable, Out any] struct {
 
 func (c *countAggOp[In, K, Out]) opName() string { return c.name }
 
-func (c *countAggOp[In, K, Out]) run(ctx context.Context) error {
+func (c *countAggOp[In, K, Out]) run(ctx context.Context) (err error) {
+	defer recoverPanic(&err)
 	defer close(c.out)
 	emitFn := func(v Out) error {
 		if err := emit(ctx, c.out, v); err != nil {

@@ -38,4 +38,10 @@ var (
 	// ErrDanglingStream is returned by Run when a stream has a producer but
 	// no consumer; every stream must end in a sink or another operator.
 	ErrDanglingStream = errors.New("stream: stream has no consumer")
+
+	// ErrPanic wraps a panic recovered inside an operator: a panicking UDF
+	// fails its own query with an error instead of crashing the process, so
+	// co-deployed pipelines keep running. Errors.Is(err, ErrPanic) detects
+	// it; the error text carries the panic value and stack.
+	ErrPanic = errors.New("stream: operator panicked")
 )

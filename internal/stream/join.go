@@ -80,7 +80,8 @@ type joinOp[L Timestamped, R Timestamped, K comparable, Out any] struct {
 
 func (j *joinOp[L, R, K, Out]) opName() string { return j.name }
 
-func (j *joinOp[L, R, K, Out]) run(ctx context.Context) error {
+func (j *joinOp[L, R, K, Out]) run(ctx context.Context) (err error) {
+	defer recoverPanic(&err)
 	defer close(j.out)
 	emitFn := func(v Out) error {
 		if err := emit(ctx, j.out, v); err != nil {

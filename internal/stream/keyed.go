@@ -55,7 +55,8 @@ type keyedOp[K comparable, S any, In, Out any] struct {
 
 func (k *keyedOp[K, S, In, Out]) opName() string { return k.name }
 
-func (k *keyedOp[K, S, In, Out]) run(ctx context.Context) error {
+func (k *keyedOp[K, S, In, Out]) run(ctx context.Context) (err error) {
+	defer recoverPanic(&err)
 	defer close(k.out)
 	emitFn := func(v Out) error {
 		if err := emit(ctx, k.out, v); err != nil {

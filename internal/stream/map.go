@@ -73,7 +73,8 @@ type flatMapOp[In, Out any] struct {
 
 func (m *flatMapOp[In, Out]) opName() string { return m.name }
 
-func (m *flatMapOp[In, Out]) run(ctx context.Context) error {
+func (m *flatMapOp[In, Out]) run(ctx context.Context) (err error) {
+	defer recoverPanic(&err)
 	defer close(m.out)
 	emitFn := func(v Out) error {
 		if err := emit(ctx, m.out, v); err != nil {

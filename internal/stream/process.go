@@ -44,7 +44,8 @@ type processOp[In, Out any] struct {
 
 func (p *processOp[In, Out]) opName() string { return p.name }
 
-func (p *processOp[In, Out]) run(ctx context.Context) error {
+func (p *processOp[In, Out]) run(ctx context.Context) (err error) {
+	defer recoverPanic(&err)
 	defer close(p.out)
 	emitFn := func(v Out) error {
 		if err := emit(ctx, p.out, v); err != nil {

@@ -3,6 +3,7 @@ package stream
 import (
 	"context"
 	"fmt"
+	"runtime/debug"
 	"sync"
 )
 
@@ -173,7 +174,7 @@ func (q *Query) Run(ctx context.Context) error {
 		wg.Add(1)
 		go func(op operator) {
 			defer wg.Done()
-			if err := op.run(ctx); err != nil {
+			if err := runOp(ctx, op); err != nil {
 				errOnce.Do(func() {
 					firstErr = fmt.Errorf("operator %q: %w", op.opName(), err)
 					cancel()
@@ -186,6 +187,26 @@ func (q *Query) Run(ctx context.Context) error {
 		return firstErr
 	}
 	return nil
+}
+
+// runOp is the backstop around an operator goroutine: every operator's run
+// already recovers its own panics (see recoverPanic), but any operator added
+// without that defer is still contained here rather than killing the
+// process.
+func runOp(ctx context.Context, op operator) (err error) {
+	defer recoverPanic(&err)
+	return op.run(ctx)
+}
+
+// recoverPanic converts an in-flight panic into an operator error carrying
+// the panic value and stack. Deferred first in every operator run loop so
+// the operator's own defers (closing output channels, so downstream sees
+// end-of-stream) still execute during unwinding before the panic is
+// swallowed.
+func recoverPanic(errp *error) {
+	if r := recover(); r != nil {
+		*errp = fmt.Errorf("%w: %v\n%s", ErrPanic, r, debug.Stack())
+	}
 }
 
 // emit sends v on ch unless ctx is done first. It is the single send path all

@@ -41,7 +41,8 @@ type reorderOp[T Timestamped] struct {
 
 func (r *reorderOp[T]) opName() string { return r.name }
 
-func (r *reorderOp[T]) run(ctx context.Context) error {
+func (r *reorderOp[T]) run(ctx context.Context) (err error) {
+	defer recoverPanic(&err)
 	defer close(r.out)
 	emitFn := func(v T) error {
 		if err := emit(ctx, r.out, v); err != nil {

@@ -45,7 +45,8 @@ type shuffleOp[T any] struct {
 
 func (s *shuffleOp[T]) opName() string { return s.name }
 
-func (s *shuffleOp[T]) run(ctx context.Context) error {
+func (s *shuffleOp[T]) run(ctx context.Context) (err error) {
+	defer recoverPanic(&err)
 	defer func() {
 		for _, ch := range s.outs {
 			close(ch)
@@ -98,7 +99,8 @@ type fanoutOp[T any] struct {
 
 func (f *fanoutOp[T]) opName() string { return f.name }
 
-func (f *fanoutOp[T]) run(ctx context.Context) error {
+func (f *fanoutOp[T]) run(ctx context.Context) (err error) {
+	defer recoverPanic(&err)
 	defer func() {
 		for _, ch := range f.outs {
 			close(ch)
@@ -216,7 +218,8 @@ type orderedMergeOp[T Timestamped] struct {
 
 func (m *orderedMergeOp[T]) opName() string { return m.name }
 
-func (m *orderedMergeOp[T]) run(ctx context.Context) error {
+func (m *orderedMergeOp[T]) run(ctx context.Context) (err error) {
+	defer recoverPanic(&err)
 	defer close(m.out)
 	type head struct {
 		val  T

@@ -26,7 +26,8 @@ type sinkOp[T any] struct {
 
 func (s *sinkOp[T]) opName() string { return s.name }
 
-func (s *sinkOp[T]) run(ctx context.Context) error {
+func (s *sinkOp[T]) run(ctx context.Context) (err error) {
+	defer recoverPanic(&err)
 	for {
 		select {
 		case v, ok := <-s.in:

@@ -39,9 +39,10 @@ type sourceOp[T any] struct {
 
 func (s *sourceOp[T]) opName() string { return s.name }
 
-func (s *sourceOp[T]) run(ctx context.Context) error {
+func (s *sourceOp[T]) run(ctx context.Context) (err error) {
+	defer recoverPanic(&err)
 	defer close(s.out)
-	err := s.fn(ctx, func(v T) error {
+	err = s.fn(ctx, func(v T) error {
 		if err := emit(ctx, s.out, v); err != nil {
 			return err
 		}

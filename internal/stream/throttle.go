@@ -42,7 +42,8 @@ type throttleOp[T any] struct {
 
 func (t *throttleOp[T]) opName() string { return t.name }
 
-func (t *throttleOp[T]) run(ctx context.Context) error {
+func (t *throttleOp[T]) run(ctx context.Context) (err error) {
+	defer recoverPanic(&err)
 	defer close(t.out)
 	tokens := float64(t.burst)
 	last := time.Now()

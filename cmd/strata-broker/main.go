@@ -26,7 +26,7 @@ func main() {
 func run() error {
 	addr := flag.String("addr", ":4222", "listen address")
 	idleTimeout := flag.Duration("idle-timeout", 0,
-		"reap connections silent for this long (0 disables); clients reconnecting with heartbeats shorter than this are unaffected")
+		"reap connections that send no frame for this long (0 disables); requires every client to heartbeat (DialReconnect) — plain subscribe-only clients are reaped as silent")
 	flag.Parse()
 
 	var opts []pubsub.ServerOption

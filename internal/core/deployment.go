@@ -103,9 +103,13 @@ func WithRestartPolicy(p RestartPolicy) DeployOption {
 	return func(c *deployConfig) { c.policy = p }
 }
 
-// WithMaxRestarts bounds how many times a RestartOnFailure pipeline is
-// restarted (default 3). Exceeding it marks the pipeline failed with the
-// last error.
+// WithMaxRestarts bounds how many consecutive restarts a RestartOnFailure
+// pipeline is granted (default 3). Exceeding it marks the pipeline failed
+// with the last error. The budget is per-outage, not lifetime: an
+// incarnation that runs healthily for a while (see restartBudgetResetAfter)
+// earns the full budget back, so a pipeline supervising a days-long build
+// is not permanently failed by its Nth error when the failures are far
+// apart.
 func WithMaxRestarts(n int) DeployOption {
 	return func(c *deployConfig) {
 		if n >= 0 {
@@ -135,7 +139,8 @@ type Pipeline struct {
 	fw       *Framework // current incarnation (replaced on restart)
 	status   PipelineStatus
 	err      error
-	restarts int
+	restarts int // lifetime restarts, for reporting
+	streak   int // consecutive failures without a healthy run; the budget
 }
 
 // PipelineInfo is a point-in-time summary of one pipeline, as reported by
@@ -257,13 +262,20 @@ func (m *Manager) supervise(ctx context.Context, p *Pipeline, cfg deployConfig) 
 		fw := p.fw
 		p.mu.Unlock()
 
+		started := time.Now()
 		err := fw.Run(ctx)
+		if time.Since(started) >= restartBudgetResetAfter {
+			// The incarnation ran healthily long enough that the previous
+			// outage is over: grant the next failure a fresh restart budget
+			// (and restart backoff) instead of a lifetime one.
+			p.resetStreak()
+		}
 		switch {
 		case errors.Is(err, context.Canceled):
 			p.setTerminal(StatusDecommissioned, nil)
 		case err == nil:
 			p.setTerminal(StatusCompleted, nil)
-		case cfg.policy == RestartOnFailure && p.restartCount() < cfg.maxRestarts:
+		case cfg.policy == RestartOnFailure && p.streakCount() < cfg.maxRestarts:
 			n := p.beginRestart(err)
 			select {
 			case <-time.After(restartWait(cfg.backoff, n)):
@@ -295,6 +307,13 @@ func (m *Manager) supervise(ctx context.Context, p *Pipeline, cfg deployConfig) 
 // maxRestartBackoff caps the doubling restart backoff so a long-lived flaky
 // pipeline retries at a bounded cadence instead of effectively never.
 const maxRestartBackoff = time.Minute
+
+// restartBudgetResetAfter is how long an incarnation must run before a
+// failure counts as a new outage rather than a continuation of the last
+// one: the consecutive-failure streak (and with it the backoff doubling)
+// resets, restoring the full WithMaxRestarts budget. A variable so tests
+// can shorten it.
+var restartBudgetResetAfter = time.Minute
 
 // restartWait returns the backoff before restart attempt n (1-based): base
 // doubled per consecutive restart, capped.
@@ -332,15 +351,33 @@ func (p *Pipeline) restartCount() int {
 	return p.restarts
 }
 
-// beginRestart records a failure that will be retried and returns the new
-// attempt number (1-based).
+// streakCount returns the consecutive failures charged against the current
+// outage's restart budget.
+func (p *Pipeline) streakCount() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.streak
+}
+
+// resetStreak marks the current outage over: the next failure starts a new
+// one with a full restart budget and base backoff.
+func (p *Pipeline) resetStreak() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.streak = 0
+}
+
+// beginRestart records a failure that will be retried and returns the
+// attempt number within the current outage (1-based; governs the backoff
+// doubling).
 func (p *Pipeline) beginRestart(err error) int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.restarts++
+	p.streak++
 	p.status = StatusRestarting
 	p.err = err // last failure, visible while restarting
-	return p.restarts
+	return p.streak
 }
 
 // Name returns the pipeline's name.

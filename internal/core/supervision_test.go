@@ -339,3 +339,52 @@ func TestDecommissionDuringBackoffWindow(t *testing.T) {
 		t.Fatalf("Status() = %v, want decommissioned", p.Status())
 	}
 }
+
+// TestRestartBudgetResetsAfterHealthyRun: WithMaxRestarts bounds consecutive
+// failures, not lifetime ones. A pipeline that fails, recovers, runs
+// healthily past restartBudgetResetAfter, then fails again gets a fresh
+// budget for the second outage — it is not permanently failed on its Nth
+// lifetime error days into a build.
+func TestRestartBudgetResetsAfterHealthyRun(t *testing.T) {
+	old := restartBudgetResetAfter
+	restartBudgetResetAfter = 50 * time.Millisecond
+	defer func() { restartBudgetResetAfter = old }()
+
+	m, _ := newTestManager(t)
+
+	var attempts atomic.Int32
+	p, err := m.Deploy("long-build", func(fw *Framework) error {
+		src := fw.AddSource("s", func(ctx context.Context, emit func(EventTuple) error) error {
+			switch attempts.Add(1) {
+			case 1: // first outage: a quick failure consumes the whole budget
+				return errors.New("outage one")
+			case 2: // healthy run, long enough to earn the budget back
+				time.Sleep(150 * time.Millisecond)
+				return errors.New("outage two, much later")
+			default:
+				return emit(EventTuple{Job: "j", Layer: 1})
+			}
+		})
+		fw.Deliver("out", src, func(EventTuple) error { return nil })
+		return nil
+	},
+		WithRestartPolicy(RestartOnFailure),
+		WithMaxRestarts(1),
+		WithRestartBackoff(time.Millisecond),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Wait(); err != nil {
+		t.Fatalf("Wait() = %v, want nil: the second outage should get a fresh budget", err)
+	}
+	if got := attempts.Load(); got != 3 {
+		t.Fatalf("source ran %d times, want 3", got)
+	}
+	if p.Restarts() != 2 {
+		t.Fatalf("Restarts() = %d, want 2 (lifetime count stays cumulative)", p.Restarts())
+	}
+	if p.Status() != StatusCompleted {
+		t.Fatalf("Status() = %v, want completed", p.Status())
+	}
+}

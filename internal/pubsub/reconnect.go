@@ -147,8 +147,13 @@ type ReconnectConn struct {
 	pending    []pendingPub
 	reconnects uint64
 	dropped    uint64
-	hbErr      error // heartbeat failure to report on the next disconnect
-	lastErr    error // why the conn closed, when it closed itself
+	// hbErr is a heartbeat failure to report on the next disconnect, tagged
+	// with the link it was observed on: a heartbeat goroutine can outlive
+	// its link by up to pingTimeout, and its stale error must not be blamed
+	// for a later, unrelated disconnect.
+	hbErr   error
+	hbConn  *Conn
+	lastErr error // why the conn closed, when it closed itself
 
 	quit chan struct{} // closed by Close / self-close
 	done chan struct{} // closed when the supervisor exits
@@ -490,10 +495,10 @@ func (rc *ReconnectConn) supervise(conn *Conn) {
 			rc.mu.Unlock()
 			return
 		}
-		if rc.hbErr != nil {
+		if rc.hbErr != nil && rc.hbConn == conn {
 			err = rc.hbErr
-			rc.hbErr = nil
 		}
+		rc.hbErr, rc.hbConn = nil, nil
 		rc.conn = nil
 		for _, s := range rc.subs {
 			s.inner = nil // link-scoped subscriptions died with the conn
@@ -580,6 +585,7 @@ func (rc *ReconnectConn) restore(conn *Conn) error {
 			inner, err := conn.Subscribe(s.pattern, s.opts...)
 			if err != nil {
 				rc.requeue(batch, 0)
+				rc.detach(conn)
 				return err
 			}
 			rc.mu.Lock()
@@ -600,8 +606,26 @@ func (rc *ReconnectConn) restore(conn *Conn) error {
 		for i, pb := range batch {
 			if err := conn.PublishRequest(pb.subject, pb.reply, pb.data); err != nil {
 				rc.requeue(batch, i)
+				rc.detach(conn)
 				return err
 			}
+		}
+	}
+}
+
+// detach resets inner for every subscription attached on conn. A restore
+// that fails partway (the fresh link died after some subscriptions were
+// re-established) must call this before the conn is abandoned: the
+// supervisor only clears inner for the *installed* conn, and restore only
+// re-attaches subscriptions whose inner is nil, so a stale inner left
+// pointing at a never-installed conn would keep that subscription silent on
+// every future link.
+func (rc *ReconnectConn) detach(conn *Conn) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	for _, s := range rc.subs {
+		if s.inner != nil && s.inner.conn == conn {
+			s.inner = nil
 		}
 	}
 }
@@ -662,9 +686,8 @@ func (rc *ReconnectConn) startHeartbeat(conn *Conn) {
 			case <-t.C:
 				if err := conn.Ping(rc.cfg.pingTimeout); err != nil {
 					rc.mu.Lock()
-					if rc.hbErr == nil {
-						rc.hbErr = fmt.Errorf("pubsub: heartbeat failed: %w", err)
-					}
+					rc.hbErr = fmt.Errorf("pubsub: heartbeat failed: %w", err)
+					rc.hbConn = conn
 					rc.mu.Unlock()
 					conn.Close()
 					return

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sync"
 	"testing"
 	"time"
 
@@ -301,6 +302,87 @@ func TestReconnectPendingOverflowPolicies(t *testing.T) {
 			t.Fatalf("PendingDropped() = %d, want 1", got)
 		}
 	})
+}
+
+// TestRestoreFailureDetachesPartialSubscriptions reproduces a fresh link
+// dying mid-restore: a subscription has already been re-attached when the
+// pending-publish flush fails, so restore returns an error and redial
+// abandons the conn. The partially-attached subscription must be detached
+// (inner reset to nil) — otherwise no future restore would ever re-subscribe
+// it, and its channel would stay open yet silently deliver nothing for the
+// rest of the build.
+func TestRestoreFailureDetachesPartialSubscriptions(t *testing.T) {
+	b := NewBroker()
+	defer b.Close()
+	srv, err := Serve(b, "127.0.0.1:0", WithServerLogf(func(string, ...any) {}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// Build the ReconnectConn by hand, with no supervisor: the test plays
+	// redial's role so the mid-restore failure is deterministic.
+	rc := &ReconnectConn{
+		addr: srv.Addr(),
+		cfg:  reconnectConfig{pendingLimit: 16, pendingPolicy: Block},
+		subs: make(map[uint64]*ReconnectSub),
+		quit: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	rc.notFull = sync.NewCond(&rc.mu)
+	close(rc.done) // no supervisor will close it; lets Close() return
+	defer rc.Close()
+
+	sub, err := rc.Subscribe("mid.>") // disconnected: registered, unattached
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A pending publish with an invalid subject fails the flush client-side,
+	// deterministically, after the subscription was attached — leaving the
+	// same partially-restored state as a link that dies mid-restore.
+	rc.mu.Lock()
+	rc.pending = []pendingPub{{subject: "poison..subject", data: []byte("x")}}
+	rc.mu.Unlock()
+
+	connA, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rc.restore(connA); err == nil {
+		t.Fatal("restore should fail on the poisoned flush")
+	}
+	connA.Close() // redial's failure branch abandons the conn
+
+	rc.mu.Lock()
+	inner := sub.inner
+	requeued := len(rc.pending)
+	rc.pending = nil // the condition that failed the flush has passed
+	rc.mu.Unlock()
+	if inner != nil {
+		t.Fatal("failed restore left the subscription attached to the abandoned conn")
+	}
+	if requeued == 0 {
+		t.Fatal("failed flush should have requeued the unsent publish")
+	}
+
+	// The next restore pass (redial's retry) must re-establish the
+	// subscription on the fresh link and deliver end-to-end.
+	connB, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rc.restore(connB); err != nil {
+		t.Fatalf("second restore: %v", err)
+	}
+	if err := rc.Ping(2 * time.Second); err != nil { // SUB frame is server-side
+		t.Fatal(err)
+	}
+	if err := rc.Publish("mid.check", []byte("restored")); err != nil {
+		t.Fatal(err)
+	}
+	if m := recvN(t, sub.C, 1, "post-restore message")[0]; string(m.Data) != "restored" {
+		t.Fatalf("got %q, want %q", m.Data, "restored")
+	}
 }
 
 // TestServerReapsIdleConnections covers the server half of liveness: a

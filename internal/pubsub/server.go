@@ -45,6 +45,13 @@ func WithServerLogf(logf func(format string, args ...any)) ServerOption {
 // a dead peer can pin server-side subscriptions and forwarding goroutines;
 // set it to a few multiples of the clients' heartbeat interval. 0 (the
 // default) disables reaping.
+//
+// Idleness is judged by inbound frames only: outbound message fan-out does
+// not count. Every client must therefore send something within d — a
+// DialReconnect client's heartbeat (default every 30s) qualifies, but a
+// plain Dial client that only subscribes sends nothing after the SUB frame
+// and WILL be reaped as healthy-but-silent. Enable this only when all
+// clients use DialReconnect (or ping on their own schedule).
 func WithIdleTimeout(d time.Duration) ServerOption {
 	return func(s *Server) {
 		if d > 0 {

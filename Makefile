@@ -1,9 +1,10 @@
 GO ?= go
 
-.PHONY: ci vet build test race bench
+.PHONY: ci vet build test race bench lint
 
-## ci: the full gate — vet, build, and the test suite under the race detector.
-ci: vet build race
+## ci: the full gate — vet, build, the test suite under the race detector,
+## and the stratalint analyzers (see DESIGN.md, "Static contracts").
+ci: vet build race lint
 
 vet:
 	$(GO) vet ./...
@@ -16,6 +17,10 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+lint:
+	$(GO) build -o bin/strata-lint ./cmd/strata-lint
+	./bin/strata-lint ./...
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...

@@ -1,0 +1,87 @@
+// Command strata-lint runs the STRATA contract analyzers (streamclose,
+// locksend, goctx, errdrop) over the requested packages and exits non-zero
+// when any unsuppressed finding remains.
+//
+// Usage:
+//
+//	strata-lint [flags] [packages]
+//
+// With no package patterns it analyzes ./.... Findings print one per line
+// as `file:line:col: message (analyzer)`, the format editors and CI
+// annotators already understand. Suppress a deliberate violation with
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// on (or immediately above) the offending line, or in the doc comment of
+// the enclosing function. The environment for this repo has no module
+// proxy, so the suite runs on an in-tree, stdlib-only re-implementation of
+// the go/analysis contract (see internal/lint/analysis) instead of the
+// x/tools multichecker; `go vet -vettool` mode needs the upstream
+// unitchecker and is therefore not available offline.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"strata/internal/lint"
+	"strata/internal/lint/analysis"
+	"strata/internal/lint/analyzers"
+)
+
+func main() {
+	var (
+		list = flag.Bool("list", false, "list the registered analyzers and exit")
+		only = flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+		dir  = flag.String("C", ".", "directory to resolve package patterns in")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: strata-lint [flags] [packages]\n\nflags:\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range analyzers.All {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	suite := analyzers.All
+	if *only != "" {
+		suite = nil
+		byName := make(map[string]*analysis.Analyzer)
+		for _, a := range analyzers.All {
+			byName[a.Name] = a
+		}
+		for _, name := range strings.Split(*only, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "strata-lint: unknown analyzer %q (try -list)\n", name)
+				os.Exit(2)
+			}
+			suite = append(suite, a)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	findings, err := lint.Run(*dir, patterns, suite)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "strata-lint: %v\n", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "strata-lint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}

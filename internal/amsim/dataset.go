@@ -2,6 +2,7 @@ package amsim
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -69,8 +70,7 @@ func SaveDataset(dir string, job *Job, n int, seed int64, progress func(layer, t
 	enc := json.NewEncoder(f)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(m); err != nil {
-		f.Close()
-		return Manifest{}, fmt.Errorf("amsim: write manifest: %w", err)
+		return Manifest{}, errors.Join(fmt.Errorf("amsim: write manifest: %w", err), f.Close())
 	}
 	if err := f.Close(); err != nil {
 		return Manifest{}, err

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"encoding/csv"
+	"errors"
 	"fmt"
 	"os"
 	"strconv"
@@ -22,17 +23,14 @@ func writeCSV(path string, header []string, rows [][]string) error {
 	}
 	w := csv.NewWriter(f)
 	if err := w.Write(header); err != nil {
-		f.Close()
-		return err
+		return errors.Join(err, f.Close())
 	}
 	if err := w.WriteAll(rows); err != nil {
-		f.Close()
-		return err
+		return errors.Join(err, f.Close())
 	}
 	w.Flush()
 	if err := w.Error(); err != nil {
-		f.Close()
-		return err
+		return errors.Join(err, f.Close())
 	}
 	return f.Close()
 }

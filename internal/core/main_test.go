@@ -1,0 +1,14 @@
+package core
+
+import (
+	"testing"
+
+	"strata/internal/leakcheck"
+)
+
+// TestMain fails the package if any test leaves a goroutine behind —
+// deployments, supervisors, and TCP connectors must be shut down before a
+// test returns.
+func TestMain(m *testing.M) {
+	leakcheck.VerifyTestMain(m)
+}

@@ -1,0 +1,13 @@
+package faultinject
+
+import (
+	"testing"
+
+	"strata/internal/leakcheck"
+)
+
+// TestMain fails the package if any test leaves a goroutine behind — every
+// proxy started by a test must be closed before it returns.
+func TestMain(m *testing.M) {
+	leakcheck.VerifyTestMain(m)
+}

@@ -70,7 +70,7 @@ func (p *Proxy) acceptLoop() {
 		p.mu.Lock()
 		if p.closed {
 			p.mu.Unlock()
-			conn.Close()
+			_ = conn.Close() // racing shutdown: drop the straggler
 			return
 		}
 		p.wg.Add(1)
@@ -92,14 +92,14 @@ func (p *Proxy) relay(client *Conn) {
 	done := make(chan struct{}, 2)
 	go func() {
 		io.Copy(backend, client)
-		backend.Close()
-		client.Close()
+		_ = backend.Close() // either side failing tears down both; close
+		_ = client.Close()  // errors on a dying pair carry no signal
 		done <- struct{}{}
 	}()
 	go func() {
 		io.Copy(client, backend)
-		backend.Close()
-		client.Close()
+		_ = backend.Close()
+		_ = client.Close()
 		done <- struct{}{}
 	}()
 	<-done

@@ -1,6 +1,7 @@
 package kvstore
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -128,8 +129,7 @@ func Open(dir string, optFns ...Option) (*DB, error) {
 	for _, num := range nums {
 		t, err := openSSTable(db.sstPath(num), num)
 		if err != nil {
-			db.closeTables()
-			return nil, err
+			return nil, errors.Join(err, db.closeTables())
 		}
 		db.tables = append(db.tables, t)
 		if num >= db.nextNum {
@@ -144,14 +144,12 @@ func Open(dir string, optFns ...Option) (*DB, error) {
 		v := append([]byte(nil), value...)
 		db.mem.put(k, v, kind == walDelete)
 	}); err != nil {
-		db.closeTables()
-		return nil, err
+		return nil, errors.Join(err, db.closeTables())
 	}
 
 	w, err := openWAL(walPath, opts.syncWrites)
 	if err != nil {
-		db.closeTables()
-		return nil, err
+		return nil, errors.Join(err, db.closeTables())
 	}
 	db.wal = w
 	return db, nil
@@ -161,11 +159,17 @@ func (db *DB) sstPath(num uint64) string {
 	return filepath.Join(db.dir, fmt.Sprintf("%s%08d%s", sstFilePrefix, num, sstFileSuffix))
 }
 
-func (db *DB) closeTables() {
+// closeTables releases every open SSTable handle, returning the joined
+// close errors so failed teardown is never silent.
+func (db *DB) closeTables() error {
+	var errs []error
 	for _, t := range db.tables {
-		t.close()
+		if err := t.close(); err != nil {
+			errs = append(errs, err)
+		}
 	}
 	db.tables = nil
+	return errors.Join(errs...)
 }
 
 // Put stores value under key. Both slices are copied.
@@ -282,31 +286,29 @@ func (db *DB) Stats() Stats {
 	}
 }
 
-// Close flushes the memtable and releases all file handles. The DB must not
-// be used afterwards.
+// Close flushes the memtable and releases all file handles, surfacing every
+// teardown failure (flush, WAL close, SSTable closes) as one joined error.
+// The DB must not be used afterwards.
 func (db *DB) Close() error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if db.closed {
 		return ErrClosed
 	}
-	var firstErr error
+	var errs []error
 	if db.mem.count > 0 {
 		if err := db.flushLocked(); err != nil {
-			firstErr = err
+			errs = append(errs, err)
 		}
 	}
-	if err := db.wal.close(); err != nil && firstErr == nil {
-		firstErr = err
+	if err := db.wal.close(); err != nil {
+		errs = append(errs, err)
 	}
-	for _, t := range db.tables {
-		if err := t.close(); err != nil && firstErr == nil {
-			firstErr = err
-		}
+	if err := db.closeTables(); err != nil {
+		errs = append(errs, err)
 	}
-	db.tables = nil
 	db.closed = true
-	return firstErr
+	return errors.Join(errs...)
 }
 
 func (db *DB) maybeFlushLocked() error {

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -45,13 +46,27 @@ func writeSSTable(path string, entries []entry, bloomFP float64) (int, error) {
 	if err != nil {
 		return 0, fmt.Errorf("create sstable: %w", err)
 	}
+	if err := writeSSTableTo(f, entries, bloomFP); err != nil {
+		return 0, errors.Join(err, f.Close())
+	}
+	if err := f.Sync(); err != nil {
+		return 0, errors.Join(fmt.Errorf("sync sstable: %w", err), f.Close())
+	}
+	if err := f.Close(); err != nil {
+		return 0, fmt.Errorf("close sstable: %w", err)
+	}
+	return len(entries), nil
+}
+
+// writeSSTableTo streams the table body to f; the caller owns syncing and
+// closing the file so there is exactly one close path.
+func writeSSTableTo(f *os.File, entries []entry, bloomFP float64) error {
 	w := bufio.NewWriterSize(f, 1<<16)
 
 	var hdr [8]byte
 	binary.LittleEndian.PutUint64(hdr[:], sstMagic)
 	if _, err := w.Write(hdr[:]); err != nil {
-		f.Close()
-		return 0, fmt.Errorf("write sstable header: %w", err)
+		return fmt.Errorf("write sstable header: %w", err)
 	}
 
 	bloom := newBloomFilter(len(entries), bloomFP)
@@ -70,16 +85,13 @@ func writeSSTable(path string, entries []entry, bloomFP float64) (int, error) {
 		}
 		n += binary.PutUvarint(scratch[n:], tag)
 		if _, err := w.Write(scratch[:n]); err != nil {
-			f.Close()
-			return 0, fmt.Errorf("write sstable entry: %w", err)
+			return fmt.Errorf("write sstable entry: %w", err)
 		}
 		if _, err := w.Write(e.key); err != nil {
-			f.Close()
-			return 0, fmt.Errorf("write sstable entry: %w", err)
+			return fmt.Errorf("write sstable entry: %w", err)
 		}
 		if _, err := w.Write(e.value); err != nil {
-			f.Close()
-			return 0, fmt.Errorf("write sstable entry: %w", err)
+			return fmt.Errorf("write sstable entry: %w", err)
 		}
 		offset += int64(n + len(e.key) + len(e.value))
 	}
@@ -98,15 +110,13 @@ func writeSSTable(path string, entries []entry, bloomFP float64) (int, error) {
 	}
 	indexLen := int64(buf.Len())
 	if _, err := w.Write(buf.Bytes()); err != nil {
-		f.Close()
-		return 0, fmt.Errorf("write sstable index: %w", err)
+		return fmt.Errorf("write sstable index: %w", err)
 	}
 
 	bloomBytes := bloom.marshal()
 	bloomOff := indexOff + indexLen
 	if _, err := w.Write(bloomBytes); err != nil {
-		f.Close()
-		return 0, fmt.Errorf("write sstable bloom: %w", err)
+		return fmt.Errorf("write sstable bloom: %w", err)
 	}
 
 	var footer [sstFooterSize]byte
@@ -116,21 +126,12 @@ func writeSSTable(path string, entries []entry, bloomFP float64) (int, error) {
 	binary.LittleEndian.PutUint64(footer[24:32], uint64(len(bloomBytes)))
 	binary.LittleEndian.PutUint64(footer[32:40], sstMagic)
 	if _, err := w.Write(footer[:]); err != nil {
-		f.Close()
-		return 0, fmt.Errorf("write sstable footer: %w", err)
+		return fmt.Errorf("write sstable footer: %w", err)
 	}
 	if err := w.Flush(); err != nil {
-		f.Close()
-		return 0, fmt.Errorf("flush sstable: %w", err)
+		return fmt.Errorf("flush sstable: %w", err)
 	}
-	if err := f.Sync(); err != nil {
-		f.Close()
-		return 0, fmt.Errorf("sync sstable: %w", err)
-	}
-	if err := f.Close(); err != nil {
-		return 0, fmt.Errorf("close sstable: %w", err)
-	}
-	return len(entries), nil
+	return nil
 }
 
 // sstable is an open, immutable on-disk table. Reads are safe for concurrent
@@ -149,22 +150,31 @@ func openSSTable(path string, num uint64) (*sstable, error) {
 	if err != nil {
 		return nil, fmt.Errorf("open sstable: %w", err)
 	}
+	t, err := loadSSTable(f, path, num)
+	if err != nil {
+		// The load error is primary; the handle close is still surfaced
+		// alongside it rather than dropped.
+		return nil, errors.Join(err, f.Close())
+	}
+	return t, nil
+}
+
+// loadSSTable reads the footer, index, and bloom sections of an open table
+// file. The caller owns f and closes it on error, so every failure here is
+// a plain return.
+func loadSSTable(f *os.File, path string, num uint64) (*sstable, error) {
 	st, err := f.Stat()
 	if err != nil {
-		f.Close()
 		return nil, fmt.Errorf("stat sstable: %w", err)
 	}
 	if st.Size() < 8+sstFooterSize {
-		f.Close()
 		return nil, fmt.Errorf("%w: sstable %s too small", ErrCorrupt, path)
 	}
 	var footer [sstFooterSize]byte
 	if _, err := f.ReadAt(footer[:], st.Size()-sstFooterSize); err != nil {
-		f.Close()
 		return nil, fmt.Errorf("read sstable footer: %w", err)
 	}
 	if binary.LittleEndian.Uint64(footer[32:40]) != sstMagic {
-		f.Close()
 		return nil, fmt.Errorf("%w: sstable %s bad magic", ErrCorrupt, path)
 	}
 	indexOff := int64(binary.LittleEndian.Uint64(footer[0:8]))
@@ -172,29 +182,24 @@ func openSSTable(path string, num uint64) (*sstable, error) {
 	bloomOff := int64(binary.LittleEndian.Uint64(footer[16:24]))
 	bloomLen := int64(binary.LittleEndian.Uint64(footer[24:32]))
 	if indexOff < 8 || indexOff+indexLen > st.Size() || bloomOff+bloomLen > st.Size() {
-		f.Close()
 		return nil, fmt.Errorf("%w: sstable %s bad section bounds", ErrCorrupt, path)
 	}
 
 	idxBytes := make([]byte, indexLen)
 	if _, err := f.ReadAt(idxBytes, indexOff); err != nil {
-		f.Close()
 		return nil, fmt.Errorf("read sstable index: %w", err)
 	}
 	index, err := parseIndex(idxBytes)
 	if err != nil {
-		f.Close()
 		return nil, fmt.Errorf("sstable %s: %w", path, err)
 	}
 
 	bloomBytes := make([]byte, bloomLen)
 	if _, err := f.ReadAt(bloomBytes, bloomOff); err != nil {
-		f.Close()
 		return nil, fmt.Errorf("read sstable bloom: %w", err)
 	}
 	bloom, err := unmarshalBloom(bloomBytes)
 	if err != nil {
-		f.Close()
 		return nil, fmt.Errorf("sstable %s bloom: %w", path, err)
 	}
 

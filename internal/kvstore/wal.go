@@ -45,8 +45,7 @@ func openWAL(path string, syncWrites bool) (*wal, error) {
 	}
 	st, err := f.Stat()
 	if err != nil {
-		f.Close()
-		return nil, fmt.Errorf("stat wal: %w", err)
+		return nil, errors.Join(fmt.Errorf("stat wal: %w", err), f.Close())
 	}
 	return &wal{f: f, w: bufio.NewWriter(f), sync: syncWrites, len: st.Size()}, nil
 }
@@ -81,8 +80,7 @@ func (w *wal) append(kind byte, key, value []byte) error {
 
 func (w *wal) close() error {
 	if err := w.w.Flush(); err != nil {
-		w.f.Close()
-		return fmt.Errorf("wal flush: %w", err)
+		return errors.Join(fmt.Errorf("wal flush: %w", err), w.f.Close())
 	}
 	return w.f.Close()
 }

@@ -1,0 +1,120 @@
+// Package leakcheck fails a test binary that exits with goroutines still
+// running. It is an offline, stdlib-only stand-in for go.uber.org/goleak
+// (which this build environment cannot fetch) exposing the same
+// VerifyTestMain entry point, so the goroutine-heavy packages keep the
+// familiar pattern:
+//
+//	func TestMain(m *testing.M) { leakcheck.VerifyTestMain(m) }
+//
+// A leak here means a test spawned a goroutine with no stop path — exactly
+// the defect the goctx analyzer guards against in production code, caught
+// dynamically for test-scoped goroutines.
+package leakcheck
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+)
+
+// TestMainer is the subset of *testing.M VerifyTestMain needs (an interface
+// keeps this package importable outside tests).
+type TestMainer interface {
+	Run() int
+}
+
+// VerifyTestMain runs the package's tests and then verifies no test-spawned
+// goroutines survive. If the tests passed but goroutines leaked, it prints
+// their stacks and exits non-zero.
+func VerifyTestMain(m TestMainer) {
+	code := m.Run()
+	if code == 0 {
+		if leaked := check(5 * time.Second); len(leaked) > 0 {
+			fmt.Fprintf(os.Stderr, "leakcheck: %d goroutine(s) leaked by tests:\n\n%s\n",
+				len(leaked), strings.Join(leaked, "\n\n"))
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
+// check polls until only expected goroutines remain or the deadline
+// expires, returning the stacks of the leakers. Polling absorbs goroutines
+// that are finishing legitimately (closed channels draining, connections
+// tearing down) right as the last test returns.
+func check(timeout time.Duration) []string {
+	deadline := time.Now().Add(timeout)
+	var leaked []string
+	for {
+		leaked = leakedGoroutines()
+		if len(leaked) == 0 || time.Now().After(deadline) {
+			return leaked
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// leakedGoroutines returns the stacks of goroutines that are neither
+// runtime-internal nor part of the testing framework.
+func leakedGoroutines() []string {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, 2*len(buf))
+	}
+	var leaked []string
+	for _, g := range strings.Split(string(buf), "\n\n") {
+		if g == "" || !suspect(g) {
+			continue
+		}
+		leaked = append(leaked, g)
+	}
+	return leaked
+}
+
+// suspect reports whether stack describes a goroutine worth flagging,
+// i.e. one owned by neither the runtime nor the testing framework.
+func suspect(stack string) bool {
+	first := strings.SplitN(stack, "\n", 2)[0]
+	if strings.HasPrefix(first, "goroutine") && strings.Contains(first, "running") &&
+		strings.Contains(stack, "leakcheck.leakedGoroutines") {
+		return false // this checker
+	}
+	for _, frame := range expectedFrames {
+		if strings.Contains(stack, frame) {
+			return false
+		}
+	}
+	return true
+}
+
+// expectedFrames appear in goroutines owned by the runtime or the testing
+// framework — never by code under test.
+var expectedFrames = []string{
+	"testing.Main(",
+	"testing.tRunner(",
+	"testing.(*M).",
+	"testing.runTests(",
+	"testing.runFuzzing(",
+	"testing.runFuzzTests(",
+	"runtime.goexit0",
+	"runtime.gc",
+	"runtime.MHeap",
+	"runtime.bgsweep",
+	"runtime.bgscavenge",
+	"runtime.forcegchelper",
+	"runtime.timerGoroutine",
+	"runtime.ensureSigM",
+	"runtime/trace.Start",
+	"os/signal.signal_recv",
+	"os/signal.loop",
+	"created by runtime.gc",
+	"created by maps.init",
+	"interestingGoroutines",
+}

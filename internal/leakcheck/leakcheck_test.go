@@ -1,0 +1,75 @@
+package leakcheck
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNoLeaksBaseline(t *testing.T) {
+	if leaked := check(2 * time.Second); len(leaked) > 0 {
+		t.Fatalf("baseline reported %d leaked goroutines:\n%s",
+			len(leaked), strings.Join(leaked, "\n\n"))
+	}
+}
+
+func TestDetectsLeakedGoroutine(t *testing.T) {
+	quit := make(chan struct{})
+	started := make(chan struct{})
+	go func() {
+		close(started)
+		<-quit
+	}()
+	<-started
+
+	leaked := leakedGoroutines()
+	found := false
+	for _, g := range leaked {
+		if strings.Contains(g, "TestDetectsLeakedGoroutine") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("parked goroutine not reported; got %d stacks:\n%s",
+			len(leaked), strings.Join(leaked, "\n\n"))
+	}
+
+	close(quit)
+	if leaked := check(2 * time.Second); len(leaked) > 0 {
+		t.Fatalf("goroutine still reported after stop:\n%s", strings.Join(leaked, "\n\n"))
+	}
+}
+
+func TestSuspectFiltersFramework(t *testing.T) {
+	cases := []struct {
+		name  string
+		stack string
+		want  bool
+	}{
+		{
+			"test runner",
+			"goroutine 1 [chan receive]:\ntesting.(*T).Run(...)\ntesting.tRunner(0xc000001234, 0xabcdef)",
+			false,
+		},
+		{
+			"gc worker",
+			"goroutine 4 [GC worker (idle)]:\nruntime.gcBgMarkWorker()",
+			false,
+		},
+		{
+			"signal handler",
+			"goroutine 5 [syscall]:\nos/signal.signal_recv()\nos/signal.loop()",
+			false,
+		},
+		{
+			"application goroutine",
+			"goroutine 9 [chan send]:\nstrata/internal/stream.(*mapOp).run(0xc0000a2000)",
+			true,
+		},
+	}
+	for _, c := range cases {
+		if got := suspect(c.stack); got != c.want {
+			t.Errorf("%s: suspect = %v, want %v", c.name, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module errdrop
+
+go 1.22

@@ -1,0 +1,141 @@
+// Test fixtures for the goctx analyzer: spawned goroutines need a
+// reachable stop signal.
+package a
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+)
+
+func work() {}
+
+func badForever() {
+	go func() { // want `goroutine loops forever with no reachable stop signal`
+		for {
+			work()
+		}
+	}()
+}
+
+func badSleepLoop() {
+	go func() { // want `goroutine loops forever with no reachable stop signal`
+		for {
+			time.Sleep(time.Second)
+			work()
+		}
+	}()
+}
+
+// badInnerBreak: the break belongs to the switch, not the loop — the
+// goroutine still never exits.
+func badInnerBreak(mode int) {
+	go func() { // want `goroutine loops forever with no reachable stop signal`
+		for {
+			switch mode {
+			case 1:
+				break
+			}
+			work()
+		}
+	}()
+}
+
+// badNestedSignal: the receive lives in a *nested* goroutine; it does not
+// stop the outer one.
+func badNestedSignal(done chan struct{}) {
+	go func() { // want `goroutine loops forever with no reachable stop signal`
+		for {
+			go func() {
+				<-done
+			}()
+			work()
+		}
+	}()
+}
+
+// goodDoneChannel: select with a quit-channel receive.
+func goodDoneChannel(done chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				work()
+			}
+		}
+	}()
+}
+
+// goodCtx: the loop consults a context.
+func goodCtx(ctx context.Context) {
+	go func() {
+		for {
+			if ctx.Err() != nil {
+				return
+			}
+			work()
+		}
+	}()
+}
+
+// goodRange: ranging over a channel ends when the producer closes it.
+func goodRange(ch chan int) {
+	go func() {
+		for v := range ch {
+			_ = v
+		}
+	}()
+}
+
+// goodQuitFlag: a closed-over atomic flag with a conditional exit.
+func goodQuitFlag(stop *atomic.Bool) {
+	go func() {
+		for {
+			if stop.Load() {
+				return
+			}
+			work()
+		}
+	}()
+}
+
+// goodLoopBreak: a direct break out of the loop is an exit path.
+func goodLoopBreak(n *atomic.Int64) {
+	go func() {
+		for {
+			if n.Add(1) > 100 {
+				break
+			}
+		}
+	}()
+}
+
+// goodBounded: a conditional loop has its own termination; only `for {`
+// loops are in scope.
+func goodBounded() {
+	go func() {
+		for i := 0; i < 10; i++ {
+			work()
+		}
+	}()
+}
+
+// goodNoLoop: straight-line goroutines finish on their own.
+func goodNoLoop(ch chan int) {
+	go func() {
+		work()
+		ch <- 1
+	}()
+}
+
+// ignoredForever: process-lifetime pumps are opted out explicitly.
+func ignoredForever() {
+	//lint:ignore goctx metrics pump intentionally lives for the process lifetime
+	go func() {
+		for {
+			work()
+		}
+	}()
+}

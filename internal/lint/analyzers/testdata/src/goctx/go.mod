@@ -1,0 +1,3 @@
+module goctx
+
+go 1.22

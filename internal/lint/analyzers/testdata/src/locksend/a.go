@@ -1,0 +1,139 @@
+// Test fixtures for the locksend analyzer: no channel operations or
+// blocking waits while a mutex is held.
+package a
+
+import (
+	"sync"
+	"time"
+)
+
+type box struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+func badSend(b *box) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.ch <- 1 // want `channel send on b\.ch while b\.mu is held`
+}
+
+func badRecv(b *box) {
+	b.mu.Lock()
+	<-b.ch // want `channel receive from b\.ch while b\.mu is held`
+	b.mu.Unlock()
+}
+
+func badWait(b *box, wg *sync.WaitGroup) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	wg.Wait() // want `sync\.WaitGroup\.Wait while b\.mu is held`
+}
+
+func badSleep(b *box) {
+	b.mu.Lock()
+	time.Sleep(time.Millisecond) // want `time\.Sleep while b\.mu is held`
+	b.mu.Unlock()
+}
+
+func badSelect(b *box) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	select { // want `blocking select \(no default\) while b\.mu is held`
+	case b.ch <- 1:
+	case v := <-b.ch:
+		_ = v
+	}
+}
+
+func badRange(b *box) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for v := range b.ch { // want `range over channel b\.ch while b\.mu is held`
+		_ = v
+	}
+}
+
+type rwbox struct {
+	mu sync.RWMutex
+	ch chan int
+}
+
+func badReadLocked(r *rwbox) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	<-r.ch // want `channel receive from r\.ch while r\.mu is held`
+}
+
+// goodUnlockFirst releases before the send: the standard collect-under-lock,
+// deliver-after-release pattern.
+func goodUnlockFirst(b *box) {
+	b.mu.Lock()
+	v := 1
+	b.mu.Unlock()
+	b.ch <- v
+}
+
+// goodNonBlockingSelect cannot park: the default clause makes the channel
+// operation a try-send.
+func goodNonBlockingSelect(b *box) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	select {
+	case b.ch <- 1:
+	default:
+	}
+}
+
+// goodGoroutineScope: the literal's body runs on another goroutine, outside
+// the lexically-enclosing critical section.
+func goodGoroutineScope(b *box, done chan struct{}) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	go func() {
+		select {
+		case b.ch <- 1:
+		case <-done:
+		}
+	}()
+}
+
+// goodCondWait: sync.Cond.Wait requires the caller to hold the lock; it is
+// not a violation.
+func goodCondWait(mu *sync.Mutex, c *sync.Cond) {
+	mu.Lock()
+	for {
+		c.Wait()
+		break
+	}
+	mu.Unlock()
+}
+
+// ignoredDeliver mirrors the pubsub Block-policy delivery: the violation is
+// deliberate and suppressed on the statement.
+func ignoredDeliver(b *box) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	//lint:ignore locksend deliberate: close must not race the blocked send
+	b.ch <- 1
+}
+
+// ignoredWholeFunc demonstrates function-level suppression from the doc
+// comment.
+//
+//lint:ignore locksend fixture for doc-comment suppression
+func ignoredWholeFunc(b *box) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.ch <- 1
+	<-b.ch
+}
+
+// unignoredTrailing proves a reasonless directive suppresses nothing: the
+// directive is malformed, so the finding stands.
+func unignoredTrailing(b *box) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	//lint:ignore locksend
+	b.ch <- 2 // want `channel send on b\.ch while b\.mu is held`
+}

@@ -1,0 +1,3 @@
+module locksend
+
+go 1.22

@@ -1,0 +1,110 @@
+// Test fixtures for the streamclose analyzer: operator run loops must
+// defer-close their output channels.
+package a
+
+import "context"
+
+// badOp never closes out: downstream consumers block forever.
+type badOp struct {
+	in  chan int
+	out chan int
+}
+
+func (b *badOp) run(ctx context.Context) error { // want `never closes its output channel b\.out`
+	for v := range b.in {
+		b.out <- v
+	}
+	return nil
+}
+
+// inlineCloseOp closes out on the happy path only — an early return (or a
+// panic) skips it, so an in-line close does not satisfy the contract.
+type inlineCloseOp struct {
+	in  chan int
+	out chan int
+}
+
+func (c *inlineCloseOp) run(ctx context.Context) error { // want `never closes its output channel c\.out`
+	for v := range c.in {
+		if v < 0 {
+			return nil
+		}
+		c.out <- v
+	}
+	close(c.out)
+	return nil
+}
+
+// goodOp defer-closes its output: the contract holds on every return path.
+type goodOp struct {
+	in  chan int
+	out chan int
+}
+
+func (g *goodOp) run(ctx context.Context) error {
+	defer close(g.out)
+	for v := range g.in {
+		select {
+		case g.out <- v:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	return nil
+}
+
+// fanBad has multiple outputs and closes none of them.
+type fanBad struct {
+	in   chan int
+	outs []chan int
+}
+
+func (f *fanBad) run(ctx context.Context) error { // want `never closes its output channels f\.outs`
+	for v := range f.in {
+		for _, ch := range f.outs {
+			ch <- v
+		}
+	}
+	return nil
+}
+
+// fanGood closes every branch through a deferred range loop.
+type fanGood struct {
+	in   chan int
+	outs []chan int
+}
+
+func (f *fanGood) run(ctx context.Context) error {
+	defer func() {
+		for _, ch := range f.outs {
+			close(ch)
+		}
+	}()
+	for v := range f.in {
+		for _, ch := range f.outs {
+			ch <- v
+		}
+	}
+	return nil
+}
+
+// sinkOp has no output fields: nothing to close, nothing to report.
+type sinkOp struct {
+	in chan int
+}
+
+func (s *sinkOp) run(ctx context.Context) error {
+	for range s.in {
+	}
+	return nil
+}
+
+// runner has an out field but no method named run: only operator run loops
+// are bound by the contract, so helper methods are out of scope.
+type runner struct {
+	out chan int
+}
+
+func (r *runner) start() {
+	close(r.out)
+}

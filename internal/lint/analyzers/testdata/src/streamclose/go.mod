@@ -1,0 +1,3 @@
+module streamclose
+
+go 1.22

@@ -1,0 +1,77 @@
+// Package lint is the strata-lint driver: it loads packages, runs the
+// STRATA contract analyzers over them, and filters findings through
+// //lint:ignore suppression comments.
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+
+	"strata/internal/lint/analysis"
+	"strata/internal/lint/loader"
+)
+
+// Finding is one unsuppressed diagnostic, resolved to a file position.
+type Finding struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s (%s)", f.Pos, f.Message, f.Analyzer)
+}
+
+// Run loads the packages matching patterns (relative to dir) and applies
+// every analyzer to every package. Suppressed findings are dropped; the
+// rest are returned sorted by position.
+func Run(dir string, patterns []string, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	fset, pkgs, err := loader.Load(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	// Hard type errors make analyzer output unreliable; surface them
+	// instead of misreporting. (go vet behaves the same way.)
+	for _, pkg := range pkgs {
+		if len(pkg.TypeErrors) > 0 {
+			return nil, fmt.Errorf("lint: %s does not type-check: %v", pkg.Path, pkg.TypeErrors[0])
+		}
+	}
+
+	var findings []Finding
+	for _, pkg := range pkgs {
+		sup := scanSuppressions(fset, pkg.Files)
+		for _, a := range analyzers {
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+			}
+			name := a.Name
+			pass.Report = func(d analysis.Diagnostic) {
+				pos := fset.Position(d.Pos)
+				if sup.suppressed(name, pos) {
+					return
+				}
+				findings = append(findings, Finding{Pos: pos, Analyzer: name, Message: d.Message})
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("lint: analyzer %s on %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}

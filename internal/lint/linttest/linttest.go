@@ -1,0 +1,114 @@
+// Package linttest is the analysistest counterpart for the in-tree
+// analysis framework: it runs one analyzer over a testdata module and
+// checks its findings against `// want` annotations.
+//
+// Testdata layout follows x/tools convention: testdata/src/<module>/ holds
+// a self-contained Go module (its own go.mod, stdlib imports only, so it
+// loads offline). An expectation is a comment
+//
+//	// want `regexp`
+//
+// on the line a finding must appear on. Every finding must match a want on
+// its line and every want must be matched by at least one finding;
+// //lint:ignore suppression is applied before matching, so suppressed lines
+// simply carry no want.
+package linttest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"strata/internal/lint"
+	"strata/internal/lint/analysis"
+)
+
+var wantRe = regexp.MustCompile("//\\s*want\\s+`([^`]+)`")
+
+// Run loads testdata/src/<module> (relative to the calling test's working
+// directory) and verifies analyzer a's findings against its want
+// annotations.
+func Run(t *testing.T, a *analysis.Analyzer, module string) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", module)
+	if _, err := os.Stat(filepath.Join(dir, "go.mod")); err != nil {
+		t.Fatalf("linttest: testdata module %s has no go.mod: %v", dir, err)
+	}
+
+	findings, err := lint.Run(dir, []string{"./..."}, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("linttest: running %s over %s: %v", a.Name, dir, err)
+	}
+
+	wants, err := collectWants(dir)
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+
+	for _, f := range findings {
+		key := lineID(f.Pos.Filename, f.Pos.Line)
+		matched := false
+		for _, w := range wants[key] {
+			if w.re.MatchString(f.Message) {
+				w.hits++
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected finding at %s:%d: %s", f.Pos.Filename, f.Pos.Line, f.Message)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if w.hits == 0 {
+				t.Errorf("no finding matched `%s` at %s", w.re, key)
+			}
+		}
+	}
+}
+
+type want struct {
+	re   *regexp.Regexp
+	hits int
+}
+
+// collectWants scans every .go file under dir for want annotations, keyed
+// by file:line.
+func collectWants(dir string) (map[string][]*want, error) {
+	wants := make(map[string][]*want)
+	err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		abs, err := filepath.Abs(path)
+		if err != nil {
+			return err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRe.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			re, err := regexp.Compile(m[1])
+			if err != nil {
+				return fmt.Errorf("%s:%d: bad want regexp %q: %v", path, i+1, m[1], err)
+			}
+			key := lineID(abs, i+1)
+			wants[key] = append(wants[key], &want{re: re})
+		}
+		return nil
+	})
+	return wants, err
+}
+
+func lineID(file string, line int) string {
+	return fmt.Sprintf("%s:%d", file, line)
+}

@@ -1,0 +1,135 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// The suppression directive is staticcheck's:
+//
+//	//lint:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// A directive on its own line suppresses matching findings on the next
+// line; a trailing directive suppresses findings on its own line; a
+// directive in a function's doc comment suppresses matching findings in the
+// whole function. The reason is mandatory — a bare ignore is itself a
+// malformed directive and suppresses nothing.
+
+const ignorePrefix = "//lint:ignore "
+
+type suppression struct {
+	names map[string]bool // nil means malformed (no reason given)
+}
+
+func (s suppression) matches(analyzer string) bool {
+	return s.names != nil && s.names[analyzer]
+}
+
+type suppressions struct {
+	// byLine maps file:line of the code a line-directive covers.
+	byLine map[string][]suppression
+	// funcRanges holds doc-comment directives covering whole functions.
+	funcRanges []funcSuppression
+	fset       *token.FileSet
+}
+
+type funcSuppression struct {
+	file       string
+	start, end int // line range, inclusive
+	sup        suppression
+}
+
+func parseDirective(text string) (suppression, bool) {
+	if !strings.HasPrefix(text, ignorePrefix) {
+		return suppression{}, false
+	}
+	rest := strings.TrimSpace(strings.TrimPrefix(text, ignorePrefix))
+	fields := strings.Fields(rest)
+	if len(fields) < 2 {
+		// Directive without a reason: recognized, but suppresses nothing.
+		return suppression{}, true
+	}
+	names := make(map[string]bool)
+	for _, n := range strings.Split(fields[0], ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			names[n] = true
+		}
+	}
+	return suppression{names: names}, true
+}
+
+func scanSuppressions(fset *token.FileSet, files []*ast.File) *suppressions {
+	s := &suppressions{byLine: make(map[string][]suppression), fset: fset}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				sup, ok := parseDirective(c.Text)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				// The directive covers its own line (trailing comment)
+				// and the next line (comment above the statement).
+				s.add(pos.Filename, pos.Line, sup)
+				s.add(pos.Filename, pos.Line+1, sup)
+			}
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Doc == nil {
+				continue
+			}
+			for _, c := range fn.Doc.List {
+				sup, ok := parseDirective(c.Text)
+				if !ok {
+					continue
+				}
+				start := fset.Position(fn.Pos())
+				end := fset.Position(fn.End())
+				s.funcRanges = append(s.funcRanges, funcSuppression{
+					file: start.Filename, start: start.Line, end: end.Line, sup: sup,
+				})
+			}
+		}
+	}
+	return s
+}
+
+func (s *suppressions) add(file string, line int, sup suppression) {
+	key := lineKey(file, line)
+	s.byLine[key] = append(s.byLine[key], sup)
+}
+
+func (s *suppressions) suppressed(analyzer string, pos token.Position) bool {
+	for _, sup := range s.byLine[lineKey(pos.Filename, pos.Line)] {
+		if sup.matches(analyzer) {
+			return true
+		}
+	}
+	for _, fr := range s.funcRanges {
+		if fr.file == pos.Filename && pos.Line >= fr.start && pos.Line <= fr.end && fr.sup.matches(analyzer) {
+			return true
+		}
+	}
+	return false
+}
+
+func lineKey(file string, line int) string {
+	// Lines never exceed a few thousand; a simple string key is fine.
+	return file + "\x00" + itoa(line)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [12]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}

@@ -1,0 +1,82 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+func TestParseDirective(t *testing.T) {
+	cases := []struct {
+		text      string
+		directive bool
+		matches   []string
+		misses    []string
+	}{
+		{"// regular comment", false, nil, nil},
+		{"//lint:ignore locksend held on purpose", true, []string{"locksend"}, []string{"goctx"}},
+		{"//lint:ignore locksend,goctx shared fixture", true, []string{"locksend", "goctx"}, []string{"errdrop"}},
+		// A directive without a reason is recognized but suppresses nothing.
+		{"//lint:ignore locksend", true, nil, []string{"locksend"}},
+	}
+	for _, c := range cases {
+		sup, ok := parseDirective(c.text)
+		if ok != c.directive {
+			t.Errorf("parseDirective(%q): directive=%v, want %v", c.text, ok, c.directive)
+			continue
+		}
+		for _, name := range c.matches {
+			if !sup.matches(name) {
+				t.Errorf("parseDirective(%q): should suppress %s", c.text, name)
+			}
+		}
+		for _, name := range c.misses {
+			if sup.matches(name) {
+				t.Errorf("parseDirective(%q): should NOT suppress %s", c.text, name)
+			}
+		}
+	}
+}
+
+func TestScanSuppressions(t *testing.T) {
+	const src = `package p
+
+//lint:ignore goctx whole function is exempt
+func docSuppressed() {
+	_ = 1
+	_ = 2
+}
+
+func lineSuppressed() {
+	//lint:ignore errdrop on the next line
+	_ = 3
+	_ = 4 //lint:ignore locksend trailing
+}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup := scanSuppressions(fset, []*ast.File{f})
+
+	pos := func(line int) token.Position {
+		return token.Position{Filename: "p.go", Line: line}
+	}
+	if !sup.suppressed("goctx", pos(5)) || !sup.suppressed("goctx", pos(6)) {
+		t.Error("doc-comment directive should cover the whole function body")
+	}
+	if sup.suppressed("errdrop", pos(5)) {
+		t.Error("doc-comment directive must not leak to other analyzers")
+	}
+	if !sup.suppressed("errdrop", pos(11)) {
+		t.Error("directive above a line should suppress that line")
+	}
+	if !sup.suppressed("locksend", pos(12)) {
+		t.Error("trailing directive should suppress its own line")
+	}
+	if sup.suppressed("errdrop", pos(12)) {
+		t.Error("line 12 has no errdrop directive")
+	}
+}

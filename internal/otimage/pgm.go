@@ -2,6 +2,7 @@ package otimage
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -107,8 +108,7 @@ func (im *Image) SavePGM(path string) error {
 		return fmt.Errorf("otimage: create %s: %w", path, err)
 	}
 	if err := im.WritePGM(f); err != nil {
-		f.Close()
-		return err
+		return errors.Join(err, f.Close())
 	}
 	return f.Close()
 }

@@ -1,6 +1,7 @@
 package otimage
 
 import (
+	"errors"
 	"fmt"
 	"image"
 	"image/color"
@@ -122,8 +123,7 @@ func savePNG(path string, img image.Image) error {
 		return fmt.Errorf("otimage: create %s: %w", path, err)
 	}
 	if err := png.Encode(f, img); err != nil {
-		f.Close()
-		return fmt.Errorf("otimage: encode png: %w", err)
+		return errors.Join(fmt.Errorf("otimage: encode png: %w", err), f.Close())
 	}
 	return f.Close()
 }

@@ -129,7 +129,9 @@ func (s *Subscription) deliver(msg Message) bool {
 		// Hold the lock while blocked: Unsubscribe during a blocked
 		// deliver would otherwise close the channel mid-send. The
 		// trade-off is that Unsubscribe waits for the send; consumers
-		// using Block are expected to drain.
+		// using Block are expected to drain. (Justified in DESIGN.md,
+		// "Static contracts".)
+		//lint:ignore locksend the lock is what makes close safe against this send
 		s.ch <- msg
 		return true
 	}

@@ -64,6 +64,10 @@ func (s *ClientSub) deliver(msg Message) {
 	if s.dead {
 		return
 	}
+	// Holding sendMu across the send is what makes shutdown's close(s.ch)
+	// safe; the quit case (closed before shutdown takes sendMu) bounds the
+	// wait. (Justified in DESIGN.md, "Static contracts".)
+	//lint:ignore locksend the lock serializes this send against close; quit bounds it
 	select {
 	case s.ch <- msg:
 	case <-s.quit:
@@ -323,5 +327,6 @@ func (c *Conn) teardown(err error) {
 	for _, s := range subs {
 		s.shutdown()
 	}
-	c.conn.Close()
+	// The link is already failed or closing; its close error is noise.
+	_ = c.conn.Close()
 }

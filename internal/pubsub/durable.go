@@ -70,8 +70,7 @@ func OpenLogStore(dir string) (*LogStore, error) {
 		}
 		subject := fileToSubject(strings.TrimSuffix(name, ".log"))
 		if _, err := ls.openTopic(subject); err != nil {
-			ls.Close()
-			return nil, err
+			return nil, errors.Join(err, ls.Close())
 		}
 	}
 	return ls, nil
@@ -141,8 +140,7 @@ func (ls *LogStore) openTopic(subject string) (*topicLog, error) {
 		}
 		n := binary.LittleEndian.Uint32(hdr[4:8])
 		if n > maxFrameSize {
-			f.Close()
-			return nil, fmt.Errorf("%w: record size %d in %s", ErrLogCorrupt, n, path)
+			return nil, errors.Join(fmt.Errorf("%w: record size %d in %s", ErrLogCorrupt, n, path), f.Close())
 		}
 		if _, err := r.Discard(int(n)); err != nil {
 			break // torn record
@@ -152,12 +150,10 @@ func (ls *LogStore) openTopic(subject string) (*topicLog, error) {
 	}
 	t.size = pos
 	if err := f.Truncate(pos); err != nil {
-		f.Close()
-		return nil, fmt.Errorf("pubsub: truncate torn topic log: %w", err)
+		return nil, errors.Join(fmt.Errorf("pubsub: truncate torn topic log: %w", err), f.Close())
 	}
 	if _, err := f.Seek(pos, io.SeekStart); err != nil {
-		f.Close()
-		return nil, err
+		return nil, errors.Join(err, f.Close())
 	}
 	ls.topics[subject] = t
 	return t, nil

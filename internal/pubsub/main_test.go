@@ -1,0 +1,14 @@
+package pubsub
+
+import (
+	"testing"
+
+	"strata/internal/leakcheck"
+)
+
+// TestMain fails the package if any test leaves a goroutine behind —
+// brokers, servers, client connections, and reconnecting sessions must all
+// be closed before a test returns.
+func TestMain(m *testing.M) {
+	leakcheck.VerifyTestMain(m)
+}

@@ -199,6 +199,10 @@ func (s *ReconnectSub) deliver(msg Message) {
 	if s.dead {
 		return
 	}
+	// Same shape as ClientSub.deliver: the lock serializes the send
+	// against shutdown's close, and quit (closed before shutdown takes
+	// sendMu) bounds the wait. (Justified in DESIGN.md.)
+	//lint:ignore locksend the lock serializes this send against close; quit bounds it
 	select {
 	case s.ch <- msg:
 	case <-s.quit:
@@ -462,7 +466,7 @@ func (rc *ReconnectConn) Close() error {
 
 	close(rc.quit)
 	if conn != nil {
-		conn.Close()
+		_ = conn.Close() // tearing down; a dead link closing dirty is fine
 	}
 	for _, s := range subs {
 		s.shutdown()
@@ -488,7 +492,7 @@ func (rc *ReconnectConn) supervise(conn *Conn) {
 			return
 		}
 		err := conn.err()
-		conn.Close() // release resources; already torn down, best-effort
+		_ = conn.Close() // release resources; already torn down, best-effort
 
 		rc.mu.Lock()
 		if rc.closed {
@@ -544,12 +548,12 @@ func (rc *ReconnectConn) redial() (*Conn, bool) {
 		case err == nil:
 			return conn, true
 		case errors.Is(err, ErrClosed):
-			conn.Close()
+			_ = conn.Close() // conn was never installed; nothing depends on it
 			return nil, false
 		default:
 			// The fresh link died during restore; count it as a failed
 			// attempt and keep dialing.
-			conn.Close()
+			_ = conn.Close()
 		}
 	}
 }
@@ -689,7 +693,7 @@ func (rc *ReconnectConn) startHeartbeat(conn *Conn) {
 					rc.hbErr = fmt.Errorf("pubsub: heartbeat failed: %w", err)
 					rc.hbConn = conn
 					rc.mu.Unlock()
-					conn.Close()
+					_ = conn.Close() // deliberately killing a link that failed its ping
 					return
 				}
 			case <-conn.done:

@@ -100,7 +100,7 @@ func (s *Server) Close() error {
 
 	err := s.ln.Close()
 	for _, c := range conns {
-		c.Close()
+		_ = c.Close() // disconnecting clients; their close errors are noise
 	}
 	s.wg.Wait()
 	return err
@@ -116,7 +116,7 @@ func (s *Server) acceptLoop() {
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()
-			conn.Close()
+			_ = conn.Close() // racing shutdown: drop the straggler
 			return
 		}
 		s.conns[conn] = struct{}{}
@@ -134,7 +134,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
-		conn.Close()
+		_ = conn.Close() // serve loop exit: the link is already finished
 	}()
 
 	var (

@@ -1,0 +1,13 @@
+package stream
+
+import (
+	"testing"
+
+	"strata/internal/leakcheck"
+)
+
+// TestMain fails the package if any test leaves a goroutine behind — every
+// operator spawned by a test must be stopped or drained before it returns.
+func TestMain(m *testing.M) {
+	leakcheck.VerifyTestMain(m)
+}

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci vet build test race bench lint
+.PHONY: ci vet build test race bench lint metrics-smoke
 
 ## ci: the full gate — vet, build, the test suite under the race detector,
 ## and the stratalint analyzers (see DESIGN.md, "Static contracts").
@@ -24,3 +24,11 @@ lint:
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
+
+## metrics-smoke: boot a full deployment (manager + broker + store + traced
+## pipeline) behind the telemetry HTTP handler and assert /metrics serves a
+## valid Prometheus exposition covering every layer, and /debug/traces a
+## sampled multi-operator trace. Validation is the stdlib-only line parser
+## in internal/telemetry/validate.go — no external dependencies.
+metrics-smoke:
+	$(GO) test -count=1 -v -run TestEndToEndMetricsSmoke ./internal/telemetry

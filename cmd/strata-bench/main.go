@@ -19,6 +19,7 @@ import (
 	"syscall"
 
 	"strata/internal/bench"
+	"strata/internal/telemetry"
 )
 
 func main() {
@@ -38,8 +39,22 @@ func run() error {
 		par     = flag.Int("par", 4, "pipeline stage parallelism")
 		outDir  = flag.String("out", "bench-out", "directory for Figure 4 images")
 		quiet   = flag.Bool("quiet", false, "suppress progress output")
+
+		metricsAddr = flag.String("metrics-addr", "",
+			"serve Prometheus process metrics (/metrics, /healthz) during the run (empty disables)")
 	)
 	flag.Parse()
+
+	if *metricsAddr != "" {
+		reg := telemetry.NewRegistry()
+		reg.Register(telemetry.GoRuntime{})
+		ms, err := telemetry.Serve(*metricsAddr, telemetry.NewHandler(reg))
+		if err != nil {
+			return err
+		}
+		defer ms.Close()
+		fmt.Fprintf(os.Stderr, "metrics on http://%s/metrics\n", ms.Addr())
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

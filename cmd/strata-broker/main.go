@@ -14,6 +14,7 @@ import (
 	"syscall"
 
 	"strata/internal/pubsub"
+	"strata/internal/telemetry"
 )
 
 func main() {
@@ -27,6 +28,8 @@ func run() error {
 	addr := flag.String("addr", ":4222", "listen address")
 	idleTimeout := flag.Duration("idle-timeout", 0,
 		"reap connections that send no frame for this long (0 disables); requires every client to heartbeat (DialReconnect) — plain subscribe-only clients are reaped as silent")
+	metricsAddr := flag.String("metrics-addr", "",
+		"serve Prometheus /metrics and /healthz on this address (empty disables)")
 	flag.Parse()
 
 	var opts []pubsub.ServerOption
@@ -39,6 +42,19 @@ func run() error {
 		return err
 	}
 	log.Printf("strata-broker listening on %s", srv.Addr())
+
+	if *metricsAddr != "" {
+		reg := telemetry.NewRegistry()
+		reg.Register(broker)
+		reg.Register(srv)
+		reg.Register(telemetry.GoRuntime{})
+		ms, err := telemetry.Serve(*metricsAddr, telemetry.NewHandler(reg))
+		if err != nil {
+			return err
+		}
+		defer ms.Close()
+		log.Printf("metrics on http://%s/metrics", ms.Addr())
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

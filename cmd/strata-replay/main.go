@@ -19,6 +19,7 @@ import (
 	"strata/internal/amsim"
 	"strata/internal/bench"
 	"strata/internal/core"
+	"strata/internal/telemetry"
 )
 
 func main() {
@@ -36,6 +37,11 @@ func run() error {
 		par     = flag.Int("par", 4, "pipeline parallelism")
 		rate    = flag.Float64("rate", 0, "offered OT images/s (0 = as fast as possible)")
 		verbose = flag.Bool("v", false, "print every cluster report")
+
+		metricsAddr = flag.String("metrics-addr", "",
+			"serve Prometheus /metrics, /healthz, and /debug/traces on this address (empty disables)")
+		traceEvery = flag.Int("trace-every", 0,
+			"trace 1 in N source tuples through the pipeline (0 disables; inspect via /debug/traces)")
 	)
 	flag.Parse()
 
@@ -55,11 +61,27 @@ func run() error {
 	}
 	defer os.RemoveAll(storeDir)
 
-	fw, err := core.New(core.WithStoreDir(storeDir), core.WithQueryBuffer(len(layers)+8))
+	fw, err := core.New(core.WithStoreDir(storeDir), core.WithQueryBuffer(len(layers)+8),
+		core.WithName("replay"), core.WithTraceSampling(*traceEvery))
 	if err != nil {
 		return err
 	}
 	defer fw.Close()
+
+	if *metricsAddr != "" {
+		reg := telemetry.NewRegistry()
+		reg.Register(fw)
+		reg.Register(telemetry.GoRuntime{})
+		ms, err := telemetry.Serve(*metricsAddr, telemetry.NewHandler(reg,
+			telemetry.WithTraces(func() []telemetry.TraceSnapshot {
+				return fw.Traces().Slowest(0)
+			})))
+		if err != nil {
+			return err
+		}
+		defer ms.Close()
+		fmt.Fprintf(os.Stderr, "metrics on http://%s/metrics\n", ms.Addr())
+	}
 
 	feed := &bench.ReplayFeed{Layers: layers}
 	if *rate > 0 {

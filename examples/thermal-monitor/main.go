@@ -23,6 +23,7 @@ import (
 	"strata/internal/amsim"
 	"strata/internal/bench"
 	"strata/internal/core"
+	"strata/internal/telemetry"
 )
 
 func main() {
@@ -80,6 +81,11 @@ func run() error {
 		// finishes quickly while keeping a visible inter-layer gap.
 		layerTime = flag.Duration("layer-time", 300*time.Millisecond, "simulated melt time per layer")
 		recoat    = flag.Duration("recoat", 100*time.Millisecond, "simulated recoat gap")
+
+		metricsAddr = flag.String("metrics-addr", ":9090",
+			"serve Prometheus /metrics, /healthz, and /debug/traces on this address (empty disables)")
+		traceEvery = flag.Int("trace-every", 4,
+			"trace 1 in N layers through the pipeline (0 disables)")
 	)
 	flag.Parse()
 
@@ -101,11 +107,27 @@ func run() error {
 		return err
 	}
 	defer os.RemoveAll(storeDir)
-	fw, err := core.New(core.WithStoreDir(storeDir), core.WithName("thermal-monitor"))
+	fw, err := core.New(core.WithStoreDir(storeDir), core.WithName("thermal-monitor"),
+		core.WithTraceSampling(*traceEvery))
 	if err != nil {
 		return err
 	}
 	defer fw.Close()
+
+	if *metricsAddr != "" {
+		reg := telemetry.NewRegistry()
+		reg.Register(fw)
+		reg.Register(telemetry.GoRuntime{})
+		ms, err := telemetry.Serve(*metricsAddr, telemetry.NewHandler(reg,
+			telemetry.WithTraces(func() []telemetry.TraceSnapshot {
+				return fw.Traces().Slowest(0)
+			})))
+		if err != nil {
+			return err
+		}
+		defer ms.Close()
+		fmt.Fprintf(os.Stderr, "metrics on http://%s/metrics (traces: /debug/traces)\n", ms.Addr())
+	}
 
 	// Historical calibration: the classification thresholds derive from a
 	// previous job's emission statistics.

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"strata/internal/stream"
+	"strata/internal/telemetry"
 )
 
 // CollectFunc produces the raw tuples of a data-specific collector (e.g. an
@@ -101,6 +102,9 @@ func (fw *Framework) AddSource(name string, collect CollectFunc) *StreamRef {
 			if t.Portion == "" {
 				t.Portion = DefaultPortion
 			}
+			if id, ok := fw.sampler.Sample(); ok {
+				t.Trace = telemetry.NewTrace(id, fw.name+"/"+name)
+			}
 			return emit(t)
 		})
 	})
@@ -179,6 +183,12 @@ func (fw *Framework) Fuse(name string, in1, in2 *StreamRef, opts ...FuseOption) 
 			for k, v := range r.KV {
 				kv[k] = v
 			}
+			// When both sides are sampled the left trace wins (one trace
+			// per fused tuple; the right one simply never reaches a sink).
+			tr := l.Trace
+			if tr == nil {
+				tr = r.Trace
+			}
 			return EventTuple{
 				TS:          maxTime(l.TS, r.TS),
 				Job:         l.Job,
@@ -187,6 +197,7 @@ func (fw *Framework) Fuse(name string, in1, in2 *StreamRef, opts ...FuseOption) 
 				Portion:     DefaultPortion,
 				KV:          kv,
 				AvailableAt: maxTime(l.AvailableAt, r.AvailableAt),
+				Trace:       tr,
 			}, true
 		})
 	out.s = joined
@@ -214,6 +225,7 @@ func (fw *Framework) Partition(name string, in *StreamRef, f PartitionFunc, opts
 			o.Job = t.Job
 			o.Layer = t.Layer
 			o.AvailableAt = t.AvailableAt
+			o.Trace = t.Trace
 			if o.Specimen == "" {
 				o.Specimen = DefaultSpecimen
 			}
@@ -258,6 +270,9 @@ func (fw *Framework) DetectEvent(name string, in *StreamRef, f DetectFunc, opts 
 			}
 			if o.AvailableAt.IsZero() {
 				o.AvailableAt = t.AvailableAt
+			}
+			if o.Trace == nil {
+				o.Trace = t.Trace
 			}
 			return emit(o)
 		})
@@ -409,12 +424,13 @@ func (cs *correlateState) ingest(t EventTuple, emit stream.Emit[EventTuple]) err
 	if t.Layer <= b.lastClosed {
 		return nil // duplicate marker (e.g. two partition stages)
 	}
-	return cs.closeLayer(b, t.Layer, t.TS, t.AvailableAt, emit)
+	return cs.closeLayer(b, t.Layer, t.TS, t.AvailableAt, t.Trace, emit)
 }
 
 // closeLayer runs F over the window ending at layer and evicts layers that
-// fell out of every future window.
-func (cs *correlateState) closeLayer(b *specimenBuffer, layer int, ts time.Time, avail time.Time, emit stream.Emit[EventTuple]) error {
+// fell out of every future window. Results inherit the closing marker's
+// trace (when sampled) so window outputs remain attributable.
+func (cs *correlateState) closeLayer(b *specimenBuffer, layer int, ts time.Time, avail time.Time, trace *telemetry.Trace, emit stream.Emit[EventTuple]) error {
 	b.lastClosed = layer
 	w := CorrelateWindow{
 		Job:         b.job,
@@ -451,6 +467,9 @@ func (cs *correlateState) closeLayer(b *specimenBuffer, layer int, ts time.Time,
 		if o.AvailableAt.IsZero() {
 			o.AvailableAt = w.AvailableAt
 		}
+		if o.Trace == nil {
+			o.Trace = trace
+		}
 		return emit(o)
 	})
 	return err
@@ -468,7 +487,7 @@ func (cs *correlateState) finish(emit stream.Emit[EventTuple]) error {
 			}
 		}
 		if maxLayer > b.lastClosed {
-			if err := cs.closeLayer(b, maxLayer, time.Time{}, time.Time{}, emit); err != nil {
+			if err := cs.closeLayer(b, maxLayer, time.Time{}, time.Time{}, nil, emit); err != nil {
 				return err
 			}
 		}

@@ -24,13 +24,24 @@ import (
 // Status/Failed instead of vanishing, so an operator can tell a
 // decommissioned pipeline from a crashed one hours into a build.
 type Manager struct {
-	store  *kvstore.DB
-	broker *pubsub.Broker
+	store      *kvstore.DB
+	broker     *pubsub.Broker
+	traceEvery int // default trace sampling for deployed pipelines
 
 	mu        sync.Mutex
 	closed    bool
 	pipelines map[string]*Pipeline // live (running or restarting)
 	terminal  map[string]*Pipeline // completed / decommissioned / failed
+}
+
+// ManagerOption customizes NewManager.
+type ManagerOption func(*Manager)
+
+// WithDefaultTraceSampling makes every deployed pipeline trace one in n
+// source tuples (see WithTraceSampling); the finished traces are exposed
+// through Manager.Traces. n <= 0 (the default) disables tracing.
+func WithDefaultTraceSampling(n int) ManagerOption {
+	return func(m *Manager) { m.traceEvery = n }
 }
 
 // PipelineStatus describes where a pipeline is in its lifecycle.
@@ -135,12 +146,14 @@ type Pipeline struct {
 	cancel context.CancelFunc
 	done   chan struct{}
 
-	mu       sync.Mutex
-	fw       *Framework // current incarnation (replaced on restart)
-	status   PipelineStatus
-	err      error
-	restarts int // lifetime restarts, for reporting
-	streak   int // consecutive failures without a healthy run; the budget
+	mu          sync.Mutex
+	fw          *Framework // current incarnation (replaced on restart)
+	status      PipelineStatus
+	err         error
+	restarts    int // lifetime restarts, for reporting
+	streak      int // consecutive failures without a healthy run; the budget
+	deployedAt  time.Time
+	lastFailure time.Time // zero until the first failure
 }
 
 // PipelineInfo is a point-in-time summary of one pipeline, as reported by
@@ -150,6 +163,12 @@ type PipelineInfo struct {
 	Status   PipelineStatus
 	Restarts int
 	Err      error
+	// Uptime is how long the pipeline has been deployed (it keeps growing
+	// across restarts; frozen semantics are not needed for terminal
+	// pipelines, whose status says they ended).
+	Uptime time.Duration
+	// LastFailure is when the pipeline last failed (zero if never).
+	LastFailure time.Time
 }
 
 // ErrPipelineExists is returned by Deploy for duplicate names.
@@ -160,7 +179,7 @@ var ErrPipelineUnknown = errors.New("strata: unknown pipeline")
 
 // NewManager opens the shared store in storeDir and uses broker (required)
 // for all pipelines' connectors.
-func NewManager(storeDir string, broker *pubsub.Broker) (*Manager, error) {
+func NewManager(storeDir string, broker *pubsub.Broker, opts ...ManagerOption) (*Manager, error) {
 	if broker == nil {
 		return nil, fmt.Errorf("strata: manager requires a broker")
 	}
@@ -168,12 +187,16 @@ func NewManager(storeDir string, broker *pubsub.Broker) (*Manager, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Manager{
+	m := &Manager{
 		store:     db,
 		broker:    broker,
 		pipelines: make(map[string]*Pipeline),
 		terminal:  make(map[string]*Pipeline),
-	}, nil
+	}
+	for _, o := range opts {
+		o(m)
+	}
+	return m, nil
 }
 
 // Store exposes the shared key-value store (e.g. for calibration before
@@ -182,7 +205,8 @@ func (m *Manager) Store() *kvstore.DB { return m.store }
 
 // buildFramework constructs and composes one incarnation of a pipeline.
 func (m *Manager) buildFramework(name string, build func(fw *Framework) error) (*Framework, error) {
-	fw, err := New(WithStore(m.store), WithBroker(m.broker), WithName(name))
+	fw, err := New(WithStore(m.store), WithBroker(m.broker), WithName(name),
+		WithTraceSampling(m.traceEvery))
 	if err != nil {
 		return nil, err
 	}
@@ -225,12 +249,13 @@ func (m *Manager) Deploy(name string, build func(fw *Framework) error, opts ...D
 
 	ctx, cancel := context.WithCancel(context.Background())
 	p := &Pipeline{
-		name:   name,
-		build:  build,
-		fw:     fw,
-		cancel: cancel,
-		done:   make(chan struct{}),
-		status: StatusRunning,
+		name:       name,
+		build:      build,
+		fw:         fw,
+		cancel:     cancel,
+		done:       make(chan struct{}),
+		status:     StatusRunning,
+		deployedAt: time.Now(),
 	}
 
 	m.mu.Lock()
@@ -342,6 +367,9 @@ func (p *Pipeline) setTerminal(s PipelineStatus, err error) {
 	p.mu.Lock()
 	p.status = s
 	p.err = err
+	if err != nil {
+		p.lastFailure = time.Now()
+	}
 	p.mu.Unlock()
 }
 
@@ -377,6 +405,7 @@ func (p *Pipeline) beginRestart(err error) int {
 	p.streak++
 	p.status = StatusRestarting
 	p.err = err // last failure, visible while restarting
+	p.lastFailure = time.Now()
 	return p.streak
 }
 
@@ -432,7 +461,14 @@ func (p *Pipeline) Done() bool {
 func (p *Pipeline) info() PipelineInfo {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return PipelineInfo{Name: p.name, Status: p.status, Restarts: p.restarts, Err: p.err}
+	return PipelineInfo{
+		Name:        p.name,
+		Status:      p.status,
+		Restarts:    p.restarts,
+		Err:         p.err,
+		Uptime:      time.Since(p.deployedAt),
+		LastFailure: p.lastFailure,
+	}
 }
 
 // Decommission stops the named pipeline and waits for it to wind down.

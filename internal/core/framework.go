@@ -11,6 +11,7 @@ import (
 	"strata/internal/kvstore"
 	"strata/internal/pubsub"
 	"strata/internal/stream"
+	"strata/internal/telemetry"
 )
 
 var (
@@ -82,9 +83,11 @@ func (r *StreamRef) branchStreams(fw *Framework, consumer string, n int) []*stre
 // Framework is one STRATA deployment: an SPE query under construction, the
 // key-value store, and (optionally) a pub/sub broker for module connectors.
 type Framework struct {
-	query  *stream.Query
-	store  *kvstore.DB
-	broker *pubsub.Broker
+	name    string
+	query   *stream.Query
+	store   *kvstore.DB
+	broker  *pubsub.Broker
+	sampler *telemetry.Sampler // nil without WithTraceSampling
 
 	ownStore  bool
 	ownBroker bool
@@ -102,6 +105,7 @@ type config struct {
 	broker      *pubsub.Broker
 	queryBuffer int
 	name        string
+	traceEvery  int
 }
 
 // WithStoreDir opens (or creates) the framework's key-value store in dir.
@@ -138,6 +142,15 @@ func WithName(name string) Option {
 	}
 }
 
+// WithTraceSampling attaches a trace context to one in every n source
+// tuples. Each sampled tuple carries an operator-by-operator span timeline
+// through the whole pipeline; the finished traces are queryable through
+// Traces (and, via Manager, /debug/traces). n <= 0 disables tracing (the
+// default).
+func WithTraceSampling(n int) Option {
+	return func(c *config) { c.traceEvery = n }
+}
+
 // New creates a framework. Exactly one of WithStoreDir / WithStore must be
 // provided.
 func New(opts ...Option) (*Framework, error) {
@@ -148,7 +161,10 @@ func New(opts ...Option) (*Framework, error) {
 	if (cfg.store == nil) == (cfg.storeDir == "") {
 		return nil, fmt.Errorf("strata: exactly one of WithStoreDir or WithStore is required")
 	}
-	fw := &Framework{store: cfg.store, broker: cfg.broker}
+	fw := &Framework{name: cfg.name, store: cfg.store, broker: cfg.broker}
+	if cfg.traceEvery > 0 {
+		fw.sampler = telemetry.NewSampler(cfg.traceEvery)
+	}
 	if cfg.storeDir != "" {
 		db, err := kvstore.Open(cfg.storeDir)
 		if err != nil {
@@ -167,6 +183,22 @@ func New(opts ...Option) (*Framework, error) {
 
 // Query exposes the underlying SPE query (metrics, diagnostics).
 func (fw *Framework) Query() *stream.Query { return fw.query }
+
+// Traces returns the pipeline's finished sampled traces (empty without
+// WithTraceSampling).
+func (fw *Framework) Traces() *telemetry.TraceBuffer { return fw.query.Traces() }
+
+// Collect implements telemetry.Collector: the per-operator stream metrics
+// of the framework's query (throughput, service-time quantiles, queue
+// depth, watermark lag), plus the key-value store's metrics when the
+// framework opened the store itself (a shared store is collected by its
+// owner instead, so samples are never duplicated).
+func (fw *Framework) Collect(w *telemetry.Writer) {
+	fw.query.Collect(w)
+	if fw.ownStore {
+		fw.store.Collect(w)
+	}
+}
 
 // Broker returns the attached broker (nil when none).
 func (fw *Framework) Broker() *pubsub.Broker { return fw.broker }

@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"strata/internal/otimage"
+	"strata/internal/telemetry"
 )
 
 // Default metadata values for tuples that have not been partitioned yet
@@ -66,15 +67,28 @@ type EventTuple struct {
 	// reached STRATA — the reference point of the paper's latency metric.
 	// Operators propagate the maximum across fused inputs.
 	AvailableAt time.Time
+
+	// Trace is the sampled per-tuple trace context (nil for the unsampled
+	// majority). It is attached by AddSource when the framework was built
+	// with WithTraceSampling, shared by pointer across every derived tuple,
+	// and never serialized by the connector codec — traces are
+	// process-local diagnostics, not data.
+	Trace *telemetry.Trace
 }
 
 // EventTime implements stream.Timestamped (microseconds).
 func (t EventTuple) EventTime() int64 { return t.TS.UnixMicro() }
 
+// TraceContext implements stream.Traceable, letting the SPE record
+// per-operator spans on sampled tuples and finish traces at sinks.
+func (t EventTuple) TraceContext() *telemetry.Trace { return t.Trace }
+
 // isMarker reports whether the tuple is internal end-of-layer punctuation.
 func (t EventTuple) isMarker() bool { return t.Portion == markerPortion }
 
 // newMarker builds the punctuation tuple closing (job, layer, specimen).
+// It inherits the closing tuple's trace so correlate results triggered by
+// the marker stay attributable to the sampled tuple's journey.
 func newMarker(from EventTuple, specimen string) EventTuple {
 	return EventTuple{
 		TS:          from.TS,
@@ -83,6 +97,7 @@ func newMarker(from EventTuple, specimen string) EventTuple {
 		Specimen:    specimen,
 		Portion:     markerPortion,
 		AvailableAt: from.AvailableAt,
+		Trace:       from.Trace,
 	}
 }
 

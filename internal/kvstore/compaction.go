@@ -3,6 +3,7 @@ package kvstore
 import (
 	"fmt"
 	"os"
+	"time"
 )
 
 // compactLocked merges every SSTable into a single new table. Within the
@@ -13,6 +14,7 @@ func (db *DB) compactLocked() error {
 	if len(db.tables) <= 1 {
 		return nil
 	}
+	start := time.Now()
 	iters := make([]*sstIterator, len(db.tables))
 	for i, t := range db.tables {
 		it, err := t.first()
@@ -96,5 +98,6 @@ func (db *DB) compactLocked() error {
 		}
 	}
 	db.compactions++
+	db.compactionSeconds.ObserveDuration(time.Since(start))
 	return nil
 }

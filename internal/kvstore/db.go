@@ -8,6 +8,10 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
+
+	"strata/internal/telemetry"
 )
 
 const (
@@ -80,6 +84,16 @@ type DB struct {
 
 	flushes     uint64
 	compactions uint64
+
+	// Latency distributions and bloom-filter effectiveness counters,
+	// exported via Collect.
+	flushSeconds      *telemetry.Histogram
+	compactionSeconds *telemetry.Histogram
+	walAppendSeconds  *telemetry.Histogram
+	walFsyncSeconds   *telemetry.Histogram
+	bloomChecks       atomic.Uint64
+	bloomSkips        atomic.Uint64
+	bloomFalsePos     atomic.Uint64
 }
 
 // Stats is a point-in-time summary of the store's state.
@@ -106,7 +120,15 @@ func Open(dir string, optFns ...Option) (*DB, error) {
 		return nil, fmt.Errorf("kvstore: create dir: %w", err)
 	}
 
-	db := &DB{dir: dir, opts: opts, mem: newMemtable(opts.seed)}
+	db := &DB{
+		dir:               dir,
+		opts:              opts,
+		mem:               newMemtable(opts.seed),
+		flushSeconds:      telemetry.NewDurationHistogram(),
+		compactionSeconds: telemetry.NewDurationHistogram(),
+		walAppendSeconds:  telemetry.NewDurationHistogram(),
+		walFsyncSeconds:   telemetry.NewDurationHistogram(),
+	}
 
 	// Load existing SSTables in file-number order (oldest first).
 	names, err := os.ReadDir(dir)
@@ -151,6 +173,7 @@ func Open(dir string, optFns ...Option) (*DB, error) {
 	if err != nil {
 		return nil, errors.Join(err, db.closeTables())
 	}
+	w.appendHist, w.syncHist = db.walAppendSeconds, db.walFsyncSeconds
 	db.wal = w
 	return db, nil
 }
@@ -226,7 +249,17 @@ func (db *DB) Get(key []byte) ([]byte, error) {
 		return append([]byte(nil), v...), nil
 	}
 	for i := len(db.tables) - 1; i >= 0; i-- {
-		v, tomb, found, err := db.tables[i].get(key)
+		t := db.tables[i]
+		// Account the bloom filter's verdict here (t.get re-checks it,
+		// which is deterministic): a table whose filter passes the key
+		// but does not contain it is a false positive — the filter's
+		// hit ratio is what Collect exports.
+		db.bloomChecks.Add(1)
+		if !t.bloom.mayContain(key) {
+			db.bloomSkips.Add(1)
+			continue
+		}
+		v, tomb, found, err := t.get(key)
 		if err != nil {
 			return nil, err
 		}
@@ -236,6 +269,7 @@ func (db *DB) Get(key []byte) ([]byte, error) {
 			}
 			return v, nil
 		}
+		db.bloomFalsePos.Add(1)
 	}
 	return nil, ErrNotFound
 }
@@ -331,6 +365,7 @@ func (db *DB) flushLocked() error {
 	if len(entries) == 0 {
 		return nil
 	}
+	start := time.Now()
 	num := db.nextNum
 	path := db.sstPath(num)
 	if _, err := writeSSTable(path, entries, db.opts.bloomFP); err != nil {
@@ -356,7 +391,9 @@ func (db *DB) flushLocked() error {
 	if err != nil {
 		return err
 	}
+	w.appendHist, w.syncHist = db.walAppendSeconds, db.walFsyncSeconds
 	db.wal = w
 	db.flushes++
+	db.flushSeconds.ObserveDuration(time.Since(start))
 	return nil
 }

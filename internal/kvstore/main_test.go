@@ -1,0 +1,13 @@
+package kvstore
+
+import (
+	"testing"
+
+	"strata/internal/leakcheck"
+)
+
+// TestMain fails the package if any test leaves a goroutine behind — the
+// store has no background workers, so anything lingering is a test bug.
+func TestMain(m *testing.M) {
+	leakcheck.VerifyTestMain(m)
+}

@@ -1,0 +1,59 @@
+package kvstore
+
+import (
+	"strata/internal/telemetry"
+)
+
+// Collect implements telemetry.Collector: memtable occupancy, SSTable and
+// WAL state, flush/compaction activity with latency distributions, WAL
+// append/fsync latency, and bloom-filter effectiveness. Samples are labelled
+// with the store directory so several open stores stay distinguishable.
+func (db *DB) Collect(w *telemetry.Writer) {
+	st := db.Stats()
+	db.mu.RLock()
+	var walBytes int64
+	if db.wal != nil {
+		walBytes = db.wal.len
+	}
+	db.mu.RUnlock()
+
+	dir := telemetry.L("dir", db.dir)
+	w.Gauge("strata_kvstore_memtable_bytes",
+		"Approximate bytes buffered in the memtable.", float64(st.MemtableBytes), dir)
+	w.Gauge("strata_kvstore_memtable_entries",
+		"Entries buffered in the memtable.", float64(st.MemtableEntries), dir)
+	w.Gauge("strata_kvstore_sstables",
+		"Live SSTables (the store compacts to a single level).", float64(st.SSTables), dir)
+	w.Gauge("strata_kvstore_wal_bytes",
+		"Bytes in the active write-ahead log.", float64(walBytes), dir)
+	w.Counter("strata_kvstore_flushes_total",
+		"Memtable flushes to SSTables.", float64(st.Flushes), dir)
+	w.Counter("strata_kvstore_compactions_total",
+		"Full-merge compactions.", float64(st.Compactions), dir)
+
+	w.Histogram("strata_kvstore_flush_seconds",
+		"Memtable flush duration.", db.flushSeconds.Snapshot(), dir)
+	w.Histogram("strata_kvstore_compaction_seconds",
+		"Compaction duration.", db.compactionSeconds.Snapshot(), dir)
+	w.Histogram("strata_kvstore_wal_append_seconds",
+		"WAL append latency (encode, write, flush, and fsync when enabled).",
+		db.walAppendSeconds.Snapshot(), dir)
+	w.Histogram("strata_kvstore_wal_fsync_seconds",
+		"WAL fsync latency (only populated with WithSyncWrites).",
+		db.walFsyncSeconds.Snapshot(), dir)
+
+	checks := db.bloomChecks.Load()
+	skips := db.bloomSkips.Load()
+	w.Counter("strata_kvstore_bloom_checks_total",
+		"Bloom-filter membership checks during Get.", float64(checks), dir)
+	w.Counter("strata_kvstore_bloom_skips_total",
+		"SSTable reads avoided by a negative bloom answer.", float64(skips), dir)
+	w.Counter("strata_kvstore_bloom_false_positives_total",
+		"Bloom passes whose SSTable read found nothing.",
+		float64(db.bloomFalsePos.Load()), dir)
+	if checks > 0 {
+		w.Gauge("strata_kvstore_bloom_skip_ratio",
+			"Fraction of table probes the bloom filter short-circuited.",
+			float64(skips)/float64(checks), dir)
+	}
+}

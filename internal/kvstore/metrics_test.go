@@ -1,0 +1,143 @@
+package kvstore
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"strata/internal/telemetry"
+)
+
+func renderDB(t *testing.T, db *DB) string {
+	t.Helper()
+	reg := telemetry.NewRegistry()
+	reg.Register(db)
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	if err := telemetry.ValidateExposition(text); err != nil {
+		t.Fatalf("invalid exposition: %v\n---\n%s", err, text)
+	}
+	return text
+}
+
+func TestDBCollectExposition(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, WithSyncWrites(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	for i := 0; i < 10; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("key-%02d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 10; i < 20; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("key-%02d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Get([]byte("key-00")); err != nil {
+		t.Fatal(err)
+	}
+
+	text := renderDB(t, db)
+	dirLabel := fmt.Sprintf("dir=%q", dir)
+	for _, want := range []string{
+		fmt.Sprintf("strata_kvstore_sstables{%s} 1", dirLabel),
+		fmt.Sprintf("strata_kvstore_flushes_total{%s} 2", dirLabel),
+		fmt.Sprintf("strata_kvstore_compactions_total{%s} 1", dirLabel),
+		fmt.Sprintf("strata_kvstore_memtable_entries{%s} 0", dirLabel),
+		"strata_kvstore_flush_seconds_count{",
+		"strata_kvstore_compaction_seconds_count{",
+		"strata_kvstore_wal_append_seconds_bucket{",
+		"strata_kvstore_wal_fsync_seconds_count{",
+		"strata_kvstore_wal_bytes{",
+		"strata_kvstore_bloom_checks_total{",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q\n---\n%s", want, text)
+		}
+	}
+
+	// 20 synced appends; each flush/compaction observed exactly once.
+	if db.walAppendSeconds.Snapshot().Count != 20 {
+		t.Errorf("wal append count = %d, want 20", db.walAppendSeconds.Snapshot().Count)
+	}
+	if db.walFsyncSeconds.Snapshot().Count != 20 {
+		t.Errorf("wal fsync count = %d, want 20", db.walFsyncSeconds.Snapshot().Count)
+	}
+	if got := db.flushSeconds.Snapshot().Count; got != 2 {
+		t.Errorf("flush histogram count = %d, want 2", got)
+	}
+	if got := db.compactionSeconds.Snapshot().Count; got != 1 {
+		t.Errorf("compaction histogram count = %d, want 1", got)
+	}
+}
+
+func TestBloomAccounting(t *testing.T) {
+	db, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	// Two disjoint flushed tables so lookups probe both filters.
+	if err := db.Put([]byte("alpha"), []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Put([]byte("beta"), []byte("2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Hit in the newest table: one check, no skip needed beyond it.
+	if _, err := db.Get([]byte("beta")); err != nil {
+		t.Fatal(err)
+	}
+	checksAfterHit := db.bloomChecks.Load()
+	if checksAfterHit == 0 {
+		t.Fatal("Get did not consult any bloom filter")
+	}
+
+	// Hit in the older table: the newer table's filter should usually skip
+	// (it cannot contain "alpha" unless a false positive fires).
+	if _, err := db.Get([]byte("alpha")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Missing key: every table is either skipped or a false positive.
+	if _, err := db.Get([]byte("nope")); err != ErrNotFound {
+		t.Fatalf("Get(missing) = %v, want ErrNotFound", err)
+	}
+	checks := db.bloomChecks.Load()
+	skips := db.bloomSkips.Load()
+	falsePos := db.bloomFalsePos.Load()
+	if checks < 4 {
+		t.Errorf("bloom checks = %d, want >= 4", checks)
+	}
+	if skips+falsePos == 0 {
+		t.Error("missing-key lookup recorded neither a skip nor a false positive")
+	}
+	if skips+falsePos > checks {
+		t.Errorf("skips(%d)+falsePos(%d) exceeds checks(%d)", skips, falsePos, checks)
+	}
+}

@@ -8,6 +8,9 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"time"
+
+	"strata/internal/telemetry"
 )
 
 // WAL record layout (little endian):
@@ -36,6 +39,11 @@ type wal struct {
 	w    *bufio.Writer
 	sync bool
 	len  int64
+
+	// Latency histograms, shared with the owning DB (nil when the WAL is
+	// opened outside a DB, e.g. in tests).
+	appendHist *telemetry.Histogram
+	syncHist   *telemetry.Histogram
 }
 
 func openWAL(path string, syncWrites bool) (*wal, error) {
@@ -51,6 +59,7 @@ func openWAL(path string, syncWrites bool) (*wal, error) {
 }
 
 func (w *wal) append(kind byte, key, value []byte) error {
+	start := time.Now()
 	payload := make([]byte, 0, 1+binary.MaxVarintLen64+len(key)+len(value))
 	payload = append(payload, kind)
 	payload = binary.AppendUvarint(payload, uint64(len(key)))
@@ -70,11 +79,18 @@ func (w *wal) append(kind byte, key, value []byte) error {
 		return fmt.Errorf("wal flush: %w", err)
 	}
 	if w.sync {
+		syncStart := time.Now()
 		if err := w.f.Sync(); err != nil {
 			return fmt.Errorf("wal sync: %w", err)
 		}
+		if w.syncHist != nil {
+			w.syncHist.ObserveDuration(time.Since(syncStart))
+		}
 	}
 	w.len += int64(8 + len(payload))
+	if w.appendHist != nil {
+		w.appendHist.ObserveDuration(time.Since(start))
+	}
 	return nil
 }
 

@@ -113,6 +113,7 @@ func (s *Subscription) deliver(msg Message) bool {
 				select {
 				case <-s.ch:
 					s.dropped.Add(1)
+					s.broker.droppedTotal.Add(1)
 				default:
 				}
 			}
@@ -123,6 +124,7 @@ func (s *Subscription) deliver(msg Message) bool {
 			return true
 		default:
 			s.dropped.Add(1)
+			s.broker.droppedTotal.Add(1)
 			return true
 		}
 	default: // Block
@@ -154,8 +156,10 @@ type Broker struct {
 	nextID uint64
 	seq    atomic.Uint64
 
-	published atomic.Uint64
-	delivered atomic.Uint64
+	published    atomic.Uint64
+	delivered    atomic.Uint64
+	droppedTotal atomic.Uint64
+	subjects     subjectCounters
 }
 
 // queueGroup tracks the members of one (queue, pattern) pair and the
@@ -285,11 +289,14 @@ func (b *Broker) PublishRequest(subject, reply string, data []byte) error {
 
 	msg := Message{Subject: subject, Data: data, Reply: reply, Seq: b.seq.Add(1)}
 	b.published.Add(1)
+	var delivered uint64
 	for _, s := range targets {
 		if s.deliver(msg) {
-			b.delivered.Add(1)
+			delivered++
 		}
 	}
+	b.delivered.Add(delivered)
+	b.subjects.record(subject, delivered)
 	return nil
 }
 

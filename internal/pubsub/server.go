@@ -8,6 +8,7 @@ import (
 	"log"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -25,6 +26,9 @@ type Server struct {
 	closed bool
 	conns  map[net.Conn]struct{}
 	wg     sync.WaitGroup
+
+	accepted atomic.Uint64
+	reaped   atomic.Uint64
 }
 
 // ServerOption customizes a Server.
@@ -121,6 +125,7 @@ func (s *Server) acceptLoop() {
 		}
 		s.conns[conn] = struct{}{}
 		s.mu.Unlock()
+		s.accepted.Add(1)
 		s.wg.Add(1)
 		go s.serveConn(conn)
 	}
@@ -173,6 +178,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		op, payload, err := readFrame(r)
 		if err != nil {
 			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				s.reaped.Add(1)
 				s.logf("pubsub server: reaping idle connection %v (no frame in %v)", conn.RemoteAddr(), s.idleTimeout)
 			} else if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
 				s.logf("pubsub server: read: %v", err)

@@ -4,6 +4,7 @@ import (
 	"container/heap"
 	"context"
 	"fmt"
+	"time"
 )
 
 // WindowSpec describes the time windows of an Aggregate operator, in the
@@ -68,6 +69,8 @@ func Aggregate[In Timestamped, K comparable, Out any](
 		q.recordErr(fmt.Errorf("%w (size=%d advance=%d)", ErrBadWindow, spec.Size, spec.Advance))
 		return out
 	}
+	stats := q.metrics.Op(name)
+	watchOutput(stats, out.ch)
 	q.addOperator(&aggregateOp[In, K, Out]{
 		name:  name,
 		in:    in.ch,
@@ -75,7 +78,7 @@ func Aggregate[In Timestamped, K comparable, Out any](
 		spec:  spec,
 		key:   key,
 		agg:   agg,
-		stats: q.metrics.Op(name),
+		stats: stats,
 		open:  make(map[winKey[K]]*winState[In]),
 	})
 	return out
@@ -128,7 +131,10 @@ func (a *aggregateOp[In, K, Out]) run(ctx context.Context) (err error) {
 				return a.flushAll(emitFn)
 			}
 			a.stats.addIn(1)
-			if err := a.ingest(v, emitFn); err != nil {
+			start := time.Now()
+			err := a.ingest(v, emitFn)
+			a.stats.observeService(time.Since(start))
+			if err != nil {
 				return err
 			}
 		case <-ctx.Done():
@@ -139,6 +145,7 @@ func (a *aggregateOp[In, K, Out]) run(ctx context.Context) (err error) {
 
 func (a *aggregateOp[In, K, Out]) ingest(v In, emitFn Emit[Out]) error {
 	ts := v.EventTime()
+	a.stats.observeEventTime(ts)
 	if !a.sawAny || ts > a.maxTS {
 		a.maxTS = ts
 		a.sawAny = true

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"testing"
+	"time"
 )
 
 // benchSource emits n zero-cost tuples.
@@ -92,6 +93,44 @@ func BenchmarkJoinMatched(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(b.N*tuples)/b.Elapsed().Seconds(), "pairs/s")
+}
+
+// BenchmarkRegistryOp measures the per-lookup cost of Registry.Op under
+// concurrent access — the pattern of many operator goroutines resolving
+// their stats handles while an exporter snapshots. The sync.Map-backed
+// registry keeps the steady-state lookup lock-free.
+func BenchmarkRegistryOp(b *testing.B) {
+	var r Registry
+	names := make([]string, 16)
+	for i := range names {
+		names[i] = fmt.Sprintf("op%d", i)
+		r.Op(names[i]) // pre-register: steady state is pure lookups
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			r.Op(names[i&15]).addIn(1)
+			i++
+		}
+	})
+}
+
+// BenchmarkRegistrySnapshotUnderLoad measures Snapshot cost while operators
+// keep recording, the exporter's steady-state read path.
+func BenchmarkRegistrySnapshotUnderLoad(b *testing.B) {
+	var r Registry
+	for i := 0; i < 16; i++ {
+		s := r.Op(fmt.Sprintf("op%d", i))
+		s.addIn(1000)
+		s.observeService(time.Millisecond)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if snap := r.Snapshot(); len(snap) != 16 {
+			b.Fatalf("snapshot size %d", len(snap))
+		}
+	}
 }
 
 func BenchmarkShuffleMerge(b *testing.B) {

@@ -3,6 +3,7 @@ package stream
 import (
 	"context"
 	"fmt"
+	"time"
 )
 
 // CountWindow is the unit handed to a CountAggregateFunc: exactly Size
@@ -45,12 +46,14 @@ func CountAggregate[In any, K comparable, Out any](
 		q.recordErr(fmt.Errorf("%w (count size=%d advance=%d)", ErrBadWindow, size, advance))
 		return out
 	}
+	stats := q.metrics.Op(name)
+	watchOutput(stats, out.ch)
 	q.addOperator(&countAggOp[In, K, Out]{
 		name: name, in: in.ch, out: out.ch,
 		size: size, advance: advance,
 		key: key, agg: agg,
 		state: make(map[K]*countKeyState[In]),
-		stats: q.metrics.Op(name),
+		stats: stats,
 	})
 	return out
 }
@@ -95,7 +98,8 @@ func (c *countAggOp[In, K, Out]) run(ctx context.Context) (err error) {
 			if !ok {
 				return nil // incomplete windows are discarded
 			}
-			c.stats.addIn(1)
+			observeArrival(c.stats, v)
+			start := time.Now()
 			k := c.key(v)
 			st, ok := c.state[k]
 			if !ok {
@@ -124,6 +128,7 @@ func (c *countAggOp[In, K, Out]) run(ctx context.Context) (err error) {
 				kept = append(kept, w)
 			}
 			st.open = kept
+			c.stats.observeService(time.Since(start))
 		case <-ctx.Done():
 			return ctx.Err()
 		}

@@ -4,12 +4,21 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Dot renders the query's operator topology in Graphviz DOT form — one node
 // per operator, one edge per stream — for debugging and documentation
-// (pipe through `dot -Tsvg`).
+// (pipe through `dot -Tsvg`). Nodes are annotated with the operator's live
+// stats (tuple counts, service-time p99, output-queue occupancy), so a dump
+// taken mid-run shows where tuples pile up.
 func (q *Query) Dot() string {
+	// Snapshot before taking q.mu: the registry has its own synchronization
+	// and never touches query state.
+	live := make(map[string]StatsSnapshot)
+	for _, s := range q.metrics.Snapshot() {
+		live[s.Name] = s
+	}
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	var b strings.Builder
@@ -21,7 +30,7 @@ func (q *Query) Dot() string {
 	}
 	sort.Strings(names)
 	for _, name := range names {
-		fmt.Fprintf(&b, "  %q;\n", name)
+		fmt.Fprintf(&b, "  %q [label=%q];\n", name, nodeLabel(name, live))
 	}
 	edges := make([]string, 0, len(q.streams))
 	for producer, consumer := range q.streams {
@@ -47,4 +56,22 @@ func (q *Query) Dot() string {
 	}
 	b.WriteString("}\n")
 	return b.String()
+}
+
+// nodeLabel builds an operator node's multi-line label from its live stats.
+// Go's %q turns the real newlines into \n escapes, which is exactly DOT's
+// line-break syntax.
+func nodeLabel(name string, live map[string]StatsSnapshot) string {
+	s, ok := live[name]
+	if !ok {
+		return name
+	}
+	label := fmt.Sprintf("%s\nin=%d out=%d", name, s.In, s.Out)
+	if s.ServiceCount > 0 {
+		label += fmt.Sprintf("\np99=%v", s.P99.Round(time.Microsecond))
+	}
+	if s.QueueCap > 0 {
+		label += fmt.Sprintf("\nqueue=%d/%d", s.QueueLen, s.QueueCap)
+	}
+	return label
 }

@@ -3,6 +3,7 @@ package stream
 import (
 	"context"
 	"fmt"
+	"time"
 )
 
 // JoinFunc combines one left and one right tuple. Returning ok=false rejects
@@ -43,6 +44,8 @@ func Join[L Timestamped, R Timestamped, K comparable, Out any](
 		q.recordErr(fmt.Errorf("%w (ws=%d)", ErrBadWindow, ws))
 		return out
 	}
+	stats := q.metrics.Op(name)
+	watchOutput(stats, out.ch)
 	q.addOperator(&joinOp[L, R, K, Out]{
 		name:  name,
 		left:  left.ch,
@@ -52,7 +55,7 @@ func Join[L Timestamped, R Timestamped, K comparable, Out any](
 		keyL:  keyL,
 		keyR:  keyR,
 		join:  join,
-		stats: q.metrics.Op(name),
+		stats: stats,
 		lbuf:  make(map[K][]L),
 		rbuf:  make(map[K][]R),
 	})
@@ -103,7 +106,10 @@ func (j *joinOp[L, R, K, Out]) run(ctx context.Context) (err error) {
 				continue
 			}
 			j.stats.addIn(1)
-			if err := j.ingestLeft(l, emitFn); err != nil {
+			start := time.Now()
+			err := j.ingestLeft(l, emitFn)
+			j.stats.observeService(time.Since(start))
+			if err != nil {
 				return err
 			}
 		case r, ok := <-rch:
@@ -114,7 +120,10 @@ func (j *joinOp[L, R, K, Out]) run(ctx context.Context) (err error) {
 				continue
 			}
 			j.stats.addIn(1)
-			if err := j.ingestRight(r, emitFn); err != nil {
+			start := time.Now()
+			err := j.ingestRight(r, emitFn)
+			j.stats.observeService(time.Since(start))
+			if err != nil {
 				return err
 			}
 		case <-ctx.Done():
@@ -126,6 +135,7 @@ func (j *joinOp[L, R, K, Out]) run(ctx context.Context) (err error) {
 
 func (j *joinOp[L, R, K, Out]) ingestLeft(l L, emitFn Emit[Out]) error {
 	ts := l.EventTime()
+	j.stats.observeEventTime(ts)
 	if !j.sawL || ts > j.maxL {
 		j.maxL = ts
 		j.sawL = true
@@ -150,6 +160,7 @@ func (j *joinOp[L, R, K, Out]) ingestLeft(l L, emitFn Emit[Out]) error {
 
 func (j *joinOp[L, R, K, Out]) ingestRight(r R, emitFn Emit[Out]) error {
 	ts := r.EventTime()
+	j.stats.observeEventTime(ts)
 	if !j.sawR || ts > j.maxR {
 		j.maxR = ts
 		j.sawR = true

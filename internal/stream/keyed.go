@@ -1,6 +1,9 @@
 package stream
 
-import "context"
+import (
+	"context"
+	"time"
+)
 
 // KeyedProcessFunc handles one tuple with access to its key's private
 // state. The returned state replaces the stored one; returning the zero
@@ -32,11 +35,13 @@ func KeyedProcess[K comparable, S any, In, Out any](
 		q.recordErr(ErrNilUDF)
 		return out
 	}
+	stats := q.metrics.Op(name)
+	watchOutput(stats, out.ch)
 	q.addOperator(&keyedOp[K, S, In, Out]{
 		name: name, in: in.ch, out: out.ch,
 		key: key, fn: fn, onEnd: onEnd,
 		state: make(map[K]S),
-		stats: q.metrics.Op(name),
+		stats: stats,
 	})
 	return out
 }
@@ -83,10 +88,14 @@ func (k *keyedOp[K, S, In, Out]) run(ctx context.Context) (err error) {
 				}
 				return nil
 			}
-			k.stats.addIn(1)
+			observeArrival(k.stats, v)
+			start := time.Now()
 			key := k.key(v)
 			st, existed := k.state[key]
 			newSt, keep, err := k.fn(key, st, v, emitFn)
+			d := time.Since(start)
+			k.stats.observeService(d)
+			recordSpan(k.name, v, d)
 			if err != nil {
 				return err
 			}

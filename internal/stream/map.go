@@ -1,6 +1,9 @@
 package stream
 
-import "context"
+import (
+	"context"
+	"time"
+)
 
 // MapFunc transforms one input tuple into exactly one output tuple.
 type MapFunc[In, Out any] func(In) (Out, error)
@@ -57,6 +60,7 @@ func FlatMap[In, Out any](q *Query, name string, in *Stream[In], fn FlatMapFunc[
 		return out
 	}
 	stats := q.metrics.Op(name)
+	watchOutput(stats, out.ch)
 	q.addOperator(&flatMapOp[In, Out]{
 		name: name, in: in.ch, out: out.ch, fn: fn, stats: stats,
 	})
@@ -89,8 +93,13 @@ func (m *flatMapOp[In, Out]) run(ctx context.Context) (err error) {
 			if !ok {
 				return nil
 			}
-			m.stats.addIn(1)
-			if err := m.fn(v, emitFn); err != nil {
+			observeArrival(m.stats, v)
+			start := time.Now()
+			err := m.fn(v, emitFn)
+			d := time.Since(start)
+			m.stats.observeService(d)
+			recordSpan(m.name, v, d)
+			if err != nil {
 				return err
 			}
 		case <-ctx.Done():

@@ -2,17 +2,49 @@ package stream
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"strata/internal/telemetry"
 )
 
+// noWatermark marks an operator that has not yet observed a timestamped
+// tuple. Real event times are microseconds around an application-chosen
+// origin, so the extreme sentinel can never collide with one.
+const noWatermark = math.MinInt64
+
 // OpStats holds the live counters of one operator. All fields are safe for
-// concurrent use.
+// concurrent use; recording is lock-free on the hot path.
 type OpStats struct {
 	in  atomic.Int64
 	out atomic.Int64
+
+	// service records per-tuple service time: the span from dequeuing a
+	// tuple to finishing its processing, including any back-pressure wait
+	// while emitting downstream (so a congested pipeline shows up in the
+	// tail, which is the point of measuring it).
+	service *telemetry.Histogram
+
+	// watermark is the maximum event time (µs) this operator has consumed
+	// (produced, for sources); noWatermark until a timestamped tuple is
+	// seen.
+	watermark atomic.Int64
+
+	// The output-queue probe is installed once at build time and read at
+	// snapshot time; the mutex only guards installation against snapshots.
+	qmu      sync.Mutex
+	queueLen func() int
+	queueCap int
+}
+
+func newOpStats() *OpStats {
+	s := &OpStats{service: telemetry.NewDurationHistogram()}
+	s.watermark.Store(noWatermark)
+	return s
 }
 
 // In returns the number of tuples the operator has consumed.
@@ -21,46 +53,141 @@ func (s *OpStats) In() int64 { return s.in.Load() }
 // Out returns the number of tuples the operator has produced.
 func (s *OpStats) Out() int64 { return s.out.Load() }
 
+// Service returns a point-in-time copy of the operator's service-time
+// histogram (values in seconds).
+func (s *OpStats) Service() telemetry.HistogramSnapshot { return s.service.Snapshot() }
+
+// Watermark returns the maximum event time (µs) the operator has seen, and
+// whether it has seen any timestamped tuple at all.
+func (s *OpStats) Watermark() (int64, bool) {
+	w := s.watermark.Load()
+	return w, w != noWatermark
+}
+
 func (s *OpStats) addIn(n int64)  { s.in.Add(n) }
 func (s *OpStats) addOut(n int64) { s.out.Add(n) }
 
-// StatsSnapshot is a point-in-time copy of one operator's counters.
+func (s *OpStats) observeService(d time.Duration) { s.service.ObserveDuration(d) }
+
+// observeEventTime advances the operator's watermark to ts if it is ahead.
+func (s *OpStats) observeEventTime(ts int64) {
+	for {
+		cur := s.watermark.Load()
+		if cur != noWatermark && ts <= cur {
+			return
+		}
+		if s.watermark.CompareAndSwap(cur, ts) {
+			return
+		}
+	}
+}
+
+// watchQueue installs the operator's output-queue probe. Builders call it
+// once with the combined length/capacity of the operator's output channels.
+func (s *OpStats) watchQueue(length func() int, capacity int) {
+	s.qmu.Lock()
+	s.queueLen = length
+	s.queueCap = capacity
+	s.qmu.Unlock()
+}
+
+func (s *OpStats) queue() (int, int) {
+	s.qmu.Lock()
+	length, capacity := s.queueLen, s.queueCap
+	s.qmu.Unlock()
+	if length == nil {
+		return 0, 0
+	}
+	return length(), capacity
+}
+
+// StatsSnapshot is a point-in-time copy of one operator's counters,
+// service-time distribution, queue occupancy, and event-time progress.
 type StatsSnapshot struct {
 	Name string
 	In   int64
 	Out  int64
+
+	// QueueLen/QueueCap describe the operator's output channel(s) at
+	// snapshot time; both are zero for operators without an output (sinks).
+	QueueLen int
+	QueueCap int
+
+	// Service is the full service-time distribution (seconds); the P*
+	// fields are its common quantiles pre-extracted as durations.
+	Service      telemetry.HistogramSnapshot
+	ServiceCount uint64
+	P50          time.Duration
+	P90          time.Duration
+	P99          time.Duration
+	MaxService   time.Duration
+
+	// Watermark is the operator's maximum observed event time (µs);
+	// HasWatermark is false when no timestamped tuple was seen.
+	// WatermarkLag is how far (µs) this operator trails the most advanced
+	// operator of the same query — the engine's event-time progress skew.
+	Watermark    int64
+	HasWatermark bool
+	WatermarkLag int64
 }
 
-// Registry tracks per-operator counters for a query. The zero value is ready
-// to use.
+func durationOf(seconds float64) time.Duration {
+	return time.Duration(seconds * float64(time.Second))
+}
+
+// Registry tracks per-operator stats for a query. The zero value is ready to
+// use. Lookups after first registration are lock-free, so operators can call
+// Op on hot paths without contending with each other or with snapshots.
 type Registry struct {
-	mu  sync.Mutex
-	ops map[string]*OpStats
+	ops sync.Map // string -> *OpStats
 }
 
 // Op returns the stats handle for the named operator, creating it on first
 // use.
 func (r *Registry) Op(name string) *OpStats {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if r.ops == nil {
-		r.ops = make(map[string]*OpStats)
+	if s, ok := r.ops.Load(name); ok {
+		return s.(*OpStats)
 	}
-	s, ok := r.ops[name]
-	if !ok {
-		s = &OpStats{}
-		r.ops[name] = s
-	}
-	return s
+	s, _ := r.ops.LoadOrStore(name, newOpStats())
+	return s.(*OpStats)
 }
 
-// Snapshot returns a copy of all operator counters, sorted by operator name.
+// Snapshot returns a copy of all operator stats, sorted by operator name.
+// Watermark lag is computed against the maximum watermark across the
+// registry's operators at snapshot time.
 func (r *Registry) Snapshot() []StatsSnapshot {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	out := make([]StatsSnapshot, 0, len(r.ops))
-	for name, s := range r.ops {
-		out = append(out, StatsSnapshot{Name: name, In: s.In(), Out: s.Out()})
+	var out []StatsSnapshot
+	maxWatermark := int64(noWatermark)
+	r.ops.Range(func(key, value any) bool {
+		s := value.(*OpStats)
+		svc := s.Service()
+		qlen, qcap := s.queue()
+		w, hasW := s.Watermark()
+		snap := StatsSnapshot{
+			Name:         key.(string),
+			In:           s.In(),
+			Out:          s.Out(),
+			QueueLen:     qlen,
+			QueueCap:     qcap,
+			Service:      svc,
+			ServiceCount: svc.Count,
+			P50:          durationOf(svc.Quantile(0.50)),
+			P90:          durationOf(svc.Quantile(0.90)),
+			P99:          durationOf(svc.Quantile(0.99)),
+			MaxService:   durationOf(svc.Max),
+			Watermark:    w,
+			HasWatermark: hasW,
+		}
+		if hasW && w > maxWatermark {
+			maxWatermark = w
+		}
+		out = append(out, snap)
+		return true
+	})
+	for i := range out {
+		if out[i].HasWatermark {
+			out[i].WatermarkLag = maxWatermark - out[i].Watermark
+		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
@@ -71,7 +198,51 @@ func (r *Registry) String() string {
 	snap := r.Snapshot()
 	var b strings.Builder
 	for _, s := range snap {
-		fmt.Fprintf(&b, "%-32s in=%-10d out=%d\n", s.Name, s.In, s.Out)
+		fmt.Fprintf(&b, "%-32s in=%-10d out=%-10d", s.Name, s.In, s.Out)
+		if s.ServiceCount > 0 {
+			fmt.Fprintf(&b, " p50=%-12v p99=%-12v", s.P50, s.P99)
+		}
+		if s.QueueCap > 0 {
+			fmt.Fprintf(&b, " queue=%d/%d", s.QueueLen, s.QueueCap)
+		}
+		if s.HasWatermark {
+			fmt.Fprintf(&b, " lag=%dµs", s.WatermarkLag)
+		}
+		b.WriteByte('\n')
 	}
 	return b.String()
+}
+
+// Collect implements telemetry.Collector: it emits every operator's
+// counters, queue occupancy, service-time histogram, and watermark lag,
+// labelled with the query and operator names.
+func (q *Query) Collect(w *telemetry.Writer) {
+	for _, s := range q.metrics.Snapshot() {
+		labels := []telemetry.Label{
+			telemetry.L("query", q.name),
+			telemetry.L("op", s.Name),
+		}
+		w.Counter("strata_stream_op_tuples_in_total",
+			"Tuples consumed by the operator.", float64(s.In), labels...)
+		w.Counter("strata_stream_op_tuples_out_total",
+			"Tuples produced by the operator.", float64(s.Out), labels...)
+		if s.QueueCap > 0 {
+			w.Gauge("strata_stream_op_queue_depth",
+				"Tuples waiting in the operator's output channel(s).",
+				float64(s.QueueLen), labels...)
+			w.Gauge("strata_stream_op_queue_capacity",
+				"Capacity of the operator's output channel(s).",
+				float64(s.QueueCap), labels...)
+		}
+		if s.ServiceCount > 0 {
+			w.Histogram("strata_stream_op_service_seconds",
+				"Per-tuple service time, including downstream back-pressure wait.",
+				s.Service, labels...)
+		}
+		if s.HasWatermark {
+			w.Gauge("strata_stream_op_watermark_lag_seconds",
+				"Event-time lag behind the query's most advanced operator.",
+				float64(s.WatermarkLag)/1e6, labels...)
+		}
+	}
 }

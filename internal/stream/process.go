@@ -1,6 +1,9 @@
 package stream
 
-import "context"
+import (
+	"context"
+	"time"
+)
 
 // EndFunc runs once when a Process operator's input is exhausted, letting
 // stateful operators flush buffered results before the stream closes.
@@ -27,8 +30,10 @@ func Process[In, Out any](
 		q.recordErr(ErrNilUDF)
 		return out
 	}
+	stats := q.metrics.Op(name)
+	watchOutput(stats, out.ch)
 	q.addOperator(&processOp[In, Out]{
-		name: name, in: in.ch, out: out.ch, fn: fn, onEnd: onEnd, stats: q.metrics.Op(name),
+		name: name, in: in.ch, out: out.ch, fn: fn, onEnd: onEnd, stats: stats,
 	})
 	return out
 }
@@ -63,8 +68,13 @@ func (p *processOp[In, Out]) run(ctx context.Context) (err error) {
 				}
 				return nil
 			}
-			p.stats.addIn(1)
-			if err := p.fn(v, emitFn); err != nil {
+			observeArrival(p.stats, v)
+			start := time.Now()
+			err := p.fn(v, emitFn)
+			d := time.Since(start)
+			p.stats.observeService(d)
+			recordSpan(p.name, v, d)
+			if err != nil {
 				return err
 			}
 		case <-ctx.Done():

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"runtime/debug"
 	"sync"
+
+	"strata/internal/telemetry"
 )
 
 // operator is the runnable unit of a query. Each builder function wraps the
@@ -37,6 +39,7 @@ type Query struct {
 	streams map[string]string
 
 	metrics Registry
+	traces  *telemetry.TraceBuffer
 }
 
 // QueryOption customizes a Query at construction time.
@@ -59,6 +62,7 @@ func NewQuery(name string, opts ...QueryOption) *Query {
 		bufferSize: DefaultBufferSize,
 		opNames:    make(map[string]struct{}),
 		streams:    make(map[string]string),
+		traces:     telemetry.NewTraceBuffer(telemetry.DefaultTraceCapacity),
 	}
 	for _, o := range opts {
 		o(q)
@@ -71,6 +75,11 @@ func (q *Query) Name() string { return q.name }
 
 // Metrics returns the query's operator-counter registry.
 func (q *Query) Metrics() *Registry { return &q.metrics }
+
+// Traces returns the query's completed-trace buffer: sinks file every
+// sampled tuple's trace here when it finishes. Use Slowest/Recent to inspect
+// per-operator span timelines.
+func (q *Query) Traces() *telemetry.TraceBuffer { return q.traces }
 
 // Err returns the first error recorded while building the query, if any.
 // Run returns the same error, so checking Err explicitly is optional.

@@ -20,8 +20,10 @@ func Reorder[T Timestamped](q *Query, name string, in *Stream[T], slack int64, o
 		q.recordErr(fmt.Errorf("%w (slack=%d)", ErrBadWindow, slack))
 		return out
 	}
+	stats := q.metrics.Op(name)
+	watchOutput(stats, out.ch)
 	q.addOperator(&reorderOp[T]{
-		name: name, in: in.ch, out: out.ch, slack: slack, stats: q.metrics.Op(name),
+		name: name, in: in.ch, out: out.ch, slack: slack, stats: stats,
 	})
 	return out
 }
@@ -65,6 +67,7 @@ func (r *reorderOp[T]) run(ctx context.Context) (err error) {
 			}
 			r.stats.addIn(1)
 			ts := v.EventTime()
+			r.stats.observeEventTime(ts)
 			if !r.sawAny || ts > r.maxTS {
 				r.maxTS = ts
 				r.sawAny = true

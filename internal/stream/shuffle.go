@@ -31,7 +31,9 @@ func Shuffle[T any](q *Query, name string, in *Stream[T], n int, hash HashFunc[T
 		q.recordErr(fmt.Errorf("stream: shuffle %q: branch count must be positive, got %d", name, n))
 		return outs
 	}
-	q.addOperator(&shuffleOp[T]{name: name, in: in.ch, outs: chs, hash: hash, stats: q.metrics.Op(name)})
+	stats := q.metrics.Op(name)
+	watchOutput(stats, chs...)
+	q.addOperator(&shuffleOp[T]{name: name, in: in.ch, outs: chs, hash: hash, stats: stats})
 	return outs
 }
 
@@ -86,7 +88,9 @@ func Fanout[T any](q *Query, name string, in *Stream[T], n int, opts ...OpOption
 		q.recordErr(fmt.Errorf("stream: fanout %q: branch count must be positive, got %d", name, n))
 		return outs
 	}
-	q.addOperator(&fanoutOp[T]{name: name, in: in.ch, outs: chs, stats: q.metrics.Op(name)})
+	stats := q.metrics.Op(name)
+	watchOutput(stats, chs...)
+	q.addOperator(&fanoutOp[T]{name: name, in: in.ch, outs: chs, stats: stats})
 	return outs
 }
 
@@ -141,7 +145,9 @@ func Merge[T any](q *Query, name string, ins []*Stream[T], opts ...OpOption) *St
 		q.recordErr(fmt.Errorf("stream: merge %q: needs at least one input", name))
 		return out
 	}
-	q.addOperator(&mergeOp[T]{name: name, ins: chs, out: out.ch, stats: q.metrics.Op(name)})
+	stats := q.metrics.Op(name)
+	watchOutput(stats, out.ch)
+	q.addOperator(&mergeOp[T]{name: name, ins: chs, out: out.ch, stats: stats})
 	return out
 }
 
@@ -205,7 +211,9 @@ func OrderedMerge[T Timestamped](q *Query, name string, ins []*Stream[T], opts .
 		q.recordErr(fmt.Errorf("stream: ordered merge %q: needs at least one input", name))
 		return out
 	}
-	q.addOperator(&orderedMergeOp[T]{name: name, ins: chs, out: out.ch, stats: q.metrics.Op(name)})
+	stats := q.metrics.Op(name)
+	watchOutput(stats, out.ch)
+	q.addOperator(&orderedMergeOp[T]{name: name, ins: chs, out: out.ch, stats: stats})
 	return out
 }
 
@@ -247,6 +255,7 @@ func (m *orderedMergeOp[T]) run(ctx context.Context) (err error) {
 					continue
 				}
 				m.stats.addIn(1)
+				m.stats.observeEventTime(v.EventTime())
 				heads[i].val = v
 				heads[i].full = true
 				openAny = true

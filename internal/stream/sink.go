@@ -1,6 +1,11 @@
 package stream
 
-import "context"
+import (
+	"context"
+	"time"
+
+	"strata/internal/telemetry"
+)
 
 // SinkFunc consumes the tuples that reach the end of a pipeline. Returning
 // an error aborts the whole query with that error.
@@ -14,14 +19,15 @@ func AddSink[T any](q *Query, name string, in *Stream[T], fn SinkFunc[T]) {
 		return
 	}
 	stats := q.metrics.Op(name)
-	q.addOperator(&sinkOp[T]{name: name, in: in.ch, fn: fn, stats: stats})
+	q.addOperator(&sinkOp[T]{name: name, in: in.ch, fn: fn, stats: stats, traces: q.traces})
 }
 
 type sinkOp[T any] struct {
-	name  string
-	in    chan T
-	fn    SinkFunc[T]
-	stats *OpStats
+	name   string
+	in     chan T
+	fn     SinkFunc[T]
+	stats  *OpStats
+	traces *telemetry.TraceBuffer
 }
 
 func (s *sinkOp[T]) opName() string { return s.name }
@@ -34,8 +40,13 @@ func (s *sinkOp[T]) run(ctx context.Context) (err error) {
 			if !ok {
 				return nil
 			}
-			s.stats.addIn(1)
-			if err := s.fn(v); err != nil {
+			observeArrival(s.stats, v)
+			start := time.Now()
+			err := s.fn(v)
+			d := time.Since(start)
+			s.stats.observeService(d)
+			finishTrace(s.name, v, d, s.traces)
+			if err != nil {
 				return err
 			}
 		case <-ctx.Done():

@@ -26,6 +26,7 @@ func AddSource[T any](q *Query, name string, fn SourceFunc[T], opts ...OpOption)
 		return out
 	}
 	stats := q.metrics.Op(name)
+	watchOutput(stats, out.ch)
 	q.addOperator(&sourceOp[T]{name: name, fn: fn, out: out.ch, stats: stats})
 	return out
 }
@@ -46,7 +47,7 @@ func (s *sourceOp[T]) run(ctx context.Context) (err error) {
 		if err := emit(ctx, s.out, v); err != nil {
 			return err
 		}
-		s.stats.addOut(1)
+		observeDeparture(s.stats, v)
 		return nil
 	})
 	// A source interrupted by shutdown is not a query failure: the

@@ -22,11 +22,13 @@ func Throttle[T any](q *Query, name string, in *Stream[T], rate float64, burst i
 	if burst < 1 {
 		burst = 1
 	}
+	stats := q.metrics.Op(name)
+	watchOutput(stats, out.ch)
 	q.addOperator(&throttleOp[T]{
 		name: name, in: in.ch, out: out.ch,
 		interval: time.Duration(float64(time.Second) / rate),
 		burst:    burst,
-		stats:    q.metrics.Op(name),
+		stats:    stats,
 	})
 	return out
 }

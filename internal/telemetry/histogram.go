@@ -1,0 +1,199 @@
+package telemetry
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram is a log-bucketed histogram of non-negative float64 samples
+// (latencies in seconds, sizes in bytes, ...). Bucket upper bounds grow
+// geometrically from a configured minimum, which keeps relative quantile
+// error bounded by the growth factor at any scale — the standard trick of
+// HdrHistogram and Prometheus native histograms. Recording is lock-free:
+// one atomic add on the bucket, plus atomic updates of count/sum/max.
+//
+// The zero value is not usable; construct with NewHistogram or
+// NewDurationHistogram.
+type Histogram struct {
+	upper  []float64 // bucket i covers (upper[i-1], upper[i]]; bucket 0 covers [0, upper[0]]
+	counts []atomic.Uint64
+	// overflow counts samples beyond the last bucket bound.
+	overflow atomic.Uint64
+	count    atomic.Uint64
+	sumBits  atomic.Uint64
+	maxBits  atomic.Uint64 // float64 bits; valid ordering for non-negative floats
+	invLog   float64       // 1 / ln(growth), for O(1) bucket lookup
+	min      float64
+}
+
+// NewHistogram builds a histogram with n buckets whose upper bounds are
+// min, min*growth, min*growth², ... Samples above the last bound land in an
+// overflow bucket (rendered as +Inf). min must be > 0, growth > 1, n >= 1;
+// invalid arguments are clamped to a usable default.
+func NewHistogram(min, growth float64, n int) *Histogram {
+	if min <= 0 {
+		min = 1e-6
+	}
+	if growth <= 1 {
+		growth = 2
+	}
+	if n < 1 {
+		n = 1
+	}
+	h := &Histogram{
+		upper:  make([]float64, n),
+		counts: make([]atomic.Uint64, n),
+		invLog: 1 / math.Log(growth),
+		min:    min,
+	}
+	b := min
+	for i := range h.upper {
+		h.upper[i] = b
+		b *= growth
+	}
+	return h
+}
+
+// NewDurationHistogram builds the standard latency histogram used across
+// the stack: 36 power-of-two buckets from 1µs to ~9.5h, recorded in
+// seconds. The sub-microsecond bucket absorbs trivial operations; the wide
+// top keeps compaction- and build-scale durations on the same instrument.
+func NewDurationHistogram() *Histogram {
+	return NewHistogram(1e-6, 2, 36)
+}
+
+// NewSizeHistogram builds a histogram for byte sizes: 32 power-of-two
+// buckets from 64 B to ~128 GiB.
+func NewSizeHistogram() *Histogram {
+	return NewHistogram(64, 2, 32)
+}
+
+// bucketIndex returns the bucket covering v, or len(upper) for overflow.
+func (h *Histogram) bucketIndex(v float64) int {
+	if v <= h.min {
+		return 0
+	}
+	i := int(math.Ceil(math.Log(v/h.min) * h.invLog))
+	// Guard the float math at bucket boundaries: log/exp rounding can be
+	// off by one in either direction.
+	if i > 0 && v <= h.upper[min(i-1, len(h.upper)-1)] {
+		i--
+	}
+	if i < len(h.upper) && v > h.upper[i] {
+		i++
+	}
+	return i
+}
+
+// Observe records one sample. Negative samples are clamped to zero (the
+// instrument is for magnitudes; a negative latency is clock skew, not
+// signal).
+func (h *Histogram) Observe(v float64) {
+	if v < 0 || math.IsNaN(v) {
+		v = 0
+	}
+	if i := h.bucketIndex(v); i >= len(h.counts) {
+		h.overflow.Add(1)
+	} else {
+		h.counts[i].Add(1)
+	}
+	h.count.Add(1)
+	for { // float sum via CAS
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			break
+		}
+	}
+	for { // running max; float64 bit patterns of non-negative floats order correctly
+		old := h.maxBits.Load()
+		if math.Float64bits(v) <= old {
+			break
+		}
+		if h.maxBits.CompareAndSwap(old, math.Float64bits(v)) {
+			break
+		}
+	}
+}
+
+// ObserveDuration records d as seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	h.Observe(d.Seconds())
+}
+
+// Count returns how many samples have been observed.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Snapshot returns a point-in-time copy of the histogram's state. The
+// copy is not atomic across buckets — concurrent observations may be
+// partially included — which is the usual, acceptable scrape-time blur.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Upper:    h.upper,
+		Counts:   make([]uint64, len(h.counts)),
+		Overflow: h.overflow.Load(),
+		Count:    h.count.Load(),
+		Sum:      math.Float64frombits(h.sumBits.Load()),
+		Max:      math.Float64frombits(h.maxBits.Load()),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// HistogramSnapshot is an immutable copy of a histogram. Upper is shared
+// with the live histogram and must not be mutated.
+type HistogramSnapshot struct {
+	Upper    []float64 // bucket upper bounds, ascending
+	Counts   []uint64  // per-bucket (non-cumulative) sample counts
+	Overflow uint64    // samples above the last bound
+	Count    uint64
+	Sum      float64
+	Max      float64
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) by linear interpolation
+// within the bucket holding the target rank. The estimate's relative error
+// is bounded by the bucket growth factor. Returns 0 when empty; returns
+// Max for ranks landing in the overflow bucket.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var cum uint64
+	for i, c := range s.Counts {
+		if c == 0 {
+			continue
+		}
+		if float64(cum+c) >= rank {
+			lower := 0.0
+			if i > 0 {
+				lower = s.Upper[i-1]
+			}
+			// Position of the target rank within this bucket.
+			frac := (rank - float64(cum)) / float64(c)
+			v := lower + frac*(s.Upper[i]-lower)
+			// Never report beyond the observed maximum.
+			return math.Min(v, s.Max)
+		}
+		cum += c
+	}
+	return s.Max
+}
+
+// Mean returns the arithmetic mean of the observed samples (0 when empty).
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.Count)
+}

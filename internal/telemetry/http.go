@@ -1,0 +1,146 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// handlerOptions configures NewHandler's debug endpoints.
+type handlerOptions struct {
+	pipelines func() any
+	traces    func() []TraceSnapshot
+}
+
+// HandlerOption customizes NewHandler.
+type HandlerOption func(*handlerOptions)
+
+// WithPipelines wires /debug/pipelines to f; the returned value is
+// rendered as JSON (typically a []core.PipelineDebug).
+func WithPipelines(f func() any) HandlerOption {
+	return func(o *handlerOptions) { o.pipelines = f }
+}
+
+// WithTraces wires /debug/traces to f, which should return the traces to
+// expose, slowest first (see TraceBuffer.Slowest).
+func WithTraces(f func() []TraceSnapshot) HandlerOption {
+	return func(o *handlerOptions) { o.traces = f }
+}
+
+// NewHandler returns the telemetry HTTP surface over reg:
+//
+//	/metrics          Prometheus text exposition of every registered collector
+//	/healthz          liveness ("ok")
+//	/debug/pipelines  JSON pipeline summaries (when wired with WithPipelines)
+//	/debug/traces     JSON slowest recent traces (when wired with WithTraces;
+//	                  ?n=K bounds the count, default 16)
+func NewHandler(reg *Registry, opts ...HandlerOption) http.Handler {
+	var o handlerOptions
+	for _, f := range opts {
+		f(&o)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := reg.WritePrometheus(w); err != nil {
+			// Headers are gone; all we can do is drop the connection.
+			return
+		}
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/debug/pipelines", func(w http.ResponseWriter, r *http.Request) {
+		if o.pipelines == nil {
+			http.Error(w, "no pipeline source configured", http.StatusNotFound)
+			return
+		}
+		writeJSON(w, o.pipelines())
+	})
+	mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, r *http.Request) {
+		if o.traces == nil {
+			http.Error(w, "no trace source configured", http.StatusNotFound)
+			return
+		}
+		n := 16
+		if s := r.URL.Query().Get("n"); s != "" {
+			if v, err := strconv.Atoi(s); err == nil && v > 0 {
+				n = v
+			}
+		}
+		traces := o.traces()
+		if len(traces) > n {
+			traces = traces[:n]
+		}
+		writeJSON(w, traceReport{Count: len(traces), Traces: traces})
+	})
+	return mux
+}
+
+// traceReport shapes the /debug/traces response.
+type traceReport struct {
+	Count  int             `json:"count"`
+	Traces []TraceSnapshot `json:"traces"`
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		// Response already started; nothing sensible left to report.
+		return
+	}
+}
+
+// Server is a minimal HTTP server wrapper around a telemetry handler with
+// a clean shutdown path, so binaries can expose metrics with one call.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// Serve listens on addr (":9090", "127.0.0.1:0", ...) and serves h until
+// Close is called.
+func Serve(addr string, h http.Handler) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	s := &Server{
+		ln: ln,
+		srv: &http.Server{
+			Handler:           h,
+			ReadHeaderTimeout: 10 * time.Second,
+		},
+	}
+	go func() {
+		// ErrServerClosed (and listener-closed races) are the normal
+		// shutdown path, not reportable failures.
+		_ = s.srv.Serve(ln)
+	}()
+	return s, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener and closes open connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	return s.srv.Close()
+}

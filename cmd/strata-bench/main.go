@@ -15,6 +15,8 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"syscall"
 
@@ -42,8 +44,38 @@ func run() error {
 
 		metricsAddr = flag.String("metrics-addr", "",
 			"serve Prometheus process metrics (/metrics, /healthz) during the run (empty disables)")
+		cpuProfile = flag.String("cpuprofile", "",
+			"write a CPU profile of the run to this file (go tool pprof)")
+		memProfile = flag.String("memprofile", "",
+			"write an allocation profile at exit to this file (go tool pprof)")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "strata-bench: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle live heap so the profile reflects retained memory
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "strata-bench: memprofile:", err)
+			}
+		}()
+	}
 
 	if *metricsAddr != "" {
 		reg := telemetry.NewRegistry()

@@ -101,15 +101,25 @@ func (db *DB) Apply(b *Batch) error {
 		}
 	}
 	db.mu.Lock()
-	defer db.mu.Unlock()
 	if db.closed {
+		db.mu.Unlock()
 		return ErrClosed
 	}
-	if err := db.wal.append(walBatch, nil, b.marshal()); err != nil {
+	// Same shape as Put: append + memtable under the lock, group commit
+	// outside it, against the WAL the record was appended to.
+	w := db.wal
+	off, err := w.append(walBatch, nil, b.marshal())
+	if err != nil {
+		db.mu.Unlock()
 		return err
 	}
 	for _, op := range b.ops {
 		db.mem.put(op.key, op.value, op.kind == walDelete)
 	}
-	return db.maybeFlushLocked()
+	err = db.maybeFlushLocked()
+	db.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return w.commit(off)
 }

@@ -3,6 +3,7 @@ package kvstore
 import (
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 	"testing"
 )
 
@@ -35,6 +36,34 @@ func BenchmarkPutSync(b *testing.B) {
 		if err := db.Put([]byte(fmt.Sprintf("key-%09d", i)), val); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkPutSyncParallel measures concurrent durable writes — the group
+// commit target workload: many writers requesting fsync durability at once
+// should share one disk round-trip per cohort instead of serializing on one
+// fsync each.
+func BenchmarkPutSyncParallel(b *testing.B) {
+	db := benchDB(b, WithSyncWrites(true))
+	val := make([]byte, 128)
+	var seq atomic.Uint64
+	// Cohorts form from goroutines overlapping a leader's fsync, which is a
+	// blocking syscall — oversubscribe so the effect shows on any core count.
+	b.SetParallelism(16)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			i := seq.Add(1)
+			if err := db.Put([]byte(fmt.Sprintf("key-%09d", i)), val); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.StopTimer()
+	commits := db.walCommits.Load()
+	syncs := db.walGroupSyncs.Load()
+	if commits > 0 {
+		b.ReportMetric(float64(commits-syncs)/float64(commits), "fsyncs-coalesced/op")
 	}
 }
 

@@ -247,7 +247,7 @@ func TestWALTornTailTolerated(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := w.append(walPut, []byte("good"), []byte("record")); err != nil {
+	if _, err := w.append(walPut, []byte("good"), []byte("record")); err != nil {
 		t.Fatal(err)
 	}
 	if err := w.close(); err != nil {
@@ -282,10 +282,10 @@ func TestWALCorruptMiddleDetected(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := w.append(walPut, []byte("a"), []byte("1")); err != nil {
+	if _, err := w.append(walPut, []byte("a"), []byte("1")); err != nil {
 		t.Fatal(err)
 	}
-	if err := w.append(walPut, []byte("b"), []byte("2")); err != nil {
+	if _, err := w.append(walPut, []byte("b"), []byte("2")); err != nil {
 		t.Fatal(err)
 	}
 	if err := w.close(); err != nil {

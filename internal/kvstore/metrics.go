@@ -42,6 +42,20 @@ func (db *DB) Collect(w *telemetry.Writer) {
 		"WAL fsync latency (only populated with WithSyncWrites).",
 		db.walFsyncSeconds.Snapshot(), dir)
 
+	commits := db.walCommits.Load()
+	groupSyncs := db.walGroupSyncs.Load()
+	w.Counter("strata_kvstore_wal_commits_total",
+		"Durability points requested (one per Put/Delete/Apply).",
+		float64(commits), dir)
+	w.Counter("strata_kvstore_wal_group_syncs_total",
+		"Group-commit cohorts that reached the disk (flush + fsync when enabled).",
+		float64(groupSyncs), dir)
+	if commits > groupSyncs {
+		w.Counter("strata_kvstore_wal_fsyncs_coalesced_total",
+			"Disk round-trips avoided because a cohort leader's flush already covered the commit.",
+			float64(commits-groupSyncs), dir)
+	}
+
 	checks := db.bloomChecks.Load()
 	skips := db.bloomSkips.Load()
 	w.Counter("strata_kvstore_bloom_checks_total",

@@ -8,6 +8,8 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"strata/internal/telemetry"
@@ -34,11 +36,39 @@ const (
 	walBatch byte = 3
 )
 
+// wal is a write-ahead log with group commit. append only buffers a record
+// (serialized by the owning DB's lock plus wmu) and returns the log offset
+// past it; commit makes that offset durable. Concurrent committers coalesce:
+// the first to take cmu becomes the leader and flushes (and fsyncs, in sync
+// mode) everything appended so far, so every waiter queued behind it finds
+// its own offset already covered and returns without touching the disk. One
+// fsync per cohort instead of one per write is where concurrent
+// Put(sync=true) throughput comes from.
 type wal struct {
 	f    *os.File
-	w    *bufio.Writer
 	sync bool
-	len  int64
+
+	// wmu guards the buffered writer against the one concurrency the DB lock
+	// does not cover: a commit leader flushing while another goroutine
+	// appends under the DB lock.
+	wmu      sync.Mutex
+	w        *bufio.Writer
+	len      int64 // bytes appended (buffered + flushed)
+	appended int64 // offset high-water mark handed to committers
+
+	// cmu serializes commit cohorts. committed/closed/commitErr are guarded
+	// by it.
+	cmu       sync.Mutex
+	committed int64
+	closed    bool
+	commitErr error // first flush/fsync failure; sticky — durability unknown after
+
+	// Group-commit effectiveness counters, shared with the owning DB so they
+	// survive WAL rotation (nil outside a DB, e.g. in tests). commits counts
+	// commit calls; syncs counts cohorts that actually hit the disk —
+	// commits−syncs is the fsyncs coalesced away.
+	commits *atomic.Uint64
+	syncs   *atomic.Uint64
 
 	// Latency histograms, shared with the owning DB (nil when the WAL is
 	// opened outside a DB, e.g. in tests).
@@ -55,10 +85,16 @@ func openWAL(path string, syncWrites bool) (*wal, error) {
 	if err != nil {
 		return nil, errors.Join(fmt.Errorf("stat wal: %w", err), f.Close())
 	}
-	return &wal{f: f, w: bufio.NewWriter(f), sync: syncWrites, len: st.Size()}, nil
+	w := &wal{f: f, w: bufio.NewWriter(f), sync: syncWrites, len: st.Size()}
+	w.appended = st.Size()
+	w.committed = st.Size()
+	return w, nil
 }
 
-func (w *wal) append(kind byte, key, value []byte) error {
+// append buffers one record and returns the offset just past it; the record
+// is durable only once commit(off) returns. The caller serializes appends
+// (the DB holds its lock).
+func (w *wal) append(kind byte, key, value []byte) (int64, error) {
 	start := time.Now()
 	payload := make([]byte, 0, 1+binary.MaxVarintLen64+len(key)+len(value))
 	payload = append(payload, kind)
@@ -69,35 +105,82 @@ func (w *wal) append(kind byte, key, value []byte) error {
 	var hdr [8]byte
 	binary.LittleEndian.PutUint32(hdr[0:4], crc32.ChecksumIEEE(payload))
 	binary.LittleEndian.PutUint32(hdr[4:8], uint32(len(payload)))
+	w.wmu.Lock()
+	defer w.wmu.Unlock()
 	if _, err := w.w.Write(hdr[:]); err != nil {
-		return fmt.Errorf("wal write: %w", err)
+		return 0, fmt.Errorf("wal write: %w", err)
 	}
 	if _, err := w.w.Write(payload); err != nil {
-		return fmt.Errorf("wal write: %w", err)
+		return 0, fmt.Errorf("wal write: %w", err)
 	}
-	if err := w.w.Flush(); err != nil {
-		return fmt.Errorf("wal flush: %w", err)
+	w.len += int64(8 + len(payload))
+	w.appended = w.len
+	if w.appendHist != nil {
+		w.appendHist.ObserveDuration(time.Since(start))
+	}
+	return w.appended, nil
+}
+
+// commit blocks until everything up to off is flushed (and fsynced, in sync
+// mode). The calling goroutine must NOT hold the DB lock: cohort formation
+// depends on other writers appending while the leader is in the syscall.
+// A closed WAL commits trivially — close and rotation have already made the
+// data durable by other means (final flush; SSTable).
+func (w *wal) commit(off int64) error {
+	w.cmu.Lock()
+	defer w.cmu.Unlock()
+	if w.commits != nil {
+		w.commits.Add(1)
+	}
+	if w.commitErr != nil {
+		return w.commitErr
+	}
+	if w.closed || w.committed >= off {
+		return nil // a previous leader's flush covered this offset
+	}
+
+	w.wmu.Lock()
+	target := w.appended
+	err := w.w.Flush()
+	w.wmu.Unlock()
+	if err != nil {
+		w.commitErr = fmt.Errorf("wal flush: %w", err)
+		return w.commitErr
 	}
 	if w.sync {
 		syncStart := time.Now()
 		if err := w.f.Sync(); err != nil {
-			return fmt.Errorf("wal sync: %w", err)
+			w.commitErr = fmt.Errorf("wal sync: %w", err)
+			return w.commitErr
 		}
 		if w.syncHist != nil {
 			w.syncHist.ObserveDuration(time.Since(syncStart))
 		}
 	}
-	w.len += int64(8 + len(payload))
-	if w.appendHist != nil {
-		w.appendHist.ObserveDuration(time.Since(start))
+	if w.syncs != nil {
+		w.syncs.Add(1)
 	}
+	w.committed = target
 	return nil
 }
 
 func (w *wal) close() error {
+	w.cmu.Lock()
+	defer w.cmu.Unlock()
+	w.wmu.Lock()
+	defer w.wmu.Unlock()
+	w.closed = true
 	if err := w.w.Flush(); err != nil {
 		return errors.Join(fmt.Errorf("wal flush: %w", err), w.f.Close())
 	}
+	if w.sync {
+		// In sync mode, in-flight commits resolve to nil once closed is
+		// set; honor their durability claim with a final fsync.
+		if err := w.f.Sync(); err != nil {
+			return errors.Join(fmt.Errorf("wal sync: %w", err), w.f.Close())
+		}
+	}
+	w.committed = w.appended
 	return w.f.Close()
 }
 

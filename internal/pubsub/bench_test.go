@@ -1,6 +1,7 @@
 package pubsub
 
 import (
+	"sync"
 	"testing"
 	"time"
 )
@@ -106,6 +107,90 @@ func BenchmarkTCPRoundTrip(b *testing.B) {
 		}
 		<-sub.C
 	}
+}
+
+// benchTCPPublishThroughput measures pipelined publish throughput over TCP:
+// the publisher streams b.N messages without waiting, a drain goroutine
+// consumes them, and the run ends when the last delivery lands. interval sets
+// the write-side cork on both the server and the clients; 0 reproduces the
+// old flush-every-frame wire behavior, so corked vs uncorked quantifies the
+// flush amortization directly.
+func benchTCPPublishThroughput(b *testing.B, interval time.Duration, fanout int) {
+	br := NewBroker()
+	defer br.Close()
+	srv, err := Serve(br, "127.0.0.1:0",
+		WithServerLogf(func(string, ...any) {}),
+		WithFlushInterval(interval))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+
+	var subs []*ClientSub
+	for i := 0; i < fanout; i++ {
+		subC, err := Dial(srv.Addr(), WithDialFlushInterval(interval))
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer subC.Close()
+		sub, err := subC.Subscribe("bench", WithSubBuffer(4096))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := subC.Ping(5 * time.Second); err != nil {
+			b.Fatal(err)
+		}
+		subs = append(subs, sub)
+	}
+	pubC, err := Dial(srv.Addr(), WithDialFlushInterval(interval))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer pubC.Close()
+
+	data := make([]byte, 256)
+	// One drainer per subscriber: draining sequentially would stall the
+	// publisher once an undrained subscriber's buffers fill.
+	var drained sync.WaitGroup
+	for _, sub := range subs {
+		drained.Add(1)
+		go func(sub *ClientSub) {
+			defer drained.Done()
+			for i := 0; i < b.N; i++ {
+				<-sub.C
+			}
+		}(sub)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		drained.Wait()
+	}()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := pubC.Publish("bench", data); err != nil {
+			b.Fatal(err)
+		}
+	}
+	<-done
+}
+
+func BenchmarkTCPPublishThroughput(b *testing.B) {
+	b.Run("corked", func(b *testing.B) {
+		benchTCPPublishThroughput(b, defaultFlushInterval, 1)
+	})
+	b.Run("uncorked", func(b *testing.B) {
+		benchTCPPublishThroughput(b, 0, 1)
+	})
+}
+
+func BenchmarkTCPFanOut4(b *testing.B) {
+	b.Run("corked", func(b *testing.B) {
+		benchTCPPublishThroughput(b, defaultFlushInterval, 4)
+	})
+	b.Run("uncorked", func(b *testing.B) {
+		benchTCPPublishThroughput(b, 0, 4)
+	})
 }
 
 func BenchmarkTCPLargeImagePayload(b *testing.B) {

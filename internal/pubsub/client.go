@@ -14,8 +14,8 @@ import (
 type Conn struct {
 	conn net.Conn
 
-	writeMu sync.Mutex
-	w       *bufio.Writer
+	cw     *corkedWriter
+	wstats flushStats
 
 	mu      sync.Mutex
 	closed  bool
@@ -88,26 +88,61 @@ func (s *ClientSub) Unsubscribe() error {
 	return s.conn.send(opUnsub, u64(s.sid))
 }
 
+// dialConfig holds the tuning knobs of a client connection.
+type dialConfig struct {
+	flushInterval time.Duration
+}
+
+// DialOption customizes Dial.
+type DialOption func(*dialConfig)
+
+// WithDialFlushInterval sets the write-side cork: publish frames are buffered
+// and the socket flushed at most once per d under sustained load (an idle
+// connection still flushes immediately), so a publish burst costs one syscall
+// per interval instead of one per message. Control frames (subscribe,
+// unsubscribe, ping) always flush inline, as does Close. d = 0 disables
+// corking — every frame flushes on write. Default 100µs.
+func WithDialFlushInterval(d time.Duration) DialOption {
+	return func(c *dialConfig) {
+		if d >= 0 {
+			c.flushInterval = d
+		}
+	}
+}
+
 // Dial connects to a pubsub server at addr.
-func Dial(addr string) (*Conn, error) {
+func Dial(addr string, opts ...DialOption) (*Conn, error) {
+	cfg := dialConfig{flushInterval: defaultFlushInterval}
+	for _, o := range opts {
+		o(&cfg)
+	}
 	nc, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("pubsub: dial: %w", err)
 	}
 	c := &Conn{
 		conn:   nc,
-		w:      bufio.NewWriterSize(nc, 1<<16),
 		subs:   make(map[uint64]*ClientSub),
 		pongCh: make(chan struct{}, 1),
 		done:   make(chan struct{}),
 	}
+	c.cw = newCorkedWriter(bufio.NewWriterSize(nc, 1<<16), cfg.flushInterval, &c.wstats)
 	go c.readLoop()
 	return c, nil
 }
 
+// send writes a control frame and flushes it before returning.
 func (c *Conn) send(op byte, payload ...[]byte) error {
-	c.writeMu.Lock()
-	defer c.writeMu.Unlock()
+	return c.sendWith(c.cw.writeNow, op, payload...)
+}
+
+// sendCorked writes a data frame into the cork; the background flusher (or
+// the next control frame) pushes it to the socket.
+func (c *Conn) sendCorked(op byte, payload ...[]byte) error {
+	return c.sendWith(c.cw.writeCorked, op, payload...)
+}
+
+func (c *Conn) sendWith(write func(byte, ...[]byte) error, op byte, payload ...[]byte) error {
 	// Check closed under c.mu before touching the writer: teardown closes
 	// the underlying conn, and racing a write against that close would
 	// surface as a confusing network error instead of ErrClosed.
@@ -117,7 +152,7 @@ func (c *Conn) send(op byte, payload ...[]byte) error {
 	if closed {
 		return ErrClosed
 	}
-	if err := writeFrame(c.w, op, payload...); err != nil {
+	if err := write(op, payload...); err != nil {
 		// The conn may have been torn down mid-write; normalize that to
 		// ErrClosed so callers see one error for "connection gone".
 		c.mu.Lock()
@@ -129,6 +164,23 @@ func (c *Conn) send(op byte, payload ...[]byte) error {
 		return err
 	}
 	return nil
+}
+
+// flush pushes any corked publish frames to the socket immediately.
+func (c *Conn) flush() error {
+	return c.cw.flush()
+}
+
+// FlushesSaved reports how many socket flushes the write-side cork avoided so
+// far, relative to the flush-per-frame wire format: frames written minus
+// flushes issued.
+func (c *Conn) FlushesSaved() uint64 {
+	frames := c.wstats.frames.Load()
+	flushes := c.wstats.flushes.Load()
+	if flushes > frames {
+		return 0
+	}
+	return frames - flushes
 }
 
 // Publish sends data under subject. The data slice is written out before
@@ -149,7 +201,7 @@ func (c *Conn) PublishRequest(subject, reply string, data []byte) error {
 		return ErrClosed
 	}
 	c.mu.Unlock()
-	return c.send(opPub,
+	return c.sendCorked(opPub,
 		u16(len(subject)), []byte(subject),
 		u16(len(reply)), []byte(reply),
 		data)
@@ -160,6 +212,13 @@ func (c *Conn) PublishRequest(subject, reply string, data []byte) error {
 // back-pressure: if the client does not drain, the server's forwarding
 // goroutine blocks on the socket).
 func (c *Conn) Subscribe(pattern string, opts ...SubOption) (*ClientSub, error) {
+	return c.subscribe(pattern, true, opts...)
+}
+
+// subscribe registers a subscription, either flushing the SUB frame inline
+// (flushNow, the Subscribe behavior) or leaving it corked so a caller
+// restoring many subscriptions can batch them and flush once.
+func (c *Conn) subscribe(pattern string, flushNow bool, opts ...SubOption) (*ClientSub, error) {
 	if err := ValidatePattern(pattern); err != nil {
 		return nil, err
 	}
@@ -179,7 +238,11 @@ func (c *Conn) Subscribe(pattern string, opts ...SubOption) (*ClientSub, error) 
 	c.subs[sid] = sub
 	c.mu.Unlock()
 
-	err := c.send(opSub,
+	write := c.send
+	if !flushNow {
+		write = c.sendCorked
+	}
+	err := write(opSub,
 		u64(sid),
 		u16(len(pattern)), []byte(pattern),
 		u16(len(cfg.queue)), []byte(cfg.queue))
@@ -234,6 +297,9 @@ func (c *Conn) Close() error {
 	for _, s := range subs {
 		s.shutdown()
 	}
+	// Flush corked publishes before closing the socket so nothing written
+	// before Close is lost; stops the flusher goroutine too.
+	_ = c.cw.close()
 	err := c.conn.Close()
 	<-c.done // wait for readLoop exit
 	return err
@@ -327,6 +393,9 @@ func (c *Conn) teardown(err error) {
 	for _, s := range subs {
 		s.shutdown()
 	}
-	// The link is already failed or closing; its close error is noise.
+	// The link is already failed or closing; its close error is noise. Close
+	// the socket before stopping the corked writer: the flusher may be
+	// blocked mid-flush on a dead peer, and the close unblocks it.
 	_ = c.conn.Close()
+	_ = c.cw.close()
 }

@@ -129,6 +129,19 @@ func (s *Server) Collect(w *telemetry.Writer) {
 		"Connections closed by the idle timeout.", float64(s.reaped.Load()))
 	w.Gauge("strata_pubsub_server_connections",
 		"Currently connected TCP clients.", float64(active))
+	frames := s.wstats.frames.Load()
+	flushes := s.wstats.flushes.Load()
+	w.Counter("strata_pubsub_server_frames_written_total",
+		"Outbound wire frames written across all connections.", float64(frames))
+	w.Counter("strata_pubsub_server_writer_flushes_total",
+		"Socket flushes issued by the corked writers.", float64(flushes))
+	saved := float64(0)
+	if frames > flushes {
+		saved = float64(frames - flushes)
+	}
+	w.Counter("strata_pubsub_server_flushes_saved_total",
+		"Flush syscalls avoided by write-side corking (frames minus flushes).",
+		saved)
 }
 
 // Collect implements telemetry.Collector: link state and durability counters

@@ -32,6 +32,7 @@ type reconnectConfig struct {
 	pendingPolicy OverflowPolicy
 	heartbeat     time.Duration
 	pingTimeout   time.Duration
+	dialOpts      []DialOption
 
 	onConnected    func()
 	onDisconnected func(error)
@@ -93,6 +94,12 @@ func WithHeartbeat(interval, timeout time.Duration) ReconnectOption {
 			c.pingTimeout = timeout
 		}
 	}
+}
+
+// WithDialOptions forwards connection-level options (e.g.
+// WithDialFlushInterval) to every underlying Dial, including redials.
+func WithDialOptions(opts ...DialOption) ReconnectOption {
+	return func(c *reconnectConfig) { c.dialOpts = append(c.dialOpts, opts...) }
 }
 
 // WithConnectedHandler registers a callback fired once when the initial
@@ -249,7 +256,7 @@ func DialReconnect(addr string, opts ...ReconnectOption) (*ReconnectConn, error)
 	for _, o := range opts {
 		o(&cfg)
 	}
-	conn, err := Dial(addr)
+	conn, err := Dial(addr, cfg.dialOpts...)
 	if err != nil {
 		return nil, err
 	}
@@ -540,7 +547,7 @@ func (rc *ReconnectConn) redial() (*Conn, bool) {
 		case <-rc.quit:
 			return nil, false
 		}
-		conn, err := Dial(rc.addr)
+		conn, err := Dial(rc.addr, rc.cfg.dialOpts...)
 		if err != nil {
 			continue
 		}
@@ -585,8 +592,12 @@ func (rc *ReconnectConn) restore(conn *Conn) error {
 		rc.pending = nil
 		rc.mu.Unlock()
 
+		// Re-subscribes go through the corked writer: each SUB frame is
+		// buffered, and one flush below pushes the whole batch in a single
+		// syscall — a client with hundreds of subscriptions restores its
+		// state in one write instead of one flush per subscription.
 		for _, s := range todo {
-			inner, err := conn.Subscribe(s.pattern, s.opts...)
+			inner, err := conn.subscribe(s.pattern, false, s.opts...)
 			if err != nil {
 				rc.requeue(batch, 0)
 				rc.detach(conn)
@@ -613,6 +624,16 @@ func (rc *ReconnectConn) restore(conn *Conn) error {
 				rc.detach(conn)
 				return err
 			}
+		}
+		// One flush covers the batched SUB frames and any corked publishes.
+		// On error the whole batch is requeued: some frames may already have
+		// reached the wire (the background flusher runs concurrently), which
+		// mirrors the old per-frame path where a flushed-to-kernel frame's
+		// fate was equally unknown when the link died.
+		if err := conn.flush(); err != nil {
+			rc.requeue(batch, 0)
+			rc.detach(conn)
+			return err
 		}
 	}
 }

@@ -17,10 +17,11 @@ import (
 // as in-process users, so a pipeline can span machines — the role Kafka
 // plays in the paper's prototype.
 type Server struct {
-	broker      *Broker
-	ln          net.Listener
-	logf        func(format string, args ...any)
-	idleTimeout time.Duration
+	broker        *Broker
+	ln            net.Listener
+	logf          func(format string, args ...any)
+	idleTimeout   time.Duration
+	flushInterval time.Duration
 
 	mu     sync.Mutex
 	closed bool
@@ -29,6 +30,7 @@ type Server struct {
 
 	accepted atomic.Uint64
 	reaped   atomic.Uint64
+	wstats   flushStats // frame/flush counts aggregated across all connections
 }
 
 // ServerOption customizes a Server.
@@ -64,6 +66,20 @@ func WithIdleTimeout(d time.Duration) ServerOption {
 	}
 }
 
+// WithFlushInterval sets the write-side cork on every client connection:
+// outbound message frames are buffered and the socket flushed at most once
+// per d under load (idle connections flush immediately), so a fan-out burst
+// costs one syscall per interval instead of one per message. Latency-critical
+// control frames (pong, error) always flush inline. d = 0 disables corking —
+// every frame flushes on write, the pre-cork behavior. Default 100µs.
+func WithFlushInterval(d time.Duration) ServerOption {
+	return func(s *Server) {
+		if d >= 0 {
+			s.flushInterval = d
+		}
+	}
+}
+
 // Serve starts a TCP listener on addr ("host:port"; ":0" picks a free port)
 // bridging remote clients to broker. Close the returned server to stop.
 func Serve(broker *Broker, addr string, opts ...ServerOption) (*Server, error) {
@@ -72,10 +88,11 @@ func Serve(broker *Broker, addr string, opts ...ServerOption) (*Server, error) {
 		return nil, fmt.Errorf("pubsub: listen: %w", err)
 	}
 	s := &Server{
-		broker: broker,
-		ln:     ln,
-		logf:   log.Printf,
-		conns:  make(map[net.Conn]struct{}),
+		broker:        broker,
+		ln:            ln,
+		logf:          log.Printf,
+		conns:         make(map[net.Conn]struct{}),
+		flushInterval: defaultFlushInterval,
 	}
 	for _, o := range opts {
 		o(s)
@@ -142,12 +159,17 @@ func (s *Server) serveConn(conn net.Conn) {
 		_ = conn.Close() // serve loop exit: the link is already finished
 	}()
 
+	// Outbound writes are corked: message fan-out buffers frames and the
+	// flusher coalesces them into one socket flush per interval, while pong
+	// and error frames flush inline. cw.close runs after the forwarding
+	// goroutines drain (defer order) so their last frames still flush.
+	cw := newCorkedWriter(bufio.NewWriterSize(conn, 1<<16), s.flushInterval, &s.wstats)
+	defer cw.close()
+
 	var (
-		writeMu sync.Mutex
-		w       = bufio.NewWriterSize(conn, 1<<16)
-		subsMu  sync.Mutex
-		subs    = make(map[uint64]*Subscription)
-		fwdWG   sync.WaitGroup
+		subsMu sync.Mutex
+		subs   = make(map[uint64]*Subscription)
+		fwdWG  sync.WaitGroup
 	)
 	defer func() {
 		subsMu.Lock()
@@ -159,13 +181,9 @@ func (s *Server) serveConn(conn net.Conn) {
 		fwdWG.Wait()
 	}()
 
-	send := func(op byte, payload ...[]byte) error {
-		writeMu.Lock()
-		defer writeMu.Unlock()
-		return writeFrame(w, op, payload...)
-	}
+	send := cw.writeCorked
 	sendErr := func(err error) {
-		if e := send(opErr, []byte(err.Error())); e != nil {
+		if e := cw.writeNow(opErr, []byte(err.Error())); e != nil {
 			s.logf("pubsub server: send error frame: %v", e)
 		}
 	}
@@ -288,7 +306,9 @@ func (s *Server) serveConn(conn net.Conn) {
 				sub.Unsubscribe()
 			}
 		case opPing:
-			if err := send(opPong); err != nil {
+			// Pong flushes inline: Ping doubles as a round-trip barrier, so
+			// any corked message frames written earlier go with it.
+			if err := cw.writeNow(opPong); err != nil {
 				return
 			}
 		default:

@@ -34,8 +34,10 @@ const (
 // garbage lengths from a corrupted stream.
 const maxFrameSize = 64 << 20
 
-// writeFrame writes one frame. The caller serializes access to w.
-func writeFrame(w *bufio.Writer, op byte, payload ...[]byte) error {
+// writeFrameTo writes one frame into w's buffer without flushing — the write
+// phase of a send. The caller serializes access to w and decides when the
+// buffered frames hit the socket (see corkedWriter for the flush policy).
+func writeFrameTo(w *bufio.Writer, op byte, payload ...[]byte) error {
 	total := 1
 	for _, p := range payload {
 		total += len(p)
@@ -53,6 +55,15 @@ func writeFrame(w *bufio.Writer, op byte, payload ...[]byte) error {
 		if _, err := w.Write(p); err != nil {
 			return err
 		}
+	}
+	return nil
+}
+
+// writeFrame writes one frame and flushes it — the uncorked path. The caller
+// serializes access to w.
+func writeFrame(w *bufio.Writer, op byte, payload ...[]byte) error {
+	if err := writeFrameTo(w, op, payload...); err != nil {
+		return err
 	}
 	return w.Flush()
 }

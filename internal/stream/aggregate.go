@@ -58,7 +58,7 @@ func Aggregate[In Timestamped, K comparable, Out any](
 	agg AggregateFunc[K, In, Out],
 	opts ...OpOption,
 ) *Stream[Out] {
-	o := applyOpts(opts)
+	o := applyOpts(q, opts)
 	out := newStream[Out](q, name, o.buffer)
 	in.claim(q, name)
 	if key == nil || agg == nil {
@@ -78,6 +78,7 @@ func Aggregate[In Timestamped, K comparable, Out any](
 		spec:  spec,
 		key:   key,
 		agg:   agg,
+		batch: o.batch,
 		stats: stats,
 		open:  make(map[winKey[K]]*winState[In]),
 	})
@@ -98,11 +99,12 @@ type winState[In any] struct {
 
 type aggregateOp[In Timestamped, K comparable, Out any] struct {
 	name  string
-	in    chan In
-	out   chan Out
+	in    chan []In
+	out   chan []Out
 	spec  WindowSpec
 	key   KeyFunc[In, K]
 	agg   AggregateFunc[K, In, Out]
+	batch int
 	stats *OpStats
 
 	open    map[winKey[K]]*winState[In]
@@ -117,24 +119,28 @@ func (a *aggregateOp[In, K, Out]) opName() string { return a.name }
 func (a *aggregateOp[In, K, Out]) run(ctx context.Context) (err error) {
 	defer recoverPanic(&err)
 	defer close(a.out)
-	emitFn := func(v Out) error {
-		if err := emit(ctx, a.out, v); err != nil {
-			return err
-		}
-		a.stats.addOut(1)
-		return nil
-	}
+	em := newChunkEmitter(ctx, a.out, a.batch, a.stats)
 	for {
 		select {
-		case v, ok := <-a.in:
+		case chunk, ok := <-a.in:
 			if !ok {
-				return a.flushAll(emitFn)
+				if err := a.flushAll(em.emit); err != nil {
+					return err
+				}
+				return em.flush()
 			}
-			a.stats.addIn(1)
+			a.stats.addIn(int64(len(chunk)))
 			start := time.Now()
-			err := a.ingest(v, emitFn)
-			a.stats.observeService(time.Since(start))
-			if err != nil {
+			for _, v := range chunk {
+				if err := a.ingest(v, em.emit); err != nil {
+					return err
+				}
+			}
+			a.stats.observeServiceChunk(time.Since(start), len(chunk))
+			if a.sawAny {
+				a.stats.observeEventTime(a.maxTS)
+			}
+			if err := em.flush(); err != nil {
 				return err
 			}
 		case <-ctx.Done():
@@ -144,8 +150,9 @@ func (a *aggregateOp[In, K, Out]) run(ctx context.Context) (err error) {
 }
 
 func (a *aggregateOp[In, K, Out]) ingest(v In, emitFn Emit[Out]) error {
+	// The operator's watermark is advanced once per chunk (in run) from
+	// a.maxTS, not per tuple here.
 	ts := v.EventTime()
-	a.stats.observeEventTime(ts)
 	if !a.sawAny || ts > a.maxTS {
 		a.maxTS = ts
 		a.sawAny = true

@@ -1,0 +1,223 @@
+package stream
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// DefaultBatchSize is the number of tuples coalesced into one chunk before a
+// channel send, unless overridden with WithBatch/WithQueryBatch. 64 amortizes
+// the per-send synchronization well while keeping chunks small enough that a
+// full edge (DefaultBufferSize chunks) stays modest.
+const DefaultBatchSize = 64
+
+// DefaultLinger bounds how long a source holds a partial chunk open waiting
+// for it to fill. It is deliberately small: with the default, a lone tuple
+// reaches the first downstream operator well under a millisecond after being
+// emitted, so interactive latency survives batching.
+const DefaultLinger = 200 * time.Microsecond
+
+// chunker is the source-side batching layer: it buffers emitted tuples until
+// the chunk is full (max) or the linger deadline fires, then sends the chunk
+// downstream. It is safe for the linger timer goroutine and the source
+// goroutine to race; the mutex is held across the channel send so chunks
+// leave in emission order (a linger fire cannot overtake a full-buffer
+// flush).
+type chunker[T any] struct {
+	ctx    context.Context
+	out    chan []T
+	max    int
+	linger time.Duration
+	stats  *OpStats
+
+	mu     sync.Mutex
+	buf    []T
+	timer  *time.Timer
+	armed  bool
+	closed bool
+	err    error
+}
+
+func newChunker[T any](ctx context.Context, out chan []T, max int, linger time.Duration, stats *OpStats) *chunker[T] {
+	if max < 1 {
+		max = 1
+	}
+	return &chunker[T]{ctx: ctx, out: out, max: max, linger: linger, stats: stats}
+}
+
+// emit buffers v, flushing when the chunk reaches max tuples. With max == 1
+// it degenerates to an unbuffered, lock-free send — the classic per-tuple
+// semantics.
+func (c *chunker[T]) emit(v T) error {
+	if c.max == 1 {
+		c.stats.observeBatch(1)
+		return emit(c.ctx, c.out, []T{v})
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err != nil {
+		return c.err
+	}
+	if c.closed {
+		return context.Canceled
+	}
+	c.buf = append(c.buf, v)
+	if len(c.buf) >= c.max {
+		if err := c.flushLocked(); err != nil {
+			c.err = err
+			return err
+		}
+		return nil
+	}
+	if c.linger > 0 && !c.armed {
+		c.armed = true
+		if c.timer == nil {
+			c.timer = time.AfterFunc(c.linger, c.lingerFire)
+		} else {
+			c.timer.Reset(c.linger)
+		}
+	}
+	return nil
+}
+
+// flushLocked sends the buffered chunk while holding c.mu. Back-pressure
+// applies here: a full downstream channel blocks the flush (and therefore
+// the source), exactly as the unbatched engine blocked per tuple.
+// Cancellation still unblocks the send via ctx inside emit.
+func (c *chunker[T]) flushLocked() error {
+	if len(c.buf) == 0 {
+		return nil
+	}
+	chunk := c.buf
+	c.buf = nil
+	if c.armed {
+		c.timer.Stop()
+		c.armed = false
+	}
+	c.stats.observeBatch(len(chunk))
+	return emit(c.ctx, c.out, chunk)
+}
+
+// lingerFire runs on the timer goroutine when a partial chunk has waited its
+// full linger. After close it is a no-op, so a late fire can never send on a
+// closed output channel.
+func (c *chunker[T]) lingerFire() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.armed = false
+	if c.closed || c.err != nil {
+		return
+	}
+	if err := c.flushLocked(); err != nil {
+		c.err = err
+	}
+}
+
+// close flushes the final partial chunk and stops the linger timer. It must
+// be called before the output channel is closed; once it returns, no timer
+// fire will touch the channel again.
+func (c *chunker[T]) close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	if c.timer != nil {
+		c.timer.Stop()
+		c.armed = false
+	}
+	if c.err != nil {
+		return c.err
+	}
+	return c.flushLocked()
+}
+
+// observeChunkArrival is the chunk-level analogue of observeArrival: one
+// atomic add for the whole chunk's input count and a single watermark
+// advance to the chunk's maximum event time (the watermark is a running
+// max, so observing only the max is equivalent to observing every tuple).
+func observeChunkArrival[T any](s *OpStats, chunk []T) {
+	s.addIn(int64(len(chunk)))
+	var (
+		max  int64
+		seen bool
+	)
+	for _, v := range chunk {
+		if ts, ok := any(v).(Timestamped); ok {
+			if t := ts.EventTime(); !seen || t > max {
+				max, seen = t, true
+			}
+		}
+	}
+	if seen {
+		s.observeEventTime(max)
+	}
+}
+
+// observeServiceChunk attributes a chunk's total processing time to its n
+// tuples as n equal per-tuple samples, so ServiceCount and the service-time
+// mean stay per-tuple exact while the measurement itself (two clock reads,
+// one histogram update) is paid once per chunk.
+func (s *OpStats) observeServiceChunk(d time.Duration, n int) {
+	if n <= 0 {
+		return
+	}
+	s.service.ObserveN(d.Seconds()/float64(n), uint64(n))
+}
+
+// recordChunkSpans stamps the operator's span on every traced tuple of the
+// chunk, attributing the chunk-average duration to each. Tuples are sampled
+// for tracing, so the common case is one failed interface assertion per
+// tuple and no atomic work.
+func recordChunkSpans[T any](name string, chunk []T, total time.Duration) {
+	if len(chunk) == 0 {
+		return
+	}
+	per := total / time.Duration(len(chunk))
+	for _, v := range chunk {
+		recordSpan(name, v, per)
+	}
+}
+
+// chunkEmitter is the operator-side batching layer: operators that transform
+// tuples append their outputs here and the emitter re-chunks them, flushing
+// when a chunk fills and — crucially — whenever the operator finishes an
+// input chunk or is about to block waiting for input. No output tuple is
+// ever held across a wait, so batching adds no latency beyond the source's
+// linger.
+type chunkEmitter[T any] struct {
+	ctx   context.Context
+	out   chan []T
+	max   int
+	stats *OpStats
+	buf   []T
+}
+
+func newChunkEmitter[T any](ctx context.Context, out chan []T, max int, stats *OpStats) *chunkEmitter[T] {
+	if max < 1 {
+		max = 1
+	}
+	return &chunkEmitter[T]{ctx: ctx, out: out, max: max, stats: stats}
+}
+
+// emit appends v to the open chunk, sending it downstream once full. The
+// produced-tuple counter advances here so operator metrics stay per-tuple.
+func (e *chunkEmitter[T]) emit(v T) error {
+	e.buf = append(e.buf, v)
+	e.stats.addOut(1)
+	if len(e.buf) >= e.max {
+		return e.flush()
+	}
+	return nil
+}
+
+// flush sends the open chunk, if any. Operators call it after each input
+// chunk and before every blocking receive.
+func (e *chunkEmitter[T]) flush() error {
+	if len(e.buf) == 0 {
+		return nil
+	}
+	chunk := e.buf
+	e.buf = nil
+	e.stats.observeBatch(len(chunk))
+	return emit(e.ctx, e.out, chunk)
+}

@@ -35,7 +35,7 @@ func CountAggregate[In any, K comparable, Out any](
 	agg CountAggregateFunc[K, In, Out],
 	opts ...OpOption,
 ) *Stream[Out] {
-	o := applyOpts(opts)
+	o := applyOpts(q, opts)
 	out := newStream[Out](q, name, o.buffer)
 	in.claim(q, name)
 	if key == nil || agg == nil {
@@ -53,6 +53,7 @@ func CountAggregate[In any, K comparable, Out any](
 		size: size, advance: advance,
 		key: key, agg: agg,
 		state: make(map[K]*countKeyState[In]),
+		batch: o.batch,
 		stats: stats,
 	})
 	return out
@@ -71,12 +72,13 @@ type openCountWin[In any] struct {
 
 type countAggOp[In any, K comparable, Out any] struct {
 	name          string
-	in            chan In
-	out           chan Out
+	in            chan []In
+	out           chan []Out
 	size, advance int
 	key           KeyFunc[In, K]
 	agg           CountAggregateFunc[K, In, Out]
 	state         map[K]*countKeyState[In]
+	batch         int
 	stats         *OpStats
 }
 
@@ -85,50 +87,49 @@ func (c *countAggOp[In, K, Out]) opName() string { return c.name }
 func (c *countAggOp[In, K, Out]) run(ctx context.Context) (err error) {
 	defer recoverPanic(&err)
 	defer close(c.out)
-	emitFn := func(v Out) error {
-		if err := emit(ctx, c.out, v); err != nil {
-			return err
-		}
-		c.stats.addOut(1)
-		return nil
-	}
+	em := newChunkEmitter(ctx, c.out, c.batch, c.stats)
 	for {
 		select {
-		case v, ok := <-c.in:
+		case chunk, ok := <-c.in:
 			if !ok {
-				return nil // incomplete windows are discarded
+				return em.flush() // incomplete windows are discarded
 			}
-			observeArrival(c.stats, v)
+			observeChunkArrival(c.stats, chunk)
 			start := time.Now()
-			k := c.key(v)
-			st, ok := c.state[k]
-			if !ok {
-				st = &countKeyState[In]{}
-				c.state[k] = st
-			}
-			idx := st.seen
-			st.seen++
-			// A new window opens at every multiple of advance.
-			if idx%int64(c.advance) == 0 {
-				st.open = append(st.open, openCountWin[In]{start: idx})
-			}
-			// The tuple joins every open window that still spans it.
-			kept := st.open[:0]
-			for _, w := range st.open {
-				if idx >= w.start && idx < w.start+int64(c.size) {
-					w.tuples = append(w.tuples, v)
+			for _, v := range chunk {
+				k := c.key(v)
+				st, ok := c.state[k]
+				if !ok {
+					st = &countKeyState[In]{}
+					c.state[k] = st
 				}
-				if len(w.tuples) == c.size {
-					err := c.agg(CountWindow[K, In]{Key: k, Seq: w.start, Tuples: w.tuples}, emitFn)
-					if err != nil {
-						return err
+				idx := st.seen
+				st.seen++
+				// A new window opens at every multiple of advance.
+				if idx%int64(c.advance) == 0 {
+					st.open = append(st.open, openCountWin[In]{start: idx})
+				}
+				// The tuple joins every open window that still spans it.
+				kept := st.open[:0]
+				for _, w := range st.open {
+					if idx >= w.start && idx < w.start+int64(c.size) {
+						w.tuples = append(w.tuples, v)
 					}
-					continue // window complete: drop it
+					if len(w.tuples) == c.size {
+						err := c.agg(CountWindow[K, In]{Key: k, Seq: w.start, Tuples: w.tuples}, em.emit)
+						if err != nil {
+							return err
+						}
+						continue // window complete: drop it
+					}
+					kept = append(kept, w)
 				}
-				kept = append(kept, w)
+				st.open = kept
 			}
-			st.open = kept
-			c.stats.observeService(time.Since(start))
+			c.stats.observeServiceChunk(time.Since(start), len(chunk))
+			if err := em.flush(); err != nil {
+				return err
+			}
 		case <-ctx.Done():
 			return ctx.Err()
 		}

@@ -32,7 +32,7 @@ func Join[L Timestamped, R Timestamped, K comparable, Out any](
 	join JoinFunc[L, R, Out],
 	opts ...OpOption,
 ) *Stream[Out] {
-	o := applyOpts(opts)
+	o := applyOpts(q, opts)
 	out := newStream[Out](q, name, o.buffer)
 	left.claim(q, name)
 	right.claim(q, name)
@@ -55,6 +55,7 @@ func Join[L Timestamped, R Timestamped, K comparable, Out any](
 		keyL:  keyL,
 		keyR:  keyR,
 		join:  join,
+		batch: o.batch,
 		stats: stats,
 		lbuf:  make(map[K][]L),
 		rbuf:  make(map[K][]R),
@@ -64,13 +65,14 @@ func Join[L Timestamped, R Timestamped, K comparable, Out any](
 
 type joinOp[L Timestamped, R Timestamped, K comparable, Out any] struct {
 	name  string
-	left  chan L
-	right chan R
-	out   chan Out
+	left  chan []L
+	right chan []R
+	out   chan []Out
 	ws    int64
 	keyL  KeyFunc[L, K]
 	keyR  KeyFunc[R, K]
 	join  JoinFunc[L, R, Out]
+	batch int
 	stats *OpStats
 
 	lbuf             map[K][]L
@@ -86,17 +88,11 @@ func (j *joinOp[L, R, K, Out]) opName() string { return j.name }
 func (j *joinOp[L, R, K, Out]) run(ctx context.Context) (err error) {
 	defer recoverPanic(&err)
 	defer close(j.out)
-	emitFn := func(v Out) error {
-		if err := emit(ctx, j.out, v); err != nil {
-			return err
-		}
-		j.stats.addOut(1)
-		return nil
-	}
+	em := newChunkEmitter(ctx, j.out, j.batch, j.stats)
 	lch, rch := j.left, j.right
 	for lch != nil || rch != nil {
 		select {
-		case l, ok := <-lch:
+		case lc, ok := <-lch:
 			if !ok {
 				lch = nil
 				j.lClosed = true
@@ -105,37 +101,51 @@ func (j *joinOp[L, R, K, Out]) run(ctx context.Context) (err error) {
 				j.rbuf = make(map[K][]R)
 				continue
 			}
-			j.stats.addIn(1)
+			j.stats.addIn(int64(len(lc)))
 			start := time.Now()
-			err := j.ingestLeft(l, emitFn)
-			j.stats.observeService(time.Since(start))
-			if err != nil {
+			for _, l := range lc {
+				if err := j.ingestLeft(l, em.emit); err != nil {
+					return err
+				}
+			}
+			j.stats.observeServiceChunk(time.Since(start), len(lc))
+			if j.sawL {
+				j.stats.observeEventTime(j.maxL)
+			}
+			if err := em.flush(); err != nil {
 				return err
 			}
-		case r, ok := <-rch:
+		case rc, ok := <-rch:
 			if !ok {
 				rch = nil
 				j.rClosed = true
 				j.lbuf = make(map[K][]L)
 				continue
 			}
-			j.stats.addIn(1)
+			j.stats.addIn(int64(len(rc)))
 			start := time.Now()
-			err := j.ingestRight(r, emitFn)
-			j.stats.observeService(time.Since(start))
-			if err != nil {
+			for _, r := range rc {
+				if err := j.ingestRight(r, em.emit); err != nil {
+					return err
+				}
+			}
+			j.stats.observeServiceChunk(time.Since(start), len(rc))
+			if j.sawR {
+				j.stats.observeEventTime(j.maxR)
+			}
+			if err := em.flush(); err != nil {
 				return err
 			}
 		case <-ctx.Done():
 			return ctx.Err()
 		}
 	}
-	return nil
+	return em.flush()
 }
 
 func (j *joinOp[L, R, K, Out]) ingestLeft(l L, emitFn Emit[Out]) error {
+	// The watermark advances once per chunk (in run) from maxL/maxR.
 	ts := l.EventTime()
-	j.stats.observeEventTime(ts)
 	if !j.sawL || ts > j.maxL {
 		j.maxL = ts
 		j.sawL = true
@@ -160,7 +170,6 @@ func (j *joinOp[L, R, K, Out]) ingestLeft(l L, emitFn Emit[Out]) error {
 
 func (j *joinOp[L, R, K, Out]) ingestRight(r R, emitFn Emit[Out]) error {
 	ts := r.EventTime()
-	j.stats.observeEventTime(ts)
 	if !j.sawR || ts > j.maxR {
 		j.maxR = ts
 		j.sawR = true

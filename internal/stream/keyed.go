@@ -28,7 +28,7 @@ func KeyedProcess[K comparable, S any, In, Out any](
 	onEnd KeyedEndFunc[K, S, Out],
 	opts ...OpOption,
 ) *Stream[Out] {
-	o := applyOpts(opts)
+	o := applyOpts(q, opts)
 	out := newStream[Out](q, name, o.buffer)
 	in.claim(q, name)
 	if key == nil || fn == nil {
@@ -41,6 +41,7 @@ func KeyedProcess[K comparable, S any, In, Out any](
 		name: name, in: in.ch, out: out.ch,
 		key: key, fn: fn, onEnd: onEnd,
 		state: make(map[K]S),
+		batch: o.batch,
 		stats: stats,
 	})
 	return out
@@ -48,13 +49,14 @@ func KeyedProcess[K comparable, S any, In, Out any](
 
 type keyedOp[K comparable, S any, In, Out any] struct {
 	name  string
-	in    chan In
-	out   chan Out
+	in    chan []In
+	out   chan []Out
 	key   KeyFunc[In, K]
 	fn    KeyedProcessFunc[K, S, In, Out]
 	onEnd KeyedEndFunc[K, S, Out]
 	state map[K]S
 	order []K // key insertion order, for deterministic end-of-stream flush
+	batch int
 	stats *OpStats
 }
 
@@ -63,50 +65,48 @@ func (k *keyedOp[K, S, In, Out]) opName() string { return k.name }
 func (k *keyedOp[K, S, In, Out]) run(ctx context.Context) (err error) {
 	defer recoverPanic(&err)
 	defer close(k.out)
-	emitFn := func(v Out) error {
-		if err := emit(ctx, k.out, v); err != nil {
-			return err
-		}
-		k.stats.addOut(1)
-		return nil
-	}
+	em := newChunkEmitter(ctx, k.out, k.batch, k.stats)
 	for {
 		select {
-		case v, ok := <-k.in:
+		case chunk, ok := <-k.in:
 			if !ok {
-				if k.onEnd == nil {
-					return nil
-				}
-				for _, key := range k.order {
-					st, live := k.state[key]
-					if !live {
-						continue
+				if k.onEnd != nil {
+					for _, key := range k.order {
+						st, live := k.state[key]
+						if !live {
+							continue
+						}
+						if err := k.onEnd(key, st, em.emit); err != nil {
+							return err
+						}
 					}
-					if err := k.onEnd(key, st, emitFn); err != nil {
-						return err
-					}
 				}
-				return nil
+				return em.flush()
 			}
-			observeArrival(k.stats, v)
+			observeChunkArrival(k.stats, chunk)
 			start := time.Now()
-			key := k.key(v)
-			st, existed := k.state[key]
-			newSt, keep, err := k.fn(key, st, v, emitFn)
-			d := time.Since(start)
-			k.stats.observeService(d)
-			recordSpan(k.name, v, d)
-			if err != nil {
-				return err
-			}
-			switch {
-			case keep:
-				if !existed {
-					k.order = append(k.order, key)
+			for _, v := range chunk {
+				key := k.key(v)
+				st, existed := k.state[key]
+				newSt, keep, err := k.fn(key, st, v, em.emit)
+				if err != nil {
+					return err
 				}
-				k.state[key] = newSt
-			case existed:
-				delete(k.state, key)
+				switch {
+				case keep:
+					if !existed {
+						k.order = append(k.order, key)
+					}
+					k.state[key] = newSt
+				case existed:
+					delete(k.state, key)
+				}
+			}
+			d := time.Since(start)
+			k.stats.observeServiceChunk(d, len(chunk))
+			recordChunkSpans(k.name, chunk, d)
+			if err := em.flush(); err != nil {
+				return err
 			}
 		case <-ctx.Done():
 			return ctx.Err()

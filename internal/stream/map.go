@@ -52,7 +52,7 @@ func Filter[T any](q *Query, name string, in *Stream[T], fn FilterFunc[T], opts 
 // FlatMap registers a one-to-many stateless operator. It is the most general
 // stateless shape; Map and Filter are implemented on top of it.
 func FlatMap[In, Out any](q *Query, name string, in *Stream[In], fn FlatMapFunc[In, Out], opts ...OpOption) *Stream[Out] {
-	o := applyOpts(opts)
+	o := applyOpts(q, opts)
 	out := newStream[Out](q, name, o.buffer)
 	in.claim(q, name)
 	if fn == nil {
@@ -62,16 +62,17 @@ func FlatMap[In, Out any](q *Query, name string, in *Stream[In], fn FlatMapFunc[
 	stats := q.metrics.Op(name)
 	watchOutput(stats, out.ch)
 	q.addOperator(&flatMapOp[In, Out]{
-		name: name, in: in.ch, out: out.ch, fn: fn, stats: stats,
+		name: name, in: in.ch, out: out.ch, fn: fn, batch: o.batch, stats: stats,
 	})
 	return out
 }
 
 type flatMapOp[In, Out any] struct {
 	name  string
-	in    chan In
-	out   chan Out
+	in    chan []In
+	out   chan []Out
 	fn    FlatMapFunc[In, Out]
+	batch int
 	stats *OpStats
 }
 
@@ -80,26 +81,26 @@ func (m *flatMapOp[In, Out]) opName() string { return m.name }
 func (m *flatMapOp[In, Out]) run(ctx context.Context) (err error) {
 	defer recoverPanic(&err)
 	defer close(m.out)
-	emitFn := func(v Out) error {
-		if err := emit(ctx, m.out, v); err != nil {
-			return err
-		}
-		m.stats.addOut(1)
-		return nil
-	}
+	em := newChunkEmitter(ctx, m.out, m.batch, m.stats)
 	for {
 		select {
-		case v, ok := <-m.in:
+		case chunk, ok := <-m.in:
 			if !ok {
-				return nil
+				return em.flush()
 			}
-			observeArrival(m.stats, v)
+			observeChunkArrival(m.stats, chunk)
 			start := time.Now()
-			err := m.fn(v, emitFn)
+			for _, v := range chunk {
+				if err := m.fn(v, em.emit); err != nil {
+					return err
+				}
+			}
 			d := time.Since(start)
-			m.stats.observeService(d)
-			recordSpan(m.name, v, d)
-			if err != nil {
+			m.stats.observeServiceChunk(d, len(chunk))
+			recordChunkSpans(m.name, chunk, d)
+			// Flush the partial output chunk before blocking for more
+			// input: batching must never hold completed work hostage.
+			if err := em.flush(); err != nil {
 				return err
 			}
 		case <-ctx.Done():

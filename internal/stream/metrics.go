@@ -29,6 +29,12 @@ type OpStats struct {
 	// tail, which is the point of measuring it).
 	service *telemetry.Histogram
 
+	// batches records the size (in tuples) of every chunk this operator
+	// sent downstream — the direct evidence of how well micro-batching is
+	// amortizing channel synchronization. An average near 1 under load
+	// means the batch/linger knobs are not engaging.
+	batches *telemetry.Histogram
+
 	// watermark is the maximum event time (µs) this operator has consumed
 	// (produced, for sources); noWatermark until a timestamped tuple is
 	// seen.
@@ -42,7 +48,10 @@ type OpStats struct {
 }
 
 func newOpStats() *OpStats {
-	s := &OpStats{service: telemetry.NewDurationHistogram()}
+	s := &OpStats{
+		service: telemetry.NewDurationHistogram(),
+		batches: telemetry.NewBatchHistogram(),
+	}
 	s.watermark.Store(noWatermark)
 	return s
 }
@@ -57,6 +66,10 @@ func (s *OpStats) Out() int64 { return s.out.Load() }
 // histogram (values in seconds).
 func (s *OpStats) Service() telemetry.HistogramSnapshot { return s.service.Snapshot() }
 
+// Batches returns a point-in-time copy of the operator's chunk-size
+// histogram (values in tuples per channel send).
+func (s *OpStats) Batches() telemetry.HistogramSnapshot { return s.batches.Snapshot() }
+
 // Watermark returns the maximum event time (µs) the operator has seen, and
 // whether it has seen any timestamped tuple at all.
 func (s *OpStats) Watermark() (int64, bool) {
@@ -68,6 +81,9 @@ func (s *OpStats) addIn(n int64)  { s.in.Add(n) }
 func (s *OpStats) addOut(n int64) { s.out.Add(n) }
 
 func (s *OpStats) observeService(d time.Duration) { s.service.ObserveDuration(d) }
+
+// observeBatch records the size of one sent chunk.
+func (s *OpStats) observeBatch(n int) { s.batches.Observe(float64(n)) }
 
 // observeEventTime advances the operator's watermark to ts if it is ahead.
 func (s *OpStats) observeEventTime(ts int64) {
@@ -122,6 +138,12 @@ type StatsSnapshot struct {
 	P99          time.Duration
 	MaxService   time.Duration
 
+	// Batches is the distribution of chunk sizes (tuples per channel send);
+	// BatchCount is the number of sends and AvgBatch the mean chunk size.
+	Batches    telemetry.HistogramSnapshot
+	BatchCount uint64
+	AvgBatch   float64
+
 	// Watermark is the operator's maximum observed event time (µs);
 	// HasWatermark is false when no timestamped tuple was seen.
 	// WatermarkLag is how far (µs) this operator trails the most advanced
@@ -161,6 +183,7 @@ func (r *Registry) Snapshot() []StatsSnapshot {
 	r.ops.Range(func(key, value any) bool {
 		s := value.(*OpStats)
 		svc := s.Service()
+		bat := s.Batches()
 		qlen, qcap := s.queue()
 		w, hasW := s.Watermark()
 		snap := StatsSnapshot{
@@ -175,8 +198,13 @@ func (r *Registry) Snapshot() []StatsSnapshot {
 			P90:          durationOf(svc.Quantile(0.90)),
 			P99:          durationOf(svc.Quantile(0.99)),
 			MaxService:   durationOf(svc.Max),
+			Batches:      bat,
+			BatchCount:   bat.Count,
 			Watermark:    w,
 			HasWatermark: hasW,
+		}
+		if bat.Count > 0 {
+			snap.AvgBatch = bat.Sum / float64(bat.Count)
 		}
 		if hasW && w > maxWatermark {
 			maxWatermark = w
@@ -228,16 +256,21 @@ func (q *Query) Collect(w *telemetry.Writer) {
 			"Tuples produced by the operator.", float64(s.Out), labels...)
 		if s.QueueCap > 0 {
 			w.Gauge("strata_stream_op_queue_depth",
-				"Tuples waiting in the operator's output channel(s).",
+				"Chunks waiting in the operator's output channel(s).",
 				float64(s.QueueLen), labels...)
 			w.Gauge("strata_stream_op_queue_capacity",
-				"Capacity of the operator's output channel(s).",
+				"Capacity (in chunks) of the operator's output channel(s).",
 				float64(s.QueueCap), labels...)
 		}
 		if s.ServiceCount > 0 {
 			w.Histogram("strata_stream_op_service_seconds",
 				"Per-tuple service time, including downstream back-pressure wait.",
 				s.Service, labels...)
+		}
+		if s.BatchCount > 0 {
+			w.Histogram("strata_stream_op_batch_size",
+				"Tuples per chunk sent downstream (micro-batching efficiency).",
+				s.Batches, labels...)
 		}
 		if s.HasWatermark {
 			w.Gauge("strata_stream_op_watermark_lag_seconds",

@@ -23,7 +23,7 @@ func Process[In, Out any](
 	onEnd EndFunc[Out],
 	opts ...OpOption,
 ) *Stream[Out] {
-	o := applyOpts(opts)
+	o := applyOpts(q, opts)
 	out := newStream[Out](q, name, o.buffer)
 	in.claim(q, name)
 	if fn == nil {
@@ -33,17 +33,18 @@ func Process[In, Out any](
 	stats := q.metrics.Op(name)
 	watchOutput(stats, out.ch)
 	q.addOperator(&processOp[In, Out]{
-		name: name, in: in.ch, out: out.ch, fn: fn, onEnd: onEnd, stats: stats,
+		name: name, in: in.ch, out: out.ch, fn: fn, onEnd: onEnd, batch: o.batch, stats: stats,
 	})
 	return out
 }
 
 type processOp[In, Out any] struct {
 	name  string
-	in    chan In
-	out   chan Out
+	in    chan []In
+	out   chan []Out
 	fn    FlatMapFunc[In, Out]
 	onEnd EndFunc[Out]
+	batch int
 	stats *OpStats
 }
 
@@ -52,29 +53,29 @@ func (p *processOp[In, Out]) opName() string { return p.name }
 func (p *processOp[In, Out]) run(ctx context.Context) (err error) {
 	defer recoverPanic(&err)
 	defer close(p.out)
-	emitFn := func(v Out) error {
-		if err := emit(ctx, p.out, v); err != nil {
-			return err
-		}
-		p.stats.addOut(1)
-		return nil
-	}
+	em := newChunkEmitter(ctx, p.out, p.batch, p.stats)
 	for {
 		select {
-		case v, ok := <-p.in:
+		case chunk, ok := <-p.in:
 			if !ok {
 				if p.onEnd != nil {
-					return p.onEnd(emitFn)
+					if err := p.onEnd(em.emit); err != nil {
+						return err
+					}
 				}
-				return nil
+				return em.flush()
 			}
-			observeArrival(p.stats, v)
+			observeChunkArrival(p.stats, chunk)
 			start := time.Now()
-			err := p.fn(v, emitFn)
+			for _, v := range chunk {
+				if err := p.fn(v, em.emit); err != nil {
+					return err
+				}
+			}
 			d := time.Since(start)
-			p.stats.observeService(d)
-			recordSpan(p.name, v, d)
-			if err != nil {
+			p.stats.observeServiceChunk(d, len(chunk))
+			recordChunkSpans(p.name, chunk, d)
+			if err := em.flush(); err != nil {
 				return err
 			}
 		case <-ctx.Done():

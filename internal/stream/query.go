@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"runtime/debug"
 	"sync"
+	"time"
 
 	"strata/internal/telemetry"
 )
@@ -26,6 +27,8 @@ type operator interface {
 type Query struct {
 	name       string
 	bufferSize int
+	batchSize  int
+	linger     time.Duration
 
 	mu       sync.Mutex
 	running  bool
@@ -55,11 +58,38 @@ func WithQueryBuffer(n int) QueryOption {
 	}
 }
 
+// WithQueryBatch sets the default chunk size for every operator edge in the
+// query: producers coalesce up to n tuples per channel send. n = 1 turns
+// micro-batching off query-wide, restoring one-tuple-per-send semantics.
+// See WithBatch for a per-operator override.
+func WithQueryBatch(n int) QueryOption {
+	return func(q *Query) {
+		if n > 0 {
+			q.batchSize = n
+		}
+	}
+}
+
+// WithQueryLinger sets the default linger for every source in the query: the
+// longest a partial chunk may wait for more tuples before being flushed
+// downstream. Smaller values favour latency, larger values favour batching
+// efficiency on slow sources. d = 0 disables the deadline (flush only on a
+// full chunk or end-of-stream). See WithLinger for a per-source override.
+func WithQueryLinger(d time.Duration) QueryOption {
+	return func(q *Query) {
+		if d >= 0 {
+			q.linger = d
+		}
+	}
+}
+
 // NewQuery creates an empty query with the given name.
 func NewQuery(name string, opts ...QueryOption) *Query {
 	q := &Query{
 		name:       name,
 		bufferSize: DefaultBufferSize,
+		batchSize:  DefaultBatchSize,
+		linger:     DefaultLinger,
 		opNames:    make(map[string]struct{}),
 		streams:    make(map[string]string),
 		traces:     telemetry.NewTraceBuffer(telemetry.DefaultTraceCapacity),

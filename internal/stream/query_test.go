@@ -191,9 +191,11 @@ func TestQueryAddWhileRunning(t *testing.T) {
 }
 
 func TestQueryBackpressure(t *testing.T) {
-	// With a buffer of 1 and a slow sink, the source must be throttled:
-	// at no point can more than a few tuples be in flight.
-	q := NewQuery("bp", WithQueryBuffer(1))
+	// With a buffer of 1, batching off, and a slow sink, the source must
+	// be throttled: at no point can more than a few tuples be in flight.
+	// (With batching on, the same bound holds in chunks rather than tuples
+	// — see TestBatchBackpressureInChunks.)
+	q := NewQuery("bp", WithQueryBuffer(1), WithQueryBatch(1))
 	var produced, consumed atomic.Int64
 	src := AddSource(q, "src", func(ctx context.Context, emit Emit[At[int]]) error {
 		for i := 0; i < 50; i++ {

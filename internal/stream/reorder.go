@@ -13,7 +13,7 @@ import (
 // slack (tuples later than that are emitted immediately, flagged on the
 // operator's counters as in>out until end-of-stream flush).
 func Reorder[T Timestamped](q *Query, name string, in *Stream[T], slack int64, opts ...OpOption) *Stream[T] {
-	o := applyOpts(opts)
+	o := applyOpts(q, opts)
 	out := newStream[T](q, name, o.buffer)
 	in.claim(q, name)
 	if slack < 0 {
@@ -23,16 +23,17 @@ func Reorder[T Timestamped](q *Query, name string, in *Stream[T], slack int64, o
 	stats := q.metrics.Op(name)
 	watchOutput(stats, out.ch)
 	q.addOperator(&reorderOp[T]{
-		name: name, in: in.ch, out: out.ch, slack: slack, stats: stats,
+		name: name, in: in.ch, out: out.ch, slack: slack, batch: o.batch, stats: stats,
 	})
 	return out
 }
 
 type reorderOp[T Timestamped] struct {
 	name  string
-	in    chan T
-	out   chan T
+	in    chan []T
+	out   chan []T
 	slack int64
+	batch int
 	stats *OpStats
 
 	buf     tsHeap[T]
@@ -46,39 +47,40 @@ func (r *reorderOp[T]) opName() string { return r.name }
 func (r *reorderOp[T]) run(ctx context.Context) (err error) {
 	defer recoverPanic(&err)
 	defer close(r.out)
-	emitFn := func(v T) error {
-		if err := emit(ctx, r.out, v); err != nil {
-			return err
-		}
-		r.stats.addOut(1)
-		return nil
-	}
+	em := newChunkEmitter(ctx, r.out, r.batch, r.stats)
 	for {
 		select {
-		case v, ok := <-r.in:
+		case chunk, ok := <-r.in:
 			if !ok {
 				// Flush everything in order.
 				for r.buf.Len() > 0 {
-					if err := emitFn(heap.Pop(&r.buf).(tsItem[T]).val); err != nil {
+					if err := em.emit(heap.Pop(&r.buf).(tsItem[T]).val); err != nil {
 						return err
 					}
 				}
-				return nil
+				return em.flush()
 			}
-			r.stats.addIn(1)
-			ts := v.EventTime()
-			r.stats.observeEventTime(ts)
-			if !r.sawAny || ts > r.maxTS {
-				r.maxTS = ts
-				r.sawAny = true
-			}
-			heap.Push(&r.buf, tsItem[T]{val: v, ts: ts, seq: r.nextSeq})
-			r.nextSeq++
-			// Release tuples that can no longer be preceded.
-			for r.buf.Len() > 0 && r.buf[0].ts+r.slack <= r.maxTS {
-				if err := emitFn(heap.Pop(&r.buf).(tsItem[T]).val); err != nil {
-					return err
+			r.stats.addIn(int64(len(chunk)))
+			for _, v := range chunk {
+				ts := v.EventTime()
+				if !r.sawAny || ts > r.maxTS {
+					r.maxTS = ts
+					r.sawAny = true
 				}
+				heap.Push(&r.buf, tsItem[T]{val: v, ts: ts, seq: r.nextSeq})
+				r.nextSeq++
+				// Release tuples that can no longer be preceded.
+				for r.buf.Len() > 0 && r.buf[0].ts+r.slack <= r.maxTS {
+					if err := em.emit(heap.Pop(&r.buf).(tsItem[T]).val); err != nil {
+						return err
+					}
+				}
+			}
+			if r.sawAny {
+				r.stats.observeEventTime(r.maxTS)
+			}
+			if err := em.flush(); err != nil {
+				return err
 			}
 		case <-ctx.Done():
 			return ctx.Err()

@@ -13,11 +13,13 @@ type HashFunc[T any] func(T) uint64
 
 // Shuffle registers a 1→n splitter that routes each tuple to branch
 // hash(t) % n. Each returned stream preserves the input's timestamp order
-// (it is a subsequence of an ordered stream).
+// (it is a subsequence of an ordered stream). Each input chunk is
+// partitioned into at most one sub-chunk per branch, so a chunk costs at
+// most n sends regardless of its size.
 func Shuffle[T any](q *Query, name string, in *Stream[T], n int, hash HashFunc[T], opts ...OpOption) []*Stream[T] {
-	o := applyOpts(opts)
+	o := applyOpts(q, opts)
 	outs := make([]*Stream[T], n)
-	chs := make([]chan T, n)
+	chs := make([]chan []T, n)
 	for i := range outs {
 		outs[i] = newStream[T](q, fmt.Sprintf("%s.%d", name, i), o.buffer)
 		chs[i] = outs[i].ch
@@ -39,8 +41,8 @@ func Shuffle[T any](q *Query, name string, in *Stream[T], n int, hash HashFunc[T
 
 type shuffleOp[T any] struct {
 	name  string
-	in    chan T
-	outs  []chan T
+	in    chan []T
+	outs  []chan []T
 	hash  HashFunc[T]
 	stats *OpStats
 }
@@ -55,17 +57,32 @@ func (s *shuffleOp[T]) run(ctx context.Context) (err error) {
 		}
 	}()
 	n := uint64(len(s.outs))
+	parts := make([][]T, n)
 	for {
 		select {
-		case v, ok := <-s.in:
+		case chunk, ok := <-s.in:
 			if !ok {
 				return nil
 			}
-			s.stats.addIn(1)
-			if err := emit(ctx, s.outs[s.hash(v)%n], v); err != nil {
-				return err
+			s.stats.addIn(int64(len(chunk)))
+			// Partition the chunk, preserving input order within each
+			// branch, then send each non-empty sub-chunk. Sub-chunks are
+			// fresh slices: the downstream consumer owns them.
+			for _, v := range chunk {
+				idx := s.hash(v) % n
+				parts[idx] = append(parts[idx], v)
 			}
-			s.stats.addOut(1)
+			for i, p := range parts {
+				if len(p) == 0 {
+					continue
+				}
+				parts[i] = nil
+				s.stats.observeBatch(len(p))
+				if err := emit(ctx, s.outs[i], p); err != nil {
+					return err
+				}
+				s.stats.addOut(int64(len(p)))
+			}
 		case <-ctx.Done():
 			return ctx.Err()
 		}
@@ -74,11 +91,13 @@ func (s *shuffleOp[T]) run(ctx context.Context) (err error) {
 
 // Fanout registers a 1→n duplicator: every input tuple is sent to all n
 // output streams. It is how one stream feeds several downstream operators
-// (streams are otherwise single-consumer).
+// (streams are otherwise single-consumer). Chunks are forwarded by
+// reference — consumers must treat them as read-only, which all engine
+// operators do.
 func Fanout[T any](q *Query, name string, in *Stream[T], n int, opts ...OpOption) []*Stream[T] {
-	o := applyOpts(opts)
+	o := applyOpts(q, opts)
 	outs := make([]*Stream[T], n)
-	chs := make([]chan T, n)
+	chs := make([]chan []T, n)
 	for i := range outs {
 		outs[i] = newStream[T](q, fmt.Sprintf("%s.%d", name, i), o.buffer)
 		chs[i] = outs[i].ch
@@ -96,8 +115,8 @@ func Fanout[T any](q *Query, name string, in *Stream[T], n int, opts ...OpOption
 
 type fanoutOp[T any] struct {
 	name  string
-	in    chan T
-	outs  []chan T
+	in    chan []T
+	outs  []chan []T
 	stats *OpStats
 }
 
@@ -112,16 +131,16 @@ func (f *fanoutOp[T]) run(ctx context.Context) (err error) {
 	}()
 	for {
 		select {
-		case v, ok := <-f.in:
+		case chunk, ok := <-f.in:
 			if !ok {
 				return nil
 			}
-			f.stats.addIn(1)
+			f.stats.addIn(int64(len(chunk)))
 			for _, ch := range f.outs {
-				if err := emit(ctx, ch, v); err != nil {
+				if err := emit(ctx, ch, chunk); err != nil {
 					return err
 				}
-				f.stats.addOut(1)
+				f.stats.addOut(int64(len(chunk)))
 			}
 		case <-ctx.Done():
 			return ctx.Err()
@@ -134,9 +153,9 @@ func (f *fanoutOp[T]) run(ctx context.Context) (err error) {
 // an Aggregate with a Slack allowance, or use OrderedMerge when global order
 // is required.
 func Merge[T any](q *Query, name string, ins []*Stream[T], opts ...OpOption) *Stream[T] {
-	o := applyOpts(opts)
+	o := applyOpts(q, opts)
 	out := newStream[T](q, name, o.buffer)
-	chs := make([]chan T, len(ins))
+	chs := make([]chan []T, len(ins))
 	for i, in := range ins {
 		in.claim(q, name)
 		chs[i] = in.ch
@@ -153,8 +172,8 @@ func Merge[T any](q *Query, name string, ins []*Stream[T], opts ...OpOption) *St
 
 type mergeOp[T any] struct {
 	name  string
-	ins   []chan T
-	out   chan T
+	ins   []chan []T
+	out   chan []T
 	stats *OpStats
 }
 
@@ -169,20 +188,20 @@ func (m *mergeOp[T]) run(ctx context.Context) error {
 	)
 	for _, in := range m.ins {
 		wg.Add(1)
-		go func(in chan T) {
+		go func(in chan []T) {
 			defer wg.Done()
 			for {
 				select {
-				case v, ok := <-in:
+				case chunk, ok := <-in:
 					if !ok {
 						return
 					}
-					m.stats.addIn(1)
-					if err := emit(ctx, m.out, v); err != nil {
+					m.stats.addIn(int64(len(chunk)))
+					if err := emit(ctx, m.out, chunk); err != nil {
 						errOnce.Do(func() { firstErr = err })
 						return
 					}
-					m.stats.addOut(1)
+					m.stats.addOut(int64(len(chunk)))
 				case <-ctx.Done():
 					errOnce.Do(func() { firstErr = ctx.Err() })
 					return
@@ -195,14 +214,14 @@ func (m *mergeOp[T]) run(ctx context.Context) error {
 }
 
 // OrderedMerge registers an n→1 union that emits tuples in global event-time
-// order (a k-way merge of ordered branches). It must hold one pending tuple
+// order (a k-way merge of ordered branches). It must hold one pending chunk
 // per open branch before it can emit, so a branch that stays empty while its
 // siblings fill their channel buffers stalls the merge; with heavily skewed
 // branch loads prefer Merge plus an Aggregate Slack downstream.
 func OrderedMerge[T Timestamped](q *Query, name string, ins []*Stream[T], opts ...OpOption) *Stream[T] {
-	o := applyOpts(opts)
+	o := applyOpts(q, opts)
 	out := newStream[T](q, name, o.buffer)
-	chs := make([]chan T, len(ins))
+	chs := make([]chan []T, len(ins))
 	for i, in := range ins {
 		in.claim(q, name)
 		chs[i] = in.ch
@@ -213,14 +232,15 @@ func OrderedMerge[T Timestamped](q *Query, name string, ins []*Stream[T], opts .
 	}
 	stats := q.metrics.Op(name)
 	watchOutput(stats, out.ch)
-	q.addOperator(&orderedMergeOp[T]{name: name, ins: chs, out: out.ch, stats: stats})
+	q.addOperator(&orderedMergeOp[T]{name: name, ins: chs, out: out.ch, batch: o.batch, stats: stats})
 	return out
 }
 
 type orderedMergeOp[T Timestamped] struct {
 	name  string
-	ins   []chan T
-	out   chan T
+	ins   []chan []T
+	out   chan []T
+	batch int
 	stats *OpStats
 }
 
@@ -229,82 +249,98 @@ func (m *orderedMergeOp[T]) opName() string { return m.name }
 func (m *orderedMergeOp[T]) run(ctx context.Context) (err error) {
 	defer recoverPanic(&err)
 	defer close(m.out)
+	// Each branch's head is its current chunk plus a cursor; the branch is
+	// exhausted for this round when the cursor reaches the chunk's end.
 	type head struct {
-		val  T
-		full bool
-		open bool
+		chunk []T
+		pos   int
+		open  bool
 	}
 	heads := make([]head, len(m.ins))
 	for i := range heads {
 		heads[i].open = true
 	}
+	em := newChunkEmitter(ctx, m.out, m.batch, m.stats)
 	for {
 		// Fill the head slot of every open branch. Blocking on each in
 		// turn is fine: we cannot emit anything until all heads are
-		// known.
+		// known. Flush our partial output first so downstream is not
+		// starved while we wait.
 		openAny := false
+		needFill := false
 		for i := range heads {
-			if !heads[i].open || heads[i].full {
+			if heads[i].open && heads[i].pos >= len(heads[i].chunk) {
+				needFill = true
+			}
+		}
+		if needFill {
+			if err := em.flush(); err != nil {
+				return err
+			}
+		}
+		for i := range heads {
+			if !heads[i].open || heads[i].pos < len(heads[i].chunk) {
 				openAny = openAny || heads[i].open
 				continue
 			}
 			select {
-			case v, ok := <-m.ins[i]:
+			case chunk, ok := <-m.ins[i]:
 				if !ok {
 					heads[i].open = false
 					continue
 				}
-				m.stats.addIn(1)
-				m.stats.observeEventTime(v.EventTime())
-				heads[i].val = v
-				heads[i].full = true
+				m.stats.addIn(int64(len(chunk)))
+				if len(chunk) > 0 {
+					// Branches are timestamp-ordered, so the chunk's
+					// last tuple carries its maximum event time.
+					m.stats.observeEventTime(chunk[len(chunk)-1].EventTime())
+				}
+				heads[i].chunk = chunk
+				heads[i].pos = 0
 				openAny = true
 			case <-ctx.Done():
 				return ctx.Err()
 			}
 		}
 		if !openAny {
-			// All branches closed; drain remaining heads in order.
 			break
 		}
 		// Emit the smallest head.
 		min := -1
 		for i := range heads {
-			if !heads[i].full {
+			if heads[i].pos >= len(heads[i].chunk) {
 				continue
 			}
-			if min < 0 || heads[i].val.EventTime() < heads[min].val.EventTime() {
+			if min < 0 || heads[i].chunk[heads[i].pos].EventTime() < heads[min].chunk[heads[min].pos].EventTime() {
 				min = i
 			}
 		}
 		if min < 0 {
 			break
 		}
-		if err := emit(ctx, m.out, heads[min].val); err != nil {
+		if err := em.emit(heads[min].chunk[heads[min].pos]); err != nil {
 			return err
 		}
-		m.stats.addOut(1)
-		heads[min].full = false
+		heads[min].pos++
 	}
 	// Drain leftovers (branches that closed while holding a head).
 	for {
 		min := -1
 		for i := range heads {
-			if !heads[i].full {
+			if heads[i].pos >= len(heads[i].chunk) {
 				continue
 			}
-			if min < 0 || heads[i].val.EventTime() < heads[min].val.EventTime() {
+			if min < 0 || heads[i].chunk[heads[i].pos].EventTime() < heads[min].chunk[heads[min].pos].EventTime() {
 				min = i
 			}
 		}
 		if min < 0 {
-			return nil
+			return em.flush()
 		}
-		if err := emit(ctx, m.out, heads[min].val); err != nil {
+		if err := em.emit(heads[min].chunk[heads[min].pos]); err != nil {
 			return err
 		}
-		m.stats.addOut(1)
-		heads[min].full = false
+		heads[min].pos++
 	}
 }
 

@@ -24,7 +24,7 @@ func AddSink[T any](q *Query, name string, in *Stream[T], fn SinkFunc[T]) {
 
 type sinkOp[T any] struct {
 	name   string
-	in     chan T
+	in     chan []T
 	fn     SinkFunc[T]
 	stats  *OpStats
 	traces *telemetry.TraceBuffer
@@ -36,18 +36,24 @@ func (s *sinkOp[T]) run(ctx context.Context) (err error) {
 	defer recoverPanic(&err)
 	for {
 		select {
-		case v, ok := <-s.in:
+		case chunk, ok := <-s.in:
 			if !ok {
 				return nil
 			}
-			observeArrival(s.stats, v)
+			observeChunkArrival(s.stats, chunk)
 			start := time.Now()
-			err := s.fn(v)
+			for _, v := range chunk {
+				if err := s.fn(v); err != nil {
+					return err
+				}
+			}
 			d := time.Since(start)
-			s.stats.observeService(d)
-			finishTrace(s.name, v, d, s.traces)
-			if err != nil {
-				return err
+			s.stats.observeServiceChunk(d, len(chunk))
+			if len(chunk) > 0 {
+				per := d / time.Duration(len(chunk))
+				for _, v := range chunk {
+					finishTrace(s.name, v, per, s.traces)
+				}
 			}
 		case <-ctx.Done():
 			return ctx.Err()

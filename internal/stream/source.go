@@ -3,6 +3,7 @@ package stream
 import (
 	"context"
 	"errors"
+	"time"
 )
 
 // Emit is the callback a SourceFunc uses to inject tuples into its output
@@ -18,8 +19,11 @@ type Emit[T any] func(T) error
 type SourceFunc[T any] func(ctx context.Context, emit Emit[T]) error
 
 // AddSource registers a source operator on q and returns its output stream.
+// The source coalesces emitted tuples into chunks of up to the batch size,
+// flushing a partial chunk when the linger deadline passes (WithBatch /
+// WithLinger, or the query-wide defaults).
 func AddSource[T any](q *Query, name string, fn SourceFunc[T], opts ...OpOption) *Stream[T] {
-	o := applyOpts(opts)
+	o := applyOpts(q, opts)
 	out := newStream[T](q, name, o.buffer)
 	if fn == nil {
 		q.recordErr(ErrNilUDF)
@@ -27,35 +31,50 @@ func AddSource[T any](q *Query, name string, fn SourceFunc[T], opts ...OpOption)
 	}
 	stats := q.metrics.Op(name)
 	watchOutput(stats, out.ch)
-	q.addOperator(&sourceOp[T]{name: name, fn: fn, out: out.ch, stats: stats})
+	q.addOperator(&sourceOp[T]{
+		name: name, fn: fn, out: out.ch,
+		batch: o.batch, linger: o.linger, stats: stats,
+	})
 	return out
 }
 
 type sourceOp[T any] struct {
-	name  string
-	fn    SourceFunc[T]
-	out   chan T
-	stats *OpStats
+	name   string
+	fn     SourceFunc[T]
+	out    chan []T
+	batch  int
+	linger time.Duration
+	stats  *OpStats
 }
 
 func (s *sourceOp[T]) opName() string { return s.name }
 
 func (s *sourceOp[T]) run(ctx context.Context) (err error) {
-	defer recoverPanic(&err)
+	// Deferred in this order so that on every exit path — including a
+	// panicking SourceFunc — the chunker is closed (stopping its linger
+	// timer, so no late fire touches the channel) before the output channel
+	// closes.
 	defer close(s.out)
+	ck := newChunker(ctx, s.out, s.batch, s.linger, s.stats)
+	defer func() {
+		if cerr := ck.close(); err == nil {
+			err = cerr
+		}
+		// A source interrupted by shutdown is not a query failure: the
+		// cancellation cause is reported by Run's context, and treating it
+		// as an operator error would mask the real first error.
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			err = nil
+		}
+	}()
+	defer recoverPanic(&err)
 	err = s.fn(ctx, func(v T) error {
-		if err := emit(ctx, s.out, v); err != nil {
+		if err := ck.emit(v); err != nil {
 			return err
 		}
 		observeDeparture(s.stats, v)
 		return nil
 	})
-	// A source interrupted by shutdown is not a query failure: the
-	// cancellation cause is reported by Run's context, and treating it as
-	// an operator error would mask the real first error.
-	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-		return nil
-	}
 	return err
 }
 

@@ -1,18 +1,28 @@
 package stream
 
+import "time"
+
 // DefaultBufferSize is the channel capacity used for streams unless
 // overridden with WithBuffer. Bounded channels are the engine's
 // back-pressure mechanism: a slow consumer eventually blocks its producers.
+// Since the micro-batching refactor the unit of the channel is a chunk
+// ([]T), so the worst-case number of buffered tuples on one edge is
+// DefaultBufferSize × the operator's batch size.
 const DefaultBufferSize = 256
 
 // Stream is a typed, single-producer/single-consumer edge of the query DAG.
 // Streams are created by builder functions (AddSource, Map, ...) and consumed
 // by exactly one downstream operator; use Fanout to duplicate a stream for
 // several consumers.
+//
+// The wire format of an edge is a chunk of tuples ([]T), not a single tuple:
+// producers coalesce up to their batch size (WithBatch) before paying the
+// channel synchronization, and consumers loop over the chunk. Chunks are
+// immutable once sent — operators that reshape data allocate fresh slices.
 type Stream[T any] struct {
 	name string
 	q    *Query
-	ch   chan T
+	ch   chan []T
 	// consumed marks that a downstream operator already reads this stream.
 	consumed bool
 	producer string
@@ -41,14 +51,17 @@ func newStream[T any](q *Query, producer string, buf int) *Stream[T] {
 	if buf <= 0 {
 		buf = q.bufferSize
 	}
-	s := &Stream[T]{name: producer, q: q, ch: make(chan T, buf), producer: producer}
+	s := &Stream[T]{name: producer, q: q, ch: make(chan []T, buf), producer: producer}
 	q.streamCreated(producer)
 	return s
 }
 
-// opOptions holds per-operator tuning knobs.
+// opOptions holds per-operator tuning knobs. batch/linger default to the
+// query-level settings (WithQueryBatch / WithQueryLinger).
 type opOptions struct {
 	buffer int
+	batch  int
+	linger time.Duration
 }
 
 // OpOption customizes a single operator created by a builder function.
@@ -61,10 +74,41 @@ func WithBuffer(n int) OpOption {
 	return func(o *opOptions) { o.buffer = n }
 }
 
-func applyOpts(opts []OpOption) opOptions {
-	var o opOptions
+// WithBatch overrides the operator's output batch size: up to n tuples are
+// coalesced into one chunk before the channel send. n = 1 disables batching
+// for this operator and reproduces the classic one-tuple-per-send semantics.
+// Non-positive values fall back to the query default (WithQueryBatch).
+func WithBatch(n int) OpOption {
+	return func(o *opOptions) {
+		if n > 0 {
+			o.batch = n
+		}
+	}
+}
+
+// WithLinger overrides how long a source may hold a partial chunk open
+// waiting for more tuples before flushing it downstream (see WithQueryLinger
+// for the trade-off). d = 0 disables the deadline: partial chunks then flush
+// only when full or at end-of-stream. Negative values are ignored.
+//
+// Only sources linger — downstream operators flush their partial output
+// chunk as soon as the input chunk that produced it is fully processed, so
+// linger delay is paid once at ingestion, not per stage.
+func WithLinger(d time.Duration) OpOption {
+	return func(o *opOptions) {
+		if d >= 0 {
+			o.linger = d
+		}
+	}
+}
+
+func applyOpts(q *Query, opts []OpOption) opOptions {
+	o := opOptions{batch: q.batchSize, linger: q.linger}
 	for _, f := range opts {
 		f(&o)
+	}
+	if o.batch < 1 {
+		o.batch = 1
 	}
 	return o
 }

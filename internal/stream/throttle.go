@@ -12,7 +12,7 @@ import (
 // short spikes. Throttle operates in wall-clock time — it shapes live
 // load, e.g. protecting an expert-facing sink during historic replays.
 func Throttle[T any](q *Query, name string, in *Stream[T], rate float64, burst int, opts ...OpOption) *Stream[T] {
-	o := applyOpts(opts)
+	o := applyOpts(q, opts)
 	out := newStream[T](q, name, o.buffer)
 	in.claim(q, name)
 	if rate <= 0 {
@@ -28,6 +28,7 @@ func Throttle[T any](q *Query, name string, in *Stream[T], rate float64, burst i
 		name: name, in: in.ch, out: out.ch,
 		interval: time.Duration(float64(time.Second) / rate),
 		burst:    burst,
+		batch:    o.batch,
 		stats:    stats,
 	})
 	return out
@@ -35,10 +36,11 @@ func Throttle[T any](q *Query, name string, in *Stream[T], rate float64, burst i
 
 type throttleOp[T any] struct {
 	name     string
-	in       chan T
-	out      chan T
+	in       chan []T
+	out      chan []T
 	interval time.Duration
 	burst    int
+	batch    int
 	stats    *OpStats
 }
 
@@ -47,40 +49,50 @@ func (t *throttleOp[T]) opName() string { return t.name }
 func (t *throttleOp[T]) run(ctx context.Context) (err error) {
 	defer recoverPanic(&err)
 	defer close(t.out)
+	em := newChunkEmitter(ctx, t.out, t.batch, t.stats)
 	tokens := float64(t.burst)
 	last := time.Now()
 	for {
 		select {
-		case v, ok := <-t.in:
+		case chunk, ok := <-t.in:
 			if !ok {
-				return nil
+				return em.flush()
 			}
-			t.stats.addIn(1)
-			// Refill.
-			now := time.Now()
-			tokens += float64(now.Sub(last)) / float64(t.interval)
-			last = now
-			if max := float64(t.burst); tokens > max {
-				tokens = max
-			}
-			if tokens < 1 {
-				wait := time.Duration((1 - tokens) * float64(t.interval))
-				timer := time.NewTimer(wait)
-				select {
-				case <-timer.C:
-				case <-ctx.Done():
-					timer.Stop()
-					return ctx.Err()
-				}
-				now = time.Now()
+			t.stats.addIn(int64(len(chunk)))
+			for _, v := range chunk {
+				// Refill.
+				now := time.Now()
 				tokens += float64(now.Sub(last)) / float64(t.interval)
 				last = now
+				if max := float64(t.burst); tokens > max {
+					tokens = max
+				}
+				if tokens < 1 {
+					// About to pace: release already-admitted tuples
+					// first so rate shaping stays visible downstream.
+					if err := em.flush(); err != nil {
+						return err
+					}
+					wait := time.Duration((1 - tokens) * float64(t.interval))
+					timer := time.NewTimer(wait)
+					select {
+					case <-timer.C:
+					case <-ctx.Done():
+						timer.Stop()
+						return ctx.Err()
+					}
+					now = time.Now()
+					tokens += float64(now.Sub(last)) / float64(t.interval)
+					last = now
+				}
+				tokens--
+				if err := em.emit(v); err != nil {
+					return err
+				}
 			}
-			tokens--
-			if err := emit(ctx, t.out, v); err != nil {
+			if err := em.flush(); err != nil {
 				return err
 			}
-			t.stats.addOut(1)
 		case <-ctx.Done():
 			return ctx.Err()
 		}

@@ -67,7 +67,9 @@ func finishTrace[T any](name string, v T, d time.Duration, buf *telemetry.TraceB
 }
 
 // watchOutput installs a queue-depth probe over the operator's output
-// channels; multi-output operators (Shuffle, Fanout) report the sum.
+// channels; multi-output operators (Shuffle, Fanout) report the sum. Since
+// edges carry chunks, depth and capacity are measured in chunks, not tuples
+// (T instantiates as []tuple here).
 func watchOutput[T any](s *OpStats, chs ...chan T) {
 	total := 0
 	for _, ch := range chs {

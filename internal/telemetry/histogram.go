@@ -69,6 +69,13 @@ func NewSizeHistogram() *Histogram {
 	return NewHistogram(64, 2, 32)
 }
 
+// NewBatchHistogram builds a histogram for batch/chunk sizes counted in
+// items: 16 power-of-two buckets from 1 to 32768, enough headroom for any
+// realistic micro-batch while keeping single-item sends in their own bucket.
+func NewBatchHistogram() *Histogram {
+	return NewHistogram(1, 2, 16)
+}
+
 // bucketIndex returns the bucket covering v, or len(upper) for overflow.
 func (h *Histogram) bucketIndex(v float64) int {
 	if v <= h.min {
@@ -107,6 +114,47 @@ func (h *Histogram) Observe(v float64) {
 		}
 	}
 	for { // running max; float64 bit patterns of non-negative floats order correctly
+		old := h.maxBits.Load()
+		if math.Float64bits(v) <= old {
+			break
+		}
+		if h.maxBits.CompareAndSwap(old, math.Float64bits(v)) {
+			break
+		}
+	}
+}
+
+// ObserveN records n samples of equal value v in one pass: one bucket add,
+// one count add, one sum update. It is the batch-friendly fast path for
+// callers that amortize measurement over a chunk of work and attribute the
+// per-item average to each item — the histogram's count still advances by n,
+// so rates and means stay exact while quantiles coarsen to chunk granularity.
+func (h *Histogram) ObserveN(v float64, n uint64) {
+	if n == 0 {
+		return
+	}
+	if n == 1 {
+		h.Observe(v)
+		return
+	}
+	if v < 0 || math.IsNaN(v) {
+		v = 0
+	}
+	if i := h.bucketIndex(v); i >= len(h.counts) {
+		h.overflow.Add(n)
+	} else {
+		h.counts[i].Add(n)
+	}
+	h.count.Add(n)
+	add := v * float64(n)
+	for { // float sum via CAS
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + add)
+		if h.sumBits.CompareAndSwap(old, next) {
+			break
+		}
+	}
+	for {
 		old := h.maxBits.Load()
 		if math.Float64bits(v) <= old {
 			break

@@ -7,13 +7,13 @@ BENCH_PKGS  := . ./internal/stream ./internal/pubsub ./internal/kvstore
 BENCH_TIME  ?= 300ms
 BENCH_COUNT ?= 1
 
-.PHONY: ci vet build test race bench bench-smoke profile lint metrics-smoke
+.PHONY: ci vet build test race bench bench-smoke profile lint metrics-smoke chaos
 
 ## ci: the full gate — vet, build, the test suite under the race detector,
-## the stratalint analyzers (see DESIGN.md, "Static contracts"), and one
+## the stratalint analyzers (see DESIGN.md, "Static contracts"), one
 ## -benchtime=1x pass over the data-plane benchmarks so the batched fast
-## paths run under -race too.
-ci: vet build race lint bench-smoke
+## paths run under -race too, and the kill-and-recover chaos suite.
+ci: vet build race lint bench-smoke chaos
 
 vet:
 	$(GO) vet ./...
@@ -51,6 +51,12 @@ profile:
 	$(GO) build -o bin/strata-bench ./cmd/strata-bench
 	./bin/strata-bench -fig 7 -reps 1 -layers 10 -cpuprofile cpu.prof -memprofile mem.prof
 	@echo "inspect with: $(GO) tool pprof cpu.prof (or mem.prof)"
+
+## chaos: the faultinject kill-and-recover suite under -race — checkpointed
+## pipelines are crashed at armed crashpoints (mid-run and mid-checkpoint)
+## and must recover to outputs identical to an uncrashed run (DESIGN.md §10).
+chaos:
+	$(GO) test -race -count=1 -run 'TestChaos' ./internal/core
 
 ## metrics-smoke: boot a full deployment (manager + broker + store + traced
 ## pipeline) behind the telemetry HTTP handler and assert /metrics serves a

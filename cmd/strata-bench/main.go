@@ -19,6 +19,7 @@ import (
 	"runtime/pprof"
 	"strings"
 	"syscall"
+	"time"
 
 	"strata/internal/bench"
 	"strata/internal/telemetry"
@@ -33,7 +34,7 @@ func main() {
 
 func run() error {
 	var (
-		fig     = flag.String("fig", "all", "figure to regenerate: 4, 5, 6, 7, all, or ablate")
+		fig     = flag.String("fig", "all", "figure to regenerate: 4, 5, 6, 7, all, ablate, or ckpt")
 		imagePx = flag.Int("image", 1000, "OT image resolution in pixels (paper: 2000)")
 		layers  = flag.Int("layers", 40, "layers per repetition (paper: full 575-layer build)")
 		reps    = flag.Int("reps", 5, "repetitions per configuration (paper: 5)")
@@ -41,6 +42,9 @@ func run() error {
 		par     = flag.Int("par", 4, "pipeline stage parallelism")
 		outDir  = flag.String("out", "bench-out", "directory for Figure 4 images")
 		quiet   = flag.Bool("quiet", false, "suppress progress output")
+
+		ckptEvery = flag.Duration("ckpt-interval", 200*time.Millisecond,
+			"checkpoint cadence for -fig ckpt (overhead measurement)")
 
 		metricsAddr = flag.String("metrics-addr", "",
 			"serve Prometheus process metrics (/metrics, /healthz) during the run (empty disables)")
@@ -159,6 +163,15 @@ func run() error {
 		}); err != nil {
 			return err
 		}
+	}
+
+	if want["ckpt"] {
+		fmt.Println("=== Checkpoint overhead (crash-consistent recovery, DESIGN.md §10) ===")
+		rep, err := bench.RunCheckpointOverhead(ctx, cfg, *ckptEvery)
+		if err != nil {
+			return fmt.Errorf("checkpoint overhead: %w", err)
+		}
+		fmt.Println(rep)
 	}
 
 	if want["ablate"] || want["ablations"] {

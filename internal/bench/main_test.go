@@ -1,0 +1,14 @@
+package bench
+
+import (
+	"testing"
+
+	"strata/internal/leakcheck"
+)
+
+// TestMain fails the package if any test leaves a goroutine behind — the
+// experiment harness spins up whole deployments per measurement and must
+// tear every one of them down.
+func TestMain(m *testing.M) {
+	leakcheck.VerifyTestMain(m)
+}

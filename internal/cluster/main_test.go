@@ -1,0 +1,13 @@
+package cluster
+
+import (
+	"testing"
+
+	"strata/internal/leakcheck"
+)
+
+// TestMain fails the package if any test leaves a goroutine behind — the
+// streaming DBSCAN workers must drain and exit before a test returns.
+func TestMain(m *testing.M) {
+	leakcheck.VerifyTestMain(m)
+}

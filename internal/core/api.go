@@ -2,10 +2,13 @@ package core
 
 import (
 	"context"
+	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"time"
 
+	"strata/internal/kvstore"
 	"strata/internal/stream"
 	"strata/internal/telemetry"
 )
@@ -368,6 +371,12 @@ func (fw *Framework) CorrelateEvents(name string, in *StreamRef, l int, f Correl
 		if branch >= 0 {
 			opName = fmt.Sprintf("%s.%d", name, branch)
 		}
+		if fw.ckptEnabled {
+			// The correlate buffers live inside the Process closure, out of
+			// the engine's reach; register them as framework-level
+			// checkpoint state instead.
+			fw.registerCkptProvider(opName, state.snapshot, state.restore)
+		}
 		return stream.Process(fw.query, opName, s, state.ingest, state.finish)
 	}
 
@@ -497,6 +506,11 @@ func (cs *correlateState) finish(emit stream.Emit[EventTuple]) error {
 
 // Deliver attaches an expert-facing sink to a stream: fn runs for every
 // result tuple (markers are filtered out).
+//
+// Under checkpointed recovery, Deliver is at-least-once: after a restart
+// the pipeline replays from the last checkpoint's offsets, so fn sees
+// tuples processed between that checkpoint and the crash a second time.
+// Use DeliverDurable when re-applying an effect is not acceptable.
 func (fw *Framework) Deliver(name string, in *StreamRef, fn func(EventTuple) error) {
 	if in == nil || fn == nil {
 		fw.recordErr(fmt.Errorf("%w: Deliver %q: nil input or function", ErrBadPipeline, name))
@@ -507,5 +521,63 @@ func (fw *Framework) Deliver(name string, in *StreamRef, fn func(EventTuple) err
 			return nil
 		}
 		return fn(t)
+	})
+}
+
+// DeliverDurable attaches an effectively-once sink whose effects live in
+// the framework's key-value store. Each result tuple gets a sequence
+// number (its 1-based position in the sink's input); apply stages the
+// tuple's effects into the batch, and the sink commits the batch together
+// with a durable high-water mark in one atomic write. After a crash the
+// pipeline replays from its last checkpoint; replayed tuples reproduce
+// their original sequence numbers (the sequence counter is part of the
+// checkpoint) and every sequence at or below the durable mark is
+// suppressed — so each tuple's effects reach the store exactly once, as
+// long as the pipeline is deterministic (same inputs in the same order
+// produce the same results). Non-deterministic stages degrade this to
+// at-least-once, same as Deliver.
+func (fw *Framework) DeliverDurable(name string, in *StreamRef, apply func(seq uint64, t EventTuple, b *kvstore.Batch) error) {
+	if in == nil || apply == nil {
+		fw.recordErr(fmt.Errorf("%w: DeliverDurable %q: nil input or function", ErrBadPipeline, name))
+		return
+	}
+	ds := &durableSink{}
+	hwKey := []byte("sinkhw/" + fw.name + "/" + name)
+	if v, err := fw.store.Get(hwKey); err == nil {
+		if len(v) == 8 {
+			ds.hw = binary.BigEndian.Uint64(v)
+		}
+	} else if !errors.Is(err, kvstore.ErrNotFound) {
+		fw.recordErr(fmt.Errorf("DeliverDurable %q: read high-water mark: %w", name, err))
+		return
+	}
+	if fw.restored != nil {
+		ds.seq = fw.restored.sinks[name]
+	}
+	fw.mu.Lock()
+	if fw.durableSinks == nil {
+		fw.durableSinks = make(map[string]*durableSink)
+	}
+	fw.durableSinks[name] = ds
+	fw.mu.Unlock()
+	store := fw.store
+	stream.AddSink(fw.query, name, in.singleStream(fw, name), func(t EventTuple) error {
+		if t.isMarker() {
+			return nil
+		}
+		ds.seq++
+		if ds.seq <= ds.hw {
+			return nil // replayed tuple whose effects already committed
+		}
+		var b kvstore.Batch
+		if err := apply(ds.seq, t, &b); err != nil {
+			return fmt.Errorf("durable sink %q: %w", name, err)
+		}
+		b.Put(hwKey, be64(ds.seq))
+		if err := store.Apply(&b); err != nil {
+			return fmt.Errorf("durable sink %q: %w", name, err)
+		}
+		ds.hw = ds.seq
+		return nil
 	})
 }

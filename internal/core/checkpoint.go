@@ -1,0 +1,441 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"strata/internal/kvstore"
+	"strata/internal/stream"
+	"strata/internal/telemetry"
+)
+
+// Checkpoint storage layout, all under the pipeline's shared store:
+//
+//	ckpt/<pipeline>/latest                      8-byte BE epoch number
+//	ckpt/<pipeline>/<epoch:%016x>/meta          gob ckptMeta
+//	ckpt/<pipeline>/<epoch:%016x>/op/<name>     operator state blob
+//	ckpt/<pipeline>/<epoch:%016x>/src/<name>    8-byte BE resume offset
+//	ckpt/<pipeline>/<epoch:%016x>/custom/<name> framework-level state blob
+//	ckpt/<pipeline>/<epoch:%016x>/sink/<name>   8-byte BE sink sequence
+//
+// Every key of one epoch plus the latest pointer is written in ONE kvstore
+// batch (a single WAL record), so an epoch is visible if and only if it is
+// complete: a crash anywhere during checkpointing leaves the store at the
+// previous epoch. Retention deletes whole epochs with DeletePrefix, also
+// atomically.
+//
+// Recovery semantics (see DESIGN.md §10): restoring from epoch E rewinds
+// every positioned source to its recorded offset and every stateful
+// operator to its recorded state, so tuples emitted after E are reprocessed
+// — at-least-once through the pipeline's operators. Deliver sinks see those
+// replayed tuples again; DeliverDurable sinks suppress the ones whose
+// effects already reached the store, making externally visible effects
+// effectively-once (for deterministic pipelines).
+
+// ErrCheckpointRestore wraps failures to apply a loaded checkpoint to a
+// rebuilt pipeline. The supervisor treats it as a failed run charged
+// against the restart budget — not as a terminal build error, and not as a
+// reason to retry forever.
+var ErrCheckpointRestore = errors.New("strata: checkpoint restore failed")
+
+// checkpointCrash is a test seam: when non-nil it is consulted at each
+// stage of a checkpoint ("begin", "pre-apply"); a non-nil return aborts the
+// checkpoint there, simulating a crash at that point. Never set outside
+// tests.
+var checkpointCrash func(stage string) error
+
+// ckptStats is the per-pipeline checkpoint telemetry, shared by every
+// incarnation of a checkpointed pipeline (restores survive restarts).
+type ckptStats struct {
+	attempts     atomic.Uint64
+	failures     atomic.Uint64
+	restores     atomic.Uint64
+	lastEpoch    atomic.Uint64
+	lastUnixNano atomic.Int64
+	duration     *telemetry.Histogram
+	size         *telemetry.Histogram
+}
+
+func newCkptStats() *ckptStats {
+	return &ckptStats{
+		duration: telemetry.NewDurationHistogram(),
+		size:     telemetry.NewSizeHistogram(),
+	}
+}
+
+// ckptMeta describes one checkpoint epoch.
+type ckptMeta struct {
+	Epoch   uint64
+	TakenAt int64 // unix nanos
+	Ops     int
+	Sources int
+	Customs int
+	Sinks   int
+}
+
+func ckptPipelinePrefix(pipeline string) []byte {
+	return []byte("ckpt/" + pipeline + "/")
+}
+
+func ckptLatestKey(pipeline string) []byte {
+	return []byte("ckpt/" + pipeline + "/latest")
+}
+
+func ckptEpochPrefix(pipeline string, epoch uint64) []byte {
+	return fmt.Appendf(nil, "ckpt/%s/%016x/", pipeline, epoch)
+}
+
+func be64(v uint64) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], v)
+	return b[:]
+}
+
+// ckptProvider is framework-level state that the engine's operators do not
+// own (e.g. CorrelateEvents buffers, which live inside a Process closure).
+// snapshot runs only while the query is quiesced; restore only before Run.
+type ckptProvider struct {
+	snapshot func() ([]byte, error)
+	restore  func([]byte) error
+}
+
+// restoredCheckpoint is a loaded epoch waiting to be applied to a rebuilt
+// pipeline.
+type restoredCheckpoint struct {
+	epoch   uint64
+	snap    *stream.QuerySnapshot
+	customs map[string][]byte
+	sinks   map[string]uint64
+}
+
+// ckptCapture is one consistent cut: the engine snapshot plus the
+// framework-level state captured inside the quiesced window.
+type ckptCapture struct {
+	snap    *stream.QuerySnapshot
+	customs map[string][]byte
+	sinks   map[string]uint64
+}
+
+// enableCheckpointing marks the framework as checkpoint-managed and hands
+// it the restored epoch (nil on a fresh start). The manager calls it before
+// the user build function runs, so sources built during build see their
+// restored offsets.
+func (fw *Framework) enableCheckpointing(restored *restoredCheckpoint) {
+	fw.ckptEnabled = true
+	fw.restored = restored
+	if restored != nil {
+		fw.lastEpoch = restored.epoch
+	}
+	fw.query.EnableSnapshots()
+}
+
+// restoredPos returns the offset a positioned source should resume from: 0
+// on a fresh start, the checkpointed resume position otherwise.
+func (fw *Framework) restoredPos(source string) uint64 {
+	if fw.restored == nil {
+		return 0
+	}
+	return fw.restored.snap.Positions[source]
+}
+
+// registerCkptProvider attaches framework-level snapshot state under a
+// unique name (stage builders call it once per operator instance).
+func (fw *Framework) registerCkptProvider(name string, snapshot func() ([]byte, error), restore func([]byte) error) {
+	fw.mu.Lock()
+	defer fw.mu.Unlock()
+	if fw.providers == nil {
+		fw.providers = make(map[string]ckptProvider)
+	}
+	fw.providers[name] = ckptProvider{snapshot: snapshot, restore: restore}
+}
+
+// finishRestore applies the loaded epoch to the freshly built query:
+// operator blobs into their Snapshotter operators, custom blobs into their
+// providers. Source offsets were already consumed at build time
+// (restoredPos) and sink sequences at DeliverDurable registration. Any
+// failure is wrapped in ErrCheckpointRestore.
+func (fw *Framework) finishRestore() error {
+	if fw.restored == nil {
+		return nil
+	}
+	if err := fw.query.RestoreCheckpoint(fw.restored.snap); err != nil {
+		return fmt.Errorf("%w: %v", ErrCheckpointRestore, err)
+	}
+	fw.mu.Lock()
+	providers := make(map[string]ckptProvider, len(fw.providers))
+	for k, v := range fw.providers {
+		providers[k] = v
+	}
+	fw.mu.Unlock()
+	for name, blob := range fw.restored.customs {
+		p, ok := providers[name]
+		if !ok {
+			return fmt.Errorf("%w: no state provider %q in rebuilt pipeline", ErrCheckpointRestore, name)
+		}
+		if err := p.restore(blob); err != nil {
+			return fmt.Errorf("%w: provider %q: %v", ErrCheckpointRestore, name, err)
+		}
+	}
+	return nil
+}
+
+// captureCheckpoint quiesces the query and captures engine state, provider
+// blobs, and sink sequence cursors in one consistent cut. The provider and
+// sink reads run inside the quiesced window, where every operator goroutine
+// is parked, so the plain fields they read are stable.
+func (fw *Framework) captureCheckpoint(ctx context.Context) (*ckptCapture, error) {
+	cap := &ckptCapture{
+		customs: make(map[string][]byte),
+		sinks:   make(map[string]uint64),
+	}
+	snap, err := fw.query.Checkpoint(ctx, func(*stream.QuerySnapshot) error {
+		fw.mu.Lock()
+		providers := make(map[string]ckptProvider, len(fw.providers))
+		for k, v := range fw.providers {
+			providers[k] = v
+		}
+		sinks := make(map[string]*durableSink, len(fw.durableSinks))
+		for k, v := range fw.durableSinks {
+			sinks[k] = v
+		}
+		fw.mu.Unlock()
+		for name, p := range providers {
+			blob, err := p.snapshot()
+			if err != nil {
+				return fmt.Errorf("snapshot provider %q: %w", name, err)
+			}
+			cap.customs[name] = blob
+		}
+		for name, s := range sinks {
+			cap.sinks[name] = s.seq
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	cap.snap = snap
+	return cap, nil
+}
+
+// writeCheckpoint persists one epoch atomically and returns the total blob
+// size written.
+func writeCheckpoint(store *kvstore.DB, pipeline string, epoch uint64, cap *ckptCapture) (int, error) {
+	prefix := ckptEpochPrefix(pipeline, epoch)
+	key := func(parts ...string) []byte {
+		k := append([]byte(nil), prefix...)
+		for _, p := range parts {
+			k = append(k, p...)
+		}
+		return k
+	}
+	var b kvstore.Batch
+	size := 0
+	for name, blob := range cap.snap.Ops {
+		b.Put(key("op/", name), blob)
+		size += len(blob)
+	}
+	for name, pos := range cap.snap.Positions {
+		b.Put(key("src/", name), be64(pos))
+		size += 8
+	}
+	for name, blob := range cap.customs {
+		b.Put(key("custom/", name), blob)
+		size += len(blob)
+	}
+	for name, seq := range cap.sinks {
+		b.Put(key("sink/", name), be64(seq))
+		size += 8
+	}
+	meta, err := gobEncodeMeta(ckptMeta{
+		Epoch:   epoch,
+		TakenAt: time.Now().UnixNano(),
+		Ops:     len(cap.snap.Ops),
+		Sources: len(cap.snap.Positions),
+		Customs: len(cap.customs),
+		Sinks:   len(cap.sinks),
+	})
+	if err != nil {
+		return 0, err
+	}
+	b.Put(key("meta"), meta)
+	b.Put(ckptLatestKey(pipeline), be64(epoch))
+	if err := store.Apply(&b); err != nil {
+		return 0, err
+	}
+	return size, nil
+}
+
+// listEpochs returns the epochs with a meta record, ascending.
+func listEpochs(store *kvstore.DB, pipeline string) ([]uint64, error) {
+	prefix := ckptPipelinePrefix(pipeline)
+	var epochs []uint64
+	err := store.ScanPrefix(prefix, func(k, _ []byte) bool {
+		rest := string(k[len(prefix):])
+		if len(rest) == 16+len("/meta") && rest[16:] == "/meta" {
+			if e, err := strconv.ParseUint(rest[:16], 16, 64); err == nil {
+				epochs = append(epochs, e)
+			}
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(epochs, func(i, j int) bool { return epochs[i] < epochs[j] })
+	return epochs, nil
+}
+
+// pruneEpochs deletes every epoch below keepFrom.
+func pruneEpochs(store *kvstore.DB, pipeline string, keepFrom uint64) error {
+	epochs, err := listEpochs(store, pipeline)
+	if err != nil {
+		return err
+	}
+	for _, e := range epochs {
+		if e >= keepFrom {
+			break
+		}
+		if _, err := store.DeletePrefix(ckptEpochPrefix(pipeline, e)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// loadCheckpoint returns the newest complete epoch for pipeline, or nil when
+// none exists. It prefers the latest pointer but falls back to older epochs
+// when the pointed-to epoch is missing its meta record (defense against a
+// store that predates atomic epochs).
+func loadCheckpoint(store *kvstore.DB, pipeline string) (*restoredCheckpoint, error) {
+	epochs, err := listEpochs(store, pipeline)
+	if err != nil {
+		return nil, err
+	}
+	if len(epochs) == 0 {
+		return nil, nil
+	}
+	// Never restore past the latest pointer: epochs above it were not fully
+	// committed (cannot happen with batched writes, but cheap to enforce).
+	if lb, err := store.Get(ckptLatestKey(pipeline)); err == nil && len(lb) == 8 {
+		latest := binary.BigEndian.Uint64(lb)
+		for len(epochs) > 0 && epochs[len(epochs)-1] > latest {
+			epochs = epochs[:len(epochs)-1]
+		}
+	} else if err != nil && !errors.Is(err, kvstore.ErrNotFound) {
+		return nil, err
+	}
+	if len(epochs) == 0 {
+		return nil, nil
+	}
+	epoch := epochs[len(epochs)-1]
+	rc := &restoredCheckpoint{
+		epoch: epoch,
+		snap: &stream.QuerySnapshot{
+			Ops:       make(map[string][]byte),
+			Positions: make(map[string]uint64),
+		},
+		customs: make(map[string][]byte),
+		sinks:   make(map[string]uint64),
+	}
+	prefix := ckptEpochPrefix(pipeline, epoch)
+	err = store.ScanPrefix(prefix, func(k, v []byte) bool {
+		rest := string(k[len(prefix):])
+		switch {
+		case rest == "meta":
+		case len(rest) > 3 && rest[:3] == "op/":
+			rc.snap.Ops[rest[3:]] = append([]byte(nil), v...)
+		case len(rest) > 4 && rest[:4] == "src/":
+			if len(v) == 8 {
+				rc.snap.Positions[rest[4:]] = binary.BigEndian.Uint64(v)
+			}
+		case len(rest) > 7 && rest[:7] == "custom/":
+			rc.customs[rest[7:]] = append([]byte(nil), v...)
+		case len(rest) > 5 && rest[:5] == "sink/":
+			if len(v) == 8 {
+				rc.sinks[rest[5:]] = binary.BigEndian.Uint64(v)
+			}
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rc, nil
+}
+
+func gobEncodeMeta(m ckptMeta) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(m); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// durableSink is the cursor state of one DeliverDurable sink. seq and hw
+// are written only by the sink goroutine and read by the checkpoint
+// coordinator inside the quiesced window (where the sink is parked), so
+// plain fields suffice.
+type durableSink struct {
+	seq uint64 // tuples seen since stream start (deterministic under replay)
+	hw  uint64 // highest seq whose effects are durably applied
+}
+
+// correlateSnapBuf mirrors specimenBuffer with exported fields for gob.
+type correlateSnapBuf struct {
+	Job        string
+	Specimen   string
+	Layers     map[int][]EventTuple
+	LastClosed int
+}
+
+// snapshot serializes the correlate buffers (runs only while quiesced).
+func (cs *correlateState) snapshot() ([]byte, error) {
+	out := make([]correlateSnapBuf, 0, len(cs.perKey))
+	for _, b := range cs.perKey {
+		out = append(out, correlateSnapBuf{
+			Job: b.job, Specimen: b.specimen,
+			Layers: b.layers, LastClosed: b.lastClosed,
+		})
+	}
+	// Deterministic blob bytes across runs (map iteration order varies).
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Job != out[j].Job {
+			return out[i].Job < out[j].Job
+		}
+		return out[i].Specimen < out[j].Specimen
+	})
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(out); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// restore rebuilds the correlate buffers from a snapshot (runs before Run).
+func (cs *correlateState) restore(blob []byte) error {
+	var bufs []correlateSnapBuf
+	if err := gob.NewDecoder(bytes.NewReader(blob)).Decode(&bufs); err != nil {
+		return err
+	}
+	cs.perKey = make(map[string]*specimenBuffer, len(bufs))
+	for _, b := range bufs {
+		layers := b.Layers
+		if layers == nil {
+			layers = make(map[int][]EventTuple)
+		}
+		cs.perKey[b.Job+"\x00"+b.Specimen] = &specimenBuffer{
+			job: b.Job, specimen: b.Specimen,
+			layers: layers, lastClosed: b.LastClosed,
+		}
+	}
+	return nil
+}

@@ -37,6 +37,23 @@ const (
 // outside the codec's type set.
 var ErrUnsupportedValue = fmt.Errorf("strata: unsupported KV value type")
 
+// GobEncode implements gob.GobEncoder by delegating to the connector codec,
+// so EventTuple can sit inside gob-encoded operator state (checkpoint
+// blobs: join buffers, reorder queues, correlate windows). As on the wire,
+// Trace is dropped — traces are process-local diagnostics and do not
+// survive a restart — and KV values must belong to the codec's type set.
+func (t EventTuple) GobEncode() ([]byte, error) { return EncodeTuple(t) }
+
+// GobDecode implements gob.GobDecoder via the connector codec.
+func (t *EventTuple) GobDecode(data []byte) error {
+	decoded, err := DecodeTuple(data)
+	if err != nil {
+		return err
+	}
+	*t = decoded
+	return nil
+}
+
 // EncodeTuple serializes t for transport through a connector.
 func EncodeTuple(t EventTuple) ([]byte, error) {
 	buf := make([]byte, 0, 64)

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -98,13 +99,24 @@ func (fw *Framework) tap(
 	})
 }
 
-// AddReplaySource deploys a source that first replays the encoded tuples
-// recorded under subject in store (from offset 0, in order) and then — when
-// liveAfter is true — continues with live broker traffic on the same
-// subject. Together with pubsub.Record on the raw connector, this is how an
+// AddReplaySource deploys a source that replays the encoded tuples recorded
+// under subject in store, in offset order, and then — when liveAfter is
+// true — keeps tailing the log for new records as they are appended.
+// Together with pubsub.Record on the raw connector, this is how an
 // event-detection pipeline deployed mid-build reprocesses every earlier
 // layer before following the build live: the paper's "continuously
 // deployed, run, and decommissioned" detection methods without data loss.
+//
+// The live phase follows the log itself (a cursor), not a broker
+// subscription: the recorder is the single writer ordering the topic, so
+// the replay→live handoff can neither skip nor duplicate a record — each
+// log offset is emitted exactly once. (Earlier versions subscribed to the
+// broker for the live phase and could re-deliver records that landed in
+// both the log batch and the subscription buffer.)
+//
+// The source is positioned: under checkpointing, the last fully processed
+// offset is part of every checkpoint and a restored pipeline resumes from
+// there instead of offset 0.
 //
 // Replayed tuples keep their original event times (windows behave as if
 // live) but get a fresh AvailableAt: latency is measured against when this
@@ -115,27 +127,10 @@ func (fw *Framework) AddReplaySource(name string, store *pubsub.LogStore, subjec
 		fw.recordErr(fmt.Errorf("%w: AddReplaySource %q: nil store", ErrBadPipeline, name))
 		return out
 	}
-	if liveAfter && fw.broker == nil {
-		fw.recordErr(fmt.Errorf("%w: AddReplaySource %q: liveAfter requires a broker", ErrBadPipeline, name))
-		return out
-	}
-	broker := fw.broker
-	out.s = stream.AddSource(fw.query, name, func(ctx context.Context, emit stream.Emit[EventTuple]) error {
-		// Subscribe BEFORE reading the log so no message falls between
-		// replay and live (duplicates are possible instead; recorded
-		// offsets put them at the subscription buffer's head and the
-		// batch read below covers everything older).
-		var sub *pubsub.Subscription
-		if liveAfter {
-			var err error
-			sub, err = broker.Subscribe(subject, pubsub.WithSubBuffer(1024))
-			if err != nil {
-				return err
-			}
-			defer sub.Unsubscribe()
-		}
-		emitTuple := func(data []byte) error {
-			t, err := DecodeTuple(data)
+	start := fw.restoredPos(name)
+	out.s = stream.AddPositionedSource(fw.query, name, start, func(ctx context.Context, emit stream.PosEmit[EventTuple]) error {
+		emitTuple := func(m pubsub.StoredMessage) error {
+			t, err := DecodeTuple(m.Data)
 			if err != nil {
 				return fmt.Errorf("replay source %q: %w", name, err)
 			}
@@ -146,12 +141,12 @@ func (fw *Framework) AddReplaySource(name string, store *pubsub.LogStore, subjec
 			if t.Portion == "" {
 				t.Portion = DefaultPortion
 			}
-			return emit(t)
+			return emit(m.Offset, t)
 		}
 		const batch = 256
-		offset := uint64(0)
+		cur := store.Cursor(subject, start)
 		for {
-			msgs, err := store.Read(subject, offset, batch)
+			msgs, err := cur.Next(batch)
 			if err != nil {
 				return err
 			}
@@ -159,26 +154,26 @@ func (fw *Framework) AddReplaySource(name string, store *pubsub.LogStore, subjec
 				break
 			}
 			for _, m := range msgs {
-				if err := emitTuple(m.Data); err != nil {
+				if err := emitTuple(m); err != nil {
 					return err
 				}
 			}
-			offset = msgs[len(msgs)-1].Offset + 1
 		}
 		if !liveAfter {
 			return nil
 		}
 		for {
-			select {
-			case msg, ok := <-sub.C:
-				if !ok {
-					return nil
+			msgs, err := cur.NextWait(ctx, batch)
+			if err != nil {
+				if errors.Is(err, pubsub.ErrClosed) {
+					return nil // log store closed: the topic has ended
 				}
-				if err := emitTuple(msg.Data); err != nil {
+				return err
+			}
+			for _, m := range msgs {
+				if err := emitTuple(m); err != nil {
 					return err
 				}
-			case <-ctx.Done():
-				return ctx.Err()
 			}
 		}
 	})

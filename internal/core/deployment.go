@@ -103,6 +103,8 @@ type deployConfig struct {
 	policy      RestartPolicy
 	maxRestarts int
 	backoff     time.Duration
+	ckptEvery   time.Duration
+	ckptRetain  int
 }
 
 // DeployOption customizes one Deploy call.
@@ -139,12 +141,45 @@ func WithRestartBackoff(d time.Duration) DeployOption {
 	}
 }
 
+// WithCheckpointInterval makes the manager checkpoint the pipeline every d:
+// each epoch captures every stateful operator, every positioned source's
+// resume offset, and every durable sink's cursor in one atomic store write.
+// On a supervised restart — or on a redeploy under the same name after a
+// process restart — the pipeline resumes from the newest epoch instead of
+// reprocessing from scratch. d <= 0 (the default) disables checkpointing
+// entirely: the pipeline's hot path pays nothing.
+//
+// Checkpointed pipelines usually pair this with RestartOnFailure; the build
+// function must compose positioned sources (e.g. AddReplaySource) for
+// offsets to be resumable.
+func WithCheckpointInterval(d time.Duration) DeployOption {
+	return func(c *deployConfig) { c.ckptEvery = d }
+}
+
+// WithCheckpointRetention keeps the last n checkpoint epochs (default 3).
+// Older epochs are deleted after each successful checkpoint.
+func WithCheckpointRetention(n int) DeployOption {
+	return func(c *deployConfig) {
+		if n >= 1 {
+			c.ckptRetain = n
+		}
+	}
+}
+
 // Pipeline is one deployed query with its own lifecycle.
 type Pipeline struct {
 	name   string
 	build  func(fw *Framework) error
 	cancel context.CancelFunc
 	done   chan struct{}
+
+	// Checkpoint wiring (nil / zero unless deployed with
+	// WithCheckpointInterval). ckptOpMu serializes checkpoint attempts — the
+	// interval loop and CheckpointNow — per pipeline.
+	ckptEvery  time.Duration
+	ckptRetain int
+	ckpt       *ckptStats
+	ckptOpMu   sync.Mutex
 
 	mu          sync.Mutex
 	fw          *Framework // current incarnation (replaced on restart)
@@ -204,17 +239,33 @@ func NewManager(storeDir string, broker *pubsub.Broker, opts ...ManagerOption) (
 func (m *Manager) Store() *kvstore.DB { return m.store }
 
 // buildFramework constructs and composes one incarnation of a pipeline.
-func (m *Manager) buildFramework(name string, build func(fw *Framework) error) (*Framework, error) {
+// For checkpointed pipelines it loads the newest epoch BEFORE the user
+// build function runs — positioned sources read their resume offset at
+// build time — and applies operator and provider state after the build.
+func (m *Manager) buildFramework(name string, build func(fw *Framework) error, cfg deployConfig, st *ckptStats) (*Framework, error) {
 	fw, err := New(WithStore(m.store), WithBroker(m.broker), WithName(name),
 		WithTraceSampling(m.traceEvery))
 	if err != nil {
 		return nil, err
+	}
+	if cfg.ckptEvery > 0 {
+		restored, err := loadCheckpoint(m.store, name)
+		if err != nil {
+			return nil, fmt.Errorf("%w: load pipeline %q: %v", ErrCheckpointRestore, name, err)
+		}
+		fw.enableCheckpointing(restored)
 	}
 	if err := build(fw); err != nil {
 		return nil, fmt.Errorf("strata: build pipeline %q: %w", name, err)
 	}
 	if err := fw.Err(); err != nil {
 		return nil, fmt.Errorf("strata: pipeline %q mis-composed: %w", name, err)
+	}
+	if err := fw.finishRestore(); err != nil {
+		return nil, err
+	}
+	if fw.restored != nil && st != nil {
+		st.restores.Add(1)
 	}
 	return fw, nil
 }
@@ -226,7 +277,7 @@ func (m *Manager) buildFramework(name string, build func(fw *Framework) error) (
 // rebuilds and reruns it after failures (build must therefore be
 // re-invocable: it is called once per incarnation).
 func (m *Manager) Deploy(name string, build func(fw *Framework) error, opts ...DeployOption) (*Pipeline, error) {
-	cfg := deployConfig{policy: RestartNever, maxRestarts: 3, backoff: 100 * time.Millisecond}
+	cfg := deployConfig{policy: RestartNever, maxRestarts: 3, backoff: 100 * time.Millisecond, ckptRetain: 3}
 	for _, o := range opts {
 		o(&cfg)
 	}
@@ -242,7 +293,11 @@ func (m *Manager) Deploy(name string, build func(fw *Framework) error, opts ...D
 	}
 	m.mu.Unlock()
 
-	fw, err := m.buildFramework(name, build)
+	var st *ckptStats
+	if cfg.ckptEvery > 0 {
+		st = newCkptStats()
+	}
+	fw, err := m.buildFramework(name, build, cfg, st)
 	if err != nil {
 		return nil, err
 	}
@@ -256,6 +311,9 @@ func (m *Manager) Deploy(name string, build func(fw *Framework) error, opts ...D
 		done:       make(chan struct{}),
 		status:     StatusRunning,
 		deployedAt: time.Now(),
+		ckptEvery:  cfg.ckptEvery,
+		ckptRetain: cfg.ckptRetain,
+		ckpt:       st,
 	}
 
 	m.mu.Lock()
@@ -287,8 +345,23 @@ func (m *Manager) supervise(ctx context.Context, p *Pipeline, cfg deployConfig) 
 		fw := p.fw
 		p.mu.Unlock()
 
+		// Periodic checkpoints run beside the incarnation and stop — with a
+		// full handshake — before it is torn down or replaced, so a
+		// checkpoint never captures a dead framework.
+		var ckptDone chan struct{}
+		var stopCkpt chan struct{}
+		if p.ckptEvery > 0 {
+			stopCkpt = make(chan struct{})
+			ckptDone = make(chan struct{})
+			go m.checkpointLoop(ctx, p, stopCkpt, ckptDone)
+		}
+
 		started := time.Now()
 		err := fw.Run(ctx)
+		if stopCkpt != nil {
+			close(stopCkpt)
+			<-ckptDone
+		}
 		if time.Since(started) >= restartBudgetResetAfter {
 			// The incarnation ran healthily long enough that the previous
 			// outage is over: grant the next failure a fresh restart budget
@@ -301,25 +374,9 @@ func (m *Manager) supervise(ctx context.Context, p *Pipeline, cfg deployConfig) 
 		case err == nil:
 			p.setTerminal(StatusCompleted, nil)
 		case cfg.policy == RestartOnFailure && p.streakCount() < cfg.maxRestarts:
-			n := p.beginRestart(err)
-			select {
-			case <-time.After(restartWait(cfg.backoff, n)):
-			case <-ctx.Done():
-				p.setTerminal(StatusDecommissioned, nil)
-				m.retire(p)
+			if !m.rebuildForRestart(ctx, p, cfg, err) {
 				return
 			}
-			next, buildErr := m.buildFramework(p.name, p.build)
-			if buildErr != nil {
-				// The rebuild itself failed; surface both errors.
-				p.setTerminal(StatusFailed, fmt.Errorf("restart after %w; rebuild: %v", err, buildErr))
-				m.retire(p)
-				return
-			}
-			p.mu.Lock()
-			p.fw = next
-			p.status = StatusRunning
-			p.mu.Unlock()
 			continue
 		default:
 			p.setTerminal(StatusFailed, err)
@@ -327,6 +384,127 @@ func (m *Manager) supervise(ctx context.Context, p *Pipeline, cfg deployConfig) 
 		m.retire(p)
 		return
 	}
+}
+
+// rebuildForRestart waits out the backoff and rebuilds the pipeline after a
+// failed run. It reports whether supervise should continue with the new
+// incarnation; on false the pipeline is already terminal and retired.
+//
+// A failed checkpoint restore is charged against the restart budget like
+// any other failed run — the next attempt may restore cleanly (or fall
+// back further once older epochs are pruned forward) — rather than being
+// either a terminal build error or an unbounded retry loop.
+func (m *Manager) rebuildForRestart(ctx context.Context, p *Pipeline, cfg deployConfig, runErr error) bool {
+	err := runErr
+	for {
+		n := p.beginRestart(err)
+		select {
+		case <-time.After(restartWait(cfg.backoff, n)):
+		case <-ctx.Done():
+			p.setTerminal(StatusDecommissioned, nil)
+			m.retire(p)
+			return false
+		}
+		next, buildErr := m.buildFramework(p.name, p.build, cfg, p.ckpt)
+		if buildErr == nil {
+			p.mu.Lock()
+			p.fw = next
+			p.status = StatusRunning
+			p.mu.Unlock()
+			return true
+		}
+		if errors.Is(buildErr, ErrCheckpointRestore) && p.streakCount() < cfg.maxRestarts {
+			err = buildErr
+			continue
+		}
+		// A non-restore rebuild failure (or an exhausted budget) is
+		// terminal; surface both errors.
+		p.setTerminal(StatusFailed, fmt.Errorf("restart after %w; rebuild: %v", err, buildErr))
+		m.retire(p)
+		return false
+	}
+}
+
+// checkpointLoop drives periodic checkpoints of one incarnation. Failures
+// are recorded in the pipeline's checkpoint stats and retried on the next
+// tick — a transient failure (store busy, query quiescing past the
+// deadline) must not kill an otherwise healthy pipeline.
+func (m *Manager) checkpointLoop(ctx context.Context, p *Pipeline, stop <-chan struct{}, done chan<- struct{}) {
+	defer close(done)
+	t := time.NewTicker(p.ckptEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			_ = m.checkpointPipeline(ctx, p)
+		}
+	}
+}
+
+// checkpointPipeline takes one checkpoint of a live pipeline: quiesce,
+// capture, write one atomic epoch, prune old epochs.
+func (m *Manager) checkpointPipeline(ctx context.Context, p *Pipeline) error {
+	p.ckptOpMu.Lock()
+	defer p.ckptOpMu.Unlock()
+	fw := p.Framework()
+	if !fw.ckptEnabled || p.ckpt == nil {
+		return fmt.Errorf("strata: pipeline %q is not checkpointed", p.name)
+	}
+	st := p.ckpt
+	st.attempts.Add(1)
+	fail := func(err error) error {
+		st.failures.Add(1)
+		return err
+	}
+	begin := time.Now()
+	if hook := checkpointCrash; hook != nil {
+		if err := hook("begin"); err != nil {
+			return fail(err)
+		}
+	}
+	cap, err := fw.captureCheckpoint(ctx)
+	if err != nil {
+		return fail(err)
+	}
+	epoch := fw.lastEpoch + 1
+	if hook := checkpointCrash; hook != nil {
+		if err := hook("pre-apply"); err != nil {
+			return fail(err)
+		}
+	}
+	size, err := writeCheckpoint(m.store, p.name, epoch, cap)
+	if err != nil {
+		return fail(err)
+	}
+	fw.lastEpoch = epoch
+	retain := uint64(p.ckptRetain)
+	if epoch > retain {
+		if err := pruneEpochs(m.store, p.name, epoch-retain+1); err != nil {
+			return fail(err)
+		}
+	}
+	st.lastEpoch.Store(epoch)
+	st.lastUnixNano.Store(time.Now().UnixNano())
+	st.duration.ObserveDuration(time.Since(begin))
+	st.size.Observe(float64(size))
+	return nil
+}
+
+// CheckpointNow synchronously checkpoints the named pipeline (deployed with
+// WithCheckpointInterval) and returns the first error. It serializes with
+// the periodic checkpoint loop.
+func (m *Manager) CheckpointNow(name string) error {
+	m.mu.Lock()
+	p, ok := m.pipelines[name]
+	m.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrPipelineUnknown, name)
+	}
+	return m.checkpointPipeline(context.Background(), p)
 }
 
 // maxRestartBackoff caps the doubling restart backoff so a long-lived flaky

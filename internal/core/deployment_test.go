@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"errors"
+	"sync"
 	"testing"
 	"time"
 
@@ -298,14 +299,93 @@ func TestAddReplaySourceValidation(t *testing.T) {
 	if err := fw.Err(); !errors.Is(err, ErrBadPipeline) {
 		t.Fatalf("Err() = %v", err)
 	}
-	fw2 := newTestFramework(t) // no broker
+	// liveAfter follows the log with a cursor — no broker required.
+	fw2 := newTestFramework(t)
 	store, err := pubsub.OpenLogStore(t.TempDir())
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer store.Close()
 	fw2.AddReplaySource("r", store, "x", true)
-	if err := fw2.Err(); !errors.Is(err, ErrBadPipeline) {
+	if err := fw2.Err(); err != nil {
 		t.Fatalf("liveAfter without broker: Err() = %v", err)
+	}
+}
+
+// TestReplayLiveHandoffNoDupNoGap hammers the replay→live transition: a
+// writer appends records concurrently with the replay source catching up,
+// so records land both in the final drain batches and in the tail-follow
+// phase. Every offset must be delivered exactly once, in order.
+func TestReplayLiveHandoffNoDupNoGap(t *testing.T) {
+	store, err := pubsub.OpenLogStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+
+	const subject = "strata.raw.hammer.j"
+	const total = 2000
+	append1 := func(layer int) {
+		t.Helper()
+		data, err := EncodeTuple(EventTuple{
+			Job: "j", Layer: layer, TS: time.Unix(int64(layer), 0),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := store.Append(subject, data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Seed a prefix so replay has work before the live race begins.
+	for i := 0; i < 200; i++ {
+		append1(i)
+	}
+
+	fw := newTestFramework(t)
+	var mu sync.Mutex
+	var layers []int
+	src := fw.AddReplaySource("r", store, subject, true)
+	fw.Deliver("out", src, func(t EventTuple) error {
+		mu.Lock()
+		layers = append(layers, t.Layer)
+		mu.Unlock()
+		return nil
+	})
+
+	runErr := make(chan error, 1)
+	go func() { runErr <- fw.Run(context.Background()) }()
+
+	// Append the rest while the source drains and transitions to tailing.
+	for i := 200; i < total; i++ {
+		append1(i)
+	}
+	// Wait until everything arrived, then close the store to end the tail.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		mu.Lock()
+		n := len(layers)
+		mu.Unlock()
+		if n >= total {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out: delivered %d/%d", n, total)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-runErr; err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(layers) != total {
+		t.Fatalf("delivered %d records, want %d", len(layers), total)
+	}
+	for i, l := range layers {
+		if l != i {
+			t.Fatalf("offset %d delivered layer %d (dup or gap)", i, l)
+		}
 	}
 }

@@ -92,6 +92,15 @@ type Framework struct {
 	ownStore  bool
 	ownBroker bool
 
+	// Checkpoint wiring (see checkpoint.go). ckptEnabled, restored, and
+	// lastEpoch are written before the user build function runs and read
+	// afterwards, so they need no locking; the maps are guarded by mu.
+	ckptEnabled  bool
+	restored     *restoredCheckpoint
+	lastEpoch    uint64
+	providers    map[string]ckptProvider
+	durableSinks map[string]*durableSink
+
 	mu       sync.Mutex
 	buildErr error
 }

@@ -51,6 +51,32 @@ func (m *Manager) Collect(w *telemetry.Writer) {
 	m.store.Collect(w)
 	for _, p := range live {
 		p.Framework().Collect(w)
+		if st := p.ckpt; st != nil {
+			pl := telemetry.L("pipeline", p.name)
+			w.Counter("strata_ckpt_total",
+				"Checkpoint attempts (successful or failed).",
+				float64(st.attempts.Load()), pl)
+			w.Counter("strata_ckpt_failures_total",
+				"Checkpoints that failed before committing their epoch.",
+				float64(st.failures.Load()), pl)
+			w.Counter("strata_ckpt_restores_total",
+				"Pipeline (re)builds that restored state from a checkpoint.",
+				float64(st.restores.Load()), pl)
+			w.Gauge("strata_ckpt_last_epoch",
+				"Epoch number of the most recent committed checkpoint.",
+				float64(st.lastEpoch.Load()), pl)
+			if ns := st.lastUnixNano.Load(); ns > 0 {
+				w.Gauge("strata_ckpt_age_seconds",
+					"Seconds since the most recent committed checkpoint.",
+					time.Since(time.Unix(0, ns)).Seconds(), pl)
+			}
+			w.Histogram("strata_ckpt_duration_seconds",
+				"Wall time of a checkpoint (quiesce through commit).",
+				st.duration.Snapshot(), pl)
+			w.Histogram("strata_ckpt_size_bytes",
+				"State bytes written per checkpoint epoch.",
+				st.size.Snapshot(), pl)
+		}
 	}
 }
 

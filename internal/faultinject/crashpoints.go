@@ -1,0 +1,72 @@
+package faultinject
+
+import "sync"
+
+// Crashpoints is a registry of named failure sites for crash-recovery
+// tests. Production code threads Hit calls through the places a process
+// could die (e.g. the stages of a checkpoint write); a test arms the site
+// it wants to "crash" at and the nth Hit returns the armed error, which the
+// caller propagates as if the failure were real. Unarmed sites cost one
+// mutex acquisition and are never armed outside tests.
+type Crashpoints struct {
+	mu   sync.Mutex
+	arms map[string]*crashArm
+}
+
+type crashArm struct {
+	remaining int // Hit calls left before the arm fires
+	err       error
+	fired     int
+}
+
+// NewCrashpoints returns an empty registry.
+func NewCrashpoints() *Crashpoints {
+	return &Crashpoints{arms: make(map[string]*crashArm)}
+}
+
+// Arm makes the nth subsequent Hit of name (1-based) return err. Arming a
+// site again replaces the previous arm. An armed site keeps firing on every
+// Hit after the nth until disarmed, modeling a persistently failing stage.
+func (c *Crashpoints) Arm(name string, n int, err error) {
+	if n < 1 {
+		n = 1
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.arms[name] = &crashArm{remaining: n, err: err}
+}
+
+// Disarm removes the arm on name, if any.
+func (c *Crashpoints) Disarm(name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.arms, name)
+}
+
+// Hit reports the armed error when name's countdown has elapsed, and nil
+// otherwise (including for sites never armed).
+func (c *Crashpoints) Hit(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	a, ok := c.arms[name]
+	if !ok {
+		return nil
+	}
+	if a.remaining > 1 {
+		a.remaining--
+		return nil
+	}
+	a.remaining = 1 // keep firing
+	a.fired++
+	return a.err
+}
+
+// Fired returns how many times the named site has returned its error.
+func (c *Crashpoints) Fired(name string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if a, ok := c.arms[name]; ok {
+		return a.fired
+	}
+	return 0
+}

@@ -1,0 +1,98 @@
+package faultinject
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestCrashpointsUnarmedIsNil(t *testing.T) {
+	c := NewCrashpoints()
+	if err := c.Hit("never-armed"); err != nil {
+		t.Fatalf("Hit(unarmed) = %v", err)
+	}
+	if got := c.Fired("never-armed"); got != 0 {
+		t.Fatalf("Fired(unarmed) = %d", got)
+	}
+}
+
+func TestCrashpointsNthHitFiresAndKeepsFiring(t *testing.T) {
+	c := NewCrashpoints()
+	boom := errors.New("boom")
+	c.Arm("site", 3, boom)
+	if err := c.Hit("site"); err != nil {
+		t.Fatalf("hit 1 = %v, want nil", err)
+	}
+	if err := c.Hit("site"); err != nil {
+		t.Fatalf("hit 2 = %v, want nil", err)
+	}
+	for i := 3; i <= 5; i++ {
+		if err := c.Hit("site"); !errors.Is(err, boom) {
+			t.Fatalf("hit %d = %v, want boom", i, err)
+		}
+	}
+	if got := c.Fired("site"); got != 3 {
+		t.Fatalf("Fired = %d, want 3", got)
+	}
+}
+
+func TestCrashpointsDisarmAndRearm(t *testing.T) {
+	c := NewCrashpoints()
+	boom := errors.New("boom")
+	c.Arm("site", 1, boom)
+	if err := c.Hit("site"); !errors.Is(err, boom) {
+		t.Fatalf("armed hit = %v", err)
+	}
+	c.Disarm("site")
+	if err := c.Hit("site"); err != nil {
+		t.Fatalf("disarmed hit = %v", err)
+	}
+	// Re-arming replaces the previous countdown and resets Fired.
+	other := errors.New("other")
+	c.Arm("site", 2, other)
+	if err := c.Hit("site"); err != nil {
+		t.Fatalf("rearmed hit 1 = %v, want nil", err)
+	}
+	if err := c.Hit("site"); !errors.Is(err, other) {
+		t.Fatalf("rearmed hit 2 = %v, want other", err)
+	}
+}
+
+func TestCrashpointsArmZeroMeansNext(t *testing.T) {
+	c := NewCrashpoints()
+	boom := errors.New("boom")
+	c.Arm("site", 0, boom)
+	if err := c.Hit("site"); !errors.Is(err, boom) {
+		t.Fatalf("Arm(0) first hit = %v, want boom", err)
+	}
+}
+
+func TestCrashpointsConcurrentHits(t *testing.T) {
+	c := NewCrashpoints()
+	boom := errors.New("boom")
+	c.Arm("site", 50, boom)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	fired := 0
+	for g := 0; g < 10; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				if err := c.Hit("site"); err != nil {
+					mu.Lock()
+					fired++
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	// 100 hits against a countdown of 50: hits 50..100 fire.
+	if fired != 51 {
+		t.Fatalf("fired %d times, want 51", fired)
+	}
+	if got := c.Fired("site"); got != 51 {
+		t.Fatalf("Fired = %d, want 51", got)
+	}
+}

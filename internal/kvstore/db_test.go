@@ -496,3 +496,33 @@ func TestRandomizedAgainstMap(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestDeletePrefix(t *testing.T) {
+	db := openTestDB(t)
+	for _, k := range []string{"ckpt/p/1/meta", "ckpt/p/1/op/a", "ckpt/p/1/src/s", "ckpt/p/2/meta", "other"} {
+		if err := db.Put([]byte(k), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n, err := db.DeletePrefix([]byte("ckpt/p/1/"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("deleted %d keys, want 3", n)
+	}
+	for _, k := range []string{"ckpt/p/1/meta", "ckpt/p/1/op/a", "ckpt/p/1/src/s"} {
+		if ok, _ := db.Has([]byte(k)); ok {
+			t.Fatalf("%s survived DeletePrefix", k)
+		}
+	}
+	for _, k := range []string{"ckpt/p/2/meta", "other"} {
+		if ok, _ := db.Has([]byte(k)); !ok {
+			t.Fatalf("%s wrongly deleted", k)
+		}
+	}
+	// Empty prefix set is a no-op, not an error.
+	if n, err := db.DeletePrefix([]byte("nope/")); err != nil || n != 0 {
+		t.Fatalf("empty DeletePrefix: %d %v", n, err)
+	}
+}

@@ -103,6 +103,28 @@ func (db *DB) ScanPrefix(prefix []byte, fn func(key, value []byte) bool) error {
 	return db.Scan(prefix, end, fn)
 }
 
+// DeletePrefix removes every live key beginning with prefix in one atomic
+// batch and reports how many keys it deleted. Checkpoint retention uses it
+// to drop whole epochs (`ckpt/<pipeline>/<epoch>/...`) without enumerating
+// their layout.
+func (db *DB) DeletePrefix(prefix []byte) (int, error) {
+	var b Batch
+	err := db.ScanPrefix(prefix, func(key, _ []byte) bool {
+		b.Delete(key)
+		return true
+	})
+	if err != nil {
+		return 0, err
+	}
+	if b.Len() == 0 {
+		return 0, nil
+	}
+	if err := db.Apply(&b); err != nil {
+		return 0, err
+	}
+	return b.Len(), nil
+}
+
 // prefixEnd returns the smallest key greater than every key with the given
 // prefix, or nil when no such bound exists (prefix is all 0xFF).
 func prefixEnd(prefix []byte) []byte {

@@ -24,6 +24,12 @@ import (
 //
 //	defer func() { for _, ch := range s.outs { close(ch) } }()
 //
+// A deferred call to closeGated — the stream package's quiesce-aware close
+// wrapper, which unconditionally closes its channel argument after waiting
+// out any checkpoint pause — satisfies the contract the same way:
+//
+//	defer closeGated(m.g, m.out)
+//
 // Only a defer survives every return path (including panics unwound by
 // recoverPanic), which is why in-line closes on the happy path do not
 // satisfy the check.
@@ -138,6 +144,16 @@ func collectDeferredCloses(pass *analysis.Pass, d *ast.DeferStmt, recvObj types.
 		}
 		return
 	}
+	// closeGated(g, ch): the quiesce-aware close wrapper. It always closes
+	// its channel argument, so any receiver out-field passed to it counts.
+	if fnIdent(d.Call.Fun) == "closeGated" {
+		for _, a := range d.Call.Args {
+			if name, ok := receiverField(pass, a, recvObj); ok {
+				closed[name] = true
+			}
+		}
+		return
+	}
 	lit, ok := ast.Unparen(d.Call.Fun).(*ast.FuncLit)
 	if !ok {
 		return
@@ -178,6 +194,19 @@ func collectDeferredCloses(pass *analysis.Pass, d *ast.DeferStmt, recvObj types.
 		}
 		return true
 	})
+}
+
+// fnIdent returns the called function's bare name, unwrapping parens and an
+// explicit generic instantiation (closeGated[T](...)).
+func fnIdent(e ast.Expr) string {
+	e = ast.Unparen(e)
+	if ix, ok := e.(*ast.IndexExpr); ok {
+		e = ast.Unparen(ix.X)
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
 }
 
 // receiverField matches e against `recv.field` and returns the field name.

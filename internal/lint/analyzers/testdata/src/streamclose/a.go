@@ -108,3 +108,45 @@ type runner struct {
 func (r *runner) start() {
 	close(r.out)
 }
+
+// gate stands in for the stream package's opGuard.
+type gate struct{}
+
+// closeGated mirrors the stream package's quiesce-aware close wrapper: it
+// unconditionally closes ch (after waiting out a checkpoint pause).
+func closeGated(g *gate, ch chan int) {
+	close(ch)
+}
+
+// gatedOp closes its output through the wrapper — the contract holds.
+type gatedOp struct {
+	g   *gate
+	in  chan int
+	out chan int
+}
+
+func (m *gatedOp) run(ctx context.Context) error {
+	defer closeGated(m.g, m.out)
+	for v := range m.in {
+		m.out <- v
+	}
+	return nil
+}
+
+// gatedWrongArg passes a non-output field through the wrapper; out itself
+// is still never closed.
+type gatedWrongArg struct {
+	g     *gate
+	extra chan int
+	out   chan int
+}
+
+func (w *gatedWrongArg) run(ctx context.Context) error { // want `never closes its output channel w\.out`
+	defer closeGated(w.g, w.extra)
+	for v := range w.in() {
+		w.out <- v
+	}
+	return nil
+}
+
+func (w *gatedWrongArg) in() chan int { return w.extra }

@@ -2,6 +2,7 @@ package pubsub
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -11,6 +12,8 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // LogStore persists published messages per subject in append-only files, so
@@ -26,12 +29,66 @@ import (
 //
 // Offsets are record ordinals (0-based), not byte positions. Safe for
 // concurrent use.
+//
+// Durability is governed by a SyncPolicy. The default, SyncNever, flushes
+// each record to the OS but never fsyncs: a process crash loses nothing, a
+// machine crash may lose the tail (the torn-record scan in openTopic
+// recovers a clean prefix). Stores backing checkpoint replay topics should
+// use WithLogSync(SyncGroup) so a recorded offset is never ahead of the
+// disk.
 type LogStore struct {
-	dir string
+	dir      string
+	policy   SyncPolicy
+	interval time.Duration
 
 	mu     sync.Mutex
 	closed bool
 	topics map[string]*topicLog
+	// sig is closed and remade on every successful append, waking NextWait
+	// cursors. It exists even for subjects with no topic file yet, so a
+	// cursor can tail a topic that will only be created later.
+	sig chan struct{}
+
+	// commits counts Append calls that requested durability (SyncGroup);
+	// syncs counts fsyncs actually issued. commits-syncs is the number of
+	// appends that rode another append's fsync (group commit coalescing).
+	commits atomic.Uint64
+	syncs   atomic.Uint64
+
+	flushStop chan struct{} // SyncInterval: closed by Close to stop the flusher
+	flushDone chan struct{} // SyncInterval: closed when the flusher exits
+}
+
+// SyncPolicy selects when a LogStore forces appended records to stable
+// storage.
+type SyncPolicy int
+
+const (
+	// SyncNever flushes appends to the OS but never calls fsync. Survives
+	// process crashes; a machine crash may lose the unsynced tail. This is
+	// the default and matches the store's historical behavior.
+	SyncNever SyncPolicy = iota
+	// SyncGroup fsyncs before Append returns, batching concurrent appends
+	// behind a single fsync (group commit, as in the kvstore WAL). Survives
+	// machine crashes.
+	SyncGroup
+	// SyncInterval fsyncs all topics on a background timer. Bounds the
+	// machine-crash loss window to roughly one interval without putting an
+	// fsync on the append path.
+	SyncInterval
+)
+
+// LogOption configures a LogStore at open time.
+type LogOption func(*LogStore)
+
+// WithLogSync selects the store's durability policy.
+func WithLogSync(p SyncPolicy) LogOption {
+	return func(ls *LogStore) { ls.policy = p }
+}
+
+// WithLogSyncInterval sets the flush period for SyncInterval (default 50ms).
+func WithLogSyncInterval(d time.Duration) LogOption {
+	return func(ls *LogStore) { ls.interval = d }
 }
 
 // StoredMessage is one replayed record.
@@ -50,15 +107,32 @@ type topicLog struct {
 	w       *bufio.Writer
 	offsets []int64 // byte position of each record
 	size    int64
+
+	// Group-commit state, mirroring the kvstore WAL: appends buffer under
+	// mu and then call commit, which coalesces concurrent flush+fsync work
+	// behind one leader. cmu orders committed/syncErr/closed; it is never
+	// taken while holding mu.
+	cmu       sync.Mutex
+	committed int64 // bytes durably synced (SyncGroup)
+	syncErr   error // sticky: first flush/sync failure poisons the topic
+	closed    bool  // set by Close; commit treats it as "close synced for us"
 }
 
 // OpenLogStore opens (creating if needed) a log store rooted at dir,
 // loading the offset index of every existing topic file.
-func OpenLogStore(dir string) (*LogStore, error) {
+func OpenLogStore(dir string, opts ...LogOption) (*LogStore, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("pubsub: create log dir: %w", err)
 	}
-	ls := &LogStore{dir: dir, topics: make(map[string]*topicLog)}
+	ls := &LogStore{
+		dir:      dir,
+		interval: 50 * time.Millisecond,
+		topics:   make(map[string]*topicLog),
+		sig:      make(chan struct{}),
+	}
+	for _, opt := range opts {
+		opt(ls)
+	}
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("pubsub: read log dir: %w", err)
@@ -73,7 +147,57 @@ func OpenLogStore(dir string) (*LogStore, error) {
 			return nil, errors.Join(err, ls.Close())
 		}
 	}
+	if ls.policy == SyncInterval {
+		ls.flushStop = make(chan struct{})
+		ls.flushDone = make(chan struct{})
+		go ls.flushLoop()
+	}
 	return ls, nil
+}
+
+// flushLoop is the SyncInterval background flusher; Close stops it before
+// touching the topic files.
+func (ls *LogStore) flushLoop() {
+	defer close(ls.flushDone)
+	tick := time.NewTicker(ls.interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ls.flushStop:
+			return
+		case <-tick.C:
+			ls.syncAll()
+		}
+	}
+}
+
+// syncAll flushes and fsyncs every topic once. Failures are recorded as the
+// topic's sticky sync error so later appends surface them.
+func (ls *LogStore) syncAll() {
+	ls.mu.Lock()
+	topics := make([]*topicLog, 0, len(ls.topics))
+	for _, t := range ls.topics {
+		topics = append(topics, t)
+	}
+	ls.mu.Unlock()
+	for _, t := range topics {
+		t.cmu.Lock()
+		if t.closed || t.syncErr != nil {
+			t.cmu.Unlock()
+			continue
+		}
+		t.mu.Lock()
+		err := t.w.Flush()
+		t.mu.Unlock()
+		if err == nil {
+			err = t.f.Sync()
+		}
+		if err != nil {
+			t.syncErr = err
+		}
+		ls.syncs.Add(1)
+		t.cmu.Unlock()
+	}
 }
 
 // subjectToFile encodes a subject as a filename: '_' escapes itself ("_u")
@@ -159,7 +283,10 @@ func (ls *LogStore) openTopic(subject string) (*topicLog, error) {
 	return t, nil
 }
 
-// Append stores data under subject and returns its offset.
+// Append stores data under subject and returns its offset. Under SyncNever
+// and SyncInterval the record is flushed to the OS before returning; under
+// SyncGroup it is also fsynced (coalesced with concurrent appends) so the
+// returned offset is durable.
 func (ls *LogStore) Append(subject string, data []byte) (uint64, error) {
 	if err := ValidateSubject(subject); err != nil {
 		return 0, err
@@ -168,24 +295,86 @@ func (ls *LogStore) Append(subject string, data []byte) (uint64, error) {
 	if err != nil {
 		return 0, err
 	}
+	t.cmu.Lock()
+	sticky := t.syncErr
+	t.cmu.Unlock()
+	if sticky != nil {
+		return 0, sticky
+	}
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	var hdr [8]byte
 	binary.LittleEndian.PutUint32(hdr[0:4], crc32.ChecksumIEEE(data))
 	binary.LittleEndian.PutUint32(hdr[4:8], uint32(len(data)))
 	if _, err := t.w.Write(hdr[:]); err != nil {
+		t.mu.Unlock()
 		return 0, err
 	}
 	if _, err := t.w.Write(data); err != nil {
+		t.mu.Unlock()
 		return 0, err
 	}
-	if err := t.w.Flush(); err != nil {
-		return 0, err
+	if ls.policy != SyncGroup {
+		// Flush eagerly so Read (which goes through the fd) sees the
+		// record; SyncGroup defers the flush to the commit leader.
+		if err := t.w.Flush(); err != nil {
+			t.mu.Unlock()
+			return 0, err
+		}
 	}
 	off := uint64(len(t.offsets))
 	t.offsets = append(t.offsets, t.size)
 	t.size += int64(8 + len(data))
+	end := t.size
+	t.mu.Unlock()
+	if ls.policy == SyncGroup {
+		if err := ls.commit(t, end); err != nil {
+			return 0, err
+		}
+	}
+	ls.notifyAppend()
 	return off, nil
+}
+
+// commit makes every record up to byte position end durable, batching
+// concurrent callers behind a single flush+fsync: the first waiter through
+// the lock syncs everything appended so far and later waiters find their
+// position already covered.
+func (ls *LogStore) commit(t *topicLog, end int64) error {
+	ls.commits.Add(1)
+	t.cmu.Lock()
+	defer t.cmu.Unlock()
+	if t.syncErr != nil {
+		return t.syncErr
+	}
+	// Close flushes and fsyncs everything as it tears down; treat its work
+	// as covering this append. Already-synced positions coalesce for free.
+	if t.closed || t.committed >= end {
+		return nil
+	}
+	t.mu.Lock()
+	target := t.size
+	err := t.w.Flush()
+	t.mu.Unlock()
+	if err == nil {
+		err = t.f.Sync()
+	}
+	if err != nil {
+		t.syncErr = err
+		return err
+	}
+	ls.syncs.Add(1)
+	t.committed = target
+	return nil
+}
+
+// notifyAppend wakes every cursor blocked in NextWait.
+func (ls *LogStore) notifyAppend() {
+	ls.mu.Lock()
+	if !ls.closed {
+		close(ls.sig)
+		ls.sig = make(chan struct{})
+	}
+	ls.mu.Unlock()
 }
 
 // Len returns the number of records stored under subject (0 for unknown
@@ -233,6 +422,12 @@ func (ls *LogStore) Read(subject string, from uint64, max int) ([]StoredMessage,
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	// Under SyncGroup an offset can be indexed while its bytes still sit in
+	// the writer (its Append is between indexing and commit); flush so the
+	// fd reads below see every indexed record.
+	if err := t.w.Flush(); err != nil {
+		return nil, err
+	}
 	if from >= uint64(len(t.offsets)) {
 		return nil, nil
 	}
@@ -261,27 +456,114 @@ func (ls *LogStore) Read(subject string, from uint64, max int) ([]StoredMessage,
 	return out, nil
 }
 
-// Close releases every topic file.
+// Close stops the interval flusher, flushes (and, unless SyncNever, fsyncs)
+// every topic, and releases the files. Blocked NextWait cursors return
+// ErrClosed.
 func (ls *LogStore) Close() error {
 	ls.mu.Lock()
-	defer ls.mu.Unlock()
 	if ls.closed {
+		ls.mu.Unlock()
 		return ErrClosed
 	}
 	ls.closed = true
+	close(ls.sig) // wake NextWait waiters; closed stays set so they stop
+	topics := ls.topics
+	ls.topics = nil
+	ls.mu.Unlock()
+
+	if ls.flushStop != nil {
+		close(ls.flushStop)
+		<-ls.flushDone
+	}
+
 	var firstErr error
-	for _, t := range ls.topics {
+	for _, t := range topics {
+		t.cmu.Lock()
+		t.closed = true
 		t.mu.Lock()
 		if err := t.w.Flush(); err != nil && firstErr == nil {
 			firstErr = err
 		}
+		t.mu.Unlock()
+		if ls.policy != SyncNever {
+			if err := t.f.Sync(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
 		if err := t.f.Close(); err != nil && firstErr == nil {
 			firstErr = err
 		}
-		t.mu.Unlock()
+		t.cmu.Unlock()
 	}
-	ls.topics = nil
 	return firstErr
+}
+
+// SyncStats reports group-commit effectiveness: commits is the number of
+// appends that requested durability, syncs the fsyncs actually issued
+// (including interval-flusher passes). commits-syncs appends coalesced onto
+// another append's fsync.
+func (ls *LogStore) SyncStats() (commits, syncs uint64) {
+	return ls.commits.Load(), ls.syncs.Load()
+}
+
+// Cursor is a single-consumer tail iterator over one topic. It tracks the
+// next offset to read and supports blocking tail-follow via NextWait — the
+// primitive replay sources use to hand off from recorded history to live
+// traffic without a gap or overlap. Not safe for concurrent use by multiple
+// goroutines.
+type Cursor struct {
+	ls      *LogStore
+	subject string
+	next    uint64
+}
+
+// Cursor returns a cursor over subject starting at offset from. The topic
+// need not exist yet; the cursor will pick it up when the first record
+// arrives.
+func (ls *LogStore) Cursor(subject string, from uint64) *Cursor {
+	return &Cursor{ls: ls, subject: subject, next: from}
+}
+
+// Offset returns the offset the next read will start at — i.e. one past the
+// last record already returned.
+func (c *Cursor) Offset() uint64 { return c.next }
+
+// Next returns up to max records at the cursor position without blocking
+// (nil when caught up) and advances past them. max <= 0 means "all
+// available".
+func (c *Cursor) Next(max int) ([]StoredMessage, error) {
+	msgs, err := c.ls.Read(c.subject, c.next, max)
+	if err != nil {
+		return nil, err
+	}
+	c.next += uint64(len(msgs))
+	return msgs, nil
+}
+
+// NextWait behaves like Next but blocks until at least one record is
+// available, the context is done, or the store closes (ErrClosed).
+func (c *Cursor) NextWait(ctx context.Context, max int) ([]StoredMessage, error) {
+	for {
+		// Capture the signal before polling: an append that lands between
+		// the poll and the wait closes this channel, so the wakeup cannot
+		// be missed.
+		c.ls.mu.Lock()
+		closed := c.ls.closed
+		sig := c.ls.sig
+		c.ls.mu.Unlock()
+		if closed {
+			return nil, ErrClosed
+		}
+		msgs, err := c.Next(max)
+		if err != nil || len(msgs) > 0 {
+			return msgs, err
+		}
+		select {
+		case <-sig:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
 }
 
 // Recorder copies every broker message matching a pattern into a LogStore.

@@ -1,10 +1,12 @@
 package pubsub
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
 	"time"
 )
@@ -232,5 +234,188 @@ func TestLogStoreClosedOps(t *testing.T) {
 	}
 	if err := ls.Close(); !errors.Is(err, ErrClosed) {
 		t.Fatalf("double close = %v", err)
+	}
+}
+
+func TestLogStoreGroupCommitDurableWithoutClose(t *testing.T) {
+	dir := t.TempDir()
+	ls, err := OpenLogStore(dir, WithLogSync(SyncGroup))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Concurrent appenders exercise the coalescing path.
+	var wg sync.WaitGroup
+	const writers, per = 8, 25
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if _, err := ls.Append("grp", []byte{byte(w), byte(i)}); err != nil {
+					t.Errorf("append: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	commits, syncs := ls.SyncStats()
+	if commits != writers*per {
+		t.Fatalf("commits = %d, want %d", commits, writers*per)
+	}
+	if syncs == 0 || syncs > commits {
+		t.Fatalf("syncs = %d (commits %d)", syncs, commits)
+	}
+	// Every returned append must be on disk even if the process dies here:
+	// reopen the directory without closing the first store (a close would
+	// flush, masking a missing fsync path).
+	ls2, err := OpenLogStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := ls2.Len("grp"); n != writers*per {
+		t.Fatalf("records on disk = %d, want %d", n, writers*per)
+	}
+	ls2.Close()
+	ls.Close()
+}
+
+func TestLogStoreGroupCommitTornTailRecovery(t *testing.T) {
+	dir := t.TempDir()
+	ls, err := OpenLogStore(dir, WithLogSync(SyncGroup))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := ls.Append("t", []byte(fmt.Sprintf("rec-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ls.Close()
+	// Crash mid-append: a header promising more bytes than follow.
+	path := filepath.Join(dir, subjectToFile("t")+".log")
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte{9, 9, 9, 9, 40, 0, 0, 0, 1})
+	f.Close()
+
+	ls2, err := OpenLogStore(dir, WithLogSync(SyncGroup))
+	if err != nil {
+		t.Fatalf("reopen with torn tail: %v", err)
+	}
+	defer ls2.Close()
+	if n := ls2.Len("t"); n != 3 {
+		t.Fatalf("Len = %d, want 3 (torn record dropped)", n)
+	}
+	off, err := ls2.Append("t", []byte("after-crash"))
+	if err != nil || off != 3 {
+		t.Fatalf("append after recovery: off=%d err=%v", off, err)
+	}
+	msgs, err := ls2.Read("t", 0, 0)
+	if err != nil || len(msgs) != 4 || string(msgs[3].Data) != "after-crash" {
+		t.Fatalf("after recovery: %+v %v", msgs, err)
+	}
+}
+
+func TestLogStoreSyncIntervalFlushes(t *testing.T) {
+	ls, err := OpenLogStore(t.TempDir(), WithLogSync(SyncInterval), WithLogSyncInterval(2*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ls.Close()
+	if _, err := ls.Append("iv", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, syncs := ls.SyncStats(); syncs > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("interval flusher never synced")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestCursorNextAdvances(t *testing.T) {
+	ls := openTestLog(t)
+	for i := 0; i < 5; i++ {
+		if _, err := ls.Append("cur", []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := ls.Cursor("cur", 0)
+	msgs, err := c.Next(2)
+	if err != nil || len(msgs) != 2 || c.Offset() != 2 {
+		t.Fatalf("Next(2): %d msgs, off %d, %v", len(msgs), c.Offset(), err)
+	}
+	msgs, err = c.Next(0)
+	if err != nil || len(msgs) != 3 || msgs[0].Offset != 2 || c.Offset() != 5 {
+		t.Fatalf("Next(0): %+v off %d, %v", msgs, c.Offset(), err)
+	}
+	msgs, err = c.Next(0)
+	if err != nil || msgs != nil {
+		t.Fatalf("caught-up Next: %v %v", msgs, err)
+	}
+}
+
+func TestCursorNextWaitTailsNotYetExistingTopic(t *testing.T) {
+	ls := openTestLog(t)
+	c := ls.Cursor("late.topic", 0)
+	errCh := make(chan error, 1)
+	got := make(chan []StoredMessage, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		msgs, err := c.NextWait(ctx, 0)
+		errCh <- err
+		got <- msgs
+	}()
+	time.Sleep(10 * time.Millisecond) // let the cursor park
+	if _, err := ls.Append("late.topic", []byte("born")); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errCh; err != nil {
+		t.Fatal(err)
+	}
+	msgs := <-got
+	if len(msgs) != 1 || string(msgs[0].Data) != "born" || c.Offset() != 1 {
+		t.Fatalf("tailed: %+v off %d", msgs, c.Offset())
+	}
+}
+
+func TestCursorNextWaitHonorsContext(t *testing.T) {
+	ls := openTestLog(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if _, err := ls.Cursor("quiet", 0).NextWait(ctx, 0); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("NextWait = %v, want deadline exceeded", err)
+	}
+}
+
+func TestCursorNextWaitUnblocksOnClose(t *testing.T) {
+	ls, err := OpenLogStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := ls.Cursor("quiet", 0).NextWait(context.Background(), 0)
+		errCh <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	if err := ls.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("NextWait after close = %v, want ErrClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("NextWait did not unblock on Close")
 	}
 }

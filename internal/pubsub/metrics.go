@@ -117,6 +117,42 @@ func (b *Broker) Collect(w *telemetry.Writer) {
 	}
 }
 
+// Collect implements telemetry.Collector: durability counters for a topic
+// log store — how often appends asked for an fsync, how many fsyncs were
+// actually issued, and how many rode a concurrent append's sync (group
+// commit coalescing).
+func (ls *LogStore) Collect(w *telemetry.Writer) {
+	commits, syncs := ls.SyncStats()
+	w.Counter("strata_pubsub_log_commits_total",
+		"Appends that requested durability.", float64(commits))
+	w.Counter("strata_pubsub_log_syncs_total",
+		"fsyncs issued by the log store.", float64(syncs))
+	saved := float64(0)
+	if commits > syncs {
+		saved = float64(commits - syncs)
+	}
+	w.Counter("strata_pubsub_log_syncs_saved_total",
+		"fsyncs avoided by group-commit coalescing (commits minus syncs).",
+		saved)
+
+	ls.mu.Lock()
+	topics := make([]*topicLog, 0, len(ls.topics))
+	for _, t := range ls.topics {
+		topics = append(topics, t)
+	}
+	ls.mu.Unlock()
+	records := 0
+	for _, t := range topics {
+		t.mu.Lock()
+		records += len(t.offsets)
+		t.mu.Unlock()
+	}
+	w.Gauge("strata_pubsub_log_topics", "Topics in the log store.",
+		float64(len(topics)))
+	w.Gauge("strata_pubsub_log_records", "Records across all topics.",
+		float64(records))
+}
+
 // Collect implements telemetry.Collector: TCP accept/active/reap counters
 // for the wire-protocol server.
 func (s *Server) Collect(w *telemetry.Writer) {

@@ -78,6 +78,7 @@ func Aggregate[In Timestamped, K comparable, Out any](
 		spec:  spec,
 		key:   key,
 		agg:   agg,
+		g:     q.qz.newGuard(),
 		batch: o.batch,
 		stats: stats,
 		open:  make(map[winKey[K]]*winState[In]),
@@ -104,6 +105,7 @@ type aggregateOp[In Timestamped, K comparable, Out any] struct {
 	spec  WindowSpec
 	key   KeyFunc[In, K]
 	agg   AggregateFunc[K, In, Out]
+	g     *opGuard
 	batch int
 	stats *OpStats
 
@@ -117,12 +119,15 @@ type aggregateOp[In Timestamped, K comparable, Out any] struct {
 func (a *aggregateOp[In, K, Out]) opName() string { return a.name }
 
 func (a *aggregateOp[In, K, Out]) run(ctx context.Context) (err error) {
+	defer closeGated(a.g, a.out)
+	defer a.g.exit(&err)
 	defer recoverPanic(&err)
-	defer close(a.out)
-	em := newChunkEmitter(ctx, a.out, a.batch, a.stats)
+	em := newChunkEmitter(ctx, a.g.qz, a.out, a.batch, a.stats)
 	for {
+		a.g.idle()
 		select {
 		case chunk, ok := <-a.in:
+			a.g.recv(ok)
 			if !ok {
 				if err := a.flushAll(em.emit); err != nil {
 					return err

@@ -26,6 +26,7 @@ const DefaultLinger = 200 * time.Microsecond
 // flush).
 type chunker[T any] struct {
 	ctx    context.Context
+	qz     *quiescer
 	out    chan []T
 	max    int
 	linger time.Duration
@@ -39,11 +40,11 @@ type chunker[T any] struct {
 	err    error
 }
 
-func newChunker[T any](ctx context.Context, out chan []T, max int, linger time.Duration, stats *OpStats) *chunker[T] {
+func newChunker[T any](ctx context.Context, qz *quiescer, out chan []T, max int, linger time.Duration, stats *OpStats) *chunker[T] {
 	if max < 1 {
 		max = 1
 	}
-	return &chunker[T]{ctx: ctx, out: out, max: max, linger: linger, stats: stats}
+	return &chunker[T]{ctx: ctx, qz: qz, out: out, max: max, linger: linger, stats: stats}
 }
 
 // emit buffers v, flushing when the chunk reaches max tuples. With max == 1
@@ -52,7 +53,7 @@ func newChunker[T any](ctx context.Context, out chan []T, max int, linger time.D
 func (c *chunker[T]) emit(v T) error {
 	if c.max == 1 {
 		c.stats.observeBatch(1)
-		return emit(c.ctx, c.out, []T{v})
+		return sendChunk(c.qz, c.ctx, c.out, []T{v})
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -96,7 +97,20 @@ func (c *chunker[T]) flushLocked() error {
 		c.armed = false
 	}
 	c.stats.observeBatch(len(chunk))
-	return emit(c.ctx, c.out, chunk)
+	return sendChunk(c.qz, c.ctx, c.out, chunk)
+}
+
+// flushNow pushes any buffered partial chunk downstream. It is the
+// checkpoint coordinator's hook: during a pause epoch (sources gated, no new
+// emits possible) it empties the batching buffer so the stability scan can
+// account for every tuple on the channel edges.
+func (c *chunker[T]) flushNow() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed || c.err != nil {
+		return c.err
+	}
+	return c.flushLocked()
 }
 
 // lingerFire runs on the timer goroutine when a partial chunk has waited its
@@ -186,17 +200,18 @@ func recordChunkSpans[T any](name string, chunk []T, total time.Duration) {
 // linger.
 type chunkEmitter[T any] struct {
 	ctx   context.Context
+	qz    *quiescer
 	out   chan []T
 	max   int
 	stats *OpStats
 	buf   []T
 }
 
-func newChunkEmitter[T any](ctx context.Context, out chan []T, max int, stats *OpStats) *chunkEmitter[T] {
+func newChunkEmitter[T any](ctx context.Context, qz *quiescer, out chan []T, max int, stats *OpStats) *chunkEmitter[T] {
 	if max < 1 {
 		max = 1
 	}
-	return &chunkEmitter[T]{ctx: ctx, out: out, max: max, stats: stats}
+	return &chunkEmitter[T]{ctx: ctx, qz: qz, out: out, max: max, stats: stats}
 }
 
 // emit appends v to the open chunk, sending it downstream once full. The
@@ -219,5 +234,5 @@ func (e *chunkEmitter[T]) flush() error {
 	chunk := e.buf
 	e.buf = nil
 	e.stats.observeBatch(len(chunk))
-	return emit(e.ctx, e.out, chunk)
+	return sendChunk(e.qz, e.ctx, e.out, chunk)
 }

@@ -52,6 +52,7 @@ func CountAggregate[In any, K comparable, Out any](
 		name: name, in: in.ch, out: out.ch,
 		size: size, advance: advance,
 		key: key, agg: agg,
+		g:     q.qz.newGuard(),
 		state: make(map[K]*countKeyState[In]),
 		batch: o.batch,
 		stats: stats,
@@ -77,6 +78,7 @@ type countAggOp[In any, K comparable, Out any] struct {
 	size, advance int
 	key           KeyFunc[In, K]
 	agg           CountAggregateFunc[K, In, Out]
+	g             *opGuard
 	state         map[K]*countKeyState[In]
 	batch         int
 	stats         *OpStats
@@ -85,12 +87,15 @@ type countAggOp[In any, K comparable, Out any] struct {
 func (c *countAggOp[In, K, Out]) opName() string { return c.name }
 
 func (c *countAggOp[In, K, Out]) run(ctx context.Context) (err error) {
+	defer closeGated(c.g, c.out)
+	defer c.g.exit(&err)
 	defer recoverPanic(&err)
-	defer close(c.out)
-	em := newChunkEmitter(ctx, c.out, c.batch, c.stats)
+	em := newChunkEmitter(ctx, c.g.qz, c.out, c.batch, c.stats)
 	for {
+		c.g.idle()
 		select {
 		case chunk, ok := <-c.in:
+			c.g.recv(ok)
 			if !ok {
 				return em.flush() // incomplete windows are discarded
 			}

@@ -55,6 +55,7 @@ func Join[L Timestamped, R Timestamped, K comparable, Out any](
 		keyL:  keyL,
 		keyR:  keyR,
 		join:  join,
+		g:     q.qz.newGuard(),
 		batch: o.batch,
 		stats: stats,
 		lbuf:  make(map[K][]L),
@@ -72,6 +73,7 @@ type joinOp[L Timestamped, R Timestamped, K comparable, Out any] struct {
 	keyL  KeyFunc[L, K]
 	keyR  KeyFunc[R, K]
 	join  JoinFunc[L, R, Out]
+	g     *opGuard
 	batch int
 	stats *OpStats
 
@@ -86,13 +88,16 @@ type joinOp[L Timestamped, R Timestamped, K comparable, Out any] struct {
 func (j *joinOp[L, R, K, Out]) opName() string { return j.name }
 
 func (j *joinOp[L, R, K, Out]) run(ctx context.Context) (err error) {
+	defer closeGated(j.g, j.out)
+	defer j.g.exit(&err)
 	defer recoverPanic(&err)
-	defer close(j.out)
-	em := newChunkEmitter(ctx, j.out, j.batch, j.stats)
+	em := newChunkEmitter(ctx, j.g.qz, j.out, j.batch, j.stats)
 	lch, rch := j.left, j.right
 	for lch != nil || rch != nil {
+		j.g.idle()
 		select {
 		case lc, ok := <-lch:
+			j.g.recv(ok)
 			if !ok {
 				lch = nil
 				j.lClosed = true
@@ -116,6 +121,7 @@ func (j *joinOp[L, R, K, Out]) run(ctx context.Context) (err error) {
 				return err
 			}
 		case rc, ok := <-rch:
+			j.g.recv(ok)
 			if !ok {
 				rch = nil
 				j.rClosed = true

@@ -40,6 +40,7 @@ func KeyedProcess[K comparable, S any, In, Out any](
 	q.addOperator(&keyedOp[K, S, In, Out]{
 		name: name, in: in.ch, out: out.ch,
 		key: key, fn: fn, onEnd: onEnd,
+		g:     q.qz.newGuard(),
 		state: make(map[K]S),
 		batch: o.batch,
 		stats: stats,
@@ -54,6 +55,7 @@ type keyedOp[K comparable, S any, In, Out any] struct {
 	key   KeyFunc[In, K]
 	fn    KeyedProcessFunc[K, S, In, Out]
 	onEnd KeyedEndFunc[K, S, Out]
+	g     *opGuard
 	state map[K]S
 	order []K // key insertion order, for deterministic end-of-stream flush
 	batch int
@@ -63,12 +65,15 @@ type keyedOp[K comparable, S any, In, Out any] struct {
 func (k *keyedOp[K, S, In, Out]) opName() string { return k.name }
 
 func (k *keyedOp[K, S, In, Out]) run(ctx context.Context) (err error) {
+	defer closeGated(k.g, k.out)
+	defer k.g.exit(&err)
 	defer recoverPanic(&err)
-	defer close(k.out)
-	em := newChunkEmitter(ctx, k.out, k.batch, k.stats)
+	em := newChunkEmitter(ctx, k.g.qz, k.out, k.batch, k.stats)
 	for {
+		k.g.idle()
 		select {
 		case chunk, ok := <-k.in:
+			k.g.recv(ok)
 			if !ok {
 				if k.onEnd != nil {
 					for _, key := range k.order {

@@ -62,7 +62,7 @@ func FlatMap[In, Out any](q *Query, name string, in *Stream[In], fn FlatMapFunc[
 	stats := q.metrics.Op(name)
 	watchOutput(stats, out.ch)
 	q.addOperator(&flatMapOp[In, Out]{
-		name: name, in: in.ch, out: out.ch, fn: fn, batch: o.batch, stats: stats,
+		name: name, in: in.ch, out: out.ch, fn: fn, g: q.qz.newGuard(), batch: o.batch, stats: stats,
 	})
 	return out
 }
@@ -72,6 +72,7 @@ type flatMapOp[In, Out any] struct {
 	in    chan []In
 	out   chan []Out
 	fn    FlatMapFunc[In, Out]
+	g     *opGuard
 	batch int
 	stats *OpStats
 }
@@ -79,12 +80,18 @@ type flatMapOp[In, Out any] struct {
 func (m *flatMapOp[In, Out]) opName() string { return m.name }
 
 func (m *flatMapOp[In, Out]) run(ctx context.Context) (err error) {
+	// Deferred in LIFO order: panics convert to err first, then the guard
+	// records a failing exit with the quiescer, then the output close waits
+	// out any checkpoint pause. Every operator run follows this pattern.
+	defer closeGated(m.g, m.out)
+	defer m.g.exit(&err)
 	defer recoverPanic(&err)
-	defer close(m.out)
-	em := newChunkEmitter(ctx, m.out, m.batch, m.stats)
+	em := newChunkEmitter(ctx, m.g.qz, m.out, m.batch, m.stats)
 	for {
+		m.g.idle()
 		select {
 		case chunk, ok := <-m.in:
+			m.g.recv(ok)
 			if !ok {
 				return em.flush()
 			}

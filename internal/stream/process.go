@@ -33,7 +33,7 @@ func Process[In, Out any](
 	stats := q.metrics.Op(name)
 	watchOutput(stats, out.ch)
 	q.addOperator(&processOp[In, Out]{
-		name: name, in: in.ch, out: out.ch, fn: fn, onEnd: onEnd, batch: o.batch, stats: stats,
+		name: name, in: in.ch, out: out.ch, fn: fn, onEnd: onEnd, g: q.qz.newGuard(), batch: o.batch, stats: stats,
 	})
 	return out
 }
@@ -44,6 +44,7 @@ type processOp[In, Out any] struct {
 	out   chan []Out
 	fn    FlatMapFunc[In, Out]
 	onEnd EndFunc[Out]
+	g     *opGuard
 	batch int
 	stats *OpStats
 }
@@ -51,12 +52,15 @@ type processOp[In, Out any] struct {
 func (p *processOp[In, Out]) opName() string { return p.name }
 
 func (p *processOp[In, Out]) run(ctx context.Context) (err error) {
+	defer closeGated(p.g, p.out)
+	defer p.g.exit(&err)
 	defer recoverPanic(&err)
-	defer close(p.out)
-	em := newChunkEmitter(ctx, p.out, p.batch, p.stats)
+	em := newChunkEmitter(ctx, p.g.qz, p.out, p.batch, p.stats)
 	for {
+		p.g.idle()
 		select {
 		case chunk, ok := <-p.in:
+			p.g.recv(ok)
 			if !ok {
 				if p.onEnd != nil {
 					if err := p.onEnd(em.emit); err != nil {

@@ -43,6 +43,13 @@ type Query struct {
 
 	metrics Registry
 	traces  *telemetry.TraceBuffer
+
+	// qz coordinates drain-and-pause checkpoint epochs (see quiesce.go).
+	// Inert unless EnableSnapshots was called before Run.
+	qz *quiescer
+	// runDone is created by Run and closed when Run returns; Checkpoint
+	// watches it so a pause never outlives the query.
+	runDone chan struct{}
 }
 
 // QueryOption customizes a Query at construction time.
@@ -93,6 +100,7 @@ func NewQuery(name string, opts ...QueryOption) *Query {
 		opNames:    make(map[string]struct{}),
 		streams:    make(map[string]string),
 		traces:     telemetry.NewTraceBuffer(telemetry.DefaultTraceCapacity),
+		qz:         newQuiescer(),
 	}
 	for _, o := range opts {
 		o(q)
@@ -190,11 +198,14 @@ func (q *Query) Run(ctx context.Context) error {
 		}
 	}
 	q.running = true
+	q.runDone = make(chan struct{})
+	runDone := q.runDone
 	ops := make([]operator, len(q.ops))
 	copy(ops, q.ops)
 	q.mu.Unlock()
 
 	defer func() {
+		close(runDone)
 		q.mu.Lock()
 		q.running = false
 		q.finished = true

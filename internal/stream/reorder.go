@@ -23,7 +23,7 @@ func Reorder[T Timestamped](q *Query, name string, in *Stream[T], slack int64, o
 	stats := q.metrics.Op(name)
 	watchOutput(stats, out.ch)
 	q.addOperator(&reorderOp[T]{
-		name: name, in: in.ch, out: out.ch, slack: slack, batch: o.batch, stats: stats,
+		name: name, in: in.ch, out: out.ch, slack: slack, g: q.qz.newGuard(), batch: o.batch, stats: stats,
 	})
 	return out
 }
@@ -33,6 +33,7 @@ type reorderOp[T Timestamped] struct {
 	in    chan []T
 	out   chan []T
 	slack int64
+	g     *opGuard
 	batch int
 	stats *OpStats
 
@@ -45,12 +46,15 @@ type reorderOp[T Timestamped] struct {
 func (r *reorderOp[T]) opName() string { return r.name }
 
 func (r *reorderOp[T]) run(ctx context.Context) (err error) {
+	defer closeGated(r.g, r.out)
+	defer r.g.exit(&err)
 	defer recoverPanic(&err)
-	defer close(r.out)
-	em := newChunkEmitter(ctx, r.out, r.batch, r.stats)
+	em := newChunkEmitter(ctx, r.g.qz, r.out, r.batch, r.stats)
 	for {
+		r.g.idle()
 		select {
 		case chunk, ok := <-r.in:
+			r.g.recv(ok)
 			if !ok {
 				// Flush everything in order.
 				for r.buf.Len() > 0 {

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 )
 
 // HashFunc assigns a tuple to a shuffle partition. Equal hashes land on the
@@ -35,7 +36,7 @@ func Shuffle[T any](q *Query, name string, in *Stream[T], n int, hash HashFunc[T
 	}
 	stats := q.metrics.Op(name)
 	watchOutput(stats, chs...)
-	q.addOperator(&shuffleOp[T]{name: name, in: in.ch, outs: chs, hash: hash, stats: stats})
+	q.addOperator(&shuffleOp[T]{name: name, in: in.ch, outs: chs, hash: hash, g: q.qz.newGuard(), stats: stats})
 	return outs
 }
 
@@ -44,23 +45,29 @@ type shuffleOp[T any] struct {
 	in    chan []T
 	outs  []chan []T
 	hash  HashFunc[T]
+	g     *opGuard
 	stats *OpStats
 }
 
 func (s *shuffleOp[T]) opName() string { return s.name }
 
 func (s *shuffleOp[T]) run(ctx context.Context) (err error) {
-	defer recoverPanic(&err)
 	defer func() {
+		s.g.qz.waitUnpaused()
 		for _, ch := range s.outs {
 			close(ch)
 		}
 	}()
+	defer s.g.exit(&err)
+	defer recoverPanic(&err)
+	qz := s.g.qz
 	n := uint64(len(s.outs))
 	parts := make([][]T, n)
 	for {
+		s.g.idle()
 		select {
 		case chunk, ok := <-s.in:
+			s.g.recv(ok)
 			if !ok {
 				return nil
 			}
@@ -78,7 +85,7 @@ func (s *shuffleOp[T]) run(ctx context.Context) (err error) {
 				}
 				parts[i] = nil
 				s.stats.observeBatch(len(p))
-				if err := emit(ctx, s.outs[i], p); err != nil {
+				if err := sendChunk(qz, ctx, s.outs[i], p); err != nil {
 					return err
 				}
 				s.stats.addOut(int64(len(p)))
@@ -109,7 +116,7 @@ func Fanout[T any](q *Query, name string, in *Stream[T], n int, opts ...OpOption
 	}
 	stats := q.metrics.Op(name)
 	watchOutput(stats, chs...)
-	q.addOperator(&fanoutOp[T]{name: name, in: in.ch, outs: chs, stats: stats})
+	q.addOperator(&fanoutOp[T]{name: name, in: in.ch, outs: chs, g: q.qz.newGuard(), stats: stats})
 	return outs
 }
 
@@ -117,27 +124,33 @@ type fanoutOp[T any] struct {
 	name  string
 	in    chan []T
 	outs  []chan []T
+	g     *opGuard
 	stats *OpStats
 }
 
 func (f *fanoutOp[T]) opName() string { return f.name }
 
 func (f *fanoutOp[T]) run(ctx context.Context) (err error) {
-	defer recoverPanic(&err)
 	defer func() {
+		f.g.qz.waitUnpaused()
 		for _, ch := range f.outs {
 			close(ch)
 		}
 	}()
+	defer f.g.exit(&err)
+	defer recoverPanic(&err)
+	qz := f.g.qz
 	for {
+		f.g.idle()
 		select {
 		case chunk, ok := <-f.in:
+			f.g.recv(ok)
 			if !ok {
 				return nil
 			}
 			f.stats.addIn(int64(len(chunk)))
 			for _, ch := range f.outs {
-				if err := emit(ctx, ch, chunk); err != nil {
+				if err := sendChunk(qz, ctx, ch, chunk); err != nil {
 					return err
 				}
 				f.stats.addOut(int64(len(chunk)))
@@ -166,48 +179,66 @@ func Merge[T any](q *Query, name string, ins []*Stream[T], opts ...OpOption) *St
 	}
 	stats := q.metrics.Op(name)
 	watchOutput(stats, out.ch)
-	q.addOperator(&mergeOp[T]{name: name, ins: chs, out: out.ch, stats: stats})
+	// One guard per branch goroutine: each forwards independently, so each
+	// needs its own busy flag for the checkpoint stability scan.
+	guards := make([]*opGuard, len(chs))
+	for i := range guards {
+		guards[i] = q.qz.newGuard()
+	}
+	q.addOperator(&mergeOp[T]{name: name, ins: chs, out: out.ch, guards: guards, stats: stats})
 	return out
 }
 
 type mergeOp[T any] struct {
-	name  string
-	ins   []chan []T
-	out   chan []T
-	stats *OpStats
+	name   string
+	ins    []chan []T
+	out    chan []T
+	guards []*opGuard
+	stats  *OpStats
 }
 
 func (m *mergeOp[T]) opName() string { return m.name }
 
-func (m *mergeOp[T]) run(ctx context.Context) error {
-	defer close(m.out)
+func (m *mergeOp[T]) run(ctx context.Context) (err error) {
+	defer func() {
+		if len(m.guards) > 0 {
+			m.guards[0].qz.waitUnpaused()
+		}
+		close(m.out)
+	}()
 	var (
 		wg       sync.WaitGroup
 		errOnce  sync.Once
 		firstErr error
 	)
-	for _, in := range m.ins {
+	for i, in := range m.ins {
 		wg.Add(1)
-		go func(in chan []T) {
+		go func(in chan []T, g *opGuard) {
+			var berr error
 			defer wg.Done()
+			defer g.exit(&berr)
+			qz := g.qz
 			for {
+				g.idle()
 				select {
 				case chunk, ok := <-in:
+					g.recv(ok)
 					if !ok {
 						return
 					}
 					m.stats.addIn(int64(len(chunk)))
-					if err := emit(ctx, m.out, chunk); err != nil {
-						errOnce.Do(func() { firstErr = err })
+					if berr = sendChunk(qz, ctx, m.out, chunk); berr != nil {
+						errOnce.Do(func() { firstErr = berr })
 						return
 					}
 					m.stats.addOut(int64(len(chunk)))
 				case <-ctx.Done():
-					errOnce.Do(func() { firstErr = ctx.Err() })
+					berr = ctx.Err()
+					errOnce.Do(func() { firstErr = berr })
 					return
 				}
 			}
-		}(in)
+		}(in, m.guards[i])
 	}
 	wg.Wait()
 	return firstErr
@@ -232,44 +263,84 @@ func OrderedMerge[T Timestamped](q *Query, name string, ins []*Stream[T], opts .
 	}
 	stats := q.metrics.Op(name)
 	watchOutput(stats, out.ch)
-	q.addOperator(&orderedMergeOp[T]{name: name, ins: chs, out: out.ch, batch: o.batch, stats: stats})
+	op := &orderedMergeOp[T]{name: name, ins: chs, out: out.ch, g: q.qz.newGuard(), batch: o.batch, stats: stats}
+	op.heads = make([]mergeHead[T], len(chs))
+	for i := range op.heads {
+		op.heads[i].Open = true
+	}
+	q.addOperator(op)
 	return out
+}
+
+// mergeHead is one branch's pending chunk plus a cursor; the branch is
+// exhausted for this round when the cursor reaches the chunk's end. Fields
+// are exported for the gob snapshot — the heads are real operator state
+// (tuples received but not yet merged) and must survive a restore. Queue
+// holds chunks drained off the branch's edge during a checkpoint pause (the
+// merge blocks on one branch at a time, so without the drain a chunk parked
+// on a sibling edge would keep the stability scan from ever succeeding);
+// fills consume the queue before returning to the channel.
+type mergeHead[T any] struct {
+	Chunk []T
+	Pos   int
+	Queue [][]T
+	Open  bool
 }
 
 type orderedMergeOp[T Timestamped] struct {
 	name  string
 	ins   []chan []T
 	out   chan []T
+	g     *opGuard
 	batch int
 	stats *OpStats
+
+	heads []mergeHead[T]
 }
 
 func (m *orderedMergeOp[T]) opName() string { return m.name }
 
+// Snapshot serializes the pending heads. The merge parks per-branch while
+// holding up to one chunk per branch, so unlike the single-input operators
+// its in-flight tuples live in operator state, not on an edge.
+func (m *orderedMergeOp[T]) Snapshot() ([]byte, error) {
+	snap := make([]mergeHead[T], len(m.heads))
+	for i, h := range m.heads {
+		snap[i] = mergeHead[T]{Chunk: h.Chunk[h.Pos:], Queue: h.Queue, Open: h.Open}
+	}
+	return gobEncode(snap)
+}
+
+func (m *orderedMergeOp[T]) Restore(b []byte) error {
+	var snap []mergeHead[T]
+	if err := gobDecode(b, &snap); err != nil {
+		return err
+	}
+	if len(snap) != len(m.heads) {
+		return fmt.Errorf("ordered merge %q: snapshot has %d branches, operator has %d", m.name, len(snap), len(m.heads))
+	}
+	m.heads = snap
+	return nil
+}
+
 func (m *orderedMergeOp[T]) run(ctx context.Context) (err error) {
+	defer closeGated(m.g, m.out)
+	defer m.g.exit(&err)
 	defer recoverPanic(&err)
-	defer close(m.out)
-	// Each branch's head is its current chunk plus a cursor; the branch is
-	// exhausted for this round when the cursor reaches the chunk's end.
-	type head struct {
-		chunk []T
-		pos   int
-		open  bool
-	}
-	heads := make([]head, len(m.ins))
-	for i := range heads {
-		heads[i].open = true
-	}
-	em := newChunkEmitter(ctx, m.out, m.batch, m.stats)
+	heads := m.heads
+	em := newChunkEmitter(ctx, m.g.qz, m.out, m.batch, m.stats)
 	for {
 		// Fill the head slot of every open branch. Blocking on each in
 		// turn is fine: we cannot emit anything until all heads are
 		// known. Flush our partial output first so downstream is not
-		// starved while we wait.
+		// starved while we wait. For the checkpoint scan, each blocking
+		// fill is an idle point: the held heads are consistent state
+		// (snapshotted above), so a merge parked here does not block
+		// quiescence the way a busy operator would.
 		openAny := false
 		needFill := false
 		for i := range heads {
-			if heads[i].open && heads[i].pos >= len(heads[i].chunk) {
+			if heads[i].Open && heads[i].Pos >= len(heads[i].Chunk) {
 				needFill = true
 			}
 		}
@@ -278,15 +349,25 @@ func (m *orderedMergeOp[T]) run(ctx context.Context) (err error) {
 				return err
 			}
 		}
+		refill := false
 		for i := range heads {
-			if !heads[i].open || heads[i].pos < len(heads[i].chunk) {
-				openAny = openAny || heads[i].open
+			if !heads[i].Open || heads[i].Pos < len(heads[i].Chunk) {
+				openAny = openAny || heads[i].Open
 				continue
 			}
+			if len(heads[i].Queue) > 0 {
+				heads[i].Chunk = heads[i].Queue[0]
+				heads[i].Queue = heads[i].Queue[1:]
+				heads[i].Pos = 0
+				openAny = true
+				continue
+			}
+			m.g.idle()
 			select {
 			case chunk, ok := <-m.ins[i]:
+				m.g.recv(ok)
 				if !ok {
-					heads[i].open = false
+					heads[i].Open = false
 					continue
 				}
 				m.stats.addIn(int64(len(chunk)))
@@ -295,12 +376,25 @@ func (m *orderedMergeOp[T]) run(ctx context.Context) (err error) {
 					// last tuple carries its maximum event time.
 					m.stats.observeEventTime(chunk[len(chunk)-1].EventTime())
 				}
-				heads[i].chunk = chunk
-				heads[i].pos = 0
+				heads[i].Chunk = chunk
+				heads[i].Pos = 0
 				openAny = true
+			case <-m.g.qz.pauseSignal():
+				// A checkpoint pause began while we were blocked on one
+				// branch. Drain every branch's edge into its queue so the
+				// stability scan can see the edges empty, then restart the
+				// fill round.
+				m.drainPaused()
+				refill = true
 			case <-ctx.Done():
 				return ctx.Err()
 			}
+			if refill {
+				break
+			}
+		}
+		if refill {
+			continue
 		}
 		if !openAny {
 			break
@@ -308,39 +402,90 @@ func (m *orderedMergeOp[T]) run(ctx context.Context) (err error) {
 		// Emit the smallest head.
 		min := -1
 		for i := range heads {
-			if heads[i].pos >= len(heads[i].chunk) {
+			if heads[i].Pos >= len(heads[i].Chunk) {
 				continue
 			}
-			if min < 0 || heads[i].chunk[heads[i].pos].EventTime() < heads[min].chunk[heads[min].pos].EventTime() {
+			if min < 0 || heads[i].Chunk[heads[i].Pos].EventTime() < heads[min].Chunk[heads[min].Pos].EventTime() {
 				min = i
 			}
 		}
 		if min < 0 {
 			break
 		}
-		if err := em.emit(heads[min].chunk[heads[min].pos]); err != nil {
+		if err := em.emit(heads[min].Chunk[heads[min].Pos]); err != nil {
 			return err
 		}
-		heads[min].pos++
+		heads[min].Pos++
 	}
-	// Drain leftovers (branches that closed while holding a head).
+	// Drain leftovers (branches that closed while holding a head or a
+	// restored queue).
 	for {
 		min := -1
 		for i := range heads {
-			if heads[i].pos >= len(heads[i].chunk) {
+			if heads[i].Pos >= len(heads[i].Chunk) && len(heads[i].Queue) > 0 {
+				heads[i].Chunk = heads[i].Queue[0]
+				heads[i].Queue = heads[i].Queue[1:]
+				heads[i].Pos = 0
+			}
+			if heads[i].Pos >= len(heads[i].Chunk) {
 				continue
 			}
-			if min < 0 || heads[i].chunk[heads[i].pos].EventTime() < heads[min].chunk[heads[min].pos].EventTime() {
+			if min < 0 || heads[i].Chunk[heads[i].Pos].EventTime() < heads[min].Chunk[heads[min].Pos].EventTime() {
 				min = i
 			}
 		}
 		if min < 0 {
 			return em.flush()
 		}
-		if err := em.emit(heads[min].chunk[heads[min].pos]); err != nil {
+		if err := em.emit(heads[min].Chunk[heads[min].Pos]); err != nil {
 			return err
 		}
-		heads[min].pos++
+		heads[min].Pos++
+	}
+}
+
+// drainPaused runs for the duration of a checkpoint pause: it repeatedly
+// moves whatever chunks are sitting on the input edges into the per-branch
+// queues (marking the guard busy while mutating, idle between sweeps) until
+// the pause ends. Sources are gated during a pause, so the tuple population
+// is finite and the sweep converges with all of this operator's input edges
+// empty — exactly what the stability scan needs.
+func (m *orderedMergeOp[T]) drainPaused() {
+	qz := m.g.qz
+	for {
+		drained := false
+		for i := range m.heads {
+		branch:
+			for m.heads[i].Open {
+				select {
+				case chunk, ok := <-m.ins[i]:
+					m.g.recv(ok)
+					drained = true
+					if !ok {
+						// Closes are gated during a pause; tolerate one
+						// anyway (e.g. a pause that lost a race with
+						// shutdown) — and stop receiving from the branch,
+						// or the closed channel would be ready forever.
+						m.heads[i].Open = false
+						break branch
+					}
+					m.stats.addIn(int64(len(chunk)))
+					if len(chunk) > 0 {
+						m.stats.observeEventTime(chunk[len(chunk)-1].EventTime())
+					}
+					m.heads[i].Queue = append(m.heads[i].Queue, chunk)
+				default:
+					break branch
+				}
+			}
+		}
+		m.g.idle()
+		if !qz.paused.Load() {
+			return
+		}
+		if !drained {
+			time.Sleep(50 * time.Microsecond)
+		}
 	}
 }
 

@@ -19,13 +19,14 @@ func AddSink[T any](q *Query, name string, in *Stream[T], fn SinkFunc[T]) {
 		return
 	}
 	stats := q.metrics.Op(name)
-	q.addOperator(&sinkOp[T]{name: name, in: in.ch, fn: fn, stats: stats, traces: q.traces})
+	q.addOperator(&sinkOp[T]{name: name, in: in.ch, fn: fn, g: q.qz.newGuard(), stats: stats, traces: q.traces})
 }
 
 type sinkOp[T any] struct {
 	name   string
 	in     chan []T
 	fn     SinkFunc[T]
+	g      *opGuard
 	stats  *OpStats
 	traces *telemetry.TraceBuffer
 }
@@ -33,10 +34,13 @@ type sinkOp[T any] struct {
 func (s *sinkOp[T]) opName() string { return s.name }
 
 func (s *sinkOp[T]) run(ctx context.Context) (err error) {
+	defer s.g.exit(&err)
 	defer recoverPanic(&err)
 	for {
+		s.g.idle()
 		select {
 		case chunk, ok := <-s.in:
+			s.g.recv(ok)
 			if !ok {
 				return nil
 			}

@@ -1,0 +1,238 @@
+package stream
+
+import (
+	"container/heap"
+	"sort"
+)
+
+// This file implements the Snapshotter contract for the built-in stateful
+// operators. Each operator serializes into a gob mirror struct with exported
+// fields; auxiliary structures (the aggregate's pending heap) are rebuilt
+// from the primary state on restore rather than serialized, so the blob
+// carries no redundancy that could drift.
+//
+// Snapshot runs only at a quiescent point (see quiesce.go) and Restore only
+// before Run, so neither needs locking.
+
+// --- Aggregate -------------------------------------------------------------
+
+type aggWinSnap[K comparable, In any] struct {
+	Key    K
+	Start  int64
+	End    int64
+	Seq    int64
+	Tuples []In
+}
+
+type aggSnap[K comparable, In any] struct {
+	Open    []aggWinSnap[K, In]
+	NextSeq int64
+	MaxTS   int64
+	SawAny  bool
+}
+
+func (a *aggregateOp[In, K, Out]) Snapshot() ([]byte, error) {
+	s := aggSnap[K, In]{NextSeq: a.nextSeq, MaxTS: a.maxTS, SawAny: a.sawAny}
+	for wk, st := range a.open {
+		s.Open = append(s.Open, aggWinSnap[K, In]{
+			Key: wk.key, Start: wk.start, End: st.end, Seq: st.seq, Tuples: st.tuples,
+		})
+	}
+	// Deterministic blob bytes (map iteration order is random).
+	sort.Slice(s.Open, func(i, j int) bool { return s.Open[i].Seq < s.Open[j].Seq })
+	return gobEncode(s)
+}
+
+func (a *aggregateOp[In, K, Out]) Restore(b []byte) error {
+	var s aggSnap[K, In]
+	if err := gobDecode(b, &s); err != nil {
+		return err
+	}
+	a.open = make(map[winKey[K]]*winState[In], len(s.Open))
+	a.pending = a.pending[:0]
+	for _, w := range s.Open {
+		wk := winKey[K]{key: w.Key, start: w.Start}
+		a.open[wk] = &winState[In]{end: w.End, seq: w.Seq, tuples: w.Tuples}
+		// The pending heap mirrors the open set exactly at quiescence (a
+		// window is popped from the heap at the moment it closes), so it is
+		// rebuilt rather than serialized.
+		heap.Push(&a.pending, winRef[K]{key: wk, end: w.End, seq: w.Seq})
+	}
+	a.nextSeq = s.NextSeq
+	a.maxTS = s.MaxTS
+	a.sawAny = s.SawAny
+	return nil
+}
+
+// --- CountAggregate --------------------------------------------------------
+
+type countWinSnap[In any] struct {
+	Start  int64
+	Tuples []In
+}
+
+type countKeySnap[K comparable, In any] struct {
+	Key  K
+	Seen int64
+	Open []countWinSnap[In]
+}
+
+type countSnap[K comparable, In any] struct {
+	Keys []countKeySnap[K, In]
+}
+
+func (c *countAggOp[In, K, Out]) Snapshot() ([]byte, error) {
+	s := countSnap[K, In]{}
+	for k, st := range c.state {
+		ks := countKeySnap[K, In]{Key: k, Seen: st.seen}
+		for _, w := range st.open {
+			ks.Open = append(ks.Open, countWinSnap[In]{Start: w.start, Tuples: w.tuples})
+		}
+		s.Keys = append(s.Keys, ks)
+	}
+	sort.Slice(s.Keys, func(i, j int) bool { return s.Keys[i].Seen < s.Keys[j].Seen })
+	return gobEncode(s)
+}
+
+func (c *countAggOp[In, K, Out]) Restore(b []byte) error {
+	var s countSnap[K, In]
+	if err := gobDecode(b, &s); err != nil {
+		return err
+	}
+	c.state = make(map[K]*countKeyState[In], len(s.Keys))
+	for _, ks := range s.Keys {
+		st := &countKeyState[In]{seen: ks.Seen}
+		for _, w := range ks.Open {
+			st.open = append(st.open, openCountWin[In]{start: w.Start, tuples: w.Tuples})
+		}
+		c.state[ks.Key] = st
+	}
+	return nil
+}
+
+// --- Join ------------------------------------------------------------------
+
+type joinSideSnap[K comparable, T any] struct {
+	Key    K
+	Tuples []T
+}
+
+type joinSnap[L, R any, K comparable] struct {
+	L          []joinSideSnap[K, L]
+	R          []joinSideSnap[K, R]
+	MaxL, MaxR int64
+	SawL, SawR bool
+	LClosed    bool
+	RClosed    bool
+	SincePurge int
+}
+
+func (j *joinOp[L, R, K, Out]) Snapshot() ([]byte, error) {
+	s := joinSnap[L, R, K]{
+		MaxL: j.maxL, MaxR: j.maxR,
+		SawL: j.sawL, SawR: j.sawR,
+		LClosed: j.lClosed, RClosed: j.rClosed,
+		SincePurge: j.sincePurge,
+	}
+	for k, buf := range j.lbuf {
+		s.L = append(s.L, joinSideSnap[K, L]{Key: k, Tuples: buf})
+	}
+	for k, buf := range j.rbuf {
+		s.R = append(s.R, joinSideSnap[K, R]{Key: k, Tuples: buf})
+	}
+	return gobEncode(s)
+}
+
+func (j *joinOp[L, R, K, Out]) Restore(b []byte) error {
+	var s joinSnap[L, R, K]
+	if err := gobDecode(b, &s); err != nil {
+		return err
+	}
+	j.lbuf = make(map[K][]L, len(s.L))
+	for _, side := range s.L {
+		j.lbuf[side.Key] = side.Tuples
+	}
+	j.rbuf = make(map[K][]R, len(s.R))
+	for _, side := range s.R {
+		j.rbuf[side.Key] = side.Tuples
+	}
+	j.maxL, j.maxR = s.MaxL, s.MaxR
+	j.sawL, j.sawR = s.SawL, s.SawR
+	j.lClosed, j.rClosed = s.LClosed, s.RClosed
+	j.sincePurge = s.SincePurge
+	return nil
+}
+
+// --- KeyedProcess ----------------------------------------------------------
+
+type keyedSnap[K comparable, S any] struct {
+	// Keys preserves insertion order (the deterministic end-of-stream flush
+	// order); Vals[i] is Keys[i]'s state.
+	Keys []K
+	Vals []S
+}
+
+func (k *keyedOp[K, S, In, Out]) Snapshot() ([]byte, error) {
+	s := keyedSnap[K, S]{}
+	for _, key := range k.order {
+		st, live := k.state[key]
+		if !live {
+			continue // dropped key still in order slice
+		}
+		s.Keys = append(s.Keys, key)
+		s.Vals = append(s.Vals, st)
+	}
+	return gobEncode(s)
+}
+
+func (k *keyedOp[K, S, In, Out]) Restore(b []byte) error {
+	var s keyedSnap[K, S]
+	if err := gobDecode(b, &s); err != nil {
+		return err
+	}
+	k.state = make(map[K]S, len(s.Keys))
+	k.order = s.Keys
+	for i, key := range s.Keys {
+		k.state[key] = s.Vals[i]
+	}
+	return nil
+}
+
+// --- Reorder ---------------------------------------------------------------
+
+type reorderItemSnap[T any] struct {
+	Val T
+	TS  int64
+	Seq int64
+}
+
+type reorderSnap[T any] struct {
+	Items   []reorderItemSnap[T]
+	NextSeq int64
+	MaxTS   int64
+	SawAny  bool
+}
+
+func (r *reorderOp[T]) Snapshot() ([]byte, error) {
+	s := reorderSnap[T]{NextSeq: r.nextSeq, MaxTS: r.maxTS, SawAny: r.sawAny}
+	for _, it := range r.buf {
+		s.Items = append(s.Items, reorderItemSnap[T]{Val: it.val, TS: it.ts, Seq: it.seq})
+	}
+	sort.Slice(s.Items, func(i, j int) bool { return s.Items[i].Seq < s.Items[j].Seq })
+	return gobEncode(s)
+}
+
+func (r *reorderOp[T]) Restore(b []byte) error {
+	var s reorderSnap[T]
+	if err := gobDecode(b, &s); err != nil {
+		return err
+	}
+	r.buf = r.buf[:0]
+	for _, it := range s.Items {
+		heap.Push(&r.buf, tsItem[T]{val: it.Val, ts: it.TS, seq: it.Seq})
+	}
+	r.nextSeq = s.NextSeq
+	r.maxTS = s.MaxTS
+	r.sawAny = s.SawAny
+	return nil
+}

@@ -1,0 +1,576 @@
+package stream
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// keyed (defined in aggregate_test.go) has unexported fields, so the
+// snapshot tests give it an explicit gob codec — the same approach
+// core.EventTuple takes with its binary codec.
+func (k keyed) GobEncode() ([]byte, error) {
+	return fmt.Appendf(nil, "%d %q %d", k.ts, k.key, k.val), nil
+}
+
+func (k *keyed) GobDecode(b []byte) error {
+	_, err := fmt.Sscanf(string(b), "%d %q %d", &k.ts, &k.key, &k.val)
+	return err
+}
+
+// feedFirst builds a positioned source that emits items[0:k] and then parks
+// until the query is cancelled, closing fed once the k-th emit has returned.
+// Parking (rather than returning) keeps the query alive so Checkpoint can run
+// against a quiescent but unfinished pipeline — the shape of a live pipeline
+// between layer events.
+func feedFirst(items []keyed, k int, fed chan<- struct{}) PositionedSourceFunc[keyed] {
+	return func(ctx context.Context, emit PosEmit[keyed]) error {
+		for i := 0; i < k; i++ {
+			if err := emit(uint64(i), items[i]); err != nil {
+				return err
+			}
+		}
+		close(fed)
+		<-ctx.Done()
+		return nil
+	}
+}
+
+// feedFrom builds a positioned source replaying items[start:] to completion.
+func feedFrom(items []keyed, start uint64) PositionedSourceFunc[keyed] {
+	return func(ctx context.Context, emit PosEmit[keyed]) error {
+		for i := start; i < uint64(len(items)); i++ {
+			if err := emit(i, items[i]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// runSplit runs the pipeline produced by build twice: query A feeds the first
+// k items, checkpoints, and is cancelled (the crash); query B is built
+// fresh, restored from the snapshot, and replays the rest. It returns A's and
+// B's sink contents. Equivalence against an uncrashed run is the caller's
+// assertion.
+func runSplit[Out any](t *testing.T, items []keyed, k int, build func(q *Query, src *Stream[keyed]) *[]Out) (outA, outB []Out) {
+	t.Helper()
+
+	qa := NewQuery("split-a")
+	qa.EnableSnapshots()
+	fed := make(chan struct{})
+	srcA := AddPositionedSource(qa, "src", 0, feedFirst(items, k, fed))
+	gotA := build(qa, srcA)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- qa.Run(ctx) }()
+	<-fed
+
+	snap, err := qa.Checkpoint(context.Background(), nil)
+	if err != nil {
+		t.Fatalf("Checkpoint() error = %v", err)
+	}
+	cancel()
+	if err := <-done; err != nil && !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run(A) error = %v", err)
+	}
+	if pos := snap.Positions["src"]; pos != uint64(k) {
+		t.Fatalf("snapshot position = %d, want %d (all emits had returned)", pos, k)
+	}
+
+	qb := NewQuery("split-b")
+	srcB := AddPositionedSource(qb, "src", snap.Positions["src"], feedFrom(items, snap.Positions["src"]))
+	gotB := build(qb, srcB)
+	if err := qb.RestoreCheckpoint(snap); err != nil {
+		t.Fatalf("RestoreCheckpoint() error = %v", err)
+	}
+	if err := qb.Run(context.Background()); err != nil {
+		t.Fatalf("Run(B) error = %v", err)
+	}
+	return *gotA, *gotB
+}
+
+// sumBuild is the canonical stateful pipeline: sliding-window sums with
+// slack, so open windows (the snapshotted state) span several input tuples.
+func sumBuild(q *Query, src *Stream[keyed]) *[]string {
+	agg := Aggregate(q, "sum", src, WindowSpec{Size: 10, Advance: 5, Slack: 3},
+		func(v keyed) string { return v.key },
+		func(w Window[string, keyed], emit Emit[string]) error {
+			sum := 0
+			for _, v := range w.Tuples {
+				sum += v.val
+			}
+			return emit(fmt.Sprintf("%s@[%d,%d)=%d", w.Key, w.Start, w.End, sum))
+		})
+	got := new([]string)
+	AddSink(q, "sink", agg, ToSlice(got))
+	return got
+}
+
+func ckptItems(n int) []keyed {
+	keys := []string{"a", "b", "c"}
+	items := make([]keyed, n)
+	for i := range items {
+		items[i] = keyed{ts: int64(i * 2), key: keys[i%len(keys)], val: i + 1}
+	}
+	return items
+}
+
+// TestCheckpointAggregateEquivalence is the core crash-consistency property:
+// for any split point, checkpoint-crash-restore-replay produces exactly the
+// uncrashed run's outputs — no lost windows, no duplicates, same order.
+func TestCheckpointAggregateEquivalence(t *testing.T) {
+	items := ckptItems(40)
+
+	baseQ := NewQuery("baseline")
+	baseSrc := AddPositionedSource(baseQ, "src", 0, feedFrom(items, 0))
+	baseline := sumBuild(baseQ, baseSrc)
+	if err := runQuery(t, baseQ); err != nil {
+		t.Fatalf("baseline Run() error = %v", err)
+	}
+
+	for _, k := range []int{0, 1, 7, 21, len(items)} {
+		t.Run(fmt.Sprintf("k=%d", k), func(t *testing.T) {
+			outA, outB := runSplit(t, items, k, sumBuild)
+			got := append(append([]string{}, outA...), outB...)
+			if fmt.Sprint(got) != fmt.Sprint(*baseline) {
+				t.Fatalf("split at %d: outputs diverge\n  A = %v\n  B = %v\n  want = %v", k, outA, outB, *baseline)
+			}
+		})
+	}
+}
+
+// TestCheckpointKeyedEquivalence covers KeyedProcess state (running per-key
+// sums emitted on every tuple).
+func TestCheckpointKeyedEquivalence(t *testing.T) {
+	items := ckptItems(30)
+	build := func(q *Query, src *Stream[keyed]) *[]string {
+		out := KeyedProcess(q, "running", src,
+			func(v keyed) string { return v.key },
+			func(key string, sum int, v keyed, emit Emit[string]) (int, bool, error) {
+				sum += v.val
+				return sum, true, emit(fmt.Sprintf("%s=%d", key, sum))
+			}, nil)
+		got := new([]string)
+		AddSink(q, "sink", out, ToSlice(got))
+		return got
+	}
+
+	baseQ := NewQuery("baseline")
+	baseline := build(baseQ, AddPositionedSource(baseQ, "src", 0, feedFrom(items, 0)))
+	if err := runQuery(t, baseQ); err != nil {
+		t.Fatalf("baseline Run() error = %v", err)
+	}
+
+	outA, outB := runSplit(t, items, 13, build)
+	got := append(outA, outB...)
+	if fmt.Sprint(got) != fmt.Sprint(*baseline) {
+		t.Fatalf("outputs diverge\n got = %v\nwant = %v", got, *baseline)
+	}
+}
+
+// TestCheckpointCountWindowEquivalence covers the count-window operator's
+// open-window state.
+func TestCheckpointCountWindowEquivalence(t *testing.T) {
+	items := ckptItems(35)
+	build := func(q *Query, src *Stream[keyed]) *[]string {
+		out := CountAggregate(q, "count", src, 4, 2,
+			func(v keyed) string { return v.key },
+			func(w CountWindow[string, keyed], emit Emit[string]) error {
+				sum := 0
+				for _, v := range w.Tuples {
+					sum += v.val
+				}
+				return emit(fmt.Sprintf("%s#%d=%d", w.Key, w.Seq, sum))
+			})
+		got := new([]string)
+		AddSink(q, "sink", out, ToSlice(got))
+		return got
+	}
+
+	baseQ := NewQuery("baseline")
+	baseline := build(baseQ, AddPositionedSource(baseQ, "src", 0, feedFrom(items, 0)))
+	if err := runQuery(t, baseQ); err != nil {
+		t.Fatalf("baseline Run() error = %v", err)
+	}
+
+	outA, outB := runSplit(t, items, 17, build)
+	got := append(outA, outB...)
+	if fmt.Sprint(got) != fmt.Sprint(*baseline) {
+		t.Fatalf("outputs diverge\n got = %v\nwant = %v", got, *baseline)
+	}
+}
+
+// TestCheckpointReorderEquivalence covers the reorder buffer: the source
+// emits slightly out of order, the snapshot carries the pending heap.
+func TestCheckpointReorderEquivalence(t *testing.T) {
+	items := make([]keyed, 30)
+	for i := range items {
+		ts := int64(i * 3)
+		if i%4 == 1 {
+			ts -= 4 // out of order within the slack
+		}
+		items[i] = keyed{ts: ts, key: "a", val: i}
+	}
+	build := func(q *Query, src *Stream[keyed]) *[]int64 {
+		ord := Reorder(q, "reorder", src, 6)
+		got := new([]int64)
+		AddSink(q, "sink", ord, func(v keyed) error {
+			*got = append(*got, v.ts)
+			return nil
+		})
+		return got
+	}
+
+	baseQ := NewQuery("baseline")
+	baseline := build(baseQ, AddPositionedSource(baseQ, "src", 0, feedFrom(items, 0)))
+	if err := runQuery(t, baseQ); err != nil {
+		t.Fatalf("baseline Run() error = %v", err)
+	}
+
+	outA, outB := runSplit(t, items, 11, build)
+	got := append(outA, outB...)
+	if fmt.Sprint(got) != fmt.Sprint(*baseline) {
+		t.Fatalf("outputs diverge\n got = %v\nwant = %v", got, *baseline)
+	}
+}
+
+// twoSourceSplit is runSplit for two-input pipelines (join, merge): both
+// sources pause after their split point, the checkpoint records both
+// positions, and query B resumes each from its own offset.
+func twoSourceSplit[Out any](t *testing.T, l, r []keyed, kl, kr int, build func(q *Query, ls, rs *Stream[keyed]) *[]Out) (outA, outB []Out) {
+	t.Helper()
+
+	qa := NewQuery("two-a")
+	qa.EnableSnapshots()
+	fedL, fedR := make(chan struct{}), make(chan struct{})
+	lsA := AddPositionedSource(qa, "left", 0, feedFirst(l, kl, fedL))
+	rsA := AddPositionedSource(qa, "right", 0, feedFirst(r, kr, fedR))
+	gotA := build(qa, lsA, rsA)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- qa.Run(ctx) }()
+	<-fedL
+	<-fedR
+
+	snap, err := qa.Checkpoint(context.Background(), nil)
+	if err != nil {
+		t.Fatalf("Checkpoint() error = %v", err)
+	}
+	cancel()
+	if err := <-done; err != nil && !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run(A) error = %v", err)
+	}
+
+	qb := NewQuery("two-b")
+	lsB := AddPositionedSource(qb, "left", snap.Positions["left"], feedFrom(l, snap.Positions["left"]))
+	rsB := AddPositionedSource(qb, "right", snap.Positions["right"], feedFrom(r, snap.Positions["right"]))
+	gotB := build(qb, lsB, rsB)
+	if err := qb.RestoreCheckpoint(snap); err != nil {
+		t.Fatalf("RestoreCheckpoint() error = %v", err)
+	}
+	if err := qb.Run(context.Background()); err != nil {
+		t.Fatalf("Run(B) error = %v", err)
+	}
+	return *gotA, *gotB
+}
+
+// TestCheckpointJoinEquivalence covers both join buffers. Join output order
+// depends on input interleaving, so the comparison is as multisets.
+func TestCheckpointJoinEquivalence(t *testing.T) {
+	var l, r []keyed
+	for i := 0; i < 24; i++ {
+		l = append(l, keyed{ts: int64(i * 2), key: fmt.Sprintf("k%d", i%3), val: i})
+		r = append(r, keyed{ts: int64(i*2 + 1), key: fmt.Sprintf("k%d", i%3), val: 100 + i})
+	}
+	build := func(q *Query, ls, rs *Stream[keyed]) *[]string {
+		joined := Join(q, "join", ls, rs, 5,
+			func(v keyed) string { return v.key },
+			func(v keyed) string { return v.key },
+			func(a, b keyed) (string, bool) {
+				return fmt.Sprintf("%s:%d+%d", a.key, a.val, b.val), true
+			})
+		got := new([]string)
+		AddSink(q, "sink", joined, ToSlice(got))
+		return got
+	}
+
+	baseQ := NewQuery("baseline")
+	baseline := build(baseQ,
+		AddPositionedSource(baseQ, "left", 0, feedFrom(l, 0)),
+		AddPositionedSource(baseQ, "right", 0, feedFrom(r, 0)))
+	if err := runQuery(t, baseQ); err != nil {
+		t.Fatalf("baseline Run() error = %v", err)
+	}
+
+	outA, outB := twoSourceSplit(t, l, r, 9, 14, build)
+	got := append(outA, outB...)
+	sort.Strings(got)
+	want := append([]string{}, *baseline...)
+	sort.Strings(want)
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("join outputs diverge (as multisets)\n got = %v\nwant = %v", got, want)
+	}
+}
+
+// TestCheckpointOrderedMergeEquivalence covers the merge heads — the one
+// operator whose in-flight tuples live in operator state rather than on an
+// edge. Distinct timestamps make the merged order deterministic, so the
+// comparison is exact.
+func TestCheckpointOrderedMergeEquivalence(t *testing.T) {
+	var l, r []keyed
+	for i := 0; i < 30; i++ {
+		l = append(l, keyed{ts: int64(i * 4), key: "l", val: i})        // 0, 4, 8...
+		r = append(r, keyed{ts: int64(i*4 + 2), key: "r", val: i})      // 2, 6, 10...
+	}
+	build := func(q *Query, ls, rs *Stream[keyed]) *[]int64 {
+		merged := OrderedMerge(q, "merge", []*Stream[keyed]{ls, rs})
+		got := new([]int64)
+		AddSink(q, "sink", merged, func(v keyed) error {
+			*got = append(*got, v.ts)
+			return nil
+		})
+		return got
+	}
+
+	baseQ := NewQuery("baseline")
+	baseline := build(baseQ,
+		AddPositionedSource(baseQ, "left", 0, feedFrom(l, 0)),
+		AddPositionedSource(baseQ, "right", 0, feedFrom(r, 0)))
+	if err := runQuery(t, baseQ); err != nil {
+		t.Fatalf("baseline Run() error = %v", err)
+	}
+
+	outA, outB := twoSourceSplit(t, l, r, 19, 8, build)
+	got := append(outA, outB...)
+	if fmt.Sprint(got) != fmt.Sprint(*baseline) {
+		t.Fatalf("merge outputs diverge\n   A = %v\n   B = %v\nwant = %v", outA, outB, *baseline)
+	}
+}
+
+// TestCheckpointUnderLoad checkpoints repeatedly while the pipeline is
+// processing flat out; the checkpoints must neither lose nor duplicate
+// outputs, and every call must either succeed or report the query gone.
+func TestCheckpointUnderLoad(t *testing.T) {
+	const n = 5000
+	items := make([]keyed, n)
+	for i := range items {
+		items[i] = keyed{ts: int64(i), key: "a", val: 1}
+	}
+
+	q := NewQuery("load")
+	q.EnableSnapshots()
+	src := AddPositionedSource(q, "src", 0, feedFrom(items, 0))
+	var got []string
+	agg := Aggregate(q, "sum", src, Tumbling(100),
+		func(v keyed) string { return v.key },
+		func(w Window[string, keyed], emit Emit[string]) error {
+			return emit(fmt.Sprintf("[%d,%d)=%d", w.Start, w.End, len(w.Tuples)))
+		})
+	AddSink(q, "sink", agg, ToSlice(&got))
+
+	done := make(chan error, 1)
+	go func() { done <- q.Run(context.Background()) }()
+
+	var ok, gone int
+	for {
+		snap, err := q.Checkpoint(context.Background(), nil)
+		switch {
+		case err == nil:
+			if snap.Positions["src"] > n {
+				t.Errorf("position %d beyond input length %d", snap.Positions["src"], n)
+			}
+			ok++
+		case errors.Is(err, ErrQueryNotRunning):
+			gone++
+		default:
+			t.Fatalf("Checkpoint() error = %v", err)
+		}
+		if gone > 0 {
+			break
+		}
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("Run() error = %v", err)
+	}
+	if ok == 0 {
+		t.Log("no checkpoint completed before the query drained (timing-dependent, not a failure)")
+	}
+	want := n / 100
+	if len(got) != want {
+		t.Fatalf("got %d windows, want %d (checkpointing corrupted the run)", len(got), want)
+	}
+}
+
+// TestCheckpointDisabled: without EnableSnapshots the machinery must refuse
+// (and cost nothing on the hot path).
+func TestCheckpointDisabled(t *testing.T) {
+	q := NewQuery("off")
+	src := AddSource(q, "src", FromSlice([]keyed{{1, "a", 1}}))
+	AddSink(q, "sink", src, Discard[keyed]())
+	if _, err := q.Checkpoint(context.Background(), nil); !errors.Is(err, ErrSnapshotsDisabled) {
+		t.Fatalf("Checkpoint() error = %v, want ErrSnapshotsDisabled", err)
+	}
+}
+
+// TestCheckpointNotRunning: before Run and after completion.
+func TestCheckpointNotRunning(t *testing.T) {
+	q := NewQuery("idle")
+	q.EnableSnapshots()
+	src := AddSource(q, "src", FromSlice([]keyed{{1, "a", 1}}))
+	AddSink(q, "sink", src, Discard[keyed]())
+	if _, err := q.Checkpoint(context.Background(), nil); !errors.Is(err, ErrQueryNotRunning) {
+		t.Fatalf("Checkpoint() before Run error = %v, want ErrQueryNotRunning", err)
+	}
+	if err := runQuery(t, q); err != nil {
+		t.Fatalf("Run() error = %v", err)
+	}
+	if _, err := q.Checkpoint(context.Background(), nil); !errors.Is(err, ErrQueryNotRunning) {
+		t.Fatalf("Checkpoint() after Run error = %v, want ErrQueryNotRunning", err)
+	}
+}
+
+// TestCheckpointAbortsOnOperatorFailure: an operator failing while the
+// coordinator is pausing must abort the checkpoint — a dying query has no
+// consistent cut.
+func TestCheckpointAbortsOnOperatorFailure(t *testing.T) {
+	q := NewQuery("failing")
+	q.EnableSnapshots()
+	boom := errors.New("boom")
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	src := AddSource(q, "src", FromSlice([]keyed{{1, "a", 1}}))
+	mapped := FlatMap(q, "fail", src, func(v keyed, emit Emit[keyed]) error {
+		close(entered)
+		<-release // hold the operator busy until the checkpoint is pausing
+		return boom
+	})
+	AddSink(q, "sink", mapped, Discard[keyed]())
+
+	done := make(chan error, 1)
+	go func() { done <- q.Run(context.Background()) }()
+	// Only start the checkpoint once the operator is provably busy — it can
+	// then never reach stability before the failure.
+	<-entered
+
+	ckptErr := make(chan error, 1)
+	go func() {
+		_, err := q.Checkpoint(context.Background(), nil)
+		ckptErr <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	close(release)
+
+	if err := <-ckptErr; !errors.Is(err, ErrQueryFailing) && !errors.Is(err, ErrQueryNotRunning) {
+		t.Fatalf("Checkpoint() error = %v, want ErrQueryFailing or ErrQueryNotRunning", err)
+	}
+	if err := <-done; !errors.Is(err, boom) {
+		t.Fatalf("Run() error = %v, want boom", err)
+	}
+}
+
+// TestCheckpointCallbackRunsQuiesced: fn must observe the paused pipeline —
+// no tuple may land in a sink while fn runs.
+func TestCheckpointCallbackRunsQuiesced(t *testing.T) {
+	const n = 2000
+	items := make([]keyed, n)
+	for i := range items {
+		items[i] = keyed{ts: int64(i), key: "a", val: 1}
+	}
+	q := NewQuery("quiesced")
+	q.EnableSnapshots()
+	src := AddPositionedSource(q, "src", 0, feedFrom(items, 0))
+	var delivered atomic.Int64
+	AddSink(q, "sink", src, func(v keyed) error {
+		delivered.Add(1)
+		return nil
+	})
+
+	done := make(chan error, 1)
+	go func() { done <- q.Run(context.Background()) }()
+
+	for {
+		var before, after int64
+		snap, err := q.Checkpoint(context.Background(), func(s *QuerySnapshot) error {
+			before = delivered.Load()
+			time.Sleep(2 * time.Millisecond)
+			after = delivered.Load()
+			return nil
+		})
+		if errors.Is(err, ErrQueryNotRunning) {
+			break
+		}
+		if err != nil {
+			t.Fatalf("Checkpoint() error = %v", err)
+		}
+		if before != after {
+			t.Fatalf("sink advanced during quiesced callback: %d -> %d", before, after)
+		}
+		// The recorded position must equal what the sink has seen: quiesced
+		// means every emitted tuple is fully absorbed.
+		if got := delivered.Load(); snap.Positions["src"] != uint64(got) {
+			t.Fatalf("position %d != delivered %d at quiescence", snap.Positions["src"], got)
+		}
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("Run() error = %v", err)
+	}
+}
+
+// TestRestoreCheckpointValidation: unknown operators in the snapshot are an
+// error (the topology must match), and a nil snapshot is a no-op.
+func TestRestoreCheckpointValidation(t *testing.T) {
+	q := NewQuery("validate")
+	src := AddSource(q, "src", FromSlice([]keyed{}))
+	AddSink(q, "sink", src, Discard[keyed]())
+
+	if err := q.RestoreCheckpoint(nil); err != nil {
+		t.Fatalf("RestoreCheckpoint(nil) error = %v", err)
+	}
+	err := q.RestoreCheckpoint(&QuerySnapshot{Ops: map[string][]byte{"ghost": nil}})
+	if err == nil {
+		t.Fatal("RestoreCheckpoint with unknown operator: want error")
+	}
+	// An operator that exists but holds no state is equally invalid.
+	err = q.RestoreCheckpoint(&QuerySnapshot{Ops: map[string][]byte{"sink": nil}})
+	if err == nil {
+		t.Fatal("RestoreCheckpoint targeting a stateless operator: want error")
+	}
+}
+
+// TestPlainSourceNotPositioned: only positioned sources appear in Positions.
+func TestPlainSourceNotPositioned(t *testing.T) {
+	q := NewQuery("plain")
+	q.EnableSnapshots()
+	blocked := make(chan struct{})
+	src := AddSource(q, "src", func(ctx context.Context, emit Emit[keyed]) error {
+		close(blocked)
+		<-ctx.Done()
+		return nil
+	})
+	AddSink(q, "sink", src, Discard[keyed]())
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- q.Run(ctx) }()
+	<-blocked
+
+	snap, err := q.Checkpoint(context.Background(), nil)
+	if err != nil {
+		t.Fatalf("Checkpoint() error = %v", err)
+	}
+	if len(snap.Positions) != 0 {
+		t.Fatalf("Positions = %v, want empty for a plain source", snap.Positions)
+	}
+	cancel()
+	<-done
+}

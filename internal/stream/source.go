@@ -3,6 +3,7 @@ package stream
 import (
 	"context"
 	"errors"
+	"sync/atomic"
 	"time"
 )
 
@@ -18,6 +19,17 @@ type Emit[T any] func(T) error
 // whole query with that error.
 type SourceFunc[T any] func(ctx context.Context, emit Emit[T]) error
 
+// PosEmit is the emit callback of a positioned source: pos is the tuple's
+// replay position (e.g. its log offset). After the emit returns nil the
+// source's resume position becomes pos+1, so a checkpoint taken afterwards
+// records that replay should restart past this tuple.
+type PosEmit[T any] func(pos uint64, v T) error
+
+// PositionedSourceFunc produces tuples whose positions are tracked for
+// checkpointing. Implementations must emit positions in strictly increasing
+// order starting at the position the builder handed them.
+type PositionedSourceFunc[T any] func(ctx context.Context, emit PosEmit[T]) error
+
 // AddSource registers a source operator on q and returns its output stream.
 // The source coalesces emitted tuples into chunks of up to the batch size,
 // flushing a partial chunk when the linger deadline passes (WithBatch /
@@ -32,30 +44,70 @@ func AddSource[T any](q *Query, name string, fn SourceFunc[T], opts ...OpOption)
 	stats := q.metrics.Op(name)
 	watchOutput(stats, out.ch)
 	q.addOperator(&sourceOp[T]{
-		name: name, fn: fn, out: out.ch,
+		name: name, fn: fn, out: out.ch, g: q.qz.newGuard(),
 		batch: o.batch, linger: o.linger, stats: stats,
 	})
 	return out
 }
 
+// AddPositionedSource registers a source whose replay position is tracked:
+// checkpoints record, per source, the position the next emit would carry, so
+// a restored pipeline re-runs fn starting from the recorded offset instead
+// of from scratch. start seeds the position — a restore that happens before
+// the source's first emit still checkpoints the right resume point.
+func AddPositionedSource[T any](q *Query, name string, start uint64, fn PositionedSourceFunc[T], opts ...OpOption) *Stream[T] {
+	o := applyOpts(q, opts)
+	out := newStream[T](q, name, o.buffer)
+	if fn == nil {
+		q.recordErr(ErrNilUDF)
+		return out
+	}
+	stats := q.metrics.Op(name)
+	watchOutput(stats, out.ch)
+	s := &sourceOp[T]{
+		name: name, pfn: fn, out: out.ch, g: q.qz.newGuard(),
+		batch: o.batch, linger: o.linger, stats: stats,
+	}
+	s.tracked = true
+	s.pos.Store(start)
+	q.addOperator(s)
+	return out
+}
+
 type sourceOp[T any] struct {
 	name   string
-	fn     SourceFunc[T]
+	fn     SourceFunc[T]         // plain source (exactly one of fn/pfn is set)
+	pfn    PositionedSourceFunc[T]
 	out    chan []T
+	g      *opGuard
 	batch  int
 	linger time.Duration
 	stats  *OpStats
+
+	// tracked marks a positioned source; pos is the resume position the next
+	// checkpoint records (advanced to pos+1 after each successful emit, from
+	// inside the emit's gate span, so the coordinator — which waits for all
+	// spans to drain — always reads a value consistent with what was
+	// emitted).
+	tracked bool
+	pos     atomic.Uint64
 }
 
-func (s *sourceOp[T]) opName() string { return s.name }
+func (s *sourceOp[T]) opName() string     { return s.name }
+func (s *sourceOp[T]) resumePos() uint64  { return s.pos.Load() }
+func (s *sourceOp[T]) isPositioned() bool { return s.tracked }
 
 func (s *sourceOp[T]) run(ctx context.Context) (err error) {
-	// Deferred in this order so that on every exit path — including a
-	// panicking SourceFunc — the chunker is closed (stopping its linger
-	// timer, so no late fire touches the channel) before the output channel
-	// closes.
-	defer close(s.out)
-	ck := newChunker(ctx, s.out, s.batch, s.linger, s.stats)
+	// Deferred so that on every exit path — including a panicking
+	// SourceFunc — the chunker is closed (stopping its linger timer, so no
+	// late fire touches the channel) before the output channel closes, and
+	// the close itself waits out any checkpoint pause (end-of-stream must
+	// not cascade into operators mid-snapshot).
+	defer closeGated(s.g, s.out)
+	defer s.g.exit(&err)
+	qz := s.g.qz
+	ck := newChunker(ctx, qz, s.out, s.batch, s.linger, s.stats)
+	qz.addFlusher(ck.flushNow)
 	defer func() {
 		if cerr := ck.close(); err == nil {
 			err = cerr
@@ -68,14 +120,31 @@ func (s *sourceOp[T]) run(ctx context.Context) (err error) {
 		}
 	}()
 	defer recoverPanic(&err)
-	err = s.fn(ctx, func(v T) error {
+	if s.pfn != nil {
+		return s.pfn(ctx, func(pos uint64, v T) error {
+			if err := qz.enter(ctx); err != nil {
+				return err
+			}
+			defer qz.exitEmit()
+			if err := ck.emit(v); err != nil {
+				return err
+			}
+			s.pos.Store(pos + 1)
+			observeDeparture(s.stats, v)
+			return nil
+		})
+	}
+	return s.fn(ctx, func(v T) error {
+		if err := qz.enter(ctx); err != nil {
+			return err
+		}
+		defer qz.exitEmit()
 		if err := ck.emit(v); err != nil {
 			return err
 		}
 		observeDeparture(s.stats, v)
 		return nil
 	})
-	return err
 }
 
 // FromSlice builds a SourceFunc that replays the given tuples in order. The

@@ -53,6 +53,9 @@ func newStream[T any](q *Query, producer string, buf int) *Stream[T] {
 	}
 	s := &Stream[T]{name: producer, q: q, ch: make(chan []T, buf), producer: producer}
 	q.streamCreated(producer)
+	// Register the edge with the quiescer: the checkpoint stability scan
+	// needs to observe every channel in the DAG empty.
+	q.qz.addEdge(func() int { return len(s.ch) })
 	return s
 }
 

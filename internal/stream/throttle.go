@@ -28,6 +28,7 @@ func Throttle[T any](q *Query, name string, in *Stream[T], rate float64, burst i
 		name: name, in: in.ch, out: out.ch,
 		interval: time.Duration(float64(time.Second) / rate),
 		burst:    burst,
+		g:        q.qz.newGuard(),
 		batch:    o.batch,
 		stats:    stats,
 	})
@@ -40,6 +41,7 @@ type throttleOp[T any] struct {
 	out      chan []T
 	interval time.Duration
 	burst    int
+	g        *opGuard
 	batch    int
 	stats    *OpStats
 }
@@ -47,14 +49,20 @@ type throttleOp[T any] struct {
 func (t *throttleOp[T]) opName() string { return t.name }
 
 func (t *throttleOp[T]) run(ctx context.Context) (err error) {
+	// The guard stays busy across the pacing sleeps: the not-yet-released
+	// remainder of the chunk is in-flight state, so a checkpoint pause must
+	// wait for the chunk to finish pacing (bounded by batch/rate seconds).
+	defer closeGated(t.g, t.out)
+	defer t.g.exit(&err)
 	defer recoverPanic(&err)
-	defer close(t.out)
-	em := newChunkEmitter(ctx, t.out, t.batch, t.stats)
+	em := newChunkEmitter(ctx, t.g.qz, t.out, t.batch, t.stats)
 	tokens := float64(t.burst)
 	last := time.Now()
 	for {
+		t.g.idle()
 		select {
 		case chunk, ok := <-t.in:
+			t.g.recv(ok)
 			if !ok {
 				return em.flush()
 			}

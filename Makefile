@@ -7,13 +7,14 @@ BENCH_PKGS  := . ./internal/stream ./internal/pubsub ./internal/kvstore
 BENCH_TIME  ?= 300ms
 BENCH_COUNT ?= 1
 
-.PHONY: ci vet build test race bench bench-smoke profile lint metrics-smoke chaos
+.PHONY: ci vet build test race bench bench-smoke profile lint metrics-smoke chaos overload
 
 ## ci: the full gate — vet, build, the test suite under the race detector,
 ## the stratalint analyzers (see DESIGN.md, "Static contracts"), one
 ## -benchtime=1x pass over the data-plane benchmarks so the batched fast
-## paths run under -race too, and the kill-and-recover chaos suite.
-ci: vet build race lint bench-smoke chaos
+## paths run under -race too, the kill-and-recover chaos suite, and the
+## overload degradation suite (DESIGN.md §11).
+ci: vet build race lint bench-smoke chaos overload
 
 vet:
 	$(GO) vet ./...
@@ -24,22 +25,24 @@ build:
 test:
 	$(GO) test ./...
 
+## race: the suite under the race detector, with test order shuffled so
+## accidental inter-test ordering dependencies surface instead of hiding.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -shuffle=on ./...
 
 lint:
 	$(GO) build -o bin/strata-lint ./cmd/strata-lint
 	./bin/strata-lint ./...
 
 ## bench: the tier-1 benchmark set (figure benches at the root plus the
-## stream/pubsub/kvstore data plane), recorded as BENCH_PR4.json for
+## stream/pubsub/kvstore data plane), recorded as BENCH_PR6.json for
 ## before/after evidence in perf PRs.
 bench:
 	$(GO) build -o bin/benchjson ./cmd/benchjson
 	$(GO) test -run='^$$' -bench=. -benchtime=$(BENCH_TIME) -count=$(BENCH_COUNT) $(BENCH_PKGS) | tee bench.out
-	./bin/benchjson < bench.out > BENCH_PR4.json
+	./bin/benchjson < bench.out > BENCH_PR6.json
 	@rm -f bench.out
-	@echo "wrote BENCH_PR4.json"
+	@echo "wrote BENCH_PR6.json"
 
 ## bench-smoke: run every data-plane benchmark exactly once under -race.
 ## This is coverage of the batched fast paths, not timing.
@@ -57,6 +60,17 @@ profile:
 ## and must recover to outputs identical to an uncrashed run (DESIGN.md §10).
 chaos:
 	$(GO) test -race -count=1 -run 'TestChaos' ./internal/core
+
+## overload: the graceful-degradation suite under -race (DESIGN.md §11) —
+## the controller ladder, shed-gate accounting, deadline termini, circuit
+## breaker, broker admission quotas, and slow-consumer eviction.
+overload:
+	$(GO) test -race -count=1 \
+		-run 'TestOverload|TestShed|TestSinkGate|TestPauseGate|TestDeliverDurableSuppressesExpiredEffects' \
+		./internal/core ./internal/stream
+	$(GO) test -race -count=1 \
+		-run 'TestBreaker|TestBrokerSubjectQuota|TestBrokerSlowConsumerEviction|TestCursorLagAndSkipToLatest|TestOverflowPoliciesUnderHeartbeatRedial' \
+		./internal/pubsub
 
 ## metrics-smoke: boot a full deployment (manager + broker + store + traced
 ## pipeline) behind the telemetry HTTP handler and assert /metrics serves a

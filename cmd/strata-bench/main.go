@@ -34,7 +34,7 @@ func main() {
 
 func run() error {
 	var (
-		fig     = flag.String("fig", "all", "figure to regenerate: 4, 5, 6, 7, all, ablate, or ckpt")
+		fig     = flag.String("fig", "all", "figure to regenerate: 4, 5, 6, 7, all, ablate, ckpt, or overload")
 		imagePx = flag.Int("image", 1000, "OT image resolution in pixels (paper: 2000)")
 		layers  = flag.Int("layers", 40, "layers per repetition (paper: full 575-layer build)")
 		reps    = flag.Int("reps", 5, "repetitions per configuration (paper: 5)")
@@ -170,6 +170,15 @@ func run() error {
 		rep, err := bench.RunCheckpointOverhead(ctx, cfg, *ckptEvery)
 		if err != nil {
 			return fmt.Errorf("checkpoint overhead: %w", err)
+		}
+		fmt.Println(rep)
+	}
+
+	if want["overload"] {
+		fmt.Println("=== Overload degradation: unprotected vs shed-late (DESIGN.md §11) ===")
+		rep, err := bench.RunOverloadExperiment(ctx, cfg)
+		if err != nil {
+			return fmt.Errorf("overload: %w", err)
 		}
 		fmt.Println(rep)
 	}

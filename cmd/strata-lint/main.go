@@ -1,6 +1,6 @@
 // Command strata-lint runs the STRATA contract analyzers (streamclose,
-// locksend, goctx, errdrop) over the requested packages and exits non-zero
-// when any unsuppressed finding remains.
+// locksend, goctx, errdrop, boundedchan) over the requested packages and
+// exits non-zero when any unsuppressed finding remains.
 //
 // Usage:
 //

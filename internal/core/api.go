@@ -96,6 +96,14 @@ func (fw *Framework) AddSource(name string, collect CollectFunc) *StreamRef {
 	}
 	s := stream.AddSource(fw.query, name, func(ctx context.Context, emit stream.Emit[EventTuple]) error {
 		return collect(ctx, func(t EventTuple) error {
+			// Overload gate: the controller pauses best-effort pipelines at
+			// its last ladder rung; collectors park here until resumed.
+			if fw.srcPaused.Load() {
+				fw.pauseWait(ctx.Done())
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
 			if t.AvailableAt.IsZero() {
 				t.AvailableAt = time.Now()
 			}
@@ -110,7 +118,10 @@ func (fw *Framework) AddSource(name string, collect CollectFunc) *StreamRef {
 			}
 			return emit(t)
 		})
-	})
+		// Inert shed gate (see subLayerStage): lets the overload controller
+		// shed expired tuples at the ingest edge, the first place overload
+		// shows up.
+	}, stream.WithShedPolicy(stream.ShedPolicy{}))
 	out := fw.tapRaw(name, s)
 	return &StreamRef{name: name, kind: kindSource, layerGranular: true, s: out}
 }
@@ -192,6 +203,10 @@ func (fw *Framework) Fuse(name string, in1, in2 *StreamRef, opts ...FuseOption) 
 			if tr == nil {
 				tr = r.Trace
 			}
+			prio := l.Priority
+			if r.Priority > prio {
+				prio = r.Priority
+			}
 			return EventTuple{
 				TS:          maxTime(l.TS, r.TS),
 				Job:         l.Job,
@@ -200,6 +215,8 @@ func (fw *Framework) Fuse(name string, in1, in2 *StreamRef, opts ...FuseOption) 
 				Portion:     DefaultPortion,
 				KV:          kv,
 				AvailableAt: maxTime(l.AvailableAt, r.AvailableAt),
+				Priority:    prio,
+				Deadline:    earliestDeadline(l.Deadline, r.Deadline),
 				Trace:       tr,
 			}, true
 		})
@@ -228,6 +245,8 @@ func (fw *Framework) Partition(name string, in *StreamRef, f PartitionFunc, opts
 			o.Job = t.Job
 			o.Layer = t.Layer
 			o.AvailableAt = t.AvailableAt
+			o.Priority = t.Priority
+			o.Deadline = t.Deadline
 			o.Trace = t.Trace
 			if o.Specimen == "" {
 				o.Specimen = DefaultSpecimen
@@ -273,6 +292,12 @@ func (fw *Framework) DetectEvent(name string, in *StreamRef, f DetectFunc, opts 
 			}
 			if o.AvailableAt.IsZero() {
 				o.AvailableAt = t.AvailableAt
+			}
+			if o.Priority == 0 {
+				o.Priority = t.Priority
+			}
+			if o.Deadline.IsZero() {
+				o.Deadline = t.Deadline
 			}
 			if o.Trace == nil {
 				o.Trace = t.Trace
@@ -334,13 +359,18 @@ func (fw *Framework) subLayerStage(
 		}
 		return nil
 	}
+	// Every sub-layer stage carries an inert shed gate: nothing is ever shed
+	// under normal operation (blocking back-pressure, bit-identical to an
+	// ungated stage), but the overload controller's dynamic knobs can start
+	// shedding expired or low-priority tuples here without a redeploy.
+	gate := stream.WithShedPolicy(stream.ShedPolicy{})
 	if cfg.parallelism <= 1 {
-		return nil, stream.FlatMap(fw.query, name, in.singleStream(fw, name), wrapper)
+		return nil, stream.FlatMap(fw.query, name, in.singleStream(fw, name), wrapper, gate)
 	}
 	branches := in.branchStreams(fw, name, cfg.parallelism)
 	outs := make([]*stream.Stream[EventTuple], len(branches))
 	for i, b := range branches {
-		outs[i] = stream.FlatMap(fw.query, fmt.Sprintf("%s.%d", name, i), b, wrapper)
+		outs[i] = stream.FlatMap(fw.query, fmt.Sprintf("%s.%d", name, i), b, wrapper, gate)
 	}
 	return outs, nil
 }
@@ -448,6 +478,11 @@ func (cs *correlateState) closeLayer(b *specimenBuffer, layer int, ts time.Time,
 		L:           cs.l,
 		AvailableAt: avail,
 	}
+	// Fused overload metadata of the window: results are as important as
+	// the most important contributing event, and useful only while every
+	// deadlined input still is.
+	wPrio := 0
+	var wDeadline time.Time
 	for l := layer - cs.l + 1; l <= layer; l++ {
 		evs := b.layers[l]
 		w.Events = append(w.Events, evs...)
@@ -455,6 +490,10 @@ func (cs *correlateState) closeLayer(b *specimenBuffer, layer int, ts time.Time,
 			if e.AvailableAt.After(w.AvailableAt) {
 				w.AvailableAt = e.AvailableAt
 			}
+			if e.Priority > wPrio {
+				wPrio = e.Priority
+			}
+			wDeadline = earliestDeadline(wDeadline, e.Deadline)
 		}
 	}
 	// Evict layers below the next window's reach.
@@ -475,6 +514,12 @@ func (cs *correlateState) closeLayer(b *specimenBuffer, layer int, ts time.Time,
 		o.Portion = DefaultPortion
 		if o.AvailableAt.IsZero() {
 			o.AvailableAt = w.AvailableAt
+		}
+		if o.Priority == 0 {
+			o.Priority = wPrio
+		}
+		if o.Deadline.IsZero() {
+			o.Deadline = wDeadline
 		}
 		if o.Trace == nil {
 			o.Trace = trace
@@ -516,12 +561,15 @@ func (fw *Framework) Deliver(name string, in *StreamRef, fn func(EventTuple) err
 		fw.recordErr(fmt.Errorf("%w: Deliver %q: nil input or function", ErrBadPipeline, name))
 		return
 	}
+	// Inert shed gate (see subLayerStage): when the overload controller
+	// engages shed-late, tuples that expired while queued for the sink are
+	// dropped at the doorstep instead of consuming delivery service time.
 	stream.AddSink(fw.query, name, in.singleStream(fw, name), func(t EventTuple) error {
 		if t.isMarker() {
 			return nil
 		}
 		return fn(t)
-	})
+	}, stream.WithShedPolicy(stream.ShedPolicy{}))
 }
 
 // DeliverDurable attaches an effectively-once sink whose effects live in
@@ -561,6 +609,10 @@ func (fw *Framework) DeliverDurable(name string, in *StreamRef, apply func(seq u
 	fw.durableSinks[name] = ds
 	fw.mu.Unlock()
 	store := fw.store
+	// Deliberately no shed gate on a durable sink: dropping a tuple before
+	// sequence assignment would renumber everything behind it on replay and
+	// break effectively-once. Expired results are suppressed below instead,
+	// after their sequence is consumed — a decision that replays identically.
 	stream.AddSink(fw.query, name, in.singleStream(fw, name), func(t EventTuple) error {
 		if t.isMarker() {
 			return nil
@@ -568,6 +620,14 @@ func (fw *Framework) DeliverDurable(name string, in *StreamRef, apply func(seq u
 		ds.seq++
 		if ds.seq <= ds.hw {
 			return nil // replayed tuple whose effects already committed
+		}
+		// Deadline propagation ends here: a result that arrives past its
+		// deadline is suppressed-and-counted, never committed late. No
+		// high-water write — on replay the deadline is still in the past,
+		// so the suppression decision is deterministic.
+		if !t.Deadline.IsZero() && time.Now().After(t.Deadline) {
+			ds.expired.Add(1)
+			return nil
 		}
 		var b kvstore.Batch
 		if err := apply(ds.seq, t, &b); err != nil {

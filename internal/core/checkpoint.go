@@ -387,6 +387,14 @@ func gobEncodeMeta(m ckptMeta) ([]byte, error) {
 type durableSink struct {
 	seq uint64 // tuples seen since stream start (deterministic under replay)
 	hw  uint64 // highest seq whose effects are durably applied
+
+	// expired counts tuples whose deadline had passed at the sink, so their
+	// effects were suppressed instead of committed late. Atomic because the
+	// metrics collector reads it while the sink runs. Deliberately NOT part
+	// of the durable cursor: a suppressed tuple advances neither seq-vs-hw
+	// accounting (its seq is consumed but no effects commit), and on replay
+	// the deadline is still in the past, so suppression is deterministic.
+	expired atomic.Int64
 }
 
 // correlateSnapBuf mirrors specimenBuffer with exported fields for gob.

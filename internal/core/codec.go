@@ -16,6 +16,8 @@ import (
 //	ts          int64 (unix micro)
 //	availableAt int64 (unix micro; 0 = unset)
 //	layer       int64
+//	deadline    int64 (unix micro; 0 = unset)
+//	priority    int64
 //	job, specimen, portion: uvarint length + bytes each
 //	kvCount     uvarint, then per entry:
 //	    key     uvarint length + bytes
@@ -69,6 +71,14 @@ func EncodeTuple(t EventTuple) ([]byte, error) {
 	binary.LittleEndian.PutUint64(tmp[:], uint64(avail))
 	buf = append(buf, tmp[:]...)
 	binary.LittleEndian.PutUint64(tmp[:], uint64(t.Layer))
+	buf = append(buf, tmp[:]...)
+	deadline := int64(0)
+	if !t.Deadline.IsZero() {
+		deadline = t.Deadline.UnixMicro()
+	}
+	binary.LittleEndian.PutUint64(tmp[:], uint64(deadline))
+	buf = append(buf, tmp[:]...)
+	binary.LittleEndian.PutUint64(tmp[:], uint64(int64(t.Priority)))
 	buf = append(buf, tmp[:]...)
 	for _, s := range []string{t.Job, t.Specimen, t.Portion} {
 		buf = binary.AppendUvarint(buf, uint64(len(s)))
@@ -204,6 +214,18 @@ func DecodeTuple(data []byte) (EventTuple, error) {
 		return t, err
 	}
 	t.Layer = int(int64(layer))
+	deadline, err := d.u64()
+	if err != nil {
+		return t, err
+	}
+	if int64(deadline) != 0 {
+		t.Deadline = time.UnixMicro(int64(deadline))
+	}
+	prio, err := d.u64()
+	if err != nil {
+		return t, err
+	}
+	t.Priority = int(int64(prio))
 	if t.Job, err = d.str(); err != nil {
 		return t, err
 	}

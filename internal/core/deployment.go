@@ -28,6 +28,10 @@ type Manager struct {
 	broker     *pubsub.Broker
 	traceEvery int // default trace sampling for deployed pipelines
 
+	// overload is the degradation controller (nil without
+	// WithOverloadControl); see overload.go.
+	overload *overloadController
+
 	mu        sync.Mutex
 	closed    bool
 	pipelines map[string]*Pipeline // live (running or restarting)
@@ -105,6 +109,7 @@ type deployConfig struct {
 	backoff     time.Duration
 	ckptEvery   time.Duration
 	ckptRetain  int
+	criticality Criticality
 }
 
 // DeployOption customizes one Deploy call.
@@ -181,6 +186,10 @@ type Pipeline struct {
 	ckpt       *ckptStats
 	ckptOpMu   sync.Mutex
 
+	// criticality is fixed at deploy time; the overload controller pauses
+	// BestEffort pipelines at its last ladder rung.
+	criticality Criticality
+
 	mu          sync.Mutex
 	fw          *Framework // current incarnation (replaced on restart)
 	status      PipelineStatus
@@ -230,6 +239,9 @@ func NewManager(storeDir string, broker *pubsub.Broker, opts ...ManagerOption) (
 	}
 	for _, o := range opts {
 		o(m)
+	}
+	if m.overload != nil {
+		go m.overload.run()
 	}
 	return m, nil
 }
@@ -304,16 +316,17 @@ func (m *Manager) Deploy(name string, build func(fw *Framework) error, opts ...D
 
 	ctx, cancel := context.WithCancel(context.Background())
 	p := &Pipeline{
-		name:       name,
-		build:      build,
-		fw:         fw,
-		cancel:     cancel,
-		done:       make(chan struct{}),
-		status:     StatusRunning,
-		deployedAt: time.Now(),
-		ckptEvery:  cfg.ckptEvery,
-		ckptRetain: cfg.ckptRetain,
-		ckpt:       st,
+		name:        name,
+		build:       build,
+		fw:          fw,
+		cancel:      cancel,
+		done:        make(chan struct{}),
+		status:      StatusRunning,
+		deployedAt:  time.Now(),
+		ckptEvery:   cfg.ckptEvery,
+		ckptRetain:  cfg.ckptRetain,
+		ckpt:        st,
+		criticality: cfg.criticality,
 	}
 
 	m.mu.Lock()
@@ -728,6 +741,10 @@ func (m *Manager) Close() error {
 	}
 	m.mu.Unlock()
 
+	if m.overload != nil {
+		close(m.overload.stop)
+		<-m.overload.done
+	}
 	for _, p := range ps {
 		p.cancel()
 		<-p.done

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"strata/internal/kvstore"
 	"strata/internal/pubsub"
@@ -100,6 +101,11 @@ type Framework struct {
 	lastEpoch    uint64
 	providers    map[string]ckptProvider
 	durableSinks map[string]*durableSink
+
+	// Degraded-operation state, written by the manager's overload
+	// controller (see overload.go) and read on pipeline hot paths.
+	decimation atomic.Int64 // OT-grid subsample factor (<=1 means full res)
+	srcPaused  atomic.Bool  // park source collectors (best-effort pipelines)
 
 	mu       sync.Mutex
 	buildErr error
@@ -207,6 +213,16 @@ func (fw *Framework) Collect(w *telemetry.Writer) {
 	if fw.ownStore {
 		fw.store.Collect(w)
 	}
+	fw.mu.Lock()
+	for name, ds := range fw.durableSinks {
+		if n := ds.expired.Load(); n > 0 {
+			w.Counter("strata_overload_expired_effects_total",
+				"Result tuples whose deadline passed before the durable sink, suppressed instead of committed late.",
+				float64(n),
+				telemetry.L("pipeline", fw.name), telemetry.L("sink", name))
+		}
+	}
+	fw.mu.Unlock()
 }
 
 // Broker returns the attached broker (nil when none).

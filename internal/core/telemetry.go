@@ -28,6 +28,9 @@ func (m *Manager) Collect(w *telemetry.Writer) {
 
 	w.Gauge("strata_manager_pipelines",
 		"Deployed pipelines (running or restarting).", float64(len(live)))
+	if m.overload != nil {
+		m.overload.collect(w)
+	}
 	w.Gauge("strata_manager_pipelines_terminal",
 		"Retired pipelines (completed, decommissioned, or failed).", float64(terminalCount))
 

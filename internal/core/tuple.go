@@ -68,6 +68,19 @@ type EventTuple struct {
 	// Operators propagate the maximum across fused inputs.
 	AvailableAt time.Time
 
+	// Priority is the tuple's shedding priority (higher = more important;
+	// 0 = background). Under overload, drop-lowest shed gates discard
+	// tuples below their floor; fused tuples carry the maximum across
+	// inputs.
+	Priority int
+
+	// Deadline is the wall-clock instant after which the tuple's result is
+	// worthless (zero = none). Shed gates with DropExpired discard expired
+	// tuples at admission, and DeliverDurable suppresses (and counts)
+	// expired effects instead of committing them late. Fused tuples carry
+	// the earliest non-zero deadline across inputs.
+	Deadline time.Time
+
 	// Trace is the sampled per-tuple trace context (nil for the unsampled
 	// majority). It is attached by AddSource when the framework was built
 	// with WithTraceSampling, shared by pointer across every derived tuple,
@@ -86,6 +99,30 @@ func (t EventTuple) TraceContext() *telemetry.Trace { return t.Trace }
 // isMarker reports whether the tuple is internal end-of-layer punctuation.
 func (t EventTuple) isMarker() bool { return t.Portion == markerPortion }
 
+// ShedPriority implements stream.Prioritized.
+func (t EventTuple) ShedPriority() int { return t.Priority }
+
+// ShedDeadline implements stream.Deadlined.
+func (t EventTuple) ShedDeadline() time.Time { return t.Deadline }
+
+// Sheddable implements stream.Sheddable: end-of-layer markers are
+// punctuation that windowed stages need to close, so shed gates must always
+// forward them.
+func (t EventTuple) Sheddable() bool { return !t.isMarker() }
+
+// earliestDeadline returns the sooner of two deadlines, treating the zero
+// time as "none" — the fusion rule for deadlines (the combined result is
+// only useful while every input still is).
+func earliestDeadline(a, b time.Time) time.Time {
+	if a.IsZero() {
+		return b
+	}
+	if b.IsZero() || a.Before(b) {
+		return a
+	}
+	return b
+}
+
 // newMarker builds the punctuation tuple closing (job, layer, specimen).
 // It inherits the closing tuple's trace so correlate results triggered by
 // the marker stay attributable to the sampled tuple's journey.
@@ -97,6 +134,7 @@ func newMarker(from EventTuple, specimen string) EventTuple {
 		Specimen:    specimen,
 		Portion:     markerPortion,
 		AvailableAt: from.AvailableAt,
+		Priority:    from.Priority,
 		Trace:       from.Trace,
 	}
 }

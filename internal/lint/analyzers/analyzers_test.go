@@ -27,3 +27,7 @@ func TestGoctx(t *testing.T) {
 func TestErrdrop(t *testing.T) {
 	linttest.Run(t, analyzers.Errdrop, "errdrop")
 }
+
+func TestBoundedchan(t *testing.T) {
+	linttest.Run(t, analyzers.Boundedchan, "boundedchan")
+}

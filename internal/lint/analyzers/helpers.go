@@ -15,7 +15,7 @@ import (
 )
 
 // All is the full strata-lint suite, in the order findings are attributed.
-var All = []*analysis.Analyzer{Streamclose, Locksend, Goctx, Errdrop}
+var All = []*analysis.Analyzer{Streamclose, Locksend, Goctx, Errdrop, Boundedchan}
 
 // calleeFunc resolves the called function/method object of call, or nil for
 // builtins, type conversions, and indirect calls through variables.

@@ -1,0 +1,64 @@
+// Test fixtures for the boundedchan analyzer: data channels must be created
+// with an explicit non-zero capacity.
+package a
+
+type signal = struct{}
+
+type msg struct {
+	seq  uint64
+	data []byte
+}
+
+type msgChan chan msg
+
+func badUnbuffered() chan int {
+	return make(chan int) // want `unbuffered data channel`
+}
+
+func badUnbufferedBytes() {
+	ch := make(chan []byte) // want `unbuffered data channel`
+	_ = ch
+}
+
+func badExplicitZero() {
+	ch := make(chan msg, 0) // want `zero-capacity data channel`
+	_ = ch
+}
+
+const noBuffer = 0
+
+func badConstZero() {
+	ch := make(chan string, noBuffer) // want `zero-capacity data channel`
+	_ = ch
+}
+
+func badNamedChanType() {
+	ch := make(msgChan) // want `unbuffered data channel`
+	_ = ch
+}
+
+func goodBuffered(n int) {
+	a := make(chan int, 1)
+	b := make(chan msg, 256)
+	c := make(chan []byte, n) // runtime-sized: assumed config-driven
+	_, _, _ = a, b, c
+}
+
+func goodSignal(done chan struct{}) {
+	stop := make(chan struct{})
+	quit := make(chan signal)
+	zero := make(chan struct{}, 0)
+	_, _, _ = stop, quit, zero
+}
+
+func goodNotAChan() {
+	m := make(map[string]int)
+	s := make([]int, 0)
+	_, _ = m, s
+}
+
+func ignoredRendezvous() {
+	//lint:ignore boundedchan handshake must rendezvous, never carries load
+	ch := make(chan int)
+	_ = ch
+}

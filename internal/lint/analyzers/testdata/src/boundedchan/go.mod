@@ -1,0 +1,3 @@
+module boundedchan
+
+go 1.22

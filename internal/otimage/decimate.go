@@ -1,0 +1,123 @@
+package otimage
+
+import "fmt"
+
+// Decimation: subsampled access to an OT image for degraded operation under
+// overload. A DecimatedView reads every factor-th pixel of the source in both
+// axes without copying the raster, so an overload controller can cut the
+// per-layer analysis cost to ~1/factor² while keeping the pipeline running —
+// trading spatial resolution for throughput instead of dropping whole layers.
+
+// DecimatedView is a zero-copy subsampled view of an Image: pixel (x, y) of
+// the view is pixel (x·factor, y·factor) of the source. The view aliases the
+// source raster; it stays valid while the source does and must not outlive
+// mutations the caller is not prepared to observe.
+type DecimatedView struct {
+	src    *Image
+	factor int
+}
+
+// Decimate returns a view of im subsampled by factor along both axes.
+// A factor of 1 is the identity view; factors below 1 are rejected.
+func (im *Image) Decimate(factor int) (*DecimatedView, error) {
+	if factor < 1 {
+		return nil, fmt.Errorf("%w: decimation factor %d", ErrBounds, factor)
+	}
+	return &DecimatedView{src: im, factor: factor}, nil
+}
+
+// Factor returns the view's subsampling factor.
+func (v *DecimatedView) Factor() int { return v.factor }
+
+// Width returns the view's width in (subsampled) pixels.
+func (v *DecimatedView) Width() int { return (v.src.Width + v.factor - 1) / v.factor }
+
+// Height returns the view's height in (subsampled) pixels.
+func (v *DecimatedView) Height() int { return (v.src.Height + v.factor - 1) / v.factor }
+
+// MMPerPixel returns the physical pixel size of the view: factor source
+// pixels per view pixel.
+func (v *DecimatedView) MMPerPixel() float64 { return v.src.MMPerPixel * float64(v.factor) }
+
+// At returns the source intensity at view coordinates (x, y).
+// Out-of-bounds coordinates return 0, mirroring Image.At.
+func (v *DecimatedView) At(x, y int) uint16 {
+	if x < 0 || y < 0 || x >= v.Width() || y >= v.Height() {
+		return 0
+	}
+	return v.src.Pix[y*v.factor*v.src.Width+x*v.factor]
+}
+
+// Materialize copies the view into a standalone Image, for code paths that
+// need the concrete type (e.g. the connector codec).
+func (v *DecimatedView) Materialize() *Image {
+	out := New(v.Width(), v.Height(), v.MMPerPixel())
+	for y := 0; y < out.Height; y++ {
+		srcBase := y * v.factor * v.src.Width
+		dstBase := y * out.Width
+		for x := 0; x < out.Width; x++ {
+			out.Pix[dstBase+x] = v.src.Pix[srcBase+x*v.factor]
+		}
+	}
+	return out
+}
+
+// SplitCellsDecimated tiles region into edge×edge-pixel cells exactly like
+// SplitCells — the cell grid, Regions, and ordering are identical, all in
+// the ORIGINAL image's coordinates — but computes each cell's statistics
+// from every factor-th pixel only, visiting ~1/factor² of the raster. This
+// is the degraded-mode partition primitive: downstream stages see the same
+// cells at the same build-plate positions, just summarized from a sparser
+// sample. factor 1 is equivalent to SplitCells.
+//
+// Min/Max are the extrema of the sampled pixels, so a defect smaller than
+// factor pixels in both axes can be missed — the accuracy cost the overload
+// ladder's decimation level accepts, and the reason the level resets once
+// pressure subsides.
+func (im *Image) SplitCellsDecimated(region Rect, edge, factor int) ([]Cell, error) {
+	if factor <= 1 {
+		return im.SplitCells(region, edge)
+	}
+	if edge <= 0 {
+		return nil, ErrBounds
+	}
+	region = region.Intersect(Rect{X0: 0, Y0: 0, X1: im.Width, Y1: im.Height})
+	if region.Empty() {
+		return nil, nil
+	}
+	cols := (region.W() + edge - 1) / edge
+	rows := (region.H() + edge - 1) / edge
+	cells := make([]Cell, 0, cols*rows)
+	for row := 0; row < rows; row++ {
+		for col := 0; col < cols; col++ {
+			r := Rect{
+				X0: region.X0 + col*edge,
+				Y0: region.Y0 + row*edge,
+				X1: min(region.X0+(col+1)*edge, region.X1),
+				Y1: min(region.Y0+(row+1)*edge, region.Y1),
+			}
+			c := Cell{Col: col, Row: row, Region: r, Min: ^uint16(0)}
+			var sum uint64
+			var n int
+			for y := r.Y0; y < r.Y1; y += factor {
+				base := y * im.Width
+				for x := r.X0; x < r.X1; x += factor {
+					v := im.Pix[base+x]
+					sum += uint64(v)
+					n++
+					if v < c.Min {
+						c.Min = v
+					}
+					if v > c.Max {
+						c.Max = v
+					}
+				}
+			}
+			// A ragged border cell narrower than the stride still samples its
+			// first row/column, so n >= 1 always holds here.
+			c.Mean = float64(sum) / float64(n)
+			cells = append(cells, c)
+		}
+	}
+	return cells, nil
+}

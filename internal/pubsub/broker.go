@@ -1,9 +1,18 @@
 package pubsub
 
 import (
+	"errors"
 	"sync"
 	"sync/atomic"
+	"time"
 )
+
+// ErrOverQuota is returned by Publish when the subject is governed by a
+// WithSubjectQuota rule and the slowest matching subscriber's buffer has
+// already reached the quota: the broker refuses admission instead of letting
+// the backlog grow (or blocking the publisher) any further. The message is
+// NOT delivered to anyone — admission control is all-or-nothing per publish.
+var ErrOverQuota = errors.New("pubsub: subject over quota")
 
 // Message is one published datum. Data is shared between subscribers and
 // must be treated as read-only by consumers.
@@ -74,6 +83,7 @@ type Subscription struct {
 	ch      chan Message
 	broker  *Broker
 	id      uint64
+	stall   time.Duration // broker's slow-consumer timeout at subscribe time
 
 	mu     sync.Mutex
 	closed bool
@@ -133,6 +143,30 @@ func (s *Subscription) deliver(msg Message) bool {
 		// trade-off is that Unsubscribe waits for the send; consumers
 		// using Block are expected to drain. (Justified in DESIGN.md,
 		// "Static contracts".)
+		if s.stall > 0 {
+			timer := time.NewTimer(s.stall)
+			//lint:ignore locksend the lock is what makes close safe against this send
+			select {
+			case s.ch <- msg:
+				timer.Stop()
+				return true
+			case <-timer.C:
+				// Slow-consumer eviction: this subscriber stalled the
+				// publisher for the full timeout, so it forfeits the
+				// subscription. Close under s.mu (the lock we hold) and
+				// detach from the broker asynchronously — removeSub takes
+				// b.mu then s.mu, so calling it inline here would deadlock
+				// against a concurrent Publish holding b.mu.
+				s.closed = true
+				close(s.ch)
+				s.broker.evicted.Add(1)
+				go s.broker.removeSub(s)
+				if fn := s.broker.onSlow; fn != nil {
+					go fn(s.pattern)
+				}
+				return false
+			}
+		}
 		//lint:ignore locksend the lock is what makes close safe against this send
 		s.ch <- msg
 		return true
@@ -144,6 +178,10 @@ type Stats struct {
 	Published     uint64
 	Delivered     uint64
 	Subscriptions int
+	// OverQuota counts publishes rejected by subject quotas; Evicted counts
+	// subscriptions force-closed by the slow-consumer timeout.
+	OverQuota uint64
+	Evicted   uint64
 }
 
 // Broker routes published messages to matching subscriptions. The zero
@@ -160,6 +198,61 @@ type Broker struct {
 	delivered    atomic.Uint64
 	droppedTotal atomic.Uint64
 	subjects     subjectCounters
+
+	// Overload protection, fixed at construction (no locking needed).
+	quotas []subjectQuota       // admission control: see WithSubjectQuota
+	stall  time.Duration        // slow-consumer timeout: see WithSlowConsumerTimeout
+	onSlow func(pattern string) // eviction callback: see WithSlowConsumerHandler
+
+	overQuota atomic.Uint64 // publishes rejected with ErrOverQuota
+	evicted   atomic.Uint64 // subscriptions killed by the slow-consumer timeout
+}
+
+// subjectQuota caps the backlog a subject's slowest subscriber may carry.
+type subjectQuota struct {
+	pattern string
+	max     int
+}
+
+// BrokerOption customizes a broker at construction.
+type BrokerOption func(*Broker)
+
+// WithSubjectQuota installs admission control for subjects matching pattern:
+// a publish is rejected with ErrOverQuota when the deepest buffer among the
+// subject's matching subscribers already holds max messages. This bounds how
+// far a slow consumer can drag a Block-policy publisher (and how much memory
+// Drop-policy buffers pin) before publishers are told to back off at the
+// door instead. When several quotas match one subject, the smallest max
+// wins. Invalid patterns (see ValidatePattern) and max < 1 are ignored.
+func WithSubjectQuota(pattern string, max int) BrokerOption {
+	return func(b *Broker) {
+		if max < 1 || ValidatePattern(pattern) != nil {
+			return
+		}
+		b.quotas = append(b.quotas, subjectQuota{pattern: pattern, max: max})
+	}
+}
+
+// WithSlowConsumerTimeout arms slow-consumer eviction: a Block-policy
+// subscriber that stalls a delivery for longer than d is force-closed (its
+// channel is closed, the subscription removed) so one wedged consumer cannot
+// hold every publisher hostage forever. Durable consumers that must not lose
+// data should read from a LogStore Cursor instead — cursors never stall the
+// broker and can measure and skip their own backlog (Cursor.Lag,
+// Cursor.SkipToLatest).
+func WithSlowConsumerTimeout(d time.Duration) BrokerOption {
+	return func(b *Broker) {
+		if d > 0 {
+			b.stall = d
+		}
+	}
+}
+
+// WithSlowConsumerHandler registers a callback invoked (on its own
+// goroutine) with the subscription's pattern each time the slow-consumer
+// timeout evicts a subscriber.
+func WithSlowConsumerHandler(fn func(pattern string)) BrokerOption {
+	return func(b *Broker) { b.onSlow = fn }
 }
 
 // queueGroup tracks the members of one (queue, pattern) pair and the
@@ -170,11 +263,15 @@ type queueGroup struct {
 }
 
 // NewBroker creates an empty broker.
-func NewBroker() *Broker {
-	return &Broker{
+func NewBroker(opts ...BrokerOption) *Broker {
+	b := &Broker{
 		subs:   make(map[uint64]*Subscription),
 		queues: make(map[string]*queueGroup),
 	}
+	for _, o := range opts {
+		o(b)
+	}
+	return b
 }
 
 // Subscribe registers interest in pattern and returns the subscription.
@@ -201,6 +298,7 @@ func (b *Broker) Subscribe(pattern string, opts ...SubOption) (*Subscription, er
 		policy:  cfg.policy,
 		broker:  b,
 		id:      b.nextID,
+		stall:   b.stall,
 	}
 	b.subs[sub.id] = sub
 	if cfg.queue != "" {
@@ -266,6 +364,26 @@ func (b *Broker) PublishRequest(subject, reply string, data []byte) error {
 		b.mu.RUnlock()
 		return ErrClosed
 	}
+	// Admission control: when a quota governs this subject, measure the
+	// deepest backlog across every matching subscriber (plain and queue
+	// members alike) and refuse the publish outright if it has hit the
+	// quota. Checked before the queue-group cursor advances so a rejected
+	// publish perturbs nothing.
+	if max, limited := b.quotaFor(subject); limited {
+		depth := 0
+		for _, s := range b.subs {
+			if Match(s.pattern, subject) {
+				if n := len(s.ch); n > depth {
+					depth = n
+				}
+			}
+		}
+		if depth >= max {
+			b.mu.RUnlock()
+			b.overQuota.Add(1)
+			return ErrOverQuota
+		}
+	}
 	// Collect targets under the read lock, deliver after releasing it
 	// (Block-policy deliveries may park for a while).
 	var targets []*Subscription
@@ -309,7 +427,20 @@ func (b *Broker) Stats() Stats {
 		Published:     b.published.Load(),
 		Delivered:     b.delivered.Load(),
 		Subscriptions: n,
+		OverQuota:     b.overQuota.Load(),
+		Evicted:       b.evicted.Load(),
 	}
+}
+
+// quotaFor returns the effective quota for subject: the smallest max among
+// the matching WithSubjectQuota rules, or limited=false when none match.
+func (b *Broker) quotaFor(subject string) (max int, limited bool) {
+	for _, q := range b.quotas {
+		if Match(q.pattern, subject) && (!limited || q.max < max) {
+			max, limited = q.max, true
+		}
+	}
+	return max, limited
 }
 
 // Close unsubscribes everything and marks the broker closed.

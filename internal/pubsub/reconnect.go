@@ -34,6 +34,11 @@ type reconnectConfig struct {
 	pingTimeout   time.Duration
 	dialOpts      []DialOption
 
+	// Circuit breaker (see breaker.go); threshold 0 disables.
+	breakerThreshold int
+	breakerCooldown  time.Duration
+	onBreaker        func(BreakerState)
+
 	onConnected    func()
 	onDisconnected func(error)
 	onReconnected  func()
@@ -144,6 +149,10 @@ type pendingPub struct {
 type ReconnectConn struct {
 	addr string
 	cfg  reconnectConfig
+
+	// breaker fast-fails publishes after repeated link failures (nil
+	// without WithBreaker).
+	breaker *breaker
 
 	mu         sync.Mutex
 	notFull    *sync.Cond // pending buffer drained / state changed
@@ -268,6 +277,9 @@ func DialReconnect(addr string, opts ...ReconnectOption) (*ReconnectConn, error)
 		quit: make(chan struct{}),
 		done: make(chan struct{}),
 	}
+	if cfg.breakerThreshold > 0 {
+		rc.breaker = newBreaker(cfg.breakerThreshold, cfg.breakerCooldown, cfg.onBreaker)
+	}
 	rc.notFull = sync.NewCond(&rc.mu)
 	if cfg.onConnected != nil {
 		cfg.onConnected()
@@ -331,6 +343,12 @@ func (rc *ReconnectConn) PublishRequest(subject, reply string, data []byte) erro
 		// the pending buffer would wedge every future flush.
 		return fmt.Errorf("pubsub: frame too large (%d bytes)", total)
 	}
+	// Breaker gate, checked before any buffering: while open, publishes
+	// fast-fail instead of growing the pending buffer during an outage the
+	// breaker already knows about.
+	if rc.breaker != nil && !rc.breaker.allow() {
+		return ErrBreakerOpen
+	}
 	rc.mu.Lock()
 	for {
 		if rc.closed {
@@ -340,6 +358,9 @@ func (rc *ReconnectConn) PublishRequest(subject, reply string, data []byte) erro
 		if conn := rc.conn; conn != nil {
 			rc.mu.Unlock()
 			if err := conn.PublishRequest(subject, reply, data); err == nil {
+				if rc.breaker != nil {
+					rc.breaker.success()
+				}
 				return nil
 			}
 			// The link died mid-publish. Fall through to buffering so the
@@ -352,10 +373,16 @@ func (rc *ReconnectConn) PublishRequest(subject, reply string, data []byte) erro
 			}
 			continue
 		}
-		// Disconnected: buffer a copy (the caller may reuse data).
+		// Disconnected: buffer a copy (the caller may reuse data). The
+		// breaker counts this as a failure — the message is safe in the
+		// buffer, but the link is down, and enough of these in a row trip
+		// the breaker so later publishes stop paying for the outage.
 		if len(rc.pending) < rc.cfg.pendingLimit {
 			rc.pending = append(rc.pending, pendingPub{subject: subject, reply: reply, data: append([]byte(nil), data...)})
 			rc.mu.Unlock()
+			if rc.breaker != nil {
+				rc.breaker.failure()
+			}
 			return nil
 		}
 		switch rc.cfg.pendingPolicy {
@@ -364,10 +391,16 @@ func (rc *ReconnectConn) PublishRequest(subject, reply string, data []byte) erro
 			rc.pending[len(rc.pending)-1] = pendingPub{subject: subject, reply: reply, data: append([]byte(nil), data...)}
 			rc.dropped++
 			rc.mu.Unlock()
+			if rc.breaker != nil {
+				rc.breaker.failure()
+			}
 			return nil
 		case DropNewest:
 			rc.dropped++
 			rc.mu.Unlock()
+			if rc.breaker != nil {
+				rc.breaker.failure()
+			}
 			return ErrPendingOverflow
 		default: // Block
 			rc.notFull.Wait()

@@ -31,6 +31,11 @@ type chunker[T any] struct {
 	max    int
 	linger time.Duration
 	stats  *OpStats
+	// gate is the operator's shed gate (nil unless WithShedPolicy); knobs
+	// are the query's dynamic overload controls (nil only in unit tests
+	// that construct chunkers directly).
+	gate  *shedGate[T]
+	knobs *OverloadKnobs
 
 	mu     sync.Mutex
 	buf    []T
@@ -44,16 +49,30 @@ func newChunker[T any](ctx context.Context, qz *quiescer, out chan []T, max int,
 	if max < 1 {
 		max = 1
 	}
-	return &chunker[T]{ctx: ctx, qz: qz, out: out, max: max, linger: linger, stats: stats}
+	_, _, knobs := stats.shedSetup()
+	return &chunker[T]{
+		ctx: ctx, qz: qz, out: out, max: max, linger: linger, stats: stats,
+		gate: newShedGate(qz, out, stats), knobs: knobs,
+	}
 }
 
 // emit buffers v, flushing when the chunk reaches max tuples. With max == 1
 // it degenerates to an unbuffered, lock-free send — the classic per-tuple
-// semantics.
+// semantics (dynamic batch boost deliberately leaves max == 1 operators
+// alone, so the lock-free path stays race-free). Departure accounting
+// (produced count, source watermark) lives here so shed tuples never count
+// as produced.
 func (c *chunker[T]) emit(v T) error {
+	if !c.gate.admit(v) {
+		return nil
+	}
 	if c.max == 1 {
 		c.stats.observeBatch(1)
-		return sendChunk(c.qz, c.ctx, c.out, []T{v})
+		if err := c.sendOut([]T{v}); err != nil {
+			return err
+		}
+		observeDeparture(c.stats, v)
+		return nil
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -64,22 +83,33 @@ func (c *chunker[T]) emit(v T) error {
 		return context.Canceled
 	}
 	c.buf = append(c.buf, v)
-	if len(c.buf) >= c.max {
+	if len(c.buf) >= c.knobs.boostedMax(c.max) {
 		if err := c.flushLocked(); err != nil {
 			c.err = err
 			return err
 		}
+		observeDeparture(c.stats, v)
 		return nil
 	}
-	if c.linger > 0 && !c.armed {
+	observeDeparture(c.stats, v)
+	if linger := c.knobs.boostedLinger(c.linger); linger > 0 && !c.armed {
 		c.armed = true
 		if c.timer == nil {
-			c.timer = time.AfterFunc(c.linger, c.lingerFire)
+			c.timer = time.AfterFunc(linger, c.lingerFire)
 		} else {
-			c.timer.Reset(c.linger)
+			c.timer.Reset(linger)
 		}
 	}
 	return nil
+}
+
+// sendOut routes a chunk through the shed gate when one is installed
+// (drop-oldest eviction happens there) and plain sendChunk otherwise.
+func (c *chunker[T]) sendOut(chunk []T) error {
+	if c.gate != nil {
+		return c.gate.send(c.ctx, chunk)
+	}
+	return sendChunk(c.qz, c.ctx, c.out, chunk)
 }
 
 // flushLocked sends the buffered chunk while holding c.mu. Back-pressure
@@ -97,7 +127,7 @@ func (c *chunker[T]) flushLocked() error {
 		c.armed = false
 	}
 	c.stats.observeBatch(len(chunk))
-	return sendChunk(c.qz, c.ctx, c.out, chunk)
+	return c.sendOut(chunk)
 }
 
 // flushNow pushes any buffered partial chunk downstream. It is the
@@ -204,6 +234,8 @@ type chunkEmitter[T any] struct {
 	out   chan []T
 	max   int
 	stats *OpStats
+	gate  *shedGate[T]
+	knobs *OverloadKnobs
 	buf   []T
 }
 
@@ -211,15 +243,29 @@ func newChunkEmitter[T any](ctx context.Context, qz *quiescer, out chan []T, max
 	if max < 1 {
 		max = 1
 	}
-	return &chunkEmitter[T]{ctx: ctx, qz: qz, out: out, max: max, stats: stats}
+	_, _, knobs := stats.shedSetup()
+	return &chunkEmitter[T]{
+		ctx: ctx, qz: qz, out: out, max: max, stats: stats,
+		gate: newShedGate(qz, out, stats), knobs: knobs,
+	}
 }
 
 // emit appends v to the open chunk, sending it downstream once full. The
-// produced-tuple counter advances here so operator metrics stay per-tuple.
+// produced-tuple counter advances here so operator metrics stay per-tuple;
+// shed tuples are counted by the gate instead and never count as produced.
+// Dynamic batch boost applies only to operators batching already (max > 1),
+// mirroring the chunker.
 func (e *chunkEmitter[T]) emit(v T) error {
+	if !e.gate.admit(v) {
+		return nil
+	}
 	e.buf = append(e.buf, v)
 	e.stats.addOut(1)
-	if len(e.buf) >= e.max {
+	max := e.max
+	if max > 1 {
+		max = e.knobs.boostedMax(max)
+	}
+	if len(e.buf) >= max {
 		return e.flush()
 	}
 	return nil
@@ -234,5 +280,8 @@ func (e *chunkEmitter[T]) flush() error {
 	chunk := e.buf
 	e.buf = nil
 	e.stats.observeBatch(len(chunk))
+	if e.gate != nil {
+		return e.gate.send(e.ctx, chunk)
+	}
 	return sendChunk(e.qz, e.ctx, e.out, chunk)
 }

@@ -152,3 +152,40 @@ func BenchmarkShuffleMerge(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkShedGate measures the cost of the overload machinery on the hot
+// path: ungated (the baseline every operator paid before overload protection
+// existed), an inert gate with neutral knobs (the zero-cost-off contract),
+// and an engaged gate actually checking deadlines per tuple.
+func BenchmarkShedGate(b *testing.B) {
+	const tuples = 100000
+	deadline := time.Now().Add(time.Hour)
+	src := func(ctx context.Context, emit Emit[loadTuple]) error {
+		for i := 0; i < tuples; i++ {
+			if err := emit(loadTuple{TS: int64(i), Val: i, Deadline: deadline}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, mode := range []string{"ungated", "inert", "engaged"} {
+		b.Run(mode, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				q := NewQuery("bench", WithQueryBuffer(1024))
+				var opts []OpOption
+				if mode != "ungated" {
+					opts = append(opts, WithShedPolicy(ShedPolicy{}))
+				}
+				if mode == "engaged" {
+					q.Overload().SetShedLate(true, 0)
+				}
+				s := AddSource(q, "src", src, opts...)
+				AddSink(q, "sink", s, Discard[loadTuple]())
+				if err := q.Run(context.Background()); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.N*tuples)/b.Elapsed().Seconds(), "tuples/s")
+		})
+	}
+}

@@ -48,6 +48,7 @@ func CountAggregate[In any, K comparable, Out any](
 	}
 	stats := q.metrics.Op(name)
 	watchOutput(stats, out.ch)
+	stats.installShed(o.shed, o.shedSet, &q.knobs)
 	q.addOperator(&countAggOp[In, K, Out]{
 		name: name, in: in.ch, out: out.ch,
 		size: size, advance: advance,

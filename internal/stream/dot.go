@@ -73,5 +73,11 @@ func nodeLabel(name string, live map[string]StatsSnapshot) string {
 	if s.QueueCap > 0 {
 		label += fmt.Sprintf("\nqueue=%d/%d", s.QueueLen, s.QueueCap)
 	}
+	if s.Shed > 0 {
+		// Live shed rate: what fraction of the tuples offered to this
+		// operator's gate was dropped instead of forwarded.
+		offered := s.Out + s.Shed
+		label += fmt.Sprintf("\nshed=%d (%.1f%%)", s.Shed, 100*float64(s.Shed)/float64(offered))
+	}
 	return label
 }

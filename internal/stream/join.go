@@ -46,6 +46,7 @@ func Join[L Timestamped, R Timestamped, K comparable, Out any](
 	}
 	stats := q.metrics.Op(name)
 	watchOutput(stats, out.ch)
+	stats.installShed(o.shed, o.shedSet, &q.knobs)
 	q.addOperator(&joinOp[L, R, K, Out]{
 		name:  name,
 		left:  left.ch,

@@ -37,6 +37,7 @@ func KeyedProcess[K comparable, S any, In, Out any](
 	}
 	stats := q.metrics.Op(name)
 	watchOutput(stats, out.ch)
+	stats.installShed(o.shed, o.shedSet, &q.knobs)
 	q.addOperator(&keyedOp[K, S, In, Out]{
 		name: name, in: in.ch, out: out.ch,
 		key: key, fn: fn, onEnd: onEnd,

@@ -40,11 +40,24 @@ type OpStats struct {
 	// seen.
 	watermark atomic.Int64
 
+	// Shed counters, one per drop reason. Only operators built with
+	// WithShedPolicy ever advance them.
+	shedExpired  atomic.Int64 // deadline passed at admission
+	shedLowPri   atomic.Int64 // below the priority floor on a full edge
+	shedOverflow atomic.Int64 // evicted by a drop-oldest gate
+
 	// The output-queue probe is installed once at build time and read at
 	// snapshot time; the mutex only guards installation against snapshots.
 	qmu      sync.Mutex
 	queueLen func() int
 	queueCap int
+
+	// The shed policy is installed once at build time (like the queue
+	// probe) and read once by the operator's chunker/emitter at run start;
+	// the same mutex guards the installation.
+	shedPol   ShedPolicy
+	shedGated bool
+	shedKnobs *OverloadKnobs
 }
 
 func newOpStats() *OpStats {
@@ -107,6 +120,29 @@ func (s *OpStats) watchQueue(length func() int, capacity int) {
 	s.qmu.Unlock()
 }
 
+// installShed records the operator's shed policy at build time; the
+// operator's emitters read it back with shedSetup when the query starts.
+func (s *OpStats) installShed(p ShedPolicy, gated bool, knobs *OverloadKnobs) {
+	s.qmu.Lock()
+	s.shedPol = p
+	s.shedGated = gated
+	s.shedKnobs = knobs
+	s.qmu.Unlock()
+}
+
+func (s *OpStats) shedSetup() (ShedPolicy, bool, *OverloadKnobs) {
+	s.qmu.Lock()
+	defer s.qmu.Unlock()
+	return s.shedPol, s.shedGated, s.shedKnobs
+}
+
+// Shed returns the operator's shed counters by reason: tuples dropped
+// because their deadline passed, because they ranked below the priority
+// floor on a full edge, and because a drop-oldest gate evicted them.
+func (s *OpStats) Shed() (expired, lowPriority, overflow int64) {
+	return s.shedExpired.Load(), s.shedLowPri.Load(), s.shedOverflow.Load()
+}
+
 func (s *OpStats) queue() (int, int) {
 	s.qmu.Lock()
 	length, capacity := s.queueLen, s.queueCap
@@ -151,6 +187,13 @@ type StatsSnapshot struct {
 	Watermark    int64
 	HasWatermark bool
 	WatermarkLag int64
+
+	// Shed counters by reason (see OpStats.Shed); Shed is their sum. All
+	// zero for operators without a shed gate.
+	ShedExpired     int64
+	ShedLowPriority int64
+	ShedOverflow    int64
+	Shed            int64
 }
 
 func durationOf(seconds float64) time.Duration {
@@ -186,6 +229,7 @@ func (r *Registry) Snapshot() []StatsSnapshot {
 		bat := s.Batches()
 		qlen, qcap := s.queue()
 		w, hasW := s.Watermark()
+		shedExp, shedLow, shedOvf := s.Shed()
 		snap := StatsSnapshot{
 			Name:         key.(string),
 			In:           s.In(),
@@ -200,8 +244,12 @@ func (r *Registry) Snapshot() []StatsSnapshot {
 			MaxService:   durationOf(svc.Max),
 			Batches:      bat,
 			BatchCount:   bat.Count,
-			Watermark:    w,
-			HasWatermark: hasW,
+			Watermark:       w,
+			HasWatermark:    hasW,
+			ShedExpired:     shedExp,
+			ShedLowPriority: shedLow,
+			ShedOverflow:    shedOvf,
+			Shed:            shedExp + shedLow + shedOvf,
 		}
 		if bat.Count > 0 {
 			snap.AvgBatch = bat.Sum / float64(bat.Count)
@@ -235,6 +283,9 @@ func (r *Registry) String() string {
 		}
 		if s.HasWatermark {
 			fmt.Fprintf(&b, " lag=%dµs", s.WatermarkLag)
+		}
+		if s.Shed > 0 {
+			fmt.Fprintf(&b, " shed=%d", s.Shed)
 		}
 		b.WriteByte('\n')
 	}
@@ -276,6 +327,21 @@ func (q *Query) Collect(w *telemetry.Writer) {
 			w.Gauge("strata_stream_op_watermark_lag_seconds",
 				"Event-time lag behind the query's most advanced operator.",
 				float64(s.WatermarkLag)/1e6, labels...)
+		}
+		if s.Shed > 0 {
+			const shedHelp = "Tuples shed by the operator's overload gate, by reason."
+			if s.ShedExpired > 0 {
+				w.Counter("strata_stream_op_shed_total", shedHelp,
+					float64(s.ShedExpired), append(labels, telemetry.L("reason", "expired"))...)
+			}
+			if s.ShedLowPriority > 0 {
+				w.Counter("strata_stream_op_shed_total", shedHelp,
+					float64(s.ShedLowPriority), append(labels, telemetry.L("reason", "lowpri"))...)
+			}
+			if s.ShedOverflow > 0 {
+				w.Counter("strata_stream_op_shed_total", shedHelp,
+					float64(s.ShedOverflow), append(labels, telemetry.L("reason", "overflow"))...)
+			}
 		}
 	}
 }

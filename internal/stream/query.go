@@ -44,6 +44,10 @@ type Query struct {
 	metrics Registry
 	traces  *telemetry.TraceBuffer
 
+	// knobs are the query-wide dynamic degradation controls an overload
+	// controller turns at run time (see OverloadKnobs). Neutral by default.
+	knobs OverloadKnobs
+
 	// qz coordinates drain-and-pause checkpoint epochs (see quiesce.go).
 	// Inert unless EnableSnapshots was called before Run.
 	qz *quiescer

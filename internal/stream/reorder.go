@@ -22,6 +22,7 @@ func Reorder[T Timestamped](q *Query, name string, in *Stream[T], slack int64, o
 	}
 	stats := q.metrics.Op(name)
 	watchOutput(stats, out.ch)
+	stats.installShed(o.shed, o.shedSet, &q.knobs)
 	q.addOperator(&reorderOp[T]{
 		name: name, in: in.ch, out: out.ch, slack: slack, g: q.qz.newGuard(), batch: o.batch, stats: stats,
 	})

@@ -1,0 +1,364 @@
+package stream
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+)
+
+// Overload protection: per-operator shed gates that trade completeness for
+// bounded latency when an edge saturates, plus the query-wide dynamic knobs
+// an external overload controller (core.Manager) can turn at run time.
+//
+// The default is unchanged: every operator blocks on a full edge and
+// back-pressure propagates to the sources. A gate is installed only by
+// WithShedPolicy; ungated operators pay nothing.
+
+// Prioritized is implemented by tuple types that carry a shedding priority.
+// Higher values are more important; tuples that do not implement the
+// interface rank 0. A drop-lowest gate sheds tuples below its floor when the
+// edge is full and lets everything at or above the floor block as usual.
+type Prioritized interface {
+	ShedPriority() int
+}
+
+// Deadlined is implemented by tuple types that carry an absolute deadline
+// after which their results are worthless (the zero time means none). Gates
+// with DropExpired drop such tuples at admission instead of spending queue
+// capacity and service time on work that will be discarded at the sink.
+type Deadlined interface {
+	ShedDeadline() time.Time
+}
+
+// Sheddable lets a tuple type exempt individual tuples from shedding.
+// Punctuation (end-of-layer markers) must implement it and return false:
+// windowed operators rely on markers to close, so a gate forwards them even
+// under drop policies. Tuples that do not implement the interface are
+// sheddable.
+type Sheddable interface {
+	Sheddable() bool
+}
+
+// ShedMode selects what a gate does when the operator's output edge is full.
+type ShedMode int
+
+const (
+	// ShedBlock keeps the default blocking back-pressure semantics. A gate
+	// in this mode sheds nothing on overflow; combine with DropExpired (or
+	// the dynamic knobs) to drop only expired tuples.
+	ShedBlock ShedMode = iota
+
+	// ShedDropOldest evicts the oldest queued chunk from the edge to make
+	// room for new data — freshest-first semantics for monitoring feeds
+	// where a stale reading is worth less than the current one.
+	// Non-sheddable tuples (markers) inside an evicted chunk survive: they
+	// are re-enqueued behind the queue's remaining chunks.
+	ShedDropOldest
+
+	// ShedDropLowest drops an incoming tuple whose priority is below the
+	// gate's floor when the edge is full; tuples at or above the floor
+	// block as usual. Priority-class admission control.
+	ShedDropLowest
+)
+
+// String names the mode for logs and DOT labels.
+func (m ShedMode) String() string {
+	switch m {
+	case ShedBlock:
+		return "block"
+	case ShedDropOldest:
+		return "drop-oldest"
+	case ShedDropLowest:
+		return "drop-lowest"
+	default:
+		return "unknown"
+	}
+}
+
+// ShedPolicy configures one operator's shed gate (WithShedPolicy).
+// The zero value is an inert gate: blocking semantics, nothing shed, but the
+// operator is opted in to the query's dynamic overload knobs, so a
+// controller can start shedding there later.
+type ShedPolicy struct {
+	// Mode picks the overflow behaviour (see ShedMode).
+	Mode ShedMode
+
+	// DropExpired sheds tuples whose deadline has passed at admission time,
+	// regardless of queue state.
+	DropExpired bool
+
+	// Floor is the priority at and above which tuples are exempt from
+	// drop-lowest shedding. Tuples without a priority rank 0, so a positive
+	// floor sheds all unprioritized tuples on overflow.
+	Floor int
+}
+
+// WithShedPolicy installs a shed gate on the operator being built. Shed
+// decisions are made at enqueue time — before a tuple is buffered for the
+// operator's output edge — so a gated operator never blocks on tuples the
+// policy would discard. Shed tuples still advance the operator's watermark
+// (heartbeat-only progress), so event-time windows downstream keep closing.
+func WithShedPolicy(p ShedPolicy) OpOption {
+	return func(o *opOptions) {
+		o.shed = p
+		o.shedSet = true
+	}
+}
+
+// OverloadKnobs are the query-wide dynamic degradation controls. They start
+// neutral and are turned by an overload controller (core.Manager) while the
+// query runs; every knob read is a single atomic load guarded by one
+// "engaged" flag, so an idle controller costs the hot path nothing
+// measurable. Dynamic shedding applies only to operators that carry a gate
+// (WithShedPolicy, possibly with an inert zero policy).
+type OverloadKnobs struct {
+	// engaged is true while any knob is away from neutral — the hot-path
+	// fast check.
+	engaged atomic.Bool
+
+	dropExpired atomic.Bool  // shed expired tuples at every gate
+	floor       atomic.Int64 // shed tuples below this priority on full edges
+	batchBoost  atomic.Int64 // chunk-size multiplier (<=1 neutral)
+	lingerExtra atomic.Int64 // ns added to every source linger
+}
+
+// SetShedLate turns deadline and priority shedding on (or off) at every
+// gated operator: dropExpired sheds expired tuples at admission, and a
+// positive floor sheds tuples below that priority when an edge is full.
+func (k *OverloadKnobs) SetShedLate(dropExpired bool, floor int) {
+	k.dropExpired.Store(dropExpired)
+	k.floor.Store(int64(floor))
+	k.recompute()
+}
+
+// SetBatchBoost multiplies every operator's chunk size by mult (values <= 1
+// reset it) and adds extra to every source's linger, trading latency for
+// per-tuple overhead while overloaded.
+func (k *OverloadKnobs) SetBatchBoost(mult int, extra time.Duration) {
+	if mult <= 1 {
+		mult = 0
+	}
+	k.batchBoost.Store(int64(mult))
+	if extra < 0 {
+		extra = 0
+	}
+	k.lingerExtra.Store(int64(extra))
+	k.recompute()
+}
+
+// Reset returns every knob to neutral.
+func (k *OverloadKnobs) Reset() {
+	k.dropExpired.Store(false)
+	k.floor.Store(0)
+	k.batchBoost.Store(0)
+	k.lingerExtra.Store(0)
+	k.recompute()
+}
+
+// ShedLate reports the dynamic shedding knob.
+func (k *OverloadKnobs) ShedLate() (dropExpired bool, floor int) {
+	return k.dropExpired.Load(), int(k.floor.Load())
+}
+
+// BatchBoost reports the dynamic batching knob.
+func (k *OverloadKnobs) BatchBoost() (mult int, extra time.Duration) {
+	m := int(k.batchBoost.Load())
+	if m <= 1 {
+		m = 1
+	}
+	return m, time.Duration(k.lingerExtra.Load())
+}
+
+func (k *OverloadKnobs) recompute() {
+	k.engaged.Store(k.dropExpired.Load() || k.floor.Load() > 0 ||
+		k.batchBoost.Load() > 1 || k.lingerExtra.Load() > 0)
+}
+
+// boostedMax returns base scaled by the dynamic batch multiplier.
+func (k *OverloadKnobs) boostedMax(base int) int {
+	if k == nil || !k.engaged.Load() {
+		return base
+	}
+	if m := k.batchBoost.Load(); m > 1 {
+		return base * int(m)
+	}
+	return base
+}
+
+// boostedLinger returns base extended by the dynamic linger knob.
+func (k *OverloadKnobs) boostedLinger(base time.Duration) time.Duration {
+	if k == nil || !k.engaged.Load() {
+		return base
+	}
+	if extra := k.lingerExtra.Load(); extra > 0 && base > 0 {
+		return base + time.Duration(extra)
+	}
+	return base
+}
+
+// Overload returns the query's dynamic degradation knobs. Safe to call and
+// use while the query runs.
+func (q *Query) Overload() *OverloadKnobs { return &q.knobs }
+
+// shedGate makes the per-tuple shed decision for one operator's output edge.
+// Nil gates (operators without WithShedPolicy) are inert.
+type shedGate[T any] struct {
+	policy ShedPolicy
+	knobs  *OverloadKnobs
+	qz     *quiescer
+	out    chan []T
+	stats  *OpStats
+}
+
+// newShedGate builds the gate an emitter installs, or nil when the operator
+// was not opted in.
+func newShedGate[T any](qz *quiescer, out chan []T, stats *OpStats) *shedGate[T] {
+	policy, gated, knobs := stats.shedSetup()
+	if !gated {
+		return nil
+	}
+	return &shedGate[T]{policy: policy, knobs: knobs, qz: qz, out: out, stats: stats}
+}
+
+// admit decides v's fate before it is buffered for the edge: true means the
+// caller proceeds as usual (buffer, and possibly block); false means v was
+// shed — counted, its event time folded into the watermark, and nothing else
+// owed.
+func (g *shedGate[T]) admit(v T) bool {
+	if g == nil {
+		return true
+	}
+	if s, ok := any(v).(Sheddable); ok && !s.Sheddable() {
+		return true
+	}
+	dynDrop, dynFloor := false, 0
+	if g.knobs != nil && g.knobs.engaged.Load() {
+		dynDrop = g.knobs.dropExpired.Load()
+		dynFloor = int(g.knobs.floor.Load())
+	}
+	if g.policy.DropExpired || dynDrop {
+		if d, ok := any(v).(Deadlined); ok {
+			if dl := d.ShedDeadline(); !dl.IsZero() && time.Now().After(dl) {
+				g.shedTuple(v, &g.stats.shedExpired)
+				return false
+			}
+		}
+	}
+	floor := dynFloor
+	if g.policy.Mode == ShedDropLowest && g.policy.Floor > floor {
+		floor = g.policy.Floor
+	}
+	if floor > 0 && len(g.out) == cap(g.out) {
+		prio := 0
+		if p, ok := any(v).(Prioritized); ok {
+			prio = p.ShedPriority()
+		}
+		if prio < floor {
+			g.shedTuple(v, &g.stats.shedLowPri)
+			return false
+		}
+	}
+	return true
+}
+
+// send enqueues chunk on the edge. Under ShedDropOldest a full edge is made
+// room in by evicting its oldest chunks (freshest data wins); otherwise the
+// send blocks exactly like an ungated operator's. Unsheddable tuples rescued
+// from evicted chunks are carried ahead of the fresh chunk — never re-queued
+// behind it — so punctuation survives without refilling the edge. Evictions
+// are bounded by the edge capacity so a pathological queue degrades to a
+// plain blocking send instead of spinning.
+func (g *shedGate[T]) send(ctx context.Context, chunk []T) error {
+	if g.policy.Mode == ShedDropOldest {
+		var rescued []T
+		for tries := cap(g.out); tries > 0 && len(g.out) == cap(g.out); tries-- {
+			select {
+			case old := <-g.out:
+				g.qz.unsend()
+				rescued = append(rescued, g.shedChunk(old)...)
+			default:
+				// The consumer drained a slot between the probes.
+			}
+		}
+		if len(rescued) > 0 {
+			chunk = append(rescued, chunk...)
+		}
+	}
+	return sendChunk(g.qz, ctx, g.out, chunk)
+}
+
+// shedTuple counts one shed tuple and folds its event time into the
+// operator's watermark — the heartbeat that keeps downstream event-time
+// progress (and therefore window closing) intact even though the payload is
+// gone.
+func (g *shedGate[T]) shedTuple(v T, counter *atomic.Int64) {
+	counter.Add(1)
+	if ts, ok := any(v).(Timestamped); ok {
+		g.stats.observeEventTime(ts.EventTime())
+	}
+}
+
+// sinkGate is the receive-side counterpart of shedGate for operators with no
+// output edge. Emit-side gates catch tuples that expired on their way *into*
+// a queue; a slow sink's backlog ages out *inside* its input queue, after
+// admission, so the sink re-checks deadlines as it dequeues — dropping an
+// expired tuple costs one time.Now instead of the sink's full service time.
+// Only deadline shedding applies (there is no edge for overflow or priority
+// floors); shed tuples are counted and heartbeat the watermark exactly like
+// emit-side sheds.
+type sinkGate[T any] struct {
+	policy ShedPolicy
+	knobs  *OverloadKnobs
+	stats  *OpStats
+}
+
+// newSinkGate builds the drain-side gate, or nil when the sink was not
+// opted in with WithShedPolicy.
+func newSinkGate[T any](stats *OpStats) *sinkGate[T] {
+	policy, gated, knobs := stats.shedSetup()
+	if !gated {
+		return nil
+	}
+	return &sinkGate[T]{policy: policy, knobs: knobs, stats: stats}
+}
+
+// admit reports whether the sink should service v; false means v was shed as
+// expired (counted, watermark heartbeat folded in).
+func (g *sinkGate[T]) admit(v T) bool {
+	if s, ok := any(v).(Sheddable); ok && !s.Sheddable() {
+		return true
+	}
+	drop := g.policy.DropExpired
+	if !drop && g.knobs != nil && g.knobs.engaged.Load() {
+		drop = g.knobs.dropExpired.Load()
+	}
+	if !drop {
+		return true
+	}
+	d, ok := any(v).(Deadlined)
+	if !ok {
+		return true
+	}
+	if dl := d.ShedDeadline(); !dl.IsZero() && time.Now().After(dl) {
+		g.stats.shedExpired.Add(1)
+		if ts, ok := any(v).(Timestamped); ok {
+			g.stats.observeEventTime(ts.EventTime())
+		}
+		return false
+	}
+	return true
+}
+
+// shedChunk counts the sheddable tuples of an evicted chunk and returns the
+// unsheddable survivors (markers) for re-emission ahead of the fresh data.
+func (g *shedGate[T]) shedChunk(chunk []T) []T {
+	var keep []T
+	for _, v := range chunk {
+		if s, ok := any(v).(Sheddable); ok && !s.Sheddable() {
+			keep = append(keep, v)
+			continue
+		}
+		g.shedTuple(v, &g.stats.shedOverflow)
+	}
+	return keep
+}

@@ -1,0 +1,367 @@
+package stream
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// loadTuple is the test tuple for the shed gates: timestamped, prioritized,
+// deadlined, and optionally unsheddable (a marker).
+type loadTuple struct {
+	TS       int64
+	Val      int
+	Prio     int
+	Deadline time.Time
+	Marker   bool
+}
+
+func (l loadTuple) EventTime() int64        { return l.TS }
+func (l loadTuple) ShedPriority() int       { return l.Prio }
+func (l loadTuple) ShedDeadline() time.Time { return l.Deadline }
+func (l loadTuple) Sheddable() bool         { return !l.Marker }
+
+// TestShedDropExpired checks that a DropExpired gate drops tuples whose
+// deadline has passed at admission, keeps live ones, counts each shed
+// exactly once, and still advances the source watermark past the shed
+// tuples (heartbeat-only progress).
+func TestShedDropExpired(t *testing.T) {
+	past := time.Now().Add(-time.Hour)
+	future := time.Now().Add(time.Hour)
+	const n = 100
+	items := make([]loadTuple, n)
+	for i := range items {
+		items[i] = loadTuple{TS: int64(i), Val: i, Deadline: future}
+		if i%2 == 1 {
+			items[i].Deadline = past
+		}
+	}
+	q := NewQuery("expired")
+	src := AddSource(q, "src", FromSlice(items),
+		WithShedPolicy(ShedPolicy{DropExpired: true}))
+	var got []loadTuple
+	AddSink(q, "sink", src, ToSlice(&got))
+	if err := runQuery(t, q); err != nil {
+		t.Fatalf("Run() error = %v", err)
+	}
+	if len(got) != n/2 {
+		t.Fatalf("sink got %d tuples, want %d", len(got), n/2)
+	}
+	for _, v := range got {
+		if v.Val%2 != 0 {
+			t.Fatalf("expired tuple %d reached the sink", v.Val)
+		}
+	}
+	stats := q.Metrics().Op("src")
+	exp, low, ovf := stats.Shed()
+	if exp != n/2 || low != 0 || ovf != 0 {
+		t.Fatalf("Shed() = (%d, %d, %d), want (%d, 0, 0)", exp, low, ovf, n/2)
+	}
+	// Exact accounting: delivered + shed == offered.
+	if int64(len(got))+exp != n {
+		t.Fatalf("delivered %d + shed %d != offered %d", len(got), exp, n)
+	}
+	if stats.Out() != int64(len(got)) {
+		t.Fatalf("Out() = %d, want %d (shed tuples must not count as produced)", stats.Out(), len(got))
+	}
+	// The last tuple (TS n-1) was expired and shed, yet the watermark must
+	// cover it: sheds emit heartbeat-only progress.
+	if w, ok := stats.Watermark(); !ok || w != n-1 {
+		t.Fatalf("watermark = %d (seen=%v), want %d", w, ok, n-1)
+	}
+}
+
+// TestShedDropLowest fills the source's edge against a gated-open sink and
+// checks that low-priority tuples are dropped while at-or-above-floor tuples
+// block and survive.
+func TestShedDropLowest(t *testing.T) {
+	release := make(chan struct{})
+	q := NewQuery("lowest", WithQueryBatch(1), WithQueryLinger(0))
+	emitted := make(chan struct{}, 16)
+	src := AddSource(q, "src", func(ctx context.Context, emit Emit[loadTuple]) error {
+		// Two tuples saturate sink-input: one parked in the channel
+		// (cap 1), one held by the blocked sink.
+		for i := 0; i < 2; i++ {
+			if err := emit(loadTuple{TS: int64(i), Val: i, Prio: 5}); err != nil {
+				return err
+			}
+		}
+		emitted <- struct{}{}
+		// Wait until the sink has the first tuple and the edge holds the
+		// second, so the edge is provably full.
+		<-release
+		// Below the floor on a full edge: shed.
+		if err := emit(loadTuple{TS: 2, Val: 2, Prio: 0}); err != nil {
+			return err
+		}
+		// At the floor: must block until the sink drains, then arrive.
+		if err := emit(loadTuple{TS: 3, Val: 3, Prio: 1}); err != nil {
+			return err
+		}
+		return nil
+	}, WithBuffer(1), WithShedPolicy(ShedPolicy{Mode: ShedDropLowest, Floor: 1}))
+	var got []loadTuple
+	first := true
+	AddSink(q, "sink", src, func(v loadTuple) error {
+		if first {
+			first = false
+			<-emitted
+			release <- struct{}{}
+			// Give the source time to shed tuple 2 and park on tuple 3
+			// while the edge is still full.
+			time.Sleep(50 * time.Millisecond)
+		}
+		got = append(got, v)
+		return nil
+	})
+	if err := runQuery(t, q); err != nil {
+		t.Fatalf("Run() error = %v", err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("sink got %d tuples, want 3: %+v", len(got), got)
+	}
+	for _, v := range got {
+		if v.Val == 2 {
+			t.Fatalf("low-priority tuple 2 should have been shed, got %+v", got)
+		}
+	}
+	_, low, _ := q.Metrics().Op("src").Shed()
+	if low != 1 {
+		t.Fatalf("shed lowpri = %d, want 1", low)
+	}
+}
+
+// TestShedDropOldest fills the edge and checks that a drop-oldest gate
+// evicts queued chunks to admit fresh data — and that unsheddable markers
+// inside an evicted chunk survive.
+func TestShedDropOldest(t *testing.T) {
+	release := make(chan struct{})
+	emitted := make(chan struct{})
+	q := NewQuery("oldest", WithQueryBatch(1), WithQueryLinger(0))
+	src := AddSource(q, "src", func(ctx context.Context, emit Emit[loadTuple]) error {
+		// Tuple 0 goes to the (blocked) sink, tuple 1 and the marker fill
+		// nothing yet: cap is 2, so 1 and the marker park on the edge.
+		if err := emit(loadTuple{TS: 0, Val: 0}); err != nil {
+			return err
+		}
+		emitted <- struct{}{}
+		if err := emit(loadTuple{TS: 1, Val: 1}); err != nil {
+			return err
+		}
+		if err := emit(loadTuple{TS: 2, Val: 2, Marker: true}); err != nil {
+			return err
+		}
+		// Edge full (2 chunks). The next two emits each evict the oldest
+		// queued chunk: tuple 1 is shed, the marker is re-enqueued.
+		if err := emit(loadTuple{TS: 3, Val: 3}); err != nil {
+			return err
+		}
+		if err := emit(loadTuple{TS: 4, Val: 4}); err != nil {
+			return err
+		}
+		close(release)
+		return nil
+	}, WithBuffer(2), WithShedPolicy(ShedPolicy{Mode: ShedDropOldest}))
+	var got []loadTuple
+	first := true
+	AddSink(q, "sink", src, func(v loadTuple) error {
+		if first {
+			first = false
+			<-emitted
+			<-release
+		}
+		got = append(got, v)
+		return nil
+	})
+	if err := runQuery(t, q); err != nil {
+		t.Fatalf("Run() error = %v", err)
+	}
+	seen := map[int]bool{}
+	for _, v := range got {
+		seen[v.Val] = true
+	}
+	if !seen[0] || !seen[2] || !seen[3] || !seen[4] {
+		t.Fatalf("sink missing required tuples (marker must survive eviction): got %+v", got)
+	}
+	if seen[1] {
+		t.Fatalf("tuple 1 should have been evicted: got %+v", got)
+	}
+	_, _, ovf := q.Metrics().Op("src").Shed()
+	if ovf < 1 {
+		t.Fatalf("shed overflow = %d, want >= 1", ovf)
+	}
+	// Offered 5, delivered 4, shed accounts for the difference.
+	if int64(len(got))+ovf != 5 {
+		t.Fatalf("delivered %d + shed %d != offered 5", len(got), ovf)
+	}
+}
+
+// TestShedInertGateIsTransparent checks the zero-cost-off contract: a gate
+// with the zero policy (and neutral knobs) sheds nothing and preserves
+// classic blocking semantics and exact delivery.
+func TestShedInertGateIsTransparent(t *testing.T) {
+	const n = 500
+	items := make([]loadTuple, n)
+	for i := range items {
+		items[i] = loadTuple{TS: int64(i), Val: i, Deadline: time.Now().Add(-time.Hour)}
+	}
+	q := NewQuery("inert", WithQueryBatch(8))
+	src := AddSource(q, "src", FromSlice(items), WithShedPolicy(ShedPolicy{}))
+	var got []loadTuple
+	AddSink(q, "sink", src, ToSlice(&got))
+	if err := runQuery(t, q); err != nil {
+		t.Fatalf("Run() error = %v", err)
+	}
+	if len(got) != n {
+		t.Fatalf("sink got %d tuples, want %d (inert gate must not shed)", len(got), n)
+	}
+	exp, low, ovf := q.Metrics().Op("src").Shed()
+	if exp+low+ovf != 0 {
+		t.Fatalf("inert gate shed (%d, %d, %d), want zero", exp, low, ovf)
+	}
+}
+
+// TestOverloadKnobsEngageShedding turns the dynamic drop-expired knob on a
+// query whose gate was built inert, proving a controller can start shedding
+// at run time without rebuilding the query.
+func TestOverloadKnobsEngageShedding(t *testing.T) {
+	past := time.Now().Add(-time.Hour)
+	const n = 50
+	items := make([]loadTuple, n)
+	for i := range items {
+		items[i] = loadTuple{TS: int64(i), Val: i, Deadline: past}
+	}
+	q := NewQuery("dynamic")
+	q.Overload().SetShedLate(true, 0)
+	src := AddSource(q, "src", FromSlice(items), WithShedPolicy(ShedPolicy{}))
+	var got []loadTuple
+	AddSink(q, "sink", src, ToSlice(&got))
+	if err := runQuery(t, q); err != nil {
+		t.Fatalf("Run() error = %v", err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("sink got %d tuples, want 0 (all expired, knob engaged)", len(got))
+	}
+	exp, _, _ := q.Metrics().Op("src").Shed()
+	if exp != n {
+		t.Fatalf("shed expired = %d, want %d", exp, n)
+	}
+	// Reset returns to neutral.
+	q.Overload().Reset()
+	if drop, floor := q.Overload().ShedLate(); drop || floor != 0 {
+		t.Fatalf("after Reset: ShedLate() = (%v, %d), want (false, 0)", drop, floor)
+	}
+}
+
+// TestSinkGateDropsAgedBacklog pins the receive-side gate: tuples that were
+// fresh at admission but expired while queued for the sink are shed at the
+// sink's doorstep (counted on the sink op, watermark heartbeat intact)
+// instead of consuming sink service time.
+func TestSinkGateDropsAgedBacklog(t *testing.T) {
+	const n = 20
+	release := make(chan struct{})
+	items := make([]loadTuple, n)
+	deadline := time.Now().Add(50 * time.Millisecond)
+	for i := range items {
+		items[i] = loadTuple{TS: int64(i), Val: i, Deadline: deadline}
+	}
+	q := NewQuery("agedsink", WithQueryBatch(1), WithQueryLinger(0))
+	src := AddSource(q, "src", func(ctx context.Context, emit Emit[loadTuple]) error {
+		// All tuples are fresh at emit time, so the emit-side gate (were one
+		// installed) would admit every one of them.
+		for _, v := range items {
+			if err := emit(v); err != nil {
+				return err
+			}
+		}
+		close(release)
+		return nil
+	})
+	var got []loadTuple
+	first := true
+	AddSink(q, "sink", src, func(v loadTuple) error {
+		if first {
+			first = false
+			<-release // the whole backlog is queued …
+			time.Sleep(100 * time.Millisecond) // … and now it is expired
+		}
+		got = append(got, v)
+		return nil
+	}, WithShedPolicy(ShedPolicy{DropExpired: true}))
+	if err := runQuery(t, q); err != nil {
+		t.Fatalf("Run() error = %v", err)
+	}
+	// The first tuple was serviced (it is what parked the sink); everything
+	// dequeued afterwards had aged out and must have been shed.
+	if len(got) == 0 || got[0].Val != 0 {
+		t.Fatalf("sink first delivery = %+v, want tuple 0", got)
+	}
+	exp, low, ovf := q.Metrics().Op("sink").Shed()
+	if low != 0 || ovf != 0 {
+		t.Fatalf("sink shed by wrong reason: lowpri=%d overflow=%d", low, ovf)
+	}
+	if exp == 0 {
+		t.Fatal("sink gate shed nothing although the backlog expired in-queue")
+	}
+	if int64(len(got))+exp != n {
+		t.Fatalf("delivered %d + shed %d != offered %d", len(got), exp, n)
+	}
+	// Heartbeat: the shed tail still advanced the sink's watermark to the
+	// last offered event time.
+	if w, ok := q.Metrics().Op("sink").Watermark(); !ok || w != n-1 {
+		t.Fatalf("sink watermark = %d (seen=%v), want %d", w, ok, n-1)
+	}
+}
+
+// TestSinkGateInertIsTransparent: a sink with the zero policy and neutral
+// knobs delivers everything, even long-expired tuples.
+func TestSinkGateInertIsTransparent(t *testing.T) {
+	const n = 100
+	items := make([]loadTuple, n)
+	for i := range items {
+		items[i] = loadTuple{TS: int64(i), Val: i, Deadline: time.Now().Add(-time.Hour)}
+	}
+	q := NewQuery("inertsink", WithQueryBatch(8))
+	src := AddSource(q, "src", FromSlice(items))
+	var got []loadTuple
+	AddSink(q, "sink", src, ToSlice(&got), WithShedPolicy(ShedPolicy{}))
+	if err := runQuery(t, q); err != nil {
+		t.Fatalf("Run() error = %v", err)
+	}
+	if len(got) != n {
+		t.Fatalf("sink got %d tuples, want %d (inert sink gate must not shed)", len(got), n)
+	}
+	exp, low, ovf := q.Metrics().Op("sink").Shed()
+	if exp+low+ovf != 0 {
+		t.Fatalf("inert sink gate shed (%d, %d, %d), want zero", exp, low, ovf)
+	}
+}
+
+// TestOverloadKnobsBatchBoost verifies the dynamic batch/linger scaling
+// applied under overload, including the <=1 reset path.
+func TestOverloadKnobsBatchBoost(t *testing.T) {
+	var k OverloadKnobs
+	if k.boostedMax(8) != 8 {
+		t.Fatalf("neutral knobs must not scale")
+	}
+	k.SetBatchBoost(4, time.Millisecond)
+	if got := k.boostedMax(8); got != 32 {
+		t.Fatalf("boostedMax(8) = %d, want 32", got)
+	}
+	if got := k.boostedLinger(time.Millisecond); got != 2*time.Millisecond {
+		t.Fatalf("boostedLinger(1ms) = %v, want 2ms", got)
+	}
+	// Zero linger stays zero (lingering must not be introduced where the
+	// builder disabled it).
+	if got := k.boostedLinger(0); got != 0 {
+		t.Fatalf("boostedLinger(0) = %v, want 0", got)
+	}
+	k.SetBatchBoost(0, 0)
+	if got := k.boostedMax(8); got != 8 {
+		t.Fatalf("after reset boostedMax(8) = %d, want 8", got)
+	}
+	var nilKnobs *OverloadKnobs
+	if nilKnobs.boostedMax(8) != 8 || nilKnobs.boostedLinger(time.Second) != time.Second {
+		t.Fatalf("nil knobs must be neutral")
+	}
+}

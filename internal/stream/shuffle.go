@@ -263,6 +263,7 @@ func OrderedMerge[T Timestamped](q *Query, name string, ins []*Stream[T], opts .
 	}
 	stats := q.metrics.Op(name)
 	watchOutput(stats, out.ch)
+	stats.installShed(o.shed, o.shedSet, &q.knobs)
 	op := &orderedMergeOp[T]{name: name, ins: chs, out: out.ch, g: q.qz.newGuard(), batch: o.batch, stats: stats}
 	op.heads = make([]mergeHead[T], len(chs))
 	for i := range op.heads {

@@ -11,15 +11,23 @@ import (
 // an error aborts the whole query with that error.
 type SinkFunc[T any] func(T) error
 
-// AddSink registers a sink operator that consumes stream in.
-func AddSink[T any](q *Query, name string, in *Stream[T], fn SinkFunc[T]) {
+// AddSink registers a sink operator that consumes stream in. A sink with a
+// shed policy (WithShedPolicy, possibly inert) drops expired tuples at the
+// doorstep — after they are dequeued but before fn spends service time on
+// them — which is where a slow sink's backlog actually ages out.
+func AddSink[T any](q *Query, name string, in *Stream[T], fn SinkFunc[T], opts ...OpOption) {
 	in.claim(q, name)
 	if fn == nil {
 		q.recordErr(ErrNilUDF)
 		return
 	}
+	o := applyOpts(q, opts)
 	stats := q.metrics.Op(name)
-	q.addOperator(&sinkOp[T]{name: name, in: in.ch, fn: fn, g: q.qz.newGuard(), stats: stats, traces: q.traces})
+	stats.installShed(o.shed, o.shedSet, &q.knobs)
+	q.addOperator(&sinkOp[T]{
+		name: name, in: in.ch, fn: fn, g: q.qz.newGuard(), stats: stats,
+		traces: q.traces, gate: newSinkGate[T](stats),
+	})
 }
 
 type sinkOp[T any] struct {
@@ -29,6 +37,7 @@ type sinkOp[T any] struct {
 	g      *opGuard
 	stats  *OpStats
 	traces *telemetry.TraceBuffer
+	gate   *sinkGate[T]
 }
 
 func (s *sinkOp[T]) opName() string { return s.name }
@@ -45,6 +54,17 @@ func (s *sinkOp[T]) run(ctx context.Context) (err error) {
 				return nil
 			}
 			observeChunkArrival(s.stats, chunk)
+			if s.gate != nil {
+				// Compact in place: the chunk left its producer when it was
+				// sent, so the sink owns the backing array.
+				kept := chunk[:0]
+				for _, v := range chunk {
+					if s.gate.admit(v) {
+						kept = append(kept, v)
+					}
+				}
+				chunk = kept
+			}
 			start := time.Now()
 			for _, v := range chunk {
 				if err := s.fn(v); err != nil {

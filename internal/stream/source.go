@@ -43,6 +43,7 @@ func AddSource[T any](q *Query, name string, fn SourceFunc[T], opts ...OpOption)
 	}
 	stats := q.metrics.Op(name)
 	watchOutput(stats, out.ch)
+	stats.installShed(o.shed, o.shedSet, &q.knobs)
 	q.addOperator(&sourceOp[T]{
 		name: name, fn: fn, out: out.ch, g: q.qz.newGuard(),
 		batch: o.batch, linger: o.linger, stats: stats,
@@ -64,6 +65,7 @@ func AddPositionedSource[T any](q *Query, name string, start uint64, fn Position
 	}
 	stats := q.metrics.Op(name)
 	watchOutput(stats, out.ch)
+	stats.installShed(o.shed, o.shedSet, &q.knobs)
 	s := &sourceOp[T]{
 		name: name, pfn: fn, out: out.ch, g: q.qz.newGuard(),
 		batch: o.batch, linger: o.linger, stats: stats,
@@ -129,8 +131,10 @@ func (s *sourceOp[T]) run(ctx context.Context) (err error) {
 			if err := ck.emit(v); err != nil {
 				return err
 			}
+			// Departure accounting happens inside the chunker so shed
+			// tuples never count as produced; the position still advances
+			// past them (a shed decision is not replayed).
 			s.pos.Store(pos + 1)
-			observeDeparture(s.stats, v)
 			return nil
 		})
 	}
@@ -139,11 +143,7 @@ func (s *sourceOp[T]) run(ctx context.Context) (err error) {
 			return err
 		}
 		defer qz.exitEmit()
-		if err := ck.emit(v); err != nil {
-			return err
-		}
-		observeDeparture(s.stats, v)
-		return nil
+		return ck.emit(v)
 	})
 }
 

@@ -65,6 +65,11 @@ type opOptions struct {
 	buffer int
 	batch  int
 	linger time.Duration
+	// shed is the operator's overload policy; shedSet records that
+	// WithShedPolicy was passed at all (a zero policy still installs an
+	// inert gate the dynamic overload knobs can engage later).
+	shed    ShedPolicy
+	shedSet bool
 }
 
 // OpOption customizes a single operator created by a builder function.

@@ -24,6 +24,7 @@ func Throttle[T any](q *Query, name string, in *Stream[T], rate float64, burst i
 	}
 	stats := q.metrics.Op(name)
 	watchOutput(stats, out.ch)
+	stats.installShed(o.shed, o.shedSet, &q.knobs)
 	q.addOperator(&throttleOp[T]{
 		name: name, in: in.ch, out: out.ch,
 		interval: time.Duration(float64(time.Second) / rate),

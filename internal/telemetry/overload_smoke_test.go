@@ -1,0 +1,175 @@
+// Exposition smoke test for the overload-protection metrics (DESIGN.md §11):
+// a deployment that shed expired tuples, suppressed an expired durable
+// effect, rejected an over-quota publish, and holds a circuit breaker must
+// serve all of it as a valid Prometheus exposition.
+package telemetry_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"strata/internal/core"
+	"strata/internal/kvstore"
+	"strata/internal/pubsub"
+	"strata/internal/telemetry"
+)
+
+func TestOverloadMetricsExposition(t *testing.T) {
+	broker := pubsub.NewBroker(pubsub.WithSubjectQuota("quota.>", 1))
+	defer broker.Close()
+	m, err := core.NewManager(t.TempDir(), broker,
+		core.WithOverloadControl(core.OverloadConfig{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	base := time.UnixMicro(1_000_000)
+	// Completed pipelines leave the manager's collection, so both sources
+	// emit their load and then park on release: the scrape below observes a
+	// live deployment.
+	release := make(chan struct{})
+	park := func(ctx context.Context) {
+		select {
+		case <-release:
+		case <-ctx.Done():
+		}
+	}
+
+	// Pipeline 1: shed-late engaged, every tuple long expired — the whole
+	// offered load is shed at the gates (reason "expired").
+	shed, err := m.Deploy("shedder", func(fw *core.Framework) error {
+		fw.Query().Overload().SetShedLate(true, 0)
+		src := fw.AddSource("src", func(ctx context.Context, emit func(core.EventTuple) error) error {
+			for i := 1; i <= 10; i++ {
+				err := emit(core.EventTuple{
+					TS:       base.Add(time.Duration(i) * time.Millisecond),
+					Job:      "j",
+					Layer:    i,
+					Deadline: time.Now().Add(-time.Hour),
+				})
+				if err != nil {
+					return err
+				}
+			}
+			park(ctx)
+			return nil
+		})
+		fw.Deliver("out", src, func(core.EventTuple) error { return nil })
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Pipeline 2: no shedding — an expired tuple travels to the durable sink
+	// and is suppressed there (the deadline terminus).
+	durable, err := m.Deploy("terminus", func(fw *core.Framework) error {
+		src := fw.AddSource("src", func(ctx context.Context, emit func(core.EventTuple) error) error {
+			err := emit(core.EventTuple{
+				TS:       base,
+				Job:      "j",
+				Layer:    1,
+				Deadline: time.Now().Add(-time.Hour),
+			})
+			park(ctx)
+			return err
+		})
+		fw.DeliverDurable("out", src, func(seq uint64, tu core.EventTuple, b *kvstore.Batch) error {
+			b.Put(fmt.Appendf(nil, "out/%d", seq), nil)
+			return nil
+		})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		close(release)
+		for _, p := range []*core.Pipeline{shed, durable} {
+			if err := p.Wait(); err != nil {
+				t.Errorf("pipeline %s ended with %v", p.Name(), err)
+			}
+		}
+	}()
+
+	// Broker admission: fill the only matching subscription to its quota and
+	// bounce one publish off it.
+	sub, err := broker.Subscribe("quota.x", pubsub.WithSubBuffer(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Unsubscribe()
+	if err := broker.Publish("quota.x", []byte("fill")); err != nil {
+		t.Fatal(err)
+	}
+	if err := broker.Publish("quota.x", nil); !errors.Is(err, pubsub.ErrOverQuota) {
+		t.Fatalf("publish at quota = %v, want ErrOverQuota", err)
+	}
+
+	// Client breaker: a healthy connection with a breaker installed exposes
+	// its state gauge and counters.
+	srv, err := pubsub.Serve(broker, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	rc, err := pubsub.DialReconnect(srv.Addr(), pubsub.WithBreaker(3, time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+
+	reg := telemetry.NewRegistry()
+	reg.Register(m)
+	reg.Register(broker)
+	reg.Register(rc)
+	gather := func() string {
+		var buf bytes.Buffer
+		if err := reg.WritePrometheus(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	markers := map[string]string{
+		"controller level gauge":    "strata_overload_level",
+		"controller pressure gauge": "strata_overload_pressure",
+		"shed counter (expired)":    `strata_stream_op_shed_total{op="src",query="shedder",reason="expired"} 10`,
+		"expired durable effects":   `strata_overload_expired_effects_total{pipeline="terminus",sink="out"} 1`,
+		"broker quota rejections":   "strata_pubsub_over_quota_total 1",
+		"slow-consumer evictions":   "strata_pubsub_slow_consumers_evicted_total 0",
+		"breaker state gauge":       `strata_pubsub_client_breaker_state{state="closed"} 1`,
+		"breaker opened counter":    "strata_pubsub_client_breaker_opened_total 0",
+		"breaker fast-fail counter": "strata_pubsub_client_breaker_fast_fails_total 0",
+	}
+	complete := func(text string) bool {
+		for _, marker := range markers {
+			if !strings.Contains(text, marker) {
+				return false
+			}
+		}
+		return true
+	}
+	// The sheds and the durable suppression race the first scrape; poll
+	// until the pipelines' counters have landed.
+	text := gather()
+	for deadline := time.Now().Add(10 * time.Second); !complete(text); text = gather() {
+		if time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := telemetry.ValidateExposition(text); err != nil {
+		t.Fatalf("invalid exposition: %v\n---\n%s", err, text)
+	}
+	for what, marker := range markers {
+		if !strings.Contains(text, marker) {
+			t.Errorf("/metrics missing %s: %q\n---\n%s", what, marker, text)
+		}
+	}
+}

@@ -7,14 +7,16 @@ BENCH_PKGS  := . ./internal/stream ./internal/pubsub ./internal/kvstore
 BENCH_TIME  ?= 300ms
 BENCH_COUNT ?= 1
 
-.PHONY: ci vet build test race bench bench-smoke profile lint metrics-smoke chaos overload
+.PHONY: ci vet build test race bench bench-smoke profile lint lint-json metrics-smoke chaos overload
 
 ## ci: the full gate — vet, build, the test suite under the race detector,
-## the stratalint analyzers (see DESIGN.md, "Static contracts"), one
-## -benchtime=1x pass over the data-plane benchmarks so the batched fast
-## paths run under -race too, the kill-and-recover chaos suite, and the
-## overload degradation suite (DESIGN.md §11).
-ci: vet build race lint bench-smoke chaos overload
+## the stratalint analyzers (see DESIGN.md, "Static contracts") diffed
+## against the committed baseline with a SARIF artifact (lint-json runs the
+## suite over the linter's own packages too), one -benchtime=1x pass over
+## the data-plane benchmarks so the batched fast paths run under -race too,
+## the kill-and-recover chaos suite, and the overload degradation suite
+## (DESIGN.md §11).
+ci: vet build race lint lint-json bench-smoke chaos overload
 
 vet:
 	$(GO) vet ./...
@@ -30,9 +32,22 @@ test:
 race:
 	$(GO) test -race -shuffle=on ./...
 
+## lint: the whole module (./... includes internal/lint itself — the
+## analyzers run on their own implementation) diffed against the committed
+## baseline: a new finding fails, and so does a stale baseline entry.
+## After fixing or deliberately suppressing a finding, regenerate with
+##   ./bin/strata-lint -baseline lint.baseline -update ./...
 lint:
 	$(GO) build -o bin/strata-lint ./cmd/strata-lint
-	./bin/strata-lint ./...
+	./bin/strata-lint -baseline lint.baseline ./...
+
+## lint-json: same gate, machine-readable — emits bench-out/lint.sarif for
+## code-scanning upload and exercises the SARIF path in CI.
+lint-json:
+	$(GO) build -o bin/strata-lint ./cmd/strata-lint
+	@mkdir -p bench-out
+	./bin/strata-lint -format=sarif -baseline lint.baseline ./... > bench-out/lint.sarif
+	@echo "wrote bench-out/lint.sarif"
 
 ## bench: the tier-1 benchmark set (figure benches at the root plus the
 ## stream/pubsub/kvstore data plane), recorded as BENCH_PR6.json for

@@ -1,0 +1,349 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"go/types"
+	"reflect"
+	"sort"
+	"strings"
+)
+
+// A Fact is a piece of information an analyzer derives from one package and
+// makes available to itself when analyzing packages that import it — "this
+// function never returns a non-nil error", "these fields of this type are
+// mutated at runtime". Facts must be pointers to gob-serializable structs:
+// the driver round-trips every fact through gob at the package boundary, so
+// a fact that cannot survive serialization fails loudly instead of silently
+// behaving differently under a future separate-process driver.
+type Fact interface {
+	// AFact is a marker method; it has no behavior.
+	AFact()
+}
+
+// ObjectFact is one (object, fact) pair, as returned by AllObjectFacts.
+type ObjectFact struct {
+	Object types.Object
+	Fact   Fact
+}
+
+// PackageFact is one (package, fact) pair, as returned by AllPackageFacts.
+type PackageFact struct {
+	Package *types.Package
+	Fact    Fact
+}
+
+// FactSet is the driver-owned store of all facts produced during one lint
+// run. Facts are keyed by (object-or-package, concrete fact type) and are
+// shared across analyzers: an analyzer may import a fact type produced by
+// one of its Requires dependencies, provided both declare the type in
+// FactTypes (which is what makes the dependency explicit and the gob types
+// registered).
+type FactSet struct {
+	objects  map[objFactKey]Fact
+	packages map[pkgFactKey]Fact
+}
+
+type objFactKey struct {
+	obj types.Object
+	t   reflect.Type
+}
+
+type pkgFactKey struct {
+	pkg *types.Package
+	t   reflect.Type
+}
+
+// NewFactSet returns an empty fact store and registers the fact types of
+// every analyzer in suite with gob.
+func NewFactSet(suite []*Analyzer) *FactSet {
+	for _, a := range suite {
+		for _, f := range a.FactTypes {
+			gob.Register(f)
+		}
+	}
+	return &FactSet{
+		objects:  make(map[objFactKey]Fact),
+		packages: make(map[pkgFactKey]Fact),
+	}
+}
+
+// factView is one pass's window onto the fact set: imports are restricted
+// to the analyzed package's import closure, and fact types are validated
+// against the analyzer's FactTypes declaration.
+type factView struct {
+	set     *FactSet
+	visible map[*types.Package]bool
+}
+
+func factType(a *Analyzer, fact Fact) reflect.Type {
+	t := reflect.TypeOf(fact)
+	if t == nil || t.Kind() != reflect.Pointer {
+		panic(fmt.Sprintf("analysis: %s: fact %T is not a pointer", a, fact))
+	}
+	for _, declared := range a.FactTypes {
+		if reflect.TypeOf(declared) == t {
+			return t
+		}
+	}
+	panic(fmt.Sprintf("analysis: %s used fact type %T without declaring it in FactTypes", a, fact))
+}
+
+func (v *factView) exportObject(p *Pass, obj types.Object, fact Fact) {
+	if obj == nil || obj.Pkg() != p.Pkg {
+		panic(fmt.Sprintf("analysis: %s exported a fact on an object outside its package", p.Analyzer))
+	}
+	v.set.objects[objFactKey{obj, factType(p.Analyzer, fact)}] = fact
+}
+
+func (v *factView) importObject(p *Pass, obj types.Object, fact Fact) bool {
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	if obj.Pkg() != p.Pkg && !v.visible[obj.Pkg()] {
+		return false
+	}
+	found, ok := v.set.objects[objFactKey{obj, factType(p.Analyzer, fact)}]
+	if !ok {
+		return false
+	}
+	reflect.ValueOf(fact).Elem().Set(reflect.ValueOf(found).Elem())
+	return true
+}
+
+func (v *factView) exportPackage(p *Pass, fact Fact) {
+	v.set.packages[pkgFactKey{p.Pkg, factType(p.Analyzer, fact)}] = fact
+}
+
+func (v *factView) importPackage(p *Pass, pkg *types.Package, fact Fact) bool {
+	if pkg != p.Pkg && !v.visible[pkg] {
+		return false
+	}
+	found, ok := v.set.packages[pkgFactKey{pkg, factType(p.Analyzer, fact)}]
+	if !ok {
+		return false
+	}
+	reflect.ValueOf(fact).Elem().Set(reflect.ValueOf(found).Elem())
+	return true
+}
+
+func (v *factView) allObjectFacts() []ObjectFact {
+	var out []ObjectFact
+	for k, f := range v.set.objects {
+		if k.obj.Pkg() != nil && v.visible[k.obj.Pkg()] {
+			out = append(out, ObjectFact{Object: k.obj, Fact: f})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Object, out[j].Object
+		if a.Pkg().Path() != b.Pkg().Path() {
+			return a.Pkg().Path() < b.Pkg().Path()
+		}
+		return a.Name() < b.Name()
+	})
+	return out
+}
+
+func (v *factView) allPackageFacts() []PackageFact {
+	var out []PackageFact
+	for k, f := range v.set.packages {
+		if v.visible[k.pkg] {
+			out = append(out, PackageFact{Package: k.pkg, Fact: f})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return out[i].Package.Path() < out[j].Package.Path()
+	})
+	return out
+}
+
+// wireFact is the serialized form of one fact: the stable path of the
+// object it is attached to ("" for a package fact) and the fact value
+// itself, encoded through gob's interface mechanism (concrete types are
+// registered by NewFactSet).
+type wireFact struct {
+	Key  string
+	Fact Fact
+}
+
+type wirePackage struct {
+	Facts []wireFact
+}
+
+// RoundTrip serializes every fact attached to pkg (or its objects) through
+// gob and replaces the in-memory entries with the decoded copies. The
+// driver calls it once per package, after all analyzers have run on it:
+// from then on, only facts that survive serialization — and whose objects
+// have a stable cross-package path — remain visible to importers, exactly
+// the contract a separate-process driver would impose. It returns the
+// encoded blob so tests can assert on the wire form.
+func (s *FactSet) RoundTrip(pkg *types.Package) ([]byte, error) {
+	wire := wirePackage{}
+	var drop []objFactKey
+	for k, f := range s.objects {
+		if k.obj.Pkg() != pkg {
+			continue
+		}
+		key, ok := objectKey(pkg, k.obj)
+		drop = append(drop, k)
+		if !ok {
+			continue // local object: fact cannot cross the package boundary
+		}
+		wire.Facts = append(wire.Facts, wireFact{Key: key, Fact: f})
+	}
+	for k, f := range s.packages {
+		if k.pkg != pkg {
+			continue
+		}
+		wire.Facts = append(wire.Facts, wireFact{Key: "", Fact: f})
+	}
+	for _, k := range drop {
+		delete(s.objects, k)
+	}
+	for k := range s.packages {
+		if k.pkg == pkg {
+			delete(s.packages, k)
+		}
+	}
+	if len(wire.Facts) == 0 {
+		return nil, nil
+	}
+	// Deterministic blob (map iteration order is random).
+	sort.Slice(wire.Facts, func(i, j int) bool {
+		if wire.Facts[i].Key != wire.Facts[j].Key {
+			return wire.Facts[i].Key < wire.Facts[j].Key
+		}
+		return fmt.Sprintf("%T", wire.Facts[i].Fact) < fmt.Sprintf("%T", wire.Facts[j].Fact)
+	})
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(wire); err != nil {
+		return nil, fmt.Errorf("analysis: encoding facts for %s: %w", pkg.Path(), err)
+	}
+	if err := s.decodeInto(buf.Bytes(), pkg); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// decodeInto decodes a fact blob produced for pkg and installs the facts.
+func (s *FactSet) decodeInto(data []byte, pkg *types.Package) error {
+	var wire wirePackage
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&wire); err != nil {
+		return fmt.Errorf("analysis: decoding facts for %s: %w", pkg.Path(), err)
+	}
+	for _, wf := range wire.Facts {
+		t := reflect.TypeOf(wf.Fact)
+		if wf.Key == "" {
+			s.packages[pkgFactKey{pkg, t}] = wf.Fact
+			continue
+		}
+		obj, err := lookupObject(pkg, wf.Key)
+		if err != nil {
+			return err
+		}
+		s.objects[objFactKey{obj, t}] = wf.Fact
+	}
+	return nil
+}
+
+// objectKey computes a stable, human-readable path for obj within pkg, the
+// stdlib stand-in for x/tools' go/types/objectpath. Three object shapes are
+// keyable — package-level objects, methods, and struct fields of
+// package-level named types — which covers everything the strata analyzers
+// attach facts to. The second result is false for anything else (locals,
+// anonymous types, embedded-interface methods).
+func objectKey(pkg *types.Package, obj types.Object) (string, bool) {
+	name := obj.Name()
+	if pkg.Scope().Lookup(name) == obj {
+		return "o." + name, true
+	}
+	if fn, ok := obj.(*types.Func); ok {
+		sig, _ := fn.Type().(*types.Signature)
+		if sig != nil && sig.Recv() != nil {
+			if named := namedRecv(sig.Recv().Type()); named != nil &&
+				pkg.Scope().Lookup(named.Obj().Name()) == named.Obj() {
+				return "m." + named.Obj().Name() + "." + name, true
+			}
+		}
+	}
+	if v, ok := obj.(*types.Var); ok && v.IsField() {
+		for _, tn := range pkg.Scope().Names() {
+			t, ok := pkg.Scope().Lookup(tn).(*types.TypeName)
+			if !ok {
+				continue
+			}
+			st, ok := t.Type().Underlying().(*types.Struct)
+			if !ok {
+				continue
+			}
+			for i := 0; i < st.NumFields(); i++ {
+				if st.Field(i) == obj {
+					return "f." + tn + "." + name, true
+				}
+			}
+		}
+	}
+	return "", false
+}
+
+// lookupObject resolves a key produced by objectKey against pkg.
+func lookupObject(pkg *types.Package, key string) (types.Object, error) {
+	parts := strings.SplitN(key, ".", 3)
+	fail := func() (types.Object, error) {
+		return nil, fmt.Errorf("analysis: cannot resolve fact key %q in %s", key, pkg.Path())
+	}
+	if len(parts) < 2 {
+		return fail()
+	}
+	switch parts[0] {
+	case "o":
+		if obj := pkg.Scope().Lookup(parts[1]); obj != nil {
+			return obj, nil
+		}
+	case "m":
+		if len(parts) != 3 {
+			return fail()
+		}
+		tn, ok := pkg.Scope().Lookup(parts[1]).(*types.TypeName)
+		if !ok {
+			return fail()
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			return fail()
+		}
+		for i := 0; i < named.NumMethods(); i++ {
+			if named.Method(i).Name() == parts[2] {
+				return named.Method(i), nil
+			}
+		}
+	case "f":
+		if len(parts) != 3 {
+			return fail()
+		}
+		tn, ok := pkg.Scope().Lookup(parts[1]).(*types.TypeName)
+		if !ok {
+			return fail()
+		}
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok {
+			return fail()
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			if st.Field(i).Name() == parts[2] {
+				return st.Field(i), nil
+			}
+		}
+	}
+	return fail()
+}
+
+// namedRecv unwraps a method receiver type to its named type, or nil.
+func namedRecv(t types.Type) *types.Named {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}

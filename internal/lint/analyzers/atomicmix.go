@@ -1,0 +1,159 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"strata/internal/lint/analysis"
+)
+
+// AtomicUse is an object fact attached to a struct field that some package
+// accesses through the sync/atomic package-level functions (its address is
+// passed to atomic.AddInt64, atomic.LoadUint32, ...). Any plain load or
+// store of such a field — in this package or an importer — is a data race
+// the race detector only catches if both sides happen to run under -race.
+type AtomicUse struct{}
+
+// AFact marks AtomicUse as a fact type.
+func (*AtomicUse) AFact() {}
+
+// PlainUse is the mirror fact: a struct field read or written without
+// sync/atomic somewhere in this package. Exported so an importer that
+// atomically accesses the same field can be flagged even when the plain
+// access came first in dependency order.
+type PlainUse struct{}
+
+// AFact marks PlainUse as a fact type.
+func (*PlainUse) AFact() {}
+
+// Atomicmix flags struct fields accessed both through sync/atomic
+// functions and through plain loads or stores. Mixing the two voids the
+// atomicity guarantee entirely — the plain access races with every atomic
+// one. The repository convention (DESIGN.md §7) is typed atomics
+// (atomic.Int64, atomic.Bool), which make the mix unrepresentable; this
+// analyzer guards the remaining address-based uses and, via facts, catches
+// the cross-package split where one package publishes a counter field and
+// another reads it without atomic.
+var Atomicmix = &analysis.Analyzer{
+	Name:      "atomicmix",
+	Doc:       "struct fields must not mix sync/atomic access with plain loads and stores",
+	FactTypes: []analysis.Fact{(*AtomicUse)(nil), (*PlainUse)(nil)},
+	Run:       runAtomicmix,
+}
+
+func runAtomicmix(pass *analysis.Pass) (any, error) {
+	atomicHere := make(map[*types.Var]ast.Node) // first atomic site
+	plainHere := make(map[*types.Var]ast.Node)  // first plain site
+	for _, file := range pass.Files {
+		if isTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			// &x.f passed to a sync/atomic function: atomic access.
+			if call, ok := n.(*ast.CallExpr); ok && isAtomicCall(pass, call) {
+				for _, arg := range call.Args {
+					if f := addressedField(pass, arg); f != nil {
+						if _, seen := atomicHere[f]; !seen {
+							atomicHere[f] = arg
+						}
+					}
+				}
+				return false // don't also count the selector as a plain use
+			}
+			// Any other selector mention of a struct field: plain access.
+			if sel, ok := n.(*ast.SelectorExpr); ok {
+				if f := selectedField(pass, sel); f != nil {
+					if _, seen := plainHere[f]; !seen {
+						plainHere[f] = sel
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	for f, site := range plainHere {
+		if _, both := atomicHere[f]; both {
+			pass.Reportf(site.Pos(),
+				"field %s is accessed with sync/atomic but read/written plainly here; mixing the two races against every atomic access", f.Name())
+		} else if f.Pkg() != nil && f.Pkg() != pass.Pkg && pass.ImportObjectFact(f, &AtomicUse{}) {
+			pass.Reportf(site.Pos(),
+				"field %s is accessed with sync/atomic in %s but read/written plainly here; mixing the two races against every atomic access", f.Name(), f.Pkg().Path())
+		}
+	}
+	// The split can also arrive in the other order: the plain access lives
+	// in a dependency, the atomic one here.
+	for f, site := range atomicHere {
+		if f.Pkg() == nil || f.Pkg() == pass.Pkg {
+			continue
+		}
+		if _, both := plainHere[f]; both {
+			continue // same-package mix already reported above
+		}
+		if pass.ImportObjectFact(f, &PlainUse{}) {
+			pass.Reportf(site.Pos(),
+				"field %s is read/written plainly in %s but accessed with sync/atomic here; mixing the two races against every atomic access", f.Name(), f.Pkg().Path())
+		}
+	}
+
+	// Export what this package did with its own fields, for importers.
+	for f := range atomicHere {
+		if f.Pkg() == pass.Pkg {
+			pass.ExportObjectFact(f, &AtomicUse{})
+		}
+	}
+	for f := range plainHere {
+		if f.Pkg() == pass.Pkg {
+			pass.ExportObjectFact(f, &PlainUse{})
+		}
+	}
+	return nil, nil
+}
+
+// isAtomicCall reports whether call invokes a package-level function of
+// sync/atomic.
+func isAtomicCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.ObjectOf(sel.Sel).(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() != nil {
+		return false
+	}
+	return fn.Pkg().Path() == "sync/atomic"
+}
+
+// addressedField resolves &expr.f to the struct field f, or nil.
+func addressedField(pass *analysis.Pass, arg ast.Expr) *types.Var {
+	un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+	if !ok || un.Op != token.AND {
+		return nil
+	}
+	sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	return selectedField(pass, sel)
+}
+
+// selectedField resolves expr.f to a struct field object, or nil when the
+// selection is not a field (method, package member, ...). Fields of
+// typed-atomic structs (atomic.Int64 and friends) are skipped: the typed
+// API is exactly the sanctioned access path.
+func selectedField(pass *analysis.Pass, sel *ast.SelectorExpr) *types.Var {
+	obj, ok := pass.ObjectOf(sel.Sel).(*types.Var)
+	if !ok || !obj.IsField() {
+		return nil
+	}
+	if named := namedOf(obj.Type()); named != nil && named.Obj().Pkg() != nil &&
+		named.Obj().Pkg().Path() == "sync/atomic" {
+		return nil
+	}
+	return obj
+}

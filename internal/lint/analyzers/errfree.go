@@ -1,0 +1,111 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+
+	"strata/internal/lint/analysis"
+)
+
+// NeverFails is an object fact attached to a function or method whose
+// error results are provably always nil: every return statement is
+// explicit and returns the literal nil in every error-typed result
+// position. Errdrop imports it to stop flagging call sites that discard
+// an error that cannot exist — including across package boundaries, where
+// the callee's body is not otherwise visible to the analyzer.
+type NeverFails struct{}
+
+// AFact marks NeverFails as a fact type.
+func (*NeverFails) AFact() {}
+
+// Errfree is a fact producer: it reports nothing itself, but records which
+// of the package's functions can never return a non-nil error. The proof
+// is deliberately conservative — named result parameters (assignable by
+// deferred functions) and naked returns disqualify a function — so a
+// NeverFails fact is trustworthy, at the cost of missing some always-nil
+// functions.
+var Errfree = &analysis.Analyzer{
+	Name:      "errfree",
+	Doc:       "records functions that provably never return a non-nil error (fact producer for errdrop)",
+	FactTypes: []analysis.Fact{(*NeverFails)(nil)},
+	Run:       runErrfree,
+}
+
+func runErrfree(pass *analysis.Pass) (any, error) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			obj, ok := pass.ObjectOf(fn.Name).(*types.Func)
+			if !ok {
+				continue
+			}
+			sig, ok := obj.Type().(*types.Signature)
+			if !ok || !neverFails(pass, fn, sig) {
+				continue
+			}
+			pass.ExportObjectFact(obj, &NeverFails{})
+		}
+	}
+	return nil, nil
+}
+
+// neverFails reports whether fn provably returns nil in every error-typed
+// result position on every path.
+func neverFails(pass *analysis.Pass, fn *ast.FuncDecl, sig *types.Signature) bool {
+	res := sig.Results()
+	errIdx := make(map[int]bool)
+	for i := 0; i < res.Len(); i++ {
+		if isErrorType(res.At(i).Type()) {
+			errIdx[i] = true
+		}
+		// A named result can be assigned anywhere, including by a deferred
+		// closure after the return statement runs; proving it stays nil
+		// needs flow analysis this check deliberately avoids.
+		if res.At(i).Name() != "" {
+			return false
+		}
+	}
+	if len(errIdx) == 0 {
+		return false // nothing to prove
+	}
+	proven := true
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if !proven {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // a nested function's returns are its own
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		if len(ret.Results) != res.Len() {
+			// Naked return, or a single call expression fanned out into
+			// multiple results: give up rather than chase it.
+			proven = false
+			return false
+		}
+		for i := range ret.Results {
+			if !errIdx[i] {
+				continue
+			}
+			tv, ok := pass.TypesInfo.Types[ast.Unparen(ret.Results[i])]
+			if !ok || !tv.IsNil() {
+				proven = false
+				return false
+			}
+		}
+		return true
+	})
+	return proven
+}
+
+// isErrorType reports whether t is the built-in error interface.
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "error" && named.Obj().Pkg() == nil
+}

@@ -15,7 +15,12 @@ import (
 )
 
 // All is the full strata-lint suite, in the order findings are attributed.
-var All = []*analysis.Analyzer{Streamclose, Locksend, Goctx, Errdrop, Boundedchan}
+// Errfree is not listed: it reports nothing and runs implicitly as a
+// Requires dependency of Errdrop.
+var All = []*analysis.Analyzer{
+	Streamclose, Locksend, Goctx, Errdrop, Boundedchan,
+	Snapshotgap, Metricname, Atomicmix,
+}
 
 // calleeFunc resolves the called function/method object of call, or nil for
 // builtins, type conversions, and indirect calls through variables.

@@ -1,0 +1,62 @@
+// Test fixtures for the atomicmix analyzer: a struct field must not be
+// accessed both through sync/atomic and through plain loads/stores.
+package a
+
+import (
+	"sync/atomic"
+
+	"atomicmix/shared"
+)
+
+// gauge mixes access modes on val within one package.
+type gauge struct {
+	val int64
+	n   int64 // plain-only: fine
+}
+
+func (g *gauge) bump() {
+	atomic.AddInt64(&g.val, 1)
+	g.n++
+}
+
+func (g *gauge) read() int64 {
+	return g.val // want `field val is accessed with sync/atomic but read/written plainly here`
+}
+
+// readShared reads a field that another package only touches through
+// sync/atomic — the mix is invisible without the AtomicUse fact.
+func readShared(c *shared.Counters) int64 {
+	return c.Hits // want `field Hits is accessed with sync/atomic in atomicmix/shared but read/written plainly here`
+}
+
+// goodShared uses the owner's fields the way the owner does: through its
+// methods, or atomically on a field nobody reads plainly.
+func goodShared(c *shared.Counters) int64 {
+	return atomic.LoadInt64(&c.Misses) + c.HitCount()
+}
+
+// typed uses the typed-atomic API: the field's own methods are the only
+// access path, so there is nothing to mix.
+type typed struct {
+	hits atomic.Int64
+}
+
+func (t *typed) bump() int64 {
+	t.hits.Add(1)
+	return t.hits.Load()
+}
+
+// racyButAudited: a deliberate, reviewed mixed access (a monotone
+// best-effort statistic) is suppressible like any other finding.
+type racyButAudited struct {
+	approx int64
+}
+
+func (r *racyButAudited) bump() {
+	atomic.AddInt64(&r.approx, 1)
+}
+
+func (r *racyButAudited) peek() int64 {
+	//lint:ignore atomicmix approximate statistic; torn reads are acceptable here
+	return r.approx
+}

@@ -1,0 +1,22 @@
+// Package shared publishes a counter struct accessed with the sync/atomic
+// package-level functions. The AtomicUse facts exported here are what let
+// the analyzer flag a plain read of the same fields in an importing
+// package.
+package shared
+
+import "sync/atomic"
+
+// Counters is updated concurrently by every worker.
+type Counters struct {
+	Hits   int64
+	Misses int64
+}
+
+// Hit records one cache hit.
+func (c *Counters) Hit() { atomic.AddInt64(&c.Hits, 1) }
+
+// Miss records one cache miss.
+func (c *Counters) Miss() { atomic.AddInt64(&c.Misses, 1) }
+
+// HitCount reads the hit counter the sanctioned way.
+func (c *Counters) HitCount() int64 { return atomic.LoadInt64(&c.Hits) }

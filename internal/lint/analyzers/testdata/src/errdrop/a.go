@@ -1,30 +1,49 @@
 // Test fixtures for the errdrop analyzer: Close/Flush/Sync errors must be
-// handled or explicitly discarded.
+// handled or explicitly discarded — unless the callee provably never
+// returns one (the errfree NeverFails fact).
 package a
 
-import "os"
+import (
+	"errors"
+	"os"
+
+	"errdrop/nofail"
+)
 
 type handle struct{}
 
-func (h *handle) Close() error { return nil }
-func (h *handle) Flush() error { return nil }
-func (h *handle) Sync() error  { return nil }
+func (h *handle) Close() error { return errors.New("close failed") }
+func (h *handle) Flush() error { return errors.New("flush failed") }
+func (h *handle) Sync() error  { return errors.New("sync failed") }
 
 // wal mirrors the kvstore's unexported teardown methods.
 type wal struct{}
 
-func (w *wal) close() error { return nil }
+func (w *wal) close() error { return errors.New("wal close failed") }
 
 // silent has a Close with no error result: nothing to drop.
 type silent struct{}
 
 func (s *silent) Close() {}
 
-func bad(h *handle, w *wal) {
+// quiet's Close returns the literal nil on every path — errfree exports a
+// NeverFails fact for it, and errdrop has nothing to flag.
+type quiet struct{}
+
+func (q *quiet) Close() error { return nil }
+
+// flaky has a named error result: a deferred closure could assign it after
+// the return, so errfree refuses to prove it and errdrop still flags calls.
+type flaky struct{}
+
+func (f *flaky) Close() (err error) { return nil }
+
+func bad(h *handle, w *wal, f *flaky) {
 	h.Close() // want `error from h\.Close is discarded`
 	h.Flush() // want `error from h\.Flush is discarded`
 	h.Sync()  // want `error from h\.Sync is discarded`
 	w.close() // want `error from w\.close is discarded`
+	f.Close() // want `error from f\.Close is discarded`
 }
 
 func badFile(f *os.File) {
@@ -46,6 +65,15 @@ func good(h *handle, f *os.File) error {
 	var s silent
 	s.Close()
 	return h.Sync()
+}
+
+// errorFree: callees proven to always return nil carry no error worth
+// handling — same-package via the local fact, cross-package via the
+// gob-round-tripped fact exported when the nofail package was analyzed.
+func errorFree(q *quiet, s *nofail.Sink) {
+	q.Close()
+	s.Close()
+	s.Flush()
 }
 
 // ignoredClose: suppression is honored for deliberate best-effort closes.

@@ -1,0 +1,3 @@
+module metricname
+
+go 1.22

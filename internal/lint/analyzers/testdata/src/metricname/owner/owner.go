@@ -1,0 +1,13 @@
+// Package owner is the first registrant of strata_owner_widgets_total. Its
+// MetricNames package fact travels to importers, where re-emitting the
+// same series is flagged as a duplicate owner.
+package owner
+
+import "metricname/telemetry"
+
+const widgetsTotal = "strata_owner_widgets_total"
+
+// Emit publishes this package's one metric.
+func Emit(w *telemetry.Writer, n float64) {
+	w.Counter(widgetsTotal, "widgets processed", n)
+}

@@ -1,0 +1,14 @@
+// Package telemetry mirrors the real telemetry Writer surface: the
+// analyzer matches it structurally (package named telemetry, type named
+// Writer), so this fake is held to the same contract as the real one.
+package telemetry
+
+// Label is one name=value dimension.
+type Label struct{ Name, Value string }
+
+// Writer receives metric samples.
+type Writer struct{}
+
+func (w *Writer) Counter(name, help string, value float64, labels ...Label)   {}
+func (w *Writer) Gauge(name, help string, value float64, labels ...Label)     {}
+func (w *Writer) Histogram(name, help string, value float64, labels ...Label) {}

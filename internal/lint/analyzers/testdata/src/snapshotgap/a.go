@@ -1,0 +1,163 @@
+// Test fixtures for the snapshotgap analyzer: a Snapshotter's
+// Snapshot/Restore pair must reference every mutable field of its
+// receiver.
+package a
+
+import (
+	"bytes"
+	"encoding/gob"
+
+	"snapshotgap/state"
+)
+
+// brokenOp mutates seen, total, and cnt at runtime, but its gob blob only
+// carries seen: total and cnt are silently reset on crash recovery. The
+// cnt mutation is invisible without facts — Inc's body lives in another
+// package.
+type brokenOp struct {
+	out   chan int       // wiring, exempt
+	cfg   int            // never mutated, nothing to snapshot
+	seen  map[string]int // mutated and snapshotted
+	total int            // mutated, forgotten
+	cnt   state.Counter  // mutated via a cross-package method, forgotten
+}
+
+func (b *brokenOp) push(k string, v int) {
+	b.seen[k] = v
+	b.total += v
+	b.cnt.Inc()
+	b.out <- v
+}
+
+type brokenBlob struct{ Seen map[string]int }
+
+func (b *brokenOp) Snapshot() ([]byte, error) { // want `Snapshot/Restore of brokenOp never reference mutable field (total|cnt)`
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(brokenBlob{Seen: b.seen})
+	return buf.Bytes(), err
+}
+
+func (b *brokenOp) Restore(data []byte) error {
+	var blob brokenBlob
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&blob); err != nil {
+		return err
+	}
+	b.seen = blob.Seen
+	return nil
+}
+
+// goodOp mutates the same shape of state but snapshots all of it.
+type goodOp struct {
+	out   chan int
+	seen  map[string]int
+	total int
+	cnt   state.Counter
+	name  state.Label // immutable cross-package type: method calls are not writes
+}
+
+func (g *goodOp) push(k string, v int) {
+	g.seen[k] = v
+	g.total += v
+	g.cnt.Inc()
+	g.out <- v
+}
+
+type goodBlob struct {
+	Seen  map[string]int
+	Total int
+	Cnt   int
+}
+
+func (g *goodOp) Snapshot() ([]byte, error) {
+	_ = g.name.String()
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(goodBlob{Seen: g.seen, Total: g.total, Cnt: g.cnt.Get()})
+	return buf.Bytes(), err
+}
+
+func (g *goodOp) Restore(data []byte) error {
+	var blob goodBlob
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&blob); err != nil {
+		return err
+	}
+	g.seen = blob.Seen
+	g.total = blob.Total
+	for i := 0; i < blob.Cnt; i++ {
+		g.cnt.Inc()
+	}
+	return nil
+}
+
+// tracker is mutable but implements no Snapshot/Restore pair: only a fact
+// is exported, no diagnostics.
+type tracker struct{ n int }
+
+func (t *tracker) bump() { t.n++ }
+
+// sharedOp mutates state behind a pointer field. Pointee state is shared
+// with whoever else holds the pointer — the engine's contract is that
+// snapshots capture receiver-owned memory only, so this is clean.
+type sharedOp struct {
+	out   chan int
+	stats *tracker
+	seq   int
+}
+
+func (s *sharedOp) push(v int) {
+	s.stats.bump()
+	s.seq++
+	s.out <- v
+}
+
+func (s *sharedOp) Snapshot() ([]byte, error) {
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(s.seq)
+	return buf.Bytes(), err
+}
+
+func (s *sharedOp) Restore(data []byte) error {
+	return gob.NewDecoder(bytes.NewReader(data)).Decode(&s.seq)
+}
+
+// cacheOp deliberately excludes a rebuildable statistic from its blob; the
+// suppression names the analyzer and gives the reason.
+type cacheOp struct {
+	out  chan int
+	hits int
+	data map[string]int
+}
+
+func (c *cacheOp) push(k string, v int) {
+	c.data[k] = v
+	c.hits++
+	c.out <- v
+}
+
+//lint:ignore snapshotgap hits is a warm-cache statistic, rebuilt from data on restore
+func (c *cacheOp) Snapshot() ([]byte, error) {
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(c.data)
+	return buf.Bytes(), err
+}
+
+func (c *cacheOp) Restore(data []byte) error {
+	return gob.NewDecoder(bytes.NewReader(data)).Decode(&c.data)
+}
+
+// lazyOp's finding exists only because of the cross-package SnapState fact
+// on state.Counter — suppression must silence fact-derived diagnostics the
+// same as local ones.
+type lazyOp struct {
+	out chan int
+	cnt state.Counter
+}
+
+func (l *lazyOp) push(v int) {
+	l.cnt.Inc()
+	l.out <- v
+}
+
+//lint:ignore snapshotgap counter is approximate by design; a restart may reset it
+func (l *lazyOp) Snapshot() ([]byte, error) { return nil, nil }
+
+func (l *lazyOp) Restore([]byte) error { return nil }

@@ -1,0 +1,3 @@
+module snapshotgap
+
+go 1.22

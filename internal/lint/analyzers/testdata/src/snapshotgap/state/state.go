@@ -1,0 +1,19 @@
+// Package state holds a counter type with private mutable state. Its
+// SnapState fact — computed when this package is analyzed as a dependency
+// — is what lets snapshotgap know that a value-typed Counter field in an
+// importing package mutates under Inc(), three packages away from the
+// operator that embeds it.
+package state
+
+// Counter accumulates through a pointer-receiver method.
+type Counter struct{ n int }
+
+func (c *Counter) Inc() { c.n++ }
+
+func (c *Counter) Get() int { return c.n }
+
+// Label is immutable after construction: no method writes through the
+// receiver, so a Label field never needs snapshotting.
+type Label struct{ s string }
+
+func (l Label) String() string { return l.s }

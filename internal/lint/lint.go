@@ -1,11 +1,14 @@
-// Package lint is the strata-lint driver: it loads packages, runs the
-// STRATA contract analyzers over them, and filters findings through
-// //lint:ignore suppression comments.
+// Package lint is the strata-lint driver: it loads packages (plus their
+// module-local dependencies), runs the STRATA contract analyzers over them
+// in dependency order — threading gob-serialized facts across package
+// boundaries and same-package results along each analyzer's Requires DAG —
+// and filters findings through //lint:ignore suppression comments.
 package lint
 
 import (
 	"fmt"
 	"go/token"
+	"go/types"
 	"sort"
 
 	"strata/internal/lint/analysis"
@@ -23,10 +26,20 @@ func (f Finding) String() string {
 	return fmt.Sprintf("%s: %s (%s)", f.Pos, f.Message, f.Analyzer)
 }
 
-// Run loads the packages matching patterns (relative to dir) and applies
-// every analyzer to every package. Suppressed findings are dropped; the
-// rest are returned sorted by position.
+// Run loads the packages matching patterns (relative to dir) together with
+// their module-local dependencies and applies every requested analyzer —
+// plus everything those analyzers Require, in dependency order — to every
+// package. Analyzers run on dependency-only packages too (their facts must
+// exist before importers are analyzed), but only diagnostics from packages
+// the patterns matched are reported. Suppressed findings are dropped; the
+// rest are returned in a deterministic order: position (file, line,
+// column), then analyzer name, then message.
 func Run(dir string, patterns []string, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	suite, err := expandRequires(analyzers)
+	if err != nil {
+		return nil, err
+	}
+
 	fset, pkgs, err := loader.Load(dir, patterns...)
 	if err != nil {
 		return nil, err
@@ -39,30 +52,78 @@ func Run(dir string, patterns []string, analyzers []*analysis.Analyzer) ([]Findi
 		}
 	}
 
+	facts := analysis.NewFactSet(suite)
+
+	// visibleFor accumulates, per package, the set of module-local packages
+	// whose facts an analyzer running on it may import: the package itself
+	// plus its transitive module-local imports. pkgs is topologically
+	// ordered, so every dependency's set is complete before its importers'.
+	byPath := make(map[string]*loader.Package, len(pkgs))
+	visibleFor := make(map[string]map[*types.Package]bool, len(pkgs))
+	for _, pkg := range pkgs {
+		byPath[pkg.Path] = pkg
+		vis := map[*types.Package]bool{pkg.Types: true}
+		for _, dep := range pkg.Imports {
+			if depPkg, ok := byPath[dep]; ok {
+				for p := range visibleFor[depPkg.Path] {
+					vis[p] = true
+				}
+			}
+		}
+		visibleFor[pkg.Path] = vis
+	}
+
 	var findings []Finding
 	for _, pkg := range pkgs {
 		sup := scanSuppressions(fset, pkg.Files)
-		for _, a := range analyzers {
+		results := make(map[*analysis.Analyzer]any, len(suite))
+		for _, a := range suite {
 			pass := &analysis.Pass{
 				Analyzer:  a,
 				Fset:      fset,
 				Files:     pkg.Files,
 				Pkg:       pkg.Types,
 				TypesInfo: pkg.Info,
+				ResultOf:  make(map[*analysis.Analyzer]any, len(a.Requires)),
+			}
+			for _, req := range a.Requires {
+				pass.ResultOf[req] = results[req]
+			}
+			if len(a.FactTypes) > 0 {
+				pass.SetFactView(facts, visibleFor[pkg.Path])
 			}
 			name := a.Name
+			matched := pkg.Matched
 			pass.Report = func(d analysis.Diagnostic) {
+				if !matched {
+					return
+				}
 				pos := fset.Position(d.Pos)
 				if sup.suppressed(name, pos) {
 					return
 				}
 				findings = append(findings, Finding{Pos: pos, Analyzer: name, Message: d.Message})
 			}
-			if err := a.Run(pass); err != nil {
+			res, err := a.Run(pass)
+			if err != nil {
 				return nil, fmt.Errorf("lint: analyzer %s on %s: %w", a.Name, pkg.Path, err)
 			}
+			results[a] = res
+		}
+		// Gob round-trip at the package boundary: from here on, importers
+		// see only facts that survived serialization.
+		if _, err := facts.RoundTrip(pkg.Types); err != nil {
+			return nil, err
 		}
 	}
+	SortFindings(findings)
+	return findings, nil
+}
+
+// SortFindings orders findings deterministically: by position (file, line,
+// column), then analyzer name, then message. The baseline diff in CI
+// depends on this order being stable across runs and machines.
+func SortFindings(findings []Finding) {
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i], findings[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -71,7 +132,45 @@ func Run(dir string, patterns []string, analyzers []*analysis.Analyzer) ([]Findi
 		if a.Pos.Line != b.Pos.Line {
 			return a.Pos.Line < b.Pos.Line
 		}
-		return a.Analyzer < b.Analyzer
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
 	})
-	return findings, nil
+}
+
+// expandRequires returns the transitive closure of the requested analyzers
+// and their Requires dependencies, in a stable topological order (every
+// analyzer after everything it requires). A cycle is a programming error in
+// the analyzer definitions and is reported, not tolerated.
+func expandRequires(requested []*analysis.Analyzer) ([]*analysis.Analyzer, error) {
+	var order []*analysis.Analyzer
+	state := make(map[*analysis.Analyzer]int) // 0 unvisited, 1 visiting, 2 done
+	var visit func(a *analysis.Analyzer) error
+	visit = func(a *analysis.Analyzer) error {
+		switch state[a] {
+		case 1:
+			return fmt.Errorf("lint: Requires cycle through analyzer %s", a.Name)
+		case 2:
+			return nil
+		}
+		state[a] = 1
+		for _, req := range a.Requires {
+			if err := visit(req); err != nil {
+				return err
+			}
+		}
+		state[a] = 2
+		order = append(order, a)
+		return nil
+	}
+	for _, a := range requested {
+		if err := visit(a); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
 }

@@ -1,0 +1,144 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"strata/internal/lint/analysis"
+)
+
+// writeModule lays out a throwaway module under a temp dir:
+// files maps relative paths to contents.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for rel, src := range files {
+		path := filepath.Join(dir, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// markFact carries a payload string so the test can prove the fact that
+// arrives in the importing package is the one that survived gob encoding,
+// not a shared pointer.
+type markFact struct{ Payload string }
+
+func (*markFact) AFact() {}
+
+// TestFactsCrossPackage is the facts round-trip acceptance test: an object
+// fact exported while analyzing one package must be importable — after the
+// driver's gob round-trip at the package boundary — by an analyzer running
+// on a package that imports it.
+func TestFactsCrossPackage(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod":     "module factrt\n\ngo 1.22\n",
+		"dep/dep.go": "package dep\n\n// Target is the object the fact rides on.\ntype Target struct{}\n",
+		"main.go":    "package main\n\nimport \"factrt/dep\"\n\nvar sentinel dep.Target\n\nfunc main() { _ = sentinel }\n",
+	})
+
+	exporter := &analysis.Analyzer{
+		Name:      "exporter",
+		Doc:       "exports a markFact on every package-scope type named Target",
+		FactTypes: []analysis.Fact{(*markFact)(nil)},
+		Run: func(pass *analysis.Pass) (any, error) {
+			if obj := pass.Pkg.Scope().Lookup("Target"); obj != nil {
+				pass.ExportObjectFact(obj, &markFact{Payload: "from " + pass.Pkg.Path()})
+			}
+			return nil, nil
+		},
+	}
+	consumer := &analysis.Analyzer{
+		Name:      "consumer",
+		Doc:       "reports the payload of markFacts found on imported objects",
+		Requires:  []*analysis.Analyzer{exporter},
+		FactTypes: []analysis.Fact{(*markFact)(nil)},
+		Run: func(pass *analysis.Pass) (any, error) {
+			for _, imp := range pass.Pkg.Imports() {
+				obj := imp.Scope().Lookup("Target")
+				if obj == nil {
+					continue
+				}
+				var mf markFact
+				if pass.ImportObjectFact(obj, &mf) {
+					pass.Reportf(pass.Files[0].Pos(), "target fact: %s", mf.Payload)
+				}
+			}
+			return nil, nil
+		},
+	}
+
+	findings, err := Run(dir, []string{"./..."}, []*analysis.Analyzer{consumer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 {
+		t.Fatalf("got %d findings, want exactly 1: %v", len(findings), findings)
+	}
+	if want := "target fact: from factrt/dep"; findings[0].Message != want {
+		t.Fatalf("fact payload did not survive the round-trip: got %q, want %q", findings[0].Message, want)
+	}
+	if !strings.HasSuffix(findings[0].Pos.Filename, "main.go") {
+		t.Fatalf("finding should be in the importing package, got %s", findings[0].Pos.Filename)
+	}
+}
+
+// TestDeterministicOrder is the output-stability regression: an analyzer
+// that reports in scrambled order (end of file before start, second file's
+// pass interleaved by load order) must still produce findings sorted by
+// position, then analyzer, then message — identically on every run.
+func TestDeterministicOrder(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module detorder\n\ngo 1.22\n",
+		"b.go":   "package p\n\nfunc B() {}\n",
+		"a.go":   "package p\n\nfunc A() {}\n",
+	})
+
+	scrambler := &analysis.Analyzer{
+		Name: "scrambler",
+		Doc:  "reports end-before-start in every file",
+		Run: func(pass *analysis.Pass) (any, error) {
+			for _, f := range pass.Files {
+				pass.Reportf(f.End()-1, "late")
+				pass.Reportf(f.Pos(), "zzz-early")
+				pass.Reportf(f.Pos(), "aaa-early")
+			}
+			return nil, nil
+		},
+	}
+
+	run := func() []Finding {
+		t.Helper()
+		findings, err := Run(dir, []string{"./..."}, []*analysis.Analyzer{scrambler})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return findings
+	}
+	first := run()
+	if len(first) != 6 {
+		t.Fatalf("got %d findings, want 6: %v", len(first), first)
+	}
+	// Sorted: a.go before b.go, line 1 before line 3, and same-position
+	// messages in message order.
+	wantOrder := []string{"aaa-early", "zzz-early", "late", "aaa-early", "zzz-early", "late"}
+	for i, f := range first {
+		if f.Message != wantOrder[i] {
+			t.Fatalf("finding %d out of order: got %q, want %q (all: %v)", i, f.Message, wantOrder[i], first)
+		}
+	}
+	if !strings.HasSuffix(first[0].Pos.Filename, "a.go") || !strings.HasSuffix(first[3].Pos.Filename, "b.go") {
+		t.Fatalf("files out of order: %v", first)
+	}
+	if second := run(); !reflect.DeepEqual(first, second) {
+		t.Fatalf("two identical runs disagree:\n%v\n%v", first, second)
+	}
+}

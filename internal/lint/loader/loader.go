@@ -35,6 +35,16 @@ type Package struct {
 	Types *types.Package
 	Info  *types.Info
 
+	// Imports lists the module-local import paths of this package, in
+	// sorted order. The driver uses it to compute fact visibility.
+	Imports []string
+
+	// Matched is true when the package was selected by the load patterns
+	// themselves; false when it was pulled in only as a dependency of a
+	// matched package (analyzers still run on it — facts must exist before
+	// importers are analyzed — but its diagnostics are not reported).
+	Matched bool
+
 	// TypeErrors collects soft type-check errors. Packages with errors
 	// still carry partial type information.
 	TypeErrors []error
@@ -66,13 +76,19 @@ type listPackage struct {
 	Name       string
 	GoFiles    []string
 	Imports    []string
+	Standard   bool // part of the standard library
+	DepOnly    bool // reached only as a dependency of a matched pattern
 	Incomplete bool
 	Error      *struct{ Err string }
 }
 
-// Load discovers the packages matching patterns relative to dir, parses
-// them, and type-checks them in dependency order. The returned FileSet is
-// shared by all loads in the process.
+// Load discovers the packages matching patterns relative to dir — plus
+// their module-local dependencies, so modular analyzers can compute facts
+// for every package an analyzed package imports — parses them, and
+// type-checks them in dependency order (a package always appears after all
+// of its module-local imports in the returned slice). Dependency-only
+// packages carry Matched == false. The returned FileSet is shared by all
+// loads in the process.
 func Load(dir string, patterns ...string) (*token.FileSet, []*Package, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
@@ -135,6 +151,13 @@ func Load(dir string, patterns ...string) (*token.FileSet, []*Package, error) {
 		if err != nil {
 			return nil, nil, err
 		}
+		pkg.Matched = !m.DepOnly
+		for _, dep := range m.Imports {
+			if _, ok := byPath[dep]; ok {
+				pkg.Imports = append(pkg.Imports, dep)
+			}
+		}
+		sort.Strings(pkg.Imports)
 		local[m.ImportPath] = pkg.Types
 		pkgs = append(pkgs, pkg)
 	}
@@ -186,7 +209,7 @@ func (mi *moduleImporter) Import(path string) (*types.Package, error) {
 }
 
 func goList(dir string, patterns []string) ([]*listPackage, error) {
-	args := append([]string{"list", "-e", "-json"}, patterns...)
+	args := append([]string{"list", "-e", "-deps", "-json"}, patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Dir = dir
 	cmd.Env = append(os.Environ(), "GOPROXY=off", "GOWORK=off", "GOFLAGS=")
@@ -205,6 +228,9 @@ func goList(dir string, patterns []string) ([]*listPackage, error) {
 			break
 		} else if err != nil {
 			return nil, fmt.Errorf("lint/loader: decode go list output: %w", err)
+		}
+		if m.Standard {
+			continue // the stdlib resolves through the source importer
 		}
 		if m.Error != nil {
 			return nil, fmt.Errorf("lint/loader: %s: %s", m.ImportPath, m.Error.Err)

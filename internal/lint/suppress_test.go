@@ -80,3 +80,63 @@ func lineSuppressed() {
 		t.Error("line 12 has no errdrop directive")
 	}
 }
+
+// A directive above a statement that spans several lines covers the line
+// the statement starts on — diagnostics anchor at statement start — but
+// deliberately not the continuation lines: a finding deep inside a long
+// literal still surfaces unless its own line is annotated.
+func TestSuppressMultiLineStatement(t *testing.T) {
+	const src = `package p
+
+func f() {
+	//lint:ignore boundedchan burst buffer sized by config
+	ch := make(
+		chan int,
+		1024,
+	)
+	_ = ch
+}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup := scanSuppressions(fset, []*ast.File{f})
+	pos := func(line int) token.Position {
+		return token.Position{Filename: "p.go", Line: line}
+	}
+	if !sup.suppressed("boundedchan", pos(5)) {
+		t.Error("directive above a multi-line statement must cover its first line")
+	}
+	for _, line := range []int{6, 7, 8} {
+		if sup.suppressed("boundedchan", pos(line)) {
+			t.Errorf("continuation line %d must not inherit the directive", line)
+		}
+	}
+}
+
+// A directive with no reason is recognized but suppresses nothing — here
+// checked on line coverage, complementing TestParseDirective's unit cases.
+func TestSuppressReasonlessDirective(t *testing.T) {
+	const src = `package p
+
+func f() {
+	//lint:ignore errdrop
+	_ = 1
+	_ = 2 //lint:ignore locksend
+}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup := scanSuppressions(fset, []*ast.File{f})
+	if sup.suppressed("errdrop", token.Position{Filename: "p.go", Line: 5}) {
+		t.Error("reasonless line directive must not suppress")
+	}
+	if sup.suppressed("locksend", token.Position{Filename: "p.go", Line: 6}) {
+		t.Error("reasonless trailing directive must not suppress")
+	}
+}

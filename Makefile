@@ -3,20 +3,21 @@ GO ?= go
 ## bench: pinned parameters so runs are comparable across commits. Override
 ## on the command line only for exploratory runs; committed BENCH_*.json
 ## files must come from the defaults.
-BENCH_PKGS  := . ./internal/stream ./internal/pubsub ./internal/kvstore
+BENCH_PKGS  := . ./internal/core ./internal/stream ./internal/pubsub ./internal/kvstore
 BENCH_TIME  ?= 300ms
 BENCH_COUNT ?= 1
 
-.PHONY: ci vet build test race bench bench-smoke profile lint lint-json metrics-smoke chaos overload
+.PHONY: ci vet build test race bench bench-smoke profile lint lint-json metrics-smoke obs-smoke chaos overload
 
 ## ci: the full gate — vet, build, the test suite under the race detector,
 ## the stratalint analyzers (see DESIGN.md, "Static contracts") diffed
 ## against the committed baseline with a SARIF artifact (lint-json runs the
 ## suite over the linter's own packages too), one -benchtime=1x pass over
 ## the data-plane benchmarks so the batched fast paths run under -race too,
-## the kill-and-recover chaos suite, and the overload degradation suite
-## (DESIGN.md §11).
-ci: vet build race lint lint-json bench-smoke chaos overload
+## the kill-and-recover chaos suite, the overload degradation suite
+## (DESIGN.md §11), and the cross-process observability smoke (DESIGN.md
+## §12).
+ci: vet build race lint lint-json bench-smoke chaos overload obs-smoke
 
 vet:
 	$(GO) vet ./...
@@ -50,19 +51,19 @@ lint-json:
 	@echo "wrote bench-out/lint.sarif"
 
 ## bench: the tier-1 benchmark set (figure benches at the root plus the
-## stream/pubsub/kvstore data plane), recorded as BENCH_PR6.json for
+## stream/pubsub/kvstore data plane), recorded as BENCH_PR8.json for
 ## before/after evidence in perf PRs.
 bench:
 	$(GO) build -o bin/benchjson ./cmd/benchjson
 	$(GO) test -run='^$$' -bench=. -benchtime=$(BENCH_TIME) -count=$(BENCH_COUNT) $(BENCH_PKGS) | tee bench.out
-	./bin/benchjson < bench.out > BENCH_PR6.json
+	./bin/benchjson < bench.out > BENCH_PR8.json
 	@rm -f bench.out
-	@echo "wrote BENCH_PR6.json"
+	@echo "wrote BENCH_PR8.json"
 
 ## bench-smoke: run every data-plane benchmark exactly once under -race.
 ## This is coverage of the batched fast paths, not timing.
 bench-smoke:
-	$(GO) test -race -run='^$$' -bench=. -benchtime=1x ./internal/stream ./internal/pubsub ./internal/kvstore
+	$(GO) test -race -run='^$$' -bench=. -benchtime=1x ./internal/core ./internal/stream ./internal/pubsub ./internal/kvstore
 
 ## profile: a profiled figure run for attaching pprof evidence to perf PRs.
 profile:
@@ -94,3 +95,12 @@ overload:
 ## in internal/telemetry/validate.go — no external dependencies.
 metrics-smoke:
 	$(GO) test -count=1 -v -run TestEndToEndMetricsSmoke ./internal/telemetry
+
+## obs-smoke: split one pipeline across three OS processes (source in the
+## test binary, re-exec'ed broker and worker helpers) and assert a single
+## sampled tuple yields ONE merged trace with span fragments from all three
+## PIDs — fetched from each process's /debug/trace/<id> endpoint, the same
+## join `strata-trace` performs — then SIGQUIT the worker and assert the
+## flight recorder dumped flightrec-<pid>.json (DESIGN.md §12).
+obs-smoke:
+	$(GO) test -count=1 -v -run 'TestObsSmokeCrossProcess' ./internal/core

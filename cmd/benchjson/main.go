@@ -13,10 +13,13 @@ package main
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
+
+	"strata/internal/obslog"
 )
 
 type result struct {
@@ -34,6 +37,12 @@ type report struct {
 }
 
 func main() {
+	applyLog := obslog.Flags(flag.CommandLine)
+	flag.Parse()
+	if err := applyLog(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
 	if err := run(os.Stdin, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)

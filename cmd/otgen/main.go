@@ -12,6 +12,7 @@ import (
 	"os"
 
 	"strata/internal/amsim"
+	"strata/internal/obslog"
 )
 
 func main() {
@@ -29,7 +30,11 @@ func run() error {
 		seed    = flag.Int64("seed", 2022, "simulation seed")
 		jobID   = flag.String("job", "synthetic-job", "job identifier")
 	)
+	applyLog := obslog.Flags(flag.CommandLine)
 	flag.Parse()
+	if err := applyLog(); err != nil {
+		return err
+	}
 
 	layout := amsim.ScaledLayout(*imagePx)
 	job, err := amsim.NewJob(*jobID, layout, *seed)

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"strata/internal/bench"
+	"strata/internal/obslog"
 	"strata/internal/telemetry"
 )
 
@@ -52,8 +53,15 @@ func run() error {
 			"write a CPU profile of the run to this file (go tool pprof)")
 		memProfile = flag.String("memprofile", "",
 			"write an allocation profile at exit to this file (go tool pprof)")
+		pprofOn = flag.Bool("pprof", false,
+			"mount /debug/pprof/ on the metrics address (requires -metrics-addr)")
 	)
+	applyLog := obslog.Flags(flag.CommandLine)
 	flag.Parse()
+	if err := applyLog(); err != nil {
+		return err
+	}
+	defer obslog.InstallSignalDump()()
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -83,8 +91,13 @@ func run() error {
 
 	if *metricsAddr != "" {
 		reg := telemetry.NewRegistry()
+		reg.Register(obslog.Recorder())
 		reg.Register(telemetry.GoRuntime{})
-		ms, err := telemetry.Serve(*metricsAddr, telemetry.NewHandler(reg))
+		var hopts []telemetry.HandlerOption
+		if *pprofOn {
+			hopts = append(hopts, telemetry.WithProfiling())
+		}
+		ms, err := telemetry.Serve(*metricsAddr, telemetry.NewHandler(reg, hopts...))
 		if err != nil {
 			return err
 		}

@@ -8,11 +8,11 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
 	"os"
 	"os/signal"
 	"syscall"
 
+	"strata/internal/obslog"
 	"strata/internal/pubsub"
 	"strata/internal/telemetry"
 )
@@ -30,36 +30,59 @@ func run() error {
 		"reap connections that send no frame for this long (0 disables); requires every client to heartbeat (DialReconnect) — plain subscribe-only clients are reaped as silent")
 	metricsAddr := flag.String("metrics-addr", "",
 		"serve Prometheus /metrics and /healthz on this address (empty disables)")
+	pprofOn := flag.Bool("pprof", false,
+		"mount /debug/pprof/ on the metrics address (requires -metrics-addr)")
+	applyLog := obslog.Flags(flag.CommandLine)
 	flag.Parse()
+	if err := applyLog(); err != nil {
+		return err
+	}
+	defer obslog.InstallSignalDump()()
+	log := obslog.L("broker")
 
 	var opts []pubsub.ServerOption
 	if *idleTimeout > 0 {
 		opts = append(opts, pubsub.WithIdleTimeout(*idleTimeout))
 	}
-	broker := pubsub.NewBroker()
+	// The broker records its delivery span for every traced publish passing
+	// through; /debug/trace/<id> serves those fragments to strata-trace.
+	traces := telemetry.NewTraceBuffer(telemetry.DefaultTraceCapacity).
+		WithLabels(telemetry.L("query", "broker"))
+	broker := pubsub.NewBroker(pubsub.WithTraceFragments(traces))
 	srv, err := pubsub.Serve(broker, *addr, opts...)
 	if err != nil {
 		return err
 	}
-	log.Printf("strata-broker listening on %s", srv.Addr())
+	log.Info("listening", "addr", srv.Addr())
 
 	if *metricsAddr != "" {
 		reg := telemetry.NewRegistry()
 		reg.Register(broker)
 		reg.Register(srv)
+		reg.Register(traces)
+		reg.Register(obslog.Recorder())
 		reg.Register(telemetry.GoRuntime{})
-		ms, err := telemetry.Serve(*metricsAddr, telemetry.NewHandler(reg))
+		hopts := []telemetry.HandlerOption{
+			telemetry.WithTraces(func() []telemetry.TraceSnapshot {
+				return traces.Slowest(0)
+			}),
+			telemetry.WithTraceLookup(traces.Find),
+		}
+		if *pprofOn {
+			hopts = append(hopts, telemetry.WithProfiling())
+		}
+		ms, err := telemetry.Serve(*metricsAddr, telemetry.NewHandler(reg, hopts...))
 		if err != nil {
 			return err
 		}
 		defer ms.Close()
-		log.Printf("metrics on http://%s/metrics", ms.Addr())
+		log.Info("metrics serving", "url", "http://"+ms.Addr()+"/metrics")
 	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	log.Printf("shutting down")
+	log.Info("shutting down")
 	if err := srv.Close(); err != nil {
 		return err
 	}

@@ -47,6 +47,7 @@ import (
 	"strata/internal/lint"
 	"strata/internal/lint/analysis"
 	"strata/internal/lint/analyzers"
+	"strata/internal/obslog"
 )
 
 func main() {
@@ -58,11 +59,16 @@ func main() {
 		baseline = flag.String("baseline", "", "baseline file of known findings; fail only when findings differ from it")
 		update   = flag.Bool("update", false, "rewrite the -baseline file from this run's findings and exit 0")
 	)
+	applyLog := obslog.Flags(flag.CommandLine)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: strata-lint [flags] [packages]\n\nflags:\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	if err := applyLog(); err != nil {
+		fmt.Fprintln(os.Stderr, "strata-lint:", err)
+		os.Exit(2)
+	}
 
 	if *list {
 		for _, a := range analyzers.All {

@@ -19,6 +19,7 @@ import (
 	"strata/internal/amsim"
 	"strata/internal/bench"
 	"strata/internal/core"
+	"strata/internal/obslog"
 	"strata/internal/telemetry"
 )
 
@@ -42,8 +43,15 @@ func run() error {
 			"serve Prometheus /metrics, /healthz, and /debug/traces on this address (empty disables)")
 		traceEvery = flag.Int("trace-every", 0,
 			"trace 1 in N source tuples through the pipeline (0 disables; inspect via /debug/traces)")
+		pprofOn = flag.Bool("pprof", false,
+			"mount /debug/pprof/ on the metrics address (requires -metrics-addr)")
 	)
+	applyLog := obslog.Flags(flag.CommandLine)
 	flag.Parse()
+	if err := applyLog(); err != nil {
+		return err
+	}
+	defer obslog.InstallSignalDump()()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -71,11 +79,18 @@ func run() error {
 	if *metricsAddr != "" {
 		reg := telemetry.NewRegistry()
 		reg.Register(fw)
+		reg.Register(obslog.Recorder())
 		reg.Register(telemetry.GoRuntime{})
-		ms, err := telemetry.Serve(*metricsAddr, telemetry.NewHandler(reg,
+		hopts := []telemetry.HandlerOption{
 			telemetry.WithTraces(func() []telemetry.TraceSnapshot {
 				return fw.Traces().Slowest(0)
-			})))
+			}),
+			telemetry.WithTraceLookup(fw.Traces().Find),
+		}
+		if *pprofOn {
+			hopts = append(hopts, telemetry.WithProfiling())
+		}
+		ms, err := telemetry.Serve(*metricsAddr, telemetry.NewHandler(reg, hopts...))
 		if err != nil {
 			return err
 		}

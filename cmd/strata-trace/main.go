@@ -1,0 +1,178 @@
+// Command strata-trace joins cross-process trace fragments into one
+// timeline. A sampled tuple that crosses process boundaries (source process
+// → strata-broker → sink process) leaves one span fragment per process, each
+// served by that process's /debug/trace/<id> endpoint; this tool fans a GET
+// across the given metrics addresses and merges what comes back.
+//
+//	strata-trace -addrs localhost:9091,localhost:9092 -list
+//	strata-trace -addrs localhost:9091,localhost:9092 -id 4bf92f3577b34da6a3ce929d0e0e4736
+//
+// -list asks each process for its slowest recent traces (/debug/traces) and
+// prints the distinct trace IDs seen, so an id for -id can be picked without
+// guessing. Output is a text timeline by default, or the merged JSON with
+// -format=json.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"strata/internal/obslog"
+	"strata/internal/telemetry"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "strata-trace:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addrs   = flag.String("addrs", "", "comma-separated metrics addresses (host:port) to query")
+		id      = flag.String("id", "", "hex trace ID to join across the addresses")
+		list    = flag.Bool("list", false, "list distinct trace IDs known to the addresses and exit")
+		format  = flag.String("format", "text", "output format: text or json")
+		timeout = flag.Duration("timeout", 5*time.Second, "per-request HTTP timeout")
+	)
+	applyLog := obslog.Flags(flag.CommandLine)
+	flag.Parse()
+	if err := applyLog(); err != nil {
+		return err
+	}
+
+	targets := splitAddrs(*addrs)
+	if len(targets) == 0 {
+		return fmt.Errorf("no -addrs given (want -addrs host:port[,host:port...])")
+	}
+	switch *format {
+	case "text", "json":
+	default:
+		return fmt.Errorf("unknown -format %q (want text or json)", *format)
+	}
+	client := &http.Client{Timeout: *timeout}
+
+	if *list {
+		return listTraces(client, targets)
+	}
+	if *id == "" {
+		return fmt.Errorf("no -id given (use -list to discover trace IDs)")
+	}
+
+	frags, misses := fetchFragments(client, targets, *id)
+	if len(frags) == 0 {
+		return fmt.Errorf("trace %s not found on any of %s", *id, strings.Join(targets, ", "))
+	}
+	for _, m := range misses {
+		fmt.Fprintln(os.Stderr, "strata-trace:", m)
+	}
+	merged := telemetry.MergeFragments(frags)
+	if *format == "json" {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(merged)
+	}
+	fmt.Print(merged.Timeline())
+	return nil
+}
+
+func splitAddrs(s string) []string {
+	var out []string
+	for _, a := range strings.Split(s, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// fragmentReport mirrors the /debug/trace/<id> response shape
+// (telemetry's fragmentReport).
+type fragmentReport struct {
+	TraceID   string                    `json:"trace_id"`
+	Count     int                       `json:"count"`
+	Fragments []telemetry.TraceSnapshot `json:"fragments"`
+}
+
+// traceReport mirrors the /debug/traces response shape.
+type traceReport struct {
+	Count  int                       `json:"count"`
+	Traces []telemetry.TraceSnapshot `json:"traces"`
+}
+
+// fetchFragments collects the trace's fragments from every target. A target
+// that is down or does not know the trace is reported in misses, not fatal:
+// a partial join (some processes already restarted) still has value.
+func fetchFragments(client *http.Client, targets []string, id string) (frags []telemetry.TraceSnapshot, misses []string) {
+	for _, t := range targets {
+		var rep fragmentReport
+		err := getJSON(client, fmt.Sprintf("http://%s/debug/trace/%s", t, id), &rep)
+		if err != nil {
+			misses = append(misses, fmt.Sprintf("%s: %v", t, err))
+			continue
+		}
+		frags = append(frags, rep.Fragments...)
+	}
+	return frags, misses
+}
+
+// listTraces prints the distinct trace IDs known across the targets,
+// with per-process fragment labels, newest information first per target.
+func listTraces(client *http.Client, targets []string) error {
+	type seenInfo struct {
+		labels []string
+		count  int
+	}
+	seen := make(map[string]*seenInfo)
+	var order []string
+	for _, t := range targets {
+		var rep traceReport
+		err := getJSON(client, fmt.Sprintf("http://%s/debug/traces?n=%d", t, telemetry.DefaultTraceCapacity), &rep)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "strata-trace: %s: %v\n", t, err)
+			continue
+		}
+		for _, tr := range rep.Traces {
+			if tr.TraceID == "" {
+				continue
+			}
+			in := seen[tr.TraceID]
+			if in == nil {
+				in = &seenInfo{}
+				seen[tr.TraceID] = in
+				order = append(order, tr.TraceID)
+			}
+			in.count++
+			lbl := fmt.Sprintf("%s[%d]/%s", tr.Process, tr.PID, tr.Label)
+			in.labels = append(in.labels, lbl)
+		}
+	}
+	if len(order) == 0 {
+		return fmt.Errorf("no traces reported by %s", strings.Join(targets, ", "))
+	}
+	sort.Strings(order)
+	for _, id := range order {
+		in := seen[id]
+		fmt.Printf("%s  %d fragment(s): %s\n", id, in.count, strings.Join(in.labels, ", "))
+	}
+	return nil
+}
+
+func getJSON(client *http.Client, url string, into any) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(into)
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"strata/internal/otimage"
+	"strata/internal/telemetry"
 )
 
 // Binary codec for EventTuples crossing the pub/sub connectors. Layout
@@ -23,7 +24,23 @@ import (
 //	    key     uvarint length + bytes
 //	    type    byte (valString..valImage)
 //	    value   type-specific
+//	trace trailer (optional, only when the tuple carries a sampled Trace):
+//	    tag     byte 0x54 ('T')
+//	    traceID 16 bytes
+//	    spanID  8 bytes
+//	    flags   byte (bit 0: sampled)
+//
+// The trailer rides after the KV section so decoders that predate it (which
+// stop at the KV count they read) ignore it, and its absence costs untraced
+// tuples nothing. A decoder that finds it continues the trace: the decoded
+// tuple's Trace has the same trace ID with the sender's span as parent, which
+// is how one trace spans the source process, the broker, and the sink
+// process.
 const tupleMagic uint32 = 0x53545450 // "STTP"
+
+// traceTrailerTag marks the optional trace-context trailer after the KV
+// section of an encoded tuple.
+const traceTrailerTag byte = 0x54 // 'T'
 
 // KV value type tags.
 const (
@@ -41,9 +58,11 @@ var ErrUnsupportedValue = fmt.Errorf("strata: unsupported KV value type")
 
 // GobEncode implements gob.GobEncoder by delegating to the connector codec,
 // so EventTuple can sit inside gob-encoded operator state (checkpoint
-// blobs: join buffers, reorder queues, correlate windows). As on the wire,
-// Trace is dropped — traces are process-local diagnostics and do not
-// survive a restart — and KV values must belong to the codec's type set.
+// blobs: join buffers, reorder queues, correlate windows). A sampled Trace
+// travels as a compact trace-context trailer (trace ID, span ID, flags) so
+// a span continues across broker hops and checkpoint restores; the span
+// timings themselves stay process-local. KV values must belong to the
+// codec's type set.
 func (t EventTuple) GobEncode() ([]byte, error) { return EncodeTuple(t) }
 
 // GobDecode implements gob.GobDecoder via the connector codec.
@@ -92,6 +111,19 @@ func EncodeTuple(t EventTuple) ([]byte, error) {
 		buf, err = appendValue(buf, v)
 		if err != nil {
 			return nil, fmt.Errorf("key %q: %w", k, err)
+		}
+	}
+	if t.Trace != nil {
+		tc := t.Trace.Context()
+		if tc.Valid() {
+			buf = append(buf, traceTrailerTag)
+			buf = append(buf, tc.TraceID[:]...)
+			buf = append(buf, tc.SpanID[:]...)
+			var flags byte
+			if tc.Sampled {
+				flags |= 1
+			}
+			buf = append(buf, flags)
 		}
 	}
 	return buf, nil
@@ -252,6 +284,23 @@ func DecodeTuple(data []byte) (EventTuple, error) {
 			return t, fmt.Errorf("key %q: %w", key, err)
 		}
 		t.KV[key] = val
+	}
+	// Optional trace-context trailer: frames from peers that predate it end
+	// exactly at the KV section, and unknown trailing bytes stay ignored (as
+	// they always were) so codec evolution keeps working in both directions.
+	const trailerLen = 1 + 16 + 8 + 1
+	if len(d.b)-d.pos >= trailerLen && d.b[d.pos] == traceTrailerTag {
+		var tc telemetry.TraceContext
+		d.pos++
+		copy(tc.TraceID[:], d.b[d.pos:d.pos+16])
+		d.pos += 16
+		copy(tc.SpanID[:], d.b[d.pos:d.pos+8])
+		d.pos += 8
+		tc.Sampled = d.b[d.pos]&1 != 0
+		d.pos++
+		if tc.Valid() {
+			t.Trace = telemetry.ContinueTrace(tc, "wire")
+		}
 	}
 	return t, nil
 }

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"strata/internal/telemetry"
+)
+
+// TestCodecTraceTrailerRoundTrip encodes a traced tuple and checks the
+// decoded tuple carries a continued trace: same trace ID, the sender's span
+// as parent, a fresh local span ID.
+func TestCodecTraceTrailerRoundTrip(t *testing.T) {
+	tup := EventTuple{
+		TS:    time.UnixMicro(1_000_000),
+		Job:   "j",
+		Layer: 3,
+		KV:    map[string]any{"power": 42.0},
+		Trace: telemetry.NewTrace(1, "src"),
+	}
+	sent := tup.Trace.Snapshot()
+
+	data, err := EncodeTuple(tup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeTuple(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Trace == nil {
+		t.Fatal("decoded tuple lost its trace context")
+	}
+	snap := got.Trace.Snapshot()
+	if snap.TraceID != sent.TraceID {
+		t.Errorf("trace ID = %s, want %s", snap.TraceID, sent.TraceID)
+	}
+	if snap.ParentSpanID != sent.SpanID {
+		t.Errorf("parent span = %s, want sender span %s", snap.ParentSpanID, sent.SpanID)
+	}
+	if snap.SpanID == sent.SpanID {
+		t.Errorf("decoded fragment reused the sender's span ID %s", snap.SpanID)
+	}
+	if !got.Trace.Context().Sampled {
+		t.Error("decoded trace not sampled")
+	}
+	// Payload fields survive alongside the trailer.
+	if got.Job != "j" || got.Layer != 3 {
+		t.Errorf("payload = job %q layer %d", got.Job, got.Layer)
+	}
+	if v, _ := got.GetFloat("power"); v != 42.0 {
+		t.Errorf("KV power = %v", v)
+	}
+}
+
+// TestCodecNoTraceNoTrailer: untraced tuples encode without the trailer —
+// zero overhead — and decode with a nil Trace.
+func TestCodecNoTraceNoTrailer(t *testing.T) {
+	tup := EventTuple{TS: time.UnixMicro(5), Job: "j", KV: map[string]any{"k": "v"}}
+	plain, err := EncodeTuple(tup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tup.Trace = telemetry.NewTrace(1, "src")
+	traced, err := EncodeTuple(tup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const trailerLen = 1 + 16 + 8 + 1
+	if len(traced) != len(plain)+trailerLen {
+		t.Errorf("traced frame is %d bytes, untraced %d; want exactly +%d for the trailer",
+			len(traced), len(plain), trailerLen)
+	}
+	got, err := DecodeTuple(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Trace != nil {
+		t.Errorf("untraced frame decoded with a trace: %+v", got.Trace.Snapshot())
+	}
+}
+
+// TestCodecOldFrameCompat: a frame from a peer that predates the trailer
+// (ends exactly at the KV section) still decodes, and unknown trailing bytes
+// that do NOT start with the trailer tag remain ignored — codec evolution
+// keeps working in both directions.
+func TestCodecOldFrameCompat(t *testing.T) {
+	tup := EventTuple{TS: time.UnixMicro(7), Job: "legacy", KV: map[string]any{"n": int64(9)}}
+	old, err := EncodeTuple(tup) // no trace → identical to a pre-trailer frame
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeTuple(old)
+	if err != nil {
+		t.Fatalf("pre-trailer frame failed to decode: %v", err)
+	}
+	if got.Job != "legacy" || got.Trace != nil {
+		t.Errorf("decoded = job %q trace %v, want legacy/nil", got.Job, got.Trace)
+	}
+
+	// Trailing garbage that is not a trace trailer (wrong tag) is ignored,
+	// as it was before the trailer existed.
+	withJunk := append(append([]byte(nil), old...), 0xFF, 1, 2, 3)
+	got, err = DecodeTuple(withJunk)
+	if err != nil {
+		t.Fatalf("frame with unknown trailing bytes failed to decode: %v", err)
+	}
+	if got.Job != "legacy" || got.Trace != nil {
+		t.Errorf("decoded with junk = job %q trace %v, want legacy/nil", got.Job, got.Trace)
+	}
+
+	// A truncated trailer (tag present but bytes missing) is likewise left
+	// alone rather than misread.
+	truncated := append(append([]byte(nil), old...), traceTrailerTag, 0xAB)
+	got, err = DecodeTuple(truncated)
+	if err != nil {
+		t.Fatalf("frame with truncated trailer failed to decode: %v", err)
+	}
+	if got.Trace != nil {
+		t.Error("truncated trailer produced a trace")
+	}
+}
+
+// TestCodecGobRoundTripKeepsTrace: checkpoint blobs gob-encode tuples via
+// the connector codec, so a traced tuple inside operator state continues its
+// trace across a restore.
+func TestCodecGobRoundTripKeepsTrace(t *testing.T) {
+	tup := EventTuple{TS: time.UnixMicro(11), Job: "j", Trace: telemetry.NewTrace(2, "ckpt")}
+	sent := tup.Trace.Snapshot()
+	data, err := tup.GobEncode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got EventTuple
+	if err := got.GobDecode(data); err != nil {
+		t.Fatal(err)
+	}
+	if got.Trace == nil {
+		t.Fatal("gob round trip lost the trace")
+	}
+	if snap := got.Trace.Snapshot(); snap.TraceID != sent.TraceID || snap.ParentSpanID != sent.SpanID {
+		t.Errorf("gob round trip = trace %s parent %s, want trace %s parent %s",
+			snap.TraceID, snap.ParentSpanID, sent.TraceID, sent.SpanID)
+	}
+}

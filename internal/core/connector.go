@@ -85,13 +85,26 @@ func (fw *Framework) tap(
 		return s
 	}
 	broker := fw.broker
+	traces := fw.query.Traces()
 	return stream.FlatMap(fw.query, opName, s, func(t EventTuple, emit stream.Emit[EventTuple]) error {
 		if !t.isMarker() {
 			data, err := EncodeTuple(t)
 			if err != nil {
 				return fmt.Errorf("connector %s: %w", opName, err)
 			}
-			if err := broker.Publish(subject(streamName, t.Job), data); err != nil {
+			msg := pubsub.Message{Subject: subject(streamName, t.Job), Data: data}
+			if t.Trace != nil {
+				if tc := t.Trace.Context(); tc.Valid() && tc.Sampled {
+					// The tuple may leave this process here (a remote
+					// subscriber continues it), so carry the trace context in
+					// the frame and file the local fragment now — Add is
+					// idempotent, a local sink finishing the trace later just
+					// seals the same entry.
+					msg.Traceparent = tc.Traceparent()
+					traces.Add(t.Trace)
+				}
+			}
+			if err := broker.PublishMsg(msg); err != nil {
 				return fmt.Errorf("connector %s: %w", opName, err)
 			}
 		}
@@ -134,6 +147,7 @@ func (fw *Framework) AddReplaySource(name string, store *pubsub.LogStore, subjec
 			if err != nil {
 				return fmt.Errorf("replay source %q: %w", name, err)
 			}
+			t.Trace.Relabel(name)
 			t.AvailableAt = time.Now()
 			if t.Specimen == "" {
 				t.Specimen = DefaultSpecimen
@@ -214,6 +228,7 @@ func (fw *Framework) AddBrokerSource(name, pattern string, stopAfter int, subOpt
 				if err != nil {
 					return fmt.Errorf("broker source %q: %w", name, err)
 				}
+				t.Trace.Relabel(name)
 				t.AvailableAt = time.Now()
 				if t.Specimen == "" {
 					t.Specimen = DefaultSpecimen

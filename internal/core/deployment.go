@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"strata/internal/kvstore"
+	"strata/internal/obslog"
 	"strata/internal/pubsub"
 )
 
@@ -504,6 +505,12 @@ func (m *Manager) checkpointPipeline(ctx context.Context, p *Pipeline) error {
 	st.lastUnixNano.Store(time.Now().UnixNano())
 	st.duration.ObserveDuration(time.Since(begin))
 	st.size.Observe(float64(size))
+	// The committed epoch goes through the structured log so the flight
+	// recorder's ring holds it: a post-crash dump then answers "what was the
+	// last durable state?" without consulting the store.
+	obslog.L("core").Info("checkpoint committed",
+		"pipeline", p.name, "epoch", epoch, "bytes", size,
+		"duration", time.Since(begin).String())
 	return nil
 }
 
@@ -562,6 +569,12 @@ func (p *Pipeline) setTerminal(s PipelineStatus, err error) {
 		p.lastFailure = time.Now()
 	}
 	p.mu.Unlock()
+	l := obslog.L("core")
+	if err != nil {
+		l.Error("pipeline terminal", "pipeline", p.name, "status", s.String(), "error", err.Error())
+	} else {
+		l.Info("pipeline terminal", "pipeline", p.name, "status", s.String())
+	}
 }
 
 func (p *Pipeline) restartCount() int {
@@ -591,13 +604,17 @@ func (p *Pipeline) resetStreak() {
 // doubling).
 func (p *Pipeline) beginRestart(err error) int {
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	p.restarts++
 	p.streak++
 	p.status = StatusRestarting
 	p.err = err // last failure, visible while restarting
 	p.lastFailure = time.Now()
-	return p.streak
+	streak, restarts := p.streak, p.restarts
+	p.mu.Unlock()
+	obslog.L("core").Warn("pipeline restarting",
+		"pipeline", p.name, "attempt", streak, "restarts", restarts,
+		"error", fmt.Sprint(err))
+	return streak
 }
 
 // Name returns the pipeline's name.

@@ -1,14 +1,18 @@
 package core
 
 import (
+	"os"
 	"testing"
 
 	"strata/internal/leakcheck"
+	"strata/internal/obslog"
 )
 
 // TestMain fails the package if any test leaves a goroutine behind —
 // deployments, supervisors, and TCP connectors must be shut down before a
-// test returns.
+// test returns. Flight-recorder dumps from induced crashes go to the OS
+// temp dir, not a bench-out/ directory inside the source tree.
 func TestMain(m *testing.M) {
+	obslog.SetCrashDir(os.TempDir())
 	leakcheck.VerifyTestMain(m)
 }

@@ -1,0 +1,349 @@
+package core
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"strata/internal/obslog"
+	"strata/internal/pubsub"
+	"strata/internal/telemetry"
+)
+
+// The obs-smoke topology: this test process runs the SOURCE half of a
+// pipeline, a re-exec'ed helper runs a strata-broker-shaped BROKER process,
+// and a second helper runs the SINK half. A sampled tuple's trace context
+// rides the pubsub frames and the tuple codec across both hops, so all three
+// processes record fragments of the same trace, each served by its own
+// /debug/trace/<id> endpoint — which this test fetches and merges, the same
+// join the strata-trace command performs.
+const (
+	obsRoleEnv      = "STRATA_OBS_ROLE"
+	obsBrokerEnv    = "STRATA_OBS_BROKER"
+	obsCountEnv     = "STRATA_OBS_COUNT"
+	obsSmokeLayers  = 8
+	obsSmokeSubject = "strata.raw.obs.smoke"
+)
+
+// TestObsSmokeHelper is not a test: it is the entry point of the re-exec'ed
+// broker/worker helper processes. Without the role env var it skips.
+func TestObsSmokeHelper(t *testing.T) {
+	switch os.Getenv(obsRoleEnv) {
+	case "":
+		t.Skip("helper process entry point; set " + obsRoleEnv)
+	case "broker":
+		obsBrokerRole()
+	case "worker":
+		obsWorkerRole()
+	}
+	os.Exit(0) // skip the leak check; helper teardown is the process exit
+}
+
+func obsHelperFatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "obs-helper: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// obsBrokerRole is a strata-broker in miniature: TCP pubsub server whose
+// broker records a delivery span fragment per traced message, plus a
+// telemetry endpoint serving those fragments.
+func obsBrokerRole() {
+	traces := telemetry.NewTraceBuffer(telemetry.DefaultTraceCapacity)
+	broker := pubsub.NewBroker(pubsub.WithTraceFragments(traces))
+	defer broker.Close()
+	srv, err := pubsub.Serve(broker, "127.0.0.1:0")
+	if err != nil {
+		obsHelperFatal("serve pubsub: %v", err)
+	}
+	defer srv.Close()
+	msrv, err := telemetry.Serve("127.0.0.1:0",
+		telemetry.NewHandler(telemetry.NewRegistry(), telemetry.WithTraceLookup(traces.Find)))
+	if err != nil {
+		obsHelperFatal("serve metrics: %v", err)
+	}
+	defer msrv.Close()
+	fmt.Printf("PUBSUB %s\n", srv.Addr())
+	fmt.Printf("METRICS %s\n", msrv.Addr())
+	io.Copy(io.Discard, os.Stdin) // run until the parent closes our stdin
+}
+
+// obsWorkerRole is the sink half of the split pipeline: an AddConnSource
+// consuming the raw subject from the broker process, delivered to a local
+// sink that seals each trace fragment.
+func obsWorkerRole() {
+	// TestMain pinned the crash dir to os.TempDir(); restore the deployment
+	// behaviour of honouring STRATA_FLIGHTREC_DIR for this helper.
+	if dir := os.Getenv("STRATA_FLIGHTREC_DIR"); dir != "" {
+		obslog.SetCrashDir(dir)
+	}
+	defer obslog.InstallSignalDump()() // SIGQUIT → flight-recorder dump
+	n, err := strconv.Atoi(os.Getenv(obsCountEnv))
+	if err != nil || n <= 0 {
+		obsHelperFatal("bad %s: %v", obsCountEnv, err)
+	}
+	dir, err := os.MkdirTemp("", "obs-worker-store")
+	if err != nil {
+		obsHelperFatal("store dir: %v", err)
+	}
+	defer os.RemoveAll(dir)
+	rc, err := pubsub.DialReconnect(os.Getenv(obsBrokerEnv))
+	if err != nil {
+		obsHelperFatal("dial broker: %v", err)
+	}
+	defer rc.Close()
+	fw, err := New(WithStoreDir(dir), WithName("worker-host"))
+	if err != nil {
+		obsHelperFatal("framework: %v", err)
+	}
+	defer fw.Close()
+	in := fw.AddConnSource("tap", rc, obsSmokeSubject, n)
+	fw.Deliver("expert", in, func(t EventTuple) error { return nil })
+	msrv, err := telemetry.Serve("127.0.0.1:0",
+		telemetry.NewHandler(telemetry.NewRegistry(), telemetry.WithTraceLookup(fw.Traces().Find)))
+	if err != nil {
+		obsHelperFatal("serve metrics: %v", err)
+	}
+	defer msrv.Close()
+	fmt.Printf("METRICS %s\n", msrv.Addr())
+
+	// The source subscribes inside Run; gate READY on the subscription being
+	// live at the broker so the parent doesn't publish into the void.
+	runErr := make(chan error, 1)
+	go func() { runErr <- fw.Run(context.Background()) }()
+	for start := time.Now(); rc.ActiveSubscriptions() == 0; {
+		if time.Since(start) > 10*time.Second {
+			obsHelperFatal("source subscription never came up")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if err := rc.Ping(5 * time.Second); err != nil { // broker applied the subscribe
+		obsHelperFatal("readiness ping: %v", err)
+	}
+	fmt.Printf("READY\n")
+	if err := <-runErr; err != nil {
+		obsHelperFatal("run: %v", err)
+	}
+	fmt.Printf("DONE\n")
+	io.Copy(io.Discard, os.Stdin)
+}
+
+// obsHelper wraps one re-exec'ed helper process and the line protocol on its
+// stdout.
+type obsHelper struct {
+	cmd   *exec.Cmd
+	stdin io.WriteCloser
+	lines chan string
+	wait  sync.Once
+}
+
+func startObsHelper(t *testing.T, role string, extraEnv ...string) *obsHelper {
+	t.Helper()
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(exe, "-test.run=TestObsSmokeHelper$")
+	cmd.Env = append(os.Environ(), obsRoleEnv+"="+role)
+	cmd.Env = append(cmd.Env, extraEnv...)
+	cmd.Stderr = os.Stderr
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start %s helper: %v", role, err)
+	}
+	h := &obsHelper{cmd: cmd, stdin: stdin, lines: make(chan string, 16)}
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			select {
+			case h.lines <- sc.Text():
+			default: // helper chatter beyond the protocol lines; drop
+			}
+		}
+		close(h.lines)
+	}()
+	t.Cleanup(func() { h.stop() })
+	return h
+}
+
+// expect reads protocol lines until one starts with prefix, returning the
+// rest of that line.
+func (h *obsHelper) expect(t *testing.T, prefix string) string {
+	t.Helper()
+	deadline := time.After(30 * time.Second)
+	for {
+		select {
+		case line, ok := <-h.lines:
+			if !ok {
+				t.Fatalf("helper exited before printing %q", prefix)
+			}
+			if rest, found := strings.CutPrefix(line, prefix); found {
+				return strings.TrimSpace(rest)
+			}
+		case <-deadline:
+			t.Fatalf("timed out waiting for %q from helper", prefix)
+		}
+	}
+}
+
+// stop closes the helper's stdin (its run-until signal) and reaps it.
+func (h *obsHelper) stop() {
+	h.wait.Do(func() {
+		h.stdin.Close()
+		done := make(chan struct{})
+		go func() { h.cmd.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			h.cmd.Process.Kill()
+			<-done
+		}
+	})
+}
+
+// fetchFragments GETs one process's span fragments for a trace, tolerating
+// 404 (fragments not filed yet) by returning nil.
+func fetchFragments(t *testing.T, addr, id string) []telemetry.TraceSnapshot {
+	t.Helper()
+	resp, err := http.Get(fmt.Sprintf("http://%s/debug/trace/%s", addr, id))
+	if err != nil {
+		t.Fatalf("GET /debug/trace/%s from %s: %v", id, addr, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		return nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /debug/trace/%s from %s: %s", id, addr, resp.Status)
+	}
+	var rep struct {
+		Fragments []telemetry.TraceSnapshot `json:"fragments"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		t.Fatalf("decode fragments from %s: %v", addr, err)
+	}
+	return rep.Fragments
+}
+
+// TestObsSmokeCrossProcess is the make obs-smoke entry point: a pipeline
+// split across three OS processes yields ONE merged trace with span
+// fragments from every process, assembled from their /debug/trace/<id>
+// endpoints; and SIGQUIT leaves a flight-recorder dump.
+func TestObsSmokeCrossProcess(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns helper processes")
+	}
+	flightDir := t.TempDir()
+
+	brokerProc := startObsHelper(t, "broker")
+	pubsubAddr := brokerProc.expect(t, "PUBSUB ")
+	brokerMetrics := brokerProc.expect(t, "METRICS ")
+
+	workerProc := startObsHelper(t, "worker",
+		obsBrokerEnv+"="+pubsubAddr,
+		obsCountEnv+"="+strconv.Itoa(obsSmokeLayers),
+		"STRATA_FLIGHTREC_DIR="+flightDir)
+	workerMetrics := workerProc.expect(t, "METRICS ")
+	workerProc.expect(t, "READY") // worker's subscription is live at the broker
+
+	// Source half, in this process: every tuple sampled, shipped to the
+	// broker process over TCP.
+	rc, err := pubsub.DialReconnect(pubsubAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	fw := newTestFramework(t, WithTraceSampling(1), WithName("source-host"))
+	src := fw.AddSource("collect", layersSource("smoke", obsSmokeLayers, func(layer int) map[string]any {
+		return map[string]any{"power": float64(layer)}
+	}))
+	fw.DeliverToConn("ship", src, rc, func(job string) string { return obsSmokeSubject })
+	if err := runFW(t, fw); err != nil {
+		t.Fatalf("source run: %v", err)
+	}
+	if workerProc.expect(t, "DONE") != "" {
+		t.Fatal("unexpected DONE payload")
+	}
+
+	local := fw.Traces().Slowest(0)
+	if len(local) == 0 {
+		t.Fatal("source recorded no trace fragments")
+	}
+	id := local[0].TraceID
+	if id == "" {
+		t.Fatal("source fragment has no trace ID")
+	}
+
+	// Merge this process's fragments with the broker's and the worker's —
+	// what `strata-trace -addrs broker,worker -id <id>` does. The worker
+	// seals its fragment when the sink runs; poll briefly for it.
+	var merged telemetry.MergedTrace
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		frags := fw.Traces().Find(id)
+		frags = append(frags, fetchFragments(t, brokerMetrics, id)...)
+		frags = append(frags, fetchFragments(t, workerMetrics, id)...)
+		merged = telemetry.MergeFragments(frags)
+		if len(merged.Processes) >= 3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("merged trace spans %d process(es) (%v), want 3:\n%s",
+				len(merged.Processes), merged.Processes, merged.Timeline())
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if merged.TraceID != id {
+		t.Errorf("merged trace ID = %q, want %q", merged.TraceID, id)
+	}
+	pids := map[int]bool{}
+	for _, f := range merged.Fragments {
+		pids[f.PID] = true
+	}
+	if len(pids) < 3 {
+		t.Errorf("fragments from %d distinct PIDs, want 3:\n%s", len(pids), merged.Timeline())
+	}
+	if !strings.Contains(merged.Timeline(), "broker/"+obsSmokeSubject) {
+		t.Errorf("merged timeline lacks the broker hop:\n%s", merged.Timeline())
+	}
+
+	// SIGQUIT the worker: its signal hook must dump the flight recorder to
+	// STRATA_FLIGHTREC_DIR before the runtime's default handler kills it.
+	if err := workerProc.cmd.Process.Signal(syscall.SIGQUIT); err != nil {
+		t.Fatal(err)
+	}
+	dumpPath := filepath.Join(flightDir, fmt.Sprintf("flightrec-%d.json", workerProc.cmd.Process.Pid))
+	deadline = time.Now().Add(10 * time.Second)
+	for {
+		if data, err := os.ReadFile(dumpPath); err == nil {
+			var dump obslog.Dump
+			if err := json.Unmarshal(data, &dump); err == nil && dump.Reason == "SIGQUIT" {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no SIGQUIT flight-recorder dump at %s", dumpPath)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	workerProc.stop()
+	brokerProc.stop()
+}

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"fmt"
 	"math"
 	"sync/atomic"
 	"time"
 
+	"strata/internal/obslog"
 	"strata/internal/telemetry"
 )
 
@@ -203,6 +205,8 @@ func (oc *overloadController) run() {
 					lvl++
 					oc.level.Store(int64(lvl))
 					oc.transitions[lvl].Add(1)
+					obslog.L("core").Warn("overload ladder up",
+						"level", lvl.String(), "pressure", fmt.Sprintf("%.3f", p))
 					since = now
 				}
 			case p <= oc.cfg.Exit && lvl > OverloadNone:
@@ -213,6 +217,8 @@ func (oc *overloadController) run() {
 					lvl--
 					oc.level.Store(int64(lvl))
 					oc.transitions[lvl].Add(1)
+					obslog.L("core").Info("overload ladder down",
+						"level", lvl.String(), "pressure", fmt.Sprintf("%.3f", p))
 					since = now
 				}
 			default:

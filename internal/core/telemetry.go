@@ -146,3 +146,22 @@ func (m *Manager) Traces() []telemetry.TraceSnapshot {
 	sort.Slice(all, func(i, j int) bool { return all[i].Total > all[j].Total })
 	return all
 }
+
+// FindTrace returns every buffered fragment of the hex trace ID across all
+// live pipelines — this process's contribution to a cross-process trace.
+// Wire it with telemetry.WithTraceLookup(manager.FindTrace); the strata-trace
+// tool joins the answers from several processes into one timeline.
+func (m *Manager) FindTrace(id string) []telemetry.TraceSnapshot {
+	m.mu.Lock()
+	live := make([]*Pipeline, 0, len(m.pipelines))
+	for _, p := range m.pipelines {
+		live = append(live, p)
+	}
+	m.mu.Unlock()
+
+	var all []telemetry.TraceSnapshot
+	for _, p := range live {
+		all = append(all, p.Framework().Traces().Find(id)...)
+	}
+	return all
+}

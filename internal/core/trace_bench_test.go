@@ -1,0 +1,59 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// BenchmarkTraceSamplingOverhead measures the data-plane cost of trace
+// sampling: one in-process source → sink pipeline pushed through with
+// tracing off, 1-in-100, and every-tuple sampling. The "off" case is the
+// regression gate for DESIGN.md §12 — with sampling disabled the per-tuple
+// cost is a nil Trace check, so off must track the pre-tracing baseline.
+func BenchmarkTraceSamplingOverhead(b *testing.B) {
+	const layers = 256
+	for _, c := range []struct {
+		name  string
+		every int
+	}{
+		{"off", 0},
+		{"sparse100", 100},
+		{"every", 1},
+	} {
+		b.Run(c.name, func(b *testing.B) {
+			var tuples int
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				fw, err := New(WithStoreDir(b.TempDir()), WithTraceSampling(c.every))
+				if err != nil {
+					b.Fatal(err)
+				}
+				src := fw.AddSource("collect", layersSource("bench", layers, func(layer int) map[string]any {
+					return map[string]any{"power": float64(layer)}
+				}))
+				n := 0
+				fw.Deliver("sink", src, func(t EventTuple) error { n++; return nil })
+				ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+				b.StartTimer()
+				err = fw.Run(ctx)
+				b.StopTimer()
+				cancel()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if n != layers {
+					b.Fatalf("sink saw %d tuples, want %d", n, layers)
+				}
+				tuples += n
+				fw.Close()
+				b.StartTimer()
+			}
+			b.StopTimer()
+			if sec := b.Elapsed().Seconds(); sec > 0 {
+				b.ReportMetric(float64(tuples)/sec, "tuples/s")
+			}
+		})
+	}
+}

@@ -1,6 +1,11 @@
 package faultinject
 
-import "sync"
+import (
+	"fmt"
+	"sync"
+
+	"strata/internal/obslog"
+)
 
 // Crashpoints is a registry of named failure sites for crash-recovery
 // tests. Production code threads Hit calls through the places a process
@@ -44,21 +49,30 @@ func (c *Crashpoints) Disarm(name string) {
 }
 
 // Hit reports the armed error when name's countdown has elapsed, and nil
-// otherwise (including for sites never armed).
+// otherwise (including for sites never armed). The first firing of an arm
+// dumps the flight recorder (see obslog.Crash): an injected crash should
+// leave the same black-box record a real one would.
 func (c *Crashpoints) Hit(name string) error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	a, ok := c.arms[name]
 	if !ok {
+		c.mu.Unlock()
 		return nil
 	}
 	if a.remaining > 1 {
 		a.remaining--
+		c.mu.Unlock()
 		return nil
 	}
 	a.remaining = 1 // keep firing
 	a.fired++
-	return a.err
+	first := a.fired == 1
+	err := a.err
+	c.mu.Unlock()
+	if first {
+		obslog.Crash("crashpoint fired", "crashpoint", name, "error", fmt.Sprint(err))
+	}
+	return err
 }
 
 // Fired returns how many times the named site has returned its error.

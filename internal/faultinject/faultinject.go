@@ -35,8 +35,10 @@ func New() *Injector {
 	return &Injector{conns: make(map[*Conn]struct{})}
 }
 
-// SetDelay makes every subsequent Read on every wrapped connection sleep d
-// before reading (0 disables). It models a slow or congested link.
+// SetDelay makes every wrapped connection sleep d before delivering read
+// bytes (0 disables). It models a slow or congested link. The delay is
+// sampled when bytes arrive, not when the Read is entered, so it applies
+// even to reads that were already blocking when SetDelay was called.
 func (i *Injector) SetDelay(d time.Duration) {
 	i.mu.Lock()
 	i.delay = d
@@ -146,16 +148,11 @@ type Conn struct {
 	closed    chan struct{}
 }
 
-// Read applies the injector's delay, blackhole, and byte-drop faults before
-// delegating to the underlying connection.
+// Read applies the injector's blackhole, delay, and byte-drop faults around
+// the underlying connection's Read. The delay is paid after bytes arrive and
+// before they are delivered, so a SetDelay racing an already-blocked Read
+// still slows the bytes that read returns.
 func (c *Conn) Read(p []byte) (int, error) {
-	if d := c.inj.currentDelay(); d > 0 {
-		select {
-		case <-time.After(d):
-		case <-c.closed:
-			return 0, net.ErrClosed
-		}
-	}
 	if c.blackhole.Load() {
 		<-c.closed
 		return 0, net.ErrClosed
@@ -163,6 +160,13 @@ func (c *Conn) Read(p []byte) (int, error) {
 	for {
 		n, err := c.Conn.Read(p)
 		if n > 0 {
+			if d := c.inj.currentDelay(); d > 0 {
+				select {
+				case <-time.After(d):
+				case <-c.closed:
+					return 0, net.ErrClosed
+				}
+			}
 			if drop := c.inj.takeDrop(n); drop > 0 {
 				n = copy(p, p[drop:n])
 				if n == 0 && err == nil {

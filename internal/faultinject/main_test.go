@@ -1,13 +1,18 @@
 package faultinject
 
 import (
+	"os"
 	"testing"
 
 	"strata/internal/leakcheck"
+	"strata/internal/obslog"
 )
 
 // TestMain fails the package if any test leaves a goroutine behind — every
-// proxy started by a test must be closed before it returns.
+// proxy started by a test must be closed before it returns. Flight-recorder
+// dumps from armed crashpoints go to the OS temp dir, not a bench-out/
+// directory inside the source tree.
 func TestMain(m *testing.M) {
+	obslog.SetCrashDir(os.TempDir())
 	leakcheck.VerifyTestMain(m)
 }

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"os"
 	"time"
+
+	"strata/internal/obslog"
 )
 
 // compactLocked merges every SSTable into a single new table. Within the
@@ -99,5 +101,8 @@ func (db *DB) compactLocked() error {
 	}
 	db.compactions++
 	db.compactionSeconds.ObserveDuration(time.Since(start))
+	obslog.L("kvstore").Debug("compaction finished",
+		"tables", len(old), "entries", len(merged),
+		"duration", time.Since(start).String())
 	return nil
 }

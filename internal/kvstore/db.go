@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"strata/internal/obslog"
 	"strata/internal/telemetry"
 )
 
@@ -420,5 +421,8 @@ func (db *DB) flushLocked() error {
 	db.wal = w
 	db.flushes++
 	db.flushSeconds.ObserveDuration(time.Since(start))
+	obslog.L("kvstore").Debug("memtable flushed",
+		"entries", len(entries), "sstable", num,
+		"duration", time.Since(start).String())
 	return nil
 }

@@ -6,6 +6,7 @@ import (
 	"go/types"
 	"regexp"
 	"sort"
+	"strings"
 
 	"strata/internal/lint/analysis"
 )
@@ -30,6 +31,9 @@ func (*MetricNames) AFact() {}
 //     which turns label-shaped data into unbounded time series
 //   - snake_case matching ^[a-z][a-z0-9_]*$
 //   - prefixed strata_ (or go_ for the runtime-stats mirror)
+//   - outside a reserved sub-prefix unless emitted by that prefix's owning
+//     package (strata_trace_ belongs to telemetry, strata_flightrec_ to
+//     obslog), so observability series stay single-sourced
 //   - registered with one help string per package, and not already owned
 //     by an imported package (checked via the MetricNames package fact)
 var Metricname = &analysis.Analyzer{
@@ -40,6 +44,26 @@ var Metricname = &analysis.Analyzer{
 }
 
 var metricNameRE = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
+
+// reservedMetricPrefixes maps a reserved series prefix to the import path
+// of the only package allowed to emit it. Kept sorted at use via
+// sortedPrefixes so reports are deterministic. Testdata fakes mirror the
+// real package layout under their own module roots, so ownership is matched
+// on the path suffix.
+var reservedMetricPrefixes = map[string]string{
+	"strata_trace_":     "strata/internal/telemetry",
+	"strata_flightrec_": "strata/internal/obslog",
+}
+
+// sortedPrefixes returns reservedMetricPrefixes' keys in stable order.
+func sortedPrefixes() []string {
+	keys := make([]string, 0, len(reservedMetricPrefixes))
+	for k := range reservedMetricPrefixes {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
 
 func runMetricname(pass *analysis.Pass) (any, error) {
 	emitted := make(map[string]string) // name -> help, this package
@@ -72,6 +96,17 @@ func runMetricname(pass *analysis.Pass) (any, error) {
 				pass.Reportf(nameArg.Pos(),
 					"metric name %q lacks the strata_ prefix (go_ is reserved for the runtime-stats mirror)", name)
 				return true
+			}
+			for _, rp := range sortedPrefixes() {
+				if !prefixed(name, rp) {
+					continue
+				}
+				owner := reservedMetricPrefixes[rp]
+				if !strings.HasSuffix(pass.Pkg.Path(), owner) {
+					pass.Reportf(nameArg.Pos(),
+						"metric %q uses the reserved prefix %s, owned by %s; emit it through that package's collector instead", name, rp, owner)
+				}
+				break
 			}
 			help := ""
 			if tv, ok := pass.TypesInfo.Types[call.Args[1]]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {

@@ -36,6 +36,8 @@ func bad(w *telemetry.Writer, op string, shard int) {
 	w.Gauge(legacyGauge, "unprefixed legacy series", 9)   // want `lacks the strata_ prefix`
 	w.Gauge(queueDepth, "how deep the queue is", 17)      // want `re-registered with different help text`
 	w.Counter("strata_owner_widgets_total", "widgets", 1) // want `already emitted by metricname/owner`
+	w.Counter("strata_trace_homemade_total", "spans", 1)  // want `reserved prefix strata_trace_`
+	w.Gauge("strata_flightrec_rings", "rings", 1)         // want `reserved prefix strata_flightrec_`
 }
 
 func grandfathered(w *telemetry.Writer) {

@@ -1,0 +1,16 @@
+// Package telemetry sits at a path whose suffix matches the reserved
+// strata_trace_ prefix's owner (strata/internal/telemetry), so its
+// emissions of that series are allowed — the ownership check matches on
+// the path suffix, which covers both the real package and fixtures like
+// this one.
+package telemetry
+
+import real "metricname/telemetry"
+
+const spansTotal = "strata_trace_spans_total"
+
+// Emit publishes a reserved-prefix series from its owning package: no
+// finding expected.
+func Emit(w *real.Writer) {
+	w.Counter(spansTotal, "sampled spans recorded", 1)
+}

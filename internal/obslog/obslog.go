@@ -1,0 +1,235 @@
+// Package obslog is STRATA's structured event log and crash flight
+// recorder (DESIGN.md §12).
+//
+// Logging goes through log/slog with a custom handler that does two things
+// per record: it always appends the event to the process-wide flight
+// recorder ring (at every level, so the black box has more detail than the
+// console), and it writes the record to the configured sink only when the
+// record's level clears the configured threshold. Components get scoped
+// loggers via L("stream"), L("pubsub"), L("kvstore"), L("core"); every cmd
+// wires -log-level and -log-format through Flags.
+package obslog
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// config is the process-wide logging configuration, swapped atomically so
+// Configure is safe against concurrent logging.
+type config struct {
+	level  slog.Level
+	format string // "text" or "json"
+	out    io.Writer
+}
+
+var (
+	cfg     atomic.Pointer[config]
+	writeMu sync.Mutex // serializes sink writes across components
+)
+
+func init() {
+	cfg.Store(&config{level: slog.LevelInfo, format: "text", out: os.Stderr})
+}
+
+// ParseLevel maps a -log-level flag value to a slog.Level.
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info", "":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	default:
+		return 0, fmt.Errorf("obslog: unknown log level %q (want debug|info|warn|error)", s)
+	}
+}
+
+// Configure sets the process-wide log threshold, encoding ("text" or
+// "json"), and sink. The flight recorder keeps receiving every event
+// regardless of the threshold.
+func Configure(level, format string, out io.Writer) error {
+	lv, err := ParseLevel(level)
+	if err != nil {
+		return err
+	}
+	switch format {
+	case "", "text":
+		format = "text"
+	case "json":
+	default:
+		return fmt.Errorf("obslog: unknown log format %q (want text|json)", format)
+	}
+	if out == nil {
+		out = os.Stderr
+	}
+	cfg.Store(&config{level: lv, format: format, out: out})
+	return nil
+}
+
+// Flags registers -log-level and -log-format on fs and returns a function
+// that applies them (call it after fs.Parse).
+func Flags(fs *flag.FlagSet) func() error {
+	level := fs.String("log-level", "info", "minimum structured-log level: debug|info|warn|error")
+	format := fs.String("log-format", "text", "structured-log encoding: text|json")
+	return func() error { return Configure(*level, *format, os.Stderr) }
+}
+
+// L returns a logger scoped to one component ("stream", "pubsub",
+// "kvstore", "core", ...). The component rides on every record and keys
+// the flight-recorder entries.
+func L(component string) *slog.Logger {
+	return slog.New(&handler{component: component})
+}
+
+// handler routes records to the flight recorder and the configured sink.
+type handler struct {
+	component string
+	attrs     []slog.Attr
+	group     string // dotted prefix from WithGroup
+}
+
+// Enabled admits everything Debug and above: the flight recorder wants all
+// events, and the sink threshold is applied in Handle.
+func (h *handler) Enabled(_ context.Context, l slog.Level) bool {
+	return l >= slog.LevelDebug
+}
+
+func (h *handler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	nh := &handler{component: h.component, group: h.group}
+	nh.attrs = make([]slog.Attr, 0, len(h.attrs)+len(attrs))
+	nh.attrs = append(nh.attrs, h.attrs...)
+	for _, a := range attrs {
+		nh.attrs = append(nh.attrs, h.qualify(a))
+	}
+	return nh
+}
+
+func (h *handler) WithGroup(name string) slog.Handler {
+	if name == "" {
+		return h
+	}
+	prefix := name
+	if h.group != "" {
+		prefix = h.group + "." + name
+	}
+	return &handler{component: h.component, attrs: h.attrs, group: prefix}
+}
+
+// qualify applies the WithGroup prefix to an attr key.
+func (h *handler) qualify(a slog.Attr) slog.Attr {
+	if h.group != "" {
+		a.Key = h.group + "." + a.Key
+	}
+	return a
+}
+
+func (h *handler) Handle(_ context.Context, r slog.Record) error {
+	ev := Event{
+		Time:      r.Time,
+		Level:     r.Level.String(),
+		Component: h.component,
+		Msg:       r.Message,
+	}
+	if ev.Time.IsZero() {
+		ev.Time = time.Now()
+	}
+	n := len(h.attrs) + r.NumAttrs()
+	if n > 0 {
+		ev.Attrs = make([]EventAttr, 0, n)
+	}
+	for _, a := range h.attrs {
+		ev.Attrs = appendAttr(ev.Attrs, a)
+	}
+	r.Attrs(func(a slog.Attr) bool {
+		ev.Attrs = appendAttr(ev.Attrs, h.qualify(a))
+		return true
+	})
+	Recorder().Record(ev)
+
+	c := cfg.Load()
+	if r.Level < c.level {
+		return nil
+	}
+	line, err := ev.format(c.format)
+	if err != nil {
+		return err
+	}
+	writeMu.Lock()
+	defer writeMu.Unlock()
+	_, err = io.WriteString(c.out, line)
+	return err
+}
+
+// appendAttr flattens a (possibly grouped) attr into string key/values.
+func appendAttr(dst []EventAttr, a slog.Attr) []EventAttr {
+	v := a.Value.Resolve()
+	if v.Kind() == slog.KindGroup {
+		for _, ga := range v.Group() {
+			ga.Key = a.Key + "." + ga.Key
+			dst = appendAttr(dst, ga)
+		}
+		return dst
+	}
+	if a.Key == "" {
+		return dst
+	}
+	return append(dst, EventAttr{Key: a.Key, Value: fmt.Sprint(v.Any())})
+}
+
+// EventAttr is one flattened key/value of a structured event. Values are
+// pre-rendered to strings so flight-recorder dumps serialize without
+// holding references into live objects.
+type EventAttr struct {
+	Key   string `json:"k"`
+	Value string `json:"v"`
+}
+
+// Event is one structured log record, as retained by the flight recorder.
+type Event struct {
+	Time      time.Time   `json:"ts"`
+	Level     string      `json:"level"`
+	Component string      `json:"component,omitempty"`
+	Msg       string      `json:"msg"`
+	Attrs     []EventAttr `json:"attrs,omitempty"`
+}
+
+// format renders the event as one sink line (trailing newline included).
+func (ev Event) format(format string) (string, error) {
+	if format == "json" {
+		b, err := json.Marshal(ev)
+		if err != nil {
+			return "", err
+		}
+		return string(b) + "\n", nil
+	}
+	var sb strings.Builder
+	sb.WriteString(ev.Time.Format("2006-01-02T15:04:05.000Z07:00"))
+	fmt.Fprintf(&sb, " %-5s", ev.Level)
+	if ev.Component != "" {
+		fmt.Fprintf(&sb, " [%s]", ev.Component)
+	}
+	sb.WriteByte(' ')
+	sb.WriteString(ev.Msg)
+	for _, a := range ev.Attrs {
+		val := a.Value
+		if strings.ContainsAny(val, " \t\"") {
+			val = fmt.Sprintf("%q", val)
+		}
+		fmt.Fprintf(&sb, " %s=%s", a.Key, val)
+	}
+	sb.WriteByte('\n')
+	return sb.String(), nil
+}

@@ -1,0 +1,171 @@
+package obslog
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"strings"
+	"testing"
+)
+
+// resetConfig restores the default logging configuration after a test
+// mutated the process-wide state.
+func resetConfig(t *testing.T) {
+	t.Helper()
+	t.Cleanup(func() {
+		if err := Configure("info", "text", os.Stderr); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestParseLevel(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    string
+		wantErr bool
+	}{
+		{"debug", "DEBUG", false},
+		{"info", "INFO", false},
+		{"", "INFO", false},
+		{"WARN", "WARN", false},
+		{"warning", "WARN", false},
+		{" Error ", "ERROR", false},
+		{"verbose", "", true},
+	}
+	for _, tt := range cases {
+		lv, err := ParseLevel(tt.in)
+		if tt.wantErr {
+			if err == nil {
+				t.Errorf("ParseLevel(%q) = %v, want error", tt.in, lv)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseLevel(%q): %v", tt.in, err)
+			continue
+		}
+		if lv.String() != tt.want {
+			t.Errorf("ParseLevel(%q) = %v, want %v", tt.in, lv, tt.want)
+		}
+	}
+}
+
+func TestTextSinkRespectsThreshold(t *testing.T) {
+	resetConfig(t)
+	var sink bytes.Buffer
+	if err := Configure("warn", "text", &sink); err != nil {
+		t.Fatal(err)
+	}
+	l := L("stream")
+	l.Debug("too quiet")
+	l.Info("still too quiet")
+	l.Warn("shed burst", "dropped", 42)
+	l.Error("sink failed", "error", "disk full")
+
+	out := sink.String()
+	if strings.Contains(out, "too quiet") {
+		t.Errorf("sub-threshold records reached the sink:\n%s", out)
+	}
+	for _, want := range []string{"[stream]", "shed burst", "dropped=42", "sink failed", `error="disk full"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("sink output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestJSONFormat(t *testing.T) {
+	resetConfig(t)
+	var sink bytes.Buffer
+	if err := Configure("info", "json", &sink); err != nil {
+		t.Fatal(err)
+	}
+	L("kvstore").Info("memtable flushed", "entries", 7)
+
+	line := strings.TrimSpace(sink.String())
+	var ev Event
+	if err := json.Unmarshal([]byte(line), &ev); err != nil {
+		t.Fatalf("sink line is not JSON: %v: %q", err, line)
+	}
+	if ev.Component != "kvstore" || ev.Msg != "memtable flushed" || ev.Level != "INFO" {
+		t.Errorf("event = %+v", ev)
+	}
+	if len(ev.Attrs) != 1 || ev.Attrs[0].Key != "entries" || ev.Attrs[0].Value != "7" {
+		t.Errorf("attrs = %+v, want entries=7", ev.Attrs)
+	}
+}
+
+func TestConfigureRejectsBadValues(t *testing.T) {
+	resetConfig(t)
+	if err := Configure("loud", "text", nil); err == nil {
+		t.Error("bad level accepted")
+	}
+	if err := Configure("info", "xml", nil); err == nil {
+		t.Error("bad format accepted")
+	}
+}
+
+func TestWithAttrsAndGroups(t *testing.T) {
+	resetConfig(t)
+	var sink bytes.Buffer
+	if err := Configure("info", "text", &sink); err != nil {
+		t.Fatal(err)
+	}
+	l := L("core").With("pipeline", "p1").WithGroup("ckpt")
+	l.Info("committed", "epoch", 3)
+
+	out := sink.String()
+	for _, want := range []string{"pipeline=p1", "ckpt.epoch=3"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestEveryRecordFeedsFlightRecorder(t *testing.T) {
+	resetConfig(t)
+	var sink bytes.Buffer
+	if err := Configure("error", "text", &sink); err != nil {
+		t.Fatal(err)
+	}
+	before := Recorder().events.Load()
+	L("pubsub").Debug("reconnect attempt", "n", 1) // below the sink threshold
+	if got := Recorder().events.Load(); got != before+1 {
+		t.Fatalf("flight recorder events %d -> %d, want +1 for a sub-threshold record", before, got)
+	}
+	if sink.Len() != 0 {
+		t.Errorf("sub-threshold record reached the sink: %q", sink.String())
+	}
+	// The event itself must be retrievable from the ring.
+	snap := Recorder().Snapshot()
+	last := snap[len(snap)-1]
+	if last.Msg != "reconnect attempt" || last.Component != "pubsub" || last.Level != "DEBUG" {
+		t.Errorf("last ring event = %+v", last)
+	}
+}
+
+func TestFlagsApply(t *testing.T) {
+	resetConfig(t)
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	apply := Flags(fs)
+	if err := fs.Parse([]string{"-log-level=debug", "-log-format=json"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := apply(); err != nil {
+		t.Fatal(err)
+	}
+	c := cfg.Load()
+	if c.format != "json" || c.level.String() != "DEBUG" {
+		t.Errorf("config = %v/%s, want DEBUG/json", c.level, c.format)
+	}
+
+	fs = flag.NewFlagSet("test", flag.ContinueOnError)
+	apply = Flags(fs)
+	if err := fs.Parse([]string{"-log-level=nope"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := apply(); err == nil {
+		t.Error("bad -log-level value applied without error")
+	}
+}

@@ -5,6 +5,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"strata/internal/obslog"
 )
 
 // ErrBreakerOpen is returned by Publish on a ReconnectConn whose circuit
@@ -68,7 +70,20 @@ func newBreaker(threshold int, cooldown time.Duration, onChange func(BreakerStat
 	if cooldown <= 0 {
 		cooldown = time.Second
 	}
-	return &breaker{threshold: threshold, cooldown: cooldown, onChange: onChange}
+	// Every transition is a flight-recorder event: an Open breaker explains a
+	// burst of fast-failed publishes in a postmortem dump.
+	logged := func(s BreakerState) {
+		l := obslog.L("pubsub")
+		if s == BreakerOpen {
+			l.Warn("breaker transition", "state", s.String())
+		} else {
+			l.Info("breaker transition", "state", s.String())
+		}
+		if onChange != nil {
+			onChange(s)
+		}
+	}
+	return &breaker{threshold: threshold, cooldown: cooldown, onChange: logged}
 }
 
 // allow reports whether a publish may proceed. While open it rejects until

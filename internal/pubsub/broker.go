@@ -5,6 +5,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"strata/internal/telemetry"
 )
 
 // ErrOverQuota is returned by Publish when the subject is governed by a
@@ -25,6 +27,11 @@ type Message struct {
 	// Seq is the broker-assigned publish sequence number (1-based),
 	// totally ordered across all subjects of one broker.
 	Seq uint64
+	// Traceparent, when non-empty, is the W3C trace context of the traced
+	// tuple this message carries (telemetry.TraceContext.Traceparent). It
+	// crosses the TCP wire in the opPubT/opMsgT frame header so a sampled
+	// trace continues across processes; untraced messages leave it empty.
+	Traceparent string
 }
 
 // OverflowPolicy selects what a full subscription buffer does with new
@@ -204,6 +211,10 @@ type Broker struct {
 	stall  time.Duration        // slow-consumer timeout: see WithSlowConsumerTimeout
 	onSlow func(pattern string) // eviction callback: see WithSlowConsumerHandler
 
+	// traceBuf, when set, collects a delivery span fragment per traced
+	// message: see WithTraceFragments.
+	traceBuf *telemetry.TraceBuffer
+
 	overQuota atomic.Uint64 // publishes rejected with ErrOverQuota
 	evicted   atomic.Uint64 // subscriptions killed by the slow-consumer timeout
 }
@@ -253,6 +264,15 @@ func WithSlowConsumerTimeout(d time.Duration) BrokerOption {
 // timeout evicts a subscriber.
 func WithSlowConsumerHandler(fn func(pattern string)) BrokerOption {
 	return func(b *Broker) { b.onSlow = fn }
+}
+
+// WithTraceFragments makes the broker record a span fragment in buf for
+// every traced message it delivers (one "deliver" span under the message's
+// trace ID). With the buffer wired to a /debug/trace endpoint, the broker
+// process shows up in merged cross-process timelines between the publisher
+// and its subscribers.
+func WithTraceFragments(buf *telemetry.TraceBuffer) BrokerOption {
+	return func(b *Broker) { b.traceBuf = buf }
 }
 
 // queueGroup tracks the members of one (queue, pattern) pair and the
@@ -356,6 +376,14 @@ func (b *Broker) Publish(subject string, data []byte) error {
 // PublishRequest is Publish with a reply subject attached to the delivered
 // messages (the request half of request/reply).
 func (b *Broker) PublishRequest(subject, reply string, data []byte) error {
+	return b.PublishMsg(Message{Subject: subject, Reply: reply, Data: data})
+}
+
+// PublishMsg publishes m (Subject, Data, Reply, and optionally Traceparent;
+// Seq is assigned by the broker). It is the full-control publish used by
+// trace-propagating connectors; Publish and PublishRequest delegate here.
+func (b *Broker) PublishMsg(m Message) error {
+	subject := m.Subject
 	if err := ValidateSubject(subject); err != nil {
 		return err
 	}
@@ -405,8 +433,10 @@ func (b *Broker) PublishRequest(subject, reply string, data []byte) error {
 	}
 	b.mu.Unlock()
 
-	msg := Message{Subject: subject, Data: data, Reply: reply, Seq: b.seq.Add(1)}
+	msg := m
+	msg.Seq = b.seq.Add(1)
 	b.published.Add(1)
+	deliverStart := time.Now()
 	var delivered uint64
 	for _, s := range targets {
 		if s.deliver(msg) {
@@ -415,6 +445,16 @@ func (b *Broker) PublishRequest(subject, reply string, data []byte) error {
 	}
 	b.delivered.Add(delivered)
 	b.subjects.record(subject, delivered)
+	// A traced message leaves a span fragment in the broker's buffer: the
+	// broker hop becomes visible when fragments are merged by trace ID.
+	if b.traceBuf != nil && msg.Traceparent != "" {
+		if tc, err := telemetry.ParseTraceparent(msg.Traceparent); err == nil {
+			fr := telemetry.ContinueTrace(tc, "broker/"+subject)
+			fr.Record("deliver", time.Since(deliverStart))
+			fr.Finish()
+			b.traceBuf.Add(fr)
+		}
+	}
 	return nil
 }
 

@@ -192,7 +192,14 @@ func (c *Conn) Publish(subject string, data []byte) error {
 // PublishRequest is Publish with a reply subject attached (the request half
 // of request/reply).
 func (c *Conn) PublishRequest(subject, reply string, data []byte) error {
-	if err := ValidateSubject(subject); err != nil {
+	return c.PublishMsg(Message{Subject: subject, Reply: reply, Data: data})
+}
+
+// PublishMsg publishes m.Data under m.Subject with m.Reply attached. When
+// m.Traceparent is set the frame goes out as opPubT, carrying the trace
+// context to the server; otherwise this is exactly PublishRequest.
+func (c *Conn) PublishMsg(m Message) error {
+	if err := ValidateSubject(m.Subject); err != nil {
 		return err
 	}
 	c.mu.Lock()
@@ -201,10 +208,17 @@ func (c *Conn) PublishRequest(subject, reply string, data []byte) error {
 		return ErrClosed
 	}
 	c.mu.Unlock()
+	if m.Traceparent != "" {
+		return c.sendCorked(opPubT,
+			u16(len(m.Traceparent)), []byte(m.Traceparent),
+			u16(len(m.Subject)), []byte(m.Subject),
+			u16(len(m.Reply)), []byte(m.Reply),
+			m.Data)
+	}
 	return c.sendCorked(opPub,
-		u16(len(subject)), []byte(subject),
-		u16(len(reply)), []byte(reply),
-		data)
+		u16(len(m.Subject)), []byte(m.Subject),
+		u16(len(m.Reply)), []byte(m.Reply),
+		m.Data)
 }
 
 // Subscribe registers a subscription on the server. Only WithSubBuffer and
@@ -316,7 +330,7 @@ func (c *Conn) readLoop() {
 			return
 		}
 		switch op {
-		case opMsg:
+		case opMsg, opMsgT:
 			cur := cursor{b: payload}
 			sid, err := cur.u64()
 			if err != nil {
@@ -327,6 +341,18 @@ func (c *Conn) readLoop() {
 			if err != nil {
 				c.teardown(err)
 				return
+			}
+			var tp []byte
+			if op == opMsgT {
+				tlen, err := cur.u16()
+				if err != nil {
+					c.teardown(err)
+					return
+				}
+				if tp, err = cur.bytes(tlen); err != nil {
+					c.teardown(err)
+					return
+				}
 			}
 			slen, err := cur.u16()
 			if err != nil {
@@ -355,7 +381,7 @@ func (c *Conn) readLoop() {
 			if sub != nil {
 				// Blocking send: back-pressure propagates to the
 				// server through the unread socket.
-				sub.deliver(Message{Subject: string(subj), Reply: string(reply), Data: data, Seq: seq})
+				sub.deliver(Message{Subject: string(subj), Reply: string(reply), Data: data, Seq: seq, Traceparent: string(tp)})
 			}
 		case opPong:
 			select {

@@ -6,6 +6,8 @@ import (
 	"math/rand"
 	"sync"
 	"time"
+
+	"strata/internal/obslog"
 )
 
 var (
@@ -137,6 +139,7 @@ type pendingPub struct {
 	subject string
 	reply   string
 	data    []byte
+	tp      string // traceparent, if the publish carried trace context
 }
 
 // ReconnectConn is a self-healing client connection to a pubsub Server. It
@@ -318,6 +321,24 @@ func (rc *ReconnectConn) Pending() int {
 	return len(rc.pending)
 }
 
+// ActiveSubscriptions returns how many durable subscriptions are currently
+// established on the live link (registered subscriptions awaiting a
+// reconnect don't count). A subscription counts only once its wire
+// subscribe has been sent, so ActiveSubscriptions > 0 followed by a Ping
+// round-trip proves the broker is delivering to it — the readiness probe a
+// consumer process should run before telling producers to start.
+func (rc *ReconnectConn) ActiveSubscriptions() int {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	n := 0
+	for _, s := range rc.subs {
+		if s.inner != nil {
+			n++
+		}
+	}
+	return n
+}
+
 // Err returns why the conn closed itself (e.g. ErrReconnectExhausted), or
 // nil while it is alive or after an explicit Close.
 func (rc *ReconnectConn) Err() error {
@@ -335,10 +356,17 @@ func (rc *ReconnectConn) Publish(subject string, data []byte) error {
 
 // PublishRequest is Publish with a reply subject attached.
 func (rc *ReconnectConn) PublishRequest(subject, reply string, data []byte) error {
-	if err := ValidateSubject(subject); err != nil {
+	return rc.PublishMsg(Message{Subject: subject, Reply: reply, Data: data})
+}
+
+// PublishMsg publishes m, carrying m.Traceparent across the wire (and across
+// an outage: a buffered publish keeps its trace context and continues the
+// span when flushed after reconnect).
+func (rc *ReconnectConn) PublishMsg(m Message) error {
+	if err := ValidateSubject(m.Subject); err != nil {
 		return err
 	}
-	if total := 1 + 2 + len(subject) + 2 + len(reply) + len(data); total > maxFrameSize {
+	if total := 1 + 2 + len(m.Traceparent) + 2 + len(m.Subject) + 2 + len(m.Reply) + len(m.Data); total > maxFrameSize {
 		// Reject oversized publishes before buffering: a poison message in
 		// the pending buffer would wedge every future flush.
 		return fmt.Errorf("pubsub: frame too large (%d bytes)", total)
@@ -357,7 +385,7 @@ func (rc *ReconnectConn) PublishRequest(subject, reply string, data []byte) erro
 		}
 		if conn := rc.conn; conn != nil {
 			rc.mu.Unlock()
-			if err := conn.PublishRequest(subject, reply, data); err == nil {
+			if err := conn.PublishMsg(m); err == nil {
 				if rc.breaker != nil {
 					rc.breaker.success()
 				}
@@ -378,7 +406,7 @@ func (rc *ReconnectConn) PublishRequest(subject, reply string, data []byte) erro
 		// buffer, but the link is down, and enough of these in a row trip
 		// the breaker so later publishes stop paying for the outage.
 		if len(rc.pending) < rc.cfg.pendingLimit {
-			rc.pending = append(rc.pending, pendingPub{subject: subject, reply: reply, data: append([]byte(nil), data...)})
+			rc.pending = append(rc.pending, pendingPub{subject: m.Subject, reply: m.Reply, data: append([]byte(nil), m.Data...), tp: m.Traceparent})
 			rc.mu.Unlock()
 			if rc.breaker != nil {
 				rc.breaker.failure()
@@ -388,7 +416,7 @@ func (rc *ReconnectConn) PublishRequest(subject, reply string, data []byte) erro
 		switch rc.cfg.pendingPolicy {
 		case DropOldest:
 			copy(rc.pending, rc.pending[1:])
-			rc.pending[len(rc.pending)-1] = pendingPub{subject: subject, reply: reply, data: append([]byte(nil), data...)}
+			rc.pending[len(rc.pending)-1] = pendingPub{subject: m.Subject, reply: m.Reply, data: append([]byte(nil), m.Data...), tp: m.Traceparent}
 			rc.dropped++
 			rc.mu.Unlock()
 			if rc.breaker != nil {
@@ -548,6 +576,7 @@ func (rc *ReconnectConn) supervise(conn *Conn) {
 			s.inner = nil // link-scoped subscriptions died with the conn
 		}
 		rc.mu.Unlock()
+		obslog.L("pubsub").Warn("link down", "addr", rc.addr, "error", fmt.Sprint(err))
 		if rc.cfg.onDisconnected != nil {
 			rc.cfg.onDisconnected(err)
 		}
@@ -559,7 +588,10 @@ func (rc *ReconnectConn) supervise(conn *Conn) {
 		conn = next
 		rc.mu.Lock()
 		rc.reconnects++
+		n := rc.reconnects
+		pending := len(rc.pending)
 		rc.mu.Unlock()
+		obslog.L("pubsub").Info("reconnected", "addr", rc.addr, "reconnects", n, "pending", pending)
 		if rc.cfg.onReconnected != nil {
 			rc.cfg.onReconnected()
 		}
@@ -652,7 +684,7 @@ func (rc *ReconnectConn) restore(conn *Conn) error {
 			}()
 		}
 		for i, pb := range batch {
-			if err := conn.PublishRequest(pb.subject, pb.reply, pb.data); err != nil {
+			if err := conn.PublishMsg(Message{Subject: pb.subject, Reply: pb.reply, Data: pb.data, Traceparent: pb.tp}); err != nil {
 				rc.requeue(batch, i)
 				rc.detach(conn)
 				return err

@@ -431,3 +431,48 @@ func TestServerReapsIdleConnections(t *testing.T) {
 		t.Fatalf("heartbeating client reconnected %d times, want 0", got)
 	}
 }
+
+// TestActiveSubscriptionsReadiness: ActiveSubscriptions counts only
+// subscriptions established on the live link — 0 before any Subscribe,
+// n after, back to 0 while the link is down, restored after reconnect, and
+// decremented by Unsubscribe. It is the readiness probe a consumer runs
+// before telling producers to start (see the obs-smoke worker).
+func TestActiveSubscriptionsReadiness(t *testing.T) {
+	h := newReconnectHarness(t)
+	waitSignal(t, h.connected, "initial connect")
+
+	if got := h.rc.ActiveSubscriptions(); got != 0 {
+		t.Fatalf("ActiveSubscriptions before subscribing = %d, want 0", got)
+	}
+	sub, err := h.rc.Subscribe("act.>")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.rc.Subscribe("act.other"); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.rc.ActiveSubscriptions(); got != 2 {
+		t.Fatalf("ActiveSubscriptions after two subscribes = %d, want 2", got)
+	}
+
+	h.proxy.Sever()
+	waitSignal(t, h.disconnected, "disconnect")
+	if got := h.rc.ActiveSubscriptions(); got != 0 {
+		t.Errorf("ActiveSubscriptions while disconnected = %d, want 0 (registered, not established)", got)
+	}
+	waitSignal(t, h.reconnected, "reconnect")
+	deadline := time.Now().Add(5 * time.Second)
+	for h.rc.ActiveSubscriptions() != 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("ActiveSubscriptions after reconnect = %d, want 2", h.rc.ActiveSubscriptions())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	if err := sub.Unsubscribe(); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.rc.ActiveSubscriptions(); got != 1 {
+		t.Errorf("ActiveSubscriptions after Unsubscribe = %d, want 1", got)
+	}
+}

@@ -5,11 +5,12 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"log"
 	"net"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"strata/internal/obslog"
 )
 
 // Server exposes a Broker over TCP using the wire protocol in wire.go.
@@ -36,8 +37,8 @@ type Server struct {
 // ServerOption customizes a Server.
 type ServerOption func(*Server)
 
-// WithServerLogf sets the server's diagnostic logger (default log.Printf;
-// pass a no-op to silence).
+// WithServerLogf sets the server's diagnostic logger (default: the structured
+// obslog "pubsub" logger at Warn level; pass a no-op to silence).
 func WithServerLogf(logf func(format string, args ...any)) ServerOption {
 	return func(s *Server) {
 		if logf != nil {
@@ -88,9 +89,11 @@ func Serve(broker *Broker, addr string, opts ...ServerOption) (*Server, error) {
 		return nil, fmt.Errorf("pubsub: listen: %w", err)
 	}
 	s := &Server{
-		broker:        broker,
-		ln:            ln,
-		logf:          log.Printf,
+		broker: broker,
+		ln:     ln,
+		logf: func(format string, args ...any) {
+			obslog.L("pubsub").Warn(fmt.Sprintf(format, args...))
+		},
 		conns:         make(map[net.Conn]struct{}),
 		flushInterval: defaultFlushInterval,
 	}
@@ -204,8 +207,20 @@ func (s *Server) serveConn(conn net.Conn) {
 			return
 		}
 		switch op {
-		case opPub:
+		case opPub, opPubT:
 			c := cursor{b: payload}
+			var tp []byte
+			if op == opPubT {
+				tlen, err := c.u16()
+				if err != nil {
+					sendErr(err)
+					return
+				}
+				if tp, err = c.bytes(tlen); err != nil {
+					sendErr(err)
+					return
+				}
+			}
 			slen, err := c.u16()
 			if err != nil {
 				sendErr(err)
@@ -229,7 +244,8 @@ func (s *Server) serveConn(conn net.Conn) {
 			// Copy the data: the broker shares it with N subscribers
 			// beyond this frame's lifetime.
 			data := append([]byte(nil), c.rest()...)
-			if err := s.broker.PublishRequest(string(subj), string(reply), data); err != nil {
+			m := Message{Subject: string(subj), Reply: string(reply), Data: data, Traceparent: string(tp)}
+			if err := s.broker.PublishMsg(m); err != nil {
 				sendErr(err)
 			}
 		case opSub:
@@ -280,11 +296,23 @@ func (s *Server) serveConn(conn net.Conn) {
 			go func(sid uint64, sub *Subscription) {
 				defer fwdWG.Done()
 				for msg := range sub.C {
-					err := send(opMsg,
-						u64(sid), u64(msg.Seq),
-						u16(len(msg.Subject)), []byte(msg.Subject),
-						u16(len(msg.Reply)), []byte(msg.Reply),
-						msg.Data)
+					var err error
+					if msg.Traceparent != "" {
+						// Traced messages ride opMsgT so the subscriber's
+						// process can continue the span.
+						err = send(opMsgT,
+							u64(sid), u64(msg.Seq),
+							u16(len(msg.Traceparent)), []byte(msg.Traceparent),
+							u16(len(msg.Subject)), []byte(msg.Subject),
+							u16(len(msg.Reply)), []byte(msg.Reply),
+							msg.Data)
+					} else {
+						err = send(opMsg,
+							u64(sid), u64(msg.Seq),
+							u16(len(msg.Subject)), []byte(msg.Subject),
+							u16(len(msg.Reply)), []byte(msg.Reply),
+							msg.Data)
+					}
 					if err != nil {
 						sub.Unsubscribe()
 						return

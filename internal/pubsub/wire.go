@@ -19,6 +19,14 @@ import (
 //	opMsg:   sid uint64, seq uint64, subjLen uint16, subject, replyLen uint16, reply, data...
 //	opPing/opPong: empty
 //	opErr:   utf-8 message
+//	opPubT:  tpLen uint16, traceparent, then the opPub layout
+//	opMsgT:  sid uint64, seq uint64, tpLen uint16, traceparent, then subject/reply/data as opMsg
+//
+// opPubT/opMsgT are the trace-carrying variants of opPub/opMsg: a W3C
+// traceparent header (telemetry.TraceContext) rides ahead of the regular
+// payload, so a span started in the publishing process continues in the
+// broker and every subscriber. Untraced messages keep using opPub/opMsg —
+// the common path pays nothing, and old peers never see the new ops.
 const (
 	opPub   byte = 1
 	opSub   byte = 2
@@ -27,6 +35,8 @@ const (
 	opPing  byte = 5
 	opPong  byte = 6
 	opErr   byte = 7
+	opPubT  byte = 8
+	opMsgT  byte = 9
 )
 
 // maxFrameSize bounds a frame to 64 MiB: comfortably above a full-resolution

@@ -1,13 +1,18 @@
 package stream
 
 import (
+	"os"
 	"testing"
 
 	"strata/internal/leakcheck"
+	"strata/internal/obslog"
 )
 
 // TestMain fails the package if any test leaves a goroutine behind — every
 // operator spawned by a test must be stopped or drained before it returns.
+// Flight-recorder dumps from induced panics go to the OS temp dir, not a
+// bench-out/ directory inside the source tree.
 func TestMain(m *testing.M) {
+	obslog.SetCrashDir(os.TempDir())
 	leakcheck.VerifyTestMain(m)
 }

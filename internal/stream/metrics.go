@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"strata/internal/obslog"
 	"strata/internal/telemetry"
 )
 
@@ -20,8 +21,16 @@ const noWatermark = math.MinInt64
 // OpStats holds the live counters of one operator. All fields are safe for
 // concurrent use; recording is lock-free on the hot path.
 type OpStats struct {
+	// name is the operator's registry key, used to attribute shed-burst
+	// events in the structured log.
+	name string
+
 	in  atomic.Int64
 	out atomic.Int64
+
+	// shedBurstAt throttles shed-burst logging: a sustained shedding
+	// episode is one event, not one per dropped tuple.
+	shedBurstAt atomic.Int64
 
 	// service records per-tuple service time: the span from dequeuing a
 	// tuple to finishing its processing, including any back-pressure wait
@@ -213,8 +222,25 @@ func (r *Registry) Op(name string) *OpStats {
 	if s, ok := r.ops.Load(name); ok {
 		return s.(*OpStats)
 	}
-	s, _ := r.ops.LoadOrStore(name, newOpStats())
+	fresh := newOpStats()
+	fresh.name = name
+	s, _ := r.ops.LoadOrStore(name, fresh)
 	return s.(*OpStats)
+}
+
+// noteShedBurst logs the start of a shedding episode for this operator:
+// the first shed, and at most one log line per episode window afterwards,
+// so a gate dropping thousands of tuples costs one event, not thousands.
+func (s *OpStats) noteShedBurst(reason string) {
+	const window = 5 * time.Second
+	now := time.Now().UnixNano()
+	last := s.shedBurstAt.Load()
+	if now-last < int64(window) {
+		return
+	}
+	if s.shedBurstAt.CompareAndSwap(last, now) {
+		obslog.L("stream").Warn("shed burst", "op", s.name, "reason", reason)
+	}
 }
 
 // Snapshot returns a copy of all operator stats, sorted by operator name.
@@ -344,4 +370,5 @@ func (q *Query) Collect(w *telemetry.Writer) {
 			}
 		}
 	}
+	q.traces.Collect(w)
 }

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"strata/internal/obslog"
 	"strata/internal/telemetry"
 )
 
@@ -103,7 +104,8 @@ func NewQuery(name string, opts ...QueryOption) *Query {
 		linger:     DefaultLinger,
 		opNames:    make(map[string]struct{}),
 		streams:    make(map[string]string),
-		traces:     telemetry.NewTraceBuffer(telemetry.DefaultTraceCapacity),
+		traces: telemetry.NewTraceBuffer(telemetry.DefaultTraceCapacity).
+			WithLabels(telemetry.L("query", name)),
 		qz:         newQuiescer(),
 	}
 	for _, o := range opts {
@@ -256,9 +258,11 @@ func runOp(ctx context.Context, op operator) (err error) {
 // the panic value and stack. Deferred first in every operator run loop so
 // the operator's own defers (closing output channels, so downstream sees
 // end-of-stream) still execute during unwinding before the panic is
-// swallowed.
+// swallowed. The flight recorder is dumped before the panic is converted:
+// an operator panic is a crash even though the process survives it.
 func recoverPanic(errp *error) {
 	if r := recover(); r != nil {
+		obslog.Crash("operator panic", "panic", fmt.Sprint(r))
 		*errp = fmt.Errorf("%w: %v\n%s", ErrPanic, r, debug.Stack())
 	}
 }

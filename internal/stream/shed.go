@@ -239,7 +239,7 @@ func (g *shedGate[T]) admit(v T) bool {
 	if g.policy.DropExpired || dynDrop {
 		if d, ok := any(v).(Deadlined); ok {
 			if dl := d.ShedDeadline(); !dl.IsZero() && time.Now().After(dl) {
-				g.shedTuple(v, &g.stats.shedExpired)
+				g.shedTuple(v, &g.stats.shedExpired, "expired")
 				return false
 			}
 		}
@@ -254,7 +254,7 @@ func (g *shedGate[T]) admit(v T) bool {
 			prio = p.ShedPriority()
 		}
 		if prio < floor {
-			g.shedTuple(v, &g.stats.shedLowPri)
+			g.shedTuple(v, &g.stats.shedLowPri, "lowpri")
 			return false
 		}
 	}
@@ -291,8 +291,9 @@ func (g *shedGate[T]) send(ctx context.Context, chunk []T) error {
 // operator's watermark — the heartbeat that keeps downstream event-time
 // progress (and therefore window closing) intact even though the payload is
 // gone.
-func (g *shedGate[T]) shedTuple(v T, counter *atomic.Int64) {
+func (g *shedGate[T]) shedTuple(v T, counter *atomic.Int64, reason string) {
 	counter.Add(1)
+	g.stats.noteShedBurst(reason)
 	if ts, ok := any(v).(Timestamped); ok {
 		g.stats.observeEventTime(ts.EventTime())
 	}
@@ -341,6 +342,7 @@ func (g *sinkGate[T]) admit(v T) bool {
 	}
 	if dl := d.ShedDeadline(); !dl.IsZero() && time.Now().After(dl) {
 		g.stats.shedExpired.Add(1)
+		g.stats.noteShedBurst("expired")
 		if ts, ok := any(v).(Timestamped); ok {
 			g.stats.observeEventTime(ts.EventTime())
 		}
@@ -358,7 +360,7 @@ func (g *shedGate[T]) shedChunk(chunk []T) []T {
 			keep = append(keep, v)
 			continue
 		}
-		g.shedTuple(v, &g.stats.shedOverflow)
+		g.shedTuple(v, &g.stats.shedOverflow, "overflow")
 	}
 	return keep
 }

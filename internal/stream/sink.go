@@ -55,13 +55,23 @@ func (s *sinkOp[T]) run(ctx context.Context) (err error) {
 			}
 			observeChunkArrival(s.stats, chunk)
 			if s.gate != nil {
-				// Compact in place: the chunk left its producer when it was
-				// sent, so the sink owns the backing array.
-				kept := chunk[:0]
-				for _, v := range chunk {
+				// Chunks are forwarded by reference downstream of Fanout, so
+				// the backing array may be shared with a sibling branch —
+				// never compact in place. Copy lazily: the all-admitted
+				// common case allocates nothing, and each tuple is admitted
+				// exactly once (admit counts what it sheds).
+				kept := chunk
+				for i, v := range chunk {
 					if s.gate.admit(v) {
-						kept = append(kept, v)
+						continue
 					}
+					kept = append(make([]T, 0, len(chunk)-1), chunk[:i]...)
+					for _, w := range chunk[i+1:] {
+						if s.gate.admit(w) {
+							kept = append(kept, w)
+						}
+					}
+					break
 				}
 				chunk = kept
 			}

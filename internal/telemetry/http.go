@@ -5,15 +5,19 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 )
 
 // handlerOptions configures NewHandler's debug endpoints.
 type handlerOptions struct {
-	pipelines func() any
-	traces    func() []TraceSnapshot
+	pipelines   func() any
+	traces      func() []TraceSnapshot
+	traceLookup func(id string) []TraceSnapshot
+	profiling   bool
 }
 
 // HandlerOption customizes NewHandler.
@@ -31,6 +35,22 @@ func WithTraces(f func() []TraceSnapshot) HandlerOption {
 	return func(o *handlerOptions) { o.traces = f }
 }
 
+// WithTraceLookup wires /debug/trace/<hex trace id> to f, which returns
+// this process's span fragments for that trace (see TraceBuffer.Find).
+// The strata-trace join tool fans the same GET across every process of a
+// deployment and merges the fragments into one timeline.
+func WithTraceLookup(f func(id string) []TraceSnapshot) HandlerOption {
+	return func(o *handlerOptions) { o.traceLookup = f }
+}
+
+// WithProfiling mounts the stdlib net/http/pprof handlers under
+// /debug/pprof/ on the telemetry mux. Off by default: live profiling on a
+// production metrics port is opt-in per binary (see each cmd's -pprof
+// flag), while `make profile` captures offline profiles without it.
+func WithProfiling() HandlerOption {
+	return func(o *handlerOptions) { o.profiling = true }
+}
+
 // NewHandler returns the telemetry HTTP surface over reg:
 //
 //	/metrics          Prometheus text exposition of every registered collector
@@ -38,6 +58,8 @@ func WithTraces(f func() []TraceSnapshot) HandlerOption {
 //	/debug/pipelines  JSON pipeline summaries (when wired with WithPipelines)
 //	/debug/traces     JSON slowest recent traces (when wired with WithTraces;
 //	                  ?n=K bounds the count, default 16)
+//	/debug/trace/<id> JSON span fragments of one trace (WithTraceLookup)
+//	/debug/pprof/*    stdlib profiling handlers (only with WithProfiling)
 func NewHandler(reg *Registry, opts ...HandlerOption) http.Handler {
 	var o handlerOptions
 	for _, f := range opts {
@@ -67,11 +89,10 @@ func NewHandler(reg *Registry, opts ...HandlerOption) http.Handler {
 			http.Error(w, "no trace source configured", http.StatusNotFound)
 			return
 		}
-		n := 16
-		if s := r.URL.Query().Get("n"); s != "" {
-			if v, err := strconv.Atoi(s); err == nil && v > 0 {
-				n = v
-			}
+		n, err := boundedCount(r, "n", 16)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
 		}
 		traces := o.traces()
 		if len(traces) > n {
@@ -79,7 +100,56 @@ func NewHandler(reg *Registry, opts ...HandlerOption) http.Handler {
 		}
 		writeJSON(w, traceReport{Count: len(traces), Traces: traces})
 	})
+	mux.HandleFunc("/debug/trace/", func(w http.ResponseWriter, r *http.Request) {
+		if o.traceLookup == nil {
+			http.Error(w, "no trace source configured", http.StatusNotFound)
+			return
+		}
+		id := strings.TrimPrefix(r.URL.Path, "/debug/trace/")
+		if id == "" || strings.Contains(id, "/") {
+			http.Error(w, "want /debug/trace/<hex trace id>", http.StatusBadRequest)
+			return
+		}
+		frags := o.traceLookup(id)
+		if len(frags) == 0 {
+			http.Error(w, "trace not found", http.StatusNotFound)
+			return
+		}
+		writeJSON(w, fragmentReport{TraceID: id, Count: len(frags), Fragments: frags})
+	})
+	if o.profiling {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
+}
+
+// boundedCount parses an optional positive integer query parameter,
+// rejecting non-numeric and non-positive values uniformly: a malformed
+// bound is a 400, never a silent fallback that masks a caller bug.
+func boundedCount(r *http.Request, param string, def int) (int, error) {
+	s := r.URL.Query().Get(param)
+	if s == "" {
+		return def, nil
+	}
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, fmt.Errorf("query parameter %s=%q is not an integer", param, s)
+	}
+	if v <= 0 {
+		return 0, fmt.Errorf("query parameter %s=%d must be positive", param, v)
+	}
+	return v, nil
+}
+
+// fragmentReport shapes the /debug/trace/<id> response.
+type fragmentReport struct {
+	TraceID   string          `json:"trace_id"`
+	Count     int             `json:"count"`
+	Fragments []TraceSnapshot `json:"fragments"`
 }
 
 // traceReport shapes the /debug/traces response.

@@ -1,0 +1,200 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestBoundedCount(t *testing.T) {
+	cases := []struct {
+		name    string
+		query   string
+		want    int
+		wantErr bool
+	}{
+		{"absent uses default", "", 16, false},
+		{"explicit value", "n=3", 3, false},
+		{"large value passes through", "n=100000", 100000, false},
+		{"zero rejected", "n=0", 0, true},
+		{"negative rejected", "n=-5", 0, true},
+		{"non-numeric rejected", "n=abc", 0, true},
+		{"float rejected", "n=1.5", 0, true},
+		{"overflow rejected", "n=99999999999999999999", 0, true},
+		{"empty value uses default", "n=", 16, false},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			r := &http.Request{URL: &url.URL{RawQuery: tt.query}}
+			got, err := boundedCount(r, "n", 16)
+			if tt.wantErr {
+				if err == nil {
+					t.Fatalf("boundedCount(%q) = %d, want error", tt.query, got)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("boundedCount(%q): %v", tt.query, err)
+			}
+			if got != tt.want {
+				t.Errorf("boundedCount(%q) = %d, want %d", tt.query, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestDebugTracesBoundRejection(t *testing.T) {
+	buf := NewTraceBuffer(4)
+	tr := NewTrace(1, "pipe")
+	tr.Record("op", time.Millisecond)
+	tr.Finish()
+	buf.Add(tr)
+	h := NewHandler(NewRegistry(), WithTraces(func() []TraceSnapshot { return buf.Slowest(0) }))
+
+	cases := []struct {
+		query    string
+		wantCode int
+	}{
+		{"", http.StatusOK},
+		{"?n=1", http.StatusOK},
+		{"?n=0", http.StatusBadRequest},
+		{"?n=-1", http.StatusBadRequest},
+		{"?n=bogus", http.StatusBadRequest},
+	}
+	for _, tt := range cases {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces"+tt.query, nil))
+		if rec.Code != tt.wantCode {
+			t.Errorf("GET /debug/traces%s = %d, want %d (body %q)",
+				tt.query, rec.Code, tt.wantCode, rec.Body.String())
+		}
+	}
+}
+
+func TestDebugTraceLookupEndpoint(t *testing.T) {
+	buf := NewTraceBuffer(4)
+	tr := NewTrace(1, "pipe")
+	tr.Record("op", time.Millisecond)
+	tr.Finish()
+	buf.Add(tr)
+	id := tr.Snapshot().TraceID
+
+	h := NewHandler(NewRegistry(), WithTraceLookup(buf.Find))
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		return rec.Code, rec.Body.String()
+	}
+
+	if code, body := get("/debug/trace/"); code != http.StatusBadRequest {
+		t.Errorf("empty id = %d %q, want 400", code, body)
+	}
+	if code, body := get("/debug/trace/a/b"); code != http.StatusBadRequest {
+		t.Errorf("slash in id = %d %q, want 400", code, body)
+	}
+	if code, body := get("/debug/trace/unknownid"); code != http.StatusNotFound {
+		t.Errorf("unknown id = %d %q, want 404", code, body)
+	}
+
+	code, body := get("/debug/trace/" + id)
+	if code != http.StatusOK {
+		t.Fatalf("known id = %d %q, want 200", code, body)
+	}
+	var rep struct {
+		TraceID   string          `json:"trace_id"`
+		Count     int             `json:"count"`
+		Fragments []TraceSnapshot `json:"fragments"`
+	}
+	if err := json.Unmarshal([]byte(body), &rep); err != nil {
+		t.Fatalf("decode: %v: %q", err, body)
+	}
+	if rep.TraceID != id || rep.Count != 1 || len(rep.Fragments) != 1 {
+		t.Fatalf("report = %+v, want 1 fragment of %s", rep, id)
+	}
+	if rep.Fragments[0].Label != "pipe" || len(rep.Fragments[0].Spans) != 1 {
+		t.Errorf("fragment = %+v, want label pipe with 1 span", rep.Fragments[0])
+	}
+
+	// Without WithTraceLookup the endpoint reports no source.
+	bare := NewHandler(NewRegistry())
+	rec := httptest.NewRecorder()
+	bare.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/trace/"+id, nil))
+	if rec.Code != http.StatusNotFound {
+		t.Errorf("unwired lookup = %d, want 404", rec.Code)
+	}
+}
+
+func TestProfilingEndpointsGated(t *testing.T) {
+	// Off by default: /debug/pprof/ is not mounted.
+	off := NewHandler(NewRegistry())
+	rec := httptest.NewRecorder()
+	off.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/pprof/", nil))
+	if rec.Code == http.StatusOK {
+		t.Errorf("pprof index served without WithProfiling (status %d)", rec.Code)
+	}
+
+	on := NewHandler(NewRegistry(), WithProfiling())
+	rec = httptest.NewRecorder()
+	on.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/pprof/", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("pprof index with WithProfiling = %d, want 200", rec.Code)
+	}
+	if body := rec.Body.String(); !strings.Contains(body, "goroutine") {
+		t.Errorf("pprof index body lacks profile listing: %q", body)
+	}
+	rec = httptest.NewRecorder()
+	on.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/pprof/cmdline", nil))
+	if rec.Code != http.StatusOK {
+		t.Errorf("pprof cmdline = %d, want 200", rec.Code)
+	}
+}
+
+// TestTraceMetricsExposition registers a TraceBuffer on a registry and
+// checks the strata_trace_* series render as valid exposition with the
+// buffer's labels attached.
+func TestTraceMetricsExposition(t *testing.T) {
+	reg := NewRegistry()
+	buf := NewTraceBuffer(8).WithLabels(L("query", "q1"))
+	reg.Register(buf)
+
+	tr := NewTrace(1, "pipe")
+	tr.Record("map", time.Millisecond)
+	tr.Record("sink", 2*time.Millisecond)
+	tr.Finish()
+	buf.Add(tr)
+
+	srv, err := Serve("127.0.0.1:0", NewHandler(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + srv.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+	if err := ValidateExposition(body); err != nil {
+		t.Fatalf("invalid exposition: %v\n---\n%s", err, body)
+	}
+	for _, want := range []string{
+		`strata_trace_fragments_total{query="q1"} 1`,
+		`strata_trace_finished_total{query="q1"} 1`,
+		`strata_trace_span_duration_seconds_count{query="q1"} 2`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("exposition missing %q\n---\n%s", want, body)
+		}
+	}
+}

@@ -1,6 +1,9 @@
 package telemetry
 
 import (
+	"encoding/hex"
+	"os"
+	"path/filepath"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -12,10 +15,25 @@ import (
 // created at a source (see Sampler), shared by pointer across every copy
 // of the tuple (including fan-outs, which is why recording locks), and
 // finished when a tuple carrying it reaches a sink.
+//
+// Each Trace is one *fragment* of a possibly cross-process trace: the
+// TraceContext (trace ID, span ID, sampled bit) travels with the tuple
+// through the tuple codec and the pubsub frame header, and every process
+// that continues the tuple records its own fragment under the same trace
+// ID (ContinueTrace). Fragments are joined offline by that ID — see
+// MergeFragments and the strata-trace command.
 type Trace struct {
-	id    uint64
-	label string
-	start time.Time
+	id     uint64
+	label  string
+	start  time.Time
+	tc     TraceContext
+	parent [8]byte // span ID of the upstream fragment, zero at the root
+
+	// filed/observed make TraceBuffer.Add idempotent: a fragment can be
+	// filed early (a connector tap publishing the tuple onward) and again
+	// when a local sink finishes it.
+	filed    atomic.Bool
+	observed atomic.Bool
 
 	mu       sync.Mutex
 	spans    []Span
@@ -34,14 +52,44 @@ type Span struct {
 	Duration time.Duration `json:"duration_ns"`
 }
 
-// NewTrace starts a trace. label identifies the originating pipeline or
-// source for display; id disambiguates traces with equal labels.
+// NewTrace starts a root trace with a fresh random TraceContext. label
+// identifies the originating pipeline or source for display; id
+// disambiguates traces with equal labels within one process.
 func NewTrace(id uint64, label string) *Trace {
-	return &Trace{id: id, label: label, start: time.Now()}
+	return &Trace{id: id, label: label, start: time.Now(), tc: newTraceContext()}
+}
+
+// ContinueTrace starts a local fragment of a trace begun elsewhere: it
+// keeps the upstream trace ID, remembers the upstream span ID as its
+// parent, and mints a fresh span ID for this fragment. It is what the
+// tuple codec and broker call when a trace context arrives over the wire.
+func ContinueTrace(tc TraceContext, label string) *Trace {
+	t := &Trace{label: label, start: time.Now()}
+	t.tc.TraceID = tc.TraceID
+	t.parent = tc.SpanID
+	fillRandom(t.tc.SpanID[:])
+	t.tc.Sampled = true
+	return t
 }
 
 // ID returns the trace's identifier.
 func (t *Trace) ID() uint64 { return t.id }
+
+// Context returns the fragment's cross-process context — what downstream
+// processes should continue from. Its SpanID names this fragment, so a
+// receiver's parent pointer leads back here.
+func (t *Trace) Context() TraceContext { return t.tc }
+
+// Relabel renames the fragment (e.g. once the consuming source knows its
+// own name); a no-op on nil.
+func (t *Trace) Relabel(label string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.label = label
+	t.mu.Unlock()
+}
 
 // maxSpansPerTrace bounds one trace's span timeline: a traced layer tuple
 // that partitions into thousands of cells shares its trace with every
@@ -93,6 +141,11 @@ func (t *Trace) Finish() bool {
 	return true
 }
 
+// processName labels every fragment snapshot with the binary that
+// recorded it, so merged cross-process timelines read "which process did
+// what" without extra plumbing.
+var processName = filepath.Base(os.Args[0])
+
 // Snapshot returns an immutable copy of the trace.
 func (t *Trace) Snapshot() TraceSnapshot {
 	t.mu.Lock()
@@ -105,11 +158,20 @@ func (t *Trace) Snapshot() TraceSnapshot {
 		Finished:     t.finished,
 		Spans:        append([]Span(nil), t.spans...),
 		DroppedSpans: t.dropped,
+		TraceID:      hex.EncodeToString(t.tc.TraceID[:]),
+		SpanID:       hex.EncodeToString(t.tc.SpanID[:]),
+		PID:          os.Getpid(),
+		Process:      processName,
+	}
+	if t.parent != [8]byte{} {
+		s.ParentSpanID = hex.EncodeToString(t.parent[:])
 	}
 	return s
 }
 
-// TraceSnapshot is a finished (or in-flight) trace for reporting.
+// TraceSnapshot is a finished (or in-flight) trace fragment for reporting.
+// The JSON form round-trips through /debug/trace/<id> into the strata-trace
+// join tool.
 type TraceSnapshot struct {
 	ID       uint64        `json:"id"`
 	Label    string        `json:"label"`
@@ -120,6 +182,14 @@ type TraceSnapshot struct {
 	// DroppedSpans counts spans discarded after the per-trace cap
 	// (maxSpansPerTrace) was reached.
 	DroppedSpans int `json:"dropped_spans,omitempty"`
+	// TraceID/SpanID identify this fragment across processes; ParentSpanID
+	// is the fragment the tuple arrived from ("" at the root).
+	TraceID      string `json:"trace_id,omitempty"`
+	SpanID       string `json:"span_id,omitempty"`
+	ParentSpanID string `json:"parent_span_id,omitempty"`
+	// PID and Process say which OS process recorded the fragment.
+	PID     int    `json:"pid,omitempty"`
+	Process string `json:"process,omitempty"`
 }
 
 // TraceBuffer retains the most recently finished traces in a ring, so the
@@ -130,6 +200,14 @@ type TraceBuffer struct {
 	buf  []*Trace
 	next int
 	size int
+
+	// Aggregates over everything ever filed (not just the ring), exported
+	// as the strata_trace_* series via Collect.
+	spanDur   *Histogram
+	fragments atomic.Uint64
+	finished  atomic.Uint64
+
+	labels []Label // attached to every Collect emission
 }
 
 // DefaultTraceCapacity is the ring size used when none is given.
@@ -141,21 +219,74 @@ func NewTraceBuffer(n int) *TraceBuffer {
 	if n <= 0 {
 		n = DefaultTraceCapacity
 	}
-	return &TraceBuffer{buf: make([]*Trace, n)}
+	return &TraceBuffer{buf: make([]*Trace, n), spanDur: NewDurationHistogram()}
 }
 
-// Add inserts a finished trace, evicting the oldest when full.
+// WithLabels attaches labels to every metric the buffer emits through
+// Collect (e.g. the owning query's name, so several buffers registered on
+// one registry stay distinct series). Returns b for chaining at
+// construction; not safe to call concurrently with Collect.
+func (b *TraceBuffer) WithLabels(labels ...Label) *TraceBuffer {
+	b.labels = labels
+	return b
+}
+
+// Add files a trace fragment, evicting the oldest when full. Filing is
+// idempotent per fragment: a connector tap may file a still-running trace
+// when the tuple leaves the process, and the sink that later finishes it
+// files it again — the ring keeps one entry, and the span metrics are
+// observed once, when the fragment is first seen sealed.
 func (b *TraceBuffer) Add(t *Trace) {
 	if t == nil {
 		return
 	}
-	b.mu.Lock()
-	b.buf[b.next] = t
-	b.next = (b.next + 1) % len(b.buf)
-	if b.size < len(b.buf) {
-		b.size++
+	if !t.filed.Swap(true) {
+		b.fragments.Add(1)
+		b.mu.Lock()
+		b.buf[b.next] = t
+		b.next = (b.next + 1) % len(b.buf)
+		if b.size < len(b.buf) {
+			b.size++
+		}
+		b.mu.Unlock()
 	}
-	b.mu.Unlock()
+	t.mu.Lock()
+	sealed := t.finished
+	t.mu.Unlock()
+	if sealed && !t.observed.Swap(true) {
+		b.finished.Add(1)
+		snap := t.Snapshot()
+		for _, sp := range snap.Spans {
+			b.spanDur.ObserveDuration(sp.Duration)
+		}
+	}
+}
+
+// Find returns every buffered fragment whose hex trace ID equals id —
+// the per-process half of cross-process trace assembly, served by the
+// /debug/trace/<id> endpoint.
+func (b *TraceBuffer) Find(id string) []TraceSnapshot {
+	var out []TraceSnapshot
+	for _, s := range b.all() {
+		if s.TraceID == id {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Collect implements Collector: span-duration and fragment-count series
+// for this buffer, labeled per WithLabels.
+func (b *TraceBuffer) Collect(w *Writer) {
+	w.Counter("strata_trace_fragments_total",
+		"Trace fragments filed in this process's trace buffer.",
+		float64(b.fragments.Load()), b.labels...)
+	w.Counter("strata_trace_finished_total",
+		"Trace fragments sealed by a sink in this process.",
+		float64(b.finished.Load()), b.labels...)
+	w.Histogram("strata_trace_span_duration_seconds",
+		"Operator service time per span of sampled traces.",
+		b.spanDur.Snapshot(), b.labels...)
 }
 
 // Len returns how many traces are buffered.

@@ -1,0 +1,96 @@
+package telemetry
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sync/atomic"
+)
+
+// idFallback feeds fillRandom when crypto/rand fails.
+var idFallback atomic.Uint64
+
+// TraceContext is the cross-process identity of a trace, modeled on the
+// W3C traceparent header: a 16-byte trace ID shared by every span fragment
+// of one traced tuple, the 8-byte span ID of the fragment that handed the
+// tuple over, and a sampling bit. It is what crosses the pubsub wire and
+// the tuple codec; the span timelines themselves (Trace) stay local to
+// each process and are joined later by trace ID (see MergeFragments).
+type TraceContext struct {
+	TraceID [16]byte
+	SpanID  [8]byte
+	Sampled bool
+}
+
+// Valid reports whether the context carries a real trace ID (all-zero IDs
+// are forbidden by the traceparent spec and mean "no trace here").
+func (tc TraceContext) Valid() bool { return tc.TraceID != [16]byte{} }
+
+// Traceparent renders the context in W3C traceparent form:
+//
+//	00-<32 hex trace id>-<16 hex span id>-<2 hex flags>
+func (tc TraceContext) Traceparent() string {
+	flags := byte(0)
+	if tc.Sampled {
+		flags = 1
+	}
+	return fmt.Sprintf("00-%s-%s-%02x",
+		hex.EncodeToString(tc.TraceID[:]), hex.EncodeToString(tc.SpanID[:]), flags)
+}
+
+// ParseTraceparent parses a W3C traceparent header produced by
+// Traceparent. Unknown versions are accepted as long as the first four
+// fields have the version-00 layout (the spec's forward-compat rule).
+func ParseTraceparent(s string) (TraceContext, error) {
+	var tc TraceContext
+	if len(s) < 55 {
+		return tc, fmt.Errorf("telemetry: traceparent too short: %q", s)
+	}
+	if s[2] != '-' || s[35] != '-' || s[52] != '-' {
+		return tc, fmt.Errorf("telemetry: malformed traceparent: %q", s)
+	}
+	if _, err := hex.Decode(make([]byte, 1), []byte(s[0:2])); err != nil {
+		return tc, fmt.Errorf("telemetry: bad traceparent version: %q", s)
+	}
+	if s[0:2] == "ff" {
+		return tc, fmt.Errorf("telemetry: forbidden traceparent version ff")
+	}
+	if _, err := hex.Decode(tc.TraceID[:], []byte(s[3:35])); err != nil {
+		return tc, fmt.Errorf("telemetry: bad trace id in %q", s)
+	}
+	if _, err := hex.Decode(tc.SpanID[:], []byte(s[36:52])); err != nil {
+		return tc, fmt.Errorf("telemetry: bad span id in %q", s)
+	}
+	var flags [1]byte
+	if _, err := hex.Decode(flags[:], []byte(s[53:55])); err != nil {
+		return tc, fmt.Errorf("telemetry: bad trace flags in %q", s)
+	}
+	tc.Sampled = flags[0]&1 != 0
+	if !tc.Valid() {
+		return tc, fmt.Errorf("telemetry: all-zero trace id in %q", s)
+	}
+	return tc, nil
+}
+
+// newTraceContext mints a fresh context with random IDs and the sampled
+// bit set (contexts exist only for sampled tuples).
+func newTraceContext() TraceContext {
+	var tc TraceContext
+	fillRandom(tc.TraceID[:])
+	fillRandom(tc.SpanID[:])
+	tc.Sampled = true
+	return tc
+}
+
+// fillRandom fills b from crypto/rand, falling back to a counter-derived
+// pattern if the system randomness source is unavailable (IDs only need to
+// be unique, not unpredictable).
+func fillRandom(b []byte) {
+	if _, err := rand.Read(b); err != nil {
+		seq := idFallback.Add(1)
+		for i := range b {
+			b[i] = byte(seq >> (8 * (i % 8)))
+		}
+		b[0] |= 1 // never all-zero
+	}
+}

@@ -1,0 +1,99 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// MergedTrace is the cross-process assembly of one trace: every fragment
+// that shares a trace ID, gathered from N processes' /debug/trace/<id>
+// endpoints and ordered into a single timeline.
+type MergedTrace struct {
+	TraceID   string          `json:"trace_id"`
+	Fragments []TraceSnapshot `json:"fragments"`
+	Processes []string        `json:"processes"` // distinct "process[pid]" labels, in first-seen order
+	Start     time.Time       `json:"start"`     // earliest fragment start
+	End       time.Time       `json:"end"`       // latest span (or fragment) end
+}
+
+// MergeFragments joins trace fragments (typically fetched from several
+// processes) into one timeline. Duplicate fragments — the same span ID
+// seen via more than one endpoint — are dropped; fragments are ordered by
+// wall-clock start. An empty input yields a zero MergedTrace.
+//
+// Span times from different processes are compared on the wall clock, so
+// cross-host skew shows up as overlap or gaps; within one host (the make
+// obs-smoke topology) ordering is faithful.
+func MergeFragments(frags []TraceSnapshot) MergedTrace {
+	var m MergedTrace
+	seen := make(map[string]bool, len(frags))
+	for _, f := range frags {
+		key := f.SpanID
+		if key == "" {
+			// Pre-context fragments have no span ID; key by content order.
+			key = fmt.Sprintf("anon-%s-%d-%d", f.Label, f.PID, f.ID)
+		}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		m.Fragments = append(m.Fragments, f)
+	}
+	sort.SliceStable(m.Fragments, func(i, j int) bool {
+		return m.Fragments[i].Start.Before(m.Fragments[j].Start)
+	})
+	procSeen := make(map[string]bool)
+	for _, f := range m.Fragments {
+		if m.TraceID == "" {
+			m.TraceID = f.TraceID
+		}
+		proc := fmt.Sprintf("%s[%d]", f.Process, f.PID)
+		if !procSeen[proc] {
+			procSeen[proc] = true
+			m.Processes = append(m.Processes, proc)
+		}
+		if m.Start.IsZero() || f.Start.Before(m.Start) {
+			m.Start = f.Start
+		}
+		end := f.Start
+		if f.Finished {
+			end = f.Start.Add(f.Total)
+		}
+		for _, sp := range f.Spans {
+			if e := f.Start.Add(sp.Start + sp.Duration); e.After(end) {
+				end = e
+			}
+		}
+		if end.After(m.End) {
+			m.End = end
+		}
+	}
+	return m
+}
+
+// Timeline renders the merged trace as an indented text timeline: one
+// header per fragment (process, label, parent link) and one line per span
+// with its offset from the merged start.
+func (m MergedTrace) Timeline() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace %s: %d fragment(s) across %d process(es), %v total\n",
+		m.TraceID, len(m.Fragments), len(m.Processes), m.End.Sub(m.Start).Round(time.Microsecond))
+	for _, f := range m.Fragments {
+		parent := "root"
+		if f.ParentSpanID != "" {
+			parent = "parent " + f.ParentSpanID
+		}
+		fmt.Fprintf(&b, "  %s[%d] %s (span %s, %s)\n", f.Process, f.PID, f.Label, f.SpanID, parent)
+		for _, sp := range f.Spans {
+			off := f.Start.Add(sp.Start).Sub(m.Start)
+			fmt.Fprintf(&b, "    %10s  %-28s %v\n",
+				"+"+off.Round(time.Microsecond).String(), sp.Op, sp.Duration.Round(time.Microsecond))
+		}
+		if f.DroppedSpans > 0 {
+			fmt.Fprintf(&b, "    ... %d span(s) dropped at the per-trace cap\n", f.DroppedSpans)
+		}
+	}
+	return b.String()
+}

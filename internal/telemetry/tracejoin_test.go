@@ -1,0 +1,111 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestMergeFragmentsOrdersAndDedups(t *testing.T) {
+	base := time.Unix(1000, 0)
+	frags := []TraceSnapshot{
+		{
+			TraceID: "abc123", SpanID: "s2", ParentSpanID: "s1",
+			Label: "broker/strata.raw.ot.j", Process: "strata-broker", PID: 200,
+			Start: base.Add(10 * time.Millisecond), Finished: true, Total: 2 * time.Millisecond,
+			Spans: []Span{{Op: "deliver", Start: 0, Duration: 2 * time.Millisecond}},
+		},
+		{
+			TraceID: "abc123", SpanID: "s1",
+			Label: "src", Process: "worker", PID: 100,
+			Start: base, Finished: true, Total: 8 * time.Millisecond,
+			Spans: []Span{{Op: "collect", Start: 0, Duration: 8 * time.Millisecond}},
+		},
+		// The broker fragment again, as fetched from a second endpoint:
+		// must be dropped by span ID.
+		{
+			TraceID: "abc123", SpanID: "s2", ParentSpanID: "s1",
+			Label: "broker/strata.raw.ot.j", Process: "strata-broker", PID: 200,
+			Start: base.Add(10 * time.Millisecond), Finished: true, Total: 2 * time.Millisecond,
+		},
+		{
+			TraceID: "abc123", SpanID: "s3", ParentSpanID: "s2",
+			Label: "sink", Process: "worker2", PID: 300,
+			Start: base.Add(15 * time.Millisecond), Finished: true, Total: 5 * time.Millisecond,
+			Spans: []Span{{Op: "deliver", Start: time.Millisecond, Duration: 4 * time.Millisecond}},
+		},
+	}
+	m := MergeFragments(frags)
+	if m.TraceID != "abc123" {
+		t.Errorf("TraceID = %q, want abc123", m.TraceID)
+	}
+	if len(m.Fragments) != 3 {
+		t.Fatalf("fragments = %d, want 3 (duplicate span dropped)", len(m.Fragments))
+	}
+	for i, want := range []string{"s1", "s2", "s3"} {
+		if m.Fragments[i].SpanID != want {
+			t.Errorf("fragment %d span = %q, want %q (start-time order)", i, m.Fragments[i].SpanID, want)
+		}
+	}
+	wantProcs := []string{"worker[100]", "strata-broker[200]", "worker2[300]"}
+	if len(m.Processes) != len(wantProcs) {
+		t.Fatalf("processes = %v, want %v", m.Processes, wantProcs)
+	}
+	for i, p := range wantProcs {
+		if m.Processes[i] != p {
+			t.Errorf("process %d = %q, want %q", i, m.Processes[i], p)
+		}
+	}
+	if !m.Start.Equal(base) {
+		t.Errorf("Start = %v, want %v", m.Start, base)
+	}
+	if want := base.Add(20 * time.Millisecond); !m.End.Equal(want) {
+		t.Errorf("End = %v, want %v", m.End, want)
+	}
+}
+
+func TestMergeFragmentsAnonymousAndEmpty(t *testing.T) {
+	if m := MergeFragments(nil); m.TraceID != "" || len(m.Fragments) != 0 {
+		t.Errorf("merge of nothing = %+v, want zero value", m)
+	}
+	// Pre-context fragments (no span ID) are keyed by content, not all
+	// collapsed into one.
+	frags := []TraceSnapshot{
+		{ID: 1, Label: "a", PID: 1, Start: time.Unix(1, 0)},
+		{ID: 2, Label: "b", PID: 1, Start: time.Unix(2, 0)},
+		{ID: 1, Label: "a", PID: 1, Start: time.Unix(1, 0)}, // duplicate
+	}
+	if m := MergeFragments(frags); len(m.Fragments) != 2 {
+		t.Errorf("anonymous fragments = %d, want 2", len(m.Fragments))
+	}
+}
+
+func TestTimelineRendering(t *testing.T) {
+	base := time.Unix(2000, 0)
+	m := MergeFragments([]TraceSnapshot{
+		{
+			TraceID: "deadbeef", SpanID: "aa", Label: "src", Process: "p1", PID: 10,
+			Start: base, Finished: true, Total: 3 * time.Millisecond,
+			Spans: []Span{{Op: "collect", Start: 0, Duration: 3 * time.Millisecond}},
+		},
+		{
+			TraceID: "deadbeef", SpanID: "bb", ParentSpanID: "aa", Label: "sink", Process: "p2", PID: 20,
+			Start: base.Add(5 * time.Millisecond), Finished: true, Total: time.Millisecond,
+			Spans:        []Span{{Op: "apply", Start: 0, Duration: time.Millisecond}},
+			DroppedSpans: 3,
+		},
+	})
+	out := m.Timeline()
+	for _, want := range []string{
+		"trace deadbeef: 2 fragment(s) across 2 process(es)",
+		"p1[10] src (span aa, root)",
+		"p2[20] sink (span bb, parent aa)",
+		"collect",
+		"apply",
+		"3 span(s) dropped",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Timeline missing %q:\n%s", want, out)
+		}
+	}
+}

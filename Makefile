@@ -7,7 +7,7 @@ BENCH_PKGS  := . ./internal/core ./internal/stream ./internal/pubsub ./internal/
 BENCH_TIME  ?= 300ms
 BENCH_COUNT ?= 1
 
-.PHONY: ci vet build test race bench bench-smoke profile lint lint-json metrics-smoke obs-smoke chaos overload
+.PHONY: ci vet build test race bench bench-smoke alloc-smoke profile lint lint-json metrics-smoke obs-smoke chaos overload
 
 ## ci: the full gate — vet, build, the test suite under the race detector,
 ## the stratalint analyzers (see DESIGN.md, "Static contracts") diffed
@@ -17,7 +17,7 @@ BENCH_COUNT ?= 1
 ## the kill-and-recover chaos suite, the overload degradation suite
 ## (DESIGN.md §11), and the cross-process observability smoke (DESIGN.md
 ## §12).
-ci: vet build race lint lint-json bench-smoke chaos overload obs-smoke
+ci: vet build race lint lint-json bench-smoke alloc-smoke chaos overload obs-smoke
 
 vet:
 	$(GO) vet ./...
@@ -51,19 +51,30 @@ lint-json:
 	@echo "wrote bench-out/lint.sarif"
 
 ## bench: the tier-1 benchmark set (figure benches at the root plus the
-## stream/pubsub/kvstore data plane), recorded as BENCH_PR8.json for
+## stream/pubsub/kvstore data plane), recorded as BENCH_PR9.json for
 ## before/after evidence in perf PRs.
 bench:
 	$(GO) build -o bin/benchjson ./cmd/benchjson
 	$(GO) test -run='^$$' -bench=. -benchtime=$(BENCH_TIME) -count=$(BENCH_COUNT) $(BENCH_PKGS) | tee bench.out
-	./bin/benchjson < bench.out > BENCH_PR8.json
+	./bin/benchjson < bench.out > BENCH_PR9.json
 	@rm -f bench.out
-	@echo "wrote BENCH_PR8.json"
+	@echo "wrote BENCH_PR9.json"
 
 ## bench-smoke: run every data-plane benchmark exactly once under -race.
 ## This is coverage of the batched fast paths, not timing.
 bench-smoke:
 	$(GO) test -race -run='^$$' -bench=. -benchtime=1x ./internal/core ./internal/stream ./internal/pubsub ./internal/kvstore
+
+## alloc-smoke: enforce the committed allocation budgets on the
+## zero-allocation hot paths (cell slicing through views, tuple codec
+## reuse). Any allocs/op above alloc_budget.json fails the build — see
+## DESIGN.md §13 "Memory model".
+alloc-smoke:
+	$(GO) build -o bin/benchjson ./cmd/benchjson
+	$(GO) test -run='^$$' -bench='BenchmarkAppendSplitCells' -benchtime=20x -benchmem ./internal/otimage > alloc-smoke.out
+	$(GO) test -run='^$$' -bench='BenchmarkEncodeTupleAppend|BenchmarkDecodeTuple' -benchtime=1000x -benchmem ./internal/core >> alloc-smoke.out
+	./bin/benchjson -budget alloc_budget.json < alloc-smoke.out
+	@rm -f alloc-smoke.out
 
 ## profile: a profiled figure run for attaching pprof evidence to perf PRs.
 profile:

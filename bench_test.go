@@ -48,6 +48,7 @@ func runPipeline(b *testing.B, replay []amsim.LayerData, layerMM float64, params
 	var cells, images int64
 	var latSum time.Duration
 	var latN int64
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		stats, err := bench.RunOnce(context.Background(), replay, layerMM, params,
@@ -143,6 +144,7 @@ func BenchmarkFig4Clustering(b *testing.B) {
 			}
 		}
 		b.Run(fmt.Sprintf("events%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := cluster.DBSCAN(pts, 1.0, 4); err != nil {
 					b.Fatal(err)
@@ -165,6 +167,7 @@ func BenchmarkDBSCANIndex(b *testing.B) {
 		pts[i] = cluster.Point{X: rng.Float64() * 100, Y: rng.Float64() * 100}
 	}
 	b.Run("grid", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := cluster.DBSCAN(pts, 2, 4); err != nil {
 				b.Fatal(err)
@@ -172,6 +175,7 @@ func BenchmarkDBSCANIndex(b *testing.B) {
 		}
 	})
 	b.Run("naive", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := cluster.DBSCANNaive(pts, 2, 4); err != nil {
 				b.Fatal(err)
@@ -191,6 +195,7 @@ func BenchmarkClusterDBSCANvsKMeans(b *testing.B) {
 		pts[i] = cluster.Point{X: 10*c + rng.NormFloat64(), Y: 10*c + rng.NormFloat64()}
 	}
 	b.Run("dbscan", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := cluster.DBSCAN(pts, 2, 4); err != nil {
 				b.Fatal(err)
@@ -198,6 +203,7 @@ func BenchmarkClusterDBSCANvsKMeans(b *testing.B) {
 		}
 	})
 	b.Run("kmeans-k5", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, _, err := cluster.KMeans(pts, 5, 25, 1); err != nil {
 				b.Fatal(err)
@@ -227,6 +233,7 @@ func BenchmarkFuseModes(b *testing.B) {
 	const layers = 2000
 	build := func(b *testing.B, opts ...core.FuseOption) {
 		b.Helper()
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			fw, err := core.New(core.WithStoreDir(b.TempDir()))
 			if err != nil {

@@ -8,6 +8,11 @@
 // iteration count, and every reported metric (ns/op, B/op, t/s, ...). Lines
 // that are not benchmark results (PASS, ok, goos, ...) shape the context or
 // are ignored.
+//
+// With -budget FILE the tool becomes a gate instead of a converter: FILE
+// lists per-benchmark metric ceilings (typically allocs/op), and benchjson
+// exits non-zero when a benchmark on stdin exceeds its ceiling or a budgeted
+// benchmark did not run — the `make alloc-smoke` CI leg.
 package main
 
 import (
@@ -15,6 +20,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -38,15 +44,106 @@ type report struct {
 
 func main() {
 	applyLog := obslog.Flags(flag.CommandLine)
+	budgetPath := flag.String("budget", "", "budget JSON; check metric ceilings instead of emitting JSON")
 	flag.Parse()
 	if err := applyLog(); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+	if *budgetPath != "" {
+		if err := checkBudget(*budgetPath, os.Stdin, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(os.Stdin, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+}
+
+// budgetEntry pins one metric of one benchmark. Name matches the benchmark
+// name with the trailing GOMAXPROCS suffix stripped (BenchmarkX/sub, not
+// BenchmarkX/sub-8), so budgets are stable across machines.
+type budgetEntry struct {
+	Name   string  `json:"name"`
+	Metric string  `json:"metric"`
+	Max    float64 `json:"max"`
+}
+
+type budgetFile struct {
+	Budgets []budgetEntry `json:"budgets"`
+}
+
+// benchBase strips the -GOMAXPROCS suffix go test appends to benchmark
+// names ("BenchmarkX/sub-8" → "BenchmarkX/sub").
+func benchBase(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+func checkBudget(path string, in io.Reader, out io.Writer) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var bf budgetFile
+	if err := json.Unmarshal(raw, &bf); err != nil {
+		return fmt.Errorf("parse %s: %w", path, err)
+	}
+	if len(bf.Budgets) == 0 {
+		return fmt.Errorf("%s lists no budgets", path)
+	}
+
+	// index: benchmark base name -> metrics of its (last) run.
+	got := map[string]map[string]float64{}
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		if r, ok := parseBench(line, ""); ok {
+			got[benchBase(r.Name)] = r.Metrics
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+
+	failures := 0
+	for _, b := range bf.Budgets {
+		metrics, ok := got[b.Name]
+		if !ok {
+			fmt.Fprintf(out, "MISSING  %-50s (budgeted benchmark did not run)\n", b.Name)
+			failures++
+			continue
+		}
+		v, ok := metrics[b.Metric]
+		if !ok {
+			fmt.Fprintf(out, "MISSING  %-50s %s not reported\n", b.Name, b.Metric)
+			failures++
+			continue
+		}
+		status := "ok"
+		if v > b.Max {
+			status = "OVER"
+			failures++
+		}
+		fmt.Fprintf(out, "%-8s %-50s %-10s %g (budget %g)\n", status, b.Name, b.Metric, v, b.Max)
+	}
+	if failures > 0 {
+		return fmt.Errorf("%d budget violation(s)", failures)
+	}
+	return nil
 }
 
 func run(in *os.File, out *os.File) error {

@@ -13,6 +13,7 @@ func BenchmarkRenderLayer(b *testing.B) {
 				b.Fatal(err)
 			}
 			b.SetBytes(int64(px * px * 2))
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				_ = m.RenderLayer(i % m.Layout().NumLayers())
@@ -27,6 +28,7 @@ func BenchmarkEncodeRegions(b *testing.B) {
 		b.Fatal(err)
 	}
 	regions := job.ParamsForLayer(1).SpecimenRegions
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s := EncodeRegions(regions)

@@ -1,0 +1,43 @@
+package bench
+
+import (
+	"context"
+	"runtime"
+	"testing"
+)
+
+// TestPipelineSteadyStateAllocBudget is the leakcheck-style complement to
+// `make alloc-smoke`: a full Algorithm-1 pass must stay under a fixed
+// allocation budget per layer once the pools are warm. The budget is ~10×
+// above the measured steady state and ~15× below the pre-pooling cost, so
+// it trips on a reverted pool or a reintroduced per-cell box, not on noise.
+func TestPipelineSteadyStateAllocBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline run")
+	}
+	replay, layerMM := smallReplay(t, 8)
+	params := PipelineParams{CellEdgePx: 4, L: 4, Parallelism: 2}
+	run := func() {
+		if _, err := RunOnce(context.Background(), replay, layerMM, params,
+			FeedMode{}, len(replay)+8, t.TempDir()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run() // warm pools, interned names, one-time framework state
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	run()
+	runtime.ReadMemStats(&after)
+
+	perLayer := (after.Mallocs - before.Mallocs) / uint64(len(replay))
+	// 200×200 px frames at 4 px cells ≈ 2500 cells/layer: boxing each cell
+	// through a KV map again would alone cost ~5000 allocs/layer, and the
+	// measured pooled steady state is ~400 — the budget sits between them.
+	const budget = 4_000
+	t.Logf("steady state: %d allocs/layer (budget %d)", perLayer, budget)
+	if perLayer > budget {
+		t.Fatalf("steady-state pipeline allocates %d objects/layer, budget %d", perLayer, budget)
+	}
+}

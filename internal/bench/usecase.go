@@ -39,6 +39,36 @@ const (
 // emission level the thresholds derive from.
 const refKey = "strata/ot/reference_emission"
 
+// cellScratch recycles the per-specimen cell buffer isolateCell() splits
+// into — without it every specimen tuple allocates a fresh cell slice.
+var cellScratch = sync.Pool{New: func() any { return new([]otimage.Cell) }}
+
+// portionNames and specimenNames intern the small bounded sets of portion
+// ("c<col>-<row>") and specimen ("spec<NN>") identifiers, so the per-cell
+// hot loop never re-formats a string it has produced before. Shared across
+// pipelines and parallel branches (the names only depend on geometry).
+var (
+	portionNames  sync.Map // uint64(col)<<32|row -> string
+	specimenNames sync.Map // int -> string
+)
+
+func portionName(col, row int) string {
+	k := uint64(uint32(col))<<32 | uint64(uint32(row))
+	if v, ok := portionNames.Load(k); ok {
+		return v.(string)
+	}
+	v, _ := portionNames.LoadOrStore(k, fmt.Sprintf("c%d-%d", col, row))
+	return v.(string)
+}
+
+func specimenName(id int) string {
+	if v, ok := specimenNames.Load(id); ok {
+		return v.(string)
+	}
+	v, _ := specimenNames.LoadOrStore(id, fmt.Sprintf("spec%02d", id))
+	return v.(string)
+}
+
 // PipelineParams configures the Algorithm 1 pipeline.
 type PipelineParams struct {
 	// CellEdgePx is the cell edge of isolateCell(), in pixels of the
@@ -158,7 +188,9 @@ func BuildPipeline(
 	// (3): enrich each OT image with its layer's printing parameters.
 	fused := fw.Fuse("OT&pp", ot, pp)
 
-	// (4): isolateSpecimen() — one tuple per specimen with its sub-image.
+	// (4): isolateSpecimen() — one tuple per specimen with a zero-copy view
+	// into the layer image (an in-process alias; across a connector the
+	// view travels as the window image, with its origin in ox/oy).
 	spec := fw.Partition("spec", fused, func(t core.EventTuple, emit func(core.EventTuple) error) error {
 		img, ok := t.GetImage("ot")
 		if !ok {
@@ -174,12 +206,12 @@ func BuildPipeline(
 			if !ok {
 				continue
 			}
-			sub, err := img.SubImage(r)
+			sub, err := img.ViewOf(r)
 			if err != nil {
 				return err
 			}
 			err = emit(core.EventTuple{
-				Specimen: fmt.Sprintf("spec%02d", id),
+				Specimen: specimenName(id),
 				KV: map[string]any{
 					"img": sub,
 					"ox":  int64(r.X0),
@@ -193,53 +225,82 @@ func BuildPipeline(
 		return nil
 	}, core.WithParallelism(p.Parallelism))
 
-	// (5): isolateCell() — one tuple per cell with its statistics.
+	// (5): isolateCell() — one tuple per cell with its statistics. Cell
+	// regions are normalized to plate pixel coordinates: a view keeps its
+	// underlying image's coordinates already; the post-connector image
+	// fallback shifts by the origin that rode along in ox/oy.
 	cells := fw.Partition("cell", spec, func(t core.EventTuple, emit func(core.EventTuple) error) error {
-		img, ok := t.GetImage("img")
-		if !ok {
+		sp := cellScratch.Get().(*[]otimage.Cell)
+		cs := (*sp)[:0]
+		var err error
+		var offX, offY int
+		if v, ok := t.GetView("img"); ok {
+			cs, err = v.AppendSplitCells(cs, p.CellEdgePx)
+		} else if img, ok := t.GetImage("img"); ok {
+			ox, _ := t.GetInt("ox")
+			oy, _ := t.GetInt("oy")
+			offX, offY = int(ox), int(oy)
+			cs, err = img.AppendSplitCells(cs, otimage.Rect{X0: 0, Y0: 0, X1: img.Width, Y1: img.Height}, p.CellEdgePx)
+		} else {
+			cellScratch.Put(sp)
 			return fmt.Errorf("bench: specimen tuple without sub-image: %v", t)
 		}
-		ox, _ := t.GetInt("ox")
-		oy, _ := t.GetInt("oy")
-		cs, err := img.SplitCells(otimage.Rect{X0: 0, Y0: 0, X1: img.Width, Y1: img.Height}, p.CellEdgePx)
+		*sp = cs
 		if err != nil {
+			cellScratch.Put(sp)
 			return err
 		}
-		for _, c := range cs {
-			// Cell centre in plate coordinates (mm).
-			cx := (float64(c.Region.X0+c.Region.X1)/2 + float64(ox)) * mmpp
-			cy := (float64(c.Region.Y0+c.Region.Y1)/2 + float64(oy)) * mmpp
-			areaMM2 := float64(c.Region.W()) * float64(c.Region.H()) * mmpp * mmpp
+		for i := range cs {
+			c := cs[i]
+			c.Region.X0 += offX
+			c.Region.X1 += offX
+			c.Region.Y0 += offY
+			c.Region.Y1 += offY
 			err := emit(core.EventTuple{
 				Specimen: t.Specimen,
-				Portion:  fmt.Sprintf("c%d-%d", c.Col, c.Row),
-				KV: map[string]any{
-					"mean": c.Mean,
-					"cx":   cx,
-					"cy":   cy,
-					"area": areaMM2,
-				},
+				Portion:  portionName(c.Col, c.Row),
+				Cell:     c,
 			})
 			if err != nil {
+				cellScratch.Put(sp)
 				return err
 			}
 		}
+		cellScratch.Put(sp)
 		return nil
 	}, core.WithParallelism(p.Parallelism))
 
 	// (6): labelCell() — classify each cell against the historical
-	// reference; forward only the very-cold/very-warm extremes.
+	// reference; forward only the very-cold/very-warm extremes. The
+	// reference is written once before the build (CalibrateReference), so
+	// it is read once and reused instead of a store lookup per cell.
+	var refOnce sync.Once
+	var refVal float64
+	var refErr error
 	detect := fw.DetectEvent("cellLabel", cells, func(t core.EventTuple, emit func(core.EventTuple) error) error {
-		ref, err := fw.GetFloat(refKey)
-		if err != nil {
-			return fmt.Errorf("bench: missing calibration (run CalibrateReference): %w", err)
+		refOnce.Do(func() { refVal, refErr = fw.GetFloat(refKey) })
+		if refErr != nil {
+			return fmt.Errorf("bench: missing calibration (run CalibrateReference): %w", refErr)
 		}
-		mean, _ := t.GetFloat("mean")
-		label := classify(mean / ref)
+		c, ok := t.CellStats()
+		if !ok {
+			return fmt.Errorf("bench: cell tuple without cell stats: %v", t)
+		}
+		label := classify(c.Mean / refVal)
 		if label != LabelVeryCold && label != LabelVeryWarm {
 			return nil
 		}
-		return emit(t.WithKV("label", label))
+		// Rare path: materialize the plate-coordinate floats the
+		// correlate stage clusters on.
+		cx, cy := c.CenterMM(mmpp)
+		return emit(core.EventTuple{
+			KV: map[string]any{
+				"label": label,
+				"cx":    cx,
+				"cy":    cy,
+				"area":  float64(c.Region.W()) * float64(c.Region.H()) * mmpp * mmpp,
+			},
+		})
 	}, core.WithParallelism(p.Parallelism))
 
 	// (7): DBSCAN over the events of the last L layers, per specimen.

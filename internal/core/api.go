@@ -239,24 +239,7 @@ func (fw *Framework) Partition(name string, in *StreamRef, f PartitionFunc, opts
 		fw.recordErr(fmt.Errorf("%w: Partition %q: input must come from AddSource, Fuse, or Partition", ErrBadPipeline, name))
 		return out
 	}
-	out.branches, out.s = fw.subLayerStage(name, in, opts, func(t EventTuple, emit func(EventTuple) error) error {
-		return f(t, func(o EventTuple) error {
-			o.TS = t.TS
-			o.Job = t.Job
-			o.Layer = t.Layer
-			o.AvailableAt = t.AvailableAt
-			o.Priority = t.Priority
-			o.Deadline = t.Deadline
-			o.Trace = t.Trace
-			if o.Specimen == "" {
-				o.Specimen = DefaultSpecimen
-			}
-			if o.Portion == "" {
-				o.Portion = DefaultPortion
-			}
-			return emit(o)
-		})
-	})
+	out.branches, out.s = fw.subLayerStage(name, in, opts, fillPartition, f)
 	return out
 }
 
@@ -273,38 +256,7 @@ func (fw *Framework) DetectEvent(name string, in *StreamRef, f DetectFunc, opts 
 		fw.recordErr(fmt.Errorf("%w: DetectEvent %q: input must come from AddSource, Fuse, or Partition", ErrBadPipeline, name))
 		return out
 	}
-	branches, single := fw.subLayerStage(name, in, opts, func(t EventTuple, emit func(EventTuple) error) error {
-		return f(t, func(o EventTuple) error {
-			if o.TS.IsZero() {
-				o.TS = t.TS
-			}
-			if o.Job == "" {
-				o.Job = t.Job
-			}
-			if o.Layer == 0 {
-				o.Layer = t.Layer
-			}
-			if o.Specimen == "" {
-				o.Specimen = t.Specimen
-			}
-			if o.Portion == "" {
-				o.Portion = t.Portion
-			}
-			if o.AvailableAt.IsZero() {
-				o.AvailableAt = t.AvailableAt
-			}
-			if o.Priority == 0 {
-				o.Priority = t.Priority
-			}
-			if o.Deadline.IsZero() {
-				o.Deadline = t.Deadline
-			}
-			if o.Trace == nil {
-				o.Trace = t.Trace
-			}
-			return emit(o)
-		})
-	})
+	branches, single := fw.subLayerStage(name, in, opts, fillDetect, f)
 	out.branches, out.s = fw.tapEventsAll(name, branches, single)
 	return out
 }
@@ -323,41 +275,19 @@ func (fw *Framework) subLayerStage(
 	name string,
 	in *StreamRef,
 	opts []StageOption,
+	fill stageFill,
 	fn func(t EventTuple, emit func(EventTuple) error) error,
 ) ([]*stream.Stream[EventTuple], *stream.Stream[EventTuple]) {
 	cfg := applyStageOpts(opts)
 	emitMarkers := in.layerGranular
-	wrapper := func(t EventTuple, emit stream.Emit[EventTuple]) error {
-		if t.isMarker() {
-			return emit(t)
-		}
-		var specimens []string
-		seen := map[string]bool{}
-		err := fn(t, func(o EventTuple) error {
-			if emitMarkers && !seen[o.Specimen] {
-				seen[o.Specimen] = true
-				specimens = append(specimens, o.Specimen)
-			}
-			return emit(o)
-		})
-		if err != nil {
-			return err
-		}
-		if emitMarkers {
-			// A layer with no outputs still needs closing for the
-			// default specimen (the detect-without-partition case);
-			// when real specimens were emitted, their markers cover
-			// every event downstream can carry.
-			if len(specimens) == 0 {
-				specimens = append(specimens, DefaultSpecimen)
-			}
-			for _, sp := range specimens {
-				if err := emit(newMarker(t, sp)); err != nil {
-					return err
-				}
-			}
-		}
-		return nil
+	// One stageRun per FlatMap operator: each operator runs on its own
+	// goroutine, so the run's scratch state (current tuple, specimen
+	// tracking, the cached emit closure) is reused across tuples without
+	// locking — but must NOT be shared between parallel branches.
+	newWrapper := func() stream.FlatMapFunc[EventTuple, EventTuple] {
+		st := &stageRun{fill: fill, emitMarkers: emitMarkers, fn: fn}
+		st.emitOut = st.emitOne
+		return st.run
 	}
 	// Every sub-layer stage carries an inert shed gate: nothing is ever shed
 	// under normal operation (blocking back-pressure, bit-identical to an
@@ -365,14 +295,137 @@ func (fw *Framework) subLayerStage(
 	// shedding expired or low-priority tuples here without a redeploy.
 	gate := stream.WithShedPolicy(stream.ShedPolicy{})
 	if cfg.parallelism <= 1 {
-		return nil, stream.FlatMap(fw.query, name, in.singleStream(fw, name), wrapper, gate)
+		return nil, stream.FlatMap(fw.query, name, in.singleStream(fw, name), newWrapper(), gate)
 	}
 	branches := in.branchStreams(fw, name, cfg.parallelism)
 	outs := make([]*stream.Stream[EventTuple], len(branches))
 	for i, b := range branches {
-		outs[i] = stream.FlatMap(fw.query, fmt.Sprintf("%s.%d", name, i), b, wrapper, gate)
+		outs[i] = stream.FlatMap(fw.query, fmt.Sprintf("%s.%d", name, i), b, newWrapper(), gate)
 	}
 	return outs, nil
+}
+
+// stageFill selects how a sub-layer stage propagates the input tuple's
+// metadata onto each output tuple.
+type stageFill uint8
+
+const (
+	// fillPartition overwrites the lineage fields (τ, job, layer,
+	// availability, priority, deadline, trace) and defaults the identity
+	// fields (specimen, portion) the user function is expected to set.
+	fillPartition stageFill = iota
+	// fillDetect only fills fields the user function left at their zero
+	// value — detection functions may legitimately re-stamp any of them.
+	fillDetect
+)
+
+// stageRun is the reusable per-operator state behind Partition and
+// DetectEvent. It replaces three layers of per-tuple closures (the metadata
+// fill, the specimen tracker, and the marker emitter) with one long-lived
+// struct and a single bound-method emit created at construction, so the
+// steady per-tuple path allocates nothing.
+type stageRun struct {
+	fill        stageFill
+	emitMarkers bool
+	fn          func(t EventTuple, emit func(EventTuple) error) error
+
+	// emitOut is st.emitOne bound once; passing a method value per tuple
+	// would allocate a closure each call.
+	emitOut func(EventTuple) error
+	// emit and cur are valid for the duration of one run() call.
+	emit stream.Emit[EventTuple]
+	cur  EventTuple
+	// seen/specimens are cleared and reused across tuples.
+	seen      map[string]bool
+	specimens []string
+}
+
+func (st *stageRun) emitOne(o EventTuple) error {
+	t := &st.cur
+	switch st.fill {
+	case fillPartition:
+		o.TS = t.TS
+		o.Job = t.Job
+		o.Layer = t.Layer
+		o.AvailableAt = t.AvailableAt
+		o.Priority = t.Priority
+		o.Deadline = t.Deadline
+		o.Trace = t.Trace
+		if o.Specimen == "" {
+			o.Specimen = DefaultSpecimen
+		}
+		if o.Portion == "" {
+			o.Portion = DefaultPortion
+		}
+	case fillDetect:
+		if o.TS.IsZero() {
+			o.TS = t.TS
+		}
+		if o.Job == "" {
+			o.Job = t.Job
+		}
+		if o.Layer == 0 {
+			o.Layer = t.Layer
+		}
+		if o.Specimen == "" {
+			o.Specimen = t.Specimen
+		}
+		if o.Portion == "" {
+			o.Portion = t.Portion
+		}
+		if o.AvailableAt.IsZero() {
+			o.AvailableAt = t.AvailableAt
+		}
+		if o.Priority == 0 {
+			o.Priority = t.Priority
+		}
+		if o.Deadline.IsZero() {
+			o.Deadline = t.Deadline
+		}
+		if o.Trace == nil {
+			o.Trace = t.Trace
+		}
+	}
+	if st.emitMarkers && !st.seen[o.Specimen] {
+		st.seen[o.Specimen] = true
+		st.specimens = append(st.specimens, o.Specimen)
+	}
+	return st.emit(o)
+}
+
+func (st *stageRun) run(t EventTuple, emit stream.Emit[EventTuple]) error {
+	if t.isMarker() {
+		return emit(t)
+	}
+	st.emit = emit
+	st.cur = t
+	if st.emitMarkers {
+		if st.seen == nil {
+			st.seen = make(map[string]bool, 4)
+		} else {
+			clear(st.seen)
+		}
+		st.specimens = st.specimens[:0]
+	}
+	err := st.fn(t, st.emitOut)
+	if err != nil {
+		return err
+	}
+	if st.emitMarkers {
+		// A layer with no outputs still needs closing for the
+		// default specimen (the detect-without-partition case);
+		// when real specimens were emitted, their markers cover
+		// every event downstream can carry.
+		if len(st.specimens) == 0 {
+			st.specimens = append(st.specimens, DefaultSpecimen)
+		}
+		for _, sp := range st.specimens {
+			if err := emit(newMarker(t, sp)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 // CorrelateEvents aggregates detectEvent outputs per (job, specimen) across

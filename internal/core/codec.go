@@ -42,6 +42,15 @@ const tupleMagic uint32 = 0x53545450 // "STTP"
 // section of an encoded tuple.
 const traceTrailerTag byte = 0x54 // 'T'
 
+// cellTrailerTag marks the optional inline-cell trailer (EventTuple.Cell)
+// after the KV section. Like the trace trailer, decoders that predate it
+// ignore the trailing bytes, and tuples without a cell pay nothing.
+const cellTrailerTag byte = 0x43 // 'C'
+
+// encodedCellSize is the fixed body size of an encoded cell: col, row, four
+// region bounds (int64 each), mean (float64 bits), min and max (uint16).
+const encodedCellSize = 6*8 + 8 + 2*2
+
 // KV value type tags.
 const (
 	valString byte = 1
@@ -50,6 +59,7 @@ const (
 	valFloat  byte = 4
 	valBytes  byte = 5
 	valImage  byte = 6
+	valCell   byte = 7
 )
 
 // ErrUnsupportedValue is wrapped into EncodeTuple errors for KV values
@@ -77,7 +87,13 @@ func (t *EventTuple) GobDecode(data []byte) error {
 
 // EncodeTuple serializes t for transport through a connector.
 func EncodeTuple(t EventTuple) ([]byte, error) {
-	buf := make([]byte, 0, 64)
+	return EncodeTupleAppend(make([]byte, 0, 64), t)
+}
+
+// EncodeTupleAppend serializes t onto buf and returns the extended slice —
+// the reuse-friendly form for steady publish loops that recycle one encode
+// buffer instead of allocating per tuple.
+func EncodeTupleAppend(buf []byte, t EventTuple) ([]byte, error) {
 	var tmp [8]byte
 	binary.LittleEndian.PutUint32(tmp[:4], tupleMagic)
 	buf = append(buf, tmp[:4]...)
@@ -113,6 +129,10 @@ func EncodeTuple(t EventTuple) ([]byte, error) {
 			return nil, fmt.Errorf("key %q: %w", k, err)
 		}
 	}
+	if !t.Cell.Region.Empty() {
+		buf = append(buf, cellTrailerTag)
+		buf = appendCell(buf, t.Cell)
+	}
 	if t.Trace != nil {
 		tc := t.Trace.Context()
 		if tc.Valid() {
@@ -127,6 +147,37 @@ func EncodeTuple(t EventTuple) ([]byte, error) {
 		}
 	}
 	return buf, nil
+}
+
+// appendCell encodes a cell's fixed-size body (see encodedCellSize).
+func appendCell(buf []byte, c otimage.Cell) []byte {
+	var tmp [8]byte
+	for _, f := range [6]int64{int64(c.Col), int64(c.Row),
+		int64(c.Region.X0), int64(c.Region.Y0), int64(c.Region.X1), int64(c.Region.Y1)} {
+		binary.LittleEndian.PutUint64(tmp[:], uint64(f))
+		buf = append(buf, tmp[:]...)
+	}
+	binary.LittleEndian.PutUint64(tmp[:], math.Float64bits(c.Mean))
+	buf = append(buf, tmp[:]...)
+	binary.LittleEndian.PutUint16(tmp[:2], c.Min)
+	binary.LittleEndian.PutUint16(tmp[2:4], c.Max)
+	return append(buf, tmp[:4]...)
+}
+
+// decodeCell parses a cell body produced by appendCell; b must hold at
+// least encodedCellSize bytes.
+func decodeCell(b []byte) otimage.Cell {
+	var c otimage.Cell
+	c.Col = int(int64(binary.LittleEndian.Uint64(b[0:])))
+	c.Row = int(int64(binary.LittleEndian.Uint64(b[8:])))
+	c.Region.X0 = int(int64(binary.LittleEndian.Uint64(b[16:])))
+	c.Region.Y0 = int(int64(binary.LittleEndian.Uint64(b[24:])))
+	c.Region.X1 = int(int64(binary.LittleEndian.Uint64(b[32:])))
+	c.Region.Y1 = int(int64(binary.LittleEndian.Uint64(b[40:])))
+	c.Mean = math.Float64frombits(binary.LittleEndian.Uint64(b[48:]))
+	c.Min = binary.LittleEndian.Uint16(b[56:])
+	c.Max = binary.LittleEndian.Uint16(b[58:])
+	return c
 }
 
 func appendValue(buf []byte, v any) ([]byte, error) {
@@ -159,10 +210,19 @@ func appendValue(buf []byte, v any) ([]byte, error) {
 		buf = binary.AppendUvarint(buf, uint64(len(x)))
 		return append(buf, x...), nil
 	case *otimage.Image:
-		data := x.Marshal()
 		buf = append(buf, valImage)
-		buf = binary.AppendUvarint(buf, uint64(len(data)))
-		return append(buf, data...), nil
+		buf = binary.AppendUvarint(buf, uint64(x.MarshalSize()))
+		return x.MarshalAppend(buf), nil
+	case otimage.View:
+		// A view crosses the wire as the standalone image of its window
+		// (decoders see a plain valImage); the window's origin in the
+		// underlying image is not carried — senders that need it ship it in
+		// separate KV entries.
+		buf = append(buf, valImage)
+		buf = binary.AppendUvarint(buf, uint64(x.MarshalSize()))
+		return x.MarshalAppend(buf), nil
+	case otimage.Cell:
+		return appendCell(append(buf, valCell), x), nil
 	default:
 		return nil, fmt.Errorf("%w: %T", ErrUnsupportedValue, v)
 	}
@@ -285,21 +345,37 @@ func DecodeTuple(data []byte) (EventTuple, error) {
 		}
 		t.KV[key] = val
 	}
-	// Optional trace-context trailer: frames from peers that predate it end
+	// Optional trailers (any order): frames from peers that predate them end
 	// exactly at the KV section, and unknown trailing bytes stay ignored (as
 	// they always were) so codec evolution keeps working in both directions.
-	const trailerLen = 1 + 16 + 8 + 1
-	if len(d.b)-d.pos >= trailerLen && d.b[d.pos] == traceTrailerTag {
-		var tc telemetry.TraceContext
-		d.pos++
-		copy(tc.TraceID[:], d.b[d.pos:d.pos+16])
-		d.pos += 16
-		copy(tc.SpanID[:], d.b[d.pos:d.pos+8])
-		d.pos += 8
-		tc.Sampled = d.b[d.pos]&1 != 0
-		d.pos++
-		if tc.Valid() {
-			t.Trace = telemetry.ContinueTrace(tc, "wire")
+	const traceTrailerLen = 1 + 16 + 8 + 1
+trailers:
+	for d.pos < len(d.b) {
+		switch d.b[d.pos] {
+		case traceTrailerTag:
+			if len(d.b)-d.pos < traceTrailerLen {
+				break trailers
+			}
+			var tc telemetry.TraceContext
+			d.pos++
+			copy(tc.TraceID[:], d.b[d.pos:d.pos+16])
+			d.pos += 16
+			copy(tc.SpanID[:], d.b[d.pos:d.pos+8])
+			d.pos += 8
+			tc.Sampled = d.b[d.pos]&1 != 0
+			d.pos++
+			if tc.Valid() {
+				t.Trace = telemetry.ContinueTrace(tc, "wire")
+			}
+		case cellTrailerTag:
+			if len(d.b)-d.pos < 1+encodedCellSize {
+				break trailers
+			}
+			d.pos++
+			t.Cell = decodeCell(d.b[d.pos:])
+			d.pos += encodedCellSize
+		default:
+			break trailers
 		}
 	}
 	return t, nil
@@ -345,6 +421,12 @@ func (d *decoder) value() (any, error) {
 			return nil, err
 		}
 		return otimage.Unmarshal(b)
+	case valCell:
+		b, err := d.bytes(encodedCellSize)
+		if err != nil {
+			return nil, err
+		}
+		return decodeCell(b), nil
 	default:
 		return nil, fmt.Errorf("strata: unknown value tag %d", tag[0])
 	}

@@ -1,0 +1,59 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"strata/internal/otimage"
+)
+
+// codecBenchTuple is a representative hot-path tuple: the per-cell event the
+// image plane ships at ~10⁶/s, carrying its statistics inline.
+func codecBenchTuple() EventTuple {
+	return EventTuple{
+		TS:       time.UnixMicro(1_000_000),
+		Job:      "bench",
+		Layer:    42,
+		Specimen: "spec01",
+		Portion:  "c3-7",
+		Cell: otimage.Cell{
+			Col: 3, Row: 7,
+			Region: otimage.Rect{X0: 30, Y0: 70, X1: 40, Y1: 80},
+			Mean:   812.5, Min: 11, Max: 6021,
+		},
+	}
+}
+
+// BenchmarkEncodeTupleAppend measures the codec-reuse path connectors run:
+// encoding into a recycled buffer. Steady state is allocation-free —
+// alloc_budget.json pins it at 0 allocs/op.
+func BenchmarkEncodeTupleAppend(b *testing.B) {
+	t := codecBenchTuple()
+	var buf []byte
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := EncodeTupleAppend(buf[:0], t)
+		if err != nil {
+			b.Fatal(err)
+		}
+		buf = out
+	}
+}
+
+// BenchmarkDecodeTuple measures the receive side. Decoding materializes the
+// tuple's strings, so it cannot be allocation-free; alloc_budget.json pins
+// the count so the codec cannot silently regress.
+func BenchmarkDecodeTuple(b *testing.B) {
+	data, err := EncodeTuple(codecBenchTuple())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeTuple(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"strata/internal/otimage"
+	"strata/internal/telemetry"
+)
+
+func sampleCell() otimage.Cell {
+	return otimage.Cell{
+		Col: 3, Row: 7,
+		Region: otimage.Rect{X0: 30, Y0: 70, X1: 40, Y1: 80},
+		Mean:   812.5, Min: 11, Max: 6021,
+	}
+}
+
+// TestCodecCellTrailerRoundTrip: the inline cell payload survives a
+// connector crossing via its trailer, alone and alongside a trace trailer.
+func TestCodecCellTrailerRoundTrip(t *testing.T) {
+	in := EventTuple{
+		TS:       time.UnixMicro(42),
+		Job:      "j",
+		Layer:    2,
+		Specimen: "spec01",
+		Portion:  "c3-7",
+		Cell:     sampleCell(),
+	}
+	data, err := EncodeTuple(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodeTuple(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, ok := out.CellStats()
+	if !ok || c != in.Cell {
+		t.Fatalf("cell = %+v ok=%v, want %+v", c, ok, in.Cell)
+	}
+
+	// Both trailers together: the decoder's trailer loop must pick up the
+	// trace that follows the cell.
+	in.Trace = telemetry.NewTrace(1, "src")
+	data, err = EncodeTuple(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err = DecodeTuple(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c, ok := out.CellStats(); !ok || c != in.Cell {
+		t.Fatalf("cell lost next to trace trailer: %+v ok=%v", c, ok)
+	}
+	if out.Trace == nil {
+		t.Fatal("trace lost next to cell trailer")
+	}
+	if snap := out.Trace.Snapshot(); snap.TraceID != in.Trace.Snapshot().TraceID {
+		t.Errorf("trace ID = %s, want %s", snap.TraceID, in.Trace.Snapshot().TraceID)
+	}
+}
+
+// TestCodecNoCellNoTrailer: tuples without a cell payload pay zero encoding
+// overhead and decode with a zero Cell.
+func TestCodecNoCellNoTrailer(t *testing.T) {
+	tup := EventTuple{TS: time.UnixMicro(5), Job: "j"}
+	plain, err := EncodeTuple(tup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tup.Cell = sampleCell()
+	withCell, err := EncodeTuple(tup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(withCell) != len(plain)+1+encodedCellSize {
+		t.Errorf("cell frame is %d bytes, plain %d; want exactly +%d",
+			len(withCell), len(plain), 1+encodedCellSize)
+	}
+	out, err := DecodeTuple(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := out.CellStats(); ok {
+		t.Errorf("cell-less frame decoded with a cell: %+v", out.Cell)
+	}
+
+	// A truncated cell trailer is left alone rather than misread.
+	truncated := append(append([]byte(nil), plain...), cellTrailerTag, 1, 2)
+	out, err = DecodeTuple(truncated)
+	if err != nil {
+		t.Fatalf("frame with truncated cell trailer failed to decode: %v", err)
+	}
+	if _, ok := out.CellStats(); ok {
+		t.Error("truncated cell trailer produced a cell")
+	}
+}
+
+// TestEncodeTupleAppendAllocFree pins the codec-reuse contract: encoding
+// into a recycled buffer allocates nothing once the buffer has grown to the
+// frame size.
+func TestEncodeTupleAppendAllocFree(t *testing.T) {
+	tup := EventTuple{
+		TS:       time.UnixMicro(42),
+		Job:      "j",
+		Layer:    2,
+		Specimen: "spec01",
+		Portion:  "c3-7",
+		Cell:     sampleCell(),
+	}
+	var buf []byte
+	if n := testing.AllocsPerRun(100, func() {
+		out, err := EncodeTupleAppend(buf[:0], tup)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf = out
+	}); n != 0 {
+		t.Fatalf("EncodeTupleAppend allocates %v objects per run, want 0", n)
+	}
+}

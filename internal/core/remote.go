@@ -35,15 +35,20 @@ func (fw *Framework) DeliverToConn(name string, in *StreamRef, rc *pubsub.Reconn
 		return
 	}
 	traces := fw.query.Traces()
+	// The sink runs on one goroutine, so a single encode buffer is reused
+	// across tuples: PublishMsg writes the frame out (or copies it into the
+	// reconnect pending buffer) before returning, never retaining Data.
+	var encBuf []byte
 	stream.AddSink(fw.query, name, in.singleStream(fw, name), func(t EventTuple) error {
 		if t.isMarker() {
 			return nil
 		}
 		start := time.Now()
-		data, err := EncodeTuple(t)
+		data, err := EncodeTupleAppend(encBuf[:0], t)
 		if err != nil {
 			return fmt.Errorf("conn sink %q: %w", name, err)
 		}
+		encBuf = data
 		msg := pubsub.Message{Subject: subject(t.Job), Data: data}
 		if t.Trace != nil {
 			if tc := t.Trace.Context(); tc.Valid() && tc.Sampled {

@@ -23,6 +23,7 @@ func BenchmarkTraceSamplingOverhead(b *testing.B) {
 	} {
 		b.Run(c.name, func(b *testing.B) {
 			var tuples int
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				b.StopTimer()

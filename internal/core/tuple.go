@@ -60,8 +60,20 @@ type EventTuple struct {
 	Specimen string
 	Portion  string
 	// KV is the payload. Values are one of: string, bool, int64, float64,
-	// []byte, *otimage.Image (the types the connector codec supports).
+	// []byte, *otimage.Image, otimage.View, otimage.Cell (the types the
+	// connector codec supports). A View is an in-process alias into its
+	// underlying image; it crosses a connector as the standalone image of
+	// its window, losing its origin — carry the origin in separate KV
+	// entries when downstream stages need plate coordinates across a wire.
 	KV map[string]any
+
+	// Cell carries per-portion cell statistics inline when the tuple
+	// represents one cell of a partitioned layer (isolateCell → labelCell).
+	// The hot path ships on the order of 10⁶ cells per layer sweep; boxing
+	// each into KV would cost two heap allocations per cell, so the cell
+	// rides by value instead. A zero Region means "no cell payload" — use
+	// CellStats. Crosses connectors as a codec trailer.
+	Cell otimage.Cell
 
 	// AvailableAt is when all source data contributing to this tuple had
 	// reached STRATA — the reference point of the paper's latency metric.
@@ -195,6 +207,24 @@ func (t EventTuple) GetBytes(key string) ([]byte, bool) {
 func (t EventTuple) GetImage(key string) (*otimage.Image, bool) {
 	v, ok := t.KV[key].(*otimage.Image)
 	return v, ok
+}
+
+// GetView returns the otimage.View payload value under key.
+func (t EventTuple) GetView(key string) (otimage.View, bool) {
+	v, ok := t.KV[key].(otimage.View)
+	return v, ok
+}
+
+// GetCell returns the otimage.Cell payload value under key.
+func (t EventTuple) GetCell(key string) (otimage.Cell, bool) {
+	v, ok := t.KV[key].(otimage.Cell)
+	return v, ok
+}
+
+// CellStats returns the tuple's inline cell payload. ok is false when the
+// tuple carries none (a cell's pixel region is never empty).
+func (t EventTuple) CellStats() (otimage.Cell, bool) {
+	return t.Cell, !t.Cell.Region.Empty()
 }
 
 func maxTime(a, b time.Time) time.Time {

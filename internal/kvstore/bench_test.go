@@ -20,6 +20,7 @@ func benchDB(b *testing.B, opts ...Option) *DB {
 func BenchmarkPut(b *testing.B) {
 	db := benchDB(b)
 	val := make([]byte, 128)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := db.Put([]byte(fmt.Sprintf("key-%09d", i)), val); err != nil {
@@ -31,6 +32,7 @@ func BenchmarkPut(b *testing.B) {
 func BenchmarkPutSync(b *testing.B) {
 	db := benchDB(b, WithSyncWrites(true))
 	val := make([]byte, 128)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := db.Put([]byte(fmt.Sprintf("key-%09d", i)), val); err != nil {
@@ -50,6 +52,7 @@ func BenchmarkPutSyncParallel(b *testing.B) {
 	// Cohorts form from goroutines overlapping a leader's fsync, which is a
 	// blocking syscall — oversubscribe so the effect shows on any core count.
 	b.SetParallelism(16)
+	b.ReportAllocs()
 	b.ResetTimer()
 	b.RunParallel(func(pb *testing.PB) {
 		for pb.Next() {
@@ -70,6 +73,7 @@ func BenchmarkPutSyncParallel(b *testing.B) {
 func BenchmarkBatchApply(b *testing.B) {
 	db := benchDB(b)
 	val := make([]byte, 128)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		var batch Batch
@@ -92,6 +96,7 @@ func BenchmarkGetMemtable(b *testing.B) {
 		}
 	}
 	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := db.Get([]byte(fmt.Sprintf("key-%06d", rng.Intn(n)))); err != nil {
@@ -112,6 +117,7 @@ func BenchmarkGetSSTable(b *testing.B) {
 		b.Fatal(err)
 	}
 	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := db.Get([]byte(fmt.Sprintf("key-%06d", rng.Intn(n)))); err != nil {
@@ -137,6 +143,7 @@ func BenchmarkGetAfterCompaction(b *testing.B) {
 		b.Fatal(err)
 	}
 	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := db.Get([]byte(fmt.Sprintf("key-%06d", rng.Intn(n)))); err != nil {
@@ -155,6 +162,7 @@ func BenchmarkGetMissViaBloom(b *testing.B) {
 	if err := db.Flush(); err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := db.Get([]byte(fmt.Sprintf("absent-%06d", i))); err != ErrNotFound {
@@ -173,6 +181,7 @@ func BenchmarkScan(b *testing.B) {
 	if err := db.Flush(); err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		n := 0

@@ -1,0 +1,119 @@
+package kvstore
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// blockCache is a byte-capacity-bounded LRU over SSTable data blocks (the
+// byte range between two consecutive index samples, i.e. one lookup
+// interval). Point lookups fetch whole blocks through it, so a hot key —
+// the pipeline's reference-threshold reads, the durable-sink dedup probes —
+// costs one ReadAt once and zero disk reads and zero per-entry allocations
+// afterwards.
+//
+// Cached blocks are shared read-only: get returns the cached slice itself,
+// and callers must never write into it. Table numbers are monotonic and
+// never reused, so entries of dropped tables simply age out, but dropTable
+// evicts them eagerly on compaction to keep the capacity for live tables.
+type blockCache struct {
+	mu       sync.Mutex
+	capacity int // bytes; <= 0 disables the cache
+	size     int
+	lru      *list.List // front = most recently used; values are *blockEntry
+	items    map[blockKey]*list.Element
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+type blockKey struct {
+	table uint64
+	block int
+}
+
+type blockEntry struct {
+	key  blockKey
+	data []byte
+}
+
+func newBlockCache(capacity int) *blockCache {
+	if capacity <= 0 {
+		return nil
+	}
+	return &blockCache{
+		capacity: capacity,
+		lru:      list.New(),
+		items:    make(map[blockKey]*list.Element),
+	}
+}
+
+// get returns the cached block and marks it most recently used.
+func (c *blockCache) get(table uint64, block int) ([]byte, bool) {
+	c.mu.Lock()
+	el, ok := c.items[blockKey{table, block}]
+	if !ok {
+		c.mu.Unlock()
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.lru.MoveToFront(el)
+	data := el.Value.(*blockEntry).data
+	c.mu.Unlock()
+	c.hits.Add(1)
+	return data, true
+}
+
+// put inserts a block, evicting least-recently-used blocks until the cache
+// fits its capacity. Blocks larger than the whole capacity are not cached.
+func (c *blockCache) put(table uint64, block int, data []byte) {
+	if len(data) > c.capacity {
+		return
+	}
+	k := blockKey{table, block}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[k]; ok {
+		c.size += len(data) - len(el.Value.(*blockEntry).data)
+		el.Value.(*blockEntry).data = data
+		c.lru.MoveToFront(el)
+	} else {
+		c.items[k] = c.lru.PushFront(&blockEntry{key: k, data: data})
+		c.size += len(data)
+	}
+	for c.size > c.capacity {
+		el := c.lru.Back()
+		if el == nil {
+			break
+		}
+		e := el.Value.(*blockEntry)
+		c.lru.Remove(el)
+		delete(c.items, e.key)
+		c.size -= len(e.data)
+	}
+}
+
+// dropTable evicts every cached block of one table (compaction removed it).
+func (c *blockCache) dropTable(table uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for el := c.lru.Front(); el != nil; {
+		next := el.Next()
+		e := el.Value.(*blockEntry)
+		if e.key.table == table {
+			c.lru.Remove(el)
+			delete(c.items, e.key)
+			c.size -= len(e.data)
+		}
+		el = next
+	}
+}
+
+// stats returns the hit/miss counters.
+func (c *blockCache) stats() (hits, misses uint64) {
+	if c == nil {
+		return 0, 0
+	}
+	return c.hits.Load(), c.misses.Load()
+}

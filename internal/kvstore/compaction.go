@@ -83,7 +83,7 @@ func (db *DB) compactLocked() error {
 	if _, err := writeSSTable(path, merged, db.opts.bloomFP); err != nil {
 		return err
 	}
-	newTable, err := openSSTable(path, num)
+	newTable, err := openSSTable(path, num, db.cache)
 	if err != nil {
 		return err
 	}
@@ -97,6 +97,9 @@ func (db *DB) compactLocked() error {
 		}
 		if err := os.Remove(t.path); err != nil {
 			return fmt.Errorf("kvstore: remove old sstable: %w", err)
+		}
+		if db.cache != nil {
+			db.cache.dropTable(t.num)
 		}
 	}
 	db.compactions++

@@ -28,6 +28,7 @@ type options struct {
 	syncWrites          bool
 	bloomFP             float64
 	seed                int64
+	blockCacheBytes     int
 }
 
 // Option customizes Open.
@@ -60,6 +61,17 @@ func WithSyncWrites(sync bool) Option {
 	return func(o *options) { o.syncWrites = sync }
 }
 
+// WithBlockCacheSize sets the capacity (in bytes) of the LRU cache over
+// SSTable data blocks that point lookups read through. 0 disables the cache
+// (every lookup reads its block from disk). Default 4 MiB.
+func WithBlockCacheSize(n int) Option {
+	return func(o *options) {
+		if n >= 0 {
+			o.blockCacheBytes = n
+		}
+	}
+}
+
 // WithBloomFalsePositiveRate sets the target bloom filter false positive
 // rate for new SSTables. Default 0.01.
 func WithBloomFalsePositiveRate(fp float64) Option {
@@ -82,6 +94,7 @@ type DB struct {
 	wal     *wal
 	tables  []*sstable // oldest first; lookups scan newest first
 	nextNum uint64
+	cache   *blockCache // shared across all tables; nil when disabled
 
 	flushes     uint64
 	compactions uint64
@@ -106,6 +119,10 @@ type Stats struct {
 	SSTables        int
 	Flushes         uint64
 	Compactions     uint64
+	// BlockCacheHits/Misses count point lookups served from / missing the
+	// SSTable block cache (both zero when the cache is disabled).
+	BlockCacheHits   uint64
+	BlockCacheMisses uint64
 }
 
 // Open opens (creating if necessary) the store in dir.
@@ -115,6 +132,7 @@ func Open(dir string, optFns ...Option) (*DB, error) {
 		compactionThreshold: 8,
 		bloomFP:             0.01,
 		seed:                1,
+		blockCacheBytes:     4 << 20,
 	}
 	for _, f := range optFns {
 		f(&opts)
@@ -132,6 +150,7 @@ func Open(dir string, optFns ...Option) (*DB, error) {
 		walAppendSeconds:  telemetry.NewDurationHistogram(),
 		walFsyncSeconds:   telemetry.NewDurationHistogram(),
 	}
+	db.cache = newBlockCache(opts.blockCacheBytes)
 
 	// Load existing SSTables in file-number order (oldest first).
 	names, err := os.ReadDir(dir)
@@ -152,7 +171,7 @@ func Open(dir string, optFns ...Option) (*DB, error) {
 	}
 	sort.Slice(nums, func(i, j int) bool { return nums[i] < nums[j] })
 	for _, num := range nums {
-		t, err := openSSTable(db.sstPath(num), num)
+		t, err := openSSTable(db.sstPath(num), num, db.cache)
 		if err != nil {
 			return nil, errors.Join(err, db.closeTables())
 		}
@@ -336,12 +355,15 @@ func (db *DB) Compact() error {
 func (db *DB) Stats() Stats {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
+	hits, misses := db.cache.stats()
 	return Stats{
-		MemtableBytes:   db.mem.size,
-		MemtableEntries: db.mem.count,
-		SSTables:        len(db.tables),
-		Flushes:         db.flushes,
-		Compactions:     db.compactions,
+		MemtableBytes:    db.mem.size,
+		MemtableEntries:  db.mem.count,
+		SSTables:         len(db.tables),
+		Flushes:          db.flushes,
+		Compactions:      db.compactions,
+		BlockCacheHits:   hits,
+		BlockCacheMisses: misses,
 	}
 }
 
@@ -396,7 +418,7 @@ func (db *DB) flushLocked() error {
 	if _, err := writeSSTable(path, entries, db.opts.bloomFP); err != nil {
 		return err
 	}
-	t, err := openSSTable(path, num)
+	t, err := openSSTable(path, num, db.cache)
 	if err != nil {
 		return err
 	}

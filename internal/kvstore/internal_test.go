@@ -163,7 +163,7 @@ func TestSSTableWriteReadSeek(t *testing.T) {
 	if _, err := writeSSTable(path, entries, 0.01); err != nil {
 		t.Fatal(err)
 	}
-	tab, err := openSSTable(path, 1)
+	tab, err := openSSTable(path, 1, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -224,7 +224,7 @@ func TestSSTableCorruptionDetected(t *testing.T) {
 	if err := os.WriteFile(path, data, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := openSSTable(path, 1); err == nil {
+	if _, err := openSSTable(path, 1, nil); err == nil {
 		t.Fatal("openSSTable should fail on bad magic")
 	}
 }
@@ -235,7 +235,7 @@ func TestSSTableTruncatedFile(t *testing.T) {
 	if err := os.WriteFile(path, []byte("tiny"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := openSSTable(path, 1); err == nil {
+	if _, err := openSSTable(path, 1, nil); err == nil {
 		t.Fatal("openSSTable should fail on truncated file")
 	}
 }
@@ -332,7 +332,7 @@ func TestSSTablePropertyRoundTrip(t *testing.T) {
 		if _, err := writeSSTable(path, entries, 0.01); err != nil {
 			return false
 		}
-		tab, err := openSSTable(path, uint64(fileNo))
+		tab, err := openSSTable(path, uint64(fileNo), nil)
 		if err != nil {
 			return false
 		}

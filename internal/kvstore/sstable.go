@@ -143,9 +143,10 @@ type sstable struct {
 	bloom   *bloomFilter
 	dataEnd int64 // offset where the data section ends (== indexOff)
 	num     uint64
+	cache   *blockCache // shared with the owning DB; nil = uncached
 }
 
-func openSSTable(path string, num uint64) (*sstable, error) {
+func openSSTable(path string, num uint64, cache *blockCache) (*sstable, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("open sstable: %w", err)
@@ -156,6 +157,7 @@ func openSSTable(path string, num uint64) (*sstable, error) {
 		// alongside it rather than dropped.
 		return nil, errors.Join(err, f.Close())
 	}
+	t.cache = cache
 	return t, nil
 }
 
@@ -234,22 +236,77 @@ func (t *sstable) close() error { return t.f.Close() }
 
 // get performs a point lookup. found=false means key is not in this table;
 // found=true surfaces the value or tombstone.
+//
+// The lookup is block-granular: the index's binary search names the one
+// data block (index interval) that can hold the key, the block is fetched
+// whole — through the shared LRU block cache when the DB has one — and its
+// entries are scanned in place. Keys are compared without copying; only a
+// matched value is materialized (the returned copy must outlive the cached
+// block).
 func (t *sstable) get(key []byte) (value []byte, tombstone, found bool, err error) {
 	if !t.bloom.mayContain(key) {
 		return nil, false, false, nil
 	}
-	it, err := t.seek(key)
+	// The last index entry with key ≤ target names the block; entries are
+	// sorted, so a key before the table's first entry is absent.
+	i := sort.Search(len(t.index), func(i int) bool {
+		return bytes.Compare(t.index[i].key, key) > 0
+	}) - 1
+	if i < 0 {
+		return nil, false, false, nil
+	}
+	b, err := t.block(i)
 	if err != nil {
 		return nil, false, false, err
 	}
-	if !it.valid() {
-		return nil, false, false, nil
+	for len(b) > 0 {
+		klen, n := binary.Uvarint(b)
+		if n <= 0 {
+			return nil, false, false, fmt.Errorf("%w: bad sstable block entry", ErrCorrupt)
+		}
+		b = b[n:]
+		tag, n := binary.Uvarint(b)
+		if n <= 0 {
+			return nil, false, false, fmt.Errorf("%w: bad sstable block entry", ErrCorrupt)
+		}
+		b = b[n:]
+		vlen := int(tag >> 1)
+		if int(klen)+vlen > len(b) {
+			return nil, false, false, fmt.Errorf("%w: truncated sstable block entry", ErrCorrupt)
+		}
+		switch bytes.Compare(b[:klen], key) {
+		case 0:
+			return append([]byte(nil), b[klen:int(klen)+vlen]...), tag&1 == 1, true, nil
+		case 1:
+			return nil, false, false, nil // sorted: past the target
+		}
+		b = b[int(klen)+vlen:]
 	}
-	e := it.entry()
-	if !bytes.Equal(e.key, key) {
-		return nil, false, false, nil
+	return nil, false, false, nil
+}
+
+// block returns the raw bytes of data block i (the byte range from index
+// sample i up to the next sample or the end of the data section), consulting
+// the shared cache first. The returned slice is shared and read-only.
+func (t *sstable) block(i int) ([]byte, error) {
+	if t.cache != nil {
+		if b, ok := t.cache.get(t.num, i); ok {
+			return b, nil
+		}
 	}
-	return e.value, e.tombstone, true, nil
+	start := t.index[i].offset
+	end := t.dataEnd
+	if i+1 < len(t.index) {
+		end = t.index[i+1].offset
+	}
+	b := make([]byte, end-start)
+	if _, err := t.f.ReadAt(b, start); err != nil {
+		return nil, fmt.Errorf("read sstable block: %w", err)
+	}
+	if t.cache != nil {
+		t.cache.put(t.num, i, b)
+	}
+	return b, nil
 }
 
 // seek returns an iterator positioned at the first entry with key ≥ target.

@@ -55,6 +55,10 @@ type wal struct {
 	w        *bufio.Writer
 	len      int64 // bytes appended (buffered + flushed)
 	appended int64 // offset high-water mark handed to committers
+	// scratch is the reusable record-assembly buffer (header + payload),
+	// guarded by wmu — appends are serialized, so one buffer serves them
+	// all without a per-record allocation.
+	scratch []byte
 
 	// cmu serializes commit cohorts. committed/closed/commitErr are guarded
 	// by it.
@@ -96,24 +100,23 @@ func openWAL(path string, syncWrites bool) (*wal, error) {
 // (the DB holds its lock).
 func (w *wal) append(kind byte, key, value []byte) (int64, error) {
 	start := time.Now()
-	payload := make([]byte, 0, 1+binary.MaxVarintLen64+len(key)+len(value))
-	payload = append(payload, kind)
-	payload = binary.AppendUvarint(payload, uint64(len(key)))
-	payload = append(payload, key...)
-	payload = append(payload, value...)
-
-	var hdr [8]byte
-	binary.LittleEndian.PutUint32(hdr[0:4], crc32.ChecksumIEEE(payload))
-	binary.LittleEndian.PutUint32(hdr[4:8], uint32(len(payload)))
 	w.wmu.Lock()
 	defer w.wmu.Unlock()
-	if _, err := w.w.Write(hdr[:]); err != nil {
+	// Assemble header and payload in the reusable scratch and hand the
+	// record to the writer in one call.
+	b := append(w.scratch[:0], 0, 0, 0, 0, 0, 0, 0, 0) // crc + len, patched below
+	b = append(b, kind)
+	b = binary.AppendUvarint(b, uint64(len(key)))
+	b = append(b, key...)
+	b = append(b, value...)
+	w.scratch = b
+	payload := b[8:]
+	binary.LittleEndian.PutUint32(b[0:4], crc32.ChecksumIEEE(payload))
+	binary.LittleEndian.PutUint32(b[4:8], uint32(len(payload)))
+	if _, err := w.w.Write(b); err != nil {
 		return 0, fmt.Errorf("wal write: %w", err)
 	}
-	if _, err := w.w.Write(payload); err != nil {
-		return 0, fmt.Errorf("wal write: %w", err)
-	}
-	w.len += int64(8 + len(payload))
+	w.len += int64(len(b))
 	w.appended = w.len
 	if w.appendHist != nil {
 		w.appendHist.ObserveDuration(time.Since(start))

@@ -18,6 +18,7 @@ func BenchmarkSplitCells(b *testing.B) {
 	region := Rect{X0: 0, Y0: 0, X1: 2000, Y1: 2000}
 	for _, edge := range []int{40, 20, 10, 2} {
 		b.Run(sizeName(edge), func(b *testing.B) {
+			b.ReportAllocs()
 			cells := 0
 			for i := 0; i < b.N; i++ {
 				cs, err := im.SplitCells(region, edge)
@@ -31,6 +32,33 @@ func BenchmarkSplitCells(b *testing.B) {
 	}
 }
 
+// BenchmarkAppendSplitCells is the hot-path variant the pipeline runs: a
+// zero-copy view sliced into a reused scratch buffer. Steady state is
+// allocation-free — alloc_budget.json pins that at 0 allocs/op.
+func BenchmarkAppendSplitCells(b *testing.B) {
+	im := benchImage(2000)
+	v := im.FullView()
+	scratch := make([]Cell, 0, 1)
+	for _, edge := range []int{20, 10} {
+		b.Run(sizeName(edge), func(b *testing.B) {
+			var err error
+			scratch, err = v.AppendSplitCells(scratch[:0], edge) // warm the scratch
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				scratch, err = v.AppendSplitCells(scratch[:0], edge)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(len(scratch)*b.N)/b.Elapsed().Seconds(), "cells/s")
+		})
+	}
+}
+
 func sizeName(edge int) string {
 	return string(rune('0'+edge/10%10)) + string(rune('0'+edge%10)) + "px"
 }
@@ -38,6 +66,7 @@ func sizeName(edge int) string {
 func BenchmarkMarshal(b *testing.B) {
 	im := benchImage(2000)
 	b.SetBytes(int64(im.Bytes()))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = im.Marshal()
@@ -47,6 +76,7 @@ func BenchmarkMarshal(b *testing.B) {
 func BenchmarkUnmarshal(b *testing.B) {
 	data := benchImage(2000).Marshal()
 	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := Unmarshal(data); err != nil {
@@ -58,6 +88,7 @@ func BenchmarkUnmarshal(b *testing.B) {
 func BenchmarkPGMWrite(b *testing.B) {
 	im := benchImage(2000)
 	b.SetBytes(int64(im.Bytes()))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		var buf bytes.Buffer
@@ -70,6 +101,7 @@ func BenchmarkPGMWrite(b *testing.B) {
 func BenchmarkSubImage(b *testing.B) {
 	im := benchImage(2000)
 	r := Rect{X0: 100, Y0: 100, X1: 300, Y1: 500} // one specimen
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := im.SubImage(r); err != nil {
@@ -80,6 +112,7 @@ func BenchmarkSubImage(b *testing.B) {
 
 func BenchmarkPercentile(b *testing.B) {
 	im := benchImage(1000)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, ok := im.Percentile(95); !ok {

@@ -26,16 +26,28 @@ func (c Cell) CenterMM(mmPerPixel float64) (x, y float64) {
 // border may be smaller when edge does not divide the region evenly. The
 // returned cells are ordered row-major.
 func (im *Image) SplitCells(region Rect, edge int) ([]Cell, error) {
+	return im.AppendSplitCells(nil, region, edge)
+}
+
+// AppendSplitCells is SplitCells writing into a caller-provided buffer: the
+// cells are appended to dst and the extended slice returned, so a steady
+// per-frame split reuses one allocation (pass dst[:0] to reuse a scratch).
+func (im *Image) AppendSplitCells(dst []Cell, region Rect, edge int) ([]Cell, error) {
 	if edge <= 0 {
-		return nil, ErrBounds
+		return dst, ErrBounds
 	}
 	region = region.Intersect(Rect{X0: 0, Y0: 0, X1: im.Width, Y1: im.Height})
 	if region.Empty() {
-		return nil, nil
+		return dst, nil
 	}
 	cols := (region.W() + edge - 1) / edge
 	rows := (region.H() + edge - 1) / edge
-	cells := make([]Cell, 0, cols*rows)
+	cells := dst
+	if need := len(cells) + cols*rows; cap(cells) < need {
+		grown := make([]Cell, len(cells), need)
+		copy(grown, cells)
+		cells = grown
+	}
 	for row := 0; row < rows; row++ {
 		for col := 0; col < cols; col++ {
 			r := Rect{

@@ -16,21 +16,63 @@ import (
 //	pixels     width*height uint16, row-major, little endian
 const codecMagic uint32 = 0x4f54494d // "OTIM"
 
+// MarshalSize returns the encoded size of the image in bytes.
+func (im *Image) MarshalSize() int { return 20 + len(im.Pix)*2 }
+
 // Marshal encodes the image with the binary codec.
 func (im *Image) Marshal() []byte {
-	out := make([]byte, 20+len(im.Pix)*2)
-	binary.LittleEndian.PutUint32(out[0:4], codecMagic)
-	binary.LittleEndian.PutUint32(out[4:8], uint32(im.Width))
-	binary.LittleEndian.PutUint32(out[8:12], uint32(im.Height))
-	binary.LittleEndian.PutUint64(out[12:20], math.Float64bits(im.MMPerPixel))
-	for i, v := range im.Pix {
-		binary.LittleEndian.PutUint16(out[20+2*i:], v)
-	}
-	return out
+	return im.MarshalAppend(make([]byte, 0, im.MarshalSize()))
 }
 
-// Unmarshal decodes an image produced by Marshal.
+// MarshalAppend encodes the image onto dst and returns the extended slice,
+// so codec buffers can be pooled by the caller instead of allocated per
+// frame.
+func (im *Image) MarshalAppend(dst []byte) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, codecMagic)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(im.Width))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(im.Height))
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(im.MMPerPixel))
+	for _, v := range im.Pix {
+		dst = binary.LittleEndian.AppendUint16(dst, v)
+	}
+	return dst
+}
+
+// MarshalSize returns the encoded size of the view's window in bytes.
+func (v View) MarshalSize() int { return 20 + v.Width()*v.Height()*2 }
+
+// MarshalAppend encodes the view's window as a standalone image (the same
+// wire form as Image.Marshal, with the window's dimensions) without
+// materializing an intermediate copy. The window's position in the
+// underlying image is NOT encoded — callers that need it must carry the
+// origin separately.
+func (v View) MarshalAppend(dst []byte) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, codecMagic)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(v.Width()))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(v.Height()))
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v.Im.MMPerPixel))
+	for y := 0; y < v.Height(); y++ {
+		for _, px := range v.Row(y) {
+			dst = binary.LittleEndian.AppendUint16(dst, px)
+		}
+	}
+	return dst
+}
+
+// Unmarshal decodes an image produced by Marshal into a fresh image.
 func Unmarshal(data []byte) (*Image, error) {
+	return unmarshalWith(data, New)
+}
+
+// UnmarshalPooled decodes an image produced by Marshal into a buffer taken
+// from pool, so a steady decode loop recycles frames instead of allocating
+// 8 MB each. The caller owns the returned image and is responsible for
+// recycling it (see the ImagePool ownership rules).
+func UnmarshalPooled(data []byte, pool *ImagePool) (*Image, error) {
+	return unmarshalWith(data, pool.Get)
+}
+
+func unmarshalWith(data []byte, alloc func(w, h int, mmpp float64) *Image) (*Image, error) {
 	if len(data) < 20 {
 		return nil, fmt.Errorf("otimage: truncated header (%d bytes)", len(data))
 	}
@@ -45,7 +87,7 @@ func Unmarshal(data []byte) (*Image, error) {
 	if len(data) != 20+w*h*2 {
 		return nil, fmt.Errorf("otimage: size mismatch: header says %dx%d, payload %d bytes", w, h, len(data)-20)
 	}
-	im := New(w, h, math.Float64frombits(binary.LittleEndian.Uint64(data[12:20])))
+	im := alloc(w, h, math.Float64frombits(binary.LittleEndian.Uint64(data[12:20])))
 	for i := range im.Pix {
 		im.Pix[i] = binary.LittleEndian.Uint16(data[20+2*i:])
 	}

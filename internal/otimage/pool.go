@@ -1,0 +1,176 @@
+package otimage
+
+import (
+	"fmt"
+	"sync"
+)
+
+// ImagePool recycles Image buffers by dimension. A 2000×2000 OT frame is an
+// 8 MB pixel buffer; at paper frame rates, allocating one per frame (plus
+// one per preprocessing step) makes the garbage collector the dominant cost
+// of the image plane. The pool closes the loop: producers Get frames,
+// consumers Recycle them once no view or tuple can still reach the pixels.
+//
+// Ownership rules (DESIGN.md §13 "Memory model"):
+//
+//   - Get transfers ownership of the returned image to the caller.
+//   - Recycle transfers it back. The caller must guarantee that no View,
+//     KV entry, or downstream stage still aliases the image's Pix — a view
+//     must never outlive its image's ownership.
+//   - Recycling the same image twice without an intervening Get panics
+//     (the pooled flag on Image makes the check O(1) and always on).
+//   - Pixels are NOT zeroed: Get returns whatever the last owner wrote.
+//     Callers that need a cleared frame use GetZeroed.
+type ImagePool struct {
+	pools sync.Map // uint64 dimension key -> *sync.Pool of *Image
+}
+
+// DefaultImagePool is the shared process-wide pool.
+var DefaultImagePool ImagePool
+
+func dimKey(w, h int) uint64 { return uint64(uint32(w))<<32 | uint64(uint32(h)) }
+
+func (p *ImagePool) pool(w, h int) *sync.Pool {
+	key := dimKey(w, h)
+	if sp, ok := p.pools.Load(key); ok {
+		return sp.(*sync.Pool)
+	}
+	sp, _ := p.pools.LoadOrStore(key, new(sync.Pool))
+	return sp.(*sync.Pool)
+}
+
+// Get returns a width×height image, reusing a recycled buffer of the same
+// dimensions when one is available. Pixel contents are undefined — the
+// caller is expected to overwrite every pixel (decode, flat-field, copy).
+func (p *ImagePool) Get(width, height int, mmPerPixel float64) *Image {
+	if im, ok := p.pool(width, height).Get().(*Image); ok {
+		im.MMPerPixel = mmPerPixel
+		im.pooled = false
+		return im
+	}
+	return New(width, height, mmPerPixel)
+}
+
+// GetZeroed is Get with every pixel cleared to 0.
+func (p *ImagePool) GetZeroed(width, height int, mmPerPixel float64) *Image {
+	im := p.Get(width, height, mmPerPixel)
+	clear(im.Pix)
+	return im
+}
+
+// Recycle returns im to the pool. It panics on a double recycle; it cannot
+// detect a recycle-while-aliased (that is the owner's contract — see the
+// package-level ownership rules).
+func (p *ImagePool) Recycle(im *Image) {
+	if im == nil {
+		return
+	}
+	if im.pooled {
+		panic(fmt.Sprintf("otimage: image %dx%d recycled twice without an intervening Get", im.Width, im.Height))
+	}
+	if len(im.Pix) != im.Width*im.Height {
+		// A truncated or re-sliced Pix would poison future Gets.
+		panic(fmt.Sprintf("otimage: recycled image has %d pixels for %dx%d", len(im.Pix), im.Width, im.Height))
+	}
+	im.pooled = true
+	p.pool(im.Width, im.Height).Put(im)
+}
+
+// View is a zero-copy window into an Image: it aliases the image's Pix with
+// the image's row stride instead of copying the region the way SubImage
+// does. The region R is kept in the underlying image's coordinates, so cell
+// statistics computed through a view locate events on the build plate
+// exactly like statistics computed on the full frame.
+//
+// A view is a borrowed reference: it is valid only while its image is owned
+// by someone upstream of every reader of the view. Views must not cross an
+// ImagePool.Recycle of their image, and they are in-process only — the
+// tuple codec materializes a copy when a view crosses a connector.
+type View struct {
+	Im *Image
+	R  Rect
+}
+
+// ViewOf returns a view of region r of im. The region must lie within the
+// image bounds.
+func (im *Image) ViewOf(r Rect) (View, error) {
+	if r.X0 < 0 || r.Y0 < 0 || r.X1 > im.Width || r.Y1 > im.Height || r.Empty() {
+		return View{}, fmt.Errorf("%w: %v in %dx%d", ErrBounds, r, im.Width, im.Height)
+	}
+	return View{Im: im, R: r}, nil
+}
+
+// FullView returns a view covering all of im.
+func (im *Image) FullView() View {
+	return View{Im: im, R: Rect{X0: 0, Y0: 0, X1: im.Width, Y1: im.Height}}
+}
+
+// Width returns the view width in pixels.
+func (v View) Width() int { return v.R.W() }
+
+// Height returns the view height in pixels.
+func (v View) Height() int { return v.R.H() }
+
+// MMPerPixel returns the underlying image's pixel pitch.
+func (v View) MMPerPixel() float64 {
+	if v.Im == nil {
+		return 0
+	}
+	return v.Im.MMPerPixel
+}
+
+// At returns the intensity at view-local (x, y) (0 outside the view).
+func (v View) At(x, y int) uint16 {
+	if x < 0 || y < 0 || x >= v.R.W() || y >= v.R.H() || v.Im == nil {
+		return 0
+	}
+	return v.Im.Pix[(v.R.Y0+y)*v.Im.Width+v.R.X0+x]
+}
+
+// Row returns the y-th row of the view as a slice aliasing the underlying
+// image (stride access — no copy).
+func (v View) Row(y int) []uint16 {
+	base := (v.R.Y0 + y) * v.Im.Width
+	return v.Im.Pix[base+v.R.X0 : base+v.R.X1]
+}
+
+// AppendSplitCells tiles the view into edge×edge-pixel cells, appending the
+// cells to dst (pass dst[:0] to reuse a scratch buffer). Cell regions are in
+// the underlying image's coordinates, exactly as Image.SplitCells reports
+// them for the same region.
+func (v View) AppendSplitCells(dst []Cell, edge int) ([]Cell, error) {
+	if v.Im == nil {
+		return dst, ErrBounds
+	}
+	return v.Im.AppendSplitCells(dst, v.R, edge)
+}
+
+// SplitCells is the allocating convenience form of AppendSplitCells.
+func (v View) SplitCells(edge int) ([]Cell, error) {
+	return v.AppendSplitCells(nil, edge)
+}
+
+// MaskedMean returns the mean non-zero intensity inside the view.
+func (v View) MaskedMean() (mean float64, ok bool) {
+	if v.Im == nil {
+		return 0, false
+	}
+	return v.Im.MaskedMean(v.R)
+}
+
+// Materialize copies the view's pixels into a fresh, independent Image —
+// the escape hatch for data that must outlive the viewed image (connector
+// crossings, retained state).
+func (v View) Materialize() *Image {
+	out := New(v.R.W(), v.R.H(), v.MMPerPixel())
+	for y := 0; y < v.R.H(); y++ {
+		copy(out.Pix[y*v.R.W():(y+1)*v.R.W()], v.Row(y))
+	}
+	return out
+}
+
+// CellView returns the zero-copy view of one cell produced by splitting
+// this image (the cell's Region is already in image coordinates).
+func (im *Image) CellView(c Cell) View {
+	return View{Im: im, R: c.Region}
+}

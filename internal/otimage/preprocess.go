@@ -62,19 +62,35 @@ func ComputeFlatField(refs []*Image) (*FlatField, error) {
 
 // Apply returns a corrected copy of im (values clamped to uint16 range).
 func (ff *FlatField) Apply(im *Image) (*Image, error) {
+	out := New(im.Width, im.Height, im.MMPerPixel)
+	if err := ff.ApplyInto(out, im); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ApplyInto writes the corrected image into dst, which must have im's
+// dimensions — the zero-allocation form for steady per-frame correction
+// with a pooled or scratch destination. dst and im may be the same image
+// (in-place correction).
+func (ff *FlatField) ApplyInto(dst, im *Image) error {
 	if im.Width != ff.Width || im.Height != ff.Height {
-		return nil, fmt.Errorf("%w: image %dx%d vs flat field %dx%d",
+		return fmt.Errorf("%w: image %dx%d vs flat field %dx%d",
 			ErrBounds, im.Width, im.Height, ff.Width, ff.Height)
 	}
-	out := New(im.Width, im.Height, im.MMPerPixel)
+	if dst.Width != im.Width || dst.Height != im.Height {
+		return fmt.Errorf("%w: destination %dx%d vs image %dx%d",
+			ErrBounds, dst.Width, dst.Height, im.Width, im.Height)
+	}
+	dst.MMPerPixel = im.MMPerPixel
 	for i, v := range im.Pix {
 		c := float64(v) * ff.gain[i]
 		if c > 65535 {
 			c = 65535
 		}
-		out.Pix[i] = uint16(c)
+		dst.Pix[i] = uint16(c)
 	}
-	return out, nil
+	return nil
 }
 
 // Gain returns the correction factor at (x, y) (0 outside bounds).
@@ -98,6 +114,27 @@ func (im *Image) Downsample(factor int) (*Image, error) {
 	w := (im.Width + factor - 1) / factor
 	h := (im.Height + factor - 1) / factor
 	out := New(w, h, im.MMPerPixel*float64(factor))
+	if err := im.DownsampleInto(out, factor); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// DownsampleInto box-averages im by an integer factor ≥ 2 into dst, which
+// must already have the reduced dimensions — the reuse-friendly form for a
+// steady multi-resolution loop with a pooled destination.
+func (im *Image) DownsampleInto(dst *Image, factor int) error {
+	if factor < 2 {
+		return fmt.Errorf("%w: factor %d", ErrBounds, factor)
+	}
+	w := (im.Width + factor - 1) / factor
+	h := (im.Height + factor - 1) / factor
+	if dst.Width != w || dst.Height != h {
+		return fmt.Errorf("%w: destination %dx%d for %dx%d/%d",
+			ErrBounds, dst.Width, dst.Height, im.Width, im.Height, factor)
+	}
+	dst.MMPerPixel = im.MMPerPixel * float64(factor)
+	out := dst
 	for oy := 0; oy < h; oy++ {
 		for ox := 0; ox < w; ox++ {
 			var sum, n uint64
@@ -121,5 +158,5 @@ func (im *Image) Downsample(factor int) (*Image, error) {
 			}
 		}
 	}
-	return out, nil
+	return nil
 }

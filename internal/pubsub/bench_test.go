@@ -20,6 +20,7 @@ func BenchmarkBrokerPublishOneSubscriber(b *testing.B) {
 		}
 	}()
 	data := make([]byte, 256)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := br.Publish("bench", data); err != nil {
@@ -43,6 +44,7 @@ func BenchmarkBrokerPublishFanOut8(b *testing.B) {
 		subs = append(subs, sub)
 	}
 	data := make([]byte, 256)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := br.Publish("bench", data); err != nil {
@@ -63,6 +65,7 @@ func BenchmarkBrokerWildcardMatch(b *testing.B) {
 	}
 	for _, c := range cases {
 		b.Run(c.pattern, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if !Match(c.pattern, c.subject) {
 					b.Fatal("no match")
@@ -100,6 +103,7 @@ func BenchmarkTCPRoundTrip(b *testing.B) {
 	defer pubC.Close()
 
 	data := make([]byte, 1024)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := pubC.Publish("bench", data); err != nil {
@@ -166,6 +170,7 @@ func benchTCPPublishThroughput(b *testing.B, interval time.Duration, fanout int)
 		defer close(done)
 		drained.Wait()
 	}()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := pubC.Publish("bench", data); err != nil {
@@ -223,6 +228,7 @@ func BenchmarkTCPLargeImagePayload(b *testing.B) {
 	// A full-resolution OT image payload (8 MiB).
 	data := make([]byte, 8<<20)
 	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := pubC.Publish("img", data); err != nil {

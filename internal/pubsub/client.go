@@ -208,17 +208,23 @@ func (c *Conn) PublishMsg(m Message) error {
 		return ErrClosed
 	}
 	c.mu.Unlock()
+	op := opPub
 	if m.Traceparent != "" {
-		return c.sendCorked(opPubT,
-			u16(len(m.Traceparent)), []byte(m.Traceparent),
-			u16(len(m.Subject)), []byte(m.Subject),
-			u16(len(m.Reply)), []byte(m.Reply),
-			m.Data)
+		op = opPubT
 	}
-	return c.sendCorked(opPub,
-		u16(len(m.Subject)), []byte(m.Subject),
-		u16(len(m.Reply)), []byte(m.Reply),
-		m.Data)
+	// The zero-allocation frame path: headers are assembled in the writer's
+	// scratch, m.Data goes to the socket buffer directly and is never
+	// retained, so callers may reuse it after PublishMsg returns.
+	if err := c.cw.writeMsg(op, 0, 0, m.Traceparent, m.Subject, m.Reply, m.Data); err != nil {
+		c.mu.Lock()
+		closed := c.closed
+		c.mu.Unlock()
+		if closed {
+			return ErrClosed
+		}
+		return err
+	}
+	return nil
 }
 
 // Subscribe registers a subscription on the server. Only WithSubBuffer and

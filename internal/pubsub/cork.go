@@ -2,6 +2,8 @@ package pubsub
 
 import (
 	"bufio"
+	"encoding/binary"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -42,6 +44,10 @@ type corkedWriter struct {
 	err    error // first write/flush error; sticky
 	dirty  bool  // frames buffered since the last flush
 	closed bool
+	// scratch holds the length prefix, op, and metadata of a frame built by
+	// writeMsg; guarded by mu and reused across frames, so the steady
+	// publish/deliver path assembles headers without allocating.
+	scratch []byte
 
 	kick chan struct{} // cap 1: "there is unflushed data"
 	quit chan struct{}
@@ -71,6 +77,69 @@ func (cw *corkedWriter) writeCorked(op byte, payload ...[]byte) error {
 		cw.mu.Unlock()
 		return err
 	}
+	if cw.interval <= 0 {
+		err := cw.flushLocked()
+		cw.mu.Unlock()
+		return err
+	}
+	cw.dirty = true
+	cw.mu.Unlock()
+	select {
+	case cw.kick <- struct{}{}:
+	default: // a wakeup is already pending; it covers this frame too
+	}
+	return nil
+}
+
+// writeMsg assembles and writes one publish/deliver frame (opPub, opPubT,
+// opMsg, opMsgT) through the cork without the per-field header slices of the
+// generic variadic path: the length prefix, op, and metadata are built into
+// the writer's reusable scratch and written in one call, and the payload is
+// handed to the bufio writer directly (no staging copy for an 8 MB image
+// frame). sid/seq ride only in the opMsg variants, tp only in the T variants.
+func (cw *corkedWriter) writeMsg(op byte, sid, seq uint64, tp, subject, reply string, data []byte) error {
+	cw.mu.Lock()
+	if cw.err != nil {
+		cw.mu.Unlock()
+		return cw.err
+	}
+	if cw.closed {
+		cw.mu.Unlock()
+		return ErrClosed
+	}
+	b := append(cw.scratch[:0], 0, 0, 0, 0, op)
+	if op == opMsg || op == opMsgT {
+		b = binary.LittleEndian.AppendUint64(b, sid)
+		b = binary.LittleEndian.AppendUint64(b, seq)
+	}
+	if op == opPubT || op == opMsgT {
+		b = binary.LittleEndian.AppendUint16(b, uint16(len(tp)))
+		b = append(b, tp...)
+	}
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(subject)))
+	b = append(b, subject...)
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(reply)))
+	b = append(b, reply...)
+	cw.scratch = b
+	total := len(b) - 4 + len(data)
+	if total > maxFrameSize {
+		cw.mu.Unlock()
+		return fmt.Errorf("pubsub: frame too large (%d bytes)", total)
+	}
+	binary.LittleEndian.PutUint32(b[:4], uint32(total))
+	if _, err := cw.w.Write(b); err != nil {
+		cw.err = err
+		cw.mu.Unlock()
+		return err
+	}
+	if len(data) > 0 {
+		if _, err := cw.w.Write(data); err != nil {
+			cw.err = err
+			cw.mu.Unlock()
+			return err
+		}
+	}
+	cw.stats.frames.Add(1)
 	if cw.interval <= 0 {
 		err := cw.flushLocked()
 		cw.mu.Unlock()

@@ -184,7 +184,6 @@ func (s *Server) serveConn(conn net.Conn) {
 		fwdWG.Wait()
 	}()
 
-	send := cw.writeCorked
 	sendErr := func(err error) {
 		if e := cw.writeNow(opErr, []byte(err.Error())); e != nil {
 			s.logf("pubsub server: send error frame: %v", e)
@@ -296,24 +295,14 @@ func (s *Server) serveConn(conn net.Conn) {
 			go func(sid uint64, sub *Subscription) {
 				defer fwdWG.Done()
 				for msg := range sub.C {
-					var err error
+					// Traced messages ride opMsgT so the subscriber's
+					// process can continue the span. Both variants go
+					// through the zero-allocation frame path.
+					fop := opMsg
 					if msg.Traceparent != "" {
-						// Traced messages ride opMsgT so the subscriber's
-						// process can continue the span.
-						err = send(opMsgT,
-							u64(sid), u64(msg.Seq),
-							u16(len(msg.Traceparent)), []byte(msg.Traceparent),
-							u16(len(msg.Subject)), []byte(msg.Subject),
-							u16(len(msg.Reply)), []byte(msg.Reply),
-							msg.Data)
-					} else {
-						err = send(opMsg,
-							u64(sid), u64(msg.Seq),
-							u16(len(msg.Subject)), []byte(msg.Subject),
-							u16(len(msg.Reply)), []byte(msg.Reply),
-							msg.Data)
+						fop = opMsgT
 					}
-					if err != nil {
+					if err := cw.writeMsg(fop, sid, msg.Seq, msg.Traceparent, msg.Subject, msg.Reply, msg.Data); err != nil {
 						sub.Unsubscribe()
 						return
 					}

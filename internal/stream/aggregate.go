@@ -4,6 +4,7 @@ import (
 	"container/heap"
 	"context"
 	"fmt"
+	"sync"
 	"time"
 )
 
@@ -73,16 +74,18 @@ func Aggregate[In Timestamped, K comparable, Out any](
 	watchOutput(stats, out.ch)
 	stats.installShed(o.shed, o.shedSet, &q.knobs)
 	q.addOperator(&aggregateOp[In, K, Out]{
-		name:  name,
-		in:    in.ch,
-		out:   out.ch,
-		spec:  spec,
-		key:   key,
-		agg:   agg,
-		g:     q.qz.newGuard(),
-		batch: o.batch,
-		stats: stats,
-		open:  make(map[winKey[K]]*winState[In]),
+		name:    name,
+		in:      in.ch,
+		out:     out.ch,
+		spec:    spec,
+		key:     key,
+		agg:     agg,
+		g:       q.qz.newGuard(),
+		batch:   o.batch,
+		stats:   stats,
+		open:    make(map[winKey[K]]*winState[In]),
+		inPool:  chunkPoolFor[In](),
+		recycle: !in.shared,
 	})
 	return out
 }
@@ -110,6 +113,9 @@ type aggregateOp[In Timestamped, K comparable, Out any] struct {
 	batch int
 	stats *OpStats
 
+	inPool  *sync.Pool
+	recycle bool
+
 	open    map[winKey[K]]*winState[In]
 	pending winHeap[K]
 	nextSeq int64
@@ -124,13 +130,14 @@ func (a *aggregateOp[In, K, Out]) run(ctx context.Context) (err error) {
 	defer a.g.exit(&err)
 	defer recoverPanic(&err)
 	em := newChunkEmitter(ctx, a.g.qz, a.out, a.batch, a.stats)
+	emitFn := Emit[Out](em.emit)
 	for {
 		a.g.idle()
 		select {
 		case chunk, ok := <-a.in:
 			a.g.recv(ok)
 			if !ok {
-				if err := a.flushAll(em.emit); err != nil {
+				if err := a.flushAll(emitFn); err != nil {
 					return err
 				}
 				return em.flush()
@@ -138,13 +145,16 @@ func (a *aggregateOp[In, K, Out]) run(ctx context.Context) (err error) {
 			a.stats.addIn(int64(len(chunk)))
 			start := time.Now()
 			for _, v := range chunk {
-				if err := a.ingest(v, em.emit); err != nil {
+				if err := a.ingest(v, emitFn); err != nil {
 					return err
 				}
 			}
 			a.stats.observeServiceChunk(time.Since(start), len(chunk))
 			if a.sawAny {
 				a.stats.observeEventTime(a.maxTS)
+			}
+			if a.recycle {
+				recycleChunk(a.inPool, chunk)
 			}
 			if err := em.flush(); err != nil {
 				return err

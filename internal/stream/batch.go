@@ -23,7 +23,8 @@ const DefaultLinger = 200 * time.Microsecond
 // downstream. It is safe for the linger timer goroutine and the source
 // goroutine to race; the mutex is held across the channel send so chunks
 // leave in emission order (a linger fire cannot overtake a full-buffer
-// flush).
+// flush). Chunk buffers come from the per-type pool (chunkpool.go); the
+// consumer that finishes a chunk recycles it.
 type chunker[T any] struct {
 	ctx    context.Context
 	qz     *quiescer
@@ -31,6 +32,7 @@ type chunker[T any] struct {
 	max    int
 	linger time.Duration
 	stats  *OpStats
+	pool   *sync.Pool
 	// gate is the operator's shed gate (nil unless WithShedPolicy); knobs
 	// are the query's dynamic overload controls (nil only in unit tests
 	// that construct chunkers directly).
@@ -52,6 +54,7 @@ func newChunker[T any](ctx context.Context, qz *quiescer, out chan []T, max int,
 	_, _, knobs := stats.shedSetup()
 	return &chunker[T]{
 		ctx: ctx, qz: qz, out: out, max: max, linger: linger, stats: stats,
+		pool: chunkPoolFor[T](),
 		gate: newShedGate(qz, out, stats), knobs: knobs,
 	}
 }
@@ -61,18 +64,20 @@ func newChunker[T any](ctx context.Context, qz *quiescer, out chan []T, max int,
 // semantics (dynamic batch boost deliberately leaves max == 1 operators
 // alone, so the lock-free path stays race-free). Departure accounting
 // (produced count, source watermark) lives here so shed tuples never count
-// as produced.
+// as produced. v is buffered before the gate decision so every interface
+// check (shed policy, watermark) runs against a heap-resident tuple — a shed
+// just truncates the buffer again.
 func (c *chunker[T]) emit(v T) error {
-	if !c.gate.admit(v) {
-		return nil
-	}
 	if c.max == 1 {
-		c.stats.observeBatch(1)
-		if err := c.sendOut([]T{v}); err != nil {
-			return err
+		chunk := getChunk[T](c.pool, 1)
+		chunk = append(chunk, v)
+		if !c.gate.admit(&chunk[0]) {
+			recycleChunk(c.pool, chunk)
+			return nil
 		}
-		observeDeparture(c.stats, v)
-		return nil
+		c.stats.observeBatch(1)
+		observeDeparture(c.stats, &chunk[0])
+		return c.sendOut(chunk)
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -82,16 +87,26 @@ func (c *chunker[T]) emit(v T) error {
 	if c.closed {
 		return context.Canceled
 	}
+	max := c.knobs.boostedMax(c.max)
+	if c.buf == nil {
+		c.buf = getChunk[T](c.pool, max)
+	}
 	c.buf = append(c.buf, v)
-	if len(c.buf) >= c.knobs.boostedMax(c.max) {
+	i := len(c.buf) - 1
+	if !c.gate.admit(&c.buf[i]) {
+		var zero T
+		c.buf[i] = zero
+		c.buf = c.buf[:i]
+		return nil
+	}
+	observeDeparture(c.stats, &c.buf[i])
+	if len(c.buf) >= max {
 		if err := c.flushLocked(); err != nil {
 			c.err = err
 			return err
 		}
-		observeDeparture(c.stats, v)
 		return nil
 	}
-	observeDeparture(c.stats, v)
 	if linger := c.knobs.boostedLinger(c.linger); linger > 0 && !c.armed {
 		c.armed = true
 		if c.timer == nil {
@@ -115,7 +130,9 @@ func (c *chunker[T]) sendOut(chunk []T) error {
 // flushLocked sends the buffered chunk while holding c.mu. Back-pressure
 // applies here: a full downstream channel blocks the flush (and therefore
 // the source), exactly as the unbatched engine blocked per tuple.
-// Cancellation still unblocks the send via ctx inside emit.
+// Cancellation still unblocks the send via ctx inside emit. The send
+// transfers chunk ownership downstream — the buffer must not be touched
+// again here.
 func (c *chunker[T]) flushLocked() error {
 	if len(c.buf) == 0 {
 		return nil
@@ -185,9 +202,9 @@ func observeChunkArrival[T any](s *OpStats, chunk []T) {
 		max  int64
 		seen bool
 	)
-	for _, v := range chunk {
-		if ts, ok := any(v).(Timestamped); ok {
-			if t := ts.EventTime(); !seen || t > max {
+	for i := range chunk {
+		if t, ok := eventTimeOf(&chunk[i]); ok {
+			if !seen || t > max {
 				max, seen = t, true
 			}
 		}
@@ -217,8 +234,8 @@ func recordChunkSpans[T any](name string, chunk []T, total time.Duration) {
 		return
 	}
 	per := total / time.Duration(len(chunk))
-	for _, v := range chunk {
-		recordSpan(name, v, per)
+	for i := range chunk {
+		recordSpan(name, &chunk[i], per)
 	}
 }
 
@@ -227,13 +244,15 @@ func recordChunkSpans[T any](name string, chunk []T, total time.Duration) {
 // when a chunk fills and — crucially — whenever the operator finishes an
 // input chunk or is about to block waiting for input. No output tuple is
 // ever held across a wait, so batching adds no latency beyond the source's
-// linger.
+// linger. Buffers come from the per-type chunk pool; the downstream consumer
+// recycles them.
 type chunkEmitter[T any] struct {
 	ctx   context.Context
 	qz    *quiescer
 	out   chan []T
 	max   int
 	stats *OpStats
+	pool  *sync.Pool
 	gate  *shedGate[T]
 	knobs *OverloadKnobs
 	buf   []T
@@ -246,25 +265,34 @@ func newChunkEmitter[T any](ctx context.Context, qz *quiescer, out chan []T, max
 	_, _, knobs := stats.shedSetup()
 	return &chunkEmitter[T]{
 		ctx: ctx, qz: qz, out: out, max: max, stats: stats,
+		pool: chunkPoolFor[T](),
 		gate: newShedGate(qz, out, stats), knobs: knobs,
 	}
 }
 
 // emit appends v to the open chunk, sending it downstream once full. The
 // produced-tuple counter advances here so operator metrics stay per-tuple;
-// shed tuples are counted by the gate instead and never count as produced.
+// shed tuples are counted by the gate instead and never count as produced
+// (the gate sees v already in the buffer — a shed truncates it back off).
 // Dynamic batch boost applies only to operators batching already (max > 1),
 // mirroring the chunker.
 func (e *chunkEmitter[T]) emit(v T) error {
-	if !e.gate.admit(v) {
-		return nil
-	}
-	e.buf = append(e.buf, v)
-	e.stats.addOut(1)
 	max := e.max
 	if max > 1 {
 		max = e.knobs.boostedMax(max)
 	}
+	if e.buf == nil {
+		e.buf = getChunk[T](e.pool, max)
+	}
+	e.buf = append(e.buf, v)
+	i := len(e.buf) - 1
+	if !e.gate.admit(&e.buf[i]) {
+		var zero T
+		e.buf[i] = zero
+		e.buf = e.buf[:i]
+		return nil
+	}
+	e.stats.addOut(1)
 	if len(e.buf) >= max {
 		return e.flush()
 	}
@@ -272,7 +300,8 @@ func (e *chunkEmitter[T]) emit(v T) error {
 }
 
 // flush sends the open chunk, if any. Operators call it after each input
-// chunk and before every blocking receive.
+// chunk and before every blocking receive. The send transfers chunk
+// ownership downstream.
 func (e *chunkEmitter[T]) flush() error {
 	if len(e.buf) == 0 {
 		return nil

@@ -21,6 +21,7 @@ func benchSource(n int) SourceFunc[At[int]] {
 
 func BenchmarkMapThroughput(b *testing.B) {
 	const tuples = 100000
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		q := NewQuery("bench", WithQueryBuffer(1024))
@@ -42,6 +43,7 @@ func BenchmarkPipelineDepth(b *testing.B) {
 	const tuples = 50000
 	for _, depth := range []int{1, 4, 8} {
 		b.Run(fmt.Sprintf("depth%d", depth), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				q := NewQuery("bench", WithQueryBuffer(1024))
 				cur := AddSource(q, "src", benchSource(tuples))
@@ -62,6 +64,7 @@ func BenchmarkPipelineDepth(b *testing.B) {
 
 func BenchmarkAggregateTumbling(b *testing.B) {
 	const tuples = 100000
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		q := NewQuery("bench", WithQueryBuffer(1024))
@@ -79,6 +82,7 @@ func BenchmarkAggregateTumbling(b *testing.B) {
 
 func BenchmarkJoinMatched(b *testing.B) {
 	const tuples = 20000
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		q := NewQuery("bench", WithQueryBuffer(1024))
@@ -106,6 +110,7 @@ func BenchmarkRegistryOp(b *testing.B) {
 		names[i] = fmt.Sprintf("op%d", i)
 		r.Op(names[i]) // pre-register: steady state is pure lookups
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	b.RunParallel(func(pb *testing.PB) {
 		i := 0
@@ -125,6 +130,7 @@ func BenchmarkRegistrySnapshotUnderLoad(b *testing.B) {
 		s.addIn(1000)
 		s.observeService(time.Millisecond)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if snap := r.Snapshot(); len(snap) != 16 {
@@ -137,6 +143,7 @@ func BenchmarkShuffleMerge(b *testing.B) {
 	const tuples = 100000
 	for _, par := range []int{2, 4, 8} {
 		b.Run(fmt.Sprintf("par%d", par), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				q := NewQuery("bench", WithQueryBuffer(1024))
 				src := AddSource(q, "src", benchSource(tuples))
@@ -170,6 +177,7 @@ func BenchmarkShedGate(b *testing.B) {
 	}
 	for _, mode := range []string{"ungated", "inert", "engaged"} {
 		b.Run(mode, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				q := NewQuery("bench", WithQueryBuffer(1024))
 				var opts []OpOption

@@ -3,6 +3,7 @@ package stream
 import (
 	"context"
 	"fmt"
+	"sync"
 	"time"
 )
 
@@ -53,10 +54,12 @@ func CountAggregate[In any, K comparable, Out any](
 		name: name, in: in.ch, out: out.ch,
 		size: size, advance: advance,
 		key: key, agg: agg,
-		g:     q.qz.newGuard(),
-		state: make(map[K]*countKeyState[In]),
-		batch: o.batch,
-		stats: stats,
+		g:       q.qz.newGuard(),
+		state:   make(map[K]*countKeyState[In]),
+		batch:   o.batch,
+		stats:   stats,
+		inPool:  chunkPoolFor[In](),
+		recycle: !in.shared,
 	})
 	return out
 }
@@ -83,6 +86,8 @@ type countAggOp[In any, K comparable, Out any] struct {
 	state         map[K]*countKeyState[In]
 	batch         int
 	stats         *OpStats
+	inPool        *sync.Pool
+	recycle       bool
 }
 
 func (c *countAggOp[In, K, Out]) opName() string { return c.name }
@@ -92,6 +97,7 @@ func (c *countAggOp[In, K, Out]) run(ctx context.Context) (err error) {
 	defer c.g.exit(&err)
 	defer recoverPanic(&err)
 	em := newChunkEmitter(ctx, c.g.qz, c.out, c.batch, c.stats)
+	emitFn := Emit[Out](em.emit)
 	for {
 		c.g.idle()
 		select {
@@ -122,7 +128,7 @@ func (c *countAggOp[In, K, Out]) run(ctx context.Context) (err error) {
 						w.tuples = append(w.tuples, v)
 					}
 					if len(w.tuples) == c.size {
-						err := c.agg(CountWindow[K, In]{Key: k, Seq: w.start, Tuples: w.tuples}, em.emit)
+						err := c.agg(CountWindow[K, In]{Key: k, Seq: w.start, Tuples: w.tuples}, emitFn)
 						if err != nil {
 							return err
 						}
@@ -133,6 +139,9 @@ func (c *countAggOp[In, K, Out]) run(ctx context.Context) (err error) {
 				st.open = kept
 			}
 			c.stats.observeServiceChunk(time.Since(start), len(chunk))
+			if c.recycle {
+				recycleChunk(c.inPool, chunk)
+			}
 			if err := em.flush(); err != nil {
 				return err
 			}

@@ -3,6 +3,7 @@ package stream
 import (
 	"context"
 	"fmt"
+	"sync"
 	"time"
 )
 
@@ -48,35 +49,41 @@ func Join[L Timestamped, R Timestamped, K comparable, Out any](
 	watchOutput(stats, out.ch)
 	stats.installShed(o.shed, o.shedSet, &q.knobs)
 	q.addOperator(&joinOp[L, R, K, Out]{
-		name:  name,
-		left:  left.ch,
-		right: right.ch,
-		out:   out.ch,
-		ws:    ws,
-		keyL:  keyL,
-		keyR:  keyR,
-		join:  join,
-		g:     q.qz.newGuard(),
-		batch: o.batch,
-		stats: stats,
-		lbuf:  make(map[K][]L),
-		rbuf:  make(map[K][]R),
+		name:     name,
+		left:     left.ch,
+		right:    right.ch,
+		out:      out.ch,
+		ws:       ws,
+		keyL:     keyL,
+		keyR:     keyR,
+		join:     join,
+		g:        q.qz.newGuard(),
+		batch:    o.batch,
+		lPool:    chunkPoolFor[L](),
+		rPool:    chunkPoolFor[R](),
+		recycleL: !left.shared,
+		recycleR: !right.shared,
+		stats:    stats,
+		lbuf:     make(map[K][]L),
+		rbuf:     make(map[K][]R),
 	})
 	return out
 }
 
 type joinOp[L Timestamped, R Timestamped, K comparable, Out any] struct {
-	name  string
-	left  chan []L
-	right chan []R
-	out   chan []Out
-	ws    int64
-	keyL  KeyFunc[L, K]
-	keyR  KeyFunc[R, K]
-	join  JoinFunc[L, R, Out]
-	g     *opGuard
-	batch int
-	stats *OpStats
+	name               string
+	left               chan []L
+	right              chan []R
+	out                chan []Out
+	ws                 int64
+	keyL               KeyFunc[L, K]
+	keyR               KeyFunc[R, K]
+	join               JoinFunc[L, R, Out]
+	g                  *opGuard
+	batch              int
+	stats              *OpStats
+	lPool, rPool       *sync.Pool
+	recycleL, recycleR bool
 
 	lbuf             map[K][]L
 	rbuf             map[K][]R
@@ -93,6 +100,7 @@ func (j *joinOp[L, R, K, Out]) run(ctx context.Context) (err error) {
 	defer j.g.exit(&err)
 	defer recoverPanic(&err)
 	em := newChunkEmitter(ctx, j.g.qz, j.out, j.batch, j.stats)
+	emitFn := Emit[Out](em.emit)
 	lch, rch := j.left, j.right
 	for lch != nil || rch != nil {
 		j.g.idle()
@@ -110,11 +118,14 @@ func (j *joinOp[L, R, K, Out]) run(ctx context.Context) (err error) {
 			j.stats.addIn(int64(len(lc)))
 			start := time.Now()
 			for _, l := range lc {
-				if err := j.ingestLeft(l, em.emit); err != nil {
+				if err := j.ingestLeft(l, emitFn); err != nil {
 					return err
 				}
 			}
 			j.stats.observeServiceChunk(time.Since(start), len(lc))
+			if j.recycleL {
+				recycleChunk(j.lPool, lc)
+			}
 			if j.sawL {
 				j.stats.observeEventTime(j.maxL)
 			}
@@ -132,11 +143,14 @@ func (j *joinOp[L, R, K, Out]) run(ctx context.Context) (err error) {
 			j.stats.addIn(int64(len(rc)))
 			start := time.Now()
 			for _, r := range rc {
-				if err := j.ingestRight(r, em.emit); err != nil {
+				if err := j.ingestRight(r, emitFn); err != nil {
 					return err
 				}
 			}
 			j.stats.observeServiceChunk(time.Since(start), len(rc))
+			if j.recycleR {
+				recycleChunk(j.rPool, rc)
+			}
 			if j.sawR {
 				j.stats.observeEventTime(j.maxR)
 			}

@@ -2,6 +2,7 @@ package stream
 
 import (
 	"context"
+	"sync"
 	"time"
 )
 
@@ -41,26 +42,30 @@ func KeyedProcess[K comparable, S any, In, Out any](
 	q.addOperator(&keyedOp[K, S, In, Out]{
 		name: name, in: in.ch, out: out.ch,
 		key: key, fn: fn, onEnd: onEnd,
-		g:     q.qz.newGuard(),
-		state: make(map[K]S),
-		batch: o.batch,
-		stats: stats,
+		g:       q.qz.newGuard(),
+		state:   make(map[K]S),
+		batch:   o.batch,
+		stats:   stats,
+		inPool:  chunkPoolFor[In](),
+		recycle: !in.shared,
 	})
 	return out
 }
 
 type keyedOp[K comparable, S any, In, Out any] struct {
-	name  string
-	in    chan []In
-	out   chan []Out
-	key   KeyFunc[In, K]
-	fn    KeyedProcessFunc[K, S, In, Out]
-	onEnd KeyedEndFunc[K, S, Out]
-	g     *opGuard
-	state map[K]S
-	order []K // key insertion order, for deterministic end-of-stream flush
-	batch int
-	stats *OpStats
+	name    string
+	in      chan []In
+	out     chan []Out
+	key     KeyFunc[In, K]
+	fn      KeyedProcessFunc[K, S, In, Out]
+	onEnd   KeyedEndFunc[K, S, Out]
+	g       *opGuard
+	state   map[K]S
+	order   []K // key insertion order, for deterministic end-of-stream flush
+	batch   int
+	stats   *OpStats
+	inPool  *sync.Pool
+	recycle bool
 }
 
 func (k *keyedOp[K, S, In, Out]) opName() string { return k.name }
@@ -70,6 +75,7 @@ func (k *keyedOp[K, S, In, Out]) run(ctx context.Context) (err error) {
 	defer k.g.exit(&err)
 	defer recoverPanic(&err)
 	em := newChunkEmitter(ctx, k.g.qz, k.out, k.batch, k.stats)
+	emitFn := Emit[Out](em.emit)
 	for {
 		k.g.idle()
 		select {
@@ -82,7 +88,7 @@ func (k *keyedOp[K, S, In, Out]) run(ctx context.Context) (err error) {
 						if !live {
 							continue
 						}
-						if err := k.onEnd(key, st, em.emit); err != nil {
+						if err := k.onEnd(key, st, emitFn); err != nil {
 							return err
 						}
 					}
@@ -94,7 +100,7 @@ func (k *keyedOp[K, S, In, Out]) run(ctx context.Context) (err error) {
 			for _, v := range chunk {
 				key := k.key(v)
 				st, existed := k.state[key]
-				newSt, keep, err := k.fn(key, st, v, em.emit)
+				newSt, keep, err := k.fn(key, st, v, emitFn)
 				if err != nil {
 					return err
 				}
@@ -111,6 +117,9 @@ func (k *keyedOp[K, S, In, Out]) run(ctx context.Context) (err error) {
 			d := time.Since(start)
 			k.stats.observeServiceChunk(d, len(chunk))
 			recordChunkSpans(k.name, chunk, d)
+			if k.recycle {
+				recycleChunk(k.inPool, chunk)
+			}
 			if err := em.flush(); err != nil {
 				return err
 			}

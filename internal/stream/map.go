@@ -2,6 +2,7 @@ package stream
 
 import (
 	"context"
+	"sync"
 	"time"
 )
 
@@ -64,18 +65,21 @@ func FlatMap[In, Out any](q *Query, name string, in *Stream[In], fn FlatMapFunc[
 	stats.installShed(o.shed, o.shedSet, &q.knobs)
 	q.addOperator(&flatMapOp[In, Out]{
 		name: name, in: in.ch, out: out.ch, fn: fn, g: q.qz.newGuard(), batch: o.batch, stats: stats,
+		inPool: chunkPoolFor[In](), recycle: !in.shared,
 	})
 	return out
 }
 
 type flatMapOp[In, Out any] struct {
-	name  string
-	in    chan []In
-	out   chan []Out
-	fn    FlatMapFunc[In, Out]
-	g     *opGuard
-	batch int
-	stats *OpStats
+	name    string
+	in      chan []In
+	out     chan []Out
+	fn      FlatMapFunc[In, Out]
+	g       *opGuard
+	batch   int
+	stats   *OpStats
+	inPool  *sync.Pool
+	recycle bool
 }
 
 func (m *flatMapOp[In, Out]) opName() string { return m.name }
@@ -88,6 +92,9 @@ func (m *flatMapOp[In, Out]) run(ctx context.Context) (err error) {
 	defer m.g.exit(&err)
 	defer recoverPanic(&err)
 	em := newChunkEmitter(ctx, m.g.qz, m.out, m.batch, m.stats)
+	// One emit closure for the operator's lifetime: binding em.emit at every
+	// fn call would allocate a method value per tuple.
+	emitFn := Emit[Out](em.emit)
 	for {
 		m.g.idle()
 		select {
@@ -99,13 +106,16 @@ func (m *flatMapOp[In, Out]) run(ctx context.Context) (err error) {
 			observeChunkArrival(m.stats, chunk)
 			start := time.Now()
 			for _, v := range chunk {
-				if err := m.fn(v, em.emit); err != nil {
+				if err := m.fn(v, emitFn); err != nil {
 					return err
 				}
 			}
 			d := time.Since(start)
 			m.stats.observeServiceChunk(d, len(chunk))
 			recordChunkSpans(m.name, chunk, d)
+			if m.recycle {
+				recycleChunk(m.inPool, chunk)
+			}
 			// Flush the partial output chunk before blocking for more
 			// input: batching must never hold completed work hostage.
 			if err := em.flush(); err != nil {

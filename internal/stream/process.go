@@ -2,6 +2,7 @@ package stream
 
 import (
 	"context"
+	"sync"
 	"time"
 )
 
@@ -35,19 +36,22 @@ func Process[In, Out any](
 	stats.installShed(o.shed, o.shedSet, &q.knobs)
 	q.addOperator(&processOp[In, Out]{
 		name: name, in: in.ch, out: out.ch, fn: fn, onEnd: onEnd, g: q.qz.newGuard(), batch: o.batch, stats: stats,
+		inPool: chunkPoolFor[In](), recycle: !in.shared,
 	})
 	return out
 }
 
 type processOp[In, Out any] struct {
-	name  string
-	in    chan []In
-	out   chan []Out
-	fn    FlatMapFunc[In, Out]
-	onEnd EndFunc[Out]
-	g     *opGuard
-	batch int
-	stats *OpStats
+	name    string
+	in      chan []In
+	out     chan []Out
+	fn      FlatMapFunc[In, Out]
+	onEnd   EndFunc[Out]
+	g       *opGuard
+	batch   int
+	stats   *OpStats
+	inPool  *sync.Pool
+	recycle bool
 }
 
 func (p *processOp[In, Out]) opName() string { return p.name }
@@ -57,6 +61,7 @@ func (p *processOp[In, Out]) run(ctx context.Context) (err error) {
 	defer p.g.exit(&err)
 	defer recoverPanic(&err)
 	em := newChunkEmitter(ctx, p.g.qz, p.out, p.batch, p.stats)
+	emitFn := Emit[Out](em.emit)
 	for {
 		p.g.idle()
 		select {
@@ -64,7 +69,7 @@ func (p *processOp[In, Out]) run(ctx context.Context) (err error) {
 			p.g.recv(ok)
 			if !ok {
 				if p.onEnd != nil {
-					if err := p.onEnd(em.emit); err != nil {
+					if err := p.onEnd(emitFn); err != nil {
 						return err
 					}
 				}
@@ -73,13 +78,16 @@ func (p *processOp[In, Out]) run(ctx context.Context) (err error) {
 			observeChunkArrival(p.stats, chunk)
 			start := time.Now()
 			for _, v := range chunk {
-				if err := p.fn(v, em.emit); err != nil {
+				if err := p.fn(v, emitFn); err != nil {
 					return err
 				}
 			}
 			d := time.Since(start)
 			p.stats.observeServiceChunk(d, len(chunk))
 			recordChunkSpans(p.name, chunk, d)
+			if p.recycle {
+				recycleChunk(p.inPool, chunk)
+			}
 			if err := em.flush(); err != nil {
 				return err
 			}

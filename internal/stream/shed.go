@@ -220,15 +220,54 @@ func newShedGate[T any](qz *quiescer, out chan []T, stats *OpStats) *shedGate[T]
 	return &shedGate[T]{policy: policy, knobs: knobs, qz: qz, out: out, stats: stats}
 }
 
-// admit decides v's fate before it is buffered for the edge: true means the
-// caller proceeds as usual (buffer, and possibly block); false means v was
-// shed — counted, its event time folded into the watermark, and nothing else
-// owed.
-func (g *shedGate[T]) admit(v T) bool {
+// The assertion helpers mirror trace.go: check *T first so struct tuples are
+// probed without copying them into an interface box, with a value fallback
+// for pointer- or interface-typed tuples.
+
+// sheddableOf reports whether *v may be shed (tuples that do not implement
+// Sheddable are sheddable).
+func sheddableOf[T any](v *T) bool {
+	if s, ok := any(v).(Sheddable); ok {
+		return s.Sheddable()
+	}
+	if s, ok := any(*v).(Sheddable); ok {
+		return s.Sheddable()
+	}
+	return true
+}
+
+// shedDeadlineOf reports *v's shed deadline, if it carries one.
+func shedDeadlineOf[T any](v *T) (time.Time, bool) {
+	if d, ok := any(v).(Deadlined); ok {
+		return d.ShedDeadline(), true
+	}
+	if d, ok := any(*v).(Deadlined); ok {
+		return d.ShedDeadline(), true
+	}
+	return time.Time{}, false
+}
+
+// shedPriorityOf reports *v's shedding priority (0 for tuples without one).
+func shedPriorityOf[T any](v *T) int {
+	if p, ok := any(v).(Prioritized); ok {
+		return p.ShedPriority()
+	}
+	if p, ok := any(*v).(Prioritized); ok {
+		return p.ShedPriority()
+	}
+	return 0
+}
+
+// admit decides *v's fate before it is kept buffered for the edge: true means
+// the caller proceeds as usual (buffer, and possibly block); false means v
+// was shed — counted, its event time folded into the watermark, and nothing
+// else owed. v must point into caller-owned storage (the emitter's open
+// chunk); admit never retains it.
+func (g *shedGate[T]) admit(v *T) bool {
 	if g == nil {
 		return true
 	}
-	if s, ok := any(v).(Sheddable); ok && !s.Sheddable() {
+	if !sheddableOf(v) {
 		return true
 	}
 	dynDrop, dynFloor := false, 0
@@ -237,11 +276,9 @@ func (g *shedGate[T]) admit(v T) bool {
 		dynFloor = int(g.knobs.floor.Load())
 	}
 	if g.policy.DropExpired || dynDrop {
-		if d, ok := any(v).(Deadlined); ok {
-			if dl := d.ShedDeadline(); !dl.IsZero() && time.Now().After(dl) {
-				g.shedTuple(v, &g.stats.shedExpired, "expired")
-				return false
-			}
+		if dl, ok := shedDeadlineOf(v); ok && !dl.IsZero() && time.Now().After(dl) {
+			g.shedTuple(v, &g.stats.shedExpired, "expired")
+			return false
 		}
 	}
 	floor := dynFloor
@@ -249,11 +286,7 @@ func (g *shedGate[T]) admit(v T) bool {
 		floor = g.policy.Floor
 	}
 	if floor > 0 && len(g.out) == cap(g.out) {
-		prio := 0
-		if p, ok := any(v).(Prioritized); ok {
-			prio = p.ShedPriority()
-		}
-		if prio < floor {
+		if shedPriorityOf(v) < floor {
 			g.shedTuple(v, &g.stats.shedLowPri, "lowpri")
 			return false
 		}
@@ -291,11 +324,11 @@ func (g *shedGate[T]) send(ctx context.Context, chunk []T) error {
 // operator's watermark — the heartbeat that keeps downstream event-time
 // progress (and therefore window closing) intact even though the payload is
 // gone.
-func (g *shedGate[T]) shedTuple(v T, counter *atomic.Int64, reason string) {
+func (g *shedGate[T]) shedTuple(v *T, counter *atomic.Int64, reason string) {
 	counter.Add(1)
 	g.stats.noteShedBurst(reason)
-	if ts, ok := any(v).(Timestamped); ok {
-		g.stats.observeEventTime(ts.EventTime())
+	if t, ok := eventTimeOf(v); ok {
+		g.stats.observeEventTime(t)
 	}
 }
 
@@ -323,10 +356,10 @@ func newSinkGate[T any](stats *OpStats) *sinkGate[T] {
 	return &sinkGate[T]{policy: policy, knobs: knobs, stats: stats}
 }
 
-// admit reports whether the sink should service v; false means v was shed as
-// expired (counted, watermark heartbeat folded in).
-func (g *sinkGate[T]) admit(v T) bool {
-	if s, ok := any(v).(Sheddable); ok && !s.Sheddable() {
+// admit reports whether the sink should service *v; false means v was shed
+// as expired (counted, watermark heartbeat folded in).
+func (g *sinkGate[T]) admit(v *T) bool {
+	if !sheddableOf(v) {
 		return true
 	}
 	drop := g.policy.DropExpired
@@ -336,15 +369,15 @@ func (g *sinkGate[T]) admit(v T) bool {
 	if !drop {
 		return true
 	}
-	d, ok := any(v).(Deadlined)
+	dl, ok := shedDeadlineOf(v)
 	if !ok {
 		return true
 	}
-	if dl := d.ShedDeadline(); !dl.IsZero() && time.Now().After(dl) {
+	if !dl.IsZero() && time.Now().After(dl) {
 		g.stats.shedExpired.Add(1)
 		g.stats.noteShedBurst("expired")
-		if ts, ok := any(v).(Timestamped); ok {
-			g.stats.observeEventTime(ts.EventTime())
+		if t, ok := eventTimeOf(v); ok {
+			g.stats.observeEventTime(t)
 		}
 		return false
 	}
@@ -355,12 +388,12 @@ func (g *sinkGate[T]) admit(v T) bool {
 // unsheddable survivors (markers) for re-emission ahead of the fresh data.
 func (g *shedGate[T]) shedChunk(chunk []T) []T {
 	var keep []T
-	for _, v := range chunk {
-		if s, ok := any(v).(Sheddable); ok && !s.Sheddable() {
-			keep = append(keep, v)
+	for i := range chunk {
+		if !sheddableOf(&chunk[i]) {
+			keep = append(keep, chunk[i])
 			continue
 		}
-		g.shedTuple(v, &g.stats.shedOverflow, "overflow")
+		g.shedTuple(&chunk[i], &g.stats.shedOverflow, "overflow")
 	}
 	return keep
 }

@@ -36,17 +36,22 @@ func Shuffle[T any](q *Query, name string, in *Stream[T], n int, hash HashFunc[T
 	}
 	stats := q.metrics.Op(name)
 	watchOutput(stats, chs...)
-	q.addOperator(&shuffleOp[T]{name: name, in: in.ch, outs: chs, hash: hash, g: q.qz.newGuard(), stats: stats})
+	q.addOperator(&shuffleOp[T]{
+		name: name, in: in.ch, outs: chs, hash: hash, g: q.qz.newGuard(), stats: stats,
+		pool: chunkPoolFor[T](), recycle: !in.shared,
+	})
 	return outs
 }
 
 type shuffleOp[T any] struct {
-	name  string
-	in    chan []T
-	outs  []chan []T
-	hash  HashFunc[T]
-	g     *opGuard
-	stats *OpStats
+	name    string
+	in      chan []T
+	outs    []chan []T
+	hash    HashFunc[T]
+	g       *opGuard
+	stats   *OpStats
+	pool    *sync.Pool
+	recycle bool
 }
 
 func (s *shuffleOp[T]) opName() string { return s.name }
@@ -73,11 +78,19 @@ func (s *shuffleOp[T]) run(ctx context.Context) (err error) {
 			}
 			s.stats.addIn(int64(len(chunk)))
 			// Partition the chunk, preserving input order within each
-			// branch, then send each non-empty sub-chunk. Sub-chunks are
-			// fresh slices: the downstream consumer owns them.
-			for _, v := range chunk {
-				idx := s.hash(v) % n
-				parts[idx] = append(parts[idx], v)
+			// branch, then send each non-empty sub-chunk. Sub-chunks come
+			// from the pool (sized so one never grows): the downstream
+			// consumer owns them. The input chunk is fully copied out, so
+			// it can be recycled before the sends.
+			for i := range chunk {
+				idx := s.hash(chunk[i]) % n
+				if parts[idx] == nil {
+					parts[idx] = getChunk[T](s.pool, len(chunk))
+				}
+				parts[idx] = append(parts[idx], chunk[i])
+			}
+			if s.recycle {
+				recycleChunk(s.pool, chunk)
 			}
 			for i, p := range parts {
 				if len(p) == 0 {
@@ -100,13 +113,15 @@ func (s *shuffleOp[T]) run(ctx context.Context) (err error) {
 // output streams. It is how one stream feeds several downstream operators
 // (streams are otherwise single-consumer). Chunks are forwarded by
 // reference — consumers must treat them as read-only, which all engine
-// operators do.
+// operators do — so the output streams are marked shared and their
+// consumers leave chunks to the collector instead of recycling them.
 func Fanout[T any](q *Query, name string, in *Stream[T], n int, opts ...OpOption) []*Stream[T] {
 	o := applyOpts(q, opts)
 	outs := make([]*Stream[T], n)
 	chs := make([]chan []T, n)
 	for i := range outs {
 		outs[i] = newStream[T](q, fmt.Sprintf("%s.%d", name, i), o.buffer)
+		outs[i].shared = true
 		chs[i] = outs[i].ch
 	}
 	in.claim(q, name)
@@ -172,6 +187,11 @@ func Merge[T any](q *Query, name string, ins []*Stream[T], opts ...OpOption) *St
 	for i, in := range ins {
 		in.claim(q, name)
 		chs[i] = in.ch
+		// Merge forwards chunks by reference, so sharing propagates: a
+		// merge fed by a Fanout branch produces shared chunks too.
+		if in.shared {
+			out.shared = true
+		}
 	}
 	if len(ins) == 0 {
 		q.recordErr(fmt.Errorf("stream: merge %q: needs at least one input", name))

@@ -2,6 +2,7 @@ package stream
 
 import (
 	"context"
+	"sync"
 	"time"
 
 	"strata/internal/telemetry"
@@ -27,17 +28,20 @@ func AddSink[T any](q *Query, name string, in *Stream[T], fn SinkFunc[T], opts .
 	q.addOperator(&sinkOp[T]{
 		name: name, in: in.ch, fn: fn, g: q.qz.newGuard(), stats: stats,
 		traces: q.traces, gate: newSinkGate[T](stats),
+		pool: chunkPoolFor[T](), recycle: !in.shared,
 	})
 }
 
 type sinkOp[T any] struct {
-	name   string
-	in     chan []T
-	fn     SinkFunc[T]
-	g      *opGuard
-	stats  *OpStats
-	traces *telemetry.TraceBuffer
-	gate   *sinkGate[T]
+	name    string
+	in      chan []T
+	fn      SinkFunc[T]
+	g       *opGuard
+	stats   *OpStats
+	traces  *telemetry.TraceBuffer
+	gate    *sinkGate[T]
+	pool    *sync.Pool
+	recycle bool
 }
 
 func (s *sinkOp[T]) opName() string { return s.name }
@@ -54,6 +58,7 @@ func (s *sinkOp[T]) run(ctx context.Context) (err error) {
 				return nil
 			}
 			observeChunkArrival(s.stats, chunk)
+			orig := chunk
 			if s.gate != nil {
 				// Chunks are forwarded by reference downstream of Fanout, so
 				// the backing array may be shared with a sibling branch —
@@ -61,14 +66,14 @@ func (s *sinkOp[T]) run(ctx context.Context) (err error) {
 				// common case allocates nothing, and each tuple is admitted
 				// exactly once (admit counts what it sheds).
 				kept := chunk
-				for i, v := range chunk {
-					if s.gate.admit(v) {
+				for i := range chunk {
+					if s.gate.admit(&chunk[i]) {
 						continue
 					}
 					kept = append(make([]T, 0, len(chunk)-1), chunk[:i]...)
-					for _, w := range chunk[i+1:] {
-						if s.gate.admit(w) {
-							kept = append(kept, w)
+					for j := i + 1; j < len(chunk); j++ {
+						if s.gate.admit(&chunk[j]) {
+							kept = append(kept, chunk[j])
 						}
 					}
 					break
@@ -85,9 +90,16 @@ func (s *sinkOp[T]) run(ctx context.Context) (err error) {
 			s.stats.observeServiceChunk(d, len(chunk))
 			if len(chunk) > 0 {
 				per := d / time.Duration(len(chunk))
-				for _, v := range chunk {
-					finishTrace(s.name, v, per, s.traces)
+				for i := range chunk {
+					finishTrace(s.name, &chunk[i], per, s.traces)
 				}
+			}
+			// The sink is the end of the line for its chunk: recycle it
+			// (unless it is shared with a Fanout sibling). A lazily-copied
+			// kept slice is left to the collector — that path only runs
+			// while shedding.
+			if s.recycle {
+				recycleChunk(s.pool, orig)
 			}
 		case <-ctx.Done():
 			return ctx.Err()

@@ -26,6 +26,12 @@ type Stream[T any] struct {
 	// consumed marks that a downstream operator already reads this stream.
 	consumed bool
 	producer string
+	// shared marks a stream whose chunks alias storage also visible to
+	// another consumer (Fanout branches, and Merges fed by one). The
+	// consumer of a shared stream must not recycle chunks into the pool;
+	// everything else about chunk handling is unchanged. See chunkpool.go
+	// for the ownership rules.
+	shared bool
 }
 
 // Name returns the stream's name (the producing operator's name).

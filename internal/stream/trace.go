@@ -18,35 +18,59 @@ type Traceable interface {
 	TraceContext() *telemetry.Trace
 }
 
-// traceOf extracts the trace carried by v, if any.
-func traceOf[T any](v T) *telemetry.Trace {
+// The helpers below take *T and assert the POINTER against the interface.
+// For a struct tuple type the pointer's method set is a superset of the
+// value's, so the assertion succeeds whenever a value assertion would — but
+// boxing a *T into an interface stores one word instead of heap-allocating a
+// copy of the whole tuple, which is what `any(v)` costs for a struct the
+// size of core.EventTuple on every tuple of every chunk. A value assertion
+// remains as a fallback for tuple types that are themselves pointers or
+// interfaces (where *T implements nothing).
+
+// traceOf extracts the trace carried by *v, if any.
+func traceOf[T any](v *T) *telemetry.Trace {
 	if tr, ok := any(v).(Traceable); ok {
+		return tr.TraceContext()
+	}
+	if tr, ok := any(*v).(Traceable); ok {
 		return tr.TraceContext()
 	}
 	return nil
 }
 
+// eventTimeOf reports *v's event time via the Timestamped interface, boxing
+// a pointer instead of the tuple itself.
+func eventTimeOf[T any](v *T) (int64, bool) {
+	if ts, ok := any(v).(Timestamped); ok {
+		return ts.EventTime(), true
+	}
+	if ts, ok := any(*v).(Timestamped); ok {
+		return ts.EventTime(), true
+	}
+	return 0, false
+}
+
 // observeArrival records one consumed tuple: the input counter plus, for
 // timestamped tuples, the operator's event-time watermark.
-func observeArrival[T any](s *OpStats, v T) {
+func observeArrival[T any](s *OpStats, v *T) {
 	s.addIn(1)
-	if ts, ok := any(v).(Timestamped); ok {
-		s.observeEventTime(ts.EventTime())
+	if t, ok := eventTimeOf(v); ok {
+		s.observeEventTime(t)
 	}
 }
 
 // observeDeparture records one produced tuple, advancing the watermark for
 // operators that originate timestamped tuples (sources).
-func observeDeparture[T any](s *OpStats, v T) {
+func observeDeparture[T any](s *OpStats, v *T) {
 	s.addOut(1)
-	if ts, ok := any(v).(Timestamped); ok {
-		s.observeEventTime(ts.EventTime())
+	if t, ok := eventTimeOf(v); ok {
+		s.observeEventTime(t)
 	}
 }
 
 // recordSpan stamps the operator's span on the tuple's trace, if it carries
 // one.
-func recordSpan[T any](name string, v T, d time.Duration) {
+func recordSpan[T any](name string, v *T, d time.Duration) {
 	if tr := traceOf(v); tr != nil {
 		tr.Record(name, d)
 	}
@@ -55,7 +79,7 @@ func recordSpan[T any](name string, v T, d time.Duration) {
 // finishTrace completes the tuple's trace at a sink and, for the first sink
 // to do so (fan-out can deliver the same trace to several), files it in the
 // query's trace buffer.
-func finishTrace[T any](name string, v T, d time.Duration, buf *telemetry.TraceBuffer) {
+func finishTrace[T any](name string, v *T, d time.Duration, buf *telemetry.TraceBuffer) {
 	tr := traceOf(v)
 	if tr == nil {
 		return

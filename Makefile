@@ -7,7 +7,7 @@ BENCH_PKGS  := . ./internal/core ./internal/stream ./internal/pubsub ./internal/
 BENCH_TIME  ?= 300ms
 BENCH_COUNT ?= 1
 
-.PHONY: ci vet build test race bench bench-smoke alloc-smoke profile lint lint-json metrics-smoke obs-smoke chaos overload
+.PHONY: ci vet build test race bench bench-smoke alloc-smoke profile lint lint-json metrics-smoke obs-smoke chaos overload e2e
 
 ## ci: the full gate — vet, build, the test suite under the race detector,
 ## the stratalint analyzers (see DESIGN.md, "Static contracts") diffed
@@ -15,9 +15,9 @@ BENCH_COUNT ?= 1
 ## suite over the linter's own packages too), one -benchtime=1x pass over
 ## the data-plane benchmarks so the batched fast paths run under -race too,
 ## the kill-and-recover chaos suite, the overload degradation suite
-## (DESIGN.md §11), and the cross-process observability smoke (DESIGN.md
-## §12).
-ci: vet build race lint lint-json bench-smoke alloc-smoke chaos overload obs-smoke
+## (DESIGN.md §11), the cross-process observability smoke (DESIGN.md §12),
+## and the multi-process chaos scenarios (DESIGN.md §14).
+ci: vet build race lint lint-json bench-smoke alloc-smoke chaos overload obs-smoke e2e
 
 vet:
 	$(GO) vet ./...
@@ -115,3 +115,14 @@ metrics-smoke:
 ## flight recorder dumped flightrec-<pid>.json (DESIGN.md §12).
 obs-smoke:
 	$(GO) test -count=1 -v -run 'TestObsSmokeCrossProcess' ./internal/core
+
+## e2e: the multi-process chaos scenarios (DESIGN.md §14) — a real
+## strata-broker and strata-worker spawned as OS processes, their link
+## routed through a fault-injecting TCP proxy, each scenario (worker
+## SIGKILL, broker SIGKILL, partition, wire corruption, slow-consumer
+## eviction, armed crashpoint) asserting the durable sink's dump is
+## byte-identical to a fault-free run. Logs, flight-recorder dumps, and
+## failure snapshots land under bench-out/e2e/<TestName>/. The -timeout is
+## the hard stop: a wedged scenario fails instead of hanging CI.
+e2e:
+	$(GO) test -count=1 -v -timeout 300s -run 'TestE2E' ./internal/harness

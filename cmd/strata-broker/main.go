@@ -28,8 +28,10 @@ func run() error {
 	addr := flag.String("addr", ":4222", "listen address")
 	idleTimeout := flag.Duration("idle-timeout", 0,
 		"reap connections that send no frame for this long (0 disables); requires every client to heartbeat (DialReconnect) — plain subscribe-only clients are reaped as silent")
+	slowConsumer := flag.Duration("slow-consumer-timeout", 0,
+		"evict Block-policy subscribers that stall a delivery for this long (0 disables)")
 	metricsAddr := flag.String("metrics-addr", "",
-		"serve Prometheus /metrics and /healthz on this address (empty disables)")
+		"serve Prometheus /metrics, /healthz, and /readyz on this address (empty disables)")
 	pprofOn := flag.Bool("pprof", false,
 		"mount /debug/pprof/ on the metrics address (requires -metrics-addr)")
 	applyLog := obslog.Flags(flag.CommandLine)
@@ -48,7 +50,11 @@ func run() error {
 	// through; /debug/trace/<id> serves those fragments to strata-trace.
 	traces := telemetry.NewTraceBuffer(telemetry.DefaultTraceCapacity).
 		WithLabels(telemetry.L("query", "broker"))
-	broker := pubsub.NewBroker(pubsub.WithTraceFragments(traces))
+	bopts := []pubsub.BrokerOption{pubsub.WithTraceFragments(traces)}
+	if *slowConsumer > 0 {
+		bopts = append(bopts, pubsub.WithSlowConsumerTimeout(*slowConsumer))
+	}
+	broker := pubsub.NewBroker(bopts...)
 	srv, err := pubsub.Serve(broker, *addr, opts...)
 	if err != nil {
 		return err
@@ -67,6 +73,9 @@ func run() error {
 				return traces.Slowest(0)
 			}),
 			telemetry.WithTraceLookup(traces.Find),
+			// The broker is ready when its pubsub listener is accepting; by
+			// the time the metrics endpoint exists, it is.
+			telemetry.WithReadiness(func() error { return nil }),
 		}
 		if *pprofOn {
 			hopts = append(hopts, telemetry.WithProfiling())

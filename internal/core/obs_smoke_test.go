@@ -1,22 +1,19 @@
 package core
 
 import (
-	"bufio"
 	"context"
 	"encoding/json"
 	"fmt"
 	"io"
-	"net/http"
 	"os"
-	"os/exec"
 	"path/filepath"
 	"strconv"
 	"strings"
-	"sync"
 	"syscall"
 	"testing"
 	"time"
 
+	"strata/internal/harness"
 	"strata/internal/obslog"
 	"strata/internal/pubsub"
 	"strata/internal/telemetry"
@@ -29,6 +26,10 @@ import (
 // processes record fragments of the same trace, each served by its own
 // /debug/trace/<id> endpoint — which this test fetches and merges, the same
 // join the strata-trace command performs.
+//
+// The helper processes are managed by the e2e harness (internal/harness):
+// re-exec'ed via ProcSpec{Path: os.Executable()}, gated on their stdout line
+// protocol, logs and flight-recorder dumps collected as artifacts.
 const (
 	obsRoleEnv      = "STRATA_OBS_ROLE"
 	obsBrokerEnv    = "STRATA_OBS_BROKER"
@@ -139,108 +140,21 @@ func obsWorkerRole() {
 	io.Copy(io.Discard, os.Stdin)
 }
 
-// obsHelper wraps one re-exec'ed helper process and the line protocol on its
-// stdout.
-type obsHelper struct {
-	cmd   *exec.Cmd
-	stdin io.WriteCloser
-	lines chan string
-	wait  sync.Once
-}
-
-func startObsHelper(t *testing.T, role string, extraEnv ...string) *obsHelper {
+// obsHelperSpec re-execs this test binary as one helper role, under the
+// harness's process management: captured logs, flight-recorder redirection,
+// restart budget, cleanup reaping.
+func obsHelperSpec(t *testing.T, role string, extraEnv ...string) harness.ProcSpec {
 	t.Helper()
 	exe, err := os.Executable()
 	if err != nil {
 		t.Fatal(err)
 	}
-	cmd := exec.Command(exe, "-test.run=TestObsSmokeHelper$")
-	cmd.Env = append(os.Environ(), obsRoleEnv+"="+role)
-	cmd.Env = append(cmd.Env, extraEnv...)
-	cmd.Stderr = os.Stderr
-	stdin, err := cmd.StdinPipe()
-	if err != nil {
-		t.Fatal(err)
+	return harness.ProcSpec{
+		Name: "obs-" + role,
+		Path: exe,
+		Args: []string{"-test.run=TestObsSmokeHelper$"},
+		Env:  append([]string{obsRoleEnv + "=" + role}, extraEnv...),
 	}
-	stdout, err := cmd.StdoutPipe()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := cmd.Start(); err != nil {
-		t.Fatalf("start %s helper: %v", role, err)
-	}
-	h := &obsHelper{cmd: cmd, stdin: stdin, lines: make(chan string, 16)}
-	go func() {
-		sc := bufio.NewScanner(stdout)
-		for sc.Scan() {
-			select {
-			case h.lines <- sc.Text():
-			default: // helper chatter beyond the protocol lines; drop
-			}
-		}
-		close(h.lines)
-	}()
-	t.Cleanup(func() { h.stop() })
-	return h
-}
-
-// expect reads protocol lines until one starts with prefix, returning the
-// rest of that line.
-func (h *obsHelper) expect(t *testing.T, prefix string) string {
-	t.Helper()
-	deadline := time.After(30 * time.Second)
-	for {
-		select {
-		case line, ok := <-h.lines:
-			if !ok {
-				t.Fatalf("helper exited before printing %q", prefix)
-			}
-			if rest, found := strings.CutPrefix(line, prefix); found {
-				return strings.TrimSpace(rest)
-			}
-		case <-deadline:
-			t.Fatalf("timed out waiting for %q from helper", prefix)
-		}
-	}
-}
-
-// stop closes the helper's stdin (its run-until signal) and reaps it.
-func (h *obsHelper) stop() {
-	h.wait.Do(func() {
-		h.stdin.Close()
-		done := make(chan struct{})
-		go func() { h.cmd.Wait(); close(done) }()
-		select {
-		case <-done:
-		case <-time.After(10 * time.Second):
-			h.cmd.Process.Kill()
-			<-done
-		}
-	})
-}
-
-// fetchFragments GETs one process's span fragments for a trace, tolerating
-// 404 (fragments not filed yet) by returning nil.
-func fetchFragments(t *testing.T, addr, id string) []telemetry.TraceSnapshot {
-	t.Helper()
-	resp, err := http.Get(fmt.Sprintf("http://%s/debug/trace/%s", addr, id))
-	if err != nil {
-		t.Fatalf("GET /debug/trace/%s from %s: %v", id, addr, err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode == http.StatusNotFound {
-		return nil
-	}
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("GET /debug/trace/%s from %s: %s", id, addr, resp.Status)
-	}
-	var rep struct {
-		Fragments []telemetry.TraceSnapshot `json:"fragments"`
-	}
-	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
-		t.Fatalf("decode fragments from %s: %v", addr, err)
-	}
-	return rep.Fragments
 }
 
 // TestObsSmokeCrossProcess is the make obs-smoke entry point: a pipeline
@@ -251,18 +165,19 @@ func TestObsSmokeCrossProcess(t *testing.T) {
 	if testing.Short() {
 		t.Skip("spawns helper processes")
 	}
-	flightDir := t.TempDir()
+	f := harness.New(t)
 
-	brokerProc := startObsHelper(t, "broker")
-	pubsubAddr := brokerProc.expect(t, "PUBSUB ")
-	brokerMetrics := brokerProc.expect(t, "METRICS ")
+	brokerProc := f.Start(obsHelperSpec(t, "broker"))
+	pubsubAddr := brokerProc.Expect("PUBSUB", 30*time.Second)
+	brokerMetrics := brokerProc.Expect("METRICS", 30*time.Second)
+	f.RegisterEndpoint("obs-broker", brokerMetrics)
 
-	workerProc := startObsHelper(t, "worker",
+	workerProc := f.Start(obsHelperSpec(t, "worker",
 		obsBrokerEnv+"="+pubsubAddr,
-		obsCountEnv+"="+strconv.Itoa(obsSmokeLayers),
-		"STRATA_FLIGHTREC_DIR="+flightDir)
-	workerMetrics := workerProc.expect(t, "METRICS ")
-	workerProc.expect(t, "READY") // worker's subscription is live at the broker
+		obsCountEnv+"="+strconv.Itoa(obsSmokeLayers)))
+	workerMetrics := workerProc.Expect("METRICS", 30*time.Second)
+	workerProc.Expect("READY", 30*time.Second) // subscription live at the broker
+	f.RegisterEndpoint("obs-worker", workerMetrics)
 
 	// Source half, in this process: every tuple sampled, shipped to the
 	// broker process over TCP.
@@ -279,7 +194,7 @@ func TestObsSmokeCrossProcess(t *testing.T) {
 	if err := runFW(t, fw); err != nil {
 		t.Fatalf("source run: %v", err)
 	}
-	if workerProc.expect(t, "DONE") != "" {
+	if workerProc.Expect("DONE", 30*time.Second) != "" {
 		t.Fatal("unexpected DONE payload")
 	}
 
@@ -299,8 +214,8 @@ func TestObsSmokeCrossProcess(t *testing.T) {
 	deadline := time.Now().Add(10 * time.Second)
 	for {
 		frags := fw.Traces().Find(id)
-		frags = append(frags, fetchFragments(t, brokerMetrics, id)...)
-		frags = append(frags, fetchFragments(t, workerMetrics, id)...)
+		frags = append(frags, f.Fragments(brokerMetrics, id)...)
+		frags = append(frags, f.Fragments(workerMetrics, id)...)
 		merged = telemetry.MergeFragments(frags)
 		if len(merged.Processes) >= 3 {
 			break
@@ -315,8 +230,8 @@ func TestObsSmokeCrossProcess(t *testing.T) {
 		t.Errorf("merged trace ID = %q, want %q", merged.TraceID, id)
 	}
 	pids := map[int]bool{}
-	for _, f := range merged.Fragments {
-		pids[f.PID] = true
+	for _, frag := range merged.Fragments {
+		pids[frag.PID] = true
 	}
 	if len(pids) < 3 {
 		t.Errorf("fragments from %d distinct PIDs, want 3:\n%s", len(pids), merged.Timeline())
@@ -326,11 +241,13 @@ func TestObsSmokeCrossProcess(t *testing.T) {
 	}
 
 	// SIGQUIT the worker: its signal hook must dump the flight recorder to
-	// STRATA_FLIGHTREC_DIR before the runtime's default handler kills it.
-	if err := workerProc.cmd.Process.Signal(syscall.SIGQUIT); err != nil {
+	// the harness-assigned flight dir before the runtime's default handler
+	// kills it.
+	if err := workerProc.Signal(syscall.SIGQUIT); err != nil {
 		t.Fatal(err)
 	}
-	dumpPath := filepath.Join(flightDir, fmt.Sprintf("flightrec-%d.json", workerProc.cmd.Process.Pid))
+	dumpPath := filepath.Join(f.ArtifactDir(), "obs-worker-flightrec",
+		fmt.Sprintf("flightrec-%d.json", workerProc.Pid()))
 	deadline = time.Now().Add(10 * time.Second)
 	for {
 		if data, err := os.ReadFile(dumpPath); err == nil {
@@ -344,6 +261,6 @@ func TestObsSmokeCrossProcess(t *testing.T) {
 		}
 		time.Sleep(50 * time.Millisecond)
 	}
-	workerProc.stop()
-	brokerProc.stop()
+	workerProc.Stop(10 * time.Second)
+	brokerProc.Stop(10 * time.Second)
 }

@@ -67,6 +67,77 @@ func (fw *Framework) DeliverToConn(name string, in *StreamRef, rc *pubsub.Reconn
 	}, stream.WithShedPolicy(stream.ShedPolicy{}))
 }
 
+// AddRemoteReplaySource deploys a positioned source that replays the encoded
+// tuples recorded under subject in a *remote* LogStore — one owned by another
+// process that serves it with pubsub.ServeLog — in offset order, over the
+// connection rc. It is AddReplaySource for a process that does not have the
+// log's directory mounted: the worker half of a pipeline split across OS
+// processes, pulling its input from the log's owner through the broker.
+//
+// The pull protocol is offset-addressed (each fetch names the exact next
+// offset wanted), so a lossy or severed link only delays progress: lost
+// requests and replies are retried, duplicate or stale replies are discarded
+// by the cursor, and the emitted sequence is exactly the stored one. Under
+// checkpointing the source is positioned — the last fully processed offset
+// rides every checkpoint, and a restored pipeline resumes the pull from
+// there, making replay-after-crash convergent rather than repetitive.
+//
+// When total > 0 the source ends after emitting the record at offset
+// total-1 (a bounded replay of a known prefix — the e2e harness's mode);
+// with total == 0 it follows the log live via the server's long poll until
+// ctx is cancelled.
+//
+// Tuples that arrive without trace context are candidates for fresh sampled
+// traces, exactly like a collector source: this process is where the data
+// enters the pipeline under test, so traces minted here record the
+// worker-side story and MergeFragments can stitch them to the broker's and
+// owner's fragments.
+func (fw *Framework) AddRemoteReplaySource(name string, rc *pubsub.ReconnectConn, subject string, total int) *StreamRef {
+	out := &StreamRef{name: name, kind: kindSource, layerGranular: true}
+	if rc == nil {
+		fw.recordErr(fmt.Errorf("%w: AddRemoteReplaySource %q: nil conn", ErrBadPipeline, name))
+		return out
+	}
+	start := fw.restoredPos(name)
+	out.s = stream.AddPositionedSource(fw.query, name, start, func(ctx context.Context, emit stream.PosEmit[EventTuple]) error {
+		const batch = 256
+		cur := pubsub.NewRemoteCursor(rc, subject, start)
+		for {
+			msgs, err := cur.Next(ctx, batch)
+			if err != nil {
+				return fmt.Errorf("remote replay source %q: %w", name, err)
+			}
+			for _, m := range msgs {
+				t, err := DecodeTuple(m.Data)
+				if err != nil {
+					return fmt.Errorf("remote replay source %q: %w", name, err)
+				}
+				if t.Trace == nil {
+					if id, ok := fw.sampler.Sample(); ok {
+						t.Trace = telemetry.NewTrace(id, fw.name+"/"+name)
+					}
+				} else {
+					t.Trace.Relabel(name)
+				}
+				t.AvailableAt = time.Now()
+				if t.Specimen == "" {
+					t.Specimen = DefaultSpecimen
+				}
+				if t.Portion == "" {
+					t.Portion = DefaultPortion
+				}
+				if err := emit(m.Offset, t); err != nil {
+					return err
+				}
+				if total > 0 && m.Offset+1 >= uint64(total) {
+					return nil
+				}
+			}
+		}
+	})
+	return out
+}
+
 // AddConnSource deploys a source consuming encoded tuples from the broker
 // behind rc (pattern supports pub/sub wildcards). It is AddBrokerSource for
 // a process without an in-process broker: the far half of a pipeline split

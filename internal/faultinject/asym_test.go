@@ -1,0 +1,178 @@
+package faultinject
+
+import (
+	"errors"
+	"io"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// pushServer accepts connections, pushes a steady stream of bytes to each,
+// and counts every byte it receives. Unlike echoServer it generates traffic
+// in both directions independently, which is what makes one-directional
+// faults observable.
+func pushServer(t *testing.T) (net.Listener, *atomic.Int64) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var received atomic.Int64
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				buf := make([]byte, 256)
+				for {
+					n, err := c.Read(buf)
+					received.Add(int64(n))
+					if err != nil {
+						return
+					}
+				}
+			}(c)
+			go func(c net.Conn) {
+				for {
+					if _, err := c.Write([]byte{'.'}); err != nil {
+						return
+					}
+					time.Sleep(5 * time.Millisecond)
+				}
+			}(c)
+		}
+	}()
+	t.Cleanup(func() { ln.Close() })
+	return ln, &received
+}
+
+// waitReceived polls until the server has received at least want bytes.
+func waitReceived(t *testing.T, received *atomic.Int64, want int64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for received.Load() < want {
+		if time.Now().After(deadline) {
+			t.Fatalf("server received %d bytes, want >= %d", received.Load(), want)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestBlackholeDirInboundIsHalfOpen proves the asymmetric partition: with
+// only the client→server direction blackholed, the client's writes vanish
+// while the server's pushes still arrive — the "I can hear them but they
+// can't hear me" failure mode a symmetric blackhole cannot model.
+func TestBlackholeDirInboundIsHalfOpen(t *testing.T) {
+	ln, received := pushServer(t)
+	p, err := NewProxy(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	c := dialProxy(t, p)
+	if _, err := c.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	waitReceived(t, received, 1)
+
+	p.BlackholeDir(DirInbound)
+	if _, err := c.Write([]byte("yy")); err != nil {
+		t.Fatalf("write into half-open link failed at TCP level: %v", err)
+	}
+	time.Sleep(100 * time.Millisecond)
+	if got := received.Load(); got != 1 {
+		t.Fatalf("server received %d bytes after inbound blackhole, want 1", got)
+	}
+
+	// The reverse direction still flows: the server's pushes reach us.
+	buf := make([]byte, 3)
+	_ = c.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := io.ReadFull(c, buf); err != nil {
+		t.Fatalf("server→client should still flow, read failed: %v", err)
+	}
+
+	// Heal severs the tainted link; a redial gets a healthy one.
+	p.Heal()
+	_ = c.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := io.Copy(io.Discard, c); err != nil && !errors.Is(err, io.EOF) {
+		var ne net.Error
+		if errors.As(err, &ne) && ne.Timeout() {
+			t.Fatal("tainted link still alive after Heal")
+		}
+	}
+	c2 := dialProxy(t, p)
+	if _, err := c2.Write([]byte("z")); err != nil {
+		t.Fatal(err)
+	}
+	waitReceived(t, received, 2)
+}
+
+// TestSeverDirOutboundKeepsInboundFlowing half-closes only the
+// server→client direction: the client sees EOF, yet bytes it writes still
+// reach the server until it reacts.
+func TestSeverDirOutboundKeepsInboundFlowing(t *testing.T) {
+	ln, received := pushServer(t)
+	p, err := NewProxy(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	c := dialProxy(t, p)
+	if _, err := c.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	waitReceived(t, received, 1)
+
+	p.SeverDir(DirOutbound)
+
+	// Drain whatever was in flight; the stream must end in EOF, not hang.
+	_ = c.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := io.Copy(io.Discard, c); !errors.Is(err, io.EOF) && err != nil {
+		var ne net.Error
+		if errors.As(err, &ne) && ne.Timeout() {
+			t.Fatal("read should see EOF after outbound sever, got timeout")
+		}
+	}
+
+	// The opposite direction is still attached.
+	if _, err := c.Write([]byte("ab")); err != nil {
+		t.Fatalf("client→server write after outbound sever: %v", err)
+	}
+	waitReceived(t, received, 3)
+}
+
+// TestHealClearsKnobs confirms Heal resets delay and byte-drop state so a
+// scenario's cleanup returns the proxy to pass-through behaviour.
+func TestHealClearsKnobs(t *testing.T) {
+	ln := echoServer(t)
+	p, err := NewProxy(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	p.SetDelay(200 * time.Millisecond)
+	p.DropBytes(1 << 20)
+	p.Heal()
+
+	c := dialProxy(t, p)
+	start := time.Now()
+	if _, err := c.Write([]byte("q")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 1)
+	_ = c.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := io.ReadFull(c, buf); err != nil {
+		t.Fatalf("healed proxy should pass traffic: %v", err)
+	}
+	if d := time.Since(start); d > 150*time.Millisecond {
+		t.Fatalf("round trip took %v after Heal, delay knob not cleared", d)
+	}
+}

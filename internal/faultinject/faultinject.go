@@ -20,6 +20,22 @@ import (
 	"time"
 )
 
+// Dir selects which flow of a wrapped connection a directional fault
+// applies to, named from the wrapping side's perspective: DirInbound is what
+// the wrapper reads from its peer, DirOutbound what it writes. On a Proxy —
+// which wraps the client-facing connection — DirInbound is client→server
+// traffic and DirOutbound is server→client traffic.
+type Dir uint8
+
+const (
+	// DirInbound faults bytes read from the wrapped connection.
+	DirInbound Dir = 1 << iota
+	// DirOutbound faults bytes written to the wrapped connection.
+	DirOutbound
+	// DirBoth faults both directions, matching the symmetric fault calls.
+	DirBoth = DirInbound | DirOutbound
+)
+
 // Injector holds the fault knobs shared by a set of wrapped connections.
 // All methods are safe for concurrent use. The zero value is not usable;
 // create one with New.
@@ -59,16 +75,23 @@ func (i *Injector) DropBytes(n int) {
 // link was cut. Connections wrapped afterwards are unaffected, so a client
 // that redials gets a healthy link.
 func (i *Injector) Sever() {
-	i.mu.Lock()
-	conns := make([]*Conn, 0, len(i.conns))
-	for c := range i.conns {
-		conns = append(conns, c)
-	}
-	i.mu.Unlock()
-	for _, c := range conns {
+	for _, c := range i.tracked() {
 		// Severing IS the close; a close error on an already-dying link
 		// is the expected outcome, not a failure to report.
 		_ = c.Close()
+	}
+}
+
+// SeverDir half-closes every currently tracked connection in direction d,
+// modelling a half-open link: one flow ends (the reader sees EOF) while the
+// opposite flow keeps passing bytes. DirBoth degenerates to Sever.
+func (i *Injector) SeverDir(d Dir) {
+	if d&DirBoth == DirBoth {
+		i.Sever()
+		return
+	}
+	for _, c := range i.tracked() {
+		c.severDir(d)
 	}
 }
 
@@ -76,16 +99,44 @@ func (i *Injector) Sever() {
 // succeed but go nowhere, reads block until the connection is closed. Unlike
 // Sever, the peer sees no error — only liveness probes (heartbeats) can tell
 // the link is dead. Connections wrapped afterwards behave normally.
-func (i *Injector) Blackhole() {
+func (i *Injector) Blackhole() { i.BlackholeDir(DirBoth) }
+
+// BlackholeDir blackholes only direction d of every currently tracked
+// connection: bytes flowing that way vanish without an error while the
+// opposite direction keeps working — the asymmetric partition that breaks
+// protocols relying on "if I can hear them, they can hear me".
+func (i *Injector) BlackholeDir(d Dir) {
+	for _, c := range i.tracked() {
+		c.blackholeDir(d)
+	}
+}
+
+// Heal disarms the delay and byte-drop knobs and closes every connection a
+// directional fault has touched, so clients redial onto clean links. Healthy
+// connections are left alone: after a partial fault, Heal is how a scenario
+// returns the link to a known-good state without tearing everything down.
+func (i *Injector) Heal() {
 	i.mu.Lock()
+	i.delay = 0
+	i.dropBytes = 0
+	i.mu.Unlock()
+	for _, c := range i.tracked() {
+		if c.tainted.Load() {
+			_ = c.Close()
+		}
+	}
+}
+
+// tracked snapshots the live connection set so fault calls can fan out
+// without holding the injector lock across per-connection work.
+func (i *Injector) tracked() []*Conn {
+	i.mu.Lock()
+	defer i.mu.Unlock()
 	conns := make([]*Conn, 0, len(i.conns))
 	for c := range i.conns {
 		conns = append(conns, c)
 	}
-	i.mu.Unlock()
-	for _, c := range conns {
-		c.blackhole.Store(true)
-	}
+	return conns
 }
 
 // Active returns how many wrapped connections are currently open.
@@ -143,7 +194,12 @@ type Conn struct {
 	net.Conn
 	inj *Injector
 
-	blackhole atomic.Bool
+	bhRead  atomic.Bool // inbound direction blackholed
+	bhWrite atomic.Bool // outbound direction blackholed
+	// tainted marks a connection a directional fault has touched; its stream
+	// may be desynchronized or wedged, so Heal severs it rather than trying
+	// to resume it.
+	tainted   atomic.Bool
 	closeOnce sync.Once
 	closed    chan struct{}
 }
@@ -153,13 +209,19 @@ type Conn struct {
 // before they are delivered, so a SetDelay racing an already-blocked Read
 // still slows the bytes that read returns.
 func (c *Conn) Read(p []byte) (int, error) {
-	if c.blackhole.Load() {
-		<-c.closed
-		return 0, net.ErrClosed
-	}
 	for {
+		if c.bhRead.Load() {
+			<-c.closed
+			return 0, net.ErrClosed
+		}
 		n, err := c.Conn.Read(p)
 		if n > 0 {
+			if c.bhRead.Load() {
+				// The flag flipped while this read was blocked: the bytes
+				// were still in transit when the direction went dark, so
+				// they are lost with it.
+				continue
+			}
 			if d := c.inj.currentDelay(); d > 0 {
 				select {
 				case <-time.After(d):
@@ -178,10 +240,10 @@ func (c *Conn) Read(p []byte) (int, error) {
 	}
 }
 
-// Write swallows data while the connection is blackholed and passes it
-// through otherwise.
+// Write swallows data while the outbound direction is blackholed and passes
+// it through otherwise.
 func (c *Conn) Write(p []byte) (int, error) {
-	if c.blackhole.Load() {
+	if c.bhWrite.Load() {
 		select {
 		case <-c.closed:
 			return 0, net.ErrClosed
@@ -190,6 +252,46 @@ func (c *Conn) Write(p []byte) (int, error) {
 		}
 	}
 	return c.Conn.Write(p)
+}
+
+func (c *Conn) blackholeDir(d Dir) {
+	if d&DirInbound != 0 {
+		c.bhRead.Store(true)
+		c.tainted.Store(true)
+	}
+	if d&DirOutbound != 0 {
+		c.bhWrite.Store(true)
+		c.tainted.Store(true)
+	}
+}
+
+func (c *Conn) severDir(d Dir) {
+	c.tainted.Store(true)
+	if d&DirInbound != 0 {
+		_ = c.CloseRead()
+	}
+	if d&DirOutbound != 0 {
+		_ = c.CloseWrite()
+	}
+}
+
+// CloseRead half-closes the inbound direction when the underlying transport
+// supports it (TCP does); otherwise it falls back to a full close.
+func (c *Conn) CloseRead() error {
+	if hc, ok := c.Conn.(interface{ CloseRead() error }); ok {
+		return hc.CloseRead()
+	}
+	return c.Close()
+}
+
+// CloseWrite half-closes the outbound direction (sending FIN on TCP) when
+// the underlying transport supports it; otherwise it falls back to a full
+// close.
+func (c *Conn) CloseWrite() error {
+	if hc, ok := c.Conn.(interface{ CloseWrite() error }); ok {
+		return hc.CloseWrite()
+	}
+	return c.Close()
 }
 
 // Close closes the underlying connection and unblocks blackholed readers.

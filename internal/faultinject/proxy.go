@@ -5,6 +5,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 )
 
 // Proxy is a TCP relay between a local listener and a target address, with
@@ -44,6 +45,35 @@ func (p *Proxy) Injector() *Injector { return p.inj }
 // get a fresh, healthy link.
 func (p *Proxy) Sever() { p.inj.Sever() }
 
+// Control API: the methods a test harness drives remotely-spawned processes
+// with. They delegate to the injector, with Dir translated to the proxy's
+// topology (DirInbound = client→server, DirOutbound = server→client).
+
+// SeverDir half-closes every live relayed connection in direction d, leaving
+// the opposite direction flowing — a half-open link.
+func (p *Proxy) SeverDir(d Dir) { p.inj.SeverDir(d) }
+
+// Blackhole silently swallows all traffic on every live relayed connection.
+func (p *Proxy) Blackhole() { p.inj.Blackhole() }
+
+// BlackholeDir swallows traffic in direction d only: an asymmetric
+// partition where one side still hears the other.
+func (p *Proxy) BlackholeDir(d Dir) { p.inj.BlackholeDir(d) }
+
+// SetDelay delays delivery of client→server bytes by d (0 disables).
+func (p *Proxy) SetDelay(d time.Duration) { p.inj.SetDelay(d) }
+
+// DropBytes silently discards the next n client→server bytes, corrupting a
+// framed stream.
+func (p *Proxy) DropBytes(n int) { p.inj.DropBytes(n) }
+
+// Heal clears the delay/drop knobs and severs every connection a directional
+// fault touched, so redialing clients come back on clean links.
+func (p *Proxy) Heal() { p.inj.Heal() }
+
+// Active returns how many relayed connections are currently open.
+func (p *Proxy) Active() int { return p.inj.Active() }
+
 // Close stops accepting, severs all live links, and waits for the relay
 // goroutines to drain.
 func (p *Proxy) Close() error {
@@ -80,28 +110,41 @@ func (p *Proxy) acceptLoop() {
 }
 
 // relay pipes bytes both ways between the (fault-wrapped) client conn and a
-// fresh connection to the target, closing both when either side fails.
+// fresh connection to the target. Each direction propagates its EOF as a
+// half-close (FIN) rather than tearing down the pair, so a SeverDir on one
+// direction leaves the other flowing — the half-open link the asymmetric
+// faults exist to model. Both conns are fully closed once both directions
+// have drained.
 func (p *Proxy) relay(client *Conn) {
 	defer p.wg.Done()
-	defer client.Close()
 	backend, err := net.Dial("tcp", p.target)
 	if err != nil {
+		_ = client.Close()
 		return
 	}
-	defer backend.Close()
 	done := make(chan struct{}, 2)
 	go func() {
-		io.Copy(backend, client)
-		_ = backend.Close() // either side failing tears down both; close
-		_ = client.Close()  // errors on a dying pair carry no signal
+		_, _ = io.Copy(backend, client)
+		halfCloseWrite(backend)
 		done <- struct{}{}
 	}()
 	go func() {
-		io.Copy(client, backend)
-		_ = backend.Close()
-		_ = client.Close()
+		_, _ = io.Copy(client, backend)
+		halfCloseWrite(client)
 		done <- struct{}{}
 	}()
 	<-done
 	<-done
+	_ = client.Close() // both directions drained; errors carry no signal
+	_ = backend.Close()
+}
+
+// halfCloseWrite sends EOF on c's write side without disturbing its read
+// side, falling back to a full close on transports without half-close.
+func halfCloseWrite(c net.Conn) {
+	if cw, ok := c.(interface{ CloseWrite() error }); ok {
+		_ = cw.CloseWrite()
+		return
+	}
+	_ = c.Close()
 }

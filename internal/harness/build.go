@@ -1,0 +1,107 @@
+package harness
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// Binaries are built once per test process and shared by every scenario;
+// the Go build cache makes the once nearly free when nothing changed.
+var (
+	buildMu  sync.Mutex
+	builtBin = make(map[string]buildResult)
+
+	rootOnce sync.Once
+	rootDir  string
+	rootErr  error
+)
+
+type buildResult struct {
+	path string
+	err  error
+}
+
+// moduleRoot locates the repository root via the go tool (the tests' working
+// directory is their package directory, not the root).
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	rootOnce.Do(func() {
+		out, err := exec.Command("go", "env", "GOMOD").Output()
+		if err != nil {
+			rootErr = fmt.Errorf("go env GOMOD: %w", err)
+			return
+		}
+		gomod := strings.TrimSpace(string(out))
+		if gomod == "" || gomod == os.DevNull {
+			rootErr = fmt.Errorf("not inside a module (GOMOD=%q)", gomod)
+			return
+		}
+		rootDir = filepath.Dir(gomod)
+	})
+	if rootErr != nil {
+		t.Fatalf("harness: %v", rootErr)
+	}
+	return rootDir
+}
+
+func (f *framework) Bin(name string) string {
+	f.t.Helper()
+	root := moduleRoot(f.t)
+
+	buildMu.Lock()
+	defer buildMu.Unlock()
+	if r, ok := builtBin[name]; ok {
+		if r.err != nil {
+			f.t.Fatalf("harness: build %s (cached failure): %v", name, r.err)
+		}
+		return r.path
+	}
+
+	final := filepath.Join(root, "bin", "e2e", name)
+	err := buildBinary(root, name, final)
+	builtBin[name] = buildResult{path: final, err: err}
+	if err != nil {
+		f.t.Fatalf("harness: build %s: %v", name, err)
+	}
+	return final
+}
+
+// buildBinary compiles cmd/<name> into dest. Several test packages may run
+// `go test ./...` concurrently and build the same binary, so the compile
+// lands in a per-process temp name and is renamed into place — rename is
+// atomic, and whichever build wins, both are fresh compiles of the same
+// source.
+func buildBinary(root, name, dest string) error {
+	if err := os.MkdirAll(filepath.Dir(dest), 0o755); err != nil {
+		return err
+	}
+	tmp := fmt.Sprintf("%s.%d.tmp", dest, os.Getpid())
+	cmd := exec.Command("go", "build", "-o", tmp, "./cmd/"+name)
+	cmd.Dir = root
+	if out, err := cmd.CombinedOutput(); err != nil {
+		_ = os.Remove(tmp)
+		return fmt.Errorf("go build ./cmd/%s: %v\n%s", name, err, out)
+	}
+	if err := os.Rename(tmp, dest); err != nil {
+		_ = os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+func (f *framework) Port() string {
+	f.t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		f.t.Fatalf("harness: reserve port: %v", err)
+	}
+	addr := ln.Addr().String()
+	_ = ln.Close()
+	return addr
+}

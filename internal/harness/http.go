@@ -1,0 +1,114 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"strata/internal/telemetry"
+)
+
+// httpClient keeps probe latency bounded: a wedged endpoint should register
+// as "not ready", not hang the poll loop past the scenario deadline.
+var httpClient = &http.Client{Timeout: 5 * time.Second}
+
+func httpGetBody(url string) ([]byte, error) {
+	resp, err := httpClient.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return body, fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	return body, nil
+}
+
+func (f *framework) WaitReady(addr string, timeout time.Duration) {
+	f.t.Helper()
+	deadline := time.Now().Add(timeout)
+	var lastErr error
+	for time.Now().Before(deadline) {
+		if _, err := httpGetBody("http://" + addr + "/readyz"); err == nil {
+			return
+		} else {
+			lastErr = err
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	f.t.Fatalf("harness: %s never became ready within %v (last: %v)", addr, timeout, lastErr)
+}
+
+func (f *framework) MetricValue(addr, metric string) (float64, error) {
+	body, err := httpGetBody("http://" + addr + "/metrics")
+	if err != nil {
+		return 0, err
+	}
+	sum, found := 0.0, false
+	for _, line := range strings.Split(string(body), "\n") {
+		rest, ok := strings.CutPrefix(line, metric)
+		if !ok || rest == "" || (rest[0] != ' ' && rest[0] != '{') {
+			continue // a different metric sharing the prefix
+		}
+		fields := strings.Fields(rest)
+		if len(fields) == 0 {
+			continue
+		}
+		v, err := strconv.ParseFloat(fields[len(fields)-1], 64)
+		if err != nil {
+			continue
+		}
+		sum += v
+		found = true
+	}
+	if !found {
+		return 0, fmt.Errorf("metric %q not exposed by %s", metric, addr)
+	}
+	return sum, nil
+}
+
+func (f *framework) WaitMetric(addr, metric string, timeout time.Duration, pred func(float64) bool) {
+	f.t.Helper()
+	deadline := time.Now().Add(timeout)
+	var last float64
+	var lastErr error
+	for time.Now().Before(deadline) {
+		last, lastErr = f.MetricValue(addr, metric)
+		if lastErr == nil && pred(last) {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	f.t.Fatalf("harness: metric %s at %s never satisfied predicate within %v (last %v, err %v)",
+		metric, addr, timeout, last, lastErr)
+}
+
+func (f *framework) Fragments(addr, id string) []telemetry.TraceSnapshot {
+	f.t.Helper()
+	resp, err := httpClient.Get(fmt.Sprintf("http://%s/debug/trace/%s", addr, id))
+	if err != nil {
+		f.t.Fatalf("harness: GET /debug/trace/%s from %s: %v", id, addr, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		return nil // fragments not filed (yet) in this process
+	}
+	if resp.StatusCode != http.StatusOK {
+		f.t.Fatalf("harness: GET /debug/trace/%s from %s: %s", id, addr, resp.Status)
+	}
+	var rep struct {
+		Fragments []telemetry.TraceSnapshot `json:"fragments"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		f.t.Fatalf("harness: decode fragments from %s: %v", addr, err)
+	}
+	return rep.Fragments
+}

@@ -1,0 +1,18 @@
+package harness_test
+
+import (
+	"os"
+	"testing"
+
+	"strata/internal/leakcheck"
+	"strata/internal/obslog"
+)
+
+// TestMain holds the harness package to the repo's leak discipline: feeder
+// connections, log stores, and proxies must all be torn down by cleanup.
+// (The spawned processes are reaped by the harness itself.) Flight-recorder
+// dumps from the test process go to the OS temp dir, never the source tree.
+func TestMain(m *testing.M) {
+	obslog.SetCrashDir(os.TempDir())
+	leakcheck.VerifyTestMain(m)
+}

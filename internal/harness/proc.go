@@ -1,0 +1,232 @@
+package harness
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// ProcSpec describes one process launch. The same spec value can be passed
+// to Start again to restart the process with identical argv — the chaos
+// scenarios' kill/restart loop — optionally with environment entries
+// removed (Proc.Restart).
+type ProcSpec struct {
+	// Name labels the process in logs, artifacts, and the restart budget.
+	// Restarted incarnations share the Name.
+	Name string
+	// Path is the binary to execute (a Framework.Bin result, or
+	// os.Executable() for re-exec helpers).
+	Path string
+	// Args is the argv tail (argv[0] is Path).
+	Args []string
+	// Env entries are appended to the inherited environment ("K=V").
+	Env []string
+	// DropEnv names inherited/appended variables to remove — how a restart
+	// sheds the crashpoint that killed the previous incarnation.
+	DropEnv []string
+}
+
+// Proc is one spawned process: its line-protocol stdout, captured logs, and
+// lifecycle handles.
+type Proc struct {
+	f    *framework
+	spec ProcSpec
+
+	cmd       *exec.Cmd
+	stdin     io.WriteCloser
+	lines     chan string
+	logPath   string
+	flightDir string
+
+	waitOnce sync.Once
+	waitErr  error
+	done     chan struct{}
+}
+
+func (f *framework) Start(spec ProcSpec) *Proc {
+	f.t.Helper()
+	f.chargeStart(spec.Name)
+	f.mu.Lock()
+	incarnation := f.starts[spec.Name]
+	f.mu.Unlock()
+
+	flightDir := filepath.Join(f.artifactDir, spec.Name+"-flightrec")
+	if err := os.MkdirAll(flightDir, 0o755); err != nil {
+		f.t.Fatalf("harness: flight dir: %v", err)
+	}
+	logPath := filepath.Join(f.artifactDir, fmt.Sprintf("%s.%d.log", spec.Name, incarnation))
+	logFile, err := os.Create(logPath)
+	if err != nil {
+		f.t.Fatalf("harness: log file: %v", err)
+	}
+
+	cmd := exec.Command(spec.Path, spec.Args...)
+	cmd.Env = buildEnv(spec, flightDir)
+	cmd.Stderr = logFile
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		f.t.Fatalf("harness: stdin pipe: %v", err)
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		f.t.Fatalf("harness: stdout pipe: %v", err)
+	}
+	if err := cmd.Start(); err != nil {
+		f.t.Fatalf("harness: start %s (%s): %v", spec.Name, spec.Path, err)
+	}
+
+	p := &Proc{
+		f:         f,
+		spec:      spec,
+		cmd:       cmd,
+		stdin:     stdin,
+		lines:     make(chan string, 256),
+		logPath:   logPath,
+		flightDir: flightDir,
+		done:      make(chan struct{}),
+	}
+	// One goroutine both tees stdout into the log and feeds the protocol
+	// channel; when the channel backs up, lines are still logged, just not
+	// queued (protocol lines are sparse — chatter is what overflows).
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+		for sc.Scan() {
+			line := sc.Text()
+			fmt.Fprintln(logFile, line)
+			select {
+			case p.lines <- line:
+			default:
+			}
+		}
+		close(p.lines)
+	}()
+	go func() {
+		p.waitErr = cmd.Wait()
+		_ = logFile.Close()
+		close(p.done)
+	}()
+
+	f.mu.Lock()
+	f.procs = append(f.procs, p)
+	f.mu.Unlock()
+	f.t.Cleanup(func() { p.Stop(5 * time.Second) })
+	return p
+}
+
+// buildEnv merges the inherited environment, the harness's flight-recorder
+// redirection, and the spec's extras, then applies DropEnv.
+func buildEnv(spec ProcSpec, flightDir string) []string {
+	env := append(os.Environ(), "STRATA_FLIGHTREC_DIR="+flightDir)
+	env = append(env, spec.Env...)
+	if len(spec.DropEnv) == 0 {
+		return env
+	}
+	drop := make(map[string]bool, len(spec.DropEnv))
+	for _, k := range spec.DropEnv {
+		drop[k] = true
+	}
+	out := env[:0]
+	for _, kv := range env {
+		if k, _, ok := strings.Cut(kv, "="); ok && drop[k] {
+			continue
+		}
+		out = append(out, kv)
+	}
+	return out
+}
+
+// Pid returns the process ID.
+func (p *Proc) Pid() int { return p.cmd.Process.Pid }
+
+// Spec returns a copy of the launch spec, for restarts.
+func (p *Proc) Spec() ProcSpec { return p.spec }
+
+// Expect reads protocol lines until one starts with prefix, returning the
+// remainder of that line. It fails the test if the process exits or timeout
+// passes first.
+func (p *Proc) Expect(prefix string, timeout time.Duration) string {
+	p.f.t.Helper()
+	deadline := time.After(timeout)
+	for {
+		select {
+		case line, ok := <-p.lines:
+			if !ok {
+				p.f.t.Fatalf("harness: %s exited before printing %q (log: %s)",
+					p.spec.Name, prefix, p.logPath)
+			}
+			if rest, found := strings.CutPrefix(line, prefix); found {
+				return strings.TrimSpace(rest)
+			}
+		case <-deadline:
+			p.f.t.Fatalf("harness: timed out after %v waiting for %q from %s (log: %s)",
+				timeout, prefix, p.spec.Name, p.logPath)
+		}
+	}
+}
+
+// Kill sends SIGKILL — the fault the chaos scenarios inject: no signal
+// handler, no deferred cleanup, no final checkpoint — and reaps the process.
+func (p *Proc) Kill() {
+	_ = p.cmd.Process.Kill()
+	<-p.done
+}
+
+// Signal forwards a signal without waiting.
+func (p *Proc) Signal(sig syscall.Signal) error {
+	return p.cmd.Process.Signal(sig)
+}
+
+// Stop asks the process to exit (closing its stdin, the run-until signal of
+// the repo's line-protocol binaries), waits up to timeout, then escalates to
+// SIGKILL. Safe to call repeatedly and after Kill.
+func (p *Proc) Stop(timeout time.Duration) {
+	_ = p.stdin.Close()
+	select {
+	case <-p.done:
+	case <-time.After(timeout):
+		_ = p.cmd.Process.Kill()
+		<-p.done
+	}
+}
+
+// Wait blocks until the process exits (failing the test after timeout) and
+// returns its exit error (nil for status 0).
+func (p *Proc) Wait(timeout time.Duration) error {
+	p.f.t.Helper()
+	select {
+	case <-p.done:
+		return p.waitErr
+	case <-time.After(timeout):
+		p.f.t.Fatalf("harness: %s did not exit within %v (log: %s)",
+			p.spec.Name, timeout, p.logPath)
+		return nil
+	}
+}
+
+// Exited reports whether the process has exited, without blocking.
+func (p *Proc) Exited() bool {
+	select {
+	case <-p.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// Restart launches a fresh incarnation with the same argv, minus the given
+// environment variables (typically the crashpoint that killed this one). The
+// caller is responsible for the previous incarnation being dead.
+func (p *Proc) Restart(dropEnv ...string) *Proc {
+	p.f.t.Helper()
+	spec := p.spec
+	spec.DropEnv = append(append([]string(nil), spec.DropEnv...), dropEnv...)
+	return p.f.Start(spec)
+}

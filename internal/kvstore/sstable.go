@@ -6,6 +6,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
 	"sort"
@@ -22,12 +23,23 @@ import (
 //	index section:   count uvarint, then per sampled entry
 //	                   keyLen uvarint, key bytes, dataOffset uvarint
 //	bloom section:   marshaled bloom filter
+//	crc section:     crc32 (IEEE) uint32 per data block, in block order
 //	footer (40 B):   indexOff, indexLen, bloomOff, bloomLen uint64; magic uint64
 //
 // Entries are sorted by key and unique. The index samples every
 // sstIndexInterval-th entry (always including the first), so a point lookup
 // binary-searches the in-memory index and scans at most one interval of the
 // data section.
+//
+// A data block is the byte range between consecutive index samples (the unit
+// block() fetches and the block cache holds). The crc section carries one
+// checksum per block, verified when a block is read off disk: WAL records
+// and pubsub log records are CRC-guarded, and without this a flipped bit in
+// a long-lived table would be served silently for the rest of the table's
+// life. The section sits between bloom and footer, so its bounds are
+// derivable from the existing footer fields (bloomOff+bloomLen up to the
+// footer) and the footer format is unchanged; a zero-length section marks a
+// table from before checksums and reads without verification.
 const (
 	sstMagic         uint64 = 0x5354524154414b56 // "STRATAKV"
 	sstIndexInterval        = 16
@@ -71,10 +83,16 @@ func writeSSTableTo(f *os.File, entries []entry, bloomFP float64) error {
 
 	bloom := newBloomFilter(len(entries), bloomFP)
 	index := make([]indexEntry, 0, len(entries)/sstIndexInterval+1)
+	blockCRCs := make([]uint32, 0, cap(index))
+	blockHash := crc32.NewIEEE()
 	offset := int64(8)
 	var scratch [2 * binary.MaxVarintLen64]byte
 	for i, e := range entries {
 		if i%sstIndexInterval == 0 {
+			if i > 0 {
+				blockCRCs = append(blockCRCs, blockHash.Sum32())
+				blockHash.Reset()
+			}
 			index = append(index, indexEntry{key: append([]byte(nil), e.key...), offset: offset})
 		}
 		bloom.add(e.key)
@@ -93,7 +111,15 @@ func writeSSTableTo(f *os.File, entries []entry, bloomFP float64) error {
 		if _, err := w.Write(e.value); err != nil {
 			return fmt.Errorf("write sstable entry: %w", err)
 		}
+		// Hash exactly the bytes block() will read back: the checksum input
+		// and the verification input must be the same byte range.
+		blockHash.Write(scratch[:n])
+		blockHash.Write(e.key)
+		blockHash.Write(e.value)
 		offset += int64(n + len(e.key) + len(e.value))
+	}
+	if len(entries) > 0 {
+		blockCRCs = append(blockCRCs, blockHash.Sum32())
 	}
 
 	indexOff := offset
@@ -119,6 +145,14 @@ func writeSSTableTo(f *os.File, entries []entry, bloomFP float64) error {
 		return fmt.Errorf("write sstable bloom: %w", err)
 	}
 
+	crcBytes := make([]byte, 4*len(blockCRCs))
+	for i, crc := range blockCRCs {
+		binary.LittleEndian.PutUint32(crcBytes[4*i:], crc)
+	}
+	if _, err := w.Write(crcBytes); err != nil {
+		return fmt.Errorf("write sstable block crcs: %w", err)
+	}
+
 	var footer [sstFooterSize]byte
 	binary.LittleEndian.PutUint64(footer[0:8], uint64(indexOff))
 	binary.LittleEndian.PutUint64(footer[8:16], uint64(indexLen))
@@ -141,7 +175,8 @@ type sstable struct {
 	f       *os.File
 	index   []indexEntry
 	bloom   *bloomFilter
-	dataEnd int64 // offset where the data section ends (== indexOff)
+	crcs    []uint32 // per-block crc32; nil for pre-checksum tables
+	dataEnd int64    // offset where the data section ends (== indexOff)
 	num     uint64
 	cache   *blockCache // shared with the owning DB; nil = uncached
 }
@@ -205,7 +240,29 @@ func loadSSTable(f *os.File, path string, num uint64) (*sstable, error) {
 		return nil, fmt.Errorf("sstable %s bloom: %w", path, err)
 	}
 
-	return &sstable{path: path, f: f, index: index, bloom: bloom, dataEnd: indexOff, num: num}, nil
+	// The crc section fills the gap between bloom and footer; its length is
+	// derivable, so the footer needed no new fields. Zero-length means a
+	// table written before block checksums — readable, just unverified.
+	crcOff := bloomOff + bloomLen
+	crcLen := st.Size() - sstFooterSize - crcOff
+	var crcs []uint32
+	switch {
+	case crcLen == 0:
+	case crcLen == int64(4*len(index)):
+		crcBytes := make([]byte, crcLen)
+		if _, err := f.ReadAt(crcBytes, crcOff); err != nil {
+			return nil, fmt.Errorf("read sstable block crcs: %w", err)
+		}
+		crcs = make([]uint32, len(index))
+		for i := range crcs {
+			crcs[i] = binary.LittleEndian.Uint32(crcBytes[4*i:])
+		}
+	default:
+		return nil, fmt.Errorf("%w: sstable %s crc section is %d bytes, want 0 or %d",
+			ErrCorrupt, path, crcLen, 4*len(index))
+	}
+
+	return &sstable{path: path, f: f, index: index, bloom: bloom, crcs: crcs, dataEnd: indexOff, num: num}, nil
 }
 
 func parseIndex(b []byte) ([]indexEntry, error) {
@@ -302,6 +359,16 @@ func (t *sstable) block(i int) ([]byte, error) {
 	b := make([]byte, end-start)
 	if _, err := t.f.ReadAt(b, start); err != nil {
 		return nil, fmt.Errorf("read sstable block: %w", err)
+	}
+	// Verify at the cache-fill point: every cached copy descends from a read
+	// that passed its checksum, so a flipped bit on disk is caught the first
+	// time the block is touched instead of being served for the rest of the
+	// table's life.
+	if t.crcs != nil {
+		if got := crc32.ChecksumIEEE(b); got != t.crcs[i] {
+			return nil, fmt.Errorf("%w: sstable %s block %d crc mismatch (got %08x, want %08x)",
+				ErrCorrupt, t.path, i, got, t.crcs[i])
+		}
 	}
 	if t.cache != nil {
 		t.cache.put(t.num, i, b)

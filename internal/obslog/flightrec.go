@@ -121,21 +121,58 @@ func CrashDir() string {
 }
 
 // DumpToDir writes the ring to dir/flightrec-<pid>.json and returns the
-// path.
+// path. The dump is written to a temp file and renamed into place, so the
+// final path either holds a complete JSON document or does not exist: a
+// process dying mid-dump (these dumps are written *during* crashes) leaves a
+// stray .tmp at worst, never a torn flightrec-<pid>.json for a later
+// artifact collector to choke on.
 func (r *FlightRecorder) DumpToDir(dir, reason string) (string, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return "", err
 	}
 	path := filepath.Join(dir, fmt.Sprintf("flightrec-%d.json", os.Getpid()))
-	f, err := os.Create(path)
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
 	if err != nil {
 		return "", err
 	}
 	if err := r.WriteDump(f, reason); err != nil {
 		_ = f.Close() // the write error is the one worth reporting
+		_ = os.Remove(tmp)
 		return "", err
 	}
-	return path, f.Close()
+	if err := f.Close(); err != nil {
+		_ = os.Remove(tmp)
+		return "", err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		_ = os.Remove(tmp)
+		return "", err
+	}
+	return path, nil
+}
+
+// ErrTornDump reports a flight-recorder dump file whose JSON is truncated
+// or otherwise unparseable — the signature of a process that died while
+// writing it (or of a pre-atomic-rename dump). Callers collecting dumps as
+// failure artifacts should treat it as "evidence damaged", not as a reason
+// to stop collecting.
+var ErrTornDump = fmt.Errorf("obslog: torn flight-recorder dump")
+
+// ReadDump parses a flight-recorder dump file. A missing file returns the
+// os error; a present-but-unparseable file returns ErrTornDump (wrapped
+// with detail) so harnesses can collect what exists and flag the tear
+// instead of wedging on it.
+func ReadDump(path string) (*Dump, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var d Dump
+	if err := json.Unmarshal(data, &d); err != nil {
+		return nil, fmt.Errorf("%w: %s: %v", ErrTornDump, path, err)
+	}
+	return &d, nil
 }
 
 // Collect implements telemetry.Collector with the flight recorder's own

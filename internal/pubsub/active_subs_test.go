@@ -1,0 +1,64 @@
+package pubsub
+
+import (
+	"testing"
+	"time"
+)
+
+// TestActiveSubscriptionsMidRestoreWindow pins down the readiness-probe
+// contract of ActiveSubscriptions: a subscription attached to a link that is
+// not (or is no longer) the installed live connection must not count.
+// restore() attaches inner subscriptions to the incoming link before
+// installing it as rc.conn and flushing the corked SUB frames, so during
+// that window the wire subscribe may still sit in a userspace buffer; the
+// probe reporting >0 there would let a harness declare a worker ready
+// before the broker can deliver to it. The test recreates both window
+// shapes by hand under rc.mu rather than racing a real restore.
+func TestActiveSubscriptionsMidRestoreWindow(t *testing.T) {
+	h := newReconnectHarness(t)
+
+	sub, err := h.rc.Subscribe("ready.>")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Unsubscribe()
+	if err := h.rc.Ping(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if n := h.rc.ActiveSubscriptions(); n != 1 {
+		t.Fatalf("established subscription: ActiveSubscriptions = %d, want 1", n)
+	}
+
+	// Window shape 1: inner attached, no conn installed yet (mid-restore).
+	h.rc.mu.Lock()
+	live := h.rc.conn
+	h.rc.conn = nil
+	h.rc.mu.Unlock()
+	if n := h.rc.ActiveSubscriptions(); n != 0 {
+		t.Fatalf("mid-restore (no installed conn): ActiveSubscriptions = %d, want 0", n)
+	}
+
+	// Window shape 2: a different conn installed than the one the inner
+	// subscription was attached to (link abandoned mid-restore).
+	other, err := Dial(h.proxy.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.rc.mu.Lock()
+	h.rc.conn = other
+	h.rc.mu.Unlock()
+	if n := h.rc.ActiveSubscriptions(); n != 0 {
+		t.Fatalf("stale inner on foreign conn: ActiveSubscriptions = %d, want 0", n)
+	}
+
+	// Reinstall the real link: the subscription counts again.
+	h.rc.mu.Lock()
+	h.rc.conn = live
+	h.rc.mu.Unlock()
+	if err := other.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if n := h.rc.ActiveSubscriptions(); n != 1 {
+		t.Fatalf("reinstalled conn: ActiveSubscriptions = %d, want 1", n)
+	}
+}

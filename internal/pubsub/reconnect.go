@@ -324,15 +324,23 @@ func (rc *ReconnectConn) Pending() int {
 // ActiveSubscriptions returns how many durable subscriptions are currently
 // established on the live link (registered subscriptions awaiting a
 // reconnect don't count). A subscription counts only once its wire
-// subscribe has been sent, so ActiveSubscriptions > 0 followed by a Ping
-// round-trip proves the broker is delivering to it — the readiness probe a
-// consumer process should run before telling producers to start.
+// subscribe has been sent AND the link it was sent on has been installed as
+// the live connection: during a restore, subscriptions are attached to the
+// incoming link before its corked SUB frames are flushed, and counting that
+// mid-restore window would let a readiness probe declare a consumer ready
+// while its subscribe still sits in a userspace buffer. ActiveSubscriptions
+// > 0 followed by a Ping round-trip therefore proves the broker is
+// delivering to it — the readiness probe a consumer process should run
+// before telling producers to start.
 func (rc *ReconnectConn) ActiveSubscriptions() int {
 	rc.mu.Lock()
 	defer rc.mu.Unlock()
+	if rc.conn == nil {
+		return 0
+	}
 	n := 0
 	for _, s := range rc.subs {
-		if s.inner != nil {
+		if s.inner != nil && s.inner.conn == rc.conn {
 			n++
 		}
 	}

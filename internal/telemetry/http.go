@@ -17,6 +17,7 @@ type handlerOptions struct {
 	pipelines   func() any
 	traces      func() []TraceSnapshot
 	traceLookup func(id string) []TraceSnapshot
+	readiness   func() error
 	profiling   bool
 }
 
@@ -43,6 +44,15 @@ func WithTraceLookup(f func(id string) []TraceSnapshot) HandlerOption {
 	return func(o *handlerOptions) { o.traceLookup = f }
 }
 
+// WithReadiness wires /readyz to f. Liveness (/healthz) answers "is the
+// process up"; readiness answers "is it safe to send work here" — pipelines
+// built, subscriptions restored, stores open. f returns nil when ready and
+// a descriptive error otherwise; the error text becomes the 503 body, so a
+// probe log says *what* the process is still waiting on.
+func WithReadiness(f func() error) HandlerOption {
+	return func(o *handlerOptions) { o.readiness = f }
+}
+
 // WithProfiling mounts the stdlib net/http/pprof handlers under
 // /debug/pprof/ on the telemetry mux. Off by default: live profiling on a
 // production metrics port is opt-in per binary (see each cmd's -pprof
@@ -55,6 +65,8 @@ func WithProfiling() HandlerOption {
 //
 //	/metrics          Prometheus text exposition of every registered collector
 //	/healthz          liveness ("ok")
+//	/readyz           readiness (200 "ok" / 503 reason, with WithReadiness;
+//	                  404 when the binary wired no readiness source)
 //	/debug/pipelines  JSON pipeline summaries (when wired with WithPipelines)
 //	/debug/traces     JSON slowest recent traces (when wired with WithTraces;
 //	                  ?n=K bounds the count, default 16)
@@ -74,6 +86,18 @@ func NewHandler(reg *Registry, opts ...HandlerOption) http.Handler {
 		}
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		if o.readiness == nil {
+			http.Error(w, "no readiness source configured", http.StatusNotFound)
+			return
+		}
+		if err := o.readiness(); err != nil {
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
 	})

@@ -1,0 +1,69 @@
+package telemetry
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// TestReadyzEndpoint covers the three /readyz states: unconfigured (404),
+// not ready (503 with the reason as body), and ready (200 ok) — and that
+// /healthz stays 200 throughout, since liveness and readiness answer
+// different questions.
+func TestReadyzEndpoint(t *testing.T) {
+	get := func(base, path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("read %s: %v", path, err)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	// Unconfigured: a binary that wired no readiness source 404s, so probes
+	// can tell "no such check" apart from "not ready".
+	bare, err := Serve("127.0.0.1:0", NewHandler(NewRegistry()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bare.Close()
+	if code, _ := get("http://"+bare.Addr(), "/readyz"); code != http.StatusNotFound {
+		t.Errorf("unconfigured /readyz = %d, want 404", code)
+	}
+
+	var ready atomic.Bool
+	srv, err := Serve("127.0.0.1:0", NewHandler(NewRegistry(),
+		WithReadiness(func() error {
+			if !ready.Load() {
+				return errors.New("pipeline not built")
+			}
+			return nil
+		}),
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	if code, body := get(base, "/readyz"); code != http.StatusServiceUnavailable ||
+		!strings.Contains(body, "pipeline not built") {
+		t.Errorf("not-ready /readyz = %d %q, want 503 with reason", code, body)
+	}
+	if code, body := get(base, "/healthz"); code != 200 || !strings.Contains(body, "ok") {
+		t.Errorf("/healthz while not ready = %d %q, want 200 ok", code, body)
+	}
+
+	ready.Store(true)
+	if code, body := get(base, "/readyz"); code != 200 || !strings.Contains(body, "ok") {
+		t.Errorf("ready /readyz = %d %q, want 200 ok", code, body)
+	}
+}
